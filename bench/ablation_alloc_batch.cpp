@@ -1,0 +1,118 @@
+// Ablation — batched vs immediate remote memory management (paper §3.5).
+//
+// "One straightforward timing for allocation and release of the data in the
+// original space is upon each issuing of the allocate and release
+// primitives. However, this would degrade the runtime performance terribly,
+// considering that remote allocation and release of hundreds of data sets
+// may be requested consecutively."
+//
+// The bench builds a remote list of N nodes with extended_malloc, either
+// letting the runtime batch the home-side allocations until control
+// transfers (the paper's design) or forcing a flush after every primitive
+// (the straw-man timing).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "core/smart_rpc.hpp"
+#include "workload/list.hpp"
+
+namespace {
+
+using namespace srpc;
+using workload::ListNode;
+
+constexpr std::uint32_t kAllocations = 200;
+
+struct Outcome {
+  double seconds = 0;
+  double messages = 0;
+};
+
+std::map<std::string, Outcome>& outcomes() {
+  static std::map<std::string, Outcome> o;
+  return o;
+}
+
+Outcome build_remote_list(bool flush_each) {
+  WorldOptions options;
+  options.cost = CostModel::sparc_ethernet();
+  World world(options);
+  AddressSpace& creator = world.create_space("creator");
+  AddressSpace& home = world.create_space("home");
+  workload::register_list_type(world).status().check();
+
+  home.bind("sum",
+            [](CallContext&, ListNode* head) -> std::int64_t {
+              return workload::sum_list(head);
+            })
+      .check();
+
+  return creator.run([&](Runtime& rt) -> Outcome {
+    world.reset_metering();
+    Session session(rt);
+    ListNode* head = nullptr;
+    ListNode* tail = nullptr;
+    for (std::uint32_t i = 0; i < kAllocations; ++i) {
+      auto node = session.extended_malloc<ListNode>(home.id());
+      node.status().check();
+      node.value()->value = i;
+      if (tail == nullptr) {
+        head = node.value();
+      } else {
+        tail->next = node.value();
+      }
+      tail = node.value();
+      if (flush_each) {
+        rt.flush_pending_memory_ops().check();
+      }
+    }
+    auto sum = session.call<std::int64_t>(home.id(), "sum", head);
+    sum.status().check();
+    Outcome out;
+    out.seconds = world.virtual_seconds();
+    out.messages = static_cast<double>(world.net_stats().messages);
+    session.end().check();
+    return out;
+  });
+}
+
+void BM_Batched(benchmark::State& state) {
+  for (auto _ : state) {
+    Outcome out = build_remote_list(/*flush_each=*/false);
+    state.SetIterationTime(out.seconds);
+    state.counters["messages"] = out.messages;
+    outcomes()["batched"] = out;
+  }
+}
+
+void BM_ImmediatePerPrimitive(benchmark::State& state) {
+  for (auto _ : state) {
+    Outcome out = build_remote_list(/*flush_each=*/true);
+    state.SetIterationTime(out.seconds);
+    state.counters["messages"] = out.messages;
+    outcomes()["immediate"] = out;
+  }
+}
+
+BENCHMARK(BM_Batched)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ImmediatePerPrimitive)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n=== Ablation: remote allocation batching (paper §3.5), %u allocs ===\n",
+              kAllocations);
+  std::printf("%12s %14s %12s\n", "timing", "virtual_s", "messages");
+  for (const auto& [name, out] : outcomes()) {
+    std::printf("%12s %14.3f %12.0f\n", name.c_str(), out.seconds, out.messages);
+  }
+  std::fflush(stdout);
+  benchmark::Shutdown();
+  return 0;
+}

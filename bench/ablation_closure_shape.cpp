@@ -1,0 +1,89 @@
+// Ablation — closure traversal shape (paper §6).
+//
+// "Another issue is to develop an algorithm for optimizing the 'shape' of
+// the subset of the transitive closure of a pointer ... Precise estimation
+// of the shape would minimize the number of communications."
+//
+// The paper's implementation packs breadth-first; this bench compares that
+// against depth-first packing under the root-to-leaf path workload, where
+// shape matters most: a breadth-first ball covers both children of every
+// prefetched node (half wasted on a path), while a depth-first chain bets
+// everything on one spine (perfect when right, useless when wrong).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace srpc;
+using srpc::bench::Measurement;
+using srpc::bench::TreeExperiment;
+
+constexpr std::uint32_t kNodes = 32767;
+constexpr std::uint32_t kPaths = 10;
+
+struct Outcome {
+  double seconds = 0;
+  double fetches = 0;
+  double wire_kb = 0;
+};
+
+std::map<std::string, Outcome>& outcomes() {
+  static std::map<std::string, Outcome> o;
+  return o;
+}
+
+Outcome run_order(TraversalOrder order, std::uint64_t seed) {
+  TreeExperiment experiment(kNodes, /*closure_bytes=*/8192);
+  // The order knob matters on the space that PACKS closures: the home
+  // (caller) serving fetches.
+  experiment.world().space(0).run([&](Runtime& rt) {
+    rt.set_closure_order(order);
+    return 0;
+  });
+  Measurement m = experiment.run_paths(kPaths, seed);
+  return Outcome{m.seconds, static_cast<double>(m.fetches),
+                 static_cast<double>(m.wire_bytes) / 1024.0};
+}
+
+void BM_BreadthFirst(benchmark::State& state) {
+  for (auto _ : state) {
+    Outcome out = run_order(TraversalOrder::kBreadthFirst, 7 + state.range(0));
+    state.SetIterationTime(out.seconds);
+    state.counters["fetches"] = out.fetches;
+    outcomes()["breadth_first_" + std::to_string(state.range(0))] = out;
+  }
+}
+
+void BM_DepthFirst(benchmark::State& state) {
+  for (auto _ : state) {
+    Outcome out = run_order(TraversalOrder::kDepthFirst, 7 + state.range(0));
+    state.SetIterationTime(out.seconds);
+    state.counters["fetches"] = out.fetches;
+    outcomes()["depth_first_" + std::to_string(state.range(0))] = out;
+  }
+}
+
+BENCHMARK(BM_BreadthFirst)->DenseRange(0, 2)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DepthFirst)->DenseRange(0, 2)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n=== Ablation: closure traversal shape (paper §6) ===\n");
+  std::printf("%24s %12s %10s %12s\n", "order/seed", "virtual_s", "fetches", "wire_KiB");
+  for (const auto& [name, out] : outcomes()) {
+    std::printf("%24s %12.3f %10.0f %12.1f\n", name.c_str(), out.seconds, out.fetches,
+                out.wire_kb);
+  }
+  std::fflush(stdout);
+  benchmark::Shutdown();
+  return 0;
+}

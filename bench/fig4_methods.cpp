@@ -1,0 +1,92 @@
+// Figure 4 — "Comparison of the Three Methods".
+//
+// X-axis: (number of nodes accessed in the callee)/(total number of nodes);
+// Y-axis: processing time (seconds) for one remote procedure call that
+// searches a complete binary tree of 32 767 nodes depth-first, with the
+// fully-eager, fully-lazy, and proposed methods. Closure size 8 192 bytes,
+// read-only (the tree is not sent back).
+//
+// Expected shape (paper): eager nearly constant (the whole 524 272-byte
+// tree ships once); lazy worst nearly everywhere, dominated by callbacks;
+// proposed best for ratios up to roughly 0.6, losing to eager beyond that
+// as the transfer count grows.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <map>
+
+#include "harness.hpp"
+
+namespace {
+
+using srpc::bench::Measurement;
+using srpc::bench::TreeExperiment;
+
+constexpr std::uint32_t kNodes = 32767;
+constexpr std::uint64_t kClosureBytes = 8192;
+
+TreeExperiment& experiment() {
+  static TreeExperiment e(kNodes, kClosureBytes);
+  return e;
+}
+
+// ratio -> {eager, lazy, proposed} seconds
+std::map<int, std::array<double, 3>>& rows() {
+  static std::map<int, std::array<double, 3>> r;
+  return r;
+}
+
+std::uint64_t limit_for(int tenth) { return kNodes * static_cast<std::uint64_t>(tenth) / 10; }
+
+void BM_FullyEager(benchmark::State& state) {
+  const auto tenth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Measurement m = experiment().run_eager(limit_for(tenth));
+    state.SetIterationTime(m.seconds);
+    rows()[tenth][0] = m.seconds;
+    state.counters["wire_bytes"] = static_cast<double>(m.wire_bytes);
+  }
+}
+
+void BM_FullyLazy(benchmark::State& state) {
+  const auto tenth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Measurement m = experiment().run_lazy(limit_for(tenth));
+    state.SetIterationTime(m.seconds);
+    rows()[tenth][1] = m.seconds;
+    state.counters["callbacks"] = static_cast<double>(m.callbacks);
+  }
+}
+
+void BM_Proposed(benchmark::State& state) {
+  const auto tenth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Measurement m = experiment().run_proposed(limit_for(tenth));
+    state.SetIterationTime(m.seconds);
+    rows()[tenth][2] = m.seconds;
+    state.counters["fetches"] = static_cast<double>(m.fetches);
+  }
+}
+
+BENCHMARK(BM_FullyEager)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullyLazy)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Proposed)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::vector<std::vector<double>> table;
+  for (const auto& [tenth, methods] : rows()) {
+    table.push_back(
+        {tenth / 10.0, methods[0], methods[1], methods[2]});
+  }
+  srpc::bench::print_table(
+      "Figure 4: processing time (virtual s) vs access ratio, 32767 nodes",
+      {"access_ratio", "fully_eager", "fully_lazy", "proposed"}, table);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 5 — "Comparison between the Lazy Method and the Proposed Method".
+//
+// X-axis: (number of nodes accessed in the callee)/(total number of nodes);
+// Y-axis: number of callbacks — one DEREF round trip per pointer
+// dereference for the fully-lazy method, versus the proposed method's
+// page-fault-driven FETCH round trips.
+//
+// Expected shape (paper): lazy callbacks grow linearly to the node count
+// (~32 k at ratio 1.0); the proposed method needs orders of magnitude
+// fewer transfers because each fault carries a whole page plus its 8 KB
+// closure.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <map>
+
+#include "harness.hpp"
+
+namespace {
+
+using srpc::bench::Measurement;
+using srpc::bench::TreeExperiment;
+
+constexpr std::uint32_t kNodes = 32767;
+constexpr std::uint64_t kClosureBytes = 8192;
+
+TreeExperiment& experiment() {
+  static TreeExperiment e(kNodes, kClosureBytes);
+  return e;
+}
+
+std::map<int, std::array<double, 2>>& rows() {
+  static std::map<int, std::array<double, 2>> r;
+  return r;
+}
+
+std::uint64_t limit_for(int tenth) { return kNodes * static_cast<std::uint64_t>(tenth) / 10; }
+
+void BM_LazyCallbacks(benchmark::State& state) {
+  const auto tenth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Measurement m = experiment().run_lazy(limit_for(tenth));
+    state.SetIterationTime(m.seconds);
+    rows()[tenth][0] = static_cast<double>(m.callbacks);
+    state.counters["callbacks"] = static_cast<double>(m.callbacks);
+  }
+}
+
+void BM_ProposedFetches(benchmark::State& state) {
+  const auto tenth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Measurement m = experiment().run_proposed(limit_for(tenth));
+    state.SetIterationTime(m.seconds);
+    rows()[tenth][1] = static_cast<double>(m.fetches);
+    state.counters["fetches"] = static_cast<double>(m.fetches);
+  }
+}
+
+BENCHMARK(BM_LazyCallbacks)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProposedFetches)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::vector<std::vector<double>> table;
+  for (const auto& [tenth, counts] : rows()) {
+    table.push_back({tenth / 10.0, counts[0], counts[1]});
+  }
+  srpc::bench::print_table(
+      "Figure 5: remote transfer requests vs access ratio, 32767 nodes",
+      {"access_ratio", "lazy_callbacks", "proposed_fetches"}, table);
+  benchmark::Shutdown();
+  return 0;
+}

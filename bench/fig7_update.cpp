@@ -1,0 +1,81 @@
+// Figure 7 — "Update Performance".
+//
+// The same depth-first search of the 32 767-node tree (closure 8 192 B),
+// with the solid line updating every visited node and the dotted line only
+// visiting them — identical access patterns, so the difference is pure
+// update overhead: the write fault that upgrades each clean page and the
+// modified data set travelling back with the RETURN (paper §3.4).
+//
+// Expected shape (paper): the update curve scales with the update ratio
+// and sits around twice the visited-only curve ("the update in the remote
+// procedure body requires at least two page accesses: one for reading and
+// the other for writing-back").
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <map>
+
+#include "harness.hpp"
+
+namespace {
+
+using srpc::bench::Measurement;
+using srpc::bench::TreeExperiment;
+
+constexpr std::uint32_t kNodes = 32767;
+constexpr std::uint64_t kClosureBytes = 8192;
+
+TreeExperiment& experiment() {
+  static TreeExperiment e(kNodes, kClosureBytes);
+  return e;
+}
+
+std::map<int, std::array<double, 2>>& rows() {
+  static std::map<int, std::array<double, 2>> r;
+  return r;
+}
+
+std::uint64_t limit_for(int tenth) { return kNodes * static_cast<std::uint64_t>(tenth) / 10; }
+
+void BM_Updated(benchmark::State& state) {
+  const auto tenth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Measurement m = experiment().run_proposed(limit_for(tenth), /*update=*/true);
+    state.SetIterationTime(m.seconds);
+    rows()[tenth][0] = m.seconds;
+    state.counters["fetches"] = static_cast<double>(m.fetches);
+  }
+}
+
+void BM_VisitedOnly(benchmark::State& state) {
+  const auto tenth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Measurement m = experiment().run_proposed(limit_for(tenth), /*update=*/false);
+    state.SetIterationTime(m.seconds);
+    rows()[tenth][1] = m.seconds;
+  }
+}
+
+BENCHMARK(BM_Updated)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VisitedOnly)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::vector<std::vector<double>> table;
+  for (const auto& [tenth, methods] : rows()) {
+    const double updated = methods[0];
+    const double visited = methods[1];
+    table.push_back({tenth / 10.0, updated, visited,
+                     visited > 0 ? updated / visited : 0.0});
+  }
+  srpc::bench::print_table(
+      "Figure 7: update vs visit-only processing time (virtual s), 32767 nodes",
+      {"ratio", "updated", "visited_only", "update/visit"}, table);
+  benchmark::Shutdown();
+  return 0;
+}

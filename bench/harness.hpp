@@ -1,0 +1,260 @@
+// Shared bench harness: the paper's experimental setup (§4).
+//
+// "The system was created on SunOS 4.1.1 running on Sun SPARC (28.5 MIPS)
+// workstations ... connected by a 10 Mbps Ethernet network." Our spaces run
+// in-process; the SimNetwork cost model charges a virtual clock with what
+// that hardware would have spent (see net/cost_model.hpp), and every
+// measurement below reports those virtual seconds.
+//
+// The experimental subject is §4.1's: a complete binary tree built in the
+// caller's address space, searched remotely by the callee with the three
+// methods — fully eager, fully lazy, and the proposed (smart RPC) method.
+// Each measurement runs in a fresh RPC session, so caching never leaks
+// between data points; the measured window is the remote call itself
+// (session end/write-back is protocol epilogue the paper's per-call times
+// do not include).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/eager_rpc.hpp"
+#include "baselines/lazy_rpc.hpp"
+#include "core/smart_rpc.hpp"
+#include "workload/tree.hpp"
+
+namespace srpc::bench {
+
+struct Measurement {
+  double seconds = 0;          // virtual processing time of one call
+  std::uint64_t fetches = 0;   // proposed-method fetch round trips
+  std::uint64_t callbacks = 0; // lazy-method DEREF round trips
+  std::uint64_t wire_bytes = 0;
+};
+
+// One caller/callee pair with the paper's tree built in the caller heap.
+class TreeExperiment {
+ public:
+  explicit TreeExperiment(std::uint32_t node_count,
+                          std::uint64_t closure_bytes = 8192)
+      : node_count_(node_count) {
+    WorldOptions options;
+    options.cost = CostModel::sparc_ethernet();
+    options.cache.closure_bytes = closure_bytes;
+    // 65535 nodes at ~36 B/slot plus prefetch slack: 64 Mi arena suffices.
+    options.cache.page_count = 16384;
+    world_ = std::make_unique<World>(options);
+    caller_ = &world_->create_space("caller");
+    callee_ = &world_->create_space("callee");
+
+    tree_type_ = workload::register_tree_type(*world_).value();
+
+    // Proposed method: the callee dereferences the swizzled root directly.
+    callee_
+        ->bind("visit",
+               [](CallContext&, workload::TreeNode* root,
+                  std::uint64_t limit) -> std::int64_t {
+                 return workload::visit_prefix(root, limit);
+               })
+        .check();
+    callee_
+        ->bind("update",
+               [](CallContext&, workload::TreeNode* root, std::uint64_t limit)
+                   -> std::int64_t { return workload::update_prefix(root, limit, 1); })
+        .check();
+    callee_
+        ->bind("paths",
+               [](CallContext&, workload::TreeNode* root, std::uint32_t paths,
+                  std::uint64_t seed) -> std::int64_t {
+                 return workload::walk_random_paths(root, paths, seed);
+               })
+        .check();
+    // Fig. 6's subject: within ONE call, visit the tree from the root to
+    // the leaves `times` times; upper levels are cached and reused across
+    // the repeats.
+    callee_
+        ->bind("visit_repeat",
+               [](CallContext&, workload::TreeNode* root,
+                  std::uint32_t times) -> std::int64_t {
+                 std::int64_t sum = 0;
+                 for (std::uint32_t i = 0; i < times; ++i) {
+                   sum += workload::visit_prefix(root, ~0ULL);
+                 }
+                 return sum;
+               })
+        .check();
+
+    // Fully-eager method: whole tree inline with the call (rpcgen-style).
+    eager::bind(*callee_, "eager_visit", tree_type_,
+                [](CallContext&, void* root, std::int64_t limit, std::int64_t)
+                    -> Result<std::int64_t> {
+                  return workload::visit_prefix(static_cast<workload::TreeNode*>(root),
+                                                static_cast<std::uint64_t>(limit));
+                })
+        .check();
+
+    // Fully-lazy method: one callback per pointer dereference, no cache.
+    callee_
+        ->bind("lazy_visit",
+               [](CallContext& ctx, LongPointer root,
+                  std::uint64_t limit) -> std::int64_t {
+                 lazy::LazyClient client(ctx.runtime);
+                 std::int64_t sum = 0;
+                 std::uint64_t visited = 0;
+                 // Depth-first with explicit stack, mirroring visit_prefix.
+                 std::vector<LongPointer> stack;
+                 if (!root.is_null()) stack.push_back(root);
+                 while (!stack.empty() && visited < limit) {
+                   const LongPointer node = stack.back();
+                   stack.pop_back();
+                   auto value = client.deref(node);  // the callback
+                   value.status().check();
+                   sum += value.value().view<workload::TreeNode>()->data;
+                   ++visited;
+                   const LongPointer right = value.value().pointers[1];
+                   const LongPointer left = value.value().pointers[0];
+                   if (!right.is_null()) stack.push_back(right);
+                   if (!left.is_null()) stack.push_back(left);
+                 }
+                 return sum;
+               })
+        .check();
+
+    caller_->run([&](Runtime& rt) {
+      auto root = workload::build_complete_tree(rt, node_count_);
+      root.status().check();
+      root_ = root.value();
+      return 0;
+    });
+  }
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return node_count_; }
+
+  void set_closure_bytes(std::uint64_t bytes) {
+    caller_->run([&](Runtime& rt) {
+      rt.cache().set_closure_bytes(bytes);
+      return 0;
+    });
+    callee_->run([&](Runtime& rt) {
+      rt.cache().set_closure_bytes(bytes);
+      return 0;
+    });
+  }
+
+  // One smart-RPC call visiting `limit` nodes (optionally updating them).
+  Measurement run_proposed(std::uint64_t limit, bool update = false) {
+    return measure([&](Runtime& rt) {
+      Session session(rt);
+      auto sum = session.call<std::int64_t>(callee_->id(),
+                                            update ? "update" : "visit", root_, limit);
+      sum.status().check();
+      const Measurement m = snapshot();
+      session.end().check();
+      return m;
+    });
+  }
+
+  // One smart-RPC call performing `paths` root-to-leaf walks.
+  Measurement run_paths(std::uint32_t paths, std::uint64_t seed) {
+    return measure([&](Runtime& rt) {
+      Session session(rt);
+      auto sum = session.call<std::int64_t>(callee_->id(), "paths", root_, paths, seed);
+      sum.status().check();
+      const Measurement m = snapshot();
+      session.end().check();
+      return m;
+    });
+  }
+
+  // One smart-RPC call repeating a full root-to-leaves search (Fig. 6).
+  Measurement run_repeated_search(std::uint32_t times) {
+    return measure([&](Runtime& rt) {
+      Session session(rt);
+      auto sum =
+          session.call<std::int64_t>(callee_->id(), "visit_repeat", root_, times);
+      sum.status().check();
+      const Measurement m = snapshot();
+      session.end().check();
+      return m;
+    });
+  }
+
+  Measurement run_eager(std::uint64_t limit) {
+    return measure([&](Runtime& rt) {
+      Session session(rt);
+      auto sum = eager::call(rt, callee_->id(), "eager_visit", tree_type_, root_,
+                             static_cast<std::int64_t>(limit), 0);
+      sum.status().check();
+      const Measurement m = snapshot();
+      session.end().check();
+      return m;
+    });
+  }
+
+  Measurement run_lazy(std::uint64_t limit) {
+    return measure([&](Runtime& rt) {
+      Session session(rt);
+      auto type = rt.host_types().find<workload::TreeNode>();
+      type.status().check();
+      auto root = lazy::export_pointer(rt, root_, type.value());
+      root.status().check();
+      auto sum =
+          session.call<std::int64_t>(callee_->id(), "lazy_visit", root.value(), limit);
+      sum.status().check();
+      const Measurement m = snapshot();
+      session.end().check();
+      return m;
+    });
+  }
+
+  [[nodiscard]] World& world() noexcept { return *world_; }
+
+ private:
+  template <typename F>
+  Measurement measure(F body) {
+    return caller_->run([&](Runtime& rt) -> Measurement {
+      world_->reset_metering();
+      callee_->run([](Runtime& callee_rt) {
+        callee_rt.cache().reset_stats();
+        return 0;
+      });
+      return body(rt);
+    });
+  }
+
+  // Reads the meters inside the measured window (before session end).
+  Measurement snapshot() {
+    Measurement m;
+    m.seconds = world_->virtual_seconds();
+    const NetworkStats net = world_->net_stats();
+    m.wire_bytes = net.wire_bytes;
+    m.fetches = net.count(MessageType::kFetch);
+    m.callbacks = net.count(MessageType::kDeref);
+    return m;
+  }
+
+  std::uint32_t node_count_;
+  std::unique_ptr<World> world_;
+  AddressSpace* caller_ = nullptr;
+  AddressSpace* callee_ = nullptr;
+  workload::TreeNode* root_ = nullptr;
+  TypeId tree_type_ = kInvalidTypeId;
+};
+
+// Paper-style table printer ("X-axis: ...; Y-axis: ...").
+inline void print_table(const std::string& title,
+                        const std::vector<std::string>& columns,
+                        const std::vector<std::vector<double>>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (const auto& row : rows) {
+    for (const double v : row) std::printf("%14.3f", v);
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace srpc::bench

@@ -1,0 +1,131 @@
+// Micro-bench: XDR encode/decode throughput — the heterogeneity-conversion
+// cost the paper's measurements include on every transfer (and which the
+// cost model prices per byte on the simulated 28.5 MIPS CPU; this bench
+// reports what it costs on the real host).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "types/type_registry.hpp"
+#include "types/value_codec.hpp"
+#include "workload/tree.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace {
+
+using namespace srpc;
+
+void BM_EncodeU32(benchmark::State& state) {
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  for (auto _ : state) {
+    if (buf.size() > (1 << 20)) buf.clear();
+    enc.put_u32(0xDEADBEEF);
+  }
+  state.SetBytesProcessed(state.iterations() * 4);
+}
+
+void BM_DecodeU32(benchmark::State& state) {
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  for (int i = 0; i < 1 << 16; ++i) enc.put_u32(static_cast<std::uint32_t>(i));
+  xdr::Decoder dec(buf);
+  for (auto _ : state) {
+    if (buf.remaining() < 4) buf.reset_cursor();
+    benchmark::DoNotOptimize(dec.get_u32());
+  }
+  state.SetBytesProcessed(state.iterations() * 4);
+}
+
+void BM_EncodeString(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  for (auto _ : state) {
+    if (buf.size() > (1 << 22)) buf.clear();
+    enc.put_string(payload);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+// Struct-level codec: one tree node (the paper's transfer unit) through
+// canonical form and back.
+void BM_NodeCodecRoundTrip(benchmark::State& state) {
+  TypeRegistry registry;
+  LayoutEngine layouts(registry);
+  ValueCodec codec{registry, layouts};
+  auto node = registry.declare_struct("N");
+  node.status().check();
+  const TypeId ptr = registry.pointer_to(node.value());
+  registry
+      .define_struct(node.value(),
+                     {{"left", ptr},
+                      {"right", ptr},
+                      {"data", TypeRegistry::scalar_id(ScalarType::kI64)}})
+      .check();
+
+  struct N {
+    N* left;
+    N* right;
+    std::int64_t data;
+  };
+  N in{nullptr, nullptr, 12345};
+  N out{};
+  NullOnlyFieldCodec null_pointers;  // pointers are null: pure scalar cost
+  ByteBuffer wire;
+  for (auto _ : state) {
+    wire.clear();
+    xdr::Encoder enc(wire);
+    codec.encode(host_arch(), node.value(), &in, enc, null_pointers).check();
+    xdr::Decoder dec(wire);
+    codec.decode(host_arch(), node.value(), &out, dec, null_pointers).check();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Cross-architecture decode: canonical -> big-endian 32-bit image.
+void BM_NodeDecodeToSparc32(benchmark::State& state) {
+  TypeRegistry registry;
+  LayoutEngine layouts(registry);
+  ValueCodec codec{registry, layouts};
+  auto node = registry.declare_struct("N");
+  node.status().check();
+  registry
+      .define_struct(node.value(),
+                     {{"a", TypeRegistry::scalar_id(ScalarType::kI64)},
+                      {"b", TypeRegistry::scalar_id(ScalarType::kI32)},
+                      {"c", TypeRegistry::scalar_id(ScalarType::kF64)}})
+      .check();
+  struct N {
+    std::int64_t a;
+    std::int32_t b;
+    double c;
+  };
+  N in{1, 2, 3.0};
+  NullOnlyFieldCodec null_pointers;
+  ByteBuffer wire;
+  {
+    xdr::Encoder enc(wire);
+    codec.encode(host_arch(), node.value(), &in, enc, null_pointers).check();
+  }
+  std::vector<std::uint8_t> image(layouts.size_of(sparc32_arch(), node.value()));
+  for (auto _ : state) {
+    wire.reset_cursor();
+    xdr::Decoder dec(wire);
+    codec.decode(sparc32_arch(), node.value(), image.data(), dec, null_pointers)
+        .check();
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_EncodeU32);
+BENCHMARK(BM_DecodeU32);
+BENCHMARK(BM_EncodeString)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_NodeCodecRoundTrip);
+BENCHMARK(BM_NodeDecodeToSparc32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Heterogeneity (paper §5.2): a big-endian 32-bit "SPARCstation" space and
+// the little-endian 64-bit host share a linked list. Only the LOGICAL type
+// crosses the boundary — each side stores its own layout (4-byte vs 8-byte
+// pointers, opposite byte orders) and the canonical XDR form reconciles
+// them on every transfer. This is precisely what the paper contrasts with
+// heterogeneous DSM systems, which force one physical layout on everyone.
+//
+// Build & run:  ./build/examples/heterogeneous
+#include <cstdio>
+
+#include "core/smart_rpc.hpp"
+#include "types/value_view.hpp"
+#include "workload/list.hpp"
+
+using namespace srpc;
+using workload::ListNode;
+
+int main() {
+  World world;
+  auto& host = world.create_space("host-le64", host_arch());
+  auto& sparc = world.create_space("sparc-be32", sparc32_arch());
+  workload::register_list_type(world).status().check();
+  const TypeId node_type = world.registry().find_by_name("ListNode").value();
+
+  std::printf("ListNode is %llu bytes on %s, %llu bytes on %s — same logical type\n",
+              static_cast<unsigned long long>(
+                  world.layouts().size_of(sparc32_arch(), node_type)),
+              sparc.name().c_str(),
+              static_cast<unsigned long long>(
+                  world.layouts().size_of(host_arch(), node_type)),
+              host.name().c_str());
+
+  // Build a list in the SPARC space's heap. Its images are big-endian with
+  // 4-byte pointers, so we write them through the type descriptor.
+  const std::uint64_t head_addr = sparc.run([&](Runtime& rt) -> std::uint64_t {
+    std::uint64_t addrs[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      auto mem = rt.heap().allocate(node_type);
+      mem.status().check();
+      addrs[i] = reinterpret_cast<std::uint64_t>(mem.value());
+    }
+    for (int i = 0; i < 4; ++i) {
+      ValueView node(rt.registry(), rt.layouts(), rt.arch(), node_type,
+                     reinterpret_cast<void*>(addrs[i]));
+      node.field("value").value().set_int((i + 1) * 1000).check();
+      node.field("next").value().set_pointer(i < 3 ? addrs[i + 1] : 0).check();
+    }
+    std::printf("[sparc] built 4 nodes at low addresses (fit 4-byte pointers), "
+                "head=0x%llx\n",
+                static_cast<unsigned long long>(addrs[0]));
+    return addrs[0];
+  });
+
+  sparc
+      .bind("give_head",
+            [head_addr](CallContext&, std::int32_t) -> ListNode* {
+              return reinterpret_cast<ListNode*>(head_addr);
+            })
+      .check();
+
+  host.run([&](Runtime& rt) {
+    Session session(rt);
+    auto head = session.call<ListNode*>(sparc.id(), "give_head", 0);
+    head.status().check();
+
+    // Plain 64-bit little-endian traversal of big-endian 32-bit data:
+    std::printf("[host]  traversing the remote list:");
+    for (const ListNode* n = head.value(); n != nullptr; n = n->next) {
+      std::printf(" %lld", static_cast<long long>(n->value));
+    }
+    std::printf("\n[host]  negating every element (writes convert back on "
+                "write-back)\n");
+    workload::scale_list(head.value(), -1);
+    session.end().check();
+  });
+
+  sparc.run([&](Runtime& rt) {
+    std::printf("[sparc] home values after the session:");
+    std::uint64_t cursor = head_addr;
+    while (cursor != 0) {
+      ValueView node(rt.registry(), rt.layouts(), rt.arch(), node_type,
+                     reinterpret_cast<void*>(cursor));
+      std::printf(" %lld",
+                  static_cast<long long>(node.field("value").value().get_int().value()));
+      cursor = node.field("next").value().get_pointer().value();
+    }
+    std::printf("\n");
+  });
+
+  std::printf("heterogeneous OK\n");
+  return 0;
+}

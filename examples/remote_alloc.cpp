@@ -1,0 +1,110 @@
+// Remote memory management (paper §3.5): build a binary search tree INSIDE
+// another address space with extended_malloc, without writing a single
+// server-side construction procedure.
+//
+// Every node is allocated in the server's heap but initialised locally
+// through a born-resident cache page; the home-side allocations are batched
+// and flushed when control next transfers, and the initial values travel
+// with the ordinary modified data set.
+//
+// Build & run:  ./build/examples/remote_alloc
+#include <cstdio>
+
+#include "core/smart_rpc.hpp"
+#include "workload/tree.hpp"
+
+using namespace srpc;
+using workload::TreeNode;
+
+namespace {
+
+// Ordinary BST insert — it has no idea the nodes are remote.
+TreeNode* insert(Session& session, SpaceId home, TreeNode* root, std::int64_t value) {
+  if (root == nullptr) {
+    auto node = session.extended_malloc<TreeNode>(home);
+    node.status().check();
+    node.value()->data = value;
+    return node.value();
+  }
+  if (value < root->data) {
+    root->left = insert(session, home, root->left, value);
+  } else {
+    root->right = insert(session, home, root->right, value);
+  }
+  return root;
+}
+
+std::int64_t local_inorder_min(const TreeNode* root) {
+  while (root->left != nullptr) root = root->left;
+  return root->data;
+}
+
+}  // namespace
+
+int main() {
+  World world;
+  auto& client = world.create_space("client");
+  auto& server = world.create_space("server");
+  workload::register_tree_type(world).status().check();
+
+  // The server knows nothing about construction; it only searches.
+  server
+      .bind("contains",
+            [](CallContext&, TreeNode* root, std::int64_t needle) -> bool {
+              while (root != nullptr) {
+                if (root->data == needle) return true;
+                root = needle < root->data ? root->left : root->right;
+              }
+              return false;
+            })
+      .check();
+  server
+      .bind("min",
+            [](CallContext&, TreeNode* root) -> std::int64_t {
+              return local_inorder_min(root);
+            })
+      .check();
+
+  client.run([&](Runtime& rt) {
+    Session session(rt);
+
+    // Build a BST whose every node lives in the SERVER's heap.
+    const std::int64_t values[] = {50, 30, 70, 20, 40, 60, 80, 10, 90};
+    TreeNode* root = nullptr;
+    for (const std::int64_t v : values) {
+      root = insert(session, server.id(), root, v);
+    }
+    std::printf("built a 9-node BST in the server's address space\n");
+
+    // Ask the server to search its own tree: the root pointer we pass is
+    // (from the server's view) plain home data.
+    for (const std::int64_t needle : {40, 55, 90}) {
+      auto found = session.call<bool>(server.id(), "contains", root, needle);
+      found.status().check();
+      std::printf("server: contains(%lld) -> %s\n", static_cast<long long>(needle),
+                  found.value() ? "yes" : "no");
+    }
+    auto min = session.call<std::int64_t>(server.id(), "min", root);
+    min.status().check();
+    std::printf("server: min = %lld\n", static_cast<long long>(min.value()));
+
+    // Prune: give the smallest subtree back with extended_free.
+    TreeNode* doomed = root->left->left->left;  // node 10
+    root->left->left->left = nullptr;
+    session.extended_free(doomed).check();
+    auto still_there =
+        session.call<bool>(server.id(), "contains", root, std::int64_t{10});
+    still_there.status().check();
+    std::printf("after extended_free(10): contains(10) -> %s\n",
+                still_there.value() ? "yes" : "no");
+
+    session.end().check();
+    return 0;
+  });
+
+  // After the session, the structure persists in the server's heap.
+  const auto live = server.run([](Runtime& rt) { return rt.heap().live_allocations(); });
+  std::printf("server heap now owns %zu nodes (8 after the free)\n", live);
+  std::printf("remote_alloc OK\n");
+  return 0;
+}

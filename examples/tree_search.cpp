@@ -1,0 +1,119 @@
+// The paper's motivating workload (§4.1): a large binary tree lives on the
+// caller; the callee searches part of it. Compares the three methods the
+// paper evaluates — fully eager (ship the whole tree), fully lazy (one
+// callback per dereference), and smart RPC (swizzled pointers + MMU-driven
+// caching + bounded eager closure) — and prints their simulated
+// SPARC/Ethernet costs side by side.
+//
+// Build & run:  ./build/examples/tree_search
+#include <cstdio>
+
+#include "baselines/eager_rpc.hpp"
+#include "baselines/lazy_rpc.hpp"
+#include "core/smart_rpc.hpp"
+#include "workload/tree.hpp"
+
+using namespace srpc;
+using workload::TreeNode;
+
+int main() {
+  World world;  // default cost model: the paper's SPARC + 10 Mbps Ethernet
+  auto& caller = world.create_space("caller");
+  auto& callee = world.create_space("callee");
+  workload::register_tree_type(world).status().check();
+  const TypeId tree_type = world.registry().find_by_name("TreeNode").value();
+
+  constexpr std::uint32_t kNodes = 8191;
+  constexpr std::uint64_t kVisit = kNodes / 4;  // access ratio 0.25
+
+  // --- the three server-side flavours --------------------------------------
+  callee
+      .bind("smart_visit",
+            [](CallContext&, TreeNode* root, std::uint64_t limit) -> std::int64_t {
+              return workload::visit_prefix(root, limit);  // just dereference
+            })
+      .check();
+
+  eager::bind(*&callee, "eager_visit", tree_type,
+              [](CallContext&, void* root, std::int64_t limit, std::int64_t)
+                  -> Result<std::int64_t> {
+                return workload::visit_prefix(static_cast<TreeNode*>(root),
+                                              static_cast<std::uint64_t>(limit));
+              })
+      .check();
+
+  callee
+      .bind("lazy_visit",
+            [](CallContext& ctx, LongPointer root, std::uint64_t limit) -> std::int64_t {
+              lazy::LazyClient client(ctx.runtime);
+              std::int64_t sum = 0;
+              std::uint64_t visited = 0;
+              std::vector<LongPointer> stack;
+              if (!root.is_null()) stack.push_back(root);
+              while (!stack.empty() && visited < limit) {
+                const LongPointer node = stack.back();
+                stack.pop_back();
+                auto value = client.deref(node);  // explicit callback
+                value.status().check();
+                sum += value.value().view<TreeNode>()->data;
+                ++visited;
+                if (!value.value().pointers[1].is_null())
+                  stack.push_back(value.value().pointers[1]);
+                if (!value.value().pointers[0].is_null())
+                  stack.push_back(value.value().pointers[0]);
+              }
+              return sum;
+            })
+      .check();
+
+  caller.run([&](Runtime& rt) {
+    auto root = workload::build_complete_tree(rt, kNodes);
+    root.status().check();
+    const std::int64_t expected = workload::visit_prefix(root.value(), kVisit);
+    std::printf("tree: %u nodes, visiting %llu (ratio 0.25); expected sum %lld\n\n",
+                kNodes, static_cast<unsigned long long>(kVisit),
+                static_cast<long long>(expected));
+
+    auto report = [&](const char* name, std::int64_t sum) {
+      const auto stats = world.net_stats();
+      std::printf("%-12s sum=%-10lld virtual=%7.3fs  messages=%-5llu wire=%llu bytes\n",
+                  name, static_cast<long long>(sum), world.virtual_seconds(),
+                  static_cast<unsigned long long>(stats.messages),
+                  static_cast<unsigned long long>(stats.wire_bytes));
+    };
+
+    {
+      world.reset_metering();
+      Session session(rt);
+      auto sum = eager::call(rt, callee.id(), "eager_visit", tree_type, root.value(),
+                             static_cast<std::int64_t>(kVisit), 0);
+      sum.status().check();
+      report("fully eager", sum.value());
+      session.end().check();
+    }
+    {
+      world.reset_metering();
+      Session session(rt);
+      auto lp = lazy::export_pointer(rt, root.value(), tree_type);
+      lp.status().check();
+      auto sum = session.call<std::int64_t>(callee.id(), "lazy_visit", lp.value(),
+                                            kVisit);
+      sum.status().check();
+      report("fully lazy", sum.value());
+      session.end().check();
+    }
+    {
+      world.reset_metering();
+      Session session(rt);
+      auto sum = session.call<std::int64_t>(callee.id(), "smart_visit", root.value(),
+                                            kVisit);
+      sum.status().check();
+      report("smart RPC", sum.value());
+      session.end().check();
+    }
+    return 0;
+  });
+
+  std::printf("\ntree_search OK\n");
+  return 0;
+}

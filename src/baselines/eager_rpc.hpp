@@ -1,0 +1,53 @@
+// Fully-eager baseline (paper §2, "eager method").
+//
+// "One straightforward way to pass a pointer to a remote procedure is to
+// take the closure of the pointer on the caller side and pass it to the
+// remote procedure as an input RPC argument. ... Sun Microsystems' rpcgen
+// system passes recursive data structures such as lists or trees in this
+// way."
+//
+// The inline encoding is rpcgen's: every pointer field becomes a 4-byte
+// presence flag followed (recursively) by the pointee's value, so a
+// 16-byte tree node costs exactly 16 wire bytes and the paper's 32 767-node
+// tree ships as 524 272 bytes. The callee materialises a private local copy
+// in its managed heap; nothing is shared, nothing is written back — the
+// eager method's semantics, with its strengths and weaknesses, exactly.
+//
+// Like rpcgen, the encoding cannot represent cycles (it fails cleanly
+// rather than recursing forever) and sharing is lost: a DAG duplicates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/address_space.hpp"
+#include "core/runtime.hpp"
+
+namespace srpc::eager {
+
+// Encodes `src` (of `type`, laid out per rt's arch) and its entire pointer
+// closure inline.
+Status encode_inline(Runtime& rt, TypeId type, const void* src, xdr::Encoder& enc);
+
+// Decodes an inline closure, allocating every datum in rt's managed heap.
+// Returns the root copy (nullptr for a null root). The caller owns the
+// copies (they are ordinary heap data).
+Result<void*> decode_inline(Runtime& rt, TypeId type, xdr::Decoder& dec);
+
+// An eager procedure: receives the local copy of the root plus two scalar
+// knobs (enough for every workload in the paper's evaluation).
+using Handler =
+    std::function<Result<std::int64_t>(CallContext&, void* root, std::int64_t a,
+                                       std::int64_t b)>;
+
+// Binds an eager procedure on `space` for roots of `root_type`.
+Status bind(AddressSpace& space, const std::string& name, TypeId root_type,
+            Handler handler);
+
+// Calls an eager procedure: marshals root's whole closure with the call.
+Result<std::int64_t> call(Runtime& rt, SpaceId target, const std::string& name,
+                          TypeId root_type, const void* root, std::int64_t a,
+                          std::int64_t b);
+
+}  // namespace srpc::eager

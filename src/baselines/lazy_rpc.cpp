@@ -1,0 +1,64 @@
+#include "baselines/lazy_rpc.hpp"
+
+namespace srpc::lazy {
+
+namespace {
+
+// Decodes long-pointer fields by recording them and storing null locally.
+class RecordingPointerCodec final : public PointerFieldCodec {
+ public:
+  explicit RecordingPointerCodec(std::vector<LongPointer>& out) : out_(out) {}
+
+  Status encode(xdr::Encoder&, std::uint64_t, TypeId) override {
+    return internal_error("RecordingPointerCodec used for encoding");
+  }
+
+  Result<std::uint64_t> decode(xdr::Decoder& dec, TypeId pointee) override {
+    auto lp = decode_long_pointer(dec);
+    if (!lp) return lp.status();
+    if (lp.value().type == kInvalidTypeId && !lp.value().is_null()) {
+      LongPointer fixed = lp.value();
+      fixed.type = pointee;
+      out_.push_back(fixed);
+    } else {
+      out_.push_back(lp.value());
+    }
+    return std::uint64_t{0};
+  }
+
+ private:
+  std::vector<LongPointer>& out_;
+};
+
+}  // namespace
+
+Result<LazyValue> LazyClient::deref(const LongPointer& pointer) {
+  if (pointer.is_null()) {
+    return invalid_argument("lazy deref of null pointer");
+  }
+  if (pointer.type == kInvalidTypeId) {
+    return invalid_argument("lazy deref needs a typed long pointer");
+  }
+  ++callbacks_;
+  auto reply = rt_.deref_remote(pointer);
+  if (!reply) return reply.status();
+
+  LazyValue value;
+  value.id = pointer;
+  auto layout = rt_.layouts().layout_of(rt_.arch(), pointer.type);
+  if (!layout) return layout.status();
+  value.image.assign(layout.value()->size, 0);
+
+  xdr::Decoder dec(reply.value());
+  RecordingPointerCodec pointer_codec(value.pointers);
+  SRPC_RETURN_IF_ERROR(rt_.codec().decode(rt_.arch(), pointer.type,
+                                          value.image.data(), dec, pointer_codec));
+  return value;
+}
+
+Result<LongPointer> export_pointer(Runtime& rt, const void* p, TypeId type) {
+  if (p == nullptr) return LongPointer::null();
+  return rt.unswizzle(reinterpret_cast<std::uint64_t>(p), type);
+}
+
+}  // namespace srpc::lazy

@@ -1,0 +1,57 @@
+// Fully-lazy baseline (paper §2, "lazy method" / callbacks).
+//
+// "Whenever a remote pointer must be dereferenced during the execution of a
+// callee program, the callee calls back the caller with a request to pass
+// the contents of the pointer. ... a naive implementation of this approach
+// might perform callbacks whenever a pointer is dereferenced, even if the
+// pointer has already been dereferenced."
+//
+// This is the programmer-driven style the paper measures: the procedure
+// receives a raw long pointer (no swizzling, no MMU) and every dereference
+// is an explicit deref() round trip returning one object. Deliberately no
+// caching — Figure 5's callback counts depend on it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "swizzle/long_pointer.hpp"
+
+namespace srpc::lazy {
+
+// One dereferenced object: its local-layout value with pointer fields
+// zeroed, plus the long pointers those fields held (in field order).
+struct LazyValue {
+  LongPointer id;
+  std::vector<std::uint8_t> image;
+  std::vector<LongPointer> pointers;
+
+  // Typed view of the image (host-arch spaces only).
+  template <typename T>
+  [[nodiscard]] const T* view() const {
+    return reinterpret_cast<const T*>(image.data());
+  }
+};
+
+class LazyClient {
+ public:
+  explicit LazyClient(Runtime& rt) : rt_(rt) {}
+
+  // One callback: fetches the current value of `pointer` from its home.
+  // No cache — calling twice costs two round trips, as in the paper.
+  Result<LazyValue> deref(const LongPointer& pointer);
+
+  [[nodiscard]] std::uint64_t callbacks() const noexcept { return callbacks_; }
+
+ private:
+  Runtime& rt_;
+  std::uint64_t callbacks_ = 0;
+};
+
+// Caller-side helper: the long pointer for a local datum, to hand to a
+// lazy procedure as an opaque capability.
+Result<LongPointer> export_pointer(Runtime& rt, const void* p, TypeId type);
+
+}  // namespace srpc::lazy

@@ -1,0 +1,51 @@
+#include "common/byte_buffer.hpp"
+
+#include <cstring>
+
+namespace srpc {
+
+void ByteBuffer::append(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + len);
+}
+
+std::size_t ByteBuffer::append_zeros(std::size_t len) {
+  const std::size_t offset = bytes_.size();
+  bytes_.resize(bytes_.size() + len, 0);
+  return offset;
+}
+
+Status ByteBuffer::read(void* out, std::size_t len) {
+  if (remaining() < len) {
+    return out_of_range("ByteBuffer::read past end (" + std::to_string(len) +
+                        " wanted, " + std::to_string(remaining()) + " left)");
+  }
+  std::memcpy(out, bytes_.data() + cursor_, len);
+  cursor_ += len;
+  return Status::ok();
+}
+
+Result<std::span<const std::uint8_t>> ByteBuffer::read_view(std::size_t len) {
+  if (remaining() < len) {
+    return out_of_range("ByteBuffer::read_view past end");
+  }
+  std::span<const std::uint8_t> view(bytes_.data() + cursor_, len);
+  cursor_ += len;
+  return view;
+}
+
+void ByteBuffer::set_cursor(std::size_t pos) {
+  if (pos > bytes_.size()) {
+    throw std::logic_error("ByteBuffer::set_cursor out of range");
+  }
+  cursor_ = pos;
+}
+
+void ByteBuffer::overwrite(std::size_t offset, const void* data, std::size_t len) {
+  if (offset + len > bytes_.size()) {
+    throw std::logic_error("ByteBuffer::overwrite out of range");
+  }
+  std::memcpy(bytes_.data() + offset, data, len);
+}
+
+}  // namespace srpc

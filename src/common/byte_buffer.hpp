@@ -1,0 +1,62 @@
+// Growable byte buffer with a separate read cursor. The single container
+// used for wire payloads: XDR encoders append to it, decoders consume it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace srpc {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  void append(const void* data, std::size_t len);
+  void append(std::span<const std::uint8_t> data) { append(data.data(), data.size()); }
+  void append_byte(std::uint8_t b) { bytes_.push_back(b); }
+
+  // Appends `len` zero bytes and returns the offset where they start.
+  std::size_t append_zeros(std::size_t len);
+
+  // Reads `len` bytes at the cursor into `out`, advancing the cursor.
+  Status read(void* out, std::size_t len);
+
+  // Returns a view of `len` bytes at the cursor and advances it.
+  Result<std::span<const std::uint8_t>> read_view(std::size_t len);
+
+  void reset_cursor() noexcept { cursor_ = 0; }
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+  void set_cursor(std::size_t pos);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - cursor_; }
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ >= bytes_.size(); }
+
+  [[nodiscard]] std::uint8_t* data() noexcept { return bytes_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return bytes_.data(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
+    return {bytes_.data(), bytes_.size()};
+  }
+
+  // Overwrites bytes at an absolute offset (used for back-patching lengths).
+  void overwrite(std::size_t offset, const void* data, std::size_t len);
+
+  void clear() noexcept {
+    bytes_.clear();
+    cursor_ = 0;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t>& bytes() noexcept { return bytes_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace srpc

@@ -1,0 +1,18 @@
+// Identifier vocabulary shared across layers.
+#pragma once
+
+#include <cstdint>
+
+namespace srpc {
+
+// Identifies an address space in the distributed environment. The paper's
+// long pointer carries "a pair consisting of a site ID and a process ID";
+// in this reproduction a World assigns dense ids at space creation.
+using SpaceId = std::uint32_t;
+inline constexpr SpaceId kInvalidSpaceId = 0xFFFFFFFFU;
+
+// Identifies an RPC session; allocated by the ground thread's space.
+using SessionId = std::uint64_t;
+inline constexpr SessionId kNoSession = 0;
+
+}  // namespace srpc

@@ -1,0 +1,70 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace srpc {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_log_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void init_log_level_from_env() noexcept {
+  const char* env = std::getenv("SRPC_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) {
+    set_log_level(LogLevel::kDebug);
+  } else if (std::strcmp(env, "info") == 0) {
+    set_log_level(LogLevel::kInfo);
+  } else if (std::strcmp(env, "warn") == 0) {
+    set_log_level(LogLevel::kWarn);
+  } else if (std::strcmp(env, "error") == 0) {
+    set_log_level(LogLevel::kError);
+  } else if (std::strcmp(env, "off") == 0) {
+    set_log_level(LogLevel::kOff);
+  }
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view file, int line, std::string_view msg) {
+  // Strip directories from the file path for readability.
+  const auto pos = file.find_last_of('/');
+  if (pos != std::string_view::npos) file.remove_prefix(pos + 1);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[srpc %s %.*s:%d] %.*s\n", level_tag(level),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace detail
+}  // namespace srpc

@@ -1,0 +1,54 @@
+// Tiny leveled logger. Off by default above kWarn so tests stay quiet;
+// set SRPC_LOG=debug (or call set_log_level) to trace the runtime.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace srpc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+// Reads SRPC_LOG from the environment once ("debug"/"info"/"warn"/"error"/"off").
+void init_log_level_from_env() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view file, int line, std::string_view msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define SRPC_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(::srpc::log_level())) { \
+  } else                                                      \
+    ::srpc::detail::LogMessage(level, __FILE__, __LINE__)
+
+#define SRPC_DEBUG SRPC_LOG(::srpc::LogLevel::kDebug)
+#define SRPC_INFO SRPC_LOG(::srpc::LogLevel::kInfo)
+#define SRPC_WARN SRPC_LOG(::srpc::LogLevel::kWarn)
+#define SRPC_ERROR SRPC_LOG(::srpc::LogLevel::kError)
+
+}  // namespace srpc

@@ -1,0 +1,38 @@
+// Deterministic RNG (SplitMix64). Workloads, property tests and benches all
+// seed from fixed values so every run — and every figure — is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace srpc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double next_double() noexcept {  // uniform in [0, 1)
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace srpc

@@ -1,0 +1,48 @@
+#include "common/status.hpp"
+
+namespace srpc {
+
+std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kProtocolError:
+      return "PROTOCOL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out(srpc::to_string(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void Status::check() const {
+  if (!is_ok()) {
+    throw std::runtime_error(to_string());
+  }
+}
+
+}  // namespace srpc

@@ -1,0 +1,145 @@
+// Status and Result<T>: error propagation without exceptions on hot paths.
+//
+// The runtime crosses a signal-handler boundary (see vm/fault_dispatcher.hpp)
+// where throwing is not an option, so fallible operations return Status or
+// Result<T>. Programming errors (violated preconditions) still throw
+// std::logic_error at API boundaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace srpc {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+  kResourceExhausted,
+  kProtocolError,
+};
+
+std::string_view to_string(StatusCode code) noexcept;
+
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  // Human-readable "CODE: message" form for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+  // Throws std::runtime_error if not OK. For call sites (examples, tests)
+  // where failure is unrecoverable.
+  void check() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status not_found(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status already_exists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status failed_precondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status out_of_range(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status internal_error(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status resource_exhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status protocol_error(std::string msg) {
+  return Status(StatusCode::kProtocolError, std::move(msg));
+}
+
+// Minimal expected<T, Status>. Value-or-error; accessing the wrong arm
+// throws std::logic_error (programming error).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.is_ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void require_value() const {
+    if (!value_.has_value()) {
+      throw std::logic_error("Result::value() on error: " + status_.to_string());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagate-on-error helper for functions returning Status.
+#define SRPC_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::srpc::Status srpc_status_ = (expr);         \
+    if (!srpc_status_.is_ok()) return srpc_status_; \
+  } while (false)
+
+}  // namespace srpc

@@ -1,0 +1,41 @@
+// Virtual time for the simulated network substrate.
+//
+// The paper measured wall-clock seconds on SPARC + 10 Mbps Ethernet. We run
+// every address space in one process, so the cost model (net/cost_model.hpp)
+// charges simulated nanoseconds to a VirtualClock instead. Because an RPC
+// session has exactly one active thread, charges are totally ordered and the
+// clock is deterministic; benches report these virtual seconds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace srpc {
+
+class VirtualClock {
+ public:
+  using Nanos = std::uint64_t;
+
+  [[nodiscard]] Nanos now() const noexcept { return now_.load(std::memory_order_relaxed); }
+
+  void advance(Nanos delta) noexcept { now_.fetch_add(delta, std::memory_order_relaxed); }
+
+  // Moves the clock forward to `t` if it is behind (message arrival time).
+  void advance_to(Nanos t) noexcept {
+    Nanos cur = now_.load(std::memory_order_relaxed);
+    while (cur < t &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() noexcept { now_.store(0, std::memory_order_relaxed); }
+
+  [[nodiscard]] static double to_seconds(Nanos t) noexcept {
+    return static_cast<double>(t) * 1e-9;
+  }
+
+ private:
+  std::atomic<Nanos> now_{0};
+};
+
+}  // namespace srpc

@@ -1,0 +1,22 @@
+#include "core/address_space.hpp"
+
+namespace srpc {
+
+Status AddressSpace::start() {
+  if (started_) {
+    return failed_precondition("address space already started");
+  }
+  SRPC_RETURN_IF_ERROR(runtime_->init());
+  worker_ = std::thread([this] { runtime_->serve_forever(); });
+  started_ = true;
+  return Status::ok();
+}
+
+void AddressSpace::shutdown() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  runtime_->mailbox().close();
+  if (worker_.joinable()) worker_.join();
+}
+
+}  // namespace srpc

@@ -1,0 +1,80 @@
+// AddressSpace — one simulated machine/process in the distributed system.
+//
+// Owns a Runtime plus the worker thread that executes everything the space
+// does: ground-thread user code (posted via run()), served calls, fetches,
+// write-backs. The single-worker design realises the paper's execution
+// model directly — one active thread, re-entrant service while blocked.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <type_traits>
+
+#include "core/marshal.hpp"
+#include "core/runtime.hpp"
+
+namespace srpc {
+
+class AddressSpace {
+ public:
+  AddressSpace(SpaceId id, std::string name, const ArchModel& arch,
+               TypeRegistry& registry, const LayoutEngine& layouts,
+               HostTypeMap& host_types, Transport& transport, SimNetwork* sim,
+               CacheOptions cache_options,
+               std::function<std::vector<SpaceId>()> directory)
+      : runtime_(std::make_unique<Runtime>(id, std::move(name), arch, registry,
+                                           layouts, host_types, transport, sim,
+                                           cache_options, std::move(directory))) {}
+
+  ~AddressSpace() { shutdown(); }
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // Initialises the runtime (cache arena, fault registration) and spawns
+  // the worker thread.
+  Status start();
+
+  // Closes the mailbox and joins the worker. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] SpaceId id() const noexcept { return runtime_->id(); }
+  [[nodiscard]] const std::string& name() const noexcept { return runtime_->name(); }
+  [[nodiscard]] Runtime& runtime() noexcept { return *runtime_; }
+  [[nodiscard]] Mailbox& mailbox() noexcept { return runtime_->mailbox(); }
+
+  // Executes `fn(Runtime&)` on the space's worker thread and returns its
+  // result (rethrows its exceptions). Called from the worker itself it runs
+  // inline, so nested run() cannot deadlock.
+  template <typename F>
+  auto run(F fn) -> std::invoke_result_t<F&, Runtime&> {
+    using R = std::invoke_result_t<F&, Runtime&>;
+    if (std::this_thread::get_id() == worker_.get_id()) {
+      return fn(*runtime_);
+    }
+    std::packaged_task<R()> task([this, &fn]() -> R { return fn(*runtime_); });
+    auto future = task.get_future();
+    runtime_->mailbox().push_task([&task] { task(); }).check();
+    return future.get();
+  }
+
+  // Binds a typed procedure: any callable of shape R(CallContext&, Args...).
+  // Safe whether or not the worker is running (it round-trips through the
+  // worker when it is).
+  template <typename F>
+  Status bind(const std::string& name, F fn) {
+    if (!started_) {
+      return bind_procedure(*runtime_, name, std::move(fn));
+    }
+    return run([&](Runtime& rt) { return bind_procedure(rt, name, std::move(fn)); });
+  }
+
+ private:
+  std::unique_ptr<Runtime> runtime_;
+  std::thread worker_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace srpc

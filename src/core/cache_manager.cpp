@@ -1,0 +1,518 @@
+#include "core/cache_manager.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+
+namespace srpc {
+
+namespace {
+std::uint64_t align_up(std::uint64_t v, std::uint32_t align) noexcept {
+  return (v + align - 1) / align * align;
+}
+}  // namespace
+
+CacheManager::CacheManager(const TypeRegistry& registry, const LayoutEngine& layouts,
+                           const ArchModel& arch, SpaceId self, CacheOptions options,
+                           PageFetcher& fetcher)
+    : registry_(registry),
+      layouts_(layouts),
+      codec_{registry, layouts},
+      arch_(arch),
+      self_(self),
+      options_(options),
+      fetcher_(fetcher),
+      pages_(options.page_count) {}
+
+CacheManager::~CacheManager() {
+  if (registered_) {
+    (void)FaultDispatcher::instance().unregister_range(arena_.base());
+  }
+}
+
+Status CacheManager::init() {
+  auto arena = PageArena::create(options_.page_count, options_.page_size);
+  if (!arena) return arena.status();
+  arena_ = std::move(arena.value());
+  SRPC_RETURN_IF_ERROR(
+      FaultDispatcher::instance().register_range(arena_.base(), arena_.byte_size(), this));
+  registered_ = true;
+  return Status::ok();
+}
+
+Result<PageIndex> CacheManager::grab_pages(std::uint32_t n) {
+  if (next_fresh_page_ + n > arena_.page_count()) {
+    return resource_exhausted("cache arena full (" +
+                              std::to_string(arena_.page_count()) + " pages)");
+  }
+  const PageIndex first = next_fresh_page_;
+  next_fresh_page_ += n;
+  return first;
+}
+
+std::uint32_t CacheManager::pages_spanned(const AllocationEntry& e) const {
+  const std::uint64_t last = e.offset + e.size - 1;
+  return static_cast<std::uint32_t>(last / arena_.page_size()) + 1;
+}
+
+Status CacheManager::make_writable(PageIndex page) {
+  for (PageIndex open : fill_open_pages_) {
+    if (open == page) return Status::ok();
+  }
+  SRPC_RETURN_IF_ERROR(arena_.protect(page, PageProtection::kReadWrite));
+  fill_open_pages_.push_back(page);
+  return Status::ok();
+}
+
+Result<AllocationEntry> CacheManager::place_on_chain(Cursor& cursor, PageKind kind,
+                                                     const LongPointer& id,
+                                                     std::uint64_t size,
+                                                     std::uint32_t align,
+                                                     SpaceId origin) {
+  const std::size_t page_size = arena_.page_size();
+  AllocationEntry entry;
+  entry.pointer = id;
+  entry.size = static_cast<std::uint32_t>(size);
+
+  if (size > page_size) {
+    // Large datum: an exclusive run of consecutive pages.
+    const auto n = static_cast<std::uint32_t>((size + page_size - 1) / page_size);
+    auto first = grab_pages(n);
+    if (!first) return first.status();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      PageInfo& info = pages_.info(first.value() + i);
+      info.kind = kind;
+      info.origin = origin;
+      info.bump = static_cast<std::uint32_t>(page_size);  // exclusive: no co-tenants
+      SRPC_RETURN_IF_ERROR(pages_.transition(first.value() + i, PageState::kAllocated));
+    }
+    entry.page = first.value();
+    entry.offset = 0;
+    entry.local = arena_.page_base(first.value());
+    SRPC_RETURN_IF_ERROR(table_.insert(entry, n));
+    return entry;
+  }
+
+  PageIndex page = cursor.page;
+  std::uint64_t offset = 0;
+  bool fits = false;
+  if (page != kInvalidPage) {
+    const PageInfo& info = pages_.info(page);
+    if (!info.sealed && info.kind == kind && info.origin == origin) {
+      offset = align_up(info.bump, align);
+      fits = offset + size <= page_size;
+    }
+  }
+  if (!fits) {
+    auto fresh = grab_pages(1);
+    if (!fresh) return fresh.status();
+    page = fresh.value();
+    cursor.page = page;
+    PageInfo& info = pages_.info(page);
+    info.kind = kind;
+    info.origin = origin;
+    SRPC_RETURN_IF_ERROR(pages_.transition(page, PageState::kAllocated));
+    offset = 0;
+  }
+  pages_.info(page).bump = static_cast<std::uint32_t>(offset + size);
+  entry.page = page;
+  entry.offset = static_cast<std::uint32_t>(offset);
+  entry.local = arena_.page_base(page) + offset;
+  SRPC_RETURN_IF_ERROR(table_.insert(entry, 1));
+  return entry;
+}
+
+Result<AllocationEntry> CacheManager::place_lazy(const LongPointer& id,
+                                                 std::uint64_t size,
+                                                 std::uint32_t align) {
+  const SpaceId origin = options_.strategy == AllocationStrategy::kClusterByOrigin
+                             ? id.space
+                             : kInvalidSpaceId;
+  return place_on_chain(lazy_cursors_[origin], PageKind::kLazy, id, size, align, origin);
+}
+
+Result<std::uint64_t> CacheManager::swizzle(const LongPointer& pointer, TypeId pointee) {
+  if (pointer.is_null()) {
+    return invalid_argument("swizzle of null long pointer");
+  }
+  if (pointer.space == self_) {
+    return failed_precondition("swizzle of self-homed pointer reached the cache");
+  }
+  if (const AllocationEntry* entry = table_.find(pointer)) {
+    return reinterpret_cast<std::uint64_t>(entry->local);
+  }
+  if (const AllocationEntry* container =
+          table_.find_containing_home(pointer.space, pointer.address)) {
+    const std::uint64_t delta = pointer.address - container->pointer.address;
+    return reinterpret_cast<std::uint64_t>(container->local) + delta;
+  }
+  const TypeId type = pointer.type != kInvalidTypeId ? pointer.type : pointee;
+  if (type == kInvalidTypeId) {
+    return invalid_argument("swizzle: no type for " + pointer.to_string());
+  }
+  auto layout = layouts_.layout_of(arch_, type);
+  if (!layout) return layout.status();
+  LongPointer id = pointer;
+  id.type = type;
+  auto entry = place_lazy(id, layout.value()->size, layout.value()->align);
+  if (!entry) return entry.status();
+  return reinterpret_cast<std::uint64_t>(entry.value().local);
+}
+
+Result<LongPointer> CacheManager::unswizzle(const void* addr) const {
+  const AllocationEntry* entry = table_.find_by_local(addr);
+  if (entry == nullptr) {
+    return not_found("unswizzle: address not in the data allocation table");
+  }
+  const std::uint64_t delta =
+      static_cast<std::uint64_t>(static_cast<const std::uint8_t*>(addr) - entry->local);
+  if (delta == 0) return entry->pointer;
+
+  // Interior pointer: only array elements have a nameable type.
+  const TypeDescriptor& desc = registry_.get(entry->pointer.type);
+  if (desc.kind() != TypeKind::kArray) {
+    return unimplemented("interior pointer into non-array datum " +
+                         entry->pointer.to_string());
+  }
+  const std::uint64_t elem_size = layouts_.size_of(arch_, desc.element());
+  if (delta % elem_size != 0) {
+    return invalid_argument("interior pointer not on an element boundary");
+  }
+  return LongPointer{entry->pointer.space, entry->pointer.address + delta,
+                     desc.element()};
+}
+
+bool CacheManager::is_resident(const void* addr) const {
+  const PageIndex page = arena_.page_of(addr);
+  if (page == kInvalidPage) return false;
+  const PageState s = pages_.info(page).state;
+  return s == PageState::kClean || s == PageState::kDirty;
+}
+
+Result<void*> CacheManager::allocate_resident(const LongPointer& provisional,
+                                              std::uint64_t size, std::uint32_t align) {
+  auto entry = place_on_chain(alloc_cursor_, PageKind::kAlloc, provisional, size, align,
+                              provisional.space);
+  if (!entry) return entry.status();
+  // Born resident and dirty: the creator will initialise it in place and the
+  // value must travel with the modified data set.
+  const std::uint32_t span = pages_spanned(entry.value());
+  for (std::uint32_t i = 0; i < span; ++i) {
+    const PageIndex p = entry.value().page + i;
+    if (pages_.info(p).state == PageState::kAllocated) {
+      SRPC_RETURN_IF_ERROR(pages_.transition(p, PageState::kDirty));
+      SRPC_RETURN_IF_ERROR(arena_.protect(p, PageProtection::kReadWrite));
+    }
+  }
+  return static_cast<void*>(entry.value().local);
+}
+
+// ---------------------------------------------------------------------------
+// Fault path
+// ---------------------------------------------------------------------------
+
+bool CacheManager::on_fault(void* addr, FaultAccess access) {
+  const PageIndex page = arena_.page_of(addr);
+  if (page == kInvalidPage) return false;
+  const PageState state = pages_.info(page).state;
+
+  switch (state) {
+    case PageState::kEmpty:
+      SRPC_ERROR << "fault on empty cache page " << page << " (wild pointer?)";
+      return false;
+    case PageState::kAllocated: {
+      // First access to data allocated to a protected page: transfer it.
+      fetcher_.charge_fault();
+      ++stats_.read_faults;
+      Status filled = fill_page(page, options_.closure_bytes);
+      if (!filled.is_ok()) {
+        SRPC_ERROR << "page fill failed: " << filled.to_string();
+        return false;
+      }
+      // A write retries against the now-clean page and upgrades via a
+      // second, genuine access violation — the paper's "two page accesses".
+      return true;
+    }
+    case PageState::kClean: {
+      if (access == FaultAccess::kRead) {
+        SRPC_ERROR << "read fault on clean (readable) page " << page;
+        return false;
+      }
+      fetcher_.charge_fault();
+      ++stats_.write_faults;
+      if (!pages_.transition(page, PageState::kDirty).is_ok()) return false;
+      if (!arena_.protect(page, PageProtection::kReadWrite).is_ok()) return false;
+      return true;
+    }
+    case PageState::kDirty:
+      SRPC_ERROR << "fault on writable page " << page << " (protection drift?)";
+      return false;
+  }
+  return false;
+}
+
+// Sink wiring one FETCH_REPLY payload into cache slots.
+class CacheManager::FillSink final : public GraphSink {
+ public:
+  explicit FillSink(CacheManager& cache) : cache_(cache) {}
+
+  Result<void*> prepare(std::uint32_t index, const LongPointer& id) override {
+    if (locals_.size() <= index) locals_.resize(index + 1, 0);
+    if (const AllocationEntry* entry = cache_.table_.find(id)) {
+      locals_[index] = reinterpret_cast<std::uint64_t>(entry->local);
+      if (cache_.is_fill_open(entry->page)) {
+        ++cache_.stats_.objects_filled;
+        return static_cast<void*>(entry->local);
+      }
+      // Resident elsewhere (already have data) or allocated on a closed
+      // lazy page (cannot partially fill it): drop the bytes.
+      ++cache_.stats_.objects_skipped;
+      return static_cast<void*>(nullptr);
+    }
+    // Eagerly transferred extra: place it on the fill chain; its pages
+    // become resident when the fill completes.
+    auto layout = cache_.layouts_.layout_of(cache_.arch_, id.type);
+    if (!layout) return layout.status();
+    auto entry = cache_.place_on_chain(cache_.fill_cursor_, PageKind::kLazy, id,
+                                       layout.value()->size, layout.value()->align,
+                                       id.space);
+    if (!entry) return entry.status();
+    const std::uint32_t span = cache_.pages_spanned(entry.value());
+    for (std::uint32_t i = 0; i < span; ++i) {
+      SRPC_RETURN_IF_ERROR(cache_.make_writable(entry.value().page + i));
+    }
+    locals_[index] = reinterpret_cast<std::uint64_t>(entry.value().local);
+    ++cache_.stats_.objects_filled;
+    return static_cast<void*>(entry.value().local);
+  }
+
+  Result<std::uint64_t> address_of(std::uint32_t index) override {
+    if (index >= locals_.size() || locals_[index] == 0) {
+      return internal_error("address_of before prepare");
+    }
+    return locals_[index];
+  }
+
+  Result<std::uint64_t> swizzle(const LongPointer& target, TypeId pointee) override {
+    if (target.space == cache_.self_) {
+      return cache_.fetcher_.swizzle_home(target, pointee);
+    }
+    return cache_.swizzle(target, pointee);
+  }
+
+ private:
+  CacheManager& cache_;
+  std::vector<std::uint64_t> locals_;
+};
+
+bool CacheManager::is_fill_open(PageIndex page) const {
+  return std::find(fill_open_pages_.begin(), fill_open_pages_.end(), page) !=
+         fill_open_pages_.end();
+}
+
+Status CacheManager::prefetch(const void* addr, std::uint64_t closure_budget) {
+  const PageIndex page = arena_.page_of(addr);
+  if (page == kInvalidPage) {
+    return invalid_argument("prefetch of an address outside the cache");
+  }
+  const PageState state = pages_.info(page).state;
+  if (state == PageState::kClean || state == PageState::kDirty) {
+    return Status::ok();  // already resident
+  }
+  if (state == PageState::kEmpty) {
+    return failed_precondition("prefetch of a page with no allocated data");
+  }
+  // A deliberate transfer, not an access violation: no fault cost.
+  return fill_page(page, closure_budget);
+}
+
+Status CacheManager::fill_page(PageIndex page, std::uint64_t closure_budget) {
+  if (filling_) {
+    return internal_error("recursive page fill");
+  }
+  auto entries = table_.entries_on_page(page);
+  if (entries.empty()) {
+    return failed_precondition("fault on page " + std::to_string(page) +
+                               " with no allocated data");
+  }
+
+  filling_ = true;
+  fill_cursor_ = Cursor{};
+  fill_open_pages_.clear();
+
+  Status result = Status::ok();
+  // Open the faulted page and every page spanned by its entries.
+  result = make_writable(page);
+  for (const AllocationEntry* e : entries) {
+    if (!result.is_ok()) break;
+    const std::uint32_t span = pages_spanned(*e);
+    for (std::uint32_t i = 0; i < span && result.is_ok(); ++i) {
+      result = make_writable(e->page + i);
+    }
+  }
+
+  // Lazy cursors must stop pointing at pages that are about to turn
+  // resident, or a later swizzle could hide an unfetched datum on them.
+  for (auto& [origin, cursor] : lazy_cursors_) {
+    if (cursor.page != kInvalidPage && is_fill_open(cursor.page)) {
+      cursor = Cursor{};
+    }
+  }
+
+  // One fetch per home space owning data on this page (the cluster
+  // strategy makes this a single round trip; kMixed may need several).
+  std::map<SpaceId, std::vector<LongPointer>> by_home;
+  for (const AllocationEntry* e : entries) {
+    by_home[e->pointer.space].push_back(e->pointer);
+  }
+  if (result.is_ok()) {
+    for (auto& [home, pointers] : by_home) {
+      ++stats_.fetches;
+      auto reply = fetcher_.fetch(home, pointers, closure_budget);
+      if (!reply) {
+        result = reply.status();
+        break;
+      }
+      // A FETCH_REPLY is "count u32 | count x graph payload": the home may
+      // group its closure by several origin spaces (its own heap plus data
+      // it holds resident for third spaces).
+      xdr::Decoder dec(reply.value());
+      auto count = dec.get_u32();
+      if (!count) {
+        result = count.status();
+        break;
+      }
+      for (std::uint32_t i = 0; i < count.value() && result.is_ok(); ++i) {
+        FillSink sink(*this);
+        result = decode_graph_payload(codec_, arch_, reply.value(), sink);
+      }
+      if (!result.is_ok()) break;
+    }
+  }
+
+  if (result.is_ok()) {
+    ++stats_.fills;
+    result = finish_fill_pages();
+  }
+
+  filling_ = false;
+  fill_open_pages_.clear();
+  fill_cursor_ = Cursor{};
+  return result;
+}
+
+Status CacheManager::finish_fill_pages() {
+  // Seal and protect every opened page; overlay pending dirty values.
+  for (const PageIndex p : fill_open_pages_) {
+    bool dirty = false;
+    for (const AllocationEntry* e : table_.entries_on_page(p)) {
+      auto overlay = overlays_.find(e);
+      if (overlay != overlays_.end()) {
+        std::memcpy(e->local, overlay->second.data(), overlay->second.size());
+        overlays_.erase(overlay);
+        dirty = true;
+      }
+    }
+    SRPC_RETURN_IF_ERROR(
+        pages_.transition(p, dirty ? PageState::kDirty : PageState::kClean));
+    SRPC_RETURN_IF_ERROR(arena_.protect(
+        p, dirty ? PageProtection::kReadWrite : PageProtection::kRead));
+  }
+  return Status::ok();
+}
+
+Status CacheManager::incorporate_clean_payload(ByteBuffer& payload) {
+  if (filling_) {
+    return internal_error("incorporate_clean_payload during a fill");
+  }
+  filling_ = true;
+  fill_cursor_ = Cursor{};
+  fill_open_pages_.clear();
+
+  FillSink sink(*this);
+  Status result = decode_graph_payload(codec_, arch_, payload, sink);
+  if (result.is_ok()) {
+    result = finish_fill_pages();
+  }
+
+  filling_ = false;
+  fill_open_pages_.clear();
+  fill_cursor_ = Cursor{};
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Coherency support
+// ---------------------------------------------------------------------------
+
+std::vector<CacheManager::ModifiedObject> CacheManager::collect_modified() const {
+  std::vector<ModifiedObject> out;
+  std::unordered_set<const AllocationEntry*> seen;
+  for (const PageIndex p : pages_.pages_in_state(PageState::kDirty)) {
+    for (const AllocationEntry* e : table_.entries_on_page(p)) {
+      if (seen.insert(e).second) {
+        out.push_back({e->pointer, e->local});
+      }
+    }
+  }
+  for (const auto& [entry, bytes] : overlays_) {
+    if (seen.insert(entry).second) {
+      out.push_back({entry->pointer, bytes.data()});
+    }
+  }
+  return out;
+}
+
+Result<void*> CacheManager::prepare_incoming_dirty(const LongPointer& id) {
+  const AllocationEntry* entry = table_.find(id);
+  if (entry == nullptr) {
+    const TypeId type = id.type;
+    if (type == kInvalidTypeId) {
+      return invalid_argument("incoming dirty datum with no type: " + id.to_string());
+    }
+    auto layout = layouts_.layout_of(arch_, type);
+    if (!layout) return layout.status();
+    auto placed = place_lazy(id, layout.value()->size, layout.value()->align);
+    if (!placed) return placed.status();
+    entry = table_.find(id);
+  }
+  if (is_resident(entry->local)) {
+    // Overwrite in place; the whole page joins the modified data set.
+    const std::uint32_t span = pages_spanned(*entry);
+    for (std::uint32_t i = 0; i < span; ++i) {
+      const PageIndex p = entry->page + i;
+      if (pages_.info(p).state == PageState::kClean) {
+        SRPC_RETURN_IF_ERROR(pages_.transition(p, PageState::kDirty));
+        SRPC_RETURN_IF_ERROR(arena_.protect(p, PageProtection::kReadWrite));
+      }
+    }
+    return static_cast<void*>(entry->local);
+  }
+  // Not resident: hold the value as an overlay, applied when (and if) the
+  // page is filled; collect_modified() forwards it meanwhile.
+  auto& bytes = overlays_[entry];
+  bytes.assign(entry->size, 0);
+  return static_cast<void*>(bytes.data());
+}
+
+void CacheManager::invalidate_all() {
+  if (next_fresh_page_ > 0) {
+    (void)set_protection(arena_.base(),
+                         static_cast<std::size_t>(next_fresh_page_) * arena_.page_size(),
+                         PageProtection::kNone);
+  }
+  table_.clear();
+  overlays_.clear();
+  pages_.reset();
+  lazy_cursors_.clear();
+  alloc_cursor_ = Cursor{};
+  fill_cursor_ = Cursor{};
+  fill_open_pages_.clear();
+  filling_ = false;
+  next_fresh_page_ = 0;
+}
+
+}  // namespace srpc

@@ -1,0 +1,245 @@
+// CacheManager — the protected page area of one address space.
+//
+// This is where the paper's three techniques meet:
+//   * swizzling allocates a location in a protected (PROT_NONE) page for
+//     every long pointer received, recording it in the data allocation
+//     table (§3.2, Fig. 2 / Table 1);
+//   * the MMU detects the first access; the fault handler fetches *all*
+//     data allocated to the faulted page (plus the home's eager closure)
+//     and releases the protection (§3.2, Fig. 3);
+//   * clean pages stay read-only so the MMU also detects modification at
+//     page grain, feeding the coherency protocol's modified data set
+//     (§3.4); extended_malloc'd objects live on born-resident alloc pages
+//     (§3.5).
+//
+// Threading: every method runs on the owning space's worker thread (the
+// RPC model has a single active thread per session), so there is no
+// internal locking. on_fault() is entered from the SIGSEGV handler on that
+// same thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "core/graph_payload.hpp"
+#include "swizzle/allocation_table.hpp"
+#include "swizzle/long_pointer.hpp"
+#include "types/arch.hpp"
+#include "types/value_codec.hpp"
+#include "vm/fault_dispatcher.hpp"
+#include "vm/page_arena.hpp"
+#include "vm/page_table.hpp"
+
+namespace srpc {
+
+// Where a swizzled location is placed (paper §6 discusses this tradeoff).
+enum class AllocationStrategy : std::uint8_t {
+  // The paper's heuristic: "all the data in a page is located in a single
+  // address space" — one fill chain per origin space, so a fault talks to
+  // exactly one home.
+  kClusterByOrigin,
+  // Naive baseline for the ablation bench: one shared fill chain; a page
+  // can hold data from several homes and a fault must contact all of them.
+  kMixed,
+};
+
+// The runtime side of a fault: how the cache reaches the network.
+// fetch() runs on the faulting thread, possibly inside the signal handler.
+class PageFetcher {
+ public:
+  virtual ~PageFetcher() = default;
+  // Requests `pointers` (all homed at `home`); returns the FETCH_REPLY's
+  // graph payload bytes.
+  virtual Result<ByteBuffer> fetch(SpaceId home, std::span<const LongPointer> pointers,
+                                   std::uint64_t closure_budget) = 0;
+  // Cost accounting for one MMU access violation.
+  virtual void charge_fault() = 0;
+  // Swizzles a pointer homed in *this* space (a payload can reference the
+  // receiver's own data — pass-through pointers); resolves to the local
+  // heap address. Only called with pointer.space == this space.
+  virtual Result<std::uint64_t> swizzle_home(const LongPointer& pointer,
+                                             TypeId pointee) = 0;
+};
+
+struct CacheOptions {
+  std::size_t page_count = 16384;  // 64 MiB of 4 KiB pages
+  std::size_t page_size = 4096;    // the paper's SunOS/SPARC page size
+  AllocationStrategy strategy = AllocationStrategy::kClusterByOrigin;
+  std::uint64_t closure_bytes = 8192;  // eager transfer budget per fetch (§3.3)
+};
+
+struct CacheStats {
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t fills = 0;            // page-fill operations (≥1 fetch each)
+  std::uint64_t fetches = 0;          // FETCH round trips issued
+  std::uint64_t objects_filled = 0;   // payload objects written into slots
+  std::uint64_t objects_skipped = 0;  // payload objects dropped (already held)
+};
+
+class CacheManager final : public FaultHandler {
+ public:
+  CacheManager(const TypeRegistry& registry, const LayoutEngine& layouts,
+               const ArchModel& arch, SpaceId self, CacheOptions options,
+               PageFetcher& fetcher);
+  ~CacheManager() override;
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  // Creates the arena and registers it with the fault dispatcher.
+  Status init();
+
+  // --- swizzling ----------------------------------------------------------
+
+  // Long pointer -> local ordinary pointer, allocating a protected location
+  // on a miss. Interior addresses resolve into their containing entry.
+  // `pointer.space` must differ from this space.
+  Result<std::uint64_t> swizzle(const LongPointer& pointer, TypeId pointee);
+
+  // Local cache address -> home long pointer (interior addresses allowed;
+  // the returned pointer carries the interior home address).
+  Result<LongPointer> unswizzle(const void* addr) const;
+
+  [[nodiscard]] const AllocationEntry* lookup(const LongPointer& pointer) const {
+    return table_.find(pointer);
+  }
+  [[nodiscard]] const AllocationEntry* lookup_local(const void* addr) const {
+    return table_.find_by_local(addr);
+  }
+  [[nodiscard]] bool contains(const void* addr) const { return arena_.contains(addr); }
+
+  // True if `addr` lies on a resident (readable) page.
+  [[nodiscard]] bool is_resident(const void* addr) const;
+
+  // --- extended_malloc support (paper §3.5) -------------------------------
+
+  // Allocates a born-resident, born-dirty location for a locally created
+  // remote object under a provisional identity.
+  Result<void*> allocate_resident(const LongPointer& provisional, std::uint64_t size,
+                                  std::uint32_t align);
+
+  // Re-keys a provisional identity to the home-assigned address.
+  Status rebind(const LongPointer& provisional, const LongPointer& actual) {
+    return table_.rebind(provisional, actual);
+  }
+
+  // Drops a cached entry (extended_free).
+  Status remove_entry(const LongPointer& pointer) { return table_.remove(pointer); }
+
+  // --- fault path ----------------------------------------------------------
+
+  bool on_fault(void* addr, FaultAccess access) override;
+
+  // Incorporates one *clean* graph payload (an eager closure attached to a
+  // call or return, paper §3.3): unknown objects become resident clean
+  // data on fresh pages; objects already held locally are left untouched.
+  Status incorporate_clean_payload(ByteBuffer& payload);
+
+  // Programmer-directed prefetch (paper §6: "use suggestions provided by
+  // the programmer"): fills the page holding `addr` now, with an explicit
+  // closure budget, instead of waiting for the access violation. No-op if
+  // the data is already resident.
+  Status prefetch(const void* addr, std::uint64_t closure_budget);
+
+  // --- coherency support (paper §3.4) --------------------------------------
+
+  struct ModifiedObject {
+    LongPointer id;
+    const void* image = nullptr;  // readable local-layout bytes
+  };
+
+  // The modified data set: every entry on a dirty page plus every pending
+  // overlay. Ids are home identities; images stay valid until the next
+  // cache mutation.
+  [[nodiscard]] std::vector<ModifiedObject> collect_modified() const;
+
+  // Destination for one incoming modified object (always overwrites: the
+  // sender was the active thread). Resident -> the slot (page goes dirty);
+  // non-resident -> a pending overlay applied at fill time; unknown -> a
+  // freshly allocated location plus overlay.
+  Result<void*> prepare_incoming_dirty(const LongPointer& id);
+
+  // --- session teardown -----------------------------------------------------
+
+  // Drops every cached datum and re-protects the arena (session-end
+  // invalidation, paper §3.4).
+  void invalidate_all();
+
+  // --- introspection ---------------------------------------------------------
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+  [[nodiscard]] const DataAllocationTable& table() const noexcept { return table_; }
+  [[nodiscard]] const PageArena& arena() const noexcept { return arena_; }
+  [[nodiscard]] PageState page_state(PageIndex page) const {
+    return pages_.info(page).state;
+  }
+  [[nodiscard]] std::uint64_t closure_bytes() const noexcept {
+    return options_.closure_bytes;
+  }
+  void set_closure_bytes(std::uint64_t bytes) noexcept {
+    options_.closure_bytes = bytes;
+  }
+
+ private:
+  struct Cursor {
+    PageIndex page = kInvalidPage;
+  };
+
+  // Grabs `n` consecutive fresh pages; RESOURCE_EXHAUSTED when the arena is
+  // full. (The arena is session-lifetime; invalidate_all() recycles it.)
+  Result<PageIndex> grab_pages(std::uint32_t n);
+
+  // Places `size` bytes for `origin` on a lazy chain (PROT_NONE pages).
+  Result<AllocationEntry> place_lazy(const LongPointer& id, std::uint64_t size,
+                                     std::uint32_t align);
+
+  // Places `size` bytes on writable pages during a fill or for a resident
+  // allocation; `cursor` selects the chain.
+  Result<AllocationEntry> place_on_chain(Cursor& cursor, PageKind kind,
+                                         const LongPointer& id, std::uint64_t size,
+                                         std::uint32_t align, SpaceId origin);
+
+  // Fetches and fills the faulted page (and any prefetch pages the closure
+  // creates), requesting `closure_budget` bytes of eager transfer.
+  Status fill_page(PageIndex page, std::uint64_t closure_budget);
+
+  // Seals, protects, and overlays every page opened by the current fill.
+  Status finish_fill_pages();
+
+  Status make_writable(PageIndex page);
+  [[nodiscard]] bool is_fill_open(PageIndex page) const;
+  std::uint32_t pages_spanned(const AllocationEntry& e) const;
+
+  class FillSink;
+  friend class FillSink;
+
+  const TypeRegistry& registry_;
+  const LayoutEngine& layouts_;
+  ValueCodec codec_;
+  const ArchModel& arch_;
+  SpaceId self_;
+  CacheOptions options_;
+  PageFetcher& fetcher_;
+
+  PageArena arena_;
+  PageTable pages_;
+  DataAllocationTable table_;
+  std::unordered_map<const AllocationEntry*, std::vector<std::uint8_t>> overlays_;
+
+  std::unordered_map<SpaceId, Cursor> lazy_cursors_;
+  Cursor alloc_cursor_;       // born-resident (extended_malloc) chain
+  Cursor fill_cursor_;        // prefetch-extras chain, valid during a fill
+  bool filling_ = false;
+  std::vector<PageIndex> fill_open_pages_;  // writable during the current fill
+
+  PageIndex next_fresh_page_ = 0;
+  bool registered_ = false;
+  CacheStats stats_;
+};
+
+}  // namespace srpc

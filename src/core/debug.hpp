@@ -1,0 +1,25 @@
+// Introspection: human-readable dumps of runtime state. For debugging
+// distributed pointer plumbing the first question is always "what does the
+// data allocation table think?" — these answer it without a debugger.
+#pragma once
+
+#include <string>
+
+#include "core/runtime.hpp"
+
+namespace srpc {
+
+// The space's data allocation table in the paper's Table-1 layout, plus
+// page states; one line per entry.
+std::string dump_allocation_table(const Runtime& rt);
+
+// Page-state summary of the cache arena (counts per state, dirty pages).
+std::string dump_page_states(const Runtime& rt);
+
+// Heap inventory: live allocations with types and sizes.
+std::string dump_heap(const Runtime& rt);
+
+// One-line counters: calls, fetches, faults, bytes.
+std::string dump_counters(const Runtime& rt);
+
+}  // namespace srpc

@@ -1,0 +1,27 @@
+#include "core/funcref.hpp"
+
+namespace srpc {
+
+Result<ByteBuffer> invoke_raw(Runtime& rt, const FuncRef& ref, ByteBuffer args,
+                              std::span<const std::uint64_t> pointer_roots) {
+  if (ref.is_null()) {
+    return invalid_argument("invoke through null function reference");
+  }
+  if (ref.space != rt.id()) {
+    return rt.call_raw(ref.space, ref.name, std::move(args), pointer_roots);
+  }
+  // Local reference: dispatch directly to the binding; no wire, no
+  // coherency traffic (the data is already here).
+  const RawHandler* handler = rt.services().find(ref.name);
+  if (handler == nullptr) {
+    return not_found("no local procedure bound as '" + ref.name + "'");
+  }
+  CallContext ctx{rt, rt.current_session(), rt.id()};
+  ByteBuffer results;
+  std::vector<std::uint64_t> result_roots;
+  SRPC_RETURN_IF_ERROR((*handler)(ctx, args, results, result_roots));
+  results.reset_cursor();
+  return results;
+}
+
+}  // namespace srpc

@@ -1,0 +1,81 @@
+// FuncRef — remote pointers to functions (extension).
+//
+// The paper closes with: "the method does not support a remote pointer to a
+// function. This limitation might not be negligible, since passing a
+// pointer that references a function to [a] remote procedure is one of the
+// strongest motivations for using remote pointers" (§6), pointing at Ohori
+// & Kato's higher-order stub generation as the companion technique.
+//
+// This extension supplies the practical core of that: a FuncRef names a
+// procedure bound in some address space ({space id, procedure name} — the
+// function-world analogue of a long pointer), marshals like any other
+// value, and invoke() calls through it from wherever it ends up — including
+// back into the space that created it (a first-class callback).
+#pragma once
+
+#include <string>
+
+#include "core/marshal.hpp"
+#include "core/runtime.hpp"
+
+namespace srpc {
+
+struct FuncRef {
+  SpaceId space = kInvalidSpaceId;
+  std::string name;
+
+  [[nodiscard]] bool is_null() const noexcept { return space == kInvalidSpaceId; }
+
+  friend bool operator==(const FuncRef& a, const FuncRef& b) noexcept {
+    return a.space == b.space && a.name == b.name;
+  }
+};
+
+// Binds `fn` in `rt`'s space and returns the reference naming it.
+template <typename F>
+Result<FuncRef> make_funcref(Runtime& rt, const std::string& name, F fn) {
+  SRPC_RETURN_IF_ERROR(bind_procedure(rt, name, std::move(fn)));
+  return FuncRef{rt.id(), name};
+}
+
+// Invokes through a function reference. A reference into another space is
+// an RPC (a callback if that space is an ancestor caller); a reference into
+// the current space dispatches straight to the local binding — the same
+// transparency rule pointers get ("programmers need not be aware that a
+// pointer is local or remote").
+Result<ByteBuffer> invoke_raw(Runtime& rt, const FuncRef& ref, ByteBuffer args,
+                              std::span<const std::uint64_t> pointer_roots);
+
+template <typename R, typename... Args>
+Result<R> invoke(Runtime& rt, const FuncRef& ref, const Args&... args) {
+  static_assert(!std::is_void_v<R>, "void invoke unsupported; return a status code");
+  SRPC_RETURN_IF_ERROR(rt.flush_pending_memory_ops());
+  ByteBuffer argbuf;
+  xdr::Encoder enc(argbuf);
+  std::vector<std::uint64_t> roots;
+  SRPC_RETURN_IF_ERROR(detail::encode_args(rt, enc, roots, args...));
+  auto reply = invoke_raw(rt, ref, std::move(argbuf), roots);
+  if (!reply) return reply.status();
+  xdr::Decoder dec(reply.value());
+  return Param<std::decay_t<R>>::decode(rt, dec);
+}
+
+// Wire form: space u32 | name string. Null encodes space = kInvalidSpaceId.
+template <>
+struct Param<FuncRef, void> {
+  static Status encode(Runtime&, xdr::Encoder& enc, std::vector<std::uint64_t>&,
+                       const FuncRef& ref) {
+    enc.put_u32(ref.space);
+    enc.put_string(ref.name);
+    return Status::ok();
+  }
+  static Result<FuncRef> decode(Runtime&, xdr::Decoder& dec) {
+    auto space = dec.get_u32();
+    if (!space) return space.status();
+    auto name = dec.get_string(4096);
+    if (!name) return name.status();
+    return FuncRef{space.value(), std::move(name).value()};
+  }
+};
+
+}  // namespace srpc

@@ -1,0 +1,293 @@
+// Typed stubs — what a conventional RPC stub generator would emit, done
+// with templates.
+//
+// Param<T> defines how one argument/result crosses the wire:
+//   * arithmetic types and std::string marshal as canonical XDR;
+//   * T* marshals as a 16-byte long pointer — unswizzled on the caller,
+//     swizzled into a protected cache location on the callee — and is
+//     recorded as a closure root so its bounded transitive closure travels
+//     eagerly with the message (paper §3.2–3.3).
+//
+// make_raw_handler() wraps an application function into the registry's
+// RawHandler; typed_call() is the caller-side stub.
+#pragma once
+
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "swizzle/long_pointer.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace srpc {
+
+template <typename T, typename Enable = void>
+struct Param;  // unspecialised: type cannot cross an RPC boundary
+
+// --- arithmetic ------------------------------------------------------------
+
+template <typename T>
+struct Param<T, std::enable_if_t<std::is_arithmetic_v<T>>> {
+  static Status encode(Runtime&, xdr::Encoder& enc, std::vector<std::uint64_t>&, T v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      enc.put_bool(v);
+    } else if constexpr (std::is_same_v<T, float>) {
+      enc.put_f32(v);
+    } else if constexpr (std::is_same_v<T, double>) {
+      enc.put_f64(v);
+    } else if constexpr (std::is_signed_v<T> && sizeof(T) <= 4) {
+      enc.put_i32(static_cast<std::int32_t>(v));
+    } else if constexpr (!std::is_signed_v<T> && sizeof(T) <= 4) {
+      enc.put_u32(static_cast<std::uint32_t>(v));
+    } else if constexpr (std::is_signed_v<T>) {
+      enc.put_i64(static_cast<std::int64_t>(v));
+    } else {
+      enc.put_u64(static_cast<std::uint64_t>(v));
+    }
+    return Status::ok();
+  }
+
+  static Result<T> decode(Runtime&, xdr::Decoder& dec) {
+    if constexpr (std::is_same_v<T, bool>) {
+      auto v = dec.get_bool();
+      if (!v) return v.status();
+      return v.value();
+    } else if constexpr (std::is_same_v<T, float>) {
+      auto v = dec.get_f32();
+      if (!v) return v.status();
+      return v.value();
+    } else if constexpr (std::is_same_v<T, double>) {
+      auto v = dec.get_f64();
+      if (!v) return v.status();
+      return v.value();
+    } else if constexpr (sizeof(T) <= 4 && std::is_signed_v<T>) {
+      auto v = dec.get_i32();
+      if (!v) return v.status();
+      return static_cast<T>(v.value());
+    } else if constexpr (sizeof(T) <= 4) {
+      auto v = dec.get_u32();
+      if (!v) return v.status();
+      return static_cast<T>(v.value());
+    } else if constexpr (std::is_signed_v<T>) {
+      auto v = dec.get_i64();
+      if (!v) return v.status();
+      return static_cast<T>(v.value());
+    } else {
+      auto v = dec.get_u64();
+      if (!v) return v.status();
+      return static_cast<T>(v.value());
+    }
+  }
+};
+
+// --- std::string -------------------------------------------------------------
+
+template <>
+struct Param<std::string, void> {
+  static Status encode(Runtime&, xdr::Encoder& enc, std::vector<std::uint64_t>&,
+                       const std::string& v) {
+    enc.put_string(v);
+    return Status::ok();
+  }
+  static Result<std::string> decode(Runtime&, xdr::Decoder& dec) {
+    return dec.get_string();
+  }
+};
+
+// --- raw long pointers ---------------------------------------------------------
+
+// Passes a long pointer verbatim, without swizzling on receipt. This is the
+// conventional-RPC escape hatch the fully-lazy baseline uses: the callee
+// gets an opaque capability and performs explicit callbacks (paper §2).
+template <>
+struct Param<LongPointer, void> {
+  static Status encode(Runtime&, xdr::Encoder& enc, std::vector<std::uint64_t>&,
+                       const LongPointer& p) {
+    encode_long_pointer(enc, p);
+    return Status::ok();
+  }
+  static Result<LongPointer> decode(Runtime&, xdr::Decoder& dec) {
+    return decode_long_pointer(dec);
+  }
+};
+
+// --- pointers -----------------------------------------------------------------
+
+template <typename T>
+struct Param<T*, void> {
+  using Pointee = std::remove_const_t<T>;
+
+  static Status encode(Runtime& rt, xdr::Encoder& enc,
+                       std::vector<std::uint64_t>& roots, T* p) {
+    if (p == nullptr) {
+      encode_long_pointer(enc, LongPointer::null());
+      return Status::ok();
+    }
+    auto type = rt.host_types().find<Pointee>();
+    if (!type) return type.status();
+    const auto ordinary = reinterpret_cast<std::uint64_t>(p);
+    auto lp = rt.unswizzle(ordinary, type.value());
+    if (!lp) return lp.status();
+    encode_long_pointer(enc, lp.value());
+    roots.push_back(ordinary);
+    return Status::ok();
+  }
+
+  static Result<T*> decode(Runtime& rt, xdr::Decoder& dec) {
+    auto lp = decode_long_pointer(dec);
+    if (!lp) return lp.status();
+    if (lp.value().is_null()) return static_cast<T*>(nullptr);
+    auto type = rt.host_types().find<Pointee>();
+    if (!type) return type.status();
+    auto ordinary = rt.swizzle(lp.value(), type.value());
+    if (!ordinary) return ordinary.status();
+    return reinterpret_cast<T*>(static_cast<std::uintptr_t>(ordinary.value()));
+  }
+};
+
+// --- argument tuples -------------------------------------------------------------
+
+namespace detail {
+
+template <typename... Ts>
+struct ArgDecoder;
+
+template <>
+struct ArgDecoder<> {
+  static Result<std::tuple<>> run(Runtime&, xdr::Decoder&) { return std::tuple<>(); }
+};
+
+template <typename T, typename... Rest>
+struct ArgDecoder<T, Rest...> {
+  static Result<std::tuple<T, Rest...>> run(Runtime& rt, xdr::Decoder& dec) {
+    auto head = Param<T>::decode(rt, dec);
+    if (!head) return head.status();
+    auto tail = ArgDecoder<Rest...>::run(rt, dec);
+    if (!tail) return tail.status();
+    return std::tuple_cat(std::make_tuple(std::move(head).value()),
+                          std::move(tail).value());
+  }
+};
+
+template <typename... Args>
+Status encode_args(Runtime& rt, xdr::Encoder& enc, std::vector<std::uint64_t>& roots,
+                   const Args&... args) {
+  Status s = Status::ok();
+  ((s = s.is_ok() ? Param<std::decay_t<Args>>::encode(rt, enc, roots, args) : s), ...);
+  return s;
+}
+
+// Deduces (CallContext&, Args...) -> R from lambdas and function pointers.
+template <typename F>
+struct FnTraits : FnTraits<decltype(&F::operator())> {};
+
+template <typename C, typename R, typename... A>
+struct FnTraits<R (C::*)(CallContext&, A...) const> {
+  using Ret = R;
+  using ArgsTuple = std::tuple<A...>;
+};
+template <typename C, typename R, typename... A>
+struct FnTraits<R (C::*)(CallContext&, A...)> {
+  using Ret = R;
+  using ArgsTuple = std::tuple<A...>;
+};
+template <typename R, typename... A>
+struct FnTraits<R (*)(CallContext&, A...)> {
+  using Ret = R;
+  using ArgsTuple = std::tuple<A...>;
+};
+
+}  // namespace detail
+
+// --- server-side stub ---------------------------------------------------------------
+
+template <typename R, typename... Args, typename F>
+RawHandler make_raw_handler(F fn) {
+  return [fn = std::move(fn)](CallContext& ctx, ByteBuffer& args, ByteBuffer& out,
+                              std::vector<std::uint64_t>& result_roots) -> Status {
+    xdr::Decoder dec(args);
+    auto decoded = detail::ArgDecoder<std::decay_t<Args>...>::run(ctx.runtime, dec);
+    if (!decoded) return decoded.status();
+    if (!dec.exhausted()) {
+      // Caller and procedure disagree on the signature (e.g. int vs
+      // int64_t) — the classic stub mismatch an IDL would prevent.
+      return invalid_argument("argument marshalling mismatch: " +
+                              std::to_string(dec.remaining()) +
+                              " unconsumed argument bytes");
+    }
+    xdr::Encoder enc(out);
+    if constexpr (std::is_void_v<R>) {
+      std::apply([&](auto&&... a) { fn(ctx, std::forward<decltype(a)>(a)...); },
+                 std::move(decoded).value());
+      return Status::ok();
+    } else {
+      R result = std::apply(
+          [&](auto&&... a) { return fn(ctx, std::forward<decltype(a)>(a)...); },
+          std::move(decoded).value());
+      // The handler may have extended_malloc'd the very data it returns;
+      // assign real identities before unswizzling the result.
+      SRPC_RETURN_IF_ERROR(ctx.runtime.flush_pending_memory_ops());
+      return Param<std::decay_t<R>>::encode(ctx.runtime, enc, result_roots, result);
+    }
+  };
+}
+
+namespace detail {
+
+template <typename R, typename ArgsTuple>
+struct Binder;
+
+template <typename R, typename... A>
+struct Binder<R, std::tuple<A...>> {
+  template <typename F>
+  static Status bind(Runtime& rt, const std::string& name, F fn) {
+    return rt.services().bind(name, make_raw_handler<R, A...>(std::move(fn)));
+  }
+};
+
+}  // namespace detail
+
+// Binds `fn` — any callable of shape R(CallContext&, Args...) — as a remote
+// procedure.
+template <typename F>
+Status bind_procedure(Runtime& rt, const std::string& name, F fn) {
+  using Traits = detail::FnTraits<std::decay_t<F>>;
+  return detail::Binder<typename Traits::Ret, typename Traits::ArgsTuple>::bind(
+      rt, name, std::move(fn));
+}
+
+// --- caller-side stub ------------------------------------------------------------------
+
+template <typename R, typename... Args>
+Result<R> typed_call(Runtime& rt, SpaceId target, const std::string& proc,
+                     const Args&... args) {
+  static_assert(!std::is_void_v<R>, "use typed_call_void for void procedures");
+  // Provisional identities must not be unswizzled into the argument bytes.
+  SRPC_RETURN_IF_ERROR(rt.flush_pending_memory_ops());
+  ByteBuffer argbuf;
+  xdr::Encoder enc(argbuf);
+  std::vector<std::uint64_t> roots;
+  SRPC_RETURN_IF_ERROR(detail::encode_args(rt, enc, roots, args...));
+  auto reply = rt.call_raw(target, proc, std::move(argbuf), roots);
+  if (!reply) return reply.status();
+  xdr::Decoder dec(reply.value());
+  return Param<std::decay_t<R>>::decode(rt, dec);
+}
+
+template <typename... Args>
+Status typed_call_void(Runtime& rt, SpaceId target, const std::string& proc,
+                       const Args&... args) {
+  SRPC_RETURN_IF_ERROR(rt.flush_pending_memory_ops());
+  ByteBuffer argbuf;
+  xdr::Encoder enc(argbuf);
+  std::vector<std::uint64_t> roots;
+  SRPC_RETURN_IF_ERROR(detail::encode_args(rt, enc, roots, args...));
+  auto reply = rt.call_raw(target, proc, std::move(argbuf), roots);
+  if (!reply) return reply.status();
+  return Status::ok();
+}
+
+}  // namespace srpc

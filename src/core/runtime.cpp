@@ -1,0 +1,785 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+#include "core/graph_payload.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace srpc {
+
+// ---------------------------------------------------------------------------
+// Wire payload layouts (all sections XDR):
+//   CALL        proc string | modified-set | closures | marshalled args
+//   RETURN      modified-set | closures | marshalled results
+//   FETCH       budget u64 | wide u32 | base u64 | count u32
+//               | count x (delta u32 | addr u64)     (addresses only: the
+//               home resolves types from its own heap; compactness matters
+//               because every fault re-requests a whole page of entries)
+//   FETCH_REPLY count u32 | count x graph payload
+//   ALLOC_BATCH nalloc u32 | nalloc x {provisional u64, type u32}
+//               | nfree u32 | nfree x {addr u64}
+//   ALLOC_REPLY n u32 | n x {provisional u64, real u64}
+//   WRITE_BACK  modified-set            (acked empty)
+//   INVALIDATE  empty                   (acked empty)
+//   DEREF       long pointer
+//   DEREF_REPLY canonical value bytes
+//   ERROR       code u32 | message string
+// where modified-set and closures are both "count u32 | count x graph
+// payload" sections.
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
+                 TypeRegistry& registry, const LayoutEngine& layouts,
+                 HostTypeMap& host_types, Transport& transport, SimNetwork* sim,
+                 CacheOptions cache_options,
+                 std::function<std::vector<SpaceId>()> directory)
+    : self_(self),
+      name_(std::move(name)),
+      arch_(arch),
+      registry_(registry),
+      layouts_(layouts),
+      codec_{registry, layouts},
+      host_types_(host_types),
+      sim_(sim),
+      directory_(std::move(directory)),
+      endpoint_(self, transport, mailbox_),
+      heap_(registry, layouts, arch, self),
+      cache_(registry, layouts, arch, self, cache_options, *this),
+      allocator_(cache_),
+      packer_(codec_, arch, *this) {
+  full_dispatcher_ = [this](Message msg) { return dispatch(std::move(msg)); };
+}
+
+Status Runtime::init() { return cache_.init(); }
+
+// ---------------------------------------------------------------------------
+// Pointer translation (heap + data allocation table)
+// ---------------------------------------------------------------------------
+
+Result<LongPointer> Runtime::unswizzle(std::uint64_t ordinary, TypeId pointee) {
+  const void* addr = reinterpret_cast<const void*>(ordinary);
+  if (cache_.contains(addr)) {
+    return cache_.unswizzle(addr);
+  }
+  const ManagedHeap::Record* record = heap_.find(addr);
+  if (record == nullptr) {
+    return invalid_argument(
+        "pointer 0x" + std::to_string(ordinary) +
+        " references memory outside the system-controlled heap (paper §3.2: "
+        "all shared data must live in the managed heap)");
+  }
+  const std::uint64_t base = reinterpret_cast<std::uint64_t>(record->base);
+  if (ordinary == base) {
+    return LongPointer{self_, ordinary, record->type};
+  }
+  // Interior pointer: nameable only for array elements.
+  const TypeDescriptor& desc = registry_.get(record->type);
+  if (desc.kind() != TypeKind::kArray) {
+    (void)pointee;
+    return unimplemented("interior pointer into non-array heap datum");
+  }
+  const std::uint64_t elem_size = layouts_.size_of(arch_, desc.element());
+  if ((ordinary - base) % elem_size != 0) {
+    return invalid_argument("interior pointer not on an element boundary");
+  }
+  return LongPointer{self_, ordinary, desc.element()};
+}
+
+Result<std::uint64_t> Runtime::swizzle(const LongPointer& pointer, TypeId pointee) {
+  if (pointer.space == self_) {
+    // Home data: the long pointer's address *is* the local ordinary pointer.
+    if (heap_.find(reinterpret_cast<const void*>(pointer.address)) == nullptr) {
+      return invalid_argument("incoming pointer to unknown home datum: " +
+                              pointer.to_string());
+    }
+    return pointer.address;
+  }
+  return cache_.swizzle(pointer, pointee);
+}
+
+Result<std::uint64_t> Runtime::swizzle_home(const LongPointer& pointer, TypeId pointee) {
+  if (pointer.space != self_) {
+    return internal_error("swizzle_home with foreign pointer " + pointer.to_string());
+  }
+  return swizzle(pointer, pointee);
+}
+
+Result<LocalDataView::DatumView> Runtime::view_local(std::uint64_t local_addr) const {
+  const void* addr = reinterpret_cast<const void*>(local_addr);
+  if (cache_.contains(addr)) {
+    const AllocationEntry* entry = cache_.lookup_local(addr);
+    if (entry == nullptr) {
+      return not_found("cache address with no allocation entry");
+    }
+    DatumView view;
+    view.id = entry->pointer;
+    view.image = cache_.is_resident(entry->local) ? entry->local : nullptr;
+    return view;
+  }
+  const ManagedHeap::Record* record = heap_.find(addr);
+  if (record == nullptr) {
+    return not_found("address outside heap and cache");
+  }
+  DatumView view;
+  view.id = LongPointer{self_, reinterpret_cast<std::uint64_t>(record->base),
+                        record->type};
+  view.image = record->base;
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Coherency sections (paper §3.4)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Receives one graph payload of *modified* objects: applied in place at
+// home, overwritten/overlaid in the cache elsewhere (the sender was the
+// single active thread, so incoming values always win).
+class IncorporateSink final : public GraphSink {
+ public:
+  explicit IncorporateSink(Runtime& rt) : rt_(rt) {}
+
+  Result<void*> prepare(std::uint32_t index, const LongPointer& id) override {
+    if (locals_.size() <= index) locals_.resize(index + 1, 0);
+    if (id.space == rt_.id()) {
+      const ManagedHeap::Record* record = rt_.heap().find_base(id.address);
+      if (record == nullptr) {
+        // Write-back to data freed at home (free-while-cached): tolerated,
+        // dropped. See DESIGN.md §6.
+        SRPC_WARN << "dropping modified datum for unknown home address "
+                  << id.to_string();
+        locals_[index] = id.address;
+        return static_cast<void*>(nullptr);
+      }
+      locals_[index] = id.address;
+      // The value arriving for our home datum was produced elsewhere: keep
+      // it in the travelling set so other spaces' stale caches hear of it.
+      rt_.note_home_update(id);
+      return static_cast<void*>(record->base);
+    }
+    auto dest = rt_.cache().prepare_incoming_dirty(id);
+    if (!dest) return dest.status();
+    const AllocationEntry* entry = rt_.cache().lookup(id);
+    if (entry == nullptr) {
+      return internal_error("incoming dirty datum vanished: " + id.to_string());
+    }
+    locals_[index] = reinterpret_cast<std::uint64_t>(entry->local);
+    return dest;
+  }
+
+  Result<std::uint64_t> address_of(std::uint32_t index) override {
+    if (index >= locals_.size() || locals_[index] == 0) {
+      return internal_error("address_of before prepare");
+    }
+    return locals_[index];
+  }
+
+  Result<std::uint64_t> swizzle(const LongPointer& target, TypeId pointee) override {
+    return rt_.swizzle(target, pointee);
+  }
+
+ private:
+  Runtime& rt_;
+  std::vector<std::uint64_t> locals_;
+};
+
+}  // namespace
+
+Status Runtime::attach_modified_set(ByteBuffer& out) {
+  const auto modified = cache_.collect_modified();
+  std::map<SpaceId, std::vector<GraphObjectRef>> groups;
+  for (const auto& m : modified) {
+    if (is_provisional_address(m.id.address)) {
+      return internal_error("provisional identity in modified set: " +
+                            m.id.to_string() + " (alloc batch not flushed?)");
+    }
+    groups[m.id.space].push_back(GraphObjectRef{m.id.address, m.id.type, m.image});
+  }
+  // Home data remotely modified this session travels too, with its CURRENT
+  // heap bytes (which also picks up any later home-side edits).
+  for (auto it = session_updates_.begin(); it != session_updates_.end();) {
+    const ManagedHeap::Record* record = heap_.find_base(it->address);
+    if (record == nullptr) {
+      it = session_updates_.erase(it);  // freed since: drop from the set
+      continue;
+    }
+    groups[self_].push_back(GraphObjectRef{it->address, record->type, record->base});
+    ++it;
+  }
+  xdr::Encoder enc(out);
+  enc.put_u32(static_cast<std::uint32_t>(groups.size()));
+  for (const auto& [space, refs] : groups) {
+    SRPC_RETURN_IF_ERROR(
+        encode_graph_payload(codec_, arch_, space, refs, *this, out));
+  }
+  return Status::ok();
+}
+
+Status Runtime::apply_modified_set(ByteBuffer& in) {
+  xdr::Decoder dec(in);
+  auto count = dec.get_u32();
+  if (!count) return count.status();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    IncorporateSink sink(*this);
+    SRPC_RETURN_IF_ERROR(decode_graph_payload(codec_, arch_, in, sink));
+  }
+  return Status::ok();
+}
+
+Status Runtime::attach_closures(ByteBuffer& out, std::span<const std::uint64_t> roots) {
+  xdr::Encoder enc(out);
+  if (roots.empty()) {
+    enc.put_u32(0);
+    return Status::ok();
+  }
+  auto packed = packer_.pack(roots, cache_.closure_bytes(), /*require_roots=*/false);
+  if (!packed) return packed.status();
+  enc.put_u32(static_cast<std::uint32_t>(packed.value().groups.size()));
+  for (const auto& [space, refs] : packed.value().groups) {
+    SRPC_RETURN_IF_ERROR(
+        encode_graph_payload(codec_, arch_, space, refs, *this, out));
+  }
+  return Status::ok();
+}
+
+Status Runtime::apply_closures(ByteBuffer& in) {
+  xdr::Decoder dec(in);
+  auto count = dec.get_u32();
+  if (!count) return count.status();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    SRPC_RETURN_IF_ERROR(cache_.incorporate_clean_payload(in));
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Error plumbing
+// ---------------------------------------------------------------------------
+
+Status Runtime::send_error(SpaceId to, SessionId session, std::uint64_t seq,
+                           const Status& error) {
+  Message msg;
+  msg.type = MessageType::kError;
+  msg.to = to;
+  msg.session = session;
+  msg.seq = seq;
+  xdr::Encoder enc(msg.payload);
+  enc.put_u32(static_cast<std::uint32_t>(error.code()));
+  enc.put_string(error.message());
+  return endpoint_.send(std::move(msg));
+}
+
+Status Runtime::decode_error(Message& msg) {
+  xdr::Decoder dec(msg.payload);
+  auto code = dec.get_u32();
+  auto text = code ? dec.get_string() : Result<std::string>(code.status());
+  if (!code || !text) {
+    return protocol_error("malformed error message");
+  }
+  return Status(static_cast<StatusCode>(code.value()),
+                "remote(" + std::to_string(msg.from) + "): " + text.value());
+}
+
+// ---------------------------------------------------------------------------
+// Remote memory management (paper §3.5)
+// ---------------------------------------------------------------------------
+
+Result<void*> Runtime::extended_malloc(SpaceId home, TypeId type, std::uint32_t count) {
+  if (count == 0) return invalid_argument("extended_malloc: zero count");
+  if (home == self_) {
+    return heap_.allocate(type, count);
+  }
+  const TypeId full = count > 1 ? registry_.array_of(type, count) : type;
+  auto layout = layouts_.layout_of(arch_, full);
+  if (!layout) return layout.status();
+  return allocator_.allocate(home, full, layout.value()->size, layout.value()->align);
+}
+
+Status Runtime::extended_free(void* p) {
+  if (p == nullptr) return invalid_argument("extended_free(nullptr)");
+  if (cache_.contains(p)) {
+    const AllocationEntry* entry = cache_.lookup_local(p);
+    if (entry == nullptr || entry->local != p) {
+      return invalid_argument("extended_free: not a datum base address");
+    }
+    return allocator_.release(entry->pointer);
+  }
+  return heap_.free(p);
+}
+
+Status Runtime::flush_alloc_batches() {
+  for (const SpaceId home : allocator_.pending_homes()) {
+    RemoteAllocator::Batch batch = allocator_.take_batch(home);
+    Message msg;
+    msg.type = MessageType::kAllocBatch;
+    msg.to = home;
+    msg.session = session_;
+    msg.seq = endpoint_.next_seq();
+    xdr::Encoder enc(msg.payload);
+    enc.put_u32(static_cast<std::uint32_t>(batch.allocs.size()));
+    for (const auto& a : batch.allocs) {
+      enc.put_u64(a.provisional);
+      enc.put_u32(a.type);
+    }
+    enc.put_u32(static_cast<std::uint32_t>(batch.frees.size()));
+    for (const std::uint64_t addr : batch.frees) {
+      enc.put_u64(addr);
+    }
+    const std::uint64_t seq = msg.seq;
+    SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
+    auto reply = endpoint_.await_reply(MessageType::kAllocReply, seq, nullptr);
+    if (!reply) return reply.status();
+    if (reply.value().type == MessageType::kError) {
+      return decode_error(reply.value());
+    }
+    xdr::Decoder dec(reply.value().payload);
+    auto n = dec.get_u32();
+    if (!n) return n.status();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> assigned;
+    assigned.reserve(n.value());
+    for (std::uint32_t i = 0; i < n.value(); ++i) {
+      auto prov = dec.get_u64();
+      if (!prov) return prov.status();
+      auto real = dec.get_u64();
+      if (!real) return real.status();
+      assigned.emplace_back(prov.value(), real.value());
+    }
+    SRPC_RETURN_IF_ERROR(allocator_.apply_assignments(home, assigned));
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Fetch path (PageFetcher)
+// ---------------------------------------------------------------------------
+
+Result<ByteBuffer> Runtime::fetch(SpaceId home, std::span<const LongPointer> pointers,
+                                  std::uint64_t closure_budget) {
+  Message msg;
+  msg.type = MessageType::kFetch;
+  msg.to = home;
+  msg.session = session_;
+  msg.seq = endpoint_.next_seq();
+  xdr::Encoder enc(msg.payload);
+  enc.put_u64(closure_budget);
+  std::uint64_t base = pointers.empty() ? 0 : pointers[0].address;
+  bool wide = false;
+  for (const LongPointer& p : pointers) base = std::min(base, p.address);
+  for (const LongPointer& p : pointers) {
+    if (p.address - base > 0xFFFFFFFFULL) {
+      wide = true;
+      break;
+    }
+  }
+  enc.put_u32(wide ? 1 : 0);
+  enc.put_u64(base);
+  enc.put_u32(static_cast<std::uint32_t>(pointers.size()));
+  for (const LongPointer& p : pointers) {
+    if (wide) {
+      enc.put_u64(p.address);
+    } else {
+      enc.put_u32(static_cast<std::uint32_t>(p.address - base));
+    }
+  }
+  const std::uint64_t seq = msg.seq;
+  SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
+  // Restricted await: we may be inside the SIGSEGV handler, and with a
+  // single active thread nothing but this reply can legitimately arrive.
+  auto reply = endpoint_.await_reply(MessageType::kFetchReply, seq, nullptr);
+  if (!reply) return reply.status();
+  if (reply.value().type == MessageType::kError) {
+    return decode_error(reply.value());
+  }
+  return std::move(reply.value().payload);
+}
+
+void Runtime::charge_fault() {
+  if (sim_ != nullptr) sim_->charge_fault();
+}
+
+Result<ByteBuffer> Runtime::deref_remote(const LongPointer& pointer) {
+  Message msg;
+  msg.type = MessageType::kDeref;
+  msg.to = pointer.space;
+  msg.session = session_;
+  msg.seq = endpoint_.next_seq();
+  xdr::Encoder enc(msg.payload);
+  encode_long_pointer(enc, pointer);
+  const std::uint64_t seq = msg.seq;
+  SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
+  auto reply = endpoint_.await_reply(MessageType::kDerefReply, seq, full_dispatcher_);
+  if (!reply) return reply.status();
+  if (reply.value().type == MessageType::kError) {
+    return decode_error(reply.value());
+  }
+  return std::move(reply.value().payload);
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+// ---------------------------------------------------------------------------
+
+Result<ByteBuffer> Runtime::call_raw(SpaceId target, const std::string& proc,
+                                     ByteBuffer args,
+                                     std::span<const std::uint64_t> pointer_roots) {
+  if (target == self_) {
+    return invalid_argument("call to own address space");
+  }
+  // The activity is about to move: flush batched memory operations first
+  // (provisional identities must not cross in the modified set), then
+  // attach the travelling modified data set and the arguments' closure.
+  SRPC_RETURN_IF_ERROR(flush_alloc_batches());
+
+  Message msg;
+  msg.type = MessageType::kCall;
+  msg.to = target;
+  msg.session = session_;
+  msg.seq = endpoint_.next_seq();
+  xdr::Encoder enc(msg.payload);
+  enc.put_string(proc);
+  SRPC_RETURN_IF_ERROR(attach_modified_set(msg.payload));
+  SRPC_RETURN_IF_ERROR(attach_closures(msg.payload, pointer_roots));
+  msg.payload.append(args.view());
+
+  const std::uint64_t seq = msg.seq;
+  ++stats_.calls_sent;
+  SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
+
+  // Full re-entrant service while blocked: nested calls back into this
+  // space, fetches against our heap, etc.
+  auto reply = endpoint_.await_reply(MessageType::kReturn, seq, full_dispatcher_);
+  if (!reply) return reply.status();
+  if (reply.value().type == MessageType::kError) {
+    return decode_error(reply.value());
+  }
+  ByteBuffer payload = std::move(reply.value().payload);
+  SRPC_RETURN_IF_ERROR(apply_modified_set(payload));
+  SRPC_RETURN_IF_ERROR(apply_closures(payload));
+  // Cursor now rests at the marshalled results.
+  return payload;
+}
+
+Status Runtime::serve_call(Message msg) {
+  ++stats_.calls_served;
+  // One RPC session at a time: refuse to mix another session's activity
+  // into a cache that still holds this one's data (see cache_session_).
+  const bool cache_in_use =
+      cache_.table().size() > 0 || !session_updates_.empty();
+  if (cache_in_use && cache_session_ != kNoSession && cache_session_ != msg.session) {
+    return send_error(msg.from, msg.session, msg.seq,
+                      failed_precondition(
+                          "space busy: cache holds data of another RPC session"));
+  }
+  cache_session_ = msg.session;
+  xdr::Decoder dec(msg.payload);
+  auto proc = dec.get_string();
+  if (!proc) {
+    return send_error(msg.from, msg.session, msg.seq, proc.status());
+  }
+  Status applied = apply_modified_set(msg.payload);
+  if (!applied.is_ok()) {
+    return send_error(msg.from, msg.session, msg.seq,
+                      Status(applied.code(), "modified-set: " + applied.message()));
+  }
+  applied = apply_closures(msg.payload);
+  if (!applied.is_ok()) {
+    return send_error(msg.from, msg.session, msg.seq,
+                      Status(applied.code(), "closures: " + applied.message()));
+  }
+
+  const RawHandler* handler = services_.find(proc.value());
+  if (handler == nullptr) {
+    return send_error(msg.from, msg.session, msg.seq,
+                      not_found("no such procedure: " + proc.value()));
+  }
+
+  const SessionId previous_session = session_;
+  session_ = msg.session;
+  CallContext ctx{*this, msg.session, msg.from};
+  ByteBuffer results;
+  std::vector<std::uint64_t> result_roots;
+  Status handled = (*handler)(ctx, msg.payload, results, result_roots);
+  if (handled.is_ok()) {
+    handled = flush_alloc_batches();
+  }
+  if (!handled.is_ok()) {
+    session_ = previous_session;
+    return send_error(msg.from, msg.session, msg.seq, handled);
+  }
+
+  Message reply;
+  reply.type = MessageType::kReturn;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  Status built = attach_modified_set(reply.payload);
+  if (built.is_ok()) built = attach_closures(reply.payload, result_roots);
+  session_ = previous_session;
+  if (!built.is_ok()) {
+    return send_error(msg.from, msg.session, msg.seq, built);
+  }
+  reply.payload.append(results.view());
+  return endpoint_.send(std::move(reply));
+}
+
+Status Runtime::serve_fetch(Message msg) {
+  ++stats_.fetches_served;
+  xdr::Decoder dec(msg.payload);
+  auto budget = dec.get_u64();
+  if (!budget) return send_error(msg.from, msg.session, msg.seq, budget.status());
+  auto wide = dec.get_u32();
+  if (!wide) return send_error(msg.from, msg.session, msg.seq, wide.status());
+  auto base = dec.get_u64();
+  if (!base) return send_error(msg.from, msg.session, msg.seq, base.status());
+  auto count = dec.get_u32();
+  if (!count) return send_error(msg.from, msg.session, msg.seq, count.status());
+
+  std::vector<std::uint64_t> roots;
+  roots.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    if (wide.value() != 0) {
+      auto addr = dec.get_u64();
+      if (!addr) return send_error(msg.from, msg.session, msg.seq, addr.status());
+      roots.push_back(addr.value());
+    } else {
+      auto delta = dec.get_u32();
+      if (!delta) return send_error(msg.from, msg.session, msg.seq, delta.status());
+      roots.push_back(base.value() + delta.value());
+    }
+  }
+
+  auto packed = packer_.pack(roots, budget.value(), /*require_roots=*/true);
+  if (!packed) {
+    return send_error(msg.from, msg.session, msg.seq, packed.status());
+  }
+
+  Message reply;
+  reply.type = MessageType::kFetchReply;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  xdr::Encoder enc(reply.payload);
+  enc.put_u32(static_cast<std::uint32_t>(packed.value().groups.size()));
+  for (const auto& [space, refs] : packed.value().groups) {
+    Status encoded = encode_graph_payload(codec_, arch_, space, refs, *this,
+                                          reply.payload);
+    if (!encoded.is_ok()) {
+      return send_error(msg.from, msg.session, msg.seq, encoded);
+    }
+  }
+  return endpoint_.send(std::move(reply));
+}
+
+Status Runtime::serve_alloc_batch(Message msg) {
+  ++stats_.alloc_batches_served;
+  xdr::Decoder dec(msg.payload);
+  auto nalloc = dec.get_u32();
+  if (!nalloc) return send_error(msg.from, msg.session, msg.seq, nalloc.status());
+
+  Message reply;
+  reply.type = MessageType::kAllocReply;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  xdr::Encoder enc(reply.payload);
+  enc.put_u32(nalloc.value());
+
+  for (std::uint32_t i = 0; i < nalloc.value(); ++i) {
+    auto prov = dec.get_u64();
+    if (!prov) return send_error(msg.from, msg.session, msg.seq, prov.status());
+    auto type = dec.get_u32();
+    if (!type) return send_error(msg.from, msg.session, msg.seq, type.status());
+    auto mem = heap_.allocate(type.value(), 1);
+    if (!mem) return send_error(msg.from, msg.session, msg.seq, mem.status());
+    enc.put_u64(prov.value());
+    enc.put_u64(reinterpret_cast<std::uint64_t>(mem.value()));
+  }
+
+  auto nfree = dec.get_u32();
+  if (!nfree) return send_error(msg.from, msg.session, msg.seq, nfree.status());
+  for (std::uint32_t i = 0; i < nfree.value(); ++i) {
+    auto addr = dec.get_u64();
+    if (!addr) return send_error(msg.from, msg.session, msg.seq, addr.status());
+    Status freed = heap_.free(reinterpret_cast<void*>(addr.value()));
+    if (!freed.is_ok()) {
+      SRPC_WARN << "remote free failed: " << freed.to_string();
+    }
+  }
+  return endpoint_.send(std::move(reply));
+}
+
+Status Runtime::serve_writeback(Message msg) {
+  ++stats_.writebacks_served;
+  Status applied = apply_modified_set(msg.payload);
+  if (!applied.is_ok()) {
+    return send_error(msg.from, msg.session, msg.seq, applied);
+  }
+  Message reply;
+  reply.type = MessageType::kWriteBackAck;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  return endpoint_.send(std::move(reply));
+}
+
+Status Runtime::serve_invalidate(Message msg) {
+  // Invalidation is scoped to its session: a multicast from some other
+  // ground must not nuke data a different (still open) session put here.
+  if (cache_session_ == kNoSession || cache_session_ == msg.session) {
+    cache_.invalidate_all();
+    allocator_.clear();
+    session_updates_.clear();
+    cache_session_ = kNoSession;
+  }
+  Message reply;
+  reply.type = MessageType::kInvalidateAck;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  return endpoint_.send(std::move(reply));
+}
+
+Status Runtime::serve_deref(Message msg) {
+  ++stats_.derefs_served;
+  xdr::Decoder dec(msg.payload);
+  auto lp = decode_long_pointer(dec);
+  if (!lp) return send_error(msg.from, msg.session, msg.seq, lp.status());
+  if (lp.value().space != self_) {
+    return send_error(msg.from, msg.session, msg.seq,
+                      invalid_argument("deref for data homed elsewhere"));
+  }
+  const ManagedHeap::Record* record = heap_.find_base(lp.value().address);
+  if (record == nullptr) {
+    return send_error(msg.from, msg.session, msg.seq,
+                      not_found("deref of unknown datum: " + lp.value().to_string()));
+  }
+  Message reply;
+  reply.type = MessageType::kDerefReply;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  xdr::Encoder enc(reply.payload);
+  LongPointerFieldCodec pointer_codec(*this);
+  Status encoded =
+      codec_.encode(arch_, record->type, record->base, enc, pointer_codec);
+  if (!encoded.is_ok()) {
+    return send_error(msg.from, msg.session, msg.seq, encoded);
+  }
+  return endpoint_.send(std::move(reply));
+}
+
+// ---------------------------------------------------------------------------
+// Sessions (paper §3.1, §3.4)
+// ---------------------------------------------------------------------------
+
+Result<SessionId> Runtime::begin_session() {
+  if (session_ != kNoSession) {
+    return failed_precondition("session already active");
+  }
+  session_ = (static_cast<SessionId>(self_) << 32) | ++session_counter_;
+  cache_session_ = session_;
+  return session_;
+}
+
+Status Runtime::end_session() {
+  if (session_ == kNoSession) {
+    return failed_precondition("no active session");
+  }
+  SRPC_RETURN_IF_ERROR(flush_alloc_batches());
+
+  // Examine the modified data set and write each datum back to its home.
+  const auto modified = cache_.collect_modified();
+  std::map<SpaceId, std::vector<GraphObjectRef>> groups;
+  for (const auto& m : modified) {
+    groups[m.id.space].push_back(GraphObjectRef{m.id.address, m.id.type, m.image});
+  }
+  for (const auto& [home, refs] : groups) {
+    if (home == self_) continue;  // our own data is already at home
+    Message msg;
+    msg.type = MessageType::kWriteBack;
+    msg.to = home;
+    msg.session = session_;
+    msg.seq = endpoint_.next_seq();
+    xdr::Encoder enc(msg.payload);
+    enc.put_u32(1);
+    SRPC_RETURN_IF_ERROR(
+        encode_graph_payload(codec_, arch_, home, refs, *this, msg.payload));
+    const std::uint64_t seq = msg.seq;
+    SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
+    auto ack = endpoint_.await_reply(MessageType::kWriteBackAck, seq, nullptr);
+    if (!ack) return ack.status();
+    if (ack.value().type == MessageType::kError) return decode_error(ack.value());
+  }
+
+  // Multicast the invalidation to every space concerned with the session.
+  for (const SpaceId peer : directory_()) {
+    if (peer == self_) continue;
+    Message msg;
+    msg.type = MessageType::kInvalidate;
+    msg.to = peer;
+    msg.session = session_;
+    msg.seq = endpoint_.next_seq();
+    const std::uint64_t seq = msg.seq;
+    SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
+    auto ack = endpoint_.await_reply(MessageType::kInvalidateAck, seq, nullptr);
+    if (!ack) return ack.status();
+    if (ack.value().type == MessageType::kError) return decode_error(ack.value());
+  }
+
+  cache_.invalidate_all();
+  allocator_.clear();
+  session_updates_.clear();
+  cache_session_ = kNoSession;
+  session_ = kNoSession;
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------------
+
+Status Runtime::dispatch(Message msg) {
+  switch (msg.type) {
+    case MessageType::kCall:
+      return serve_call(std::move(msg));
+    case MessageType::kFetch:
+      return serve_fetch(std::move(msg));
+    case MessageType::kAllocBatch:
+      return serve_alloc_batch(std::move(msg));
+    case MessageType::kWriteBack:
+      return serve_writeback(std::move(msg));
+    case MessageType::kInvalidate:
+      return serve_invalidate(std::move(msg));
+    case MessageType::kDeref:
+      return serve_deref(std::move(msg));
+    case MessageType::kShutdown:
+      running_ = false;
+      return Status::ok();
+    default:
+      SRPC_WARN << name_ << ": dropping out-of-band " << to_string(msg.type)
+                << " seq=" << msg.seq << " from " << msg.from;
+      return Status::ok();
+  }
+}
+
+void Runtime::serve_forever() {
+  running_ = true;
+  while (running_) {
+    auto item = endpoint_.next();
+    if (!item) break;  // mailbox closed
+    if (std::holds_alternative<Task>(item.value())) {
+      std::get<Task>(item.value())();
+      continue;
+    }
+    Status served = dispatch(std::get<Message>(std::move(item).value()));
+    if (!served.is_ok()) {
+      SRPC_ERROR << name_ << ": dispatch failed: " << served.to_string();
+    }
+  }
+}
+
+}  // namespace srpc

@@ -1,0 +1,225 @@
+// Runtime — the smart-RPC engine of one address space.
+//
+// Ties the substrates together into the paper's system:
+//   * conventional RPC (call/return over the endpoint, service registry);
+//   * transparent remote pointers (swizzle on receipt via the cache, MMU
+//     fault -> fetch -> fill, unswizzle on send via heap + allocation
+//     table);
+//   * eagerness (closure packer attached to arguments, results, and fetch
+//     replies);
+//   * the session coherency protocol (modified data set travels on every
+//     control transfer; ground write-back + invalidation at session end);
+//   * batched remote memory management.
+//
+// One Runtime runs on one worker thread (see AddressSpace); every method
+// here executes on that thread, including re-entrant service while blocked
+// in a call and fetches issued from the SIGSEGV handler.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "core/cache_manager.hpp"
+#include "core/closure.hpp"
+#include "mem/managed_heap.hpp"
+#include "mem/remote_allocator.hpp"
+#include "net/sim_network.hpp"
+#include "rpc/rpc_endpoint.hpp"
+#include "rpc/service_registry.hpp"
+#include "types/host_type_map.hpp"
+#include "types/value_codec.hpp"
+
+namespace srpc {
+
+struct RuntimeStats {
+  std::uint64_t calls_sent = 0;
+  std::uint64_t calls_served = 0;
+  std::uint64_t fetches_served = 0;
+  std::uint64_t derefs_served = 0;
+  std::uint64_t writebacks_served = 0;
+  std::uint64_t alloc_batches_served = 0;
+};
+
+class Runtime final : public PageFetcher,
+                      public LocalDataView,
+                      public PointerTranslator {
+ public:
+  // `sim` may be null (real-socket transport): fault costs then show up as
+  // real time instead of virtual time. `directory` lists every space in the
+  // world for the session-end invalidation multicast.
+  Runtime(SpaceId self, std::string name, const ArchModel& arch,
+          TypeRegistry& registry, const LayoutEngine& layouts,
+          HostTypeMap& host_types, Transport& transport, SimNetwork* sim,
+          CacheOptions cache_options,
+          std::function<std::vector<SpaceId>()> directory);
+  ~Runtime() override = default;
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  Status init();
+
+  // --- identity & services --------------------------------------------------
+
+  [[nodiscard]] SpaceId id() const noexcept { return self_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const ArchModel& arch() const noexcept { return arch_; }
+  [[nodiscard]] TypeRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const LayoutEngine& layouts() const noexcept { return layouts_; }
+  [[nodiscard]] const ValueCodec& codec() const noexcept { return codec_; }
+  [[nodiscard]] HostTypeMap& host_types() noexcept { return host_types_; }
+  [[nodiscard]] ManagedHeap& heap() noexcept { return heap_; }
+  [[nodiscard]] const ManagedHeap& heap() const noexcept { return heap_; }
+  [[nodiscard]] CacheManager& cache() noexcept { return cache_; }
+  [[nodiscard]] const CacheManager& cache() const noexcept { return cache_; }
+  [[nodiscard]] ServiceRegistry& services() noexcept { return services_; }
+  [[nodiscard]] Mailbox& mailbox() noexcept { return mailbox_; }
+  [[nodiscard]] RpcEndpoint& endpoint() noexcept { return endpoint_; }
+  [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+
+  // --- worker loop ------------------------------------------------------------
+
+  // Serves messages and tasks until the mailbox closes or kShutdown lands.
+  void serve_forever();
+
+  // --- sessions (ground thread, paper §3.1/§3.4) -------------------------------
+
+  Result<SessionId> begin_session();
+  // Writes the modified data set back to every home, multicasts the
+  // invalidation, and drops the local cache.
+  Status end_session();
+  [[nodiscard]] SessionId current_session() const noexcept { return session_; }
+
+  // --- calls -------------------------------------------------------------------
+
+  // Raw call: `args` are the marshalled argument bytes; `pointer_roots` are
+  // local addresses of pointer arguments (their bounded closure travels
+  // eagerly with the call). On success the returned buffer's cursor sits at
+  // the marshalled results.
+  Result<ByteBuffer> call_raw(SpaceId target, const std::string& proc,
+                              ByteBuffer args,
+                              std::span<const std::uint64_t> pointer_roots);
+
+  // --- remote memory management (paper §3.5) ------------------------------------
+
+  // Allocates `count` objects of `type` in `home`'s heap; returns a locally
+  // usable pointer immediately (the home-side allocation is batched).
+  Result<void*> extended_malloc(SpaceId home, TypeId type, std::uint32_t count = 1);
+
+  // Releases data created with extended_malloc (or any cached/home datum);
+  // remote releases are batched like allocations.
+  Status extended_free(void* p);
+
+  // Flushes pending extended_malloc/extended_free batches now. The typed
+  // stubs call this before marshalling pointers (an unswizzled provisional
+  // identity must never cross the wire outside an ALLOC_BATCH); it is also
+  // implicit on every control transfer.
+  Status flush_pending_memory_ops() { return flush_alloc_batches(); }
+
+  // --- fully-lazy baseline support ----------------------------------------------
+
+  // One callback: fetch the value of a remote datum, no caching (paper §2's
+  // lazy method). The reply holds the canonical value encoding.
+  Result<ByteBuffer> deref_remote(const LongPointer& pointer);
+
+  // Programmer-directed prefetch (paper §6): fetch the data behind a local
+  // pointer now, with an explicit closure budget, instead of paying the
+  // access violation later. No-op for home data and resident cache.
+  Status prefetch(const void* p, std::uint64_t closure_budget) {
+    if (p == nullptr) return invalid_argument("prefetch(nullptr)");
+    if (!cache_.contains(p)) return Status::ok();  // home data: already here
+    return cache_.prefetch(p, closure_budget);
+  }
+
+  // Closure traversal order used when this space packs eager transfers
+  // (paper §3.3 uses breadth-first; §6 discusses the shape as open work —
+  // bench/ablation_closure_shape measures the alternative).
+  void set_closure_order(TraversalOrder order) noexcept { packer_.set_order(order); }
+
+  // --- PointerTranslator ----------------------------------------------------------
+
+  Result<LongPointer> unswizzle(std::uint64_t ordinary, TypeId pointee) override;
+  Result<std::uint64_t> swizzle(const LongPointer& pointer, TypeId pointee) override;
+
+  // --- LocalDataView ---------------------------------------------------------------
+
+  Result<DatumView> view_local(std::uint64_t local_addr) const override;
+
+  // --- PageFetcher -------------------------------------------------------------------
+
+  Result<ByteBuffer> fetch(SpaceId home, std::span<const LongPointer> pointers,
+                           std::uint64_t closure_budget) override;
+  void charge_fault() override;
+  Result<std::uint64_t> swizzle_home(const LongPointer& pointer, TypeId pointee) override;
+
+  // Records that remote activity modified one of OUR home data. Such data
+  // stays in the travelling modified set until the session ends — applying
+  // it at home is not enough, because other spaces may hold stale cached
+  // copies that only the travelling set can refresh (paper §3.4: "the
+  // modified data set is passed among the address spaces with the
+  // transition of thread activation ... each address space in the session
+  // can always see the correct working set").
+  void note_home_update(const LongPointer& id) { session_updates_.insert(id); }
+
+ private:
+  Status dispatch(Message msg);
+  Status serve_call(Message msg);
+  Status serve_fetch(Message msg);
+  Status serve_alloc_batch(Message msg);
+  Status serve_writeback(Message msg);
+  Status serve_invalidate(Message msg);
+  Status serve_deref(Message msg);
+
+  // Flushes pending extended_malloc/extended_free batches to every home
+  // (must precede any control transfer: the modified data set cannot be
+  // unswizzled while provisional identities are outstanding).
+  Status flush_alloc_batches();
+
+  // Appends "count + graph payloads" sections.
+  Status attach_modified_set(ByteBuffer& out);
+  Status attach_closures(ByteBuffer& out, std::span<const std::uint64_t> roots);
+
+  // Consumes "count + graph payloads" sections.
+  Status apply_modified_set(ByteBuffer& in);
+  Status apply_closures(ByteBuffer& in);
+
+  Status send_error(SpaceId to, SessionId session, std::uint64_t seq, const Status& error);
+  static Status decode_error(Message& msg);
+
+  SpaceId self_;
+  std::string name_;
+  const ArchModel& arch_;
+  TypeRegistry& registry_;
+  const LayoutEngine& layouts_;
+  ValueCodec codec_;
+  HostTypeMap& host_types_;
+  SimNetwork* sim_;
+  std::function<std::vector<SpaceId>()> directory_;
+
+  Mailbox mailbox_;
+  RpcEndpoint endpoint_;
+  ManagedHeap heap_;
+  CacheManager cache_;
+  RemoteAllocator allocator_;
+  ServiceRegistry services_;
+  ClosurePacker packer_;
+
+  RpcEndpoint::Dispatcher full_dispatcher_;
+  SessionId session_ = kNoSession;
+  std::uint64_t session_counter_ = 0;
+  bool running_ = false;
+  RuntimeStats stats_;
+  // Home data modified by remote activity this session; travels with every
+  // outgoing modified set so stale caches elsewhere get refreshed.
+  std::unordered_set<LongPointer, LongPointerHash> session_updates_;
+  // The session whose data currently populates our cache. A CALL from a
+  // *different* session while we still hold another session's cached data
+  // is refused: the paper's model has one session at a time, and mixing
+  // two sessions' modified sets would corrupt both.
+  SessionId cache_session_ = kNoSession;
+};
+
+}  // namespace srpc

@@ -1,0 +1,89 @@
+// Session — a ground thread's RPC session (paper §3.1).
+//
+// "A ground thread must declare the beginning and the end of an RPC
+// session. The concept of an RPC session is needed to determine the period
+// for which the runtime system guarantees to respond to remote data
+// references and to maintain the coherency of the cached data."
+//
+// Remote pointers obtained during the session are valid until end(); at
+// end() the runtime writes the modified data set back to every home and
+// multicasts the cache invalidation (§3.4). Sessions must be used on the
+// owning space's worker thread (inside AddressSpace::run()).
+#pragma once
+
+#include <string>
+
+#include "common/logging.hpp"
+#include "core/marshal.hpp"
+#include "core/runtime.hpp"
+
+namespace srpc {
+
+class Session {
+ public:
+  // Opens a session; throws on failure (sessions cannot be half-open).
+  explicit Session(Runtime& rt) : rt_(rt) {
+    auto id = rt_.begin_session();
+    id.status().check();
+    id_ = id.value();
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Ends the session if the user did not; teardown errors only log because
+  // destructors must not throw.
+  ~Session() {
+    if (!ended_) {
+      Status s = rt_.end_session();
+      if (!s.is_ok()) {
+        SRPC_ERROR << "implicit session end failed: " << s.to_string();
+      }
+    }
+  }
+
+  [[nodiscard]] SessionId id() const noexcept { return id_; }
+
+  template <typename R, typename... Args>
+  Result<R> call(SpaceId target, const std::string& proc, const Args&... args) {
+    return typed_call<R>(rt_, target, proc, args...);
+  }
+
+  template <typename... Args>
+  Status call_void(SpaceId target, const std::string& proc, const Args&... args) {
+    return typed_call_void(rt_, target, proc, args...);
+  }
+
+  // Remote memory management within the session (paper §3.5).
+  template <typename T>
+  Result<T*> extended_malloc(SpaceId home, std::uint32_t count = 1) {
+    auto type = rt_.host_types().find<T>();
+    if (!type) return type.status();
+    auto mem = rt_.extended_malloc(home, type.value(), count);
+    if (!mem) return mem.status();
+    return static_cast<T*>(mem.value());
+  }
+
+  Status extended_free(void* p) { return rt_.extended_free(p); }
+
+  // Suggests fetching the data behind `p` (and `closure_budget` bytes of
+  // its transitive closure) now rather than on first access — the paper's
+  // §6 "suggestions provided by the programmer".
+  template <typename T>
+  Status prefetch(const T* p, std::uint64_t closure_budget = 8192) {
+    return rt_.prefetch(p, closure_budget);
+  }
+
+  // Declares the end of the session: write-back + invalidation multicast.
+  Status end() {
+    ended_ = true;
+    return rt_.end_session();
+  }
+
+ private:
+  Runtime& rt_;
+  SessionId id_ = kNoSession;
+  bool ended_ = false;
+};
+
+}  // namespace srpc

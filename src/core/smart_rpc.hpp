@@ -1,0 +1,37 @@
+// Smart RPC — public umbrella header.
+//
+// Reproduction of Kono, Kato & Masuda, "Smart Remote Procedure Calls:
+// Transparent Treatment of Remote Pointers" (ICDCS 1994).
+//
+// Quickstart:
+//
+//   srpc::World world;
+//   auto& caller = world.create_space("caller");
+//   auto& callee = world.create_space("callee");
+//
+//   auto builder = world.describe<Node>("Node");
+//   builder.pointer_field("next", &Node::next, builder.id())
+//          .field("value", &Node::value);
+//   world.register_type(builder).status().check();
+//
+//   callee.bind("sum", [](srpc::CallContext&, Node* head) -> std::int64_t {
+//     std::int64_t total = 0;
+//     for (Node* n = head; n != nullptr; n = n->next) total += n->value;
+//     return total;  // `head` is a remote pointer, dereferenced transparently
+//   });
+//
+//   caller.run([&](srpc::Runtime& rt) {
+//     Node* head = ...;  // build a list in rt.heap()
+//     srpc::Session session(rt);
+//     auto total = session.call<std::int64_t>(callee.id(), "sum", head);
+//     session.end().check();
+//   });
+#pragma once
+
+#include "core/address_space.hpp"   // IWYU pragma: export
+#include "core/cache_manager.hpp"   // IWYU pragma: export
+#include "core/marshal.hpp"         // IWYU pragma: export
+#include "core/runtime.hpp"         // IWYU pragma: export
+#include "core/session.hpp"         // IWYU pragma: export
+#include "core/world.hpp"           // IWYU pragma: export
+#include "types/type_builder.hpp"   // IWYU pragma: export

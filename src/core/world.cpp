@@ -1,0 +1,78 @@
+#include "core/world.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace srpc {
+
+World::World(WorldOptions options)
+    : options_(options), layouts_(registry_) {
+  init_log_level_from_env();  // SRPC_LOG=debug|info|warn|error|off
+  if (options_.transport == TransportKind::kSimulated) {
+    sim_ = std::make_unique<SimNetwork>(options_.cost);
+  } else {
+    hub_ = std::make_unique<SocketHub>();
+  }
+}
+
+World::~World() {
+  // Stop every space first (close mailboxes, join workers), then the wire.
+  for (auto& space : spaces_) {
+    space->shutdown();
+  }
+  if (hub_) hub_->stop();
+}
+
+AddressSpace& World::create_space(const std::string& name, const ArchModel& arch) {
+  const SpaceId id = static_cast<SpaceId>(spaces_.size());
+  Transport& transport = sim_ ? static_cast<Transport&>(*sim_)
+                              : static_cast<Transport&>(*hub_);
+  auto directory = [this]() {
+    std::vector<SpaceId> ids;
+    ids.reserve(spaces_.size());
+    for (const auto& s : spaces_) ids.push_back(s->id());
+    return ids;
+  };
+  spaces_.push_back(std::make_unique<AddressSpace>(
+      id, name, arch, registry_, layouts_, host_types_, transport, sim_.get(),
+      options_.cache, std::move(directory)));
+  AddressSpace& space = *spaces_.back();
+
+  if (sim_) {
+    sim_->attach(id, &space.mailbox());
+    space.start().check();
+  } else {
+    hub_->attach(id, &space.mailbox()).check();
+  }
+  return space;
+}
+
+Status World::start() {
+  if (started_) return Status::ok();
+  started_ = true;
+  if (hub_) {
+    SRPC_RETURN_IF_ERROR(hub_->start());
+    for (auto& space : spaces_) {
+      SRPC_RETURN_IF_ERROR(space->start());
+    }
+  }
+  return Status::ok();
+}
+
+double World::virtual_seconds() const {
+  return sim_ ? VirtualClock::to_seconds(sim_->clock().now()) : 0.0;
+}
+
+NetworkStats World::net_stats() const {
+  return sim_ ? sim_->stats() : NetworkStats{};
+}
+
+void World::reset_metering() {
+  if (sim_) {
+    sim_->reset_stats();
+    sim_->clock().reset();
+  }
+}
+
+}  // namespace srpc

@@ -1,0 +1,90 @@
+// World — the distributed environment: shared type name-server, the wire,
+// and the set of address spaces.
+//
+// The World plays the roles the paper assumes around the RPC system: the
+// "database that serves as a network name server" for data type specifiers
+// (one TypeRegistry shared by all spaces) and the physical network (a
+// SimNetwork with the SPARC/Ethernet cost model by default, or a real
+// loopback-socket hub).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/address_space.hpp"
+#include "net/sim_network.hpp"
+#include "net/socket_transport.hpp"
+#include "types/host_type_map.hpp"
+#include "types/type_builder.hpp"
+
+namespace srpc {
+
+enum class TransportKind : std::uint8_t {
+  kSimulated,  // in-process delivery, virtual-clock cost model (default)
+  kSockets,    // real frames over AF_UNIX socket pairs
+};
+
+struct WorldOptions {
+  CostModel cost = CostModel::sparc_ethernet();
+  CacheOptions cache;  // per-space defaults (closure size, arena, strategy)
+  TransportKind transport = TransportKind::kSimulated;
+};
+
+class World {
+ public:
+  explicit World(WorldOptions options = {});
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // Creates (and, on the simulated transport, immediately starts) a space.
+  // With TransportKind::kSockets create all spaces first, then start().
+  AddressSpace& create_space(const std::string& name,
+                             const ArchModel& arch = host_arch());
+
+  // Starts deferred spaces and the socket hub. No-op on the simulated
+  // transport (spaces start eagerly there).
+  Status start();
+
+  [[nodiscard]] TypeRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] LayoutEngine& layouts() noexcept { return layouts_; }
+  [[nodiscard]] HostTypeMap& host_types() noexcept { return host_types_; }
+  [[nodiscard]] const WorldOptions& options() const noexcept { return options_; }
+
+  [[nodiscard]] AddressSpace& space(SpaceId id) { return *spaces_.at(id); }
+  [[nodiscard]] std::size_t space_count() const noexcept { return spaces_.size(); }
+
+  // Simulated-transport observability (null on the socket transport).
+  [[nodiscard]] SimNetwork* sim() noexcept { return sim_.get(); }
+  [[nodiscard]] double virtual_seconds() const;
+  [[nodiscard]] NetworkStats net_stats() const;
+  void reset_metering();
+
+  // Describes a host struct; finish with register_type() which also maps
+  // the C++ type for the typed stubs.
+  template <typename T>
+  HostStructBuilder<T> describe(const std::string& name) {
+    return HostStructBuilder<T>(registry_, layouts_, name);
+  }
+
+  template <typename T>
+  Result<TypeId> register_type(HostStructBuilder<T>& builder) {
+    auto id = builder.build();
+    if (!id) return id.status();
+    SRPC_RETURN_IF_ERROR(host_types_.bind<T>(id.value()));
+    return id.value();
+  }
+
+ private:
+  WorldOptions options_;
+  TypeRegistry registry_;
+  LayoutEngine layouts_;
+  HostTypeMap host_types_;
+  std::unique_ptr<SimNetwork> sim_;
+  std::unique_ptr<SocketHub> hub_;
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  bool started_ = false;
+};
+
+}  // namespace srpc

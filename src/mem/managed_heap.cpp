@@ -1,0 +1,125 @@
+#include "mem/managed_heap.hpp"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace srpc {
+
+namespace {
+void release_record(const ManagedHeap::Record& record) noexcept {
+  if (record.adopted) return;
+  if (record.mapped) {
+    ::munmap(record.base, record.size);
+  } else {
+    ::operator delete(record.base, std::align_val_t{alignof(std::max_align_t)});
+  }
+}
+}  // namespace
+
+ManagedHeap::~ManagedHeap() {
+  for (auto& [base, record] : records_) {
+    release_record(record);
+  }
+}
+
+Result<void*> ManagedHeap::allocate(TypeId type, std::uint32_t count) {
+  if (count == 0) {
+    return invalid_argument("allocate: zero count");
+  }
+  const TypeId full = count > 1 ? registry_.array_of(type, count) : type;
+  auto layout = layouts_.layout_of(arch_, full);
+  if (!layout) return layout.status();
+  const std::uint64_t size = layout.value()->size;
+
+  std::uint8_t* base = nullptr;
+  bool mapped = false;
+  const std::uint64_t addr_limit =
+      arch_.pointer_size >= 8 ? ~0ULL : (1ULL << (8 * arch_.pointer_size));
+  if (arch_.pointer_size < 8) {
+    // Foreign narrow-pointer space: addresses must fit its pointer fields.
+#if defined(__x86_64__) && defined(MAP_32BIT)
+    void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_32BIT, -1, 0);
+    if (mem == MAP_FAILED) {
+      return resource_exhausted(std::string("mmap(MAP_32BIT): ") +
+                                std::strerror(errno));
+    }
+    base = static_cast<std::uint8_t*>(mem);
+    mapped = true;
+#else
+    return unimplemented(
+        "foreign narrow-pointer heaps need MAP_32BIT (x86-64 Linux)");
+#endif
+    if (reinterpret_cast<std::uint64_t>(base) + size > addr_limit) {
+      ::munmap(base, size);
+      return resource_exhausted("low-address region exhausted for foreign heap");
+    }
+  } else {
+    base = static_cast<std::uint8_t*>(
+        ::operator new(size, std::align_val_t{alignof(std::max_align_t)}));
+    std::memset(base, 0, size);
+  }
+  records_.emplace(reinterpret_cast<std::uintptr_t>(base),
+                   Record{full, count, size, base, /*adopted=*/false, mapped});
+  live_bytes_ += size;
+  return static_cast<void*>(base);
+}
+
+Status ManagedHeap::adopt(void* base, TypeId type, std::uint32_t count) {
+  if (base == nullptr || count == 0) {
+    return invalid_argument("adopt: null base or zero count");
+  }
+  const TypeId full = count > 1 ? registry_.array_of(type, count) : type;
+  auto layout = layouts_.layout_of(arch_, full);
+  if (!layout) return layout.status();
+  const std::uint64_t size = layout.value()->size;
+  const auto key = reinterpret_cast<std::uintptr_t>(base);
+  // Reject overlap with existing records.
+  auto next = records_.upper_bound(key);
+  if (next != records_.end() && next->first < key + size) {
+    return already_exists("adopt: range overlaps existing allocation");
+  }
+  if (next != records_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.size > key) {
+      return already_exists("adopt: range overlaps existing allocation");
+    }
+  }
+  records_.emplace(key, Record{full, count, size, static_cast<std::uint8_t*>(base),
+                               /*adopted=*/true});
+  live_bytes_ += size;
+  return Status::ok();
+}
+
+Status ManagedHeap::free(void* p) {
+  const auto key = reinterpret_cast<std::uintptr_t>(p);
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    return not_found("free: not an allocation base");
+  }
+  live_bytes_ -= it->second.size;
+  release_record(it->second);
+  records_.erase(it);
+  return Status::ok();
+}
+
+const ManagedHeap::Record* ManagedHeap::find(const void* addr) const {
+  const auto target = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = records_.upper_bound(target);
+  if (it == records_.begin()) return nullptr;
+  --it;
+  if (target >= it->first + it->second.size) return nullptr;
+  return &it->second;
+}
+
+const ManagedHeap::Record* ManagedHeap::find_base(std::uint64_t addr) const {
+  auto it = records_.find(static_cast<std::uintptr_t>(addr));
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+}  // namespace srpc

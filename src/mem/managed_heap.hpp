@@ -1,0 +1,94 @@
+// ManagedHeap — the per-space heap "under the system control".
+//
+// The paper assumes "all data referenced by long pointers are ... located in
+// the heap area under the system control": the runtime must be able to map
+// any home address back to a typed object (to serve fetches, apply
+// write-backs, and unswizzle local pointers). ManagedHeap provides that:
+// typed allocation plus an interval index from address to allocation record.
+//
+// Concurrency: every operation on a space — user code, incoming fetch
+// service, write-back application — runs on that space's single worker
+// thread (the RPC execution model in paper §3.1), so the heap is
+// deliberately unsynchronised.
+//
+// Foreign architectures: a space modelling a CPU with pointers narrower
+// than the host's (e.g. the paper's 32-bit SPARC) must hand out addresses
+// its own pointer fields can hold, so its heap allocates from the low 2 GiB
+// via mmap(MAP_32BIT) — every home address then fits a 4-byte pointer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "types/arch.hpp"
+#include "types/layout.hpp"
+#include "types/type_registry.hpp"
+
+namespace srpc {
+
+class ManagedHeap {
+ public:
+  struct Record {
+    // Full type of the allocation: for count > 1 this is the interned
+    // T[count] array type, so a long pointer to the base names the whole
+    // datum and a fetch transfers all of it.
+    TypeId type = kInvalidTypeId;
+    std::uint32_t count = 1;     // element count (introspection)
+    std::uint64_t size = 0;      // total bytes
+    std::uint8_t* base = nullptr;
+    bool adopted = false;        // registered, not owned: never deallocated here
+    bool mapped = false;         // low-address mmap (foreign-arch space)
+  };
+
+  ManagedHeap(TypeRegistry& registry, const LayoutEngine& layouts,
+              const ArchModel& arch, SpaceId owner)
+      : registry_(registry), layouts_(layouts), arch_(arch), owner_(owner) {}
+  ~ManagedHeap();
+  ManagedHeap(const ManagedHeap&) = delete;
+  ManagedHeap& operator=(const ManagedHeap&) = delete;
+
+  // Allocates `count` contiguous objects of `type` laid out for this
+  // space's architecture, zero-initialised.
+  Result<void*> allocate(TypeId type, std::uint32_t count = 1);
+
+  // Registers externally-owned memory (e.g. a buffer the application built)
+  // so long pointers can reference it. The caller keeps ownership and must
+  // keep it alive until release() or heap destruction.
+  Status adopt(void* base, TypeId type, std::uint32_t count = 1);
+
+  // Frees an allocation (or unregisters an adopted range). `p` must be the
+  // base address.
+  Status free(void* p);
+
+  // Containing allocation for any (possibly interior) address.
+  [[nodiscard]] const Record* find(const void* addr) const;
+
+  // Allocation whose base is exactly `addr`.
+  [[nodiscard]] const Record* find_base(std::uint64_t addr) const;
+
+  [[nodiscard]] bool contains(const void* addr) const { return find(addr) != nullptr; }
+
+  [[nodiscard]] SpaceId owner() const noexcept { return owner_; }
+  [[nodiscard]] std::size_t live_allocations() const noexcept { return records_.size(); }
+  [[nodiscard]] std::uint64_t live_bytes() const noexcept { return live_bytes_; }
+
+  // Visits every live allocation in address order (introspection/dumps).
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& [base, record] : records_) {
+      fn(record);
+    }
+  }
+
+ private:
+  TypeRegistry& registry_;
+  const LayoutEngine& layouts_;
+  const ArchModel& arch_;
+  SpaceId owner_;
+  std::map<std::uintptr_t, Record> records_;
+  std::uint64_t live_bytes_ = 0;
+};
+
+}  // namespace srpc

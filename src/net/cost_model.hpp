@@ -1,0 +1,44 @@
+// Cost model for the simulated wire (see DESIGN.md §2).
+//
+// The paper measured SPARCstations (28.5 MIPS) on 10 Mbps Ethernet with
+// TCP_NODELAY. Our address spaces live in one process, so SimNetwork charges
+// a VirtualClock with what that hardware would have spent:
+//   - a fixed per-message cost (protocol stack, interrupt, small-packet
+//     latency),
+//   - a per-byte wire cost (10 Mbps = 800 ns/byte), and
+//   - a per-byte marshal cost on EACH side (XDR encode + decode on a
+//     ~28.5 MIPS CPU — the paper stresses that its numbers include this
+//     heterogeneity-conversion overhead),
+// plus a per-access-violation cost for the MMU path (signal delivery,
+// handler dispatch and the mprotect pair, SunOS-era pricing).
+//
+// Constants were calibrated against the paper's Figure 4 anchors: the
+// fully-eager method ≈ 2–3 s flat, the fully-lazy method ≈ 12 s at access
+// ratio 1.0 (≈32 k callbacks → ≈0.37 ms per callback round trip).
+#pragma once
+
+#include <cstdint>
+
+namespace srpc {
+
+struct CostModel {
+  std::uint64_t per_message_ns = 120'000;   // 120 us per message
+  std::uint64_t per_wire_byte_ns = 800;     // 10 Mbps
+  std::uint64_t per_marshal_byte_ns = 1200; // per side (encode or decode)
+  std::uint64_t per_fault_ns = 1'000'000;   // signal + mprotect pair, 1 ms
+
+  // Virtual nanoseconds one message of `wire_bytes` costs end to end
+  // (send-side marshal + wire + receive-side unmarshal + fixed latency).
+  [[nodiscard]] std::uint64_t message_cost(std::uint64_t wire_bytes) const noexcept {
+    return per_message_ns + wire_bytes * (per_wire_byte_ns + 2 * per_marshal_byte_ns);
+  }
+
+  // The paper's testbed. (Default-constructed CostModel is the same.)
+  static CostModel sparc_ethernet() noexcept { return CostModel{}; }
+
+  // A free wire: virtual time stands still. Used by unit tests that assert
+  // on behaviour, not cost.
+  static CostModel zero() noexcept { return CostModel{0, 0, 0, 0}; }
+};
+
+}  // namespace srpc

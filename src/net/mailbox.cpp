@@ -1,0 +1,63 @@
+#include "net/mailbox.hpp"
+
+namespace srpc {
+
+Status Mailbox::push_item(MailItem item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return unavailable("mailbox closed");
+    }
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return Status::ok();
+}
+
+Status Mailbox::push(Message msg) { return push_item(std::move(msg)); }
+
+Status Mailbox::push_task(Task task) {
+  if (!task) {
+    return invalid_argument("push_task: empty task");
+  }
+  return push_item(std::move(task));
+}
+
+Result<MailItem> Mailbox::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) {
+    return unavailable("mailbox closed");
+  }
+  MailItem item = std::move(queue_.front());
+  queue_.pop_front();
+  return item;
+}
+
+std::optional<MailItem> Mailbox::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  MailItem item = std::move(queue_.front());
+  queue_.pop_front();
+  return item;
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace srpc

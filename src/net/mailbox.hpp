@@ -1,0 +1,65 @@
+// Per-space inbound queue: network messages plus locally-posted tasks.
+//
+// Every operation a space performs — serving a call, a fetch, a write-back,
+// or running ground-thread user code — executes on the space's single
+// worker thread, which blocks here. Tasks never cross the transport; they
+// are how AddressSpace::run() injects user code into the worker.
+//
+// Threading note: the fault path (vm/fault_dispatcher) waits on this mailbox
+// *inside a SIGSEGV handler*. That is the classic user-level-DSM discipline
+// and it is safe under one invariant, enforced throughout the runtime: no
+// code ever touches a protected cache page while holding the mailbox mutex
+// (or any other runtime lock), so the faulting thread can never deadlock
+// against itself.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <variant>
+
+#include "common/status.hpp"
+#include "net/message.hpp"
+
+namespace srpc {
+
+using Task = std::function<void()>;
+using MailItem = std::variant<Message, Task>;
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  // Enqueues a message; wakes one waiter. Fails after close().
+  Status push(Message msg);
+
+  // Enqueues a local task for the owning thread.
+  Status push_task(Task task);
+
+  // Blocks until an item arrives or the mailbox is closed.
+  // Returns UNAVAILABLE when closed and drained.
+  Result<MailItem> pop();
+
+  // Non-blocking variant; returns nullopt when empty.
+  std::optional<MailItem> try_pop();
+
+  // Wakes all waiters; subsequent pushes fail, pops drain then fail.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  Status push_item(MailItem item);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<MailItem> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace srpc

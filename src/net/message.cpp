@@ -1,0 +1,39 @@
+#include "net/message.hpp"
+
+namespace srpc {
+
+std::string_view to_string(MessageType t) noexcept {
+  switch (t) {
+    case MessageType::kCall:
+      return "CALL";
+    case MessageType::kReturn:
+      return "RETURN";
+    case MessageType::kFetch:
+      return "FETCH";
+    case MessageType::kFetchReply:
+      return "FETCH_REPLY";
+    case MessageType::kAllocBatch:
+      return "ALLOC_BATCH";
+    case MessageType::kAllocReply:
+      return "ALLOC_REPLY";
+    case MessageType::kWriteBack:
+      return "WRITE_BACK";
+    case MessageType::kWriteBackAck:
+      return "WRITE_BACK_ACK";
+    case MessageType::kInvalidate:
+      return "INVALIDATE";
+    case MessageType::kInvalidateAck:
+      return "INVALIDATE_ACK";
+    case MessageType::kDeref:
+      return "DEREF";
+    case MessageType::kDerefReply:
+      return "DEREF_REPLY";
+    case MessageType::kError:
+      return "ERROR";
+    case MessageType::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace srpc

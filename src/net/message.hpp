@@ -1,0 +1,55 @@
+// Runtime messages exchanged between address spaces.
+//
+// One message vocabulary serves the whole system: conventional RPC
+// (call/return), the smart-RPC fetch protocol (paper §3.2), the coherency
+// write-back and invalidation traffic (§3.4), batched remote memory
+// management (§3.5), and the fully-lazy baseline's per-dereference
+// callbacks (§2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/byte_buffer.hpp"
+#include "common/ids.hpp"
+
+namespace srpc {
+
+enum class MessageType : std::uint8_t {
+  kCall = 1,       // invoke a remote procedure (args + piggybacked payloads)
+  kReturn,         // procedure result (+ piggybacked payloads)
+  kFetch,          // request the data allocated to a faulted page
+  kFetchReply,     // graph payload filling the page (+ eager closure)
+  kAllocBatch,     // batched extended_malloc/extended_free requests
+  kAllocReply,     // home-assigned addresses for the batch
+  kWriteBack,      // session-end write-back of the modified data set
+  kWriteBackAck,
+  kInvalidate,     // session-end multicast: drop all cached data
+  kInvalidateAck,
+  kDeref,          // fully-lazy baseline: dereference one long pointer
+  kDerefReply,
+  kError,          // remote failure terminating the pending operation
+  kShutdown,       // world teardown: stop the space's worker loop
+};
+
+std::string_view to_string(MessageType t) noexcept;
+
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  SpaceId from = kInvalidSpaceId;
+  SpaceId to = kInvalidSpaceId;
+  SessionId session = kNoSession;
+  std::uint64_t seq = 0;  // matches replies to requests
+  ByteBuffer payload;
+
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+};
+
+// Fixed per-message wire overhead (header fields as framed by rpc/wire.cpp).
+inline constexpr std::size_t kMessageHeaderWireSize = 32;
+
+inline std::size_t Message::wire_size() const noexcept {
+  return kMessageHeaderWireSize + payload.size();
+}
+
+}  // namespace srpc

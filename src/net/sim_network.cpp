@@ -1,0 +1,42 @@
+#include "net/sim_network.hpp"
+
+#include "common/logging.hpp"
+
+namespace srpc {
+
+void SimNetwork::attach(SpaceId space, Mailbox* mailbox) {
+  mailboxes_[space] = mailbox;
+}
+
+void SimNetwork::detach(SpaceId space) { mailboxes_.erase(space); }
+
+Status SimNetwork::send(Message msg) {
+  auto it = mailboxes_.find(msg.to);
+  if (it == mailboxes_.end()) {
+    return not_found("send to unknown space " + std::to_string(msg.to));
+  }
+  const std::uint64_t wire = msg.wire_size();
+  clock_.advance(cost_.message_cost(wire));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.messages += 1;
+    stats_.wire_bytes += wire;
+    stats_.messages_by_type[static_cast<std::size_t>(msg.type)] += 1;
+    stats_.bytes_by_type[static_cast<std::size_t>(msg.type)] += wire;
+  }
+  SRPC_DEBUG << "net: " << to_string(msg.type) << " " << msg.from << "->" << msg.to
+             << " session=" << msg.session << " seq=" << msg.seq << " bytes=" << wire;
+  return it->second->push(std::move(msg));
+}
+
+NetworkStats SimNetwork::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void SimNetwork::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_ = NetworkStats{};
+}
+
+}  // namespace srpc

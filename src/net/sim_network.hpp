@@ -1,0 +1,68 @@
+// SimNetwork — the simulated 10 Mbps Ethernet connecting address spaces.
+//
+// Delivery is immediate (an in-process mailbox push); *cost* is charged to
+// the world's VirtualClock per the CostModel. Because an RPC session has a
+// single active thread, charges are sequential and the resulting virtual
+// timeline is deterministic — benches report it as the paper reported
+// wall-clock seconds.
+//
+// SimNetwork also keeps per-message-type counters; Figure 5 ("number of
+// callbacks") is read straight off these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/virtual_clock.hpp"
+#include "net/cost_model.hpp"
+#include "net/transport.hpp"
+
+namespace srpc {
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+  // Indexed by MessageType's underlying value.
+  std::array<std::uint64_t, 16> messages_by_type{};
+  std::array<std::uint64_t, 16> bytes_by_type{};
+
+  [[nodiscard]] std::uint64_t count(MessageType t) const noexcept {
+    return messages_by_type[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] std::uint64_t bytes(MessageType t) const noexcept {
+    return bytes_by_type[static_cast<std::size_t>(t)];
+  }
+};
+
+class SimNetwork final : public Transport {
+ public:
+  explicit SimNetwork(CostModel cost = CostModel::sparc_ethernet()) : cost_(cost) {}
+
+  // Registers a space's mailbox. Not thread-safe against concurrent send();
+  // worlds attach all spaces before traffic starts.
+  void attach(SpaceId space, Mailbox* mailbox);
+  void detach(SpaceId space);
+
+  Status send(Message msg) override;
+
+  // Charges the MMU access-violation cost (called by the cache manager for
+  // every fault taken on a protected page).
+  void charge_fault() noexcept { clock_.advance(cost_.per_fault_ns); }
+
+  [[nodiscard]] VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const CostModel& cost_model() const noexcept { return cost_; }
+
+  [[nodiscard]] NetworkStats stats() const;
+  void reset_stats();
+
+ private:
+  CostModel cost_;
+  VirtualClock clock_;
+  std::unordered_map<SpaceId, Mailbox*> mailboxes_;
+  mutable std::mutex stats_mutex_;
+  NetworkStats stats_;
+};
+
+}  // namespace srpc

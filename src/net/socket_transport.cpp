@@ -1,0 +1,132 @@
+#include "net/socket_transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "rpc/wire.hpp"
+
+namespace srpc {
+
+SocketHub::~SocketHub() { stop(); }
+
+Status SocketHub::attach(SpaceId space, Mailbox* mailbox) {
+  if (running_.load()) {
+    return failed_precondition("attach after start()");
+  }
+  if (endpoints_.contains(space)) {
+    return already_exists("space " + std::to_string(space) + " already attached");
+  }
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return internal_error(std::string("socketpair: ") + std::strerror(errno));
+  }
+  auto ep = std::make_unique<Endpoint>();
+  ep->space_fd = fds[0];
+  ep->hub_fd = fds[1];
+  ep->mailbox = mailbox;
+  endpoints_.emplace(space, std::move(ep));
+  return Status::ok();
+}
+
+Status SocketHub::start() {
+  if (running_.exchange(true)) {
+    return failed_precondition("hub already started");
+  }
+  for (auto& [space, ep] : endpoints_) {
+    ep->reader = std::thread([this, e = ep.get()] { reader_loop(*e); });
+  }
+  switch_thread_ = std::thread([this] { switch_loop(); });
+  return Status::ok();
+}
+
+void SocketHub::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  running_.store(false);
+  for (auto& [space, ep] : endpoints_) {
+    // shutdown() (not close()) wakes threads blocked in read().
+    ::shutdown(ep->space_fd, SHUT_RDWR);
+    ::shutdown(ep->hub_fd, SHUT_RDWR);
+  }
+  if (switch_thread_.joinable()) switch_thread_.join();
+  for (auto& [space, ep] : endpoints_) {
+    if (ep->reader.joinable()) ep->reader.join();
+    ::close(ep->space_fd);
+    ::close(ep->hub_fd);
+  }
+}
+
+Status SocketHub::send(Message msg) {
+  if (!running_.load()) {
+    return unavailable("hub not running");
+  }
+  auto it = endpoints_.find(msg.from);
+  if (it == endpoints_.end()) {
+    return not_found("send from unknown space " + std::to_string(msg.from));
+  }
+  if (!endpoints_.contains(msg.to)) {
+    return not_found("send to unknown space " + std::to_string(msg.to));
+  }
+  // One writer at a time per socket is all we need; a single hub-wide lock
+  // keeps it simple (traffic over this transport is test-scale).
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  return write_frame(it->second->space_fd, msg);
+}
+
+void SocketHub::switch_loop() {
+  std::vector<pollfd> fds;
+  std::vector<Endpoint*> eps;
+  for (auto& [space, ep] : endpoints_) {
+    fds.push_back({ep->hub_fd, POLLIN, 0});
+    eps.push_back(ep.get());
+  }
+  while (running_.load()) {
+    const int n = ::poll(fds.data(), fds.size(), 100 /*ms*/);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SRPC_ERROR << "hub poll: " << std::strerror(errno);
+      return;
+    }
+    if (n == 0) continue;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      auto msg = read_frame(fds[i].fd);
+      if (!msg) {
+        if (!running_.load()) return;
+        SRPC_DEBUG << "hub: endpoint read ended: " << msg.status().to_string();
+        fds[i].events = 0;  // stop polling this endpoint
+        continue;
+      }
+      auto dest = endpoints_.find(msg.value().to);
+      if (dest == endpoints_.end()) {
+        SRPC_WARN << "hub: dropping frame to unknown space " << msg.value().to;
+        continue;
+      }
+      Status s = write_frame(dest->second->hub_fd, msg.value());
+      if (!s.is_ok() && running_.load()) {
+        SRPC_WARN << "hub: forward failed: " << s.to_string();
+      }
+    }
+  }
+}
+
+void SocketHub::reader_loop(Endpoint& ep) {
+  while (running_.load()) {
+    auto msg = read_frame(ep.space_fd);
+    if (!msg) {
+      if (running_.load()) {
+        SRPC_DEBUG << "reader: " << msg.status().to_string();
+      }
+      return;
+    }
+    Status s = ep.mailbox->push(std::move(msg).value());
+    if (!s.is_ok()) return;  // mailbox closed: space is shutting down
+  }
+}
+
+}  // namespace srpc

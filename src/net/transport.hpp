@@ -1,0 +1,24 @@
+// Transport abstraction: how a message leaves one address space and lands
+// in another's mailbox. Production analogue would be TCP; the repo ships a
+// simulated network (sim_network.hpp, with the cost model and virtual
+// clock) and a real loopback-socket transport (socket_transport.hpp).
+#pragma once
+
+#include "common/status.hpp"
+#include "net/mailbox.hpp"
+#include "net/message.hpp"
+
+namespace srpc {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Delivers `msg` to msg.to's mailbox. Must be callable from any thread,
+  // including the SIGSEGV fault path (no allocation-free guarantee is
+  // required — the handler runs on a normal stack for a synchronous fault —
+  // but it must not touch protected cache pages).
+  virtual Status send(Message msg) = 0;
+};
+
+}  // namespace srpc

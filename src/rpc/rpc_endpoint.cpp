@@ -1,0 +1,51 @@
+#include "rpc/rpc_endpoint.hpp"
+
+#include "common/logging.hpp"
+
+namespace srpc {
+
+Status RpcEndpoint::send(Message msg) {
+  msg.from = self_;
+  return transport_.send(std::move(msg));
+}
+
+Result<Message> RpcEndpoint::await_reply(MessageType reply_type, std::uint64_t seq,
+                                         const Dispatcher& serve) {
+  while (true) {
+    auto item = mailbox_.pop();
+    if (!item) return item.status();
+
+    if (std::holds_alternative<Task>(item.value())) {
+      // User code posted from outside while we're mid-call: run it when the
+      // space is next idle, not on this re-entrant stack.
+      deferred_.push_back(std::move(item).value());
+      continue;
+    }
+
+    Message msg = std::get<Message>(std::move(item).value());
+    const bool matches =
+        msg.seq == seq && (msg.type == reply_type || msg.type == MessageType::kError);
+    if (matches) {
+      return msg;
+    }
+    if (serve) {
+      Status served = serve(std::move(msg));
+      if (!served.is_ok()) return served;
+    } else {
+      SRPC_DEBUG << "deferring " << to_string(msg.type) << " from " << msg.from
+                 << " while awaiting " << to_string(reply_type) << " seq=" << seq;
+      deferred_.push_back(std::move(msg));
+    }
+  }
+}
+
+Result<MailItem> RpcEndpoint::next() {
+  if (!deferred_.empty()) {
+    MailItem item = std::move(deferred_.front());
+    deferred_.pop_front();
+    return item;
+  }
+  return mailbox_.pop();
+}
+
+}  // namespace srpc

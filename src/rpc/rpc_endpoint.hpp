@@ -1,0 +1,59 @@
+// RpcEndpoint — one space's seat on the network.
+//
+// The crucial piece is await_reply(): while a space is blocked on a
+// synchronous reply it keeps *serving* incoming requests through the
+// supplied dispatcher. That single mechanism gives the paper's execution
+// model its power: nested RPCs, callbacks (a callee remotely calling its
+// caller), and fetch service while blocked all fall out of it, and the
+// "only a single thread is active in an RPC session" property (§3.1) is
+// preserved because serving happens on the blocked thread itself.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/status.hpp"
+#include "net/mailbox.hpp"
+#include "net/transport.hpp"
+
+namespace srpc {
+
+class RpcEndpoint {
+ public:
+  RpcEndpoint(SpaceId self, Transport& transport, Mailbox& mailbox)
+      : self_(self), transport_(transport), mailbox_(mailbox) {}
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  [[nodiscard]] SpaceId self() const noexcept { return self_; }
+
+  std::uint64_t next_seq() noexcept { return ++seq_; }
+
+  // Stamps the sender and ships the message.
+  Status send(Message msg);
+
+  // Serves a non-reply message while blocked; returning an error aborts
+  // the surrounding await.
+  using Dispatcher = std::function<Status(Message)>;
+
+  // Blocks until a message with `reply_type` (or kError) and matching seq
+  // arrives. Other messages are fed to `serve`; if `serve` is empty they
+  // are deferred for the main loop (used on the fault path, where nothing
+  // but the reply can legitimately arrive). Tasks are always deferred.
+  Result<Message> await_reply(MessageType reply_type, std::uint64_t seq,
+                              const Dispatcher& serve);
+
+  // Next item for the main loop; drains deferred items first, then blocks
+  // on the mailbox. UNAVAILABLE once the mailbox is closed and drained.
+  Result<MailItem> next();
+
+ private:
+  SpaceId self_;
+  Transport& transport_;
+  Mailbox& mailbox_;
+  std::uint64_t seq_ = 0;
+  std::deque<MailItem> deferred_;
+};
+
+}  // namespace srpc

@@ -1,0 +1,24 @@
+#include "rpc/service_registry.hpp"
+
+namespace srpc {
+
+Status ServiceRegistry::bind(const std::string& name, RawHandler handler) {
+  if (name.empty()) {
+    return invalid_argument("procedure name must not be empty");
+  }
+  if (!handler) {
+    return invalid_argument("procedure handler must not be empty: " + name);
+  }
+  auto [it, inserted] = handlers_.emplace(name, std::move(handler));
+  if (!inserted) {
+    return already_exists("procedure already bound: " + name);
+  }
+  return Status::ok();
+}
+
+const RawHandler* ServiceRegistry::find(const std::string& name) const {
+  auto it = handlers_.find(name);
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace srpc

@@ -1,0 +1,55 @@
+// ServiceRegistry — remote procedures bound in one address space.
+//
+// Procedures are stored as raw handlers over wire buffers; the typed
+// stub layer (core/marshal.hpp) wraps application functions into these,
+// exactly as a conventional stub generator would emit them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/byte_buffer.hpp"
+#include "common/ids.hpp"
+#include "common/status.hpp"
+
+namespace srpc {
+
+class Runtime;
+
+// Everything a procedure body may need from the runtime: the executing
+// space's services (heap, extended_malloc, nested calls) plus call
+// provenance.
+struct CallContext {
+  Runtime& runtime;
+  SessionId session = kNoSession;
+  SpaceId caller = kInvalidSpaceId;
+};
+
+// `result_roots` receives the local addresses of any pointers the handler
+// returns, so the runtime can attach their eager closure to the RETURN
+// exactly as it does for call arguments.
+using RawHandler = std::function<Status(CallContext&, ByteBuffer& args,
+                                        ByteBuffer& results,
+                                        std::vector<std::uint64_t>& result_roots)>;
+
+class ServiceRegistry {
+ public:
+  ServiceRegistry() = default;
+  ServiceRegistry(const ServiceRegistry&) = delete;
+  ServiceRegistry& operator=(const ServiceRegistry&) = delete;
+
+  Status bind(const std::string& name, RawHandler handler);
+
+  // nullptr if the procedure is unknown.
+  [[nodiscard]] const RawHandler* find(const std::string& name) const;
+
+  [[nodiscard]] std::size_t procedure_count() const noexcept { return handlers_.size(); }
+
+ private:
+  std::unordered_map<std::string, RawHandler> handlers_;
+};
+
+}  // namespace srpc

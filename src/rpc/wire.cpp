@@ -1,0 +1,143 @@
+#include "rpc/wire.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace srpc {
+
+namespace {
+bool valid_message_type(std::uint32_t t) noexcept {
+  return t >= static_cast<std::uint32_t>(MessageType::kCall) &&
+         t <= static_cast<std::uint32_t>(MessageType::kShutdown);
+}
+}  // namespace
+
+void encode_frame(const Message& msg, ByteBuffer& out) {
+  xdr::Encoder enc(out);
+  enc.put_u32(kFrameMagic);
+  enc.put_u32(static_cast<std::uint32_t>(msg.type));
+  enc.put_u32(msg.from);
+  enc.put_u32(msg.to);
+  enc.put_u64(msg.session);
+  enc.put_u64(msg.seq);
+  enc.put_u32(static_cast<std::uint32_t>(msg.payload.size()));
+  out.append(msg.payload.view());
+}
+
+Result<Message> decode_frame(ByteBuffer& in) {
+  xdr::Decoder dec(in);
+  auto magic = dec.get_u32();
+  if (!magic) return magic.status();
+  if (magic.value() != kFrameMagic) {
+    return protocol_error("bad frame magic");
+  }
+  auto type = dec.get_u32();
+  if (!type) return type.status();
+  if (!valid_message_type(type.value())) {
+    return protocol_error("unknown message type " + std::to_string(type.value()));
+  }
+  Message msg;
+  msg.type = static_cast<MessageType>(type.value());
+  auto from = dec.get_u32();
+  if (!from) return from.status();
+  msg.from = from.value();
+  auto to = dec.get_u32();
+  if (!to) return to.status();
+  msg.to = to.value();
+  auto session = dec.get_u64();
+  if (!session) return session.status();
+  msg.session = session.value();
+  auto seq = dec.get_u64();
+  if (!seq) return seq.status();
+  msg.seq = seq.value();
+  auto len = dec.get_u32();
+  if (!len) return len.status();
+  auto view = in.read_view(len.value());
+  if (!view) return view.status();
+  msg.payload.append(view.value());
+  return msg;
+}
+
+Status write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unavailable(std::string("write: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return unavailable("write: peer closed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status read_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unavailable(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return unavailable("read: peer closed");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<Message> read_frame(int fd) {
+  ByteBuffer header;
+  header.append_zeros(kFrameHeaderSize);
+  SRPC_RETURN_IF_ERROR(read_all(fd, header.data(), kFrameHeaderSize));
+
+  // Parse the header alone first to learn the payload length.
+  xdr::Decoder dec(header);
+  auto magic = dec.get_u32();
+  if (!magic) return magic.status();
+  if (magic.value() != kFrameMagic) return protocol_error("bad frame magic");
+  auto type = dec.get_u32();
+  if (!type) return type.status();
+  if (!valid_message_type(type.value())) {
+    return protocol_error("unknown message type " + std::to_string(type.value()));
+  }
+  Message msg;
+  msg.type = static_cast<MessageType>(type.value());
+  auto from = dec.get_u32();
+  if (!from) return from.status();
+  msg.from = from.value();
+  auto to = dec.get_u32();
+  if (!to) return to.status();
+  msg.to = to.value();
+  auto session = dec.get_u64();
+  if (!session) return session.status();
+  msg.session = session.value();
+  auto seq = dec.get_u64();
+  if (!seq) return seq.status();
+  msg.seq = seq.value();
+  auto len = dec.get_u32();
+  if (!len) return len.status();
+
+  if (len.value() > 0) {
+    msg.payload.append_zeros(len.value());
+    SRPC_RETURN_IF_ERROR(read_all(fd, msg.payload.data(), len.value()));
+  }
+  return msg;
+}
+
+Status write_frame(int fd, const Message& msg) {
+  ByteBuffer out;
+  encode_frame(msg, out);
+  return write_all(fd, out.data(), out.size());
+}
+
+}  // namespace srpc

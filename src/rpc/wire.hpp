@@ -1,0 +1,46 @@
+// Byte-level message framing, used by the real-socket transport and by
+// anything that needs to persist or checksum messages. The simulated
+// network skips framing (it moves Message objects) but charges the same
+// modeled sizes, so both transports price identically.
+//
+// Frame layout (all integers XDR big-endian):
+//   magic   u32  'SRPC'
+//   type    u32
+//   from    u32
+//   to      u32
+//   session u64
+//   seq     u64
+//   len     u32  payload byte count
+//   payload len bytes
+#pragma once
+
+#include <cstdint>
+
+#include "common/byte_buffer.hpp"
+#include "common/status.hpp"
+#include "net/message.hpp"
+
+namespace srpc {
+
+inline constexpr std::uint32_t kFrameMagic = 0x53525043;  // "SRPC"
+inline constexpr std::size_t kFrameHeaderSize = 36;
+
+// Appends the framed message to `out`.
+void encode_frame(const Message& msg, ByteBuffer& out);
+
+// Decodes one frame from `in`'s cursor. PROTOCOL_ERROR on bad magic or
+// unknown type; OUT_OF_RANGE if the buffer holds less than one frame.
+Result<Message> decode_frame(ByteBuffer& in);
+
+// Blocking full-buffer I/O on a file descriptor (retries EINTR and short
+// transfers). UNAVAILABLE on EOF / peer close.
+Status write_all(int fd, const std::uint8_t* data, std::size_t len);
+Status read_all(int fd, std::uint8_t* data, std::size_t len);
+
+// Reads exactly one frame from `fd`.
+Result<Message> read_frame(int fd);
+
+// Writes one frame to `fd`.
+Status write_frame(int fd, const Message& msg);
+
+}  // namespace srpc

@@ -1,0 +1,146 @@
+#include "swizzle/allocation_table.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace srpc {
+
+Status DataAllocationTable::insert(const AllocationEntry& entry,
+                                   std::uint32_t page_count) {
+  if (entry.pointer.is_null()) {
+    return invalid_argument("allocation entry with null long pointer");
+  }
+  if (entry.local == nullptr || entry.size == 0 || page_count == 0) {
+    return invalid_argument("allocation entry with empty local range");
+  }
+  if (by_pointer_.contains(entry.pointer)) {
+    return already_exists("long pointer already swizzled: " + entry.pointer.to_string());
+  }
+  const auto base = reinterpret_cast<std::uintptr_t>(entry.local);
+  // Overlap check against the nearest existing local entries.
+  auto next = by_local_.lower_bound(base);
+  if (next != by_local_.end() && next->first < base + entry.size) {
+    return already_exists("local range overlaps existing entry");
+  }
+  if (next != by_local_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second->size > base) {
+      return already_exists("local range overlaps existing entry");
+    }
+  }
+  // Overlap check against the nearest home ranges of the same space.
+  const auto home_key = std::make_pair(entry.pointer.space, entry.pointer.address);
+  auto hnext = by_home_.lower_bound(home_key);
+  if (hnext != by_home_.end() && hnext->first.first == entry.pointer.space &&
+      hnext->first.second < entry.pointer.address + entry.size) {
+    return already_exists("home range overlaps existing entry");
+  }
+  if (hnext != by_home_.begin()) {
+    auto hprev = std::prev(hnext);
+    if (hprev->first.first == entry.pointer.space &&
+        hprev->first.second + hprev->second->size > entry.pointer.address) {
+      return already_exists("home range overlaps existing entry");
+    }
+  }
+
+  storage_.push_back(std::make_unique<AllocationEntry>(entry));
+  AllocationEntry* stored = storage_.back().get();
+  ++live_;
+  by_pointer_.emplace(stored->pointer, stored);
+  by_local_.emplace(base, stored);
+  by_home_.emplace(home_key, stored);
+  for (std::uint32_t i = 0; i < page_count; ++i) {
+    by_page_[stored->page + i].push_back(stored);
+  }
+  return Status::ok();
+}
+
+const AllocationEntry* DataAllocationTable::find(const LongPointer& pointer) const {
+  auto it = by_pointer_.find(pointer);
+  if (it != by_pointer_.end()) return it->second;
+  // The type component is identity-irrelevant: a pointer received with a
+  // different static type still designates the same datum.
+  auto hit = by_home_.find(std::make_pair(pointer.space, pointer.address));
+  return hit == by_home_.end() ? nullptr : hit->second;
+}
+
+const AllocationEntry* DataAllocationTable::find_containing_home(
+    SpaceId space, std::uint64_t addr) const {
+  auto it = by_home_.upper_bound(std::make_pair(space, addr));
+  if (it == by_home_.begin()) return nullptr;
+  --it;
+  if (it->first.first != space) return nullptr;
+  const AllocationEntry* entry = it->second;
+  if (addr >= it->first.second + entry->size) return nullptr;
+  return entry;
+}
+
+const AllocationEntry* DataAllocationTable::find_by_local(const void* addr) const {
+  const auto target = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = by_local_.upper_bound(target);
+  if (it == by_local_.begin()) return nullptr;
+  --it;
+  const AllocationEntry* entry = it->second;
+  if (target >= it->first + entry->size) return nullptr;
+  return entry;
+}
+
+std::vector<const AllocationEntry*> DataAllocationTable::entries_on_page(
+    PageIndex page) const {
+  std::vector<const AllocationEntry*> out;
+  auto it = by_page_.find(page);
+  if (it == by_page_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end(), [](const AllocationEntry* a, const AllocationEntry* b) {
+    return a->local < b->local;
+  });
+  return out;
+}
+
+Status DataAllocationTable::rebind(const LongPointer& provisional,
+                                   const LongPointer& actual) {
+  auto it = by_pointer_.find(provisional);
+  if (it == by_pointer_.end()) {
+    return not_found("rebind: provisional pointer not in table: " +
+                     provisional.to_string());
+  }
+  if (by_pointer_.contains(actual)) {
+    return already_exists("rebind: target identity already present: " +
+                          actual.to_string());
+  }
+  AllocationEntry* entry = it->second;
+  by_pointer_.erase(it);
+  by_home_.erase(std::make_pair(provisional.space, provisional.address));
+  entry->pointer = actual;
+  by_pointer_.emplace(actual, entry);
+  by_home_.emplace(std::make_pair(actual.space, actual.address), entry);
+  return Status::ok();
+}
+
+Status DataAllocationTable::remove(const LongPointer& pointer) {
+  auto it = by_pointer_.find(pointer);
+  if (it == by_pointer_.end()) {
+    return not_found("remove: pointer not in table: " + pointer.to_string());
+  }
+  AllocationEntry* entry = it->second;
+  by_pointer_.erase(it);
+  by_home_.erase(std::make_pair(entry->pointer.space, entry->pointer.address));
+  by_local_.erase(reinterpret_cast<std::uintptr_t>(entry->local));
+  // Frees are rare; a sweep over the page index keeps insert() lean.
+  for (auto& [page, list] : by_page_) {
+    list.erase(std::remove(list.begin(), list.end(), entry), list.end());
+  }
+  --live_;
+  return Status::ok();
+}
+
+void DataAllocationTable::clear() {
+  storage_.clear();
+  live_ = 0;
+  by_pointer_.clear();
+  by_local_.clear();
+  by_page_.clear();
+  by_home_.clear();
+}
+
+}  // namespace srpc

@@ -1,0 +1,88 @@
+// The data allocation table (paper §3.2, Table 1).
+//
+// "The runtime system maintains a data allocation table that records what
+// data should be transferred from remote address spaces. The entries of the
+// table are the page number, the offset within the page, and a long
+// pointer."
+//
+// The table is also the swizzling index: forward lookups map a long pointer
+// to its assigned cache location (so a pointer received twice swizzles to
+// the same ordinary pointer), and the reverse interval map turns any cache
+// address back into its long pointer — which is what makes unswizzling, and
+// therefore nested RPC and callbacks, work (paper §3.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "swizzle/long_pointer.hpp"
+#include "vm/page_arena.hpp"
+
+namespace srpc {
+
+struct AllocationEntry {
+  LongPointer pointer;        // home identity of the datum
+  PageIndex page = kInvalidPage;  // first page (large data spans several)
+  std::uint32_t offset = 0;   // byte offset within the first page
+  std::uint32_t size = 0;     // local-layout byte size of the datum
+  std::uint8_t* local = nullptr;  // cache address (page base + offset)
+};
+
+class DataAllocationTable {
+ public:
+  DataAllocationTable() = default;
+  DataAllocationTable(const DataAllocationTable&) = delete;
+  DataAllocationTable& operator=(const DataAllocationTable&) = delete;
+
+  // Records a new swizzled location. `page_count` registers the entry on
+  // that many consecutive pages starting at entry.page (large data).
+  // Fails if the long pointer or the local range is already present.
+  Status insert(const AllocationEntry& entry, std::uint32_t page_count = 1);
+
+  // Long pointer -> entry (nullptr if never swizzled here). Exact match on
+  // the home base address.
+  [[nodiscard]] const AllocationEntry* find(const LongPointer& pointer) const;
+
+  // Entry whose home range [pointer.address, +size) contains `space`/`addr`
+  // (interior remote pointers). nullptr if unknown.
+  [[nodiscard]] const AllocationEntry* find_containing_home(SpaceId space,
+                                                            std::uint64_t addr) const;
+
+  // Cache address -> containing entry (supports interior addresses within
+  // a datum). nullptr if the address belongs to no entry.
+  [[nodiscard]] const AllocationEntry* find_by_local(const void* addr) const;
+
+  // All entries allocated to one page, in offset order — exactly what a
+  // page fault must fetch.
+  [[nodiscard]] std::vector<const AllocationEntry*> entries_on_page(PageIndex page) const;
+
+  // Re-keys a provisional long pointer (batched extended_malloc, paper
+  // §3.5) to the home-assigned identity once the batch reply arrives.
+  Status rebind(const LongPointer& provisional, const LongPointer& actual);
+
+  // Drops an entry (extended_free): removed from every index; the cache
+  // slot itself is not reused until session end.
+  Status remove(const LongPointer& pointer);
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  void clear();
+
+ private:
+  // Deque-like stability: entry storage is only reclaimed wholesale at
+  // session end, so raw pointers into storage_ are stable for the session.
+  std::vector<std::unique_ptr<AllocationEntry>> storage_;
+  std::size_t live_ = 0;
+  std::unordered_map<LongPointer, AllocationEntry*, LongPointerHash> by_pointer_;
+  std::map<std::uintptr_t, AllocationEntry*> by_local_;  // keyed by local base
+  std::unordered_map<PageIndex, std::vector<AllocationEntry*>> by_page_;
+  // keyed by (home space, home base address) for interval queries
+  std::map<std::pair<SpaceId, std::uint64_t>, AllocationEntry*> by_home_;
+};
+
+}  // namespace srpc

@@ -1,0 +1,39 @@
+#include "swizzle/long_pointer.hpp"
+
+#include <cstdio>
+
+namespace srpc {
+
+std::string LongPointer::to_string() const {
+  if (is_null()) return "<null>";
+  return "{space=" + std::to_string(space) + ", addr=0x" +
+         [this] {
+           char buf[20];
+           std::snprintf(buf, sizeof buf, "%llx",
+                         static_cast<unsigned long long>(address));
+           return std::string(buf);
+         }() +
+         ", type=" + std::to_string(type) + "}";
+}
+
+void encode_long_pointer(xdr::Encoder& enc, const LongPointer& p) {
+  enc.put_u32(p.space);
+  enc.put_u64(p.address);
+  enc.put_u32(p.type);
+}
+
+Result<LongPointer> decode_long_pointer(xdr::Decoder& dec) {
+  LongPointer p;
+  auto space = dec.get_u32();
+  if (!space) return space.status();
+  auto addr = dec.get_u64();
+  if (!addr) return addr.status();
+  auto type = dec.get_u32();
+  if (!type) return type.status();
+  p.space = space.value();
+  p.address = addr.value();
+  p.type = type.value();
+  return p;
+}
+
+}  // namespace srpc

@@ -1,0 +1,44 @@
+#include "types/arch.hpp"
+
+#include <bit>
+
+namespace srpc {
+
+const ArchModel& host_arch() noexcept {
+  static_assert(std::endian::native == std::endian::little,
+                "host arch model assumes a little-endian build machine");
+  static_assert(sizeof(void*) == 8, "host arch model assumes 64-bit pointers");
+  static const ArchModel arch{"host-le64", Endian::kLittle, 8, 8};
+  return arch;
+}
+
+const ArchModel& sparc32_arch() noexcept {
+  static const ArchModel arch{"sparc-be32", Endian::kBig, 4, 8};
+  return arch;
+}
+
+std::uint64_t read_scaled_uint(const void* src, std::uint32_t size, Endian endian) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  std::uint64_t v = 0;
+  if (endian == Endian::kBig) {
+    for (std::uint32_t i = 0; i < size; ++i) v = (v << 8) | p[i];
+  } else {
+    for (std::uint32_t i = size; i > 0; --i) v = (v << 8) | p[i - 1];
+  }
+  return v;
+}
+
+void write_scaled_uint(void* dst, std::uint32_t size, Endian endian, std::uint64_t v) noexcept {
+  auto* p = static_cast<std::uint8_t*>(dst);
+  if (endian == Endian::kBig) {
+    for (std::uint32_t i = 0; i < size; ++i) {
+      p[size - 1 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  } else {
+    for (std::uint32_t i = 0; i < size; ++i) {
+      p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+}
+
+}  // namespace srpc

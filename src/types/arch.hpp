@@ -1,0 +1,44 @@
+// Architecture models for heterogeneity.
+//
+// The paper's system "shares only the logical type of the shared data", so
+// each address space can run a different CPU architecture. An ArchModel
+// captures what the codec needs to read/write a space's native memory
+// image: byte order, pointer width, and natural alignment. The canonical
+// wire form (XDR) is architecture-free; conversion happens at the edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace srpc {
+
+enum class Endian : std::uint8_t { kLittle, kBig };
+
+struct ArchModel {
+  std::string name;
+  Endian endian = Endian::kLittle;
+  std::uint32_t pointer_size = 8;  // bytes: 4 or 8
+  // Natural alignment is min(size, max_align); 8 on every arch we model.
+  std::uint32_t max_align = 8;
+
+  friend bool operator==(const ArchModel& a, const ArchModel& b) noexcept {
+    return a.endian == b.endian && a.pointer_size == b.pointer_size &&
+           a.max_align == b.max_align;
+  }
+};
+
+// The architecture this process actually runs on (x86-64: little, 8-byte
+// pointers). Host-arch spaces store data in real C++ object layout.
+const ArchModel& host_arch() noexcept;
+
+// The paper's SPARCstation: big-endian, 4-byte pointers. Used by tests and
+// examples as the canonical "foreign" architecture.
+const ArchModel& sparc32_arch() noexcept;
+
+// Reads an unsigned integer of `size` bytes from `src` in `endian` order.
+std::uint64_t read_scaled_uint(const void* src, std::uint32_t size, Endian endian) noexcept;
+
+// Writes the low `size` bytes of `v` to `dst` in `endian` order.
+void write_scaled_uint(void* dst, std::uint32_t size, Endian endian, std::uint64_t v) noexcept;
+
+}  // namespace srpc

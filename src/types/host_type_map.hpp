@@ -1,0 +1,51 @@
+// HostTypeMap — C++ static type -> registered TypeId.
+//
+// The typed stub layer (core/marshal.hpp) needs to know, at the point where
+// a `TreeNode*` argument is marshalled, which TypeDescriptor describes
+// TreeNode. Applications register that association once, right after
+// building the descriptor (World::describe<T>() does both).
+#pragma once
+
+#include <mutex>
+#include <typeindex>
+#include <typeinfo>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "types/type_descriptor.hpp"
+
+namespace srpc {
+
+class HostTypeMap {
+ public:
+  HostTypeMap() = default;
+  HostTypeMap(const HostTypeMap&) = delete;
+  HostTypeMap& operator=(const HostTypeMap&) = delete;
+
+  template <typename T>
+  Status bind(TypeId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = map_.emplace(std::type_index(typeid(T)), id);
+    if (!inserted) {
+      return already_exists(std::string("host type already mapped: ") + typeid(T).name());
+    }
+    return Status::ok();
+  }
+
+  template <typename T>
+  Result<TypeId> find() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(std::type_index(typeid(T)));
+    if (it == map_.end()) {
+      return not_found(std::string("host type not registered with the runtime: ") +
+                       typeid(T).name());
+    }
+    return it->second;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::type_index, TypeId> map_;
+};
+
+}  // namespace srpc

@@ -1,0 +1,62 @@
+// Per-architecture memory layout computation.
+//
+// Heterogeneous DSM systems (the paper's §5.2 comparison) force one physical
+// layout on every machine. Smart RPC instead shares only logical types:
+// each space materialises a type in its own architecture's layout, and this
+// engine computes that layout — natural alignment, pointer width from the
+// ArchModel, struct size rounded to struct alignment (matching the SysV-style
+// ABIs of both our host and the paper's SPARC).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "types/arch.hpp"
+#include "types/type_descriptor.hpp"
+#include "types/type_registry.hpp"
+
+namespace srpc {
+
+struct Layout {
+  std::uint64_t size = 0;
+  std::uint32_t align = 1;
+  // Byte offset of each struct field, parallel to TypeDescriptor::fields().
+  std::vector<std::uint64_t> field_offsets;
+};
+
+class LayoutEngine {
+ public:
+  explicit LayoutEngine(const TypeRegistry& registry) : registry_(registry) {}
+  LayoutEngine(const LayoutEngine&) = delete;
+  LayoutEngine& operator=(const LayoutEngine&) = delete;
+
+  // Computes (and caches) the layout of `type` on `arch`. Fails on
+  // incomplete structs and on structs containing themselves by value.
+  Result<const Layout*> layout_of(const ArchModel& arch, TypeId type) const;
+
+  // Convenience: layout size, throwing on failure (runtime-internal ids).
+  std::uint64_t size_of(const ArchModel& arch, TypeId type) const;
+
+ private:
+  struct ArchKey {
+    Endian endian;
+    std::uint32_t pointer_size;
+    std::uint32_t max_align;
+    auto operator<=>(const ArchKey&) const = default;
+  };
+  static ArchKey key_of(const ArchModel& arch) noexcept {
+    return {arch.endian, arch.pointer_size, arch.max_align};
+  }
+
+  Result<Layout> compute(const ArchModel& arch, TypeId type,
+                         std::vector<TypeId>& in_progress) const;
+
+  const TypeRegistry& registry_;
+  mutable std::mutex mutex_;
+  mutable std::map<std::pair<ArchKey, TypeId>, Layout> cache_;
+};
+
+}  // namespace srpc

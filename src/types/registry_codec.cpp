@@ -1,0 +1,155 @@
+#include "types/registry_codec.hpp"
+
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace srpc {
+
+namespace {
+
+// Wire: count u32, then per type:
+//   id u32 | kind u32 | name string | kind-specific:
+//     scalar  -> scalar u32
+//     pointer -> pointee u32
+//     array   -> element u32 | count u32
+//     struct  -> nfields u32 | nfields x (name string | type u32)
+void encode_descriptor(xdr::Encoder& enc, const TypeDescriptor& desc) {
+  enc.put_u32(desc.id());
+  enc.put_u32(static_cast<std::uint32_t>(desc.kind()));
+  enc.put_string(desc.name());
+  switch (desc.kind()) {
+    case TypeKind::kScalar:
+      enc.put_u32(static_cast<std::uint32_t>(desc.scalar()));
+      break;
+    case TypeKind::kPointer:
+      enc.put_u32(desc.pointee());
+      break;
+    case TypeKind::kArray:
+      enc.put_u32(desc.element());
+      enc.put_u32(desc.count());
+      break;
+    case TypeKind::kStruct: {
+      const auto& fields = desc.fields();
+      enc.put_u32(static_cast<std::uint32_t>(fields.size()));
+      for (const auto& f : fields) {
+        enc.put_string(f.name);
+        enc.put_u32(f.type);
+      }
+      break;
+    }
+  }
+}
+
+std::string describe(const TypeDescriptor& d) {
+  return "type " + std::to_string(d.id()) + " ('" + d.name() + "')";
+}
+
+Status mismatch(const TypeDescriptor& local, const std::string& what) {
+  return failed_precondition("registry divergence at " + describe(local) + ": " + what);
+}
+
+}  // namespace
+
+Status encode_registry(const TypeRegistry& registry, ByteBuffer& out) {
+  const auto types = registry.snapshot();
+  xdr::Encoder enc(out);
+  enc.put_u32(static_cast<std::uint32_t>(types.size()));
+  for (const TypeDescriptor& desc : types) {
+    if (desc.kind() == TypeKind::kStruct && desc.is_incomplete()) {
+      return failed_precondition("cannot ship incomplete struct '" + desc.name() + "'");
+    }
+    encode_descriptor(enc, desc);
+  }
+  return Status::ok();
+}
+
+Status verify_registry(const TypeRegistry& registry, ByteBuffer& in) {
+  xdr::Decoder dec(in);
+  auto count = dec.get_u32();
+  if (!count) return count.status();
+  if (count.value() != registry.type_count()) {
+    return failed_precondition(
+        "registry divergence: peer has " + std::to_string(count.value()) +
+        " types, local has " + std::to_string(registry.type_count()));
+  }
+
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto id = dec.get_u32();
+    if (!id) return id.status();
+    auto kind = dec.get_u32();
+    if (!kind) return kind.status();
+    auto name = dec.get_string(4096);
+    if (!name) return name.status();
+
+    auto local_or = registry.find(id.value());
+    if (!local_or) {
+      return failed_precondition("registry divergence: peer type " +
+                                 std::to_string(id.value()) + " ('" + name.value() +
+                                 "') unknown locally");
+    }
+    const TypeDescriptor& local = *local_or.value();
+    if (static_cast<std::uint32_t>(local.kind()) != kind.value()) {
+      return mismatch(local, "kind differs");
+    }
+    if (local.name() != name.value()) {
+      return mismatch(local, "peer calls it '" + name.value() + "'");
+    }
+
+    switch (local.kind()) {
+      case TypeKind::kScalar: {
+        auto scalar = dec.get_u32();
+        if (!scalar) return scalar.status();
+        if (scalar.value() != static_cast<std::uint32_t>(local.scalar())) {
+          return mismatch(local, "scalar kind differs");
+        }
+        break;
+      }
+      case TypeKind::kPointer: {
+        auto pointee = dec.get_u32();
+        if (!pointee) return pointee.status();
+        if (pointee.value() != local.pointee()) {
+          return mismatch(local, "pointee differs");
+        }
+        break;
+      }
+      case TypeKind::kArray: {
+        auto element = dec.get_u32();
+        if (!element) return element.status();
+        auto n = dec.get_u32();
+        if (!n) return n.status();
+        if (element.value() != local.element() || n.value() != local.count()) {
+          return mismatch(local, "array shape differs");
+        }
+        break;
+      }
+      case TypeKind::kStruct: {
+        auto nfields = dec.get_u32();
+        if (!nfields) return nfields.status();
+        const auto& fields = local.fields();
+        if (nfields.value() != fields.size()) {
+          return mismatch(local, "field count differs (peer " +
+                                     std::to_string(nfields.value()) + ", local " +
+                                     std::to_string(fields.size()) + ")");
+        }
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+          auto field_name = dec.get_string(4096);
+          if (!field_name) return field_name.status();
+          auto field_type = dec.get_u32();
+          if (!field_type) return field_type.status();
+          if (field_name.value() != fields[f].name) {
+            return mismatch(local, "field " + std::to_string(f) + " named '" +
+                                       field_name.value() + "' vs '" + fields[f].name +
+                                       "'");
+          }
+          if (field_type.value() != fields[f].type) {
+            return mismatch(local, "field '" + fields[f].name + "' type differs");
+          }
+        }
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace srpc

@@ -1,0 +1,27 @@
+// Registry wire codec — shipping the type name-server between processes.
+//
+// Long pointers carry bare type ids, which is sound only while every space
+// resolves an id to the same structure. Inside one World a shared
+// TypeRegistry guarantees it; across real processes the registries must be
+// *verified* to agree before any traffic. encode_registry() serialises
+// every descriptor; verify_registry() compares a peer's serialisation
+// against the local registry id by id, field by field, and reports the
+// first divergence precisely (the error you want at connection time, not a
+// corrupted object graph later).
+#pragma once
+
+#include "common/byte_buffer.hpp"
+#include "common/status.hpp"
+#include "types/type_registry.hpp"
+
+namespace srpc {
+
+// Serialises every registered type (scalars included, for self-description).
+Status encode_registry(const TypeRegistry& registry, ByteBuffer& out);
+
+// Checks a peer's serialised registry against `registry`. OK only when both
+// define exactly the same ids with structurally identical descriptors
+// (names included — the name server is a shared namespace).
+Status verify_registry(const TypeRegistry& registry, ByteBuffer& in);
+
+}  // namespace srpc

@@ -1,0 +1,283 @@
+#include "types/schema_parser.hpp"
+
+#include <cctype>
+#include <vector>
+
+namespace srpc {
+
+namespace {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,
+  kNumber,
+  kLBrace,   // {
+  kRBrace,   // }
+  kLBracket, // [
+  kRBracket, // ]
+  kColon,
+  kSemi,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::uint64_t number = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' || (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kIdent,
+                          std::string(text_.substr(start, pos_ - start)), 0, line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::uint64_t value = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          value = value * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+          if (value > 0xFFFFFFFFULL) {
+            return parse_error("array bound too large");
+          }
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kNumber, "", value, line_});
+        continue;
+      }
+      TokenKind kind;
+      switch (c) {
+        case '{':
+          kind = TokenKind::kLBrace;
+          break;
+        case '}':
+          kind = TokenKind::kRBrace;
+          break;
+        case '[':
+          kind = TokenKind::kLBracket;
+          break;
+        case ']':
+          kind = TokenKind::kRBracket;
+          break;
+        case ':':
+          kind = TokenKind::kColon;
+          break;
+        case ';':
+          kind = TokenKind::kSemi;
+          break;
+        case '*':
+          kind = TokenKind::kStar;
+          break;
+        default:
+          return parse_error(std::string("unexpected character '") + c + "'");
+      }
+      tokens.push_back({kind, std::string(1, c), 0, line_});
+      ++pos_;
+    }
+    tokens.push_back({TokenKind::kEnd, "", 0, line_});
+    return tokens;
+  }
+
+ private:
+  Status parse_error(const std::string& message) const {
+    return invalid_argument("schema line " + std::to_string(line_) + ": " + message);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+struct FieldSpec {
+  std::string name;
+  std::string base;           // base type name
+  std::vector<std::uint32_t> arrays;  // applied first, in order
+  std::vector<bool> suffixes;         // true = '*', false = '[n]' (parallel log)
+  // Suffix application order, left to right: each entry is either a pointer
+  // ('*') or an array bound (paired with `arrays` in order).
+  int line = 0;
+};
+
+struct StructSpec {
+  std::string name;
+  std::vector<FieldSpec> fields;
+  int line = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<StructSpec>> run() {
+    std::vector<StructSpec> structs;
+    while (peek().kind != TokenKind::kEnd) {
+      auto spec = parse_struct();
+      if (!spec) return spec.status();
+      structs.push_back(std::move(spec).value());
+    }
+    return structs;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[index_]; }
+  Token take() { return tokens_[index_++]; }
+
+  Status error(const Token& at, const std::string& message) const {
+    return invalid_argument("schema line " + std::to_string(at.line) + ": " + message);
+  }
+
+  Result<Token> expect(TokenKind kind, const std::string& what) {
+    Token token = take();
+    if (token.kind != kind) {
+      return error(token, "expected " + what);
+    }
+    return token;
+  }
+
+  Result<StructSpec> parse_struct() {
+    auto kw = expect(TokenKind::kIdent, "'struct'");
+    if (!kw) return kw.status();
+    if (kw.value().text != "struct") {
+      return error(kw.value(), "expected 'struct', got '" + kw.value().text + "'");
+    }
+    auto name = expect(TokenKind::kIdent, "struct name");
+    if (!name) return name.status();
+    StructSpec spec;
+    spec.name = name.value().text;
+    spec.line = name.value().line;
+    auto open = expect(TokenKind::kLBrace, "'{'");
+    if (!open) return open.status();
+    while (peek().kind != TokenKind::kRBrace) {
+      auto field = parse_field();
+      if (!field) return field.status();
+      spec.fields.push_back(std::move(field).value());
+    }
+    take();  // '}'
+    if (spec.fields.empty()) {
+      return error(kw.value(), "struct '" + spec.name + "' has no fields");
+    }
+    return spec;
+  }
+
+  Result<FieldSpec> parse_field() {
+    auto name = expect(TokenKind::kIdent, "field name");
+    if (!name) return name.status();
+    auto colon = expect(TokenKind::kColon, "':'");
+    if (!colon) return colon.status();
+    auto base = expect(TokenKind::kIdent, "type name");
+    if (!base) return base.status();
+
+    FieldSpec field;
+    field.name = name.value().text;
+    field.base = base.value().text;
+    field.line = name.value().line;
+    while (true) {
+      if (peek().kind == TokenKind::kStar) {
+        take();
+        field.suffixes.push_back(true);
+      } else if (peek().kind == TokenKind::kLBracket) {
+        take();
+        auto bound = expect(TokenKind::kNumber, "array bound");
+        if (!bound) return bound.status();
+        if (bound.value().number == 0) {
+          return error(bound.value(), "array bound must be positive");
+        }
+        auto close = expect(TokenKind::kRBracket, "']'");
+        if (!close) return close.status();
+        field.arrays.push_back(static_cast<std::uint32_t>(bound.value().number));
+        field.suffixes.push_back(false);
+      } else {
+        break;
+      }
+    }
+    auto semi = expect(TokenKind::kSemi, "';'");
+    if (!semi) return semi.status();
+    return field;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<std::map<std::string, TypeId>> parse_schema(TypeRegistry& registry,
+                                                   std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.run();
+  if (!tokens) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  auto structs = parser.run();
+  if (!structs) return structs.status();
+
+  // Pass 1: declare every struct so fields can reference any of them.
+  std::map<std::string, TypeId> declared;
+  for (const StructSpec& spec : structs.value()) {
+    auto id = registry.declare_struct(spec.name);
+    if (!id) {
+      return Status(id.status().code(), "schema line " + std::to_string(spec.line) +
+                                            ": " + id.status().message());
+    }
+    declared.emplace(spec.name, id.value());
+  }
+
+  // Pass 2: resolve field types and define.
+  for (const StructSpec& spec : structs.value()) {
+    std::vector<FieldDescriptor> fields;
+    for (const FieldSpec& field : spec.fields) {
+      TypeId type = kInvalidTypeId;
+      if (auto local = declared.find(field.base); local != declared.end()) {
+        type = local->second;
+      } else if (auto known = registry.find_by_name(field.base)) {
+        type = known.value();
+      } else {
+        return invalid_argument("schema line " + std::to_string(field.line) +
+                                ": unknown type '" + field.base + "'");
+      }
+      std::size_t array_index = 0;
+      for (const bool is_pointer : field.suffixes) {
+        if (is_pointer) {
+          type = registry.pointer_to(type);
+        } else {
+          type = registry.array_of(type, field.arrays[array_index++]);
+        }
+      }
+      fields.push_back({field.name, type});
+    }
+    Status defined = registry.define_struct(declared.at(spec.name), std::move(fields));
+    if (!defined.is_ok()) {
+      return Status(defined.code(), "schema line " + std::to_string(spec.line) + ": " +
+                                        defined.message());
+    }
+  }
+  return declared;
+}
+
+}  // namespace srpc

@@ -1,0 +1,47 @@
+// Schema text — a tiny interface-description language for the type
+// name-server.
+//
+// The paper assumes the system "can obtain an actual data structure from a
+// data type specifier by querying a database that serves as a network name
+// server". C++ programs populate that database with HostStructBuilder; this
+// parser populates it from text, so deployment tooling, tests, and
+// foreign-architecture spaces can define shared types without compiling
+// structs:
+//
+//     # the paper's experimental subject
+//     struct TreeNode {
+//       left:  TreeNode*;
+//       right: TreeNode*;
+//       data:  i64;
+//     }
+//
+// Grammar (comments run # or // to end of line):
+//     schema  := struct*
+//     struct  := "struct" IDENT "{" field* "}"
+//     field   := IDENT ":" type ";"
+//     type    := base ("[" INT "]" | "*")*
+//     base    := i8|u8|i16|u16|i32|u32|i64|u64|f32|f64|bool | IDENT
+// Suffixes apply left to right: "i64[4]*" is pointer-to-array-of-4-i64.
+// Struct names may be referenced before their definition (self-referential
+// and mutually recursive types), but every referenced name must be defined
+// somewhere in the same schema or already present in the registry.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "types/type_registry.hpp"
+
+namespace srpc {
+
+// Parses `text` and registers every struct into `registry`. On success
+// returns name -> TypeId for the structs the schema defined. On failure
+// returns INVALID_ARGUMENT with a line-numbered message; the registry may
+// hold already-declared names from the failed schema (registries are
+// build-time objects; discard on error).
+Result<std::map<std::string, TypeId>> parse_schema(TypeRegistry& registry,
+                                                   std::string_view text);
+
+}  // namespace srpc

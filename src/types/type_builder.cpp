@@ -1,0 +1,33 @@
+#include "types/type_builder.hpp"
+
+namespace srpc {
+
+Status verify_host_layout(const TypeRegistry& registry, const LayoutEngine& engine,
+                          TypeId type, std::size_t real_size,
+                          const std::vector<std::size_t>& real_offsets) {
+  auto layout_or = engine.layout_of(host_arch(), type);
+  if (!layout_or) return layout_or.status();
+  const Layout& layout = *layout_or.value();
+  const TypeDescriptor& desc = registry.get(type);
+
+  if (layout.size != real_size) {
+    return internal_error("host layout mismatch for " + desc.name() + ": engine size " +
+                          std::to_string(layout.size) + " vs sizeof " +
+                          std::to_string(real_size));
+  }
+  if (layout.field_offsets.size() != real_offsets.size()) {
+    return internal_error("host layout mismatch for " + desc.name() +
+                          ": field count differs");
+  }
+  for (std::size_t i = 0; i < real_offsets.size(); ++i) {
+    if (layout.field_offsets[i] != real_offsets[i]) {
+      return internal_error("host layout mismatch for " + desc.name() + " field '" +
+                            desc.fields()[i].name + "': engine offset " +
+                            std::to_string(layout.field_offsets[i]) + " vs compiler " +
+                            std::to_string(real_offsets[i]));
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace srpc

@@ -1,0 +1,172 @@
+// HostStructBuilder — describe a real C++ struct to the type system.
+//
+// Examples and application code hand real host structs (tree nodes, list
+// cells) to the RPC runtime. The builder records each member via a member
+// pointer, infers scalar descriptors, and at build() time *verifies* that
+// the layout engine's idea of the host layout matches the compiler's
+// (offset-by-offset and total size). A mismatch is a hard error: silently
+// disagreeing layouts would corrupt swizzled memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.hpp"
+#include "types/arch.hpp"
+#include "types/layout.hpp"
+#include "types/type_descriptor.hpp"
+#include "types/type_registry.hpp"
+
+namespace srpc {
+
+namespace detail {
+
+template <typename F>
+constexpr TypeId scalar_type_id() {
+  using T = std::remove_cv_t<F>;
+  if constexpr (std::is_same_v<T, bool>) {
+    return TypeRegistry::scalar_id(ScalarType::kBool);
+  } else if constexpr (std::is_same_v<T, float>) {
+    return TypeRegistry::scalar_id(ScalarType::kF32);
+  } else if constexpr (std::is_same_v<T, double>) {
+    return TypeRegistry::scalar_id(ScalarType::kF64);
+  } else if constexpr (std::is_integral_v<T> && std::is_signed_v<T>) {
+    if constexpr (sizeof(T) == 1) return TypeRegistry::scalar_id(ScalarType::kI8);
+    if constexpr (sizeof(T) == 2) return TypeRegistry::scalar_id(ScalarType::kI16);
+    if constexpr (sizeof(T) == 4) return TypeRegistry::scalar_id(ScalarType::kI32);
+    if constexpr (sizeof(T) == 8) return TypeRegistry::scalar_id(ScalarType::kI64);
+  } else if constexpr (std::is_integral_v<T> && std::is_unsigned_v<T>) {
+    if constexpr (sizeof(T) == 1) return TypeRegistry::scalar_id(ScalarType::kU8);
+    if constexpr (sizeof(T) == 2) return TypeRegistry::scalar_id(ScalarType::kU16);
+    if constexpr (sizeof(T) == 4) return TypeRegistry::scalar_id(ScalarType::kU32);
+    if constexpr (sizeof(T) == 8) return TypeRegistry::scalar_id(ScalarType::kU64);
+  }
+  return kInvalidTypeId;
+}
+
+// Offset of a member designated by member pointer. Uses a null-object
+// computation; formally outside the standard but universally defined on the
+// ABIs we target (and cross-checked against the layout engine at build()).
+template <typename T, typename F>
+std::size_t member_offset(F T::*member) noexcept {
+  alignas(T) static unsigned char storage[sizeof(T)];
+  auto* obj = reinterpret_cast<T*>(storage);
+  return static_cast<std::size_t>(reinterpret_cast<const unsigned char*>(&(obj->*member)) -
+                                  reinterpret_cast<const unsigned char*>(obj));
+}
+
+}  // namespace detail
+
+// Checks that the engine-computed host layout of `type` matches the real
+// size and per-field offsets gathered by the builder.
+Status verify_host_layout(const TypeRegistry& registry, const LayoutEngine& engine,
+                          TypeId type, std::size_t real_size,
+                          const std::vector<std::size_t>& real_offsets);
+
+template <typename T>
+class HostStructBuilder {
+  static_assert(std::is_standard_layout_v<T>,
+                "only standard-layout structs can cross address spaces");
+
+ public:
+  HostStructBuilder(TypeRegistry& registry, LayoutEngine& engine, std::string name)
+      : registry_(registry), engine_(engine), name_(std::move(name)) {
+    auto id = registry_.declare_struct(name_);
+    if (id) {
+      id_ = id.value();
+    } else {
+      pending_error_ = id.status();
+    }
+  }
+
+  // The declared type id is available immediately so self-referential
+  // pointer fields can name it before build().
+  [[nodiscard]] TypeId id() const noexcept { return id_; }
+
+  template <typename F>
+    requires std::is_arithmetic_v<F>
+  HostStructBuilder& field(const std::string& field_name, F T::*member) {
+    const TypeId scalar = detail::scalar_type_id<F>();
+    if (scalar == kInvalidTypeId) {
+      record_error(invalid_argument("unsupported scalar field: " + field_name));
+      return *this;
+    }
+    add(field_name, scalar, detail::member_offset(member));
+    return *this;
+  }
+
+  // Pointer member; `pointee` is the registered type id of *member's target
+  // (pass id() for self-referential links).
+  template <typename F>
+  HostStructBuilder& pointer_field(const std::string& field_name, F* T::*member,
+                                   TypeId pointee) {
+    add(field_name, registry_.pointer_to(pointee), detail::member_offset(member));
+    return *this;
+  }
+
+  // Fixed C-array member of arithmetic elements.
+  template <typename F, std::size_t N>
+    requires std::is_arithmetic_v<F>
+  HostStructBuilder& array_field(const std::string& field_name, F (T::*member)[N]) {
+    const TypeId scalar = detail::scalar_type_id<F>();
+    if (scalar == kInvalidTypeId) {
+      record_error(invalid_argument("unsupported array element: " + field_name));
+      return *this;
+    }
+    add(field_name, registry_.array_of(scalar, static_cast<std::uint32_t>(N)),
+        detail::member_offset(member));
+    return *this;
+  }
+
+  // Fixed C-array member of pointers; `pointee` is the target type id.
+  template <typename F, std::size_t N>
+  HostStructBuilder& pointer_array_field(const std::string& field_name,
+                                         F* (T::*member)[N], TypeId pointee) {
+    add(field_name,
+        registry_.array_of(registry_.pointer_to(pointee), static_cast<std::uint32_t>(N)),
+        detail::member_offset(member));
+    return *this;
+  }
+
+  // Nested struct by value; `nested` is the already-built type id.
+  template <typename F>
+    requires std::is_class_v<F>
+  HostStructBuilder& struct_field(const std::string& field_name, F T::*member,
+                                  TypeId nested) {
+    add(field_name, nested, detail::member_offset(member));
+    return *this;
+  }
+
+  // Defines the struct and verifies the host layout agrees with the
+  // compiler's. Returns the type id on success.
+  Result<TypeId> build() {
+    if (!pending_error_.is_ok()) return pending_error_;
+    if (fields_.empty()) return invalid_argument("struct has no fields: " + name_);
+    SRPC_RETURN_IF_ERROR(registry_.define_struct(id_, fields_));
+    SRPC_RETURN_IF_ERROR(
+        verify_host_layout(registry_, engine_, id_, sizeof(T), offsets_));
+    return id_;
+  }
+
+ private:
+  void add(const std::string& field_name, TypeId type, std::size_t offset) {
+    fields_.push_back({field_name, type});
+    offsets_.push_back(offset);
+  }
+  void record_error(Status s) {
+    if (pending_error_.is_ok()) pending_error_ = std::move(s);
+  }
+
+  TypeRegistry& registry_;
+  LayoutEngine& engine_;
+  std::string name_;
+  TypeId id_ = kInvalidTypeId;
+  std::vector<FieldDescriptor> fields_;
+  std::vector<std::size_t> offsets_;
+  Status pending_error_;
+};
+
+}  // namespace srpc

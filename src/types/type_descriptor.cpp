@@ -1,0 +1,102 @@
+#include "types/type_descriptor.hpp"
+
+#include <stdexcept>
+
+namespace srpc {
+
+TypeDescriptor TypeDescriptor::make_scalar(TypeId id, ScalarType s, std::string name) {
+  TypeDescriptor d;
+  d.id_ = id;
+  d.name_ = std::move(name);
+  d.kind_ = TypeKind::kScalar;
+  d.scalar_ = s;
+  return d;
+}
+
+TypeDescriptor TypeDescriptor::make_pointer(TypeId id, TypeId pointee, std::string name) {
+  TypeDescriptor d;
+  d.id_ = id;
+  d.name_ = std::move(name);
+  d.kind_ = TypeKind::kPointer;
+  d.pointee_ = pointee;
+  return d;
+}
+
+TypeDescriptor TypeDescriptor::make_struct(TypeId id, std::string name,
+                                           std::vector<FieldDescriptor> fields) {
+  TypeDescriptor d;
+  d.id_ = id;
+  d.name_ = std::move(name);
+  d.kind_ = TypeKind::kStruct;
+  d.fields_ = std::move(fields);
+  d.incomplete_ = d.fields_.empty();
+  return d;
+}
+
+TypeDescriptor TypeDescriptor::make_array(TypeId id, TypeId element, std::uint32_t count,
+                                          std::string name) {
+  if (count == 0) throw std::invalid_argument("array type with zero elements");
+  TypeDescriptor d;
+  d.id_ = id;
+  d.name_ = std::move(name);
+  d.kind_ = TypeKind::kArray;
+  d.element_ = element;
+  d.count_ = count;
+  return d;
+}
+
+ScalarType TypeDescriptor::scalar() const {
+  if (kind_ != TypeKind::kScalar) throw std::logic_error("not a scalar type: " + name_);
+  return scalar_;
+}
+
+TypeId TypeDescriptor::pointee() const {
+  if (kind_ != TypeKind::kPointer) throw std::logic_error("not a pointer type: " + name_);
+  return pointee_;
+}
+
+const std::vector<FieldDescriptor>& TypeDescriptor::fields() const {
+  if (kind_ != TypeKind::kStruct) throw std::logic_error("not a struct type: " + name_);
+  return fields_;
+}
+
+TypeId TypeDescriptor::element() const {
+  if (kind_ != TypeKind::kArray) throw std::logic_error("not an array type: " + name_);
+  return element_;
+}
+
+std::uint32_t TypeDescriptor::count() const {
+  if (kind_ != TypeKind::kArray) throw std::logic_error("not an array type: " + name_);
+  return count_;
+}
+
+void TypeDescriptor::complete(std::vector<FieldDescriptor> fields) {
+  if (kind_ != TypeKind::kStruct) throw std::logic_error("complete() on non-struct");
+  if (!incomplete_) throw std::logic_error("type already complete: " + name_);
+  if (fields.empty()) throw std::invalid_argument("struct must have fields: " + name_);
+  fields_ = std::move(fields);
+  incomplete_ = false;
+}
+
+std::uint32_t scalar_size(ScalarType s) noexcept {
+  switch (s) {
+    case ScalarType::kI8:
+    case ScalarType::kU8:
+    case ScalarType::kBool:
+      return 1;
+    case ScalarType::kI16:
+    case ScalarType::kU16:
+      return 2;
+    case ScalarType::kI32:
+    case ScalarType::kU32:
+    case ScalarType::kF32:
+      return 4;
+    case ScalarType::kI64:
+    case ScalarType::kU64:
+    case ScalarType::kF64:
+      return 8;
+  }
+  return 0;
+}
+
+}  // namespace srpc

@@ -1,0 +1,86 @@
+// Structural type descriptions.
+//
+// A long pointer carries a *data type specifier*; the paper assumes "the
+// system can obtain an actual data structure from a data type specifier by
+// querying a database that serves as a network name server". TypeDescriptor
+// is that actual structure: enough to compute a memory layout on any
+// architecture and to locate every pointer field for swizzling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srpc {
+
+using TypeId = std::uint32_t;
+
+inline constexpr TypeId kInvalidTypeId = 0;
+
+// Well-known scalar type ids, identical in every registry so that wire
+// messages can name them without negotiation.
+enum class ScalarType : TypeId {
+  kI8 = 1,
+  kU8,
+  kI16,
+  kU16,
+  kI32,
+  kU32,
+  kI64,
+  kU64,
+  kF32,
+  kF64,
+  kBool,
+};
+inline constexpr TypeId kFirstUserTypeId = 64;
+
+enum class TypeKind : std::uint8_t { kScalar, kPointer, kStruct, kArray };
+
+struct FieldDescriptor {
+  std::string name;
+  TypeId type = kInvalidTypeId;
+};
+
+class TypeDescriptor {
+ public:
+  TypeDescriptor() = default;
+
+  static TypeDescriptor make_scalar(TypeId id, ScalarType s, std::string name);
+  static TypeDescriptor make_pointer(TypeId id, TypeId pointee, std::string name);
+  static TypeDescriptor make_struct(TypeId id, std::string name,
+                                    std::vector<FieldDescriptor> fields);
+  static TypeDescriptor make_array(TypeId id, TypeId element, std::uint32_t count,
+                                   std::string name);
+
+  [[nodiscard]] TypeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] TypeKind kind() const noexcept { return kind_; }
+
+  [[nodiscard]] ScalarType scalar() const;          // kScalar only
+  [[nodiscard]] TypeId pointee() const;             // kPointer only
+  [[nodiscard]] const std::vector<FieldDescriptor>& fields() const;  // kStruct
+  [[nodiscard]] TypeId element() const;             // kArray only
+  [[nodiscard]] std::uint32_t count() const;        // kArray only
+
+  // True until define_struct() completes; layouts cannot be computed for
+  // incomplete types (but pointers to them are fine — that is how
+  // self-referential types like tree nodes are described).
+  [[nodiscard]] bool is_incomplete() const noexcept { return incomplete_; }
+  void complete(std::vector<FieldDescriptor> fields);
+
+ private:
+  TypeId id_ = kInvalidTypeId;
+  std::string name_;
+  TypeKind kind_ = TypeKind::kScalar;
+  ScalarType scalar_ = ScalarType::kI8;
+  TypeId pointee_ = kInvalidTypeId;
+  std::vector<FieldDescriptor> fields_;
+  TypeId element_ = kInvalidTypeId;
+  std::uint32_t count_ = 0;
+  bool incomplete_ = false;
+};
+
+// Size in bytes of a scalar; identical on every architecture we model.
+std::uint32_t scalar_size(ScalarType s) noexcept;
+
+}  // namespace srpc

@@ -1,0 +1,150 @@
+#include "types/value_view.hpp"
+
+#include <bit>
+
+namespace srpc {
+
+Result<ValueView> ValueView::field(const std::string& name) const {
+  auto desc_or = registry_.find(type_);
+  if (!desc_or) return desc_or.status();
+  const TypeDescriptor& desc = *desc_or.value();
+  if (desc.kind() != TypeKind::kStruct) {
+    return invalid_argument("field() on non-struct " + desc.name());
+  }
+  auto layout = layouts_.layout_of(arch_, type_);
+  if (!layout) return layout.status();
+  const auto& fields = desc.fields();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == name) {
+      return ValueView(registry_, layouts_, arch_, fields[i].type,
+                       static_cast<std::uint8_t*>(data_) +
+                           layout.value()->field_offsets[i]);
+    }
+  }
+  return not_found("no field '" + name + "' in " + desc.name());
+}
+
+Result<ValueView> ValueView::element(std::uint32_t index) const {
+  auto desc_or = registry_.find(type_);
+  if (!desc_or) return desc_or.status();
+  const TypeDescriptor& desc = *desc_or.value();
+  if (desc.kind() != TypeKind::kArray) {
+    return invalid_argument("element() on non-array " + desc.name());
+  }
+  if (index >= desc.count()) {
+    return out_of_range("element " + std::to_string(index) + " of " + desc.name());
+  }
+  auto elem_layout = layouts_.layout_of(arch_, desc.element());
+  if (!elem_layout) return elem_layout.status();
+  return ValueView(registry_, layouts_, arch_, desc.element(),
+                   static_cast<std::uint8_t*>(data_) +
+                       static_cast<std::size_t>(index) * elem_layout.value()->size);
+}
+
+namespace {
+std::int64_t sign_extend(std::uint64_t v, unsigned bits) noexcept {
+  const unsigned shift = 64 - bits;
+  return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+bool is_signed_scalar(ScalarType s) noexcept {
+  return s == ScalarType::kI8 || s == ScalarType::kI16 || s == ScalarType::kI32 ||
+         s == ScalarType::kI64;
+}
+}  // namespace
+
+Result<std::int64_t> ValueView::get_int() const {
+  auto desc_or = registry_.find(type_);
+  if (!desc_or) return desc_or.status();
+  const TypeDescriptor& desc = *desc_or.value();
+  if (desc.kind() != TypeKind::kScalar) {
+    return invalid_argument("get_int() on non-scalar " + desc.name());
+  }
+  const ScalarType s = desc.scalar();
+  if (s == ScalarType::kF32 || s == ScalarType::kF64) {
+    return invalid_argument("get_int() on floating-point field");
+  }
+  const std::uint32_t size = scalar_size(s);
+  const std::uint64_t raw = read_scaled_uint(data_, size, arch_.endian);
+  if (is_signed_scalar(s)) {
+    return sign_extend(raw, size * 8);
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+Status ValueView::set_int(std::int64_t v) {
+  auto desc_or = registry_.find(type_);
+  if (!desc_or) return desc_or.status();
+  const TypeDescriptor& desc = *desc_or.value();
+  if (desc.kind() != TypeKind::kScalar) {
+    return invalid_argument("set_int() on non-scalar " + desc.name());
+  }
+  const ScalarType s = desc.scalar();
+  if (s == ScalarType::kF32 || s == ScalarType::kF64) {
+    return invalid_argument("set_int() on floating-point field");
+  }
+  write_scaled_uint(data_, scalar_size(s), arch_.endian, static_cast<std::uint64_t>(v));
+  return Status::ok();
+}
+
+Result<double> ValueView::get_float() const {
+  auto desc_or = registry_.find(type_);
+  if (!desc_or) return desc_or.status();
+  const TypeDescriptor& desc = *desc_or.value();
+  if (desc.kind() != TypeKind::kScalar) {
+    return invalid_argument("get_float() on non-scalar");
+  }
+  const ScalarType s = desc.scalar();
+  if (s == ScalarType::kF32) {
+    return static_cast<double>(std::bit_cast<float>(static_cast<std::uint32_t>(
+        read_scaled_uint(data_, 4, arch_.endian))));
+  }
+  if (s == ScalarType::kF64) {
+    return std::bit_cast<double>(read_scaled_uint(data_, 8, arch_.endian));
+  }
+  return invalid_argument("get_float() on integer field");
+}
+
+Status ValueView::set_float(double v) {
+  auto desc_or = registry_.find(type_);
+  if (!desc_or) return desc_or.status();
+  const TypeDescriptor& desc = *desc_or.value();
+  if (desc.kind() != TypeKind::kScalar) {
+    return invalid_argument("set_float() on non-scalar");
+  }
+  const ScalarType s = desc.scalar();
+  if (s == ScalarType::kF32) {
+    write_scaled_uint(data_, 4, arch_.endian,
+                      std::bit_cast<std::uint32_t>(static_cast<float>(v)));
+    return Status::ok();
+  }
+  if (s == ScalarType::kF64) {
+    write_scaled_uint(data_, 8, arch_.endian, std::bit_cast<std::uint64_t>(v));
+    return Status::ok();
+  }
+  return invalid_argument("set_float() on integer field");
+}
+
+Result<std::uint64_t> ValueView::get_pointer() const {
+  auto desc_or = registry_.find(type_);
+  if (!desc_or) return desc_or.status();
+  if (desc_or.value()->kind() != TypeKind::kPointer) {
+    return invalid_argument("get_pointer() on non-pointer field");
+  }
+  return read_scaled_uint(data_, arch_.pointer_size, arch_.endian);
+}
+
+Status ValueView::set_pointer(std::uint64_t v) {
+  auto desc_or = registry_.find(type_);
+  if (!desc_or) return desc_or.status();
+  if (desc_or.value()->kind() != TypeKind::kPointer) {
+    return invalid_argument("set_pointer() on non-pointer field");
+  }
+  if (arch_.pointer_size < 8 && v >= (1ULL << (8 * arch_.pointer_size))) {
+    return out_of_range("pointer value does not fit this architecture");
+  }
+  write_scaled_uint(data_, arch_.pointer_size, arch_.endian, v);
+  return Status::ok();
+}
+
+}  // namespace srpc

@@ -1,0 +1,55 @@
+// ValueView — descriptor-driven access to a typed memory image.
+//
+// Host-architecture spaces manipulate shared data through ordinary C++
+// structs; a space modelling a *foreign* architecture (different endianness
+// or pointer width) cannot, so it reads and writes fields through the type
+// descriptor and the target ArchModel instead. Heterogeneity tests and the
+// SPARC-flavoured spaces use this; it is also handy for generic tooling
+// (dumping any registered type without compile-time knowledge).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "types/arch.hpp"
+#include "types/layout.hpp"
+#include "types/type_registry.hpp"
+
+namespace srpc {
+
+class ValueView {
+ public:
+  ValueView(const TypeRegistry& registry, const LayoutEngine& layouts,
+            const ArchModel& arch, TypeId type, void* data)
+      : registry_(registry), layouts_(layouts), arch_(arch), type_(type), data_(data) {}
+
+  [[nodiscard]] TypeId type() const noexcept { return type_; }
+  [[nodiscard]] void* data() const noexcept { return data_; }
+
+  // Navigates to a struct field by name.
+  Result<ValueView> field(const std::string& name) const;
+
+  // Navigates to an array element.
+  Result<ValueView> element(std::uint32_t index) const;
+
+  // Scalar accessors (integers and bool; sign handled by the descriptor).
+  Result<std::int64_t> get_int() const;
+  Status set_int(std::int64_t v);
+
+  Result<double> get_float() const;
+  Status set_float(double v);
+
+  // Raw pointer-field value (an ordinary pointer in this arch's width).
+  Result<std::uint64_t> get_pointer() const;
+  Status set_pointer(std::uint64_t v);
+
+ private:
+  const TypeRegistry& registry_;
+  const LayoutEngine& layouts_;
+  const ArchModel& arch_;
+  TypeId type_;
+  void* data_;
+};
+
+}  // namespace srpc

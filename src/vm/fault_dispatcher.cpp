@@ -1,0 +1,151 @@
+#include "vm/fault_dispatcher.hpp"
+
+#include <signal.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace srpc {
+
+FaultDispatcher& FaultDispatcher::instance() {
+  static FaultDispatcher dispatcher;
+  return dispatcher;
+}
+
+void FaultDispatcher::lock() const noexcept {
+  std::uint32_t expected = 0;
+  while (!__atomic_compare_exchange_n(&spin_, &expected, 1, /*weak=*/false,
+                                      __ATOMIC_ACQUIRE, __ATOMIC_RELAXED)) {
+    expected = 0;
+  }
+}
+
+void FaultDispatcher::unlock() const noexcept {
+  __atomic_store_n(&spin_, 0, __ATOMIC_RELEASE);
+}
+
+Status FaultDispatcher::register_range(void* base, std::size_t len, FaultHandler* handler) {
+  if (base == nullptr || len == 0 || handler == nullptr) {
+    return invalid_argument("register_range: null base/handler or empty range");
+  }
+  lock();
+  if (!installed_) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sa.sa_sigaction = reinterpret_cast<void (*)(int, siginfo_t*, void*)>(
+        &FaultDispatcher::signal_handler);
+    sigemptyset(&sa.sa_mask);
+    if (::sigaction(SIGSEGV, &sa, nullptr) != 0 ||
+        ::sigaction(SIGBUS, &sa, nullptr) != 0) {
+      unlock();
+      return internal_error("sigaction failed");
+    }
+    installed_ = true;
+  }
+  for (std::size_t i = 0; i < kMaxRanges; ++i) {
+    if (!ranges_[i].active) {
+      ranges_[i].base = reinterpret_cast<std::uintptr_t>(base);
+      ranges_[i].end = ranges_[i].base + len;
+      ranges_[i].handler = handler;
+      ranges_[i].active = true;
+      if (i + 1 > high_water_) high_water_ = i + 1;
+      unlock();
+      return Status::ok();
+    }
+  }
+  unlock();
+  return resource_exhausted("fault dispatcher range table full");
+}
+
+Status FaultDispatcher::unregister_range(void* base) {
+  const auto target = reinterpret_cast<std::uintptr_t>(base);
+  lock();
+  for (std::size_t i = 0; i < high_water_; ++i) {
+    if (ranges_[i].active && ranges_[i].base == target) {
+      ranges_[i].active = false;
+      ranges_[i].handler = nullptr;
+      unlock();
+      return Status::ok();
+    }
+  }
+  unlock();
+  return not_found("unregister_range: range not registered");
+}
+
+std::size_t FaultDispatcher::range_count() const noexcept {
+  lock();
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < high_water_; ++i) {
+    if (ranges_[i].active) ++n;
+  }
+  unlock();
+  return n;
+}
+
+std::uint64_t FaultDispatcher::dispatched_faults() const noexcept {
+  return __atomic_load_n(&dispatched_, __ATOMIC_RELAXED);
+}
+
+namespace {
+
+// Re-raises the signal with the default disposition: used when no handler
+// claims the address, so real crashes behave as if we were never here.
+[[noreturn]] void crash(int signo, void* addr) {
+  char buf[96];
+  const int len = std::snprintf(buf, sizeof buf,
+                                "[srpc] unhandled fault (signal %d) at %p\n", signo, addr);
+  if (len > 0) {
+    [[maybe_unused]] ssize_t ignored = ::write(2, buf, static_cast<std::size_t>(len));
+  }
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+  ::_exit(128 + signo);  // unreachable unless the signal is blocked
+}
+
+FaultAccess classify_access(void* context) noexcept {
+#if defined(__x86_64__)
+  if (context != nullptr) {
+    const auto* uc = static_cast<const ucontext_t*>(context);
+    // x86 page-fault error code: bit 1 set => write access.
+    const auto err = static_cast<std::uint64_t>(uc->uc_mcontext.gregs[REG_ERR]);
+    return (err & 0x2) != 0 ? FaultAccess::kWrite : FaultAccess::kRead;
+  }
+#else
+  (void)context;
+#endif
+  return FaultAccess::kUnknown;
+}
+
+}  // namespace
+
+void FaultDispatcher::signal_handler(int signo, void* info, void* context) {
+  auto* si = static_cast<siginfo_t*>(info);
+  void* addr = si != nullptr ? si->si_addr : nullptr;
+  FaultDispatcher& self = instance();
+
+  FaultHandler* handler = nullptr;
+  const auto target = reinterpret_cast<std::uintptr_t>(addr);
+  self.lock();
+  for (std::size_t i = 0; i < self.high_water_; ++i) {
+    const Range& r = self.ranges_[i];
+    if (r.active && target >= r.base && target < r.end) {
+      handler = r.handler;
+      break;
+    }
+  }
+  self.unlock();
+
+  if (handler == nullptr) {
+    crash(signo, addr);
+  }
+  __atomic_fetch_add(&self.dispatched_, 1, __ATOMIC_RELAXED);
+  if (!handler->on_fault(addr, classify_access(context))) {
+    crash(signo, addr);
+  }
+  // Returning restarts the faulting instruction.
+}
+
+}  // namespace srpc

@@ -1,0 +1,81 @@
+// FaultDispatcher — routes access-violation exceptions to runtime handlers.
+//
+// This is the paper's "the operating system kernel is informed a priori that
+// the runtime system handles the exception" (§3.2): a process-wide SIGSEGV/
+// SIGBUS handler that maps the faulting address to the owning cache arena
+// and invokes that runtime's handler *on the faulting thread*. When the
+// handler returns true the faulting instruction is restarted by the kernel;
+// by then the runtime has fetched the data and opened the page.
+//
+// Faults on addresses no range claims are re-raised with the default
+// disposition so genuine crashes still produce a core dump.
+//
+// Signal-context discipline (see also net/mailbox.hpp): handlers may wait on
+// mailboxes and send messages, because the fault is synchronous, runs on the
+// faulting thread's own stack, and the runtime never touches a protected
+// page while holding a lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace srpc {
+
+enum class FaultAccess : std::uint8_t { kRead, kWrite, kUnknown };
+
+class FaultHandler {
+ public:
+  virtual ~FaultHandler() = default;
+  // Returns true if the fault was resolved and the instruction may retry.
+  virtual bool on_fault(void* addr, FaultAccess access) = 0;
+};
+
+class FaultDispatcher {
+ public:
+  static FaultDispatcher& instance();
+
+  FaultDispatcher(const FaultDispatcher&) = delete;
+  FaultDispatcher& operator=(const FaultDispatcher&) = delete;
+
+  // Registers [base, base+len) -> handler. Installs the signal handler on
+  // first registration. `handler` must outlive the registration.
+  Status register_range(void* base, std::size_t len, FaultHandler* handler);
+
+  // Removes a registration. Must not race with an in-flight fault on the
+  // same range (runtimes unregister only at teardown, after traffic stops).
+  Status unregister_range(void* base);
+
+  [[nodiscard]] std::size_t range_count() const noexcept;
+
+  // Total faults successfully dispatched (all ranges); micro-bench fodder.
+  [[nodiscard]] std::uint64_t dispatched_faults() const noexcept;
+
+ private:
+  FaultDispatcher() = default;
+
+  static void signal_handler(int signo, void* info, void* context);
+
+  static constexpr std::size_t kMaxRanges = 256;
+
+  struct Range {
+    std::uintptr_t base = 0;
+    std::uintptr_t end = 0;
+    FaultHandler* handler = nullptr;
+    bool active = false;
+  };
+
+  // Spinlock, acquirable from the signal handler: registration code never
+  // faults while holding it, so the handler cannot deadlock against it.
+  void lock() const noexcept;
+  void unlock() const noexcept;
+
+  mutable std::uint32_t spin_ = 0;  // accessed via __atomic builtins
+  Range ranges_[kMaxRanges];
+  std::size_t high_water_ = 0;
+  bool installed_ = false;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace srpc

@@ -1,0 +1,60 @@
+#include "vm/page_arena.hpp"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace srpc {
+
+Result<PageArena> PageArena::create(std::size_t page_count, std::size_t page_size) {
+  if (page_count == 0) {
+    return invalid_argument("arena needs at least one page");
+  }
+  if (page_size == 0 || page_size % host_page_size() != 0) {
+    return invalid_argument("arena page size must be a multiple of the host page size (" +
+                            std::to_string(host_page_size()) + ")");
+  }
+  const std::size_t bytes = page_count * page_size;
+  void* base = ::mmap(nullptr, bytes, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return resource_exhausted(std::string("mmap: ") + std::strerror(errno));
+  }
+  return PageArena(static_cast<std::uint8_t*>(base), page_count, page_size);
+}
+
+PageArena::~PageArena() { release(); }
+
+PageArena::PageArena(PageArena&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      page_count_(std::exchange(other.page_count_, 0)),
+      page_size_(std::exchange(other.page_size_, 0)) {}
+
+PageArena& PageArena::operator=(PageArena&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = std::exchange(other.base_, nullptr);
+    page_count_ = std::exchange(other.page_count_, 0);
+    page_size_ = std::exchange(other.page_size_, 0);
+  }
+  return *this;
+}
+
+void PageArena::release() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, byte_size());
+    base_ = nullptr;
+    page_count_ = 0;
+    page_size_ = 0;
+  }
+}
+
+Status PageArena::protect(PageIndex page, PageProtection prot) const {
+  if (page >= page_count_) {
+    return out_of_range("page index " + std::to_string(page) + " out of arena");
+  }
+  return set_protection(page_base(page), page_size_, prot);
+}
+
+}  // namespace srpc

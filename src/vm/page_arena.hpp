@@ -1,0 +1,69 @@
+// PageArena — a reserved, page-protected virtual memory range.
+//
+// Each address space owns one arena as its "protected page area" (paper
+// §3.2): the region remote data is swizzled into. The whole range is
+// reserved PROT_NONE at construction; the cache manager flips per-page
+// protection as data arrives and is modified.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "vm/protection.hpp"
+
+namespace srpc {
+
+using PageIndex = std::uint32_t;
+inline constexpr PageIndex kInvalidPage = 0xFFFFFFFFU;
+
+class PageArena {
+ public:
+  // Reserves `page_count` pages of `page_size` bytes (PROT_NONE).
+  // `page_size` must be a multiple of the host page size; the paper's
+  // SunOS/SPARC pages were 4 KiB, the default here.
+  static Result<PageArena> create(std::size_t page_count, std::size_t page_size = 4096);
+
+  PageArena() = default;
+  ~PageArena();
+  PageArena(PageArena&& other) noexcept;
+  PageArena& operator=(PageArena&& other) noexcept;
+  PageArena(const PageArena&) = delete;
+  PageArena& operator=(const PageArena&) = delete;
+
+  [[nodiscard]] std::uint8_t* base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t page_size() const noexcept { return page_size_; }
+  [[nodiscard]] std::size_t page_count() const noexcept { return page_count_; }
+  [[nodiscard]] std::size_t byte_size() const noexcept { return page_count_ * page_size_; }
+
+  [[nodiscard]] bool contains(const void* addr) const noexcept {
+    const auto* p = static_cast<const std::uint8_t*>(addr);
+    return p >= base_ && p < base_ + byte_size();
+  }
+
+  [[nodiscard]] std::uint8_t* page_base(PageIndex page) const noexcept {
+    return base_ + static_cast<std::size_t>(page) * page_size_;
+  }
+
+  // Page containing `addr`; kInvalidPage if outside the arena.
+  [[nodiscard]] PageIndex page_of(const void* addr) const noexcept {
+    if (!contains(addr)) return kInvalidPage;
+    return static_cast<PageIndex>(
+        (static_cast<const std::uint8_t*>(addr) - base_) / page_size_);
+  }
+
+  // Changes the protection of one page.
+  Status protect(PageIndex page, PageProtection prot) const;
+
+ private:
+  PageArena(std::uint8_t* base, std::size_t page_count, std::size_t page_size)
+      : base_(base), page_count_(page_count), page_size_(page_size) {}
+
+  void release() noexcept;
+
+  std::uint8_t* base_ = nullptr;
+  std::size_t page_count_ = 0;
+  std::size_t page_size_ = 0;
+};
+
+}  // namespace srpc

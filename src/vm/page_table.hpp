@@ -1,0 +1,63 @@
+// Per-arena page bookkeeping: the state machine behind the paper's
+// protected-page discipline.
+//
+//   kEmpty      nothing allocated on the page            PROT_NONE
+//   kAllocated  swizzled locations assigned, no data yet PROT_NONE
+//   kClean      resident, unmodified                     PROT_READ
+//   kDirty      resident, modified since last transfer   PROT_READ|WRITE
+//
+// A page becomes *sealed* the moment it turns resident: once protection is
+// released, a first access to any further datum on it could no longer be
+// detected (paper §3.2), so no new locations may be allocated there.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "vm/page_arena.hpp"
+
+namespace srpc {
+
+enum class PageState : std::uint8_t { kEmpty, kAllocated, kClean, kDirty };
+
+// kLazy pages hold swizzled-but-unfetched locations and seal on residency.
+// kAlloc pages hold locally-born objects (extended_malloc): every datum on
+// them has data from birth, so they stay open for further allocation even
+// while resident (paper §3.5).
+enum class PageKind : std::uint8_t { kLazy, kAlloc };
+
+std::string_view to_string(PageState s) noexcept;
+
+struct PageInfo {
+  PageState state = PageState::kEmpty;
+  PageKind kind = PageKind::kLazy;
+  bool sealed = false;
+  std::uint32_t bump = 0;          // next free byte offset for allocation
+  SpaceId origin = kInvalidSpaceId;  // home space this page clusters (strategy-dependent)
+};
+
+class PageTable {
+ public:
+  explicit PageTable(std::size_t page_count) : pages_(page_count) {}
+
+  [[nodiscard]] PageInfo& info(PageIndex page) { return pages_.at(page); }
+  [[nodiscard]] const PageInfo& info(PageIndex page) const { return pages_.at(page); }
+  [[nodiscard]] std::size_t page_count() const noexcept { return pages_.size(); }
+
+  // Validated state transition; the protection change itself is the cache
+  // manager's job (it owns the arena).
+  Status transition(PageIndex page, PageState to);
+
+  // All pages currently in the given state.
+  [[nodiscard]] std::vector<PageIndex> pages_in_state(PageState s) const;
+
+  // Resets every page to kEmpty/unsealed (session-end invalidation).
+  void reset();
+
+ private:
+  std::vector<PageInfo> pages_;
+};
+
+}  // namespace srpc

@@ -1,0 +1,47 @@
+#include "vm/protection.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace srpc {
+
+std::string_view to_string(PageProtection p) noexcept {
+  switch (p) {
+    case PageProtection::kNone:
+      return "NONE";
+    case PageProtection::kRead:
+      return "READ";
+    case PageProtection::kReadWrite:
+      return "READ_WRITE";
+  }
+  return "?";
+}
+
+Status set_protection(void* addr, std::size_t len, PageProtection prot) {
+  int flags = PROT_NONE;
+  switch (prot) {
+    case PageProtection::kNone:
+      flags = PROT_NONE;
+      break;
+    case PageProtection::kRead:
+      flags = PROT_READ;
+      break;
+    case PageProtection::kReadWrite:
+      flags = PROT_READ | PROT_WRITE;
+      break;
+  }
+  if (::mprotect(addr, len, flags) != 0) {
+    return internal_error(std::string("mprotect: ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+std::size_t host_page_size() noexcept {
+  static const std::size_t size = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+}  // namespace srpc

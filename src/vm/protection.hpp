@@ -1,0 +1,28 @@
+// Page-protection primitive (paper §1: "Modern operating system kernels
+// such as Mach and SunOS provide primitives for user-level program control
+// of page access to virtual memory and page-fault handling").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace srpc {
+
+enum class PageProtection : std::uint8_t {
+  kNone,       // no access: first touch must be detectable
+  kRead,       // clean cached data: writes must be detectable
+  kReadWrite,  // dirty cached data: fully materialised
+};
+
+std::string_view to_string(PageProtection p) noexcept;
+
+// mprotect() wrapper. `addr` must be page-aligned.
+Status set_protection(void* addr, std::size_t len, PageProtection prot);
+
+// The host page size (cached getpagesize()).
+std::size_t host_page_size() noexcept;
+
+}  // namespace srpc

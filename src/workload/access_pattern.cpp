@@ -1,0 +1,22 @@
+#include "workload/access_pattern.hpp"
+
+namespace srpc::workload {
+
+AccessPattern make_pattern(std::uint32_t op_count, std::uint32_t target_count,
+                           double write_ratio, std::uint64_t seed) {
+  AccessPattern pattern;
+  pattern.ops.reserve(op_count);
+  Rng rng(seed);
+  for (std::uint32_t i = 0; i < op_count; ++i) {
+    Op op;
+    op.kind = rng.next_bool(write_ratio) ? OpKind::kWrite : OpKind::kRead;
+    op.target = target_count == 0
+                    ? 0
+                    : static_cast<std::uint32_t>(rng.next_below(target_count));
+    op.operand = rng.next_in(-1000, 1000);
+    pattern.ops.push_back(op);
+  }
+  return pattern;
+}
+
+}  // namespace srpc::workload

@@ -1,0 +1,29 @@
+// Randomised operation scripts for property tests: deterministic sequences
+// of reads and writes against a remote structure, replayed both remotely
+// (through the smart-RPC cache) and locally (ground truth) and compared.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace srpc::workload {
+
+enum class OpKind : std::uint8_t { kRead, kWrite };
+
+struct Op {
+  OpKind kind = OpKind::kRead;
+  std::uint32_t target = 0;   // node index (caller defines the indexing)
+  std::int64_t operand = 0;   // written/added value for kWrite
+};
+
+struct AccessPattern {
+  std::vector<Op> ops;
+};
+
+// `write_ratio` in [0,1]; targets uniform in [0, target_count).
+AccessPattern make_pattern(std::uint32_t op_count, std::uint32_t target_count,
+                           double write_ratio, std::uint64_t seed);
+
+}  // namespace srpc::workload

@@ -1,0 +1,92 @@
+#include "workload/graph.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace srpc::workload {
+
+Result<TypeId> register_graph_type(World& world) {
+  auto builder = world.describe<GraphNode>("GraphNode");
+  builder.pointer_array_field("edges", &GraphNode::edges, builder.id())
+      .field("value", &GraphNode::value);
+  return world.register_type(builder);
+}
+
+Result<GraphNode*> build_graph(Runtime& rt, const GraphSpec& spec) {
+  if (spec.node_count == 0) return static_cast<GraphNode*>(nullptr);
+  auto type = rt.host_types().find<GraphNode>();
+  if (!type) return type.status();
+
+  Rng rng(spec.seed);
+  std::vector<GraphNode*> nodes(spec.node_count);
+  for (std::uint32_t i = 0; i < spec.node_count; ++i) {
+    auto mem = rt.heap().allocate(type.value(), 1);
+    if (!mem) return mem.status();
+    nodes[i] = static_cast<GraphNode*>(mem.value());
+    nodes[i]->value = static_cast<std::int64_t>(i) * 7 + 1;
+  }
+  for (std::uint32_t i = 0; i < spec.node_count; ++i) {
+    // Slot 0 forces a spanning path so everything is reachable from 0.
+    if (i + 1 < spec.node_count) nodes[i]->edges[0] = nodes[i + 1];
+    for (std::uint32_t e = 1; e < kGraphFanout; ++e) {
+      if (!rng.next_bool(spec.edge_probability)) continue;
+      std::uint32_t target = 0;
+      if (spec.allow_cycles) {
+        target = static_cast<std::uint32_t>(rng.next_below(spec.node_count));
+      } else if (i + 1 < spec.node_count) {
+        target = i + 1 + static_cast<std::uint32_t>(
+                             rng.next_below(spec.node_count - i - 1));
+      } else {
+        continue;
+      }
+      nodes[i]->edges[e] = nodes[target];
+    }
+  }
+  return nodes[0];
+}
+
+Status free_graph(Runtime& rt, GraphNode* root) {
+  if (root == nullptr) return Status::ok();
+  std::unordered_set<GraphNode*> visited;
+  std::vector<GraphNode*> stack{root};
+  visited.insert(root);
+  std::vector<GraphNode*> order;
+  while (!stack.empty()) {
+    GraphNode* node = stack.back();
+    stack.pop_back();
+    order.push_back(node);
+    for (GraphNode* edge : node->edges) {
+      if (edge != nullptr && visited.insert(edge).second) {
+        stack.push_back(edge);
+      }
+    }
+  }
+  for (GraphNode* node : order) {
+    SRPC_RETURN_IF_ERROR(rt.heap().free(node));
+  }
+  return Status::ok();
+}
+
+std::int64_t sum_reachable(const GraphNode* root, std::uint64_t* out_nodes) {
+  if (root == nullptr) {
+    if (out_nodes != nullptr) *out_nodes = 0;
+    return 0;
+  }
+  std::unordered_set<const GraphNode*> visited{root};
+  std::vector<const GraphNode*> stack{root};
+  std::int64_t sum = 0;
+  while (!stack.empty()) {
+    const GraphNode* node = stack.back();
+    stack.pop_back();
+    sum += node->value;
+    for (const GraphNode* edge : node->edges) {
+      if (edge != nullptr && visited.insert(edge).second) {
+        stack.push_back(edge);
+      }
+    }
+  }
+  if (out_nodes != nullptr) *out_nodes = visited.size();
+  return sum;
+}
+
+}  // namespace srpc::workload

@@ -1,0 +1,43 @@
+// Random general graphs: sharing (DAG edges) and cycles. Smart RPC's
+// swizzling handles both (the data allocation table deduplicates by
+// identity; cycles terminate because a pointer received twice maps to the
+// same location), while the eager baseline must reject cycles — property
+// tests exercise exactly that contrast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/runtime.hpp"
+#include "core/world.hpp"
+
+namespace srpc::workload {
+
+inline constexpr std::uint32_t kGraphFanout = 4;
+
+struct GraphNode {
+  GraphNode* edges[kGraphFanout] = {nullptr, nullptr, nullptr, nullptr};
+  std::int64_t value = 0;
+};
+
+Result<TypeId> register_graph_type(World& world);
+
+struct GraphSpec {
+  std::uint32_t node_count = 64;
+  double edge_probability = 0.5;  // per edge slot
+  bool allow_cycles = true;       // false: edges only point "forward"
+  std::uint64_t seed = 1;
+};
+
+// Builds a random graph per `spec`; returns node 0 (every node is
+// reachable from it via a forced spanning path).
+Result<GraphNode*> build_graph(Runtime& rt, const GraphSpec& spec);
+
+Status free_graph(Runtime& rt, GraphNode* root);
+
+// Sum of values reachable from `root` (visited-set traversal), plus the
+// reachable node count via `out_nodes` if non-null.
+std::int64_t sum_reachable(const GraphNode* root, std::uint64_t* out_nodes = nullptr);
+
+}  // namespace srpc::workload

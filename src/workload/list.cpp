@@ -1,0 +1,60 @@
+#include "workload/list.hpp"
+
+#include <vector>
+
+namespace srpc::workload {
+
+Result<TypeId> register_list_type(World& world) {
+  auto builder = world.describe<ListNode>("ListNode");
+  builder.pointer_field("next", &ListNode::next, builder.id())
+      .field("value", &ListNode::value);
+  return world.register_type(builder);
+}
+
+Result<ListNode*> build_list(Runtime& rt, std::uint32_t length,
+                             const std::function<std::int64_t(std::uint32_t)>& value) {
+  if (length == 0) return static_cast<ListNode*>(nullptr);
+  auto type = rt.host_types().find<ListNode>();
+  if (!type) return type.status();
+
+  ListNode* head = nullptr;
+  ListNode* tail = nullptr;
+  for (std::uint32_t i = 0; i < length; ++i) {
+    auto mem = rt.heap().allocate(type.value(), 1);
+    if (!mem) return mem.status();
+    auto* node = static_cast<ListNode*>(mem.value());
+    node->value = value(i);
+    if (tail == nullptr) {
+      head = node;
+    } else {
+      tail->next = node;
+    }
+    tail = node;
+  }
+  return head;
+}
+
+Status free_list(Runtime& rt, ListNode* head) {
+  while (head != nullptr) {
+    ListNode* next = head->next;
+    SRPC_RETURN_IF_ERROR(rt.heap().free(head));
+    head = next;
+  }
+  return Status::ok();
+}
+
+std::int64_t sum_list(const ListNode* head) {
+  std::int64_t sum = 0;
+  for (; head != nullptr; head = head->next) {
+    sum += head->value;
+  }
+  return sum;
+}
+
+void scale_list(ListNode* head, std::int64_t factor) {
+  for (; head != nullptr; head = head->next) {
+    head->value *= factor;
+  }
+}
+
+}  // namespace srpc::workload

@@ -1,0 +1,33 @@
+// Singly-linked list workload: the "pass a pointer to a subroutine" case
+// the paper's introduction motivates. Used by the quickstart example and
+// by tests that need a deep, narrow structure (worst case for closure
+// prefetching, best case for eager inline encoding depth).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/runtime.hpp"
+#include "core/world.hpp"
+
+namespace srpc::workload {
+
+struct ListNode {
+  ListNode* next = nullptr;
+  std::int64_t value = 0;
+};
+
+Result<TypeId> register_list_type(World& world);
+
+// Builds a list of `length` nodes; node i holds value(i).
+Result<ListNode*> build_list(Runtime& rt, std::uint32_t length,
+                             const std::function<std::int64_t(std::uint32_t)>& value);
+
+Status free_list(Runtime& rt, ListNode* head);
+
+std::int64_t sum_list(const ListNode* head);
+
+// Multiplies every value by `factor` (write workload for coherency tests).
+void scale_list(ListNode* head, std::int64_t factor);
+
+}  // namespace srpc::workload

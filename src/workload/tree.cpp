@@ -1,0 +1,104 @@
+#include "workload/tree.hpp"
+
+#include <deque>
+#include <vector>
+
+namespace srpc::workload {
+
+Result<TypeId> register_tree_type(World& world) {
+  auto builder = world.describe<TreeNode>("TreeNode");
+  builder.pointer_field("left", &TreeNode::left, builder.id())
+      .pointer_field("right", &TreeNode::right, builder.id())
+      .field("data", &TreeNode::data);
+  return world.register_type(builder);
+}
+
+Result<TreeNode*> build_complete_tree(Runtime& rt, std::uint32_t node_count) {
+  if (node_count == 0) return static_cast<TreeNode*>(nullptr);
+  auto type = rt.host_types().find<TreeNode>();
+  if (!type) return type.status();
+
+  std::vector<TreeNode*> nodes(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    auto mem = rt.heap().allocate(type.value(), 1);
+    if (!mem) return mem.status();
+    nodes[i] = static_cast<TreeNode*>(mem.value());
+    nodes[i]->data = static_cast<std::int64_t>(i);
+  }
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    const std::uint64_t l = 2ULL * i + 1;
+    const std::uint64_t r = 2ULL * i + 2;
+    if (l < node_count) nodes[i]->left = nodes[l];
+    if (r < node_count) nodes[i]->right = nodes[r];
+  }
+  return nodes[0];
+}
+
+Status free_tree(Runtime& rt, TreeNode* root) {
+  if (root == nullptr) return Status::ok();
+  // Iterative: the tree can be deeper than a recursive free should assume.
+  std::deque<TreeNode*> queue{root};
+  while (!queue.empty()) {
+    TreeNode* node = queue.front();
+    queue.pop_front();
+    if (node->left != nullptr) queue.push_back(node->left);
+    if (node->right != nullptr) queue.push_back(node->right);
+    SRPC_RETURN_IF_ERROR(rt.heap().free(node));
+  }
+  return Status::ok();
+}
+
+std::int64_t visit_prefix(const TreeNode* root, std::uint64_t limit) {
+  std::int64_t sum = 0;
+  std::uint64_t visited = 0;
+  // Explicit stack pre-order DFS (the paper visits depth-first until the
+  // target ratio is reached).
+  std::vector<const TreeNode*> stack;
+  if (root != nullptr) stack.push_back(root);
+  while (!stack.empty() && visited < limit) {
+    const TreeNode* node = stack.back();
+    stack.pop_back();
+    sum += node->data;
+    ++visited;
+    if (node->right != nullptr) stack.push_back(node->right);
+    if (node->left != nullptr) stack.push_back(node->left);
+  }
+  return sum;
+}
+
+std::int64_t update_prefix(TreeNode* root, std::uint64_t limit, std::int64_t delta) {
+  std::int64_t sum = 0;
+  std::uint64_t visited = 0;
+  std::vector<TreeNode*> stack;
+  if (root != nullptr) stack.push_back(root);
+  while (!stack.empty() && visited < limit) {
+    TreeNode* node = stack.back();
+    stack.pop_back();
+    node->data += delta;  // the store that makes the page dirty
+    sum += node->data;
+    ++visited;
+    if (node->right != nullptr) stack.push_back(node->right);
+    if (node->left != nullptr) stack.push_back(node->left);
+  }
+  return sum;
+}
+
+std::int64_t walk_random_paths(const TreeNode* root, std::uint32_t paths,
+                               std::uint64_t seed) {
+  std::int64_t sum = 0;
+  Rng rng(seed);
+  for (std::uint32_t i = 0; i < paths; ++i) {
+    const TreeNode* node = root;
+    while (node != nullptr) {
+      sum += node->data;
+      node = rng.next_bool(0.5) ? node->left : node->right;
+    }
+  }
+  return sum;
+}
+
+std::uint64_t nodes_visited(std::uint32_t node_count, std::uint64_t limit) {
+  return limit < node_count ? limit : node_count;
+}
+
+}  // namespace srpc::workload

@@ -1,0 +1,55 @@
+// The paper's experimental subject (§4.1): a complete binary tree whose
+// nodes are 16 bytes — two 4-byte pointers and 8-byte data on SPARC; the
+// same struct here is 24 bytes on the 64-bit host, which only scales the
+// in-memory footprint, not the wire shapes.
+//
+// Traversals mirror the paper exactly: depth-first visits of a prefix of
+// the node population (Fig. 4/5/7), and repeated root-to-leaf walks
+// (Fig. 6). Every traversal works identically on local data and on
+// swizzled remote pointers — that transparency is the system under test.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/runtime.hpp"
+#include "core/world.hpp"
+
+namespace srpc::workload {
+
+struct TreeNode {
+  TreeNode* left = nullptr;
+  TreeNode* right = nullptr;
+  std::int64_t data = 0;
+};
+
+// Registers TreeNode with the world's type system and host-type map.
+// Idempotent per world? No — call once per World.
+Result<TypeId> register_tree_type(World& world);
+
+// Builds a complete binary tree of `node_count` nodes in rt's managed heap
+// (level order; node i holds data = i). node_count of 2^k - 1 gives the
+// paper's perfect trees (16383 / 32767 / 65535).
+Result<TreeNode*> build_complete_tree(Runtime& rt, std::uint32_t node_count);
+
+// Frees a tree built by build_complete_tree.
+Status free_tree(Runtime& rt, TreeNode* root);
+
+// Depth-first (pre-order) visit of at most `limit` nodes; returns the sum
+// of visited data. Works on local and remote trees alike.
+std::int64_t visit_prefix(const TreeNode* root, std::uint64_t limit);
+
+// Same traversal, but adds `delta` to each visited node (Fig. 7's update
+// workload: identical access pattern, plus stores).
+std::int64_t update_prefix(TreeNode* root, std::uint64_t limit, std::int64_t delta);
+
+// `paths` root-to-leaf walks choosing left/right pseudo-randomly from
+// `seed` (Fig. 6's repeated searches); returns the sum of visited data.
+std::int64_t walk_random_paths(const TreeNode* root, std::uint32_t paths,
+                               std::uint64_t seed);
+
+// Number of nodes a visit_prefix(root, limit) touches on an n-node tree
+// (= min(limit, n)); kept as a function for readability at call sites.
+std::uint64_t nodes_visited(std::uint32_t node_count, std::uint64_t limit);
+
+}  // namespace srpc::workload

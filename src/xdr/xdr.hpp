@@ -1,0 +1,26 @@
+// XDR (External Data Representation, RFC 1014) — the canonical wire form.
+//
+// The paper uses SunOS's XDR library as the canonical representation between
+// heterogeneous CPUs; we implement the same wire format: every item occupies
+// a multiple of 4 bytes, integers are big-endian two's complement, strings
+// and variable-length opaques carry a 4-byte length and are zero-padded to a
+// 4-byte boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace srpc::xdr {
+
+inline constexpr std::size_t kUnit = 4;  // fundamental XDR block size
+
+// Bytes of zero padding needed to round `len` up to the XDR unit.
+constexpr std::size_t padding(std::size_t len) noexcept {
+  return (kUnit - (len % kUnit)) % kUnit;
+}
+
+constexpr std::size_t padded_size(std::size_t len) noexcept {
+  return len + padding(len);
+}
+
+}  // namespace srpc::xdr

@@ -1,0 +1,63 @@
+#include "xdr/xdr_encoder.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace srpc::xdr {
+
+namespace {
+// Encoded on the wire big-endian regardless of host order.
+void put_be32(ByteBuffer& out, std::uint32_t v) {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  out.append(bytes, sizeof bytes);
+}
+}  // namespace
+
+void Encoder::put_u32(std::uint32_t v) { put_be32(out_, v); }
+
+void Encoder::put_u64(std::uint64_t v) {
+  put_be32(out_, static_cast<std::uint32_t>(v >> 32));
+  put_be32(out_, static_cast<std::uint32_t>(v));
+}
+
+void Encoder::put_f32(float v) {
+  static_assert(sizeof(float) == 4, "IEEE-754 single required");
+  put_u32(std::bit_cast<std::uint32_t>(v));
+}
+
+void Encoder::put_f64(double v) {
+  static_assert(sizeof(double) == 8, "IEEE-754 double required");
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Encoder::put_opaque_fixed(std::span<const std::uint8_t> bytes) {
+  out_.append(bytes);
+  for (std::size_t i = 0; i < padding(bytes.size()); ++i) out_.append_byte(0);
+}
+
+void Encoder::put_opaque(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > 0xFFFFFFFFULL) {
+    throw std::length_error("XDR opaque exceeds u32 length");
+  }
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  put_opaque_fixed(bytes);
+}
+
+void Encoder::put_string(std::string_view s) {
+  put_opaque(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+std::size_t Encoder::reserve_u32() { return out_.append_zeros(kUnit); }
+
+void Encoder::patch_u32(std::size_t offset, std::uint32_t v) {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  out_.overwrite(offset, bytes, sizeof bytes);
+}
+
+}  // namespace srpc::xdr

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/byte_buffer.hpp"
+#include "xdr/xdr.hpp"
+
+namespace srpc::xdr {
+
+// Appends XDR-encoded items to a ByteBuffer. The encoder does not own the
+// buffer, so several encoders (argument marshalling, coherency payloads)
+// can interleave into one wire message.
+class Encoder {
+ public:
+  explicit Encoder(ByteBuffer& out) : out_(out) {}
+
+  void put_u32(std::uint32_t v);
+  void put_i32(std::int32_t v) { put_u32(static_cast<std::uint32_t>(v)); }
+  void put_u64(std::uint64_t v);  // XDR "unsigned hyper"
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_bool(bool v) { put_u32(v ? 1U : 0U); }
+  void put_f32(float v);
+  void put_f64(double v);
+
+  // Fixed-length opaque: bytes as-is, zero-padded to the XDR unit.
+  void put_opaque_fixed(std::span<const std::uint8_t> bytes);
+
+  // Variable-length opaque: u32 length, then bytes, then padding.
+  void put_opaque(std::span<const std::uint8_t> bytes);
+
+  // XDR string: identical wire form to variable-length opaque.
+  void put_string(std::string_view s);
+
+  // Reserves a u32 slot (for back-patched counts); patch with patch_u32.
+  [[nodiscard]] std::size_t reserve_u32();
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+  [[nodiscard]] ByteBuffer& buffer() noexcept { return out_; }
+
+ private:
+  ByteBuffer& out_;
+};
+
+}  // namespace srpc::xdr

@@ -1,0 +1,210 @@
+// Coherency protocol (paper §3.4): the modified data set travels with the
+// thread of control; write-back and invalidation close the session.
+#include <gtest/gtest.h>
+
+#include "core/smart_rpc.hpp"
+#include "workload/list.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::ListNode;
+
+WorldOptions fast_world() {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  return options;
+}
+
+class CoherencyTest : public ::testing::Test {
+ protected:
+  CoherencyTest() : world_(fast_world()) {
+    a_ = &world_.create_space("A");
+    b_ = &world_.create_space("B");
+    c_ = &world_.create_space("C");
+    workload::register_list_type(world_).status().check();
+  }
+
+  World world_;
+  AddressSpace* a_ = nullptr;
+  AddressSpace* b_ = nullptr;
+  AddressSpace* c_ = nullptr;
+};
+
+// B modifies A's data, then B calls C: C must observe B's values (the
+// modified set travelled A -> B -> C without touching the home).
+TEST_F(CoherencyTest, ModifiedSetTravelsToThirdSpace) {
+  const SpaceId c_id = c_->id();
+  ASSERT_TRUE(c_->bind("sum",
+                       [](CallContext&, ListNode* head) -> std::int64_t {
+                         return workload::sum_list(head);
+                       })
+                  .is_ok());
+  ASSERT_TRUE(b_->bind("bump_then_forward",
+                       [c_id](CallContext& ctx, ListNode* head) -> std::int64_t {
+                         for (ListNode* n = head; n != nullptr; n = n->next) {
+                           n->value += 1000;
+                         }
+                         auto sum = typed_call<std::int64_t>(ctx.runtime, c_id, "sum",
+                                                             head);
+                         sum.status().check();
+                         return sum.value();
+                       })
+                  .is_ok());
+
+  a_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 8, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(i);
+    });
+    head.status().check();
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(b_->id(), "bump_then_forward", head.value());
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 28 + 8 * 1000);  // C saw the bumped values
+    // And after the return the home sees them too.
+    EXPECT_EQ(workload::sum_list(head.value()), 28 + 8 * 1000);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Updates accumulate across multiple spaces touching the same data.
+TEST_F(CoherencyTest, SequentialUpdatesFromTwoSpacesCompose)
+{
+  ASSERT_TRUE(b_->bind("add",
+                       [](CallContext&, ListNode* head, std::int64_t delta)
+                           -> std::int64_t {
+                         std::int64_t sum = 0;
+                         for (ListNode* n = head; n != nullptr; n = n->next) {
+                           n->value += delta;
+                           sum += n->value;
+                         }
+                         return sum;
+                       })
+                  .is_ok());
+  ASSERT_TRUE(c_->bind("add",
+                       [](CallContext&, ListNode* head, std::int64_t delta)
+                           -> std::int64_t {
+                         std::int64_t sum = 0;
+                         for (ListNode* n = head; n != nullptr; n = n->next) {
+                           n->value += delta;
+                           sum += n->value;
+                         }
+                         return sum;
+                       })
+                  .is_ok());
+
+  a_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 4, [](std::uint32_t) { return std::int64_t{1}; });
+    head.status().check();
+    Session session(rt);
+    auto s1 = session.call<std::int64_t>(b_->id(), "add", head.value(), std::int64_t{10});
+    ASSERT_TRUE(s1.is_ok());
+    EXPECT_EQ(s1.value(), 4 * 11);
+    // C sees B's updates because the RETURN brought them home and the next
+    // CALL re-seeds C's fetches from the updated home.
+    auto s2 = session.call<std::int64_t>(c_->id(), "add", head.value(), std::int64_t{100});
+    ASSERT_TRUE(s2.is_ok());
+    EXPECT_EQ(s2.value(), 4 * 111);
+    EXPECT_EQ(workload::sum_list(head.value()), 4 * 111);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// The ground thread's own callback handler sees remote writes mid-session.
+TEST_F(CoherencyTest, CallbackObservesWritesMidSession) {
+  const SpaceId a_id = a_->id();
+  ASSERT_TRUE(b_->bind("bump_then_callback",
+                       [a_id](CallContext& ctx, ListNode* head) -> std::int64_t {
+                         head->value = 777;
+                         auto seen = typed_call<std::int64_t>(ctx.runtime, a_id,
+                                                              "peek", std::int64_t{0});
+                         seen.status().check();
+                         return seen.value();
+                       })
+                  .is_ok());
+
+  a_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 1, [](std::uint32_t) { return std::int64_t{1}; });
+    head.status().check();
+    ListNode* list = head.value();
+    bind_procedure(rt, "peek", [list](CallContext&, std::int64_t) -> std::int64_t {
+      return list->value;  // home data, read during the callback
+    }).check();
+
+    Session session(rt);
+    auto seen = session.call<std::int64_t>(b_->id(), "bump_then_callback", list);
+    ASSERT_TRUE(seen.is_ok()) << seen.status().to_string();
+    EXPECT_EQ(seen.value(), 777);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Session end without any further call: the write-back message carries the
+// dirty data home, and every space's cache is invalidated.
+TEST_F(CoherencyTest, WriteBackAndInvalidateAtSessionEnd) {
+  ASSERT_TRUE(b_->bind("give",
+                       [](CallContext& ctx, std::int32_t n) -> ListNode* {
+                         auto head = workload::build_list(
+                             ctx.runtime, static_cast<std::uint32_t>(n),
+                             [](std::uint32_t) { return std::int64_t{2}; });
+                         head.status().check();
+                         return head.value();
+                       })
+                  .is_ok());
+  ASSERT_TRUE(b_->bind("check_sum",
+                       [](CallContext& ctx, ListNode* head) -> std::int64_t {
+                         (void)ctx;
+                         return workload::sum_list(head);  // home-side read
+                       })
+                  .is_ok());
+
+  ListNode* remote = nullptr;
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto head = session.call<ListNode*>(b_->id(), "give", 6);
+    ASSERT_TRUE(head.is_ok());
+    remote = head.value();
+    workload::scale_list(remote, 10);  // cache writes only
+    ASSERT_TRUE(session.end().is_ok());
+    // After invalidation our own cache is empty.
+    EXPECT_EQ(rt.cache().table().size(), 0u);
+  });
+
+  // New session: fetch fresh from B and observe the written-back values.
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto head = session.call<ListNode*>(b_->id(), "give", 1);
+    ASSERT_TRUE(head.is_ok());
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  b_->run([&](Runtime& rt) {
+    EXPECT_EQ(rt.heap().live_allocations(), 7u);  // 6 + 1
+    return 0;
+  });
+}
+
+// Stats-level check that the modified set actually rides CALL/RETURN.
+TEST_F(CoherencyTest, DirtyDataRidesControlTransfers) {
+  ASSERT_TRUE(b_->bind("touch",
+                       [](CallContext&, ListNode* head) -> std::int64_t {
+                         head->value += 1;
+                         return head->value;
+                       })
+                  .is_ok());
+  a_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 1, [](std::uint32_t) { return std::int64_t{0}; });
+    head.status().check();
+    Session session(rt);
+    // Three calls; each RETURN must apply the single dirty node at home.
+    for (int i = 1; i <= 3; ++i) {
+      auto v = session.call<std::int64_t>(b_->id(), "touch", head.value());
+      ASSERT_TRUE(v.is_ok());
+      EXPECT_EQ(v.value(), i);
+      EXPECT_EQ(head.value()->value, i);
+    }
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace srpc

@@ -1,0 +1,110 @@
+// RpcEndpoint unit tests: re-entrant await, deferral, error matching.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim_network.hpp"
+#include "rpc/rpc_endpoint.hpp"
+
+namespace srpc {
+namespace {
+
+Message make(MessageType type, SpaceId from, SpaceId to, std::uint64_t seq) {
+  Message msg;
+  msg.type = type;
+  msg.from = from;
+  msg.to = to;
+  msg.session = 1;
+  msg.seq = seq;
+  return msg;
+}
+
+class EndpointTest : public ::testing::Test {
+ protected:
+  EndpointTest() : endpoint_(0, net_, box_) { net_.attach(0, &box_); }
+
+  SimNetwork net_{CostModel::zero()};
+  Mailbox box_;
+  RpcEndpoint endpoint_;
+};
+
+TEST_F(EndpointTest, SendStampsTheSender) {
+  Mailbox peer;
+  net_.attach(1, &peer);
+  Message msg = make(MessageType::kCall, 99 /*overwritten*/, 1, 5);
+  ASSERT_TRUE(endpoint_.send(std::move(msg)).is_ok());
+  auto item = peer.try_pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(std::get<Message>(*item).from, 0u);
+}
+
+TEST_F(EndpointTest, AwaitMatchesTypeAndSeq) {
+  ASSERT_TRUE(box_.push(make(MessageType::kReturn, 1, 0, 41)).is_ok());  // wrong seq
+  ASSERT_TRUE(box_.push(make(MessageType::kFetchReply, 1, 0, 42)).is_ok());  // wrong type
+  ASSERT_TRUE(box_.push(make(MessageType::kReturn, 1, 0, 42)).is_ok());  // match
+
+  std::vector<MessageType> served;
+  auto reply = endpoint_.await_reply(MessageType::kReturn, 42, [&](Message m) {
+    served.push_back(m.type);
+    return Status::ok();
+  });
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().seq, 42u);
+  ASSERT_EQ(served.size(), 2u);  // the two non-matching messages were served
+}
+
+TEST_F(EndpointTest, ErrorRepliesMatchTheAwait) {
+  ASSERT_TRUE(box_.push(make(MessageType::kError, 1, 0, 7)).is_ok());
+  auto reply = endpoint_.await_reply(MessageType::kReturn, 7, nullptr);
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().type, MessageType::kError);
+}
+
+TEST_F(EndpointTest, NullDispatcherDefersNonMatching) {
+  ASSERT_TRUE(box_.push(make(MessageType::kCall, 1, 0, 100)).is_ok());
+  ASSERT_TRUE(box_.push(make(MessageType::kFetchReply, 1, 0, 9)).is_ok());
+  auto reply = endpoint_.await_reply(MessageType::kFetchReply, 9, nullptr);
+  ASSERT_TRUE(reply.is_ok());
+  // The unrelated CALL was deferred and resurfaces via next().
+  auto deferred = endpoint_.next();
+  ASSERT_TRUE(deferred.is_ok());
+  EXPECT_EQ(std::get<Message>(deferred.value()).type, MessageType::kCall);
+}
+
+TEST_F(EndpointTest, TasksAreDeferredDuringAwait) {
+  int ran = 0;
+  ASSERT_TRUE(box_.push_task([&ran] { ++ran; }).is_ok());
+  ASSERT_TRUE(box_.push(make(MessageType::kReturn, 1, 0, 3)).is_ok());
+  auto reply = endpoint_.await_reply(MessageType::kReturn, 3, nullptr);
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(ran, 0);  // not executed on the await stack
+  auto item = endpoint_.next();
+  ASSERT_TRUE(item.is_ok());
+  std::get<Task>(item.value())();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST_F(EndpointTest, DispatcherErrorsAbortTheAwait) {
+  ASSERT_TRUE(box_.push(make(MessageType::kCall, 1, 0, 50)).is_ok());
+  auto reply = endpoint_.await_reply(MessageType::kReturn, 60, [](Message) {
+    return internal_error("handler blew up");
+  });
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(EndpointTest, ClosedMailboxEndsTheAwait) {
+  box_.close();
+  auto reply = endpoint_.await_reply(MessageType::kReturn, 1, nullptr);
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(EndpointTest, SequenceNumbersAreMonotonic) {
+  const std::uint64_t first = endpoint_.next_seq();
+  const std::uint64_t second = endpoint_.next_seq();
+  EXPECT_GT(second, first);
+}
+
+}  // namespace
+}  // namespace srpc

@@ -1,0 +1,147 @@
+// Transport failure injection: send errors must surface as Status at the
+// initiating call site, never hang or corrupt runtime state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/smart_rpc.hpp"
+#include "workload/list.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::ListNode;
+
+// Wraps a transport and starts failing sends after a fuse burns down.
+class FlakyTransport final : public Transport {
+ public:
+  explicit FlakyTransport(Transport& inner) : inner_(inner) {}
+
+  Status send(Message msg) override {
+    if (fuse_.load() >= 0 && sent_.fetch_add(1) >= fuse_.load()) {
+      return unavailable("injected transport failure");
+    }
+    return inner_.send(std::move(msg));
+  }
+
+  void set_fuse(int messages) {
+    sent_.store(0);
+    fuse_.store(messages);
+  }
+  void disarm() { fuse_.store(-1); }
+
+ private:
+  Transport& inner_;
+  std::atomic<int> sent_{0};
+  std::atomic<int> fuse_{-1};
+};
+
+// A world wired through the flaky transport. Built by hand (World always
+// wires spaces straight to its own transport).
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest()
+      : layouts_(registry_), net_(CostModel::zero()), flaky_(net_) {
+    auto directory = [] { return std::vector<SpaceId>{0, 1}; };
+    a_ = std::make_unique<AddressSpace>(0, "A", host_arch(), registry_, layouts_,
+                                        host_types_, flaky_, &net_, CacheOptions{},
+                                        directory);
+    b_ = std::make_unique<AddressSpace>(1, "B", host_arch(), registry_, layouts_,
+                                        host_types_, flaky_, &net_, CacheOptions{},
+                                        directory);
+    net_.attach(0, &a_->mailbox());
+    net_.attach(1, &b_->mailbox());
+    a_->start().check();
+    b_->start().check();
+
+    // Register the list type by hand (no World sugar here).
+    auto node = registry_.declare_struct("FNode");
+    node.status().check();
+    node_ = node.value();
+    registry_
+        .define_struct(node_, {{"next", registry_.pointer_to(node_)},
+                               {"value", TypeRegistry::scalar_id(ScalarType::kI64)}})
+        .check();
+    host_types_.bind<ListNode>(node_).check();
+
+    b_->bind("sum",
+             [](CallContext&, ListNode* head) -> std::int64_t {
+               return workload::sum_list(head);
+             })
+        .check();
+  }
+
+  ~FaultInjectionTest() override {
+    a_->shutdown();
+    b_->shutdown();
+  }
+
+  TypeRegistry registry_;
+  LayoutEngine layouts_;
+  HostTypeMap host_types_;
+  SimNetwork net_;
+  FlakyTransport flaky_;
+  std::unique_ptr<AddressSpace> a_;
+  std::unique_ptr<AddressSpace> b_;
+  TypeId node_ = kInvalidTypeId;
+};
+
+TEST_F(FaultInjectionTest, SendFailureOnCallSurfacesImmediately) {
+  a_->run([&](Runtime& rt) {
+    flaky_.set_fuse(0);  // every send fails
+    Session session(rt);
+    auto sum = typed_call<std::int64_t>(rt, 1, "sum", static_cast<ListNode*>(nullptr));
+    ASSERT_FALSE(sum.is_ok());
+    EXPECT_EQ(sum.status().code(), StatusCode::kUnavailable);
+    flaky_.disarm();
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(FaultInjectionTest, RuntimeRecoversAfterTransportHeals) {
+  a_->run([&](Runtime& rt) {
+    auto head = rt.heap().allocate(node_);
+    head.status().check();
+    static_cast<ListNode*>(head.value())->value = 21;
+
+    {
+      flaky_.set_fuse(0);
+      Session session(rt);
+      auto sum = typed_call<std::int64_t>(rt, 1, "sum",
+                                          static_cast<ListNode*>(head.value()));
+      ASSERT_FALSE(sum.is_ok());
+      flaky_.disarm();
+      ASSERT_TRUE(session.end().is_ok());
+    }
+    {
+      Session session(rt);
+      auto sum = typed_call<std::int64_t>(rt, 1, "sum",
+                                          static_cast<ListNode*>(head.value()));
+      ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+      EXPECT_EQ(sum.value(), 21);
+      ASSERT_TRUE(session.end().is_ok());
+    }
+  });
+}
+
+TEST_F(FaultInjectionTest, SessionEndFailuresSurfaceToo) {
+  a_->run([&](Runtime& rt) {
+    auto head = rt.heap().allocate(node_);
+    head.status().check();
+    ASSERT_TRUE(rt.begin_session().is_ok());
+    auto sum = typed_call<std::int64_t>(rt, 1, "sum",
+                                        static_cast<ListNode*>(head.value()));
+    ASSERT_TRUE(sum.is_ok());
+    // Fail the invalidation multicast at session end.
+    flaky_.set_fuse(0);
+    auto ended = rt.end_session();
+    ASSERT_FALSE(ended.is_ok());
+    EXPECT_EQ(ended.code(), StatusCode::kUnavailable);
+    flaky_.disarm();
+    // A retried end succeeds once the transport heals.
+    ASSERT_TRUE(rt.end_session().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace srpc

@@ -1,0 +1,164 @@
+// Remote function references (the paper's §6 future-work extension):
+// higher-order RPC — functions passed as arguments, invoked transparently
+// whether local or remote.
+#include <gtest/gtest.h>
+
+#include "core/funcref.hpp"
+#include "core/smart_rpc.hpp"
+#include "workload/list.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::ListNode;
+
+class FuncRefTest : public ::testing::Test {
+ protected:
+  FuncRefTest() : world_([] {
+          WorldOptions options;
+          options.cost = CostModel::zero();
+          return options;
+        }()) {
+    a_ = &world_.create_space("A");
+    b_ = &world_.create_space("B");
+    workload::register_list_type(world_).status().check();
+  }
+
+  World world_;
+  AddressSpace* a_ = nullptr;
+  AddressSpace* b_ = nullptr;
+};
+
+// The classic higher-order use: map a caller-supplied function over a
+// remote structure. The callee invokes the FuncRef, which calls BACK into
+// the caller for every element.
+TEST_F(FuncRefTest, MapWithCallerSuppliedFunction) {
+  ASSERT_TRUE(b_->bind("map",
+                       [](CallContext& ctx, ListNode* head, FuncRef fn) -> std::int64_t {
+                         std::int64_t sum = 0;
+                         for (ListNode* n = head; n != nullptr; n = n->next) {
+                           auto mapped = invoke<std::int64_t>(ctx.runtime, fn, n->value);
+                           mapped.status().check();
+                           n->value = mapped.value();
+                           sum += n->value;
+                         }
+                         return sum;
+                       })
+                  .is_ok());
+
+  a_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 5, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(i + 1);
+    });
+    head.status().check();
+
+    auto square = make_funcref(rt, "square", [](CallContext&, std::int64_t x) {
+      return x * x;
+    });
+    ASSERT_TRUE(square.is_ok());
+
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(b_->id(), "map", head.value(),
+                                          square.value());
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 1 + 4 + 9 + 16 + 25);
+    // The mapped values came home via the modified data set.
+    EXPECT_EQ(workload::sum_list(head.value()), 55);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(FuncRefTest, LocalInvokeSkipsTheWire) {
+  a_->run([&](Runtime& rt) {
+    auto triple = make_funcref(rt, "triple", [](CallContext&, std::int64_t x) {
+      return 3 * x;
+    });
+    ASSERT_TRUE(triple.is_ok());
+    auto v = invoke<std::int64_t>(rt, triple.value(), std::int64_t{14});
+    ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+    EXPECT_EQ(v.value(), 42);
+  });
+  // Nothing crossed the network.
+  EXPECT_EQ(world_.net_stats().messages, 0u);
+}
+
+TEST_F(FuncRefTest, FuncRefsForwardThroughThirdSpaces) {
+  AddressSpace& c = world_.create_space("C");
+  const SpaceId c_id = c.id();
+  // B forwards the reference to C; C invokes it (a callback to A through
+  // two hops of forwarding).
+  ASSERT_TRUE(c.bind("apply",
+                     [](CallContext& ctx, FuncRef fn, std::int64_t x) -> std::int64_t {
+                       auto v = invoke<std::int64_t>(ctx.runtime, fn, x);
+                       v.status().check();
+                       return v.value();
+                     })
+                  .is_ok());
+  ASSERT_TRUE(b_->bind("forward",
+                       [c_id](CallContext& ctx, FuncRef fn, std::int64_t x)
+                           -> std::int64_t {
+                         auto v = typed_call<std::int64_t>(ctx.runtime, c_id, "apply",
+                                                           fn, x);
+                         v.status().check();
+                         return v.value();
+                       })
+                  .is_ok());
+
+  a_->run([&](Runtime& rt) {
+    auto negate = make_funcref(rt, "negate", [](CallContext&, std::int64_t x) {
+      return -x;
+    });
+    ASSERT_TRUE(negate.is_ok());
+    Session session(rt);
+    auto v = session.call<std::int64_t>(b_->id(), "forward", negate.value(),
+                                        std::int64_t{99});
+    ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+    EXPECT_EQ(v.value(), -99);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(FuncRefTest, NullAndDanglingReferencesFailCleanly) {
+  a_->run([&](Runtime& rt) {
+    auto null_invoke = invoke<std::int64_t>(rt, FuncRef{}, std::int64_t{1});
+    ASSERT_FALSE(null_invoke.is_ok());
+    EXPECT_EQ(null_invoke.status().code(), StatusCode::kInvalidArgument);
+
+    auto dangling = invoke<std::int64_t>(rt, FuncRef{rt.id(), "nothing-here"},
+                                         std::int64_t{1});
+    ASSERT_FALSE(dangling.is_ok());
+    EXPECT_EQ(dangling.status().code(), StatusCode::kNotFound);
+  });
+}
+
+TEST_F(FuncRefTest, ReferencesCanCarryPointerArguments) {
+  // A function reference whose signature itself takes a remote pointer.
+  a_->run([&](Runtime& rt) {
+    make_funcref(rt, "head_value", [](CallContext&, ListNode* head) -> std::int64_t {
+      return head != nullptr ? head->value : -1;
+    }).status().check();
+  });
+  ASSERT_TRUE(b_->bind("call_with_list",
+                       [](CallContext& ctx, FuncRef fn, ListNode* head)
+                           -> std::int64_t {
+                         auto v = invoke<std::int64_t>(ctx.runtime, fn, head);
+                         v.status().check();
+                         return v.value();
+                       })
+                  .is_ok());
+  a_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 3, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(100 + i);
+    });
+    head.status().check();
+    Session session(rt);
+    auto v = session.call<std::int64_t>(b_->id(), "call_with_list",
+                                        FuncRef{rt.id(), "head_value"}, head.value());
+    ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+    EXPECT_EQ(v.value(), 100);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace srpc

@@ -1,0 +1,102 @@
+// Managed heap: typed allocation, interval lookup, adoption, array interning.
+#include <gtest/gtest.h>
+
+#include "mem/managed_heap.hpp"
+#include "types/type_registry.hpp"
+
+namespace srpc {
+namespace {
+
+class ManagedHeapTest : public ::testing::Test {
+ protected:
+  ManagedHeapTest() : layouts_(registry_), heap_(registry_, layouts_, host_arch(), 1) {
+    auto node = registry_.declare_struct("HNode");
+    node.status().check();
+    node_ = node.value();
+    registry_
+        .define_struct(node_, {{"next", registry_.pointer_to(node_)},
+                               {"value", TypeRegistry::scalar_id(ScalarType::kI64)}})
+        .check();
+  }
+
+  TypeRegistry registry_;
+  LayoutEngine layouts_;
+  ManagedHeap heap_;
+  TypeId node_ = kInvalidTypeId;
+};
+
+TEST_F(ManagedHeapTest, AllocateZeroesAndRecords) {
+  auto mem = heap_.allocate(node_);
+  ASSERT_TRUE(mem.is_ok());
+  auto* bytes = static_cast<std::uint8_t*>(mem.value());
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(bytes[i], 0);
+
+  const ManagedHeap::Record* record = heap_.find(mem.value());
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->type, node_);
+  EXPECT_EQ(record->size, layouts_.size_of(host_arch(), node_));
+  EXPECT_EQ(heap_.live_allocations(), 1u);
+}
+
+TEST_F(ManagedHeapTest, InteriorLookupAndBounds) {
+  auto mem = heap_.allocate(node_);
+  ASSERT_TRUE(mem.is_ok());
+  auto* base = static_cast<std::uint8_t*>(mem.value());
+  EXPECT_EQ(heap_.find(base + 8), heap_.find(base));
+  EXPECT_EQ(heap_.find_base(reinterpret_cast<std::uint64_t>(base)), heap_.find(base));
+  EXPECT_EQ(heap_.find_base(reinterpret_cast<std::uint64_t>(base) + 1), nullptr);
+}
+
+TEST_F(ManagedHeapTest, ArrayAllocationsInternArrayType) {
+  auto mem = heap_.allocate(TypeRegistry::scalar_id(ScalarType::kI64), 10);
+  ASSERT_TRUE(mem.is_ok());
+  const ManagedHeap::Record* record = heap_.find(mem.value());
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->count, 10u);
+  EXPECT_EQ(record->size, 80u);
+  const TypeDescriptor& desc = registry_.get(record->type);
+  EXPECT_EQ(desc.kind(), TypeKind::kArray);
+  EXPECT_EQ(desc.count(), 10u);
+}
+
+TEST_F(ManagedHeapTest, FreeRemovesAndRejectsNonBase) {
+  auto mem = heap_.allocate(node_);
+  ASSERT_TRUE(mem.is_ok());
+  auto* base = static_cast<std::uint8_t*>(mem.value());
+  EXPECT_EQ(heap_.free(base + 4).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(heap_.free(base).is_ok());
+  EXPECT_EQ(heap_.live_allocations(), 0u);
+  EXPECT_EQ(heap_.live_bytes(), 0u);
+  EXPECT_EQ(heap_.free(base).code(), StatusCode::kNotFound);  // double free
+}
+
+TEST_F(ManagedHeapTest, AdoptRegistersExternalMemory) {
+  alignas(16) std::uint8_t external[64];
+  ASSERT_TRUE(heap_.adopt(external, node_, 1).is_ok());
+  EXPECT_TRUE(heap_.contains(external));
+  EXPECT_TRUE(heap_.contains(external + 8));
+  // Overlapping adoption rejected.
+  EXPECT_EQ(heap_.adopt(external + 8, node_, 1).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(heap_.free(external).is_ok());
+  EXPECT_FALSE(heap_.contains(external));
+}
+
+TEST_F(ManagedHeapTest, LiveBytesAccounting) {
+  const std::uint64_t node_size = layouts_.size_of(host_arch(), node_);
+  auto a = heap_.allocate(node_);
+  auto b = heap_.allocate(node_);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(heap_.live_bytes(), 2 * node_size);
+  ASSERT_TRUE(heap_.free(a.value()).is_ok());
+  EXPECT_EQ(heap_.live_bytes(), node_size);
+}
+
+TEST_F(ManagedHeapTest, RejectsZeroCount) {
+  auto mem = heap_.allocate(node_, 0);
+  ASSERT_FALSE(mem.is_ok());
+  EXPECT_EQ(mem.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace srpc

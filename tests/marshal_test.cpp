@@ -1,0 +1,185 @@
+// Typed stub layer: Param<T> round trips, argument decoding, mismatch
+// detection, and pointer marshalling corner cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/smart_rpc.hpp"
+#include "workload/list.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::ListNode;
+
+class MarshalTest : public ::testing::Test {
+ protected:
+  MarshalTest() : world_([] {
+          WorldOptions options;
+          options.cost = CostModel::zero();
+          return options;
+        }()) {
+    a_ = &world_.create_space("A");
+    b_ = &world_.create_space("B");
+    workload::register_list_type(world_).status().check();
+  }
+
+  World world_;
+  AddressSpace* a_ = nullptr;
+  AddressSpace* b_ = nullptr;
+};
+
+TEST_F(MarshalTest, AllScalarWidthsRoundTrip) {
+  b_->bind("echo_kinds",
+           [](CallContext&, std::int8_t i8, std::uint16_t u16, std::int32_t i32,
+              std::uint64_t u64, float f, double d, bool flag) -> std::int64_t {
+             EXPECT_EQ(i8, -7);
+             EXPECT_EQ(u16, 60000);
+             EXPECT_EQ(i32, -123456);
+             EXPECT_EQ(u64, 0xFFFFFFFFFFFFFFFFULL);
+             EXPECT_FLOAT_EQ(f, 1.5F);
+             EXPECT_DOUBLE_EQ(d, -2.25);
+             EXPECT_TRUE(flag);
+             return 1;
+           })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto ok = session.call<std::int64_t>(
+        b_->id(), "echo_kinds", std::int8_t{-7}, std::uint16_t{60000},
+        std::int32_t{-123456}, std::uint64_t{0xFFFFFFFFFFFFFFFFULL}, 1.5F, -2.25,
+        true);
+    ASSERT_TRUE(ok.is_ok()) << ok.status().to_string();
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(MarshalTest, StringsWithEmbeddedNulAndUnicode) {
+  b_->bind("strlen8",
+           [](CallContext&, std::string s) -> std::int64_t {
+             return static_cast<std::int64_t>(s.size());
+           })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    std::string tricky = std::string("ab\0cd", 5) + "\xC3\xA9";  // embedded NUL + é
+    auto len = session.call<std::int64_t>(b_->id(), "strlen8", tricky);
+    ASSERT_TRUE(len.is_ok());
+    EXPECT_EQ(len.value(), 7);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(MarshalTest, FloatSpecialsSurvive) {
+  b_->bind("echo_f64",
+           [](CallContext&, double d) -> double { return d; })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto inf = session.call<double>(b_->id(), "echo_f64",
+                                    std::numeric_limits<double>::infinity());
+    ASSERT_TRUE(inf.is_ok());
+    EXPECT_TRUE(std::isinf(inf.value()));
+    auto nan = session.call<double>(b_->id(), "echo_f64",
+                                    std::numeric_limits<double>::quiet_NaN());
+    ASSERT_TRUE(nan.is_ok());
+    EXPECT_TRUE(std::isnan(nan.value()));
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(MarshalTest, ConstPointersAreAccepted) {
+  b_->bind("first",
+           [](CallContext&, const ListNode* head) -> std::int64_t {
+             return head != nullptr ? head->value : -1;
+           })
+      .check();
+  a_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 1, [](std::uint32_t) { return std::int64_t{8}; });
+    head.status().check();
+    const ListNode* const_head = head.value();
+    Session session(rt);
+    auto v = session.call<std::int64_t>(b_->id(), "first", const_head);
+    ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+    EXPECT_EQ(v.value(), 8);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(MarshalTest, UnregisteredPointerTypeFailsCleanly) {
+  struct Mystery {
+    int x;
+  };
+  b_->bind("noop", [](CallContext&, std::int32_t) -> std::int32_t { return 0; })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    Mystery m{1};
+    auto bad = session.call<std::int32_t>(b_->id(), "noop", &m);
+    ASSERT_FALSE(bad.is_ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);  // type not registered
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(MarshalTest, StackPointerRejected) {
+  b_->bind("sum",
+           [](CallContext&, ListNode* head) -> std::int64_t {
+             return workload::sum_list(head);
+           })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    ListNode local{nullptr, 5};  // not in the managed heap (paper §3.2)
+    auto bad = session.call<std::int64_t>(b_->id(), "sum", &local);
+    ASSERT_FALSE(bad.is_ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(MarshalTest, TooFewArgumentsDetected) {
+  b_->bind("needs_two",
+           [](CallContext&, std::int64_t, std::int64_t) -> std::int64_t { return 0; })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto bad = session.call<std::int64_t>(b_->id(), "needs_two", std::int64_t{1});
+    ASSERT_FALSE(bad.is_ok());
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(MarshalTest, VoidProceduresWork) {
+  static std::int64_t sink = 0;
+  b_->bind("record",
+           [](CallContext&, std::int64_t v) -> std::int64_t {
+             sink = v;
+             return 0;
+           })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    ASSERT_TRUE(typed_call_void(rt, b_->id(), "record", std::int64_t{314}).is_ok());
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  b_->run([](Runtime&) { EXPECT_EQ(sink, 314); });
+}
+
+TEST_F(MarshalTest, LongPointerParamPassesVerbatim) {
+  b_->bind("inspect",
+           [](CallContext&, LongPointer p) -> std::uint64_t { return p.address; })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto addr = session.call<std::uint64_t>(b_->id(), "inspect",
+                                            LongPointer{7, 0xABCD, 64});
+    ASSERT_TRUE(addr.is_ok());
+    EXPECT_EQ(addr.value(), 0xABCDu);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace srpc

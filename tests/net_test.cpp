@@ -1,0 +1,188 @@
+// Network substrate: mailbox, cost model, simulated network, frames, and
+// the real-socket hub.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/cost_model.hpp"
+#include "net/mailbox.hpp"
+#include "net/sim_network.hpp"
+#include "net/socket_transport.hpp"
+#include "rpc/wire.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace srpc {
+namespace {
+
+Message make_message(MessageType type, SpaceId from, SpaceId to, std::uint64_t seq,
+                     std::size_t payload_bytes = 0) {
+  Message msg;
+  msg.type = type;
+  msg.from = from;
+  msg.to = to;
+  msg.session = 7;
+  msg.seq = seq;
+  msg.payload.append_zeros(payload_bytes);
+  return msg;
+}
+
+TEST(Mailbox, FifoDelivery) {
+  Mailbox box;
+  ASSERT_TRUE(box.push(make_message(MessageType::kCall, 0, 1, 1)).is_ok());
+  ASSERT_TRUE(box.push(make_message(MessageType::kFetch, 0, 1, 2)).is_ok());
+  auto first = box.pop();
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(std::get<Message>(first.value()).seq, 1u);
+  auto second = box.pop();
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(std::get<Message>(second.value()).seq, 2u);
+}
+
+TEST(Mailbox, TasksInterleaveWithMessages) {
+  Mailbox box;
+  int ran = 0;
+  ASSERT_TRUE(box.push_task([&ran] { ++ran; }).is_ok());
+  auto item = box.pop();
+  ASSERT_TRUE(item.is_ok());
+  std::get<Task>(item.value())();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Mailbox, CloseWakesBlockedPop) {
+  Mailbox box;
+  std::thread waiter([&box] {
+    auto item = box.pop();
+    EXPECT_FALSE(item.is_ok());
+    EXPECT_EQ(item.status().code(), StatusCode::kUnavailable);
+  });
+  box.close();
+  waiter.join();
+  EXPECT_FALSE(box.push(make_message(MessageType::kCall, 0, 1, 1)).is_ok());
+}
+
+TEST(Mailbox, DrainsQueueBeforeReportingClosed) {
+  Mailbox box;
+  ASSERT_TRUE(box.push(make_message(MessageType::kCall, 0, 1, 9)).is_ok());
+  box.close();
+  auto item = box.pop();
+  ASSERT_TRUE(item.is_ok());
+  EXPECT_EQ(std::get<Message>(item.value()).seq, 9u);
+  EXPECT_FALSE(box.pop().is_ok());
+}
+
+TEST(CostModel, MessageCostComposition) {
+  CostModel cost{100, 10, 5, 0};
+  // fixed + bytes * (wire + 2 * marshal) = 100 + 8 * 20.
+  EXPECT_EQ(cost.message_cost(8), 100u + 8u * 20u);
+  EXPECT_EQ(CostModel::zero().message_cost(1000), 0u);
+}
+
+TEST(SimNetwork, ChargesClockAndCountsMessages) {
+  SimNetwork net(CostModel{1000, 1, 0, 500});
+  Mailbox box;
+  net.attach(1, &box);
+  ASSERT_TRUE(net.send(make_message(MessageType::kCall, 0, 1, 1, 68)).is_ok());
+  const std::uint64_t wire = kMessageHeaderWireSize + 68;
+  EXPECT_EQ(net.clock().now(), 1000 + wire);
+  net.charge_fault();
+  EXPECT_EQ(net.clock().now(), 1000 + wire + 500);
+
+  auto stats = net.stats();
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.wire_bytes, wire);
+  EXPECT_EQ(stats.count(MessageType::kCall), 1u);
+  EXPECT_EQ(stats.count(MessageType::kFetch), 0u);
+}
+
+TEST(SimNetwork, RejectsUnknownDestination) {
+  SimNetwork net;
+  auto s = net.send(make_message(MessageType::kCall, 0, 9, 1));
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(WireFrames, RoundTripThroughBuffer) {
+  Message in = make_message(MessageType::kFetchReply, 3, 4, 99);
+  xdr::Encoder enc(in.payload);
+  enc.put_string("payload-data");
+  ByteBuffer wire;
+  encode_frame(in, wire);
+  EXPECT_EQ(wire.size(), kFrameHeaderSize + in.payload.size());
+
+  auto out = decode_frame(wire);
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(out.value().type, MessageType::kFetchReply);
+  EXPECT_EQ(out.value().from, 3u);
+  EXPECT_EQ(out.value().to, 4u);
+  EXPECT_EQ(out.value().session, 7u);
+  EXPECT_EQ(out.value().seq, 99u);
+  EXPECT_EQ(out.value().payload.size(), in.payload.size());
+}
+
+TEST(WireFrames, RejectsBadMagicAndType) {
+  ByteBuffer wire;
+  xdr::Encoder enc(wire);
+  enc.put_u32(0x12345678);
+  auto bad_magic = decode_frame(wire);
+  ASSERT_FALSE(bad_magic.is_ok());
+
+  ByteBuffer wire2;
+  Message msg = make_message(MessageType::kCall, 0, 1, 1);
+  encode_frame(msg, wire2);
+  wire2.data()[7] = 0xEE;  // corrupt the type word
+  auto bad_type = decode_frame(wire2);
+  ASSERT_FALSE(bad_type.is_ok());
+  EXPECT_EQ(bad_type.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(SocketHub, DeliversFramesBetweenSpaces) {
+  SocketHub hub;
+  Mailbox box_a;
+  Mailbox box_b;
+  ASSERT_TRUE(hub.attach(0, &box_a).is_ok());
+  ASSERT_TRUE(hub.attach(1, &box_b).is_ok());
+  ASSERT_TRUE(hub.start().is_ok());
+
+  Message msg = make_message(MessageType::kCall, 0, 1, 5);
+  xdr::Encoder enc(msg.payload);
+  enc.put_u32(0xCAFEBABE);
+  ASSERT_TRUE(hub.send(msg).is_ok());
+
+  auto item = box_b.pop();
+  ASSERT_TRUE(item.is_ok());
+  const Message& got = std::get<Message>(item.value());
+  EXPECT_EQ(got.type, MessageType::kCall);
+  EXPECT_EQ(got.seq, 5u);
+  EXPECT_EQ(got.payload.size(), 4u);
+
+  // And the reverse direction.
+  ASSERT_TRUE(hub.send(make_message(MessageType::kReturn, 1, 0, 5)).is_ok());
+  auto reply = box_a.pop();
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(std::get<Message>(reply.value()).type, MessageType::kReturn);
+
+  hub.stop();
+}
+
+TEST(SocketHub, RejectsUnknownSpaces) {
+  SocketHub hub;
+  Mailbox box;
+  ASSERT_TRUE(hub.attach(0, &box).is_ok());
+  ASSERT_TRUE(hub.start().is_ok());
+  EXPECT_FALSE(hub.send(make_message(MessageType::kCall, 0, 7, 1)).is_ok());
+  EXPECT_FALSE(hub.send(make_message(MessageType::kCall, 7, 0, 1)).is_ok());
+  hub.stop();
+}
+
+TEST(VirtualClock, AdvanceSemantics) {
+  VirtualClock clock;
+  clock.advance(100);
+  clock.advance_to(50);  // no going backwards
+  EXPECT_EQ(clock.now(), 100u);
+  clock.advance_to(250);
+  EXPECT_EQ(clock.now(), 250u);
+  EXPECT_DOUBLE_EQ(VirtualClock::to_seconds(1'500'000'000ULL), 1.5);
+}
+
+}  // namespace
+}  // namespace srpc

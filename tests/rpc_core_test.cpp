@@ -1,0 +1,527 @@
+// End-to-end smart RPC: transparent remote pointers over the simulated
+// network, with real SIGSEGV-driven fetching underneath.
+#include <gtest/gtest.h>
+
+#include "baselines/eager_rpc.hpp"
+#include "baselines/lazy_rpc.hpp"
+#include "core/smart_rpc.hpp"
+#include "workload/graph.hpp"
+#include "workload/list.hpp"
+#include "workload/tree.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::GraphNode;
+using workload::ListNode;
+using workload::TreeNode;
+
+WorldOptions fast_world() {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  options.cache.page_count = 4096;
+  return options;
+}
+
+class SmartRpcTest : public ::testing::Test {
+ protected:
+  SmartRpcTest() : world_(fast_world()) {
+    caller_ = &world_.create_space("caller");
+    callee_ = &world_.create_space("callee");
+    workload::register_tree_type(world_).status().check();
+    workload::register_list_type(world_).status().check();
+    workload::register_graph_type(world_).status().check();
+  }
+
+  World world_;
+  AddressSpace* caller_ = nullptr;
+  AddressSpace* callee_ = nullptr;
+};
+
+TEST_F(SmartRpcTest, ScalarCallRoundTrip) {
+  ASSERT_TRUE(callee_
+                  ->bind("add",
+                         [](CallContext&, std::int32_t a, std::int64_t b) -> std::int64_t {
+                           return a + b;
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(callee_->id(), "add", 40, std::int64_t{2});
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 42);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(SmartRpcTest, StringArgumentsRoundTrip) {
+  ASSERT_TRUE(callee_
+                  ->bind("greet",
+                         [](CallContext&, std::string name) -> std::string {
+                           return "hello " + name;
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto reply = session.call<std::string>(callee_->id(), "greet", std::string("paper"));
+    ASSERT_TRUE(reply.is_ok());
+    EXPECT_EQ(reply.value(), "hello paper");
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(SmartRpcTest, UnknownProcedureReportsRemoteError) {
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto reply = session.call<std::int64_t>(callee_->id(), "missing", 1);
+    ASSERT_FALSE(reply.is_ok());
+    EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// The core of the paper: a pointer argument dereferenced transparently.
+TEST_F(SmartRpcTest, RemoteListSumThroughSwizzledPointer) {
+  ASSERT_TRUE(callee_
+                  ->bind("sum",
+                         [](CallContext&, ListNode* head) -> std::int64_t {
+                           return workload::sum_list(head);
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 100, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(i) * 3;
+    });
+    ASSERT_TRUE(head.is_ok());
+    const std::int64_t expected = workload::sum_list(head.value());
+
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(callee_->id(), "sum", head.value());
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), expected);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(SmartRpcTest, NullPointerArgumentStaysNull) {
+  ASSERT_TRUE(callee_
+                  ->bind("is_null",
+                         [](CallContext&, ListNode* head) -> bool {
+                           return head == nullptr;
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto null_seen =
+        session.call<bool>(callee_->id(), "is_null", static_cast<ListNode*>(nullptr));
+    ASSERT_TRUE(null_seen.is_ok());
+    EXPECT_TRUE(null_seen.value());
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(SmartRpcTest, RemoteTreeSearchMatchesLocal) {
+  ASSERT_TRUE(callee_
+                  ->bind("visit",
+                         [](CallContext&, TreeNode* root, std::uint64_t limit)
+                             -> std::int64_t { return workload::visit_prefix(root, limit); })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    auto root = workload::build_complete_tree(rt, 1023);
+    ASSERT_TRUE(root.is_ok());
+    const std::int64_t expected = workload::visit_prefix(root.value(), 600);
+
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(callee_->id(), "visit", root.value(),
+                                          std::uint64_t{600});
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), expected);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Once fetched, re-access is pure memory: fetch count must not grow.
+TEST_F(SmartRpcTest, CachingAvoidsRefetch) {
+  ASSERT_TRUE(callee_
+                  ->bind("visit_twice",
+                         [](CallContext& ctx, TreeNode* root) -> std::int64_t {
+                           const auto& stats = ctx.runtime.cache().stats();
+                           const std::int64_t first = workload::visit_prefix(root, 1 << 20);
+                           const std::uint64_t fetches_after_first = stats.fetches;
+                           const std::int64_t second = workload::visit_prefix(root, 1 << 20);
+                           EXPECT_EQ(stats.fetches, fetches_after_first);
+                           EXPECT_EQ(first, second);
+                           return second;
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    auto root = workload::build_complete_tree(rt, 255);
+    ASSERT_TRUE(root.is_ok());
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(callee_->id(), "visit_twice", root.value());
+    ASSERT_TRUE(sum.is_ok());
+    EXPECT_EQ(sum.value(), workload::visit_prefix(root.value(), 1 << 20));
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Coherency: callee updates travel back with the RETURN (paper §3.4).
+TEST_F(SmartRpcTest, CalleeWritesReachTheHomeOnReturn) {
+  ASSERT_TRUE(callee_
+                  ->bind("scale",
+                         [](CallContext&, ListNode* head, std::int64_t factor)
+                             -> std::int64_t {
+                           workload::scale_list(head, factor);
+                           return workload::sum_list(head);
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 64, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(i + 1);
+    });
+    ASSERT_TRUE(head.is_ok());
+    const std::int64_t before = workload::sum_list(head.value());
+
+    Session session(rt);
+    auto remote_sum =
+        session.call<std::int64_t>(callee_->id(), "scale", head.value(), std::int64_t{3});
+    ASSERT_TRUE(remote_sum.is_ok()) << remote_sum.status().to_string();
+    EXPECT_EQ(remote_sum.value(), before * 3);
+    // The modified data set travelled back with the RETURN and was applied
+    // to the original list in our heap.
+    EXPECT_EQ(workload::sum_list(head.value()), before * 3);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// A pointer returned from the callee is swizzled on the caller and works.
+TEST_F(SmartRpcTest, ReturnedRemotePointerIsDereferenceable) {
+  ASSERT_TRUE(callee_
+                  ->bind("make_list",
+                         [](CallContext& ctx, std::int32_t n) -> ListNode* {
+                           auto head = workload::build_list(
+                               ctx.runtime, static_cast<std::uint32_t>(n),
+                               [](std::uint32_t i) {
+                                 return static_cast<std::int64_t>(i) * 5;
+                               });
+                           head.status().check();
+                           return head.value();
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto head = session.call<ListNode*>(callee_->id(), "make_list", 20);
+    ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+    ASSERT_NE(head.value(), nullptr);
+    // Dereference the remote pointer like a local one.
+    EXPECT_EQ(workload::sum_list(head.value()), 5 * (19 * 20 / 2));
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Nested RPC through a third space: A -> B -> C with the pointer passed on.
+TEST_F(SmartRpcTest, NestedCallForwardsRemotePointer) {
+  AddressSpace& middle = world_.create_space("middle");
+  ASSERT_TRUE(callee_
+                  ->bind("final_sum",
+                         [](CallContext&, ListNode* head) -> std::int64_t {
+                           return workload::sum_list(head);
+                         })
+                  .is_ok());
+  const SpaceId callee_id = callee_->id();
+  ASSERT_TRUE(middle
+                  .bind("forward",
+                        [callee_id](CallContext& ctx, ListNode* head) -> std::int64_t {
+                          auto sum = typed_call<std::int64_t>(ctx.runtime, callee_id,
+                                                              "final_sum", head);
+                          sum.status().check();
+                          return sum.value();
+                        })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 40, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(i * i);
+    });
+    ASSERT_TRUE(head.is_ok());
+    const std::int64_t expected = workload::sum_list(head.value());
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(middle.id(), "forward", head.value());
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), expected);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Callback: the callee remotely calls its caller mid-procedure (paper §3.1).
+TEST_F(SmartRpcTest, CallbackIntoBlockedCaller) {
+  const SpaceId caller_id = caller_->id();
+  ASSERT_TRUE(callee_
+                  ->bind("with_callback",
+                         [caller_id](CallContext& ctx, std::int64_t x) -> std::int64_t {
+                           auto doubled = typed_call<std::int64_t>(
+                               ctx.runtime, caller_id, "double_it", x);
+                           doubled.status().check();
+                           return doubled.value() + 1;
+                         })
+                  .is_ok());
+  ASSERT_TRUE(caller_
+                  ->bind("double_it",
+                         [](CallContext&, std::int64_t x) -> std::int64_t { return 2 * x; })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto result =
+        session.call<std::int64_t>(callee_->id(), "with_callback", std::int64_t{21});
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_EQ(result.value(), 43);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Cycles and sharing: the allocation table deduplicates by identity.
+TEST_F(SmartRpcTest, CyclicGraphTraversalTerminates) {
+  ASSERT_TRUE(callee_
+                  ->bind("graph_sum",
+                         [](CallContext&, GraphNode* root) -> std::int64_t {
+                           return workload::sum_reachable(root);
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    workload::GraphSpec spec;
+    spec.node_count = 200;
+    spec.allow_cycles = true;
+    spec.seed = 99;
+    auto root = workload::build_graph(rt, spec);
+    ASSERT_TRUE(root.is_ok());
+    const std::int64_t expected = workload::sum_reachable(root.value());
+
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(callee_->id(), "graph_sum", root.value());
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), expected);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// extended_malloc: build a structure remotely; the home materialises it.
+TEST_F(SmartRpcTest, ExtendedMallocBuildsRemoteList) {
+  ASSERT_TRUE(callee_
+                  ->bind("local_sum",
+                         [](CallContext& ctx, ListNode* head) -> std::int64_t {
+                           // At the callee this is now HOME data.
+                           (void)ctx;
+                           return workload::sum_list(head);
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    // Build a 10-node list in the CALLEE's heap without ever calling it.
+    ListNode* head = nullptr;
+    ListNode* tail = nullptr;
+    for (int i = 0; i < 10; ++i) {
+      auto node = session.extended_malloc<ListNode>(callee_->id());
+      ASSERT_TRUE(node.is_ok()) << node.status().to_string();
+      node.value()->value = i + 1;
+      node.value()->next = nullptr;
+      if (tail == nullptr) {
+        head = node.value();
+      } else {
+        tail->next = node.value();
+      }
+      tail = node.value();
+    }
+    // Pass the locally-built remote list to its own home.
+    auto sum = session.call<std::int64_t>(callee_->id(), "local_sum", head);
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 55);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  // After the session the callee's heap owns the ten nodes.
+  callee_->run([&](Runtime& rt) {
+    EXPECT_EQ(rt.heap().live_allocations(), 10u);
+    return 0;
+  });
+}
+
+TEST_F(SmartRpcTest, ExtendedFreeCancelsUnflushedAllocation) {
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto node = session.extended_malloc<ListNode>(callee_->id());
+    ASSERT_TRUE(node.is_ok());
+    ASSERT_TRUE(session.extended_free(node.value()).is_ok());
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  callee_->run([&](Runtime& rt) {
+    EXPECT_EQ(rt.heap().live_allocations(), 0u);
+    return 0;
+  });
+}
+
+// Session end: write-back reaches homes even without further calls.
+TEST_F(SmartRpcTest, SessionEndWritesBackDirtyData) {
+  ASSERT_TRUE(callee_
+                  ->bind("give_list",
+                         [](CallContext& ctx, std::int32_t n) -> ListNode* {
+                           auto head = workload::build_list(
+                               ctx.runtime, static_cast<std::uint32_t>(n),
+                               [](std::uint32_t) { return std::int64_t{1}; });
+                           head.status().check();
+                           return head.value();
+                         })
+                  .is_ok());
+  ListNode* remote_head = nullptr;
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto head = session.call<ListNode*>(callee_->id(), "give_list", 8);
+    ASSERT_TRUE(head.is_ok());
+    remote_head = head.value();
+    workload::scale_list(remote_head, 7);  // dirty the cache
+    ASSERT_TRUE(session.end().is_ok());    // write-back + invalidate
+  });
+  callee_->run([&](Runtime& rt) {
+    // Find the list in the callee heap and check the write-back landed.
+    // give_list allocated 8 nodes; all should now hold 7.
+    EXPECT_EQ(rt.heap().live_allocations(), 8u);
+    return 0;
+  });
+}
+
+// The fully-lazy baseline: explicit callbacks, one per dereference.
+TEST_F(SmartRpcTest, LazyBaselineCallbacksPerDereference) {
+  ASSERT_TRUE(callee_
+                  ->bind("lazy_sum",
+                         [](CallContext& ctx, LongPointer root) -> std::int64_t {
+                           lazy::LazyClient client(ctx.runtime);
+                           std::int64_t sum = 0;
+                           LongPointer cursor = root;
+                           while (!cursor.is_null()) {
+                             auto value = client.deref(cursor);
+                             value.status().check();
+                             sum += value.value().view<ListNode>()->value;
+                             cursor = value.value().pointers[0];
+                           }
+                           EXPECT_EQ(client.callbacks(), 30u);
+                           return sum;
+                         })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 30, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(i + 1);
+    });
+    ASSERT_TRUE(head.is_ok());
+    Session session(rt);
+    auto type = rt.host_types().find<ListNode>();
+    ASSERT_TRUE(type.is_ok());
+    auto root = lazy::export_pointer(rt, head.value(), type.value());
+    ASSERT_TRUE(root.is_ok());
+    auto sum = session.call<std::int64_t>(callee_->id(), "lazy_sum", root.value());
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 465);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// The fully-eager baseline: whole closure inline, local copy at the callee.
+TEST_F(SmartRpcTest, EagerBaselineShipsWholeTree) {
+  TypeId tree_type = kInvalidTypeId;
+  caller_->run([&](Runtime& rt) {
+    tree_type = rt.host_types().find<TreeNode>().value();
+    return 0;
+  });
+  ASSERT_TRUE(eager::bind(*callee_, "eager_visit", tree_type,
+                          [](CallContext&, void* root, std::int64_t limit,
+                             std::int64_t) -> Result<std::int64_t> {
+                            return workload::visit_prefix(
+                                static_cast<TreeNode*>(root),
+                                static_cast<std::uint64_t>(limit));
+                          })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    auto root = workload::build_complete_tree(rt, 127);
+    ASSERT_TRUE(root.is_ok());
+    const std::int64_t expected = workload::visit_prefix(root.value(), 127);
+    Session session(rt);
+    auto sum = eager::call(rt, callee_->id(), "eager_visit", tree_type, root.value(),
+                           127, 0);
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), expected);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  // The callee freed its transient copy.
+  callee_->run([&](Runtime& rt) {
+    EXPECT_EQ(rt.heap().live_allocations(), 0u);
+    return 0;
+  });
+}
+
+TEST_F(SmartRpcTest, EagerBaselineRejectsCycles) {
+  TypeId graph_type = kInvalidTypeId;
+  caller_->run([&](Runtime& rt) {
+    graph_type = rt.host_types().find<GraphNode>().value();
+    return 0;
+  });
+  ASSERT_TRUE(eager::bind(*callee_, "eager_graph", graph_type,
+                          [](CallContext&, void*, std::int64_t, std::int64_t)
+                              -> Result<std::int64_t> { return std::int64_t{0}; })
+                  .is_ok());
+  caller_->run([&](Runtime& rt) {
+    workload::GraphSpec spec;
+    spec.node_count = 16;
+    spec.allow_cycles = true;
+    spec.seed = 3;
+    auto root = workload::build_graph(rt, spec);
+    ASSERT_TRUE(root.is_ok());
+    // Force a guaranteed cycle.
+    root.value()->edges[1] = root.value();
+    Session session(rt);
+    auto sum = eager::call(rt, callee_->id(), "eager_graph", graph_type, root.value(),
+                           0, 0);
+    ASSERT_FALSE(sum.is_ok());
+    EXPECT_EQ(sum.status().code(), StatusCode::kInvalidArgument);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Closure size 0 behaves like the lazy method (one fetch per page worth of
+// data); a large budget behaves eagerly (few fetches).
+TEST_F(SmartRpcTest, ClosureBudgetControlsEagerness) {
+  ASSERT_TRUE(callee_
+                  ->bind("count_fetches",
+                         [](CallContext& ctx, TreeNode* root) -> std::int64_t {
+                           workload::visit_prefix(root, 1 << 20);
+                           return static_cast<std::int64_t>(
+                               ctx.runtime.cache().stats().fetches);
+                         })
+                  .is_ok());
+  auto run_with_budget = [&](std::uint64_t budget) {
+    return caller_->run([&](Runtime& rt) -> std::int64_t {
+      auto root = workload::build_complete_tree(rt, 511);
+      root.status().check();
+      // The budget steers both sides: the caller's eager argument closure
+      // and the callee's fetch-time closure requests.
+      rt.cache().set_closure_bytes(budget);
+      callee_->run([&](Runtime& callee_rt) {
+        callee_rt.cache().set_closure_bytes(budget);
+        callee_rt.cache().reset_stats();
+        return 0;
+      });
+      Session session(rt);
+      auto fetches = session.call<std::int64_t>(callee_->id(), "count_fetches",
+                                                root.value());
+      fetches.status().check();
+      session.end().check();
+      workload::free_tree(rt, root.value()).check();
+      return fetches.value();
+    });
+  };
+  const std::int64_t lazy_fetches = run_with_budget(0);
+  const std::int64_t eager_fetches = run_with_budget(1 << 20);
+  // Budget 0 degenerates toward the fully-lazy method (many round trips);
+  // an unbounded budget ships the whole tree with the call's argument
+  // closure, so the callee's traversal never faults at all.
+  EXPECT_GT(lazy_fetches, 4);
+  EXPECT_EQ(eager_fetches, 0);
+}
+
+}  // namespace
+}  // namespace srpc

@@ -1,0 +1,245 @@
+// Runtime edge cases: failure surfaces, resource exhaustion, large data,
+// pass-through pointers, and re-entrancy corners.
+#include <gtest/gtest.h>
+
+#include "core/smart_rpc.hpp"
+#include "workload/list.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::ListNode;
+
+WorldOptions fast_world() {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  return options;
+}
+
+class RuntimeEdgeTest : public ::testing::Test {
+ protected:
+  RuntimeEdgeTest() : world_(fast_world()) {
+    a_ = &world_.create_space("A");
+    b_ = &world_.create_space("B");
+    workload::register_list_type(world_).status().check();
+  }
+
+  World world_;
+  AddressSpace* a_ = nullptr;
+  AddressSpace* b_ = nullptr;
+};
+
+TEST_F(RuntimeEdgeTest, CallToUnknownSpaceFails) {
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto bad = session.call<std::int64_t>(SpaceId{99}, "x", std::int64_t{1});
+    ASSERT_FALSE(bad.is_ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(RuntimeEdgeTest, LargeArrayTransfersEndToEnd) {
+  b_->bind("sum_array",
+           [](CallContext&, std::int64_t* data, std::uint32_t n) -> std::int64_t {
+             std::int64_t sum = 0;
+             for (std::uint32_t i = 0; i < n; ++i) sum += data[i];  // spans pages
+             return sum;
+           })
+      .check();
+  world_.host_types().bind<std::int64_t>(TypeRegistry::scalar_id(ScalarType::kI64))
+      .check();
+  a_->run([&](Runtime& rt) {
+    constexpr std::uint32_t kN = 5000;  // 40 KB: ten pages
+    auto mem = rt.heap().allocate(TypeRegistry::scalar_id(ScalarType::kI64), kN);
+    mem.status().check();
+    auto* data = static_cast<std::int64_t*>(mem.value());
+    std::int64_t expected = 0;
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      data[i] = static_cast<std::int64_t>(i) * 7 - 3;
+      expected += data[i];
+    }
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(b_->id(), "sum_array", data, kN);
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), expected);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(RuntimeEdgeTest, RemoteArrayAllocationRoundTrip) {
+  world_.host_types().bind<std::int32_t>(TypeRegistry::scalar_id(ScalarType::kI32))
+      .check();
+  b_->bind("sum_i32",
+           [](CallContext&, std::int32_t* data, std::uint32_t n) -> std::int64_t {
+             std::int64_t sum = 0;
+             for (std::uint32_t i = 0; i < n; ++i) sum += data[i];
+             return sum;
+           })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    // Allocate an i32[100] in B's heap, fill it locally, let B sum it.
+    auto mem = rt.extended_malloc(b_->id(), TypeRegistry::scalar_id(ScalarType::kI32),
+                                  100);
+    ASSERT_TRUE(mem.is_ok()) << mem.status().to_string();
+    auto* data = static_cast<std::int32_t*>(mem.value());
+    for (int i = 0; i < 100; ++i) data[i] = i;
+    auto sum = session.call<std::int64_t>(b_->id(), "sum_i32", data,
+                                          std::uint32_t{100});
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 99 * 100 / 2);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(RuntimeEdgeTest, InteriorArrayPointerAsArgument) {
+  world_.host_types().bind<std::int64_t>(TypeRegistry::scalar_id(ScalarType::kI64))
+      .check();
+  b_->bind("read_three",
+           [](CallContext&, std::int64_t* p) -> std::int64_t {
+             return p[0] + p[1] + p[2];
+           })
+      .check();
+  a_->run([&](Runtime& rt) {
+    auto mem = rt.heap().allocate(TypeRegistry::scalar_id(ScalarType::kI64), 10);
+    mem.status().check();
+    auto* data = static_cast<std::int64_t*>(mem.value());
+    for (int i = 0; i < 10; ++i) data[i] = i * 100;
+    Session session(rt);
+    // Pass &data[4]: an interior pointer into the array.
+    auto sum = session.call<std::int64_t>(b_->id(), "read_three", data + 4);
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 400 + 500 + 600);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(RuntimeEdgeTest, TasksPostedMidCallRunAfterwards) {
+  b_->bind("slowish",
+           [](CallContext&, std::int64_t x) -> std::int64_t { return x; })
+      .check();
+  std::atomic<bool> task_ran{false};
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    // Post a task to our own mailbox; it must be deferred until the call
+    // completes, not executed on the re-entrant await stack.
+    rt.mailbox().push_task([&task_ran] { task_ran.store(true); }).check();
+    auto v = session.call<std::int64_t>(b_->id(), "slowish", std::int64_t{1});
+    ASSERT_TRUE(v.is_ok());
+    EXPECT_FALSE(task_ran.load());  // still deferred
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  // The worker drains deferred items once idle.
+  a_->run([&](Runtime&) { EXPECT_TRUE(task_ran.load()); });
+}
+
+TEST_F(RuntimeEdgeTest, CacheArenaExhaustionSurfacesAsCallError) {
+  WorldOptions tiny = fast_world();
+  tiny.cache.page_count = 2;  // almost no cache
+  World small(tiny);
+  auto& x = small.create_space("X");
+  auto& y = small.create_space("Y");
+  workload::register_list_type(small).status().check();
+  y.bind("sum",
+         [](CallContext&, ListNode* head) -> std::int64_t {
+           return workload::sum_list(head);
+         })
+      .check();
+  x.run([&](Runtime& rt) {
+    rt.cache().set_closure_bytes(1 << 20);  // force a big eager transfer
+    auto head = workload::build_list(rt, 4000, [](std::uint32_t) {
+      return std::int64_t{1};
+    });
+    head.status().check();
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(y.id(), "sum", head.value());
+    ASSERT_FALSE(sum.is_ok());
+    EXPECT_EQ(sum.status().code(), StatusCode::kResourceExhausted);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(RuntimeEdgeTest, ProceduresCanReturnFreshRemoteObjects) {
+  // Handler extended_mallocs into the CALLER's space and returns the
+  // pointer: the caller receives a pointer to its own (new) home data.
+  const SpaceId a_id = a_->id();
+  b_->bind("make_in_caller",
+           [a_id](CallContext& ctx, std::int64_t v) -> ListNode* {
+             auto type = ctx.runtime.host_types().find<ListNode>();
+             type.status().check();
+             auto mem = ctx.runtime.extended_malloc(a_id, type.value());
+             mem.status().check();
+             auto* node = static_cast<ListNode*>(mem.value());
+             node->value = v;
+             return node;
+           })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto node = session.call<ListNode*>(b_->id(), "make_in_caller", std::int64_t{64});
+    ASSERT_TRUE(node.is_ok()) << node.status().to_string();
+    ASSERT_NE(node.value(), nullptr);
+    // It's home data here: readable without faults, owned by our heap.
+    EXPECT_TRUE(rt.heap().contains(node.value()));
+    EXPECT_EQ(node.value()->value, 64);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(RuntimeEdgeTest, ExtendedFreeRejectsGarbage) {
+  a_->run([&](Runtime& rt) {
+    EXPECT_FALSE(rt.extended_free(nullptr).is_ok());
+    int local = 0;
+    EXPECT_FALSE(rt.extended_free(&local).is_ok());
+  });
+}
+
+TEST_F(RuntimeEdgeTest, ExplicitPrefetchAvoidsTheFault) {
+  b_->bind("give",
+           [](CallContext& ctx, std::int32_t n) -> ListNode* {
+             auto head = workload::build_list(
+                 ctx.runtime, static_cast<std::uint32_t>(n),
+                 [](std::uint32_t i) { return static_cast<std::int64_t>(i); });
+             head.status().check();
+             return head.value();
+           })
+      .check();
+  // Disable eager transfer everywhere so the prefetch is the only thing
+  // that can move the data ahead of access.
+  b_->run([](Runtime& rt) { rt.cache().set_closure_bytes(0); });
+  a_->run([&](Runtime& rt) {
+    rt.cache().set_closure_bytes(0);
+    Session session(rt);
+    auto head = session.call<ListNode*>(b_->id(), "give", 32);
+    ASSERT_TRUE(head.is_ok());
+
+    // Programmer suggestion (paper §6): fetch the list now.
+    ASSERT_TRUE(session.prefetch(head.value(), 1 << 16).is_ok());
+    const std::uint64_t faults_before = rt.cache().stats().read_faults;
+    EXPECT_EQ(workload::sum_list(head.value()), 31 * 32 / 2);
+    // The traversal hit only prefetched pages: no access violations.
+    EXPECT_EQ(rt.cache().stats().read_faults, faults_before);
+
+    // Prefetch of home data and of resident data are clean no-ops.
+    ASSERT_TRUE(session.prefetch(head.value(), 64).is_ok());
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(RuntimeEdgeTest, StatsCountServedWork) {
+  b_->bind("noop", [](CallContext&, std::int64_t x) -> std::int64_t { return x; })
+      .check();
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    for (int i = 0; i < 3; ++i) {
+      session.call<std::int64_t>(b_->id(), "noop", std::int64_t{i}).status().check();
+    }
+    ASSERT_TRUE(session.end().is_ok());
+    EXPECT_EQ(rt.stats().calls_sent, 3u);
+  });
+  b_->run([](Runtime& rt) { EXPECT_EQ(rt.stats().calls_served, 3u); });
+}
+
+}  // namespace
+}  // namespace srpc

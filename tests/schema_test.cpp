@@ -1,0 +1,213 @@
+// Schema text parser + registry wire codec: the type name-server populated
+// from text and verified across "processes".
+#include <gtest/gtest.h>
+
+#include "core/smart_rpc.hpp"
+#include "types/layout.hpp"
+#include "types/registry_codec.hpp"
+#include "types/schema_parser.hpp"
+
+namespace srpc {
+namespace {
+
+TEST(SchemaParser, PaperTreeNodeSchema) {
+  TypeRegistry registry;
+  auto types = parse_schema(registry, R"(
+    # the paper's experimental subject (two pointers + 8-byte datum)
+    struct TreeNode {
+      left:  TreeNode*;
+      right: TreeNode*;
+      data:  i64;
+    }
+  )");
+  ASSERT_TRUE(types.is_ok()) << types.status().to_string();
+  ASSERT_TRUE(types.value().contains("TreeNode"));
+  const TypeDescriptor& desc = registry.get(types.value().at("TreeNode"));
+  ASSERT_EQ(desc.fields().size(), 3u);
+  EXPECT_EQ(desc.fields()[0].name, "left");
+  EXPECT_EQ(registry.get(desc.fields()[0].type).kind(), TypeKind::kPointer);
+  EXPECT_EQ(desc.fields()[2].type, TypeRegistry::scalar_id(ScalarType::kI64));
+
+  LayoutEngine layouts(registry);
+  EXPECT_EQ(layouts.size_of(sparc32_arch(), desc.id()), 16u);  // the paper's node
+  EXPECT_EQ(layouts.size_of(host_arch(), desc.id()), 24u);
+}
+
+TEST(SchemaParser, MutuallyRecursiveStructs) {
+  TypeRegistry registry;
+  auto types = parse_schema(registry, R"(
+    struct A { partner: B*; tag: i32; }
+    struct B { partner: A*; tag: i32; }
+  )");
+  ASSERT_TRUE(types.is_ok()) << types.status().to_string();
+  const TypeDescriptor& a = registry.get(types.value().at("A"));
+  EXPECT_EQ(registry.get(a.fields()[0].type).pointee(), types.value().at("B"));
+}
+
+TEST(SchemaParser, ArraysPointersAndComposition) {
+  TypeRegistry registry;
+  auto types = parse_schema(registry, R"(
+    struct Matrix { cells: f64[16]; }
+    struct Sensor {
+      name_bytes: u8[32];
+      samples:    f32[8];
+      matrix:     Matrix;       // nested by value
+      neighbors:  Sensor*[4];   // array of pointers
+      calib:      f64[4]*;      // pointer to array
+    }
+  )");
+  ASSERT_TRUE(types.is_ok()) << types.status().to_string();
+  const TypeDescriptor& sensor = registry.get(types.value().at("Sensor"));
+  ASSERT_EQ(sensor.fields().size(), 5u);
+
+  const TypeDescriptor& neighbors = registry.get(sensor.fields()[3].type);
+  ASSERT_EQ(neighbors.kind(), TypeKind::kArray);
+  EXPECT_EQ(neighbors.count(), 4u);
+  EXPECT_EQ(registry.get(neighbors.element()).kind(), TypeKind::kPointer);
+
+  const TypeDescriptor& calib = registry.get(sensor.fields()[4].type);
+  ASSERT_EQ(calib.kind(), TypeKind::kPointer);
+  EXPECT_EQ(registry.get(calib.pointee()).kind(), TypeKind::kArray);
+
+  LayoutEngine layouts(registry);
+  // 32 + (pad to 4) 32 + 128 + 4*8 + 8 on the host = 32+32+128+32+8 = 232.
+  EXPECT_EQ(layouts.size_of(host_arch(), sensor.id()), 232u);
+}
+
+TEST(SchemaParser, ReportsErrorsWithLineNumbers) {
+  TypeRegistry registry;
+  auto missing_semi = parse_schema(registry, "struct X {\n  a: i32\n}");
+  ASSERT_FALSE(missing_semi.is_ok());
+  EXPECT_NE(missing_semi.status().message().find("line 3"), std::string::npos);
+
+  TypeRegistry r2;
+  auto unknown = parse_schema(r2, "struct X {\n  a: Nothing;\n}");
+  ASSERT_FALSE(unknown.is_ok());
+  EXPECT_NE(unknown.status().message().find("unknown type 'Nothing'"),
+            std::string::npos);
+
+  TypeRegistry r3;
+  auto empty = parse_schema(r3, "struct X { }");
+  ASSERT_FALSE(empty.is_ok());
+
+  TypeRegistry r4;
+  auto zero_bound = parse_schema(r4, "struct X { a: i32[0]; }");
+  ASSERT_FALSE(zero_bound.is_ok());
+
+  TypeRegistry r5;
+  auto garbage = parse_schema(r5, "struct X { a: i32; } %%%");
+  ASSERT_FALSE(garbage.is_ok());
+}
+
+TEST(SchemaParser, DuplicateStructNameRejected) {
+  TypeRegistry registry;
+  auto dup = parse_schema(registry, "struct X { a: i32; } struct X { b: i32; }");
+  ASSERT_FALSE(dup.is_ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaParser, CanExtendAnExistingRegistry) {
+  TypeRegistry registry;
+  ASSERT_TRUE(parse_schema(registry, "struct Base { v: i64; }").is_ok());
+  auto more = parse_schema(registry, "struct Derived { base: Base*; n: u32; }");
+  ASSERT_TRUE(more.is_ok()) << more.status().to_string();
+}
+
+TEST(RegistryCodec, IdenticalRegistriesVerify) {
+  const char* schema = R"(
+    struct Node { next: Node*; value: i64; }
+    struct Blob { bytes: u8[64]; owner: Node*; }
+  )";
+  TypeRegistry ours;
+  TypeRegistry theirs;
+  ASSERT_TRUE(parse_schema(ours, schema).is_ok());
+  ASSERT_TRUE(parse_schema(theirs, schema).is_ok());
+
+  ByteBuffer wire;
+  ASSERT_TRUE(encode_registry(theirs, wire).is_ok());
+  EXPECT_TRUE(verify_registry(ours, wire).is_ok());
+}
+
+TEST(RegistryCodec, DivergentFieldTypeDetected) {
+  TypeRegistry ours;
+  TypeRegistry theirs;
+  ASSERT_TRUE(parse_schema(ours, "struct Node { value: i64; }").is_ok());
+  ASSERT_TRUE(parse_schema(theirs, "struct Node { value: i32; }").is_ok());
+  ByteBuffer wire;
+  ASSERT_TRUE(encode_registry(theirs, wire).is_ok());
+  auto verdict = verify_registry(ours, wire);
+  ASSERT_FALSE(verdict.is_ok());
+  EXPECT_EQ(verdict.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(verdict.message().find("value"), std::string::npos);
+}
+
+TEST(RegistryCodec, MissingTypeDetected) {
+  TypeRegistry ours;
+  TypeRegistry theirs;
+  ASSERT_TRUE(parse_schema(ours, "struct Node { value: i64; }").is_ok());
+  ASSERT_TRUE(parse_schema(theirs, "struct Node { value: i64; }").is_ok());
+  ASSERT_TRUE(parse_schema(theirs, "struct Extra { value: i64; }").is_ok());
+  ByteBuffer wire;
+  ASSERT_TRUE(encode_registry(theirs, wire).is_ok());
+  EXPECT_FALSE(verify_registry(ours, wire).is_ok());
+}
+
+TEST(RegistryCodec, FieldNameDivergenceDetected) {
+  TypeRegistry ours;
+  TypeRegistry theirs;
+  ASSERT_TRUE(parse_schema(ours, "struct Node { value: i64; }").is_ok());
+  ASSERT_TRUE(parse_schema(theirs, "struct Node { datum: i64; }").is_ok());
+  ByteBuffer wire;
+  ASSERT_TRUE(encode_registry(theirs, wire).is_ok());
+  auto verdict = verify_registry(ours, wire);
+  ASSERT_FALSE(verdict.is_ok());
+  EXPECT_NE(verdict.message().find("datum"), std::string::npos);
+}
+
+// The full loop: schema text -> registry -> runnable world. Proves the
+// text-defined types are the same first-class citizens builder-defined
+// types are.
+TEST(SchemaParser, SchemaTypesDriveRealRpc) {
+  struct Node {
+    Node* next;
+    std::int64_t value;
+  };
+
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  // World owns its registry; feed it the schema then bind the host type.
+  World world(options);
+  auto types = parse_schema(world.registry(), "struct SNode { next: SNode*; value: i64; }");
+  ASSERT_TRUE(types.is_ok());
+  ASSERT_TRUE(world.host_types().bind<Node>(types.value().at("SNode")).is_ok());
+
+  auto& a = world.create_space("A");
+  auto& b = world.create_space("B");
+  b.bind("sum",
+         [](CallContext&, Node* head) -> std::int64_t {
+           std::int64_t sum = 0;
+           for (Node* n = head; n != nullptr; n = n->next) sum += n->value;
+           return sum;
+         })
+      .check();
+  a.run([&](Runtime& rt) {
+    const TypeId node = rt.host_types().find<Node>().value();
+    Node* head = nullptr;
+    for (int i = 0; i < 5; ++i) {
+      auto mem = rt.heap().allocate(node);
+      mem.status().check();
+      auto* n = static_cast<Node*>(mem.value());
+      n->value = i + 1;
+      n->next = head;
+      head = n;
+    }
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(b.id(), "sum", head);
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 15);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace srpc

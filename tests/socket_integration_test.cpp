@@ -1,0 +1,117 @@
+// Full smart-RPC stack over REAL sockets: every message is framed, written
+// through AF_UNIX socket pairs, switched by the hub thread, and re-parsed —
+// proving the protocol is sound at byte level, including the fault path
+// (a SIGSEGV handler blocking on a socket-fed mailbox).
+#include <gtest/gtest.h>
+
+#include "core/smart_rpc.hpp"
+#include "workload/list.hpp"
+#include "workload/tree.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::ListNode;
+using workload::TreeNode;
+
+class SocketIntegrationTest : public ::testing::Test {
+ protected:
+  SocketIntegrationTest()
+      : world_([] {
+          WorldOptions options;
+          options.transport = TransportKind::kSockets;
+          return options;
+        }()) {
+    caller_ = &world_.create_space("caller");
+    callee_ = &world_.create_space("callee");
+    workload::register_list_type(world_).status().check();
+    workload::register_tree_type(world_).status().check();
+    world_.start().check();
+  }
+
+  World world_;
+  AddressSpace* caller_ = nullptr;
+  AddressSpace* callee_ = nullptr;
+};
+
+TEST_F(SocketIntegrationTest, ScalarCallOverRealFrames) {
+  callee_->bind("mul",
+                [](CallContext&, std::int64_t a, std::int64_t b) -> std::int64_t {
+                  return a * b;
+                })
+      .check();
+  caller_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto product = session.call<std::int64_t>(callee_->id(), "mul", std::int64_t{6},
+                                              std::int64_t{7});
+    ASSERT_TRUE(product.is_ok()) << product.status().to_string();
+    EXPECT_EQ(product.value(), 42);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(SocketIntegrationTest, FaultDrivenFetchOverRealFrames) {
+  callee_->bind("sum",
+                [](CallContext&, ListNode* head) -> std::int64_t {
+                  return workload::sum_list(head);
+                })
+      .check();
+  caller_->run([&](Runtime& rt) {
+    rt.cache().set_closure_bytes(0);  // force fetches through the sockets
+    auto head = workload::build_list(rt, 50, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(i);
+    });
+    head.status().check();
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(callee_->id(), "sum", head.value());
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 49 * 50 / 2);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  // The callee really did fetch over the wire.
+  callee_->run([](Runtime& rt) { EXPECT_GT(rt.cache().stats().fetches, 0u); });
+}
+
+TEST_F(SocketIntegrationTest, WritesAndWriteBackOverRealFrames) {
+  callee_->bind("scale",
+                [](CallContext&, ListNode* head) -> std::int64_t {
+                  workload::scale_list(head, 3);
+                  return workload::sum_list(head);
+                })
+      .check();
+  caller_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 10, [](std::uint32_t) {
+      return std::int64_t{2};
+    });
+    head.status().check();
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(callee_->id(), "scale", head.value());
+    ASSERT_TRUE(sum.is_ok());
+    EXPECT_EQ(sum.value(), 60);
+    EXPECT_EQ(workload::sum_list(head.value()), 60);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(SocketIntegrationTest, TreeWorkloadEndToEnd) {
+  callee_->bind("visit",
+                [](CallContext&, TreeNode* root, std::uint64_t limit) -> std::int64_t {
+                  return workload::visit_prefix(root, limit);
+                })
+      .check();
+  caller_->run([&](Runtime& rt) {
+    auto root = workload::build_complete_tree(rt, 255);
+    root.status().check();
+    const std::int64_t expected = workload::visit_prefix(root.value(), 200);
+    Session session(rt);
+    auto sum =
+        session.call<std::int64_t>(callee_->id(), "visit", root.value(),
+                                   std::uint64_t{200});
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), expected);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+}  // namespace
+}  // namespace srpc

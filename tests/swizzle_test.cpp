@@ -1,0 +1,160 @@
+// Long pointers and the data allocation table (paper §3.2, Table 1).
+#include <gtest/gtest.h>
+
+#include "swizzle/allocation_table.hpp"
+#include "swizzle/long_pointer.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace srpc {
+namespace {
+
+TEST(LongPointer, NullAndEquality) {
+  EXPECT_TRUE(LongPointer::null().is_null());
+  LongPointer a{1, 0x1000, 64};
+  LongPointer b{1, 0x1000, 64};
+  LongPointer c{2, 0x1000, 64};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a.is_null());
+}
+
+TEST(LongPointer, WireRoundTrip) {
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  LongPointer p{42, 0xDEADBEEFCAFEULL, 77};
+  encode_long_pointer(enc, p);
+  EXPECT_EQ(buf.size(), kLongPointerWireSize);
+  xdr::Decoder dec(buf);
+  auto out = decode_long_pointer(dec);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), p);
+}
+
+TEST(LongPointer, HashDistinguishesComponents) {
+  LongPointerHash hash;
+  LongPointer a{1, 0x1000, 64};
+  LongPointer b{1, 0x1008, 64};
+  EXPECT_NE(hash(a), hash(b));
+}
+
+class AllocationTableTest : public ::testing::Test {
+ protected:
+  // Builds an entry at a fake local address.
+  static AllocationEntry entry(SpaceId space, std::uint64_t home, TypeId type,
+                               PageIndex page, std::uint32_t offset,
+                               std::uint32_t size, std::uint64_t local) {
+    AllocationEntry e;
+    e.pointer = {space, home, type};
+    e.page = page;
+    e.offset = offset;
+    e.size = size;
+    e.local = reinterpret_cast<std::uint8_t*>(local);
+    return e;
+  }
+
+  DataAllocationTable table_;
+};
+
+// Reproduces the structure of the paper's Table 1: two pointers A and B
+// swizzled into page 5 at distinct offsets.
+TEST_F(AllocationTableTest, PaperTableOne) {
+  const auto a = entry(1, 0xA000, 64, 5, 0, 24, 0x500000);
+  const auto b = entry(1, 0xB000, 64, 5, 24, 24, 0x500018);
+  ASSERT_TRUE(table_.insert(a).is_ok());
+  ASSERT_TRUE(table_.insert(b).is_ok());
+
+  auto on_page = table_.entries_on_page(5);
+  ASSERT_EQ(on_page.size(), 2u);
+  EXPECT_EQ(on_page[0]->pointer.address, 0xA000u);
+  EXPECT_EQ(on_page[0]->offset, 0u);
+  EXPECT_EQ(on_page[1]->pointer.address, 0xB000u);
+  EXPECT_EQ(on_page[1]->offset, 24u);
+  EXPECT_TRUE(table_.entries_on_page(4).empty());
+}
+
+TEST_F(AllocationTableTest, ForwardAndReverseLookups) {
+  const auto a = entry(1, 0xA000, 64, 0, 0, 24, 0x500000);
+  ASSERT_TRUE(table_.insert(a).is_ok());
+
+  const AllocationEntry* found = table_.find({1, 0xA000, 64});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->local, reinterpret_cast<std::uint8_t*>(0x500000));
+
+  // Identity ignores the type component.
+  EXPECT_NE(table_.find({1, 0xA000, 99}), nullptr);
+  EXPECT_EQ(table_.find({2, 0xA000, 64}), nullptr);
+
+  // Reverse: base, interior, and out-of-range.
+  EXPECT_EQ(table_.find_by_local(reinterpret_cast<void*>(0x500000)), found);
+  EXPECT_EQ(table_.find_by_local(reinterpret_cast<void*>(0x500017)), found);
+  EXPECT_EQ(table_.find_by_local(reinterpret_cast<void*>(0x500018)), nullptr);
+  EXPECT_EQ(table_.find_by_local(reinterpret_cast<void*>(0x4FFFFF)), nullptr);
+}
+
+TEST_F(AllocationTableTest, HomeIntervalLookupForInteriorPointers) {
+  const auto a = entry(1, 0xA000, 64, 0, 0, 64, 0x500000);
+  ASSERT_TRUE(table_.insert(a).is_ok());
+  EXPECT_NE(table_.find_containing_home(1, 0xA000), nullptr);
+  EXPECT_NE(table_.find_containing_home(1, 0xA03F), nullptr);
+  EXPECT_EQ(table_.find_containing_home(1, 0xA040), nullptr);
+  EXPECT_EQ(table_.find_containing_home(2, 0xA000), nullptr);
+}
+
+TEST_F(AllocationTableTest, RejectsOverlapsAndDuplicates) {
+  ASSERT_TRUE(table_.insert(entry(1, 0xA000, 64, 0, 0, 24, 0x500000)).is_ok());
+  // Same long pointer again.
+  EXPECT_EQ(table_.insert(entry(1, 0xA000, 64, 1, 0, 24, 0x600000)).code(),
+            StatusCode::kAlreadyExists);
+  // Overlapping local range.
+  EXPECT_EQ(table_.insert(entry(1, 0xC000, 64, 0, 8, 24, 0x500008)).code(),
+            StatusCode::kAlreadyExists);
+  // Overlapping home range (same space).
+  EXPECT_EQ(table_.insert(entry(1, 0xA008, 64, 1, 0, 24, 0x600000)).code(),
+            StatusCode::kAlreadyExists);
+  // Same home address range in a different space is fine.
+  EXPECT_TRUE(table_.insert(entry(2, 0xA008, 64, 1, 0, 24, 0x600000)).is_ok());
+}
+
+TEST_F(AllocationTableTest, RebindProvisionalIdentity) {
+  const std::uint64_t provisional = (1ULL << 63) | 7;
+  ASSERT_TRUE(table_.insert(entry(3, provisional, 64, 0, 0, 24, 0x500000)).is_ok());
+  ASSERT_TRUE(table_.rebind({3, provisional, 64}, {3, 0xBEEF, 64}).is_ok());
+  EXPECT_EQ(table_.find({3, provisional, 64}), nullptr);
+  const AllocationEntry* found = table_.find({3, 0xBEEF, 64});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->local, reinterpret_cast<std::uint8_t*>(0x500000));
+  // Reverse map still works after rebinding.
+  EXPECT_EQ(table_.find_by_local(reinterpret_cast<void*>(0x500010)), found);
+}
+
+TEST_F(AllocationTableTest, RemoveDropsAllIndexes) {
+  ASSERT_TRUE(table_.insert(entry(1, 0xA000, 64, 5, 0, 24, 0x500000)).is_ok());
+  ASSERT_TRUE(table_.remove({1, 0xA000, 64}).is_ok());
+  EXPECT_EQ(table_.size(), 0u);
+  EXPECT_EQ(table_.find({1, 0xA000, 64}), nullptr);
+  EXPECT_EQ(table_.find_by_local(reinterpret_cast<void*>(0x500000)), nullptr);
+  EXPECT_TRUE(table_.entries_on_page(5).empty());
+  // The local range can be reused afterwards.
+  EXPECT_TRUE(table_.insert(entry(2, 0xB000, 64, 5, 0, 24, 0x500000)).is_ok());
+}
+
+TEST_F(AllocationTableTest, MultiPageEntriesIndexEveryPage) {
+  auto big = entry(1, 0xA000, 64, 2, 0, 24, 0x500000);
+  big.size = 4096 * 3;
+  ASSERT_TRUE(table_.insert(big, /*page_count=*/3).is_ok());
+  EXPECT_EQ(table_.entries_on_page(2).size(), 1u);
+  EXPECT_EQ(table_.entries_on_page(3).size(), 1u);
+  EXPECT_EQ(table_.entries_on_page(4).size(), 1u);
+  EXPECT_TRUE(table_.entries_on_page(5).empty());
+}
+
+TEST_F(AllocationTableTest, ClearEmptiesTable) {
+  ASSERT_TRUE(table_.insert(entry(1, 0xA000, 64, 0, 0, 24, 0x500000)).is_ok());
+  table_.clear();
+  EXPECT_EQ(table_.size(), 0u);
+  EXPECT_EQ(table_.find({1, 0xA000, 64}), nullptr);
+}
+
+}  // namespace
+}  // namespace srpc

@@ -1,0 +1,156 @@
+// Workload generators: deterministic shapes, sums, and patterns (these
+// feed the benches, so their invariants underwrite the figures).
+#include <gtest/gtest.h>
+
+#include "core/smart_rpc.hpp"
+#include "workload/access_pattern.hpp"
+#include "workload/graph.hpp"
+#include "workload/list.hpp"
+#include "workload/tree.hpp"
+
+namespace srpc {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : world_([] {
+          WorldOptions options;
+          options.cost = CostModel::zero();
+          return options;
+        }()) {
+    space_ = &world_.create_space("home");
+    workload::register_tree_type(world_).status().check();
+    workload::register_list_type(world_).status().check();
+    workload::register_graph_type(world_).status().check();
+  }
+
+  World world_;
+  AddressSpace* space_ = nullptr;
+};
+
+TEST_F(WorkloadTest, CompleteTreeShape) {
+  space_->run([&](Runtime& rt) {
+    auto root = workload::build_complete_tree(rt, 15);
+    root.status().check();
+    // Level-order data values; node i's children are 2i+1 / 2i+2.
+    EXPECT_EQ(root.value()->data, 0);
+    EXPECT_EQ(root.value()->left->data, 1);
+    EXPECT_EQ(root.value()->right->data, 2);
+    EXPECT_EQ(root.value()->left->left->data, 3);
+    // Leaves have no children.
+    EXPECT_EQ(root.value()->left->left->left->left, nullptr);
+    EXPECT_EQ(rt.heap().live_allocations(), 15u);
+    workload::free_tree(rt, root.value()).check();
+    EXPECT_EQ(rt.heap().live_allocations(), 0u);
+  });
+}
+
+TEST_F(WorkloadTest, VisitPrefixIsDepthFirstPreOrder) {
+  space_->run([&](Runtime& rt) {
+    auto root = workload::build_complete_tree(rt, 7);
+    root.status().check();
+    // Pre-order over the level-ordered tree: 0,1,3,4,2,5,6.
+    EXPECT_EQ(workload::visit_prefix(root.value(), 1), 0);
+    EXPECT_EQ(workload::visit_prefix(root.value(), 2), 0 + 1);
+    EXPECT_EQ(workload::visit_prefix(root.value(), 3), 0 + 1 + 3);
+    EXPECT_EQ(workload::visit_prefix(root.value(), 5), 0 + 1 + 3 + 4 + 2);
+    EXPECT_EQ(workload::visit_prefix(root.value(), 100), 21);
+    EXPECT_EQ(workload::visit_prefix(nullptr, 10), 0);
+    workload::free_tree(rt, root.value()).check();
+  });
+}
+
+TEST_F(WorkloadTest, UpdatePrefixTouchesTheSameNodesAsVisit) {
+  space_->run([&](Runtime& rt) {
+    auto a = workload::build_complete_tree(rt, 31);
+    auto b = workload::build_complete_tree(rt, 31);
+    a.status().check();
+    b.status().check();
+    const std::int64_t visited = workload::visit_prefix(a.value(), 12);
+    const std::int64_t updated = workload::update_prefix(b.value(), 12, 1);
+    EXPECT_EQ(updated, visited + 12);  // each visited node bumped by one
+    workload::free_tree(rt, a.value()).check();
+    workload::free_tree(rt, b.value()).check();
+  });
+}
+
+TEST_F(WorkloadTest, RandomPathsAreSeedDeterministic) {
+  space_->run([&](Runtime& rt) {
+    auto root = workload::build_complete_tree(rt, 63);
+    root.status().check();
+    const std::int64_t first = workload::walk_random_paths(root.value(), 5, 42);
+    const std::int64_t second = workload::walk_random_paths(root.value(), 5, 42);
+    const std::int64_t other = workload::walk_random_paths(root.value(), 5, 43);
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first, other);  // overwhelmingly likely for this tree
+    workload::free_tree(rt, root.value()).check();
+  });
+}
+
+TEST_F(WorkloadTest, ListBuildSumScale) {
+  space_->run([&](Runtime& rt) {
+    auto head = workload::build_list(rt, 10, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(i);
+    });
+    head.status().check();
+    EXPECT_EQ(workload::sum_list(head.value()), 45);
+    workload::scale_list(head.value(), 3);
+    EXPECT_EQ(workload::sum_list(head.value()), 135);
+    EXPECT_EQ(workload::sum_list(nullptr), 0);
+    workload::free_list(rt, head.value()).check();
+    EXPECT_EQ(rt.heap().live_allocations(), 0u);
+  });
+}
+
+TEST_F(WorkloadTest, GraphSpanningPathReachesEveryNode) {
+  space_->run([&](Runtime& rt) {
+    workload::GraphSpec spec;
+    spec.node_count = 50;
+    spec.edge_probability = 0.0;  // spanning path only
+    spec.seed = 5;
+    auto root = workload::build_graph(rt, spec);
+    root.status().check();
+    std::uint64_t reached = 0;
+    workload::sum_reachable(root.value(), &reached);
+    EXPECT_EQ(reached, 50u);
+    workload::free_graph(rt, root.value()).check();
+    EXPECT_EQ(rt.heap().live_allocations(), 0u);
+  });
+}
+
+TEST_F(WorkloadTest, AcyclicGraphsHaveForwardEdgesOnly) {
+  space_->run([&](Runtime& rt) {
+    workload::GraphSpec spec;
+    spec.node_count = 40;
+    spec.edge_probability = 0.8;
+    spec.allow_cycles = false;
+    spec.seed = 9;
+    auto root = workload::build_graph(rt, spec);
+    root.status().check();
+    // Values are strictly increasing along the spanning path; in a DAG a
+    // DFS that tracks the path must never revisit a node on the path.
+    std::uint64_t reached = 0;
+    const std::int64_t sum = workload::sum_reachable(root.value(), &reached);
+    EXPECT_EQ(reached, 40u);
+    EXPECT_GT(sum, 0);
+    workload::free_graph(rt, root.value()).check();
+  });
+}
+
+TEST(AccessPattern, DeterministicAndRatioBounded) {
+  const auto a = workload::make_pattern(500, 64, 0.3, 77);
+  const auto b = workload::make_pattern(500, 64, 0.3, 77);
+  ASSERT_EQ(a.ops.size(), 500u);
+  int writes = 0;
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind);
+    EXPECT_EQ(a.ops[i].target, b.ops[i].target);
+    EXPECT_LT(a.ops[i].target, 64u);
+    if (a.ops[i].kind == workload::OpKind::kWrite) ++writes;
+  }
+  EXPECT_GT(writes, 100);  // ~150 expected
+  EXPECT_LT(writes, 200);
+}
+
+}  // namespace
+}  // namespace srpc

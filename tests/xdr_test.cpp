@@ -1,0 +1,201 @@
+// XDR codec: RFC-1014 wire format invariants and round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/byte_buffer.hpp"
+#include "common/rng.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace srpc::xdr {
+namespace {
+
+TEST(XdrPadding, RoundsToFourByteUnits) {
+  EXPECT_EQ(padding(0), 0u);
+  EXPECT_EQ(padding(1), 3u);
+  EXPECT_EQ(padding(2), 2u);
+  EXPECT_EQ(padding(3), 1u);
+  EXPECT_EQ(padding(4), 0u);
+  EXPECT_EQ(padded_size(5), 8u);
+}
+
+TEST(XdrEncoder, U32IsBigEndian) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_u32(0x01020304U);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.data()[0], 0x01);
+  EXPECT_EQ(buf.data()[1], 0x02);
+  EXPECT_EQ(buf.data()[2], 0x03);
+  EXPECT_EQ(buf.data()[3], 0x04);
+}
+
+TEST(XdrEncoder, U64IsBigEndian) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_u64(0x0102030405060708ULL);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.data()[0], 0x01);
+  EXPECT_EQ(buf.data()[7], 0x08);
+}
+
+TEST(XdrEncoder, SignedNegativeRoundTrips) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_i32(-42);
+  enc.put_i64(std::numeric_limits<std::int64_t>::min());
+  Decoder dec(buf);
+  EXPECT_EQ(dec.get_i32().value(), -42);
+  EXPECT_EQ(dec.get_i64().value(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(XdrEncoder, StringCarriesLengthAndPadding) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_string("hello");  // 4 (len) + 5 + 3 (pad)
+  EXPECT_EQ(buf.size(), 12u);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.get_string().value(), "hello");
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(XdrEncoder, EmptyStringIsJustLength) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_string("");
+  EXPECT_EQ(buf.size(), 4u);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.get_string().value(), "");
+}
+
+TEST(XdrEncoder, OpaqueFixedPadsWithoutLength) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  const std::uint8_t bytes[5] = {1, 2, 3, 4, 5};
+  enc.put_opaque_fixed(bytes);
+  EXPECT_EQ(buf.size(), 8u);
+  Decoder dec(buf);
+  auto out = dec.get_opaque_fixed(5);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), std::vector<std::uint8_t>({1, 2, 3, 4, 5}));
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(XdrEncoder, BoolEncodesAsWord) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_bool(true);
+  enc.put_bool(false);
+  EXPECT_EQ(buf.size(), 8u);
+  Decoder dec(buf);
+  EXPECT_TRUE(dec.get_bool().value());
+  EXPECT_FALSE(dec.get_bool().value());
+}
+
+TEST(XdrDecoder, RejectsBadBool) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_u32(7);
+  Decoder dec(buf);
+  auto v = dec.get_bool();
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(XdrDecoder, RejectsTruncatedInput) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_u32(1);
+  Decoder dec(buf);
+  ASSERT_TRUE(dec.get_u32().is_ok());
+  auto v = dec.get_u32();
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(XdrDecoder, RejectsOversizedOpaque) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_u32(1U << 20);
+  Decoder dec(buf);
+  auto v = dec.get_opaque(/*max_len=*/16);
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(XdrEncoder, PatchU32BackfillsReservedSlot) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  const std::size_t slot = enc.reserve_u32();
+  enc.put_u32(0xAAAAAAAAU);
+  enc.patch_u32(slot, 3);
+  Decoder dec(buf);
+  EXPECT_EQ(dec.get_u32().value(), 3u);
+  EXPECT_EQ(dec.get_u32().value(), 0xAAAAAAAAU);
+}
+
+TEST(XdrFloat, SpecialValuesRoundTrip) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_f32(-0.0F);
+  enc.put_f64(std::numeric_limits<double>::infinity());
+  enc.put_f64(1.5e-300);
+  Decoder dec(buf);
+  const float neg_zero = dec.get_f32().value();
+  EXPECT_EQ(neg_zero, 0.0F);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(dec.get_f64().value(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dec.get_f64().value(), 1.5e-300);
+}
+
+// Property sweep: random scalars round-trip bit-exactly.
+class XdrRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XdrRoundTrip, RandomScalars) {
+  Rng rng(GetParam());
+  ByteBuffer buf;
+  Encoder enc(buf);
+  std::vector<std::uint64_t> u64s;
+  std::vector<std::int32_t> i32s;
+  std::vector<double> f64s;
+  for (int i = 0; i < 64; ++i) {
+    u64s.push_back(rng.next());
+    i32s.push_back(static_cast<std::int32_t>(rng.next()));
+    f64s.push_back(rng.next_double() * 1e12 - 5e11);
+    enc.put_u64(u64s.back());
+    enc.put_i32(i32s.back());
+    enc.put_f64(f64s.back());
+  }
+  Decoder dec(buf);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(dec.get_u64().value(), u64s[i]);
+    EXPECT_EQ(dec.get_i32().value(), i32s[i]);
+    EXPECT_EQ(dec.get_f64().value(), f64s[i]);
+  }
+  EXPECT_TRUE(dec.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XdrRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(ByteBuffer, CursorAndOverwrite) {
+  ByteBuffer buf;
+  buf.append_byte(1);
+  buf.append_byte(2);
+  const std::size_t at = buf.append_zeros(2);
+  EXPECT_EQ(at, 2u);
+  const std::uint8_t patch[2] = {9, 8};
+  buf.overwrite(at, patch, 2);
+  std::uint8_t out[4];
+  ASSERT_TRUE(buf.read(out, 4).is_ok());
+  EXPECT_EQ(out[2], 9);
+  EXPECT_EQ(out[3], 8);
+  EXPECT_TRUE(buf.exhausted());
+  buf.reset_cursor();
+  EXPECT_EQ(buf.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace srpc::xdr
