@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_closure_shape.dir/ablation_closure_shape.cpp.o"
+  "CMakeFiles/ablation_closure_shape.dir/ablation_closure_shape.cpp.o.d"
+  "ablation_closure_shape"
+  "ablation_closure_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_closure_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_callbacks.dir/fig5_callbacks.cpp.o"
+  "CMakeFiles/fig5_callbacks.dir/fig5_callbacks.cpp.o.d"
+  "fig5_callbacks"
+  "fig5_callbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_callbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_closure.dir/fig6_closure.cpp.o"
+  "CMakeFiles/fig6_closure.dir/fig6_closure.cpp.o.d"
+  "fig6_closure"
+  "fig6_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_update.dir/fig7_update.cpp.o"
+  "CMakeFiles/fig7_update.dir/fig7_update.cpp.o.d"
+  "fig7_update"
+  "fig7_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fault.dir/micro_fault.cpp.o"
+  "CMakeFiles/micro_fault.dir/micro_fault.cpp.o.d"
+  "micro_fault"
+  "micro_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_xdr.dir/micro_xdr.cpp.o"
+  "CMakeFiles/micro_xdr.dir/micro_xdr.cpp.o.d"
+  "micro_xdr"
+  "micro_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

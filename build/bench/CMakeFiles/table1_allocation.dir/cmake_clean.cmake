@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_allocation.dir/table1_allocation.cpp.o"
+  "CMakeFiles/table1_allocation.dir/table1_allocation.cpp.o.d"
+  "table1_allocation"
+  "table1_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callback_nested.dir/callback_nested.cpp.o"
+  "CMakeFiles/callback_nested.dir/callback_nested.cpp.o.d"
+  "callback_nested"
+  "callback_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callback_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

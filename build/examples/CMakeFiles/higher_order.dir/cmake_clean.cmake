@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/higher_order.dir/higher_order.cpp.o"
+  "CMakeFiles/higher_order.dir/higher_order.cpp.o.d"
+  "higher_order"
+  "higher_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/higher_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_alloc.dir/remote_alloc.cpp.o"
+  "CMakeFiles/remote_alloc.dir/remote_alloc.cpp.o.d"
+  "remote_alloc"
+  "remote_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

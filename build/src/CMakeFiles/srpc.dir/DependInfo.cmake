@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/eager_rpc.cpp" "src/CMakeFiles/srpc.dir/baselines/eager_rpc.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/baselines/eager_rpc.cpp.o.d"
+  "/root/repo/src/baselines/lazy_rpc.cpp" "src/CMakeFiles/srpc.dir/baselines/lazy_rpc.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/baselines/lazy_rpc.cpp.o.d"
+  "/root/repo/src/common/byte_buffer.cpp" "src/CMakeFiles/srpc.dir/common/byte_buffer.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/common/byte_buffer.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/srpc.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/srpc.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/common/status.cpp.o.d"
+  "/root/repo/src/core/address_space.cpp" "src/CMakeFiles/srpc.dir/core/address_space.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/core/address_space.cpp.o.d"
+  "/root/repo/src/core/cache_manager.cpp" "src/CMakeFiles/srpc.dir/core/cache_manager.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/core/cache_manager.cpp.o.d"
+  "/root/repo/src/core/closure.cpp" "src/CMakeFiles/srpc.dir/core/closure.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/core/closure.cpp.o.d"
+  "/root/repo/src/core/debug.cpp" "src/CMakeFiles/srpc.dir/core/debug.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/core/debug.cpp.o.d"
+  "/root/repo/src/core/funcref.cpp" "src/CMakeFiles/srpc.dir/core/funcref.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/core/funcref.cpp.o.d"
+  "/root/repo/src/core/graph_payload.cpp" "src/CMakeFiles/srpc.dir/core/graph_payload.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/core/graph_payload.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/CMakeFiles/srpc.dir/core/runtime.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/core/runtime.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/CMakeFiles/srpc.dir/core/world.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/core/world.cpp.o.d"
+  "/root/repo/src/mem/managed_heap.cpp" "src/CMakeFiles/srpc.dir/mem/managed_heap.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/mem/managed_heap.cpp.o.d"
+  "/root/repo/src/mem/remote_allocator.cpp" "src/CMakeFiles/srpc.dir/mem/remote_allocator.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/mem/remote_allocator.cpp.o.d"
+  "/root/repo/src/net/mailbox.cpp" "src/CMakeFiles/srpc.dir/net/mailbox.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/net/mailbox.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/srpc.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/sim_network.cpp" "src/CMakeFiles/srpc.dir/net/sim_network.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/net/sim_network.cpp.o.d"
+  "/root/repo/src/net/socket_transport.cpp" "src/CMakeFiles/srpc.dir/net/socket_transport.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/net/socket_transport.cpp.o.d"
+  "/root/repo/src/rpc/rpc_endpoint.cpp" "src/CMakeFiles/srpc.dir/rpc/rpc_endpoint.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/rpc/rpc_endpoint.cpp.o.d"
+  "/root/repo/src/rpc/service_registry.cpp" "src/CMakeFiles/srpc.dir/rpc/service_registry.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/rpc/service_registry.cpp.o.d"
+  "/root/repo/src/rpc/wire.cpp" "src/CMakeFiles/srpc.dir/rpc/wire.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/rpc/wire.cpp.o.d"
+  "/root/repo/src/swizzle/allocation_table.cpp" "src/CMakeFiles/srpc.dir/swizzle/allocation_table.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/swizzle/allocation_table.cpp.o.d"
+  "/root/repo/src/swizzle/long_pointer.cpp" "src/CMakeFiles/srpc.dir/swizzle/long_pointer.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/swizzle/long_pointer.cpp.o.d"
+  "/root/repo/src/types/arch.cpp" "src/CMakeFiles/srpc.dir/types/arch.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/types/arch.cpp.o.d"
+  "/root/repo/src/types/layout.cpp" "src/CMakeFiles/srpc.dir/types/layout.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/types/layout.cpp.o.d"
+  "/root/repo/src/types/registry_codec.cpp" "src/CMakeFiles/srpc.dir/types/registry_codec.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/types/registry_codec.cpp.o.d"
+  "/root/repo/src/types/schema_parser.cpp" "src/CMakeFiles/srpc.dir/types/schema_parser.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/types/schema_parser.cpp.o.d"
+  "/root/repo/src/types/type_builder.cpp" "src/CMakeFiles/srpc.dir/types/type_builder.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/types/type_builder.cpp.o.d"
+  "/root/repo/src/types/type_descriptor.cpp" "src/CMakeFiles/srpc.dir/types/type_descriptor.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/types/type_descriptor.cpp.o.d"
+  "/root/repo/src/types/type_registry.cpp" "src/CMakeFiles/srpc.dir/types/type_registry.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/types/type_registry.cpp.o.d"
+  "/root/repo/src/types/value_codec.cpp" "src/CMakeFiles/srpc.dir/types/value_codec.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/types/value_codec.cpp.o.d"
+  "/root/repo/src/types/value_view.cpp" "src/CMakeFiles/srpc.dir/types/value_view.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/types/value_view.cpp.o.d"
+  "/root/repo/src/vm/fault_dispatcher.cpp" "src/CMakeFiles/srpc.dir/vm/fault_dispatcher.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/vm/fault_dispatcher.cpp.o.d"
+  "/root/repo/src/vm/page_arena.cpp" "src/CMakeFiles/srpc.dir/vm/page_arena.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/vm/page_arena.cpp.o.d"
+  "/root/repo/src/vm/page_table.cpp" "src/CMakeFiles/srpc.dir/vm/page_table.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/vm/page_table.cpp.o.d"
+  "/root/repo/src/vm/protection.cpp" "src/CMakeFiles/srpc.dir/vm/protection.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/vm/protection.cpp.o.d"
+  "/root/repo/src/workload/access_pattern.cpp" "src/CMakeFiles/srpc.dir/workload/access_pattern.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/workload/access_pattern.cpp.o.d"
+  "/root/repo/src/workload/graph.cpp" "src/CMakeFiles/srpc.dir/workload/graph.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/workload/graph.cpp.o.d"
+  "/root/repo/src/workload/list.cpp" "src/CMakeFiles/srpc.dir/workload/list.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/workload/list.cpp.o.d"
+  "/root/repo/src/workload/tree.cpp" "src/CMakeFiles/srpc.dir/workload/tree.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/workload/tree.cpp.o.d"
+  "/root/repo/src/xdr/xdr_decoder.cpp" "src/CMakeFiles/srpc.dir/xdr/xdr_decoder.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/xdr/xdr_decoder.cpp.o.d"
+  "/root/repo/src/xdr/xdr_encoder.cpp" "src/CMakeFiles/srpc.dir/xdr/xdr_encoder.cpp.o" "gcc" "src/CMakeFiles/srpc.dir/xdr/xdr_encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/funcref_test.dir/funcref_test.cpp.o"
+  "CMakeFiles/funcref_test.dir/funcref_test.cpp.o.d"
+  "funcref_test"
+  "funcref_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/funcref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

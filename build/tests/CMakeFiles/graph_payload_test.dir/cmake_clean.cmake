@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_payload_test.dir/graph_payload_test.cpp.o"
+  "CMakeFiles/graph_payload_test.dir/graph_payload_test.cpp.o.d"
+  "graph_payload_test"
+  "graph_payload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_payload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rich_types_test.dir/rich_types_test.cpp.o"
+  "CMakeFiles/rich_types_test.dir/rich_types_test.cpp.o.d"
+  "rich_types_test"
+  "rich_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rich_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

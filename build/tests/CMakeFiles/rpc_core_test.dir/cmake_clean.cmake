@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_core_test.dir/rpc_core_test.cpp.o"
+  "CMakeFiles/rpc_core_test.dir/rpc_core_test.cpp.o.d"
+  "rpc_core_test"
+  "rpc_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_integration_test.dir/socket_integration_test.cpp.o"
+  "CMakeFiles/socket_integration_test.dir/socket_integration_test.cpp.o.d"
+  "socket_integration_test"
+  "socket_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

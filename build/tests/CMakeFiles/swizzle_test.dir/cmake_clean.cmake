@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swizzle_test.dir/swizzle_test.cpp.o"
+  "CMakeFiles/swizzle_test.dir/swizzle_test.cpp.o.d"
+  "swizzle_test"
+  "swizzle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swizzle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
