@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Configure, build, and run the test suite under a sanitizer.
+#
+#   scripts/sanitize.sh address    # ASan + LSan
+#   scripts/sanitize.sh undefined  # UBSan
+#   scripts/sanitize.sh thread     # TSan (uses scripts/tsan.supp)
+#
+# Each sanitizer needs runtime options because the runtime installs its own
+# SIGSEGV handler (the MMU-fault path IS the product, see src/vm):
+#
+# - ASan intercepts SIGSEGV by default and would report our intentional
+#   faults on protected cache pages as crashes. handle_segv=0 plus
+#   allow_user_segv_handler=1 hands the signal straight to our
+#   FaultDispatcher.
+# - TSan flags signal handlers that run "signal-unsafe" code; our handler
+#   deliberately performs a full fetch RPC inside the fault (the paper's
+#   design), so report_signal_unsafe=0 is required, and tsan.supp mutes
+#   known-benign races in the test-only FaultTransport stats snapshot.
+set -euo pipefail
+
+SAN="${1:-address}"
+if [ "$#" -gt 0 ]; then shift; fi  # remaining args go to ctest (e.g. -R foo)
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-${SAN}"
+
+case "${SAN}" in
+  address)
+    export ASAN_OPTIONS="handle_segv=0:allow_user_segv_handler=1:detect_leaks=1"
+    ;;
+  undefined)
+    export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+    ;;
+  thread)
+    export TSAN_OPTIONS="report_signal_unsafe=0:suppressions=${ROOT}/scripts/tsan.supp"
+    ;;
+  *)
+    echo "usage: $0 [address|undefined|thread]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "${BUILD}" -S "${ROOT}" -DSRPC_SANITIZE="${SAN}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j "$(nproc)"
+ctest --test-dir "${BUILD}" --output-on-failure "$@"

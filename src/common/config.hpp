@@ -1,0 +1,69 @@
+// Failure-handling configuration: deadlines, retransmits, backoff.
+//
+// The paper assumes a reliable transport and blocks a faulting thread until
+// its home space answers ("No timeouts" was a protocol invariant of early
+// revisions). At production scale a single dropped FETCH_REPLY or ack must
+// not hang a session forever, so every request/reply round trip in the
+// runtime is governed by a TimeoutConfig (see PROTOCOL.md "Timeouts,
+// retries, and duplicate absorption").
+//
+// Deadlines are *real* time (std::chrono::steady_clock), not virtual time:
+// the simulated network delivers instantly and charges virtual cost, so a
+// message it drops would never arrive no matter how far the virtual clock
+// advances. Real time is the only honest detector on both transports.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace srpc {
+
+struct TimeoutConfig {
+  // Total real-time budget for one logical request, retransmits included.
+  // When it expires the initiating call site gets DEADLINE_EXCEEDED.
+  std::chrono::nanoseconds request_deadline = std::chrono::seconds(30);
+
+  // How long to wait for a reply before retransmitting (idempotent
+  // requests only); doubles after every attempt, capped at max_backoff.
+  std::chrono::nanoseconds attempt_timeout = std::chrono::seconds(5);
+  std::chrono::nanoseconds max_backoff = std::chrono::seconds(10);
+
+  // Send attempts for idempotent requests (1 = never retransmit).
+  // Non-idempotent requests (CALL, ALLOC_BATCH) always use one attempt;
+  // duplicates of those are absorbed at the receiver instead (request-id
+  // dedup), so a retransmit would still be safe but is never needed —
+  // their replies travel exactly once either way.
+  std::uint32_t max_attempts = 4;
+
+  [[nodiscard]] bool unbounded_deadline() const noexcept {
+    return request_deadline == std::chrono::nanoseconds::max();
+  }
+  [[nodiscard]] bool unbounded_attempts() const noexcept {
+    return attempt_timeout == std::chrono::nanoseconds::max();
+  }
+
+  // Paper-faithful behavior: block forever, reliability is the transport's
+  // job.
+  static TimeoutConfig unbounded() {
+    TimeoutConfig cfg;
+    cfg.request_deadline = std::chrono::nanoseconds::max();
+    cfg.attempt_timeout = std::chrono::nanoseconds::max();
+    cfg.max_attempts = 1;
+    return cfg;
+  }
+
+  // Tight bounds for fault-injection tests: fail fast, retry fast.
+  static TimeoutConfig aggressive(
+      std::chrono::nanoseconds attempt = std::chrono::milliseconds(25),
+      std::chrono::nanoseconds deadline = std::chrono::milliseconds(250),
+      std::uint32_t attempts = 3) {
+    TimeoutConfig cfg;
+    cfg.request_deadline = deadline;
+    cfg.attempt_timeout = attempt;
+    cfg.max_backoff = deadline;
+    cfg.max_attempts = attempts;
+    return cfg;
+  }
+};
+
+}  // namespace srpc

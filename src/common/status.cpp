@@ -26,6 +26,8 @@ std::string_view to_string(StatusCode code) noexcept {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kProtocolError:
       return "PROTOCOL_ERROR";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

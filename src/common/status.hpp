@@ -27,6 +27,7 @@ enum class StatusCode : std::uint8_t {
   kUnavailable,
   kResourceExhausted,
   kProtocolError,
+  kDeadlineExceeded,
 };
 
 std::string_view to_string(StatusCode code) noexcept;
@@ -88,6 +89,9 @@ inline Status resource_exhausted(std::string msg) {
 }
 inline Status protocol_error(std::string msg) {
   return Status(StatusCode::kProtocolError, std::move(msg));
+}
+inline Status deadline_exceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 // Minimal expected<T, Status>. Value-or-error; accessing the wrong arm

@@ -23,10 +23,12 @@ class AddressSpace {
                TypeRegistry& registry, const LayoutEngine& layouts,
                HostTypeMap& host_types, Transport& transport, SimNetwork* sim,
                CacheOptions cache_options,
-               std::function<std::vector<SpaceId>()> directory)
+               std::function<std::vector<SpaceId>()> directory,
+               TimeoutConfig timeouts = {})
       : runtime_(std::make_unique<Runtime>(id, std::move(name), arch, registry,
                                            layouts, host_types, transport, sim,
-                                           cache_options, std::move(directory))) {}
+                                           cache_options, std::move(directory),
+                                           timeouts)) {}
 
   ~AddressSpace() { shutdown(); }
   AddressSpace(const AddressSpace&) = delete;

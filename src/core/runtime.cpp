@@ -35,7 +35,8 @@ Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
                  TypeRegistry& registry, const LayoutEngine& layouts,
                  HostTypeMap& host_types, Transport& transport, SimNetwork* sim,
                  CacheOptions cache_options,
-                 std::function<std::vector<SpaceId>()> directory)
+                 std::function<std::vector<SpaceId>()> directory,
+                 TimeoutConfig timeouts)
     : self_(self),
       name_(std::move(name)),
       arch_(arch),
@@ -49,7 +50,8 @@ Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
       heap_(registry, layouts, arch, self),
       cache_(registry, layouts, arch, self, cache_options, *this),
       allocator_(cache_),
-      packer_(codec_, arch, *this) {
+      packer_(codec_, arch, *this),
+      timeouts_(timeouts) {
   full_dispatcher_ = [this](Message msg) { return dispatch(std::move(msg)); };
 }
 
@@ -285,6 +287,37 @@ Status Runtime::decode_error(Message& msg) {
 }
 
 // ---------------------------------------------------------------------------
+// Duplicate absorption and session tombstones
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::size_t kServedRequestWindow = 1024;  // per-peer dedup memory
+constexpr std::size_t kDeadSessionWindow = 64;      // remembered tombstones
+}  // namespace
+
+bool Runtime::note_duplicate_request(SpaceId from, std::uint64_t seq) {
+  ServedRequests& served = served_requests_[from];
+  if (served.seen.contains(seq)) return true;
+  served.seen.insert(seq);
+  served.order.push_back(seq);
+  if (served.order.size() > kServedRequestWindow) {
+    served.seen.erase(served.order.front());
+    served.order.pop_front();
+  }
+  return false;
+}
+
+void Runtime::tombstone_session(SessionId session) {
+  if (session == kNoSession || dead_session_set_.contains(session)) return;
+  dead_session_set_.insert(session);
+  dead_session_order_.push_back(session);
+  if (dead_session_order_.size() > kDeadSessionWindow) {
+    dead_session_set_.erase(dead_session_order_.front());
+    dead_session_order_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Remote memory management (paper §3.5)
 // ---------------------------------------------------------------------------
 
@@ -329,9 +362,10 @@ Status Runtime::flush_alloc_batches() {
     for (const std::uint64_t addr : batch.frees) {
       enc.put_u64(addr);
     }
-    const std::uint64_t seq = msg.seq;
-    SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
-    auto reply = endpoint_.await_reply(MessageType::kAllocReply, seq, nullptr);
+    // Allocation is not idempotent (a replayed batch would double-allocate
+    // at the home), so a single attempt races the full deadline.
+    auto reply = endpoint_.roundtrip(std::move(msg), MessageType::kAllocReply,
+                                     nullptr, timeouts_, /*idempotent=*/false);
     if (!reply) return reply.status();
     if (reply.value().type == MessageType::kError) {
       return decode_error(reply.value());
@@ -385,11 +419,13 @@ Result<ByteBuffer> Runtime::fetch(SpaceId home, std::span<const LongPointer> poi
       enc.put_u32(static_cast<std::uint32_t>(p.address - base));
     }
   }
-  const std::uint64_t seq = msg.seq;
-  SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
   // Restricted await: we may be inside the SIGSEGV handler, and with a
   // single active thread nothing but this reply can legitimately arrive.
-  auto reply = endpoint_.await_reply(MessageType::kFetchReply, seq, nullptr);
+  // Fetch is a pure read, so a lost reply is recovered by retransmitting
+  // under the same seq; the home serves it again and any late duplicate
+  // reply is absorbed by seq matching.
+  auto reply = endpoint_.roundtrip(std::move(msg), MessageType::kFetchReply,
+                                   nullptr, timeouts_, /*idempotent=*/true);
   if (!reply) return reply.status();
   if (reply.value().type == MessageType::kError) {
     return decode_error(reply.value());
@@ -409,9 +445,9 @@ Result<ByteBuffer> Runtime::deref_remote(const LongPointer& pointer) {
   msg.seq = endpoint_.next_seq();
   xdr::Encoder enc(msg.payload);
   encode_long_pointer(enc, pointer);
-  const std::uint64_t seq = msg.seq;
-  SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
-  auto reply = endpoint_.await_reply(MessageType::kDerefReply, seq, full_dispatcher_);
+  // A dereference is a read: safe to retransmit.
+  auto reply = endpoint_.roundtrip(std::move(msg), MessageType::kDerefReply,
+                                   full_dispatcher_, timeouts_, /*idempotent=*/true);
   if (!reply) return reply.status();
   if (reply.value().type == MessageType::kError) {
     return decode_error(reply.value());
@@ -445,13 +481,14 @@ Result<ByteBuffer> Runtime::call_raw(SpaceId target, const std::string& proc,
   SRPC_RETURN_IF_ERROR(attach_closures(msg.payload, pointer_roots));
   msg.payload.append(args.view());
 
-  const std::uint64_t seq = msg.seq;
   ++stats_.calls_sent;
-  SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
-
   // Full re-entrant service while blocked: nested calls back into this
-  // space, fetches against our heap, etc.
-  auto reply = endpoint_.await_reply(MessageType::kReturn, seq, full_dispatcher_);
+  // space, fetches against our heap, etc. A CALL executes arbitrary user
+  // code, so it is never retransmitted — on a deadline the caller aborts
+  // the session instead (at-most-once execution; the receiver additionally
+  // absorbs duplicated deliveries by request id).
+  auto reply = endpoint_.roundtrip(std::move(msg), MessageType::kReturn,
+                                   full_dispatcher_, timeouts_, /*idempotent=*/false);
   if (!reply) return reply.status();
   if (reply.value().type == MessageType::kError) {
     return decode_error(reply.value());
@@ -635,6 +672,10 @@ Status Runtime::serve_invalidate(Message msg) {
     session_updates_.clear();
     cache_session_ = kNoSession;
   }
+  // The session is over: refuse any straggler (delayed or replayed
+  // message) that still carries its id, so it cannot repopulate the cache.
+  // Retransmitted INVALIDATEs still land here and are acked again.
+  tombstone_session(msg.session);
   Message reply;
   reply.type = MessageType::kInvalidateAck;
   reply.to = msg.from;
@@ -708,9 +749,10 @@ Status Runtime::end_session() {
     enc.put_u32(1);
     SRPC_RETURN_IF_ERROR(
         encode_graph_payload(codec_, arch_, home, refs, *this, msg.payload));
-    const std::uint64_t seq = msg.seq;
-    SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
-    auto ack = endpoint_.await_reply(MessageType::kWriteBackAck, seq, nullptr);
+    // Write-back applies final values by overwrite, so replaying the same
+    // set is idempotent and a lost ack is recovered by retransmission.
+    auto ack = endpoint_.roundtrip(std::move(msg), MessageType::kWriteBackAck,
+                                   nullptr, timeouts_, /*idempotent=*/true);
     if (!ack) return ack.status();
     if (ack.value().type == MessageType::kError) return decode_error(ack.value());
   }
@@ -723,9 +765,8 @@ Status Runtime::end_session() {
     msg.to = peer;
     msg.session = session_;
     msg.seq = endpoint_.next_seq();
-    const std::uint64_t seq = msg.seq;
-    SRPC_RETURN_IF_ERROR(endpoint_.send(std::move(msg)));
-    auto ack = endpoint_.await_reply(MessageType::kInvalidateAck, seq, nullptr);
+    auto ack = endpoint_.roundtrip(std::move(msg), MessageType::kInvalidateAck,
+                                   nullptr, timeouts_, /*idempotent=*/true);
     if (!ack) return ack.status();
     if (ack.value().type == MessageType::kError) return decode_error(ack.value());
   }
@@ -738,18 +779,97 @@ Status Runtime::end_session() {
   return Status::ok();
 }
 
+Status Runtime::abort_session() {
+  const SessionId aborting = session_ != kNoSession ? session_ : cache_session_;
+  if (aborting == kNoSession && cache_.table().size() == 0 &&
+      session_updates_.empty()) {
+    return Status::ok();  // nothing to unwind
+  }
+  ++stats_.sessions_aborted;
+  SRPC_WARN << name_ << ": aborting session " << aborting;
+
+  // Un-flushed extended_malloc/free batches die with the session —
+  // provisional identities never reached a home, so there is nothing to
+  // undo remotely.
+  allocator_.clear();
+
+  // Best-effort invalidation multicast so peers drop (and tombstone) the
+  // session too. Failures are logged and ignored: abort must succeed even
+  // on a dead network, and the tombstone machinery absorbs whatever the
+  // unreachable peers later send.
+  if (aborting != kNoSession) {
+    for (const SpaceId peer : directory_()) {
+      if (peer == self_) continue;
+      Message msg;
+      msg.type = MessageType::kInvalidate;
+      msg.to = peer;
+      msg.session = aborting;
+      msg.seq = endpoint_.next_seq();
+      auto ack = endpoint_.roundtrip(std::move(msg), MessageType::kInvalidateAck,
+                                     nullptr, timeouts_, /*idempotent=*/true);
+      if (!ack) {
+        SRPC_WARN << name_ << ": abort invalidate of space " << peer
+                  << " failed: " << ack.status().to_string();
+      }
+    }
+    tombstone_session(aborting);
+  }
+
+  // Local unwind: drop every cached page (re-protecting the arena), every
+  // pending overlay, and the travelling modified set. The heap (home data)
+  // is untouched — only session-scoped state dies.
+  cache_.invalidate_all();
+  session_updates_.clear();
+  cache_session_ = kNoSession;
+  session_ = kNoSession;
+  return Status::ok();
+}
+
 // ---------------------------------------------------------------------------
 // Worker loop
 // ---------------------------------------------------------------------------
 
 Status Runtime::dispatch(Message msg) {
+  // Stragglers of invalidated sessions are refused before they can touch
+  // any state: a delayed CALL or WRITE_BACK must not repopulate the cache
+  // of a session that is already gone. INVALIDATE itself stays servable
+  // (retransmits must keep getting acks) and FETCH against tombstones is
+  // refused so the requester fails fast rather than resurrecting the id.
   switch (msg.type) {
     case MessageType::kCall:
-      return serve_call(std::move(msg));
+    case MessageType::kFetch:
+    case MessageType::kAllocBatch:
+    case MessageType::kWriteBack:
+    case MessageType::kDeref:
+      if (is_dead_session(msg.session)) {
+        ++stats_.dead_session_rejections;
+        SRPC_DEBUG << name_ << ": refusing " << to_string(msg.type)
+                   << " from dead session " << msg.session;
+        return send_error(msg.from, msg.session, msg.seq,
+                          unavailable("session " + std::to_string(msg.session) +
+                                      " was invalidated"));
+      }
+      break;
+    default:
+      break;
+  }
+
+  switch (msg.type) {
+    case MessageType::kCall:
+    case MessageType::kAllocBatch:
+      // Non-idempotent requests execute at most once: a duplicated
+      // delivery (the reply for the first copy is en route) is absorbed by
+      // request id.
+      if (note_duplicate_request(msg.from, msg.seq)) {
+        ++stats_.duplicate_requests_absorbed;
+        SRPC_DEBUG << name_ << ": absorbing duplicate " << to_string(msg.type)
+                   << " seq=" << msg.seq << " from " << msg.from;
+        return Status::ok();
+      }
+      return msg.type == MessageType::kCall ? serve_call(std::move(msg))
+                                            : serve_alloc_batch(std::move(msg));
     case MessageType::kFetch:
       return serve_fetch(std::move(msg));
-    case MessageType::kAllocBatch:
-      return serve_alloc_batch(std::move(msg));
     case MessageType::kWriteBack:
       return serve_writeback(std::move(msg));
     case MessageType::kInvalidate:
@@ -759,11 +879,24 @@ Status Runtime::dispatch(Message msg) {
     case MessageType::kShutdown:
       running_ = false;
       return Status::ok();
-    default:
-      SRPC_WARN << name_ << ": dropping out-of-band " << to_string(msg.type)
-                << " seq=" << msg.seq << " from " << msg.from;
+    case MessageType::kReturn:
+    case MessageType::kFetchReply:
+    case MessageType::kAllocReply:
+    case MessageType::kWriteBackAck:
+    case MessageType::kInvalidateAck:
+    case MessageType::kDerefReply:
+    case MessageType::kError:
+      // A reply whose request already completed: the first copy (or a
+      // retransmit's twin) won the await. Absorb silently — this is the
+      // sender half of request-id dedup.
+      ++stats_.stale_replies_absorbed;
+      SRPC_DEBUG << name_ << ": absorbing stale " << to_string(msg.type)
+                 << " seq=" << msg.seq << " from " << msg.from;
       return Status::ok();
   }
+  SRPC_WARN << name_ << ": dropping out-of-band " << to_string(msg.type)
+            << " seq=" << msg.seq << " from " << msg.from;
+  return Status::ok();
 }
 
 void Runtime::serve_forever() {

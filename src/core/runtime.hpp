@@ -16,11 +16,14 @@
 // in a call and fetches issued from the SIGSEGV handler.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/ids.hpp"
 #include "common/status.hpp"
 #include "core/cache_manager.hpp"
@@ -42,6 +45,12 @@ struct RuntimeStats {
   std::uint64_t derefs_served = 0;
   std::uint64_t writebacks_served = 0;
   std::uint64_t alloc_batches_served = 0;
+  // Failure-handling layer (PROTOCOL.md "Timeouts, retries, and duplicate
+  // absorption").
+  std::uint64_t stale_replies_absorbed = 0;     // replies for finished requests
+  std::uint64_t duplicate_requests_absorbed = 0;  // replayed CALL/ALLOC_BATCH
+  std::uint64_t dead_session_rejections = 0;    // traffic from tombstoned sessions
+  std::uint64_t sessions_aborted = 0;
 };
 
 class Runtime final : public PageFetcher,
@@ -55,7 +64,8 @@ class Runtime final : public PageFetcher,
           TypeRegistry& registry, const LayoutEngine& layouts,
           HostTypeMap& host_types, Transport& transport, SimNetwork* sim,
           CacheOptions cache_options,
-          std::function<std::vector<SpaceId>()> directory);
+          std::function<std::vector<SpaceId>()> directory,
+          TimeoutConfig timeouts = {});
   ~Runtime() override = default;
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -80,6 +90,10 @@ class Runtime final : public PageFetcher,
   [[nodiscard]] RpcEndpoint& endpoint() noexcept { return endpoint_; }
   [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
 
+  // Deadline/retry policy for every request this runtime initiates.
+  [[nodiscard]] const TimeoutConfig& timeouts() const noexcept { return timeouts_; }
+  void set_timeouts(const TimeoutConfig& timeouts) noexcept { timeouts_ = timeouts; }
+
   // --- worker loop ------------------------------------------------------------
 
   // Serves messages and tasks until the mailbox closes or kShutdown lands.
@@ -89,8 +103,16 @@ class Runtime final : public PageFetcher,
 
   Result<SessionId> begin_session();
   // Writes the modified data set back to every home, multicasts the
-  // invalidation, and drops the local cache.
+  // invalidation, and drops the local cache. On failure (for example a
+  // write-back ack deadline) the session stays open so the caller may
+  // retry end_session() or fall back to abort_session().
   Status end_session();
+  // Unilateral teardown after a mid-session failure: best-effort
+  // invalidation multicast to the peers (failures logged, never fatal),
+  // then drop every cached page, pending overlay, un-flushed memory-op
+  // batch, and the modified data set. Always leaves the runtime reusable
+  // for a fresh session; idempotent.
+  Status abort_session();
   [[nodiscard]] SessionId current_session() const noexcept { return session_; }
 
   // --- calls -------------------------------------------------------------------
@@ -166,6 +188,16 @@ class Runtime final : public PageFetcher,
 
  private:
   Status dispatch(Message msg);
+  // True when (from, seq) repeats a CALL/ALLOC_BATCH already served — the
+  // receiver half of at-most-once execution for non-idempotent requests.
+  bool note_duplicate_request(SpaceId from, std::uint64_t seq);
+  // Remembers an invalidated session so in-flight stragglers (delayed or
+  // replayed messages carrying its id) are refused instead of
+  // repopulating the cache after the session is gone.
+  void tombstone_session(SessionId session);
+  [[nodiscard]] bool is_dead_session(SessionId session) const {
+    return session != kNoSession && dead_session_set_.contains(session);
+  }
   Status serve_call(Message msg);
   Status serve_fetch(Message msg);
   Status serve_alloc_batch(Message msg);
@@ -208,10 +240,20 @@ class Runtime final : public PageFetcher,
   ClosurePacker packer_;
 
   RpcEndpoint::Dispatcher full_dispatcher_;
+  TimeoutConfig timeouts_;
   SessionId session_ = kNoSession;
   std::uint64_t session_counter_ = 0;
   bool running_ = false;
   RuntimeStats stats_;
+  // Request-id dedup for non-idempotent requests, bounded FIFO per peer.
+  struct ServedRequests {
+    std::unordered_set<std::uint64_t> seen;
+    std::deque<std::uint64_t> order;
+  };
+  std::unordered_map<SpaceId, ServedRequests> served_requests_;
+  // Tombstones of invalidated sessions, bounded FIFO.
+  std::unordered_set<SessionId> dead_session_set_;
+  std::deque<SessionId> dead_session_order_;
   // Home data modified by remote activity this session; travels with every
   // outgoing modified set so stale caches elsewhere get refreshed.
   std::unordered_set<LongPointer, LongPointerHash> session_updates_;

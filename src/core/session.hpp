@@ -32,12 +32,19 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   // Ends the session if the user did not; teardown errors only log because
-  // destructors must not throw.
+  // destructors must not throw. When the orderly end fails (for example a
+  // write-back ack deadline) the destructor falls back to abort_session()
+  // so the runtime is always reusable afterwards.
   ~Session() {
     if (!ended_) {
       Status s = rt_.end_session();
       if (!s.is_ok()) {
-        SRPC_ERROR << "implicit session end failed: " << s.to_string();
+        SRPC_ERROR << "implicit session end failed: " << s.to_string()
+                   << "; aborting session";
+        Status aborted = rt_.abort_session();
+        if (!aborted.is_ok()) {
+          SRPC_ERROR << "session abort failed: " << aborted.to_string();
+        }
       }
     }
   }
@@ -75,9 +82,20 @@ class Session {
   }
 
   // Declares the end of the session: write-back + invalidation multicast.
+  // On failure the session is still open — call end() again once the
+  // network heals, or abort().
   Status end() {
+    Status s = rt_.end_session();
+    ended_ = s.is_ok();
+    return s;
+  }
+
+  // Gives up on the session after a failure (deadline, unreachable peer):
+  // best-effort peer invalidation, then unconditional local unwind. The
+  // runtime is reusable for a fresh session afterwards.
+  Status abort() {
     ended_ = true;
-    return rt_.end_session();
+    return rt_.abort_session();
   }
 
  private:

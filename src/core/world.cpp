@@ -14,6 +14,11 @@ World::World(WorldOptions options)
   } else {
     hub_ = std::make_unique<SocketHub>();
   }
+  if (options_.fault_injection) {
+    Transport& inner = sim_ ? static_cast<Transport&>(*sim_)
+                            : static_cast<Transport&>(*hub_);
+    fault_ = std::make_unique<FaultTransport>(inner);
+  }
 }
 
 World::~World() {
@@ -26,8 +31,9 @@ World::~World() {
 
 AddressSpace& World::create_space(const std::string& name, const ArchModel& arch) {
   const SpaceId id = static_cast<SpaceId>(spaces_.size());
-  Transport& transport = sim_ ? static_cast<Transport&>(*sim_)
-                              : static_cast<Transport&>(*hub_);
+  Transport& transport = fault_ ? static_cast<Transport&>(*fault_)
+                        : sim_  ? static_cast<Transport&>(*sim_)
+                                : static_cast<Transport&>(*hub_);
   auto directory = [this]() {
     std::vector<SpaceId> ids;
     ids.reserve(spaces_.size());
@@ -36,7 +42,7 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
   };
   spaces_.push_back(std::make_unique<AddressSpace>(
       id, name, arch, registry_, layouts_, host_types_, transport, sim_.get(),
-      options_.cache, std::move(directory)));
+      options_.cache, std::move(directory), options_.timeouts));
   AddressSpace& space = *spaces_.back();
 
   if (sim_) {

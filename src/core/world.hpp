@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/address_space.hpp"
+#include "net/fault_transport.hpp"
 #include "net/sim_network.hpp"
 #include "net/socket_transport.hpp"
 #include "types/host_type_map.hpp"
@@ -29,6 +30,10 @@ struct WorldOptions {
   CostModel cost = CostModel::sparc_ethernet();
   CacheOptions cache;  // per-space defaults (closure size, arena, strategy)
   TransportKind transport = TransportKind::kSimulated;
+  TimeoutConfig timeouts;  // per-space deadline/retry policy
+  // Wraps the wire in a seedable FaultTransport decorator; arm it through
+  // World::fault() to inject drop/duplicate/delay (soak and fault tests).
+  bool fault_injection = false;
 };
 
 class World {
@@ -54,6 +59,9 @@ class World {
 
   [[nodiscard]] AddressSpace& space(SpaceId id) { return *spaces_.at(id); }
   [[nodiscard]] std::size_t space_count() const noexcept { return spaces_.size(); }
+
+  // Fault-injection decorator (null unless options.fault_injection).
+  [[nodiscard]] FaultTransport* fault() noexcept { return fault_.get(); }
 
   // Simulated-transport observability (null on the socket transport).
   [[nodiscard]] SimNetwork* sim() noexcept { return sim_.get(); }
@@ -83,6 +91,7 @@ class World {
   HostTypeMap host_types_;
   std::unique_ptr<SimNetwork> sim_;
   std::unique_ptr<SocketHub> hub_;
+  std::unique_ptr<FaultTransport> fault_;
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   bool started_ = false;
 };

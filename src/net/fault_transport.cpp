@@ -1,0 +1,159 @@
+#include "net/fault_transport.hpp"
+
+#include "common/logging.hpp"
+
+namespace srpc {
+
+bool FaultTransport::targeted(MessageType t) const {
+  if (target_mask_ == 0) return true;
+  return (target_mask_ & (1u << static_cast<std::uint32_t>(t))) != 0;
+}
+
+Status FaultTransport::send(Message msg) {
+  bool drop = false;
+  bool duplicate = false;
+  bool hold = false;
+  std::vector<Message> due;  // held messages whose window just expired
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.seen;
+
+    if (fuse_ >= 0 && sent_++ >= fuse_) {
+      ++stats_.fuse_failures;
+      return unavailable("injected transport failure (fuse)");
+    }
+
+    const auto kind = static_cast<std::uint32_t>(msg.type);
+    if (kind < 32 && pending_drops_[kind] > 0) {
+      --pending_drops_[kind];
+      drop = true;
+    } else if (armed_ && targeted(msg.type)) {
+      // Independent draws, first match wins: a message is dropped,
+      // duplicated, or delayed — never more than one at once.
+      if (rng_.next_bool(options_.drop)) {
+        drop = true;
+      } else if (rng_.next_bool(options_.duplicate)) {
+        duplicate = true;
+      } else if (rng_.next_bool(options_.delay)) {
+        hold = true;
+      }
+    }
+
+    if (drop) ++stats_.dropped;
+    if (duplicate) ++stats_.duplicated;
+
+    // Every send ages the holdback queue, so delayed traffic always gets
+    // delivered once anything else moves (retransmits count).
+    for (auto it = held_.begin(); it != held_.end();) {
+      if (it->remaining == 0 || --it->remaining == 0) {
+        due.push_back(std::move(it->msg));
+        it = held_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (hold) {
+      ++stats_.delayed;
+      held_.push_back(Held{std::move(msg), options_.delay_window});
+    }
+  }
+
+  Status result = Status::ok();
+  if (!drop && !hold) {
+    Message copy;
+    if (duplicate) copy = msg;  // ByteBuffer payload copies
+    result = inner_.send(std::move(msg));
+    if (result.is_ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.delivered;
+    }
+    if (result.is_ok() && duplicate) {
+      Status dup = inner_.send(std::move(copy));
+      if (dup.is_ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.delivered;
+      }
+    }
+  } else if (drop) {
+    SRPC_DEBUG << "fault: dropping " << to_string(msg.type) << " " << msg.from
+               << "->" << msg.to << " seq=" << msg.seq;
+  }
+
+  // Reordered traffic rides out after the current message.
+  for (auto& late : due) {
+    Status s = inner_.send(std::move(late));
+    if (s.is_ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.delivered;
+    } else {
+      SRPC_DEBUG << "fault: delayed delivery failed: " << s.to_string();
+    }
+  }
+  return result;
+}
+
+void FaultTransport::arm(const FaultOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options;
+  rng_ = Rng(options.seed);
+  armed_ = true;
+}
+
+void FaultTransport::disarm() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_ = false;
+    fuse_ = -1;
+    sent_ = 0;
+    for (auto& n : pending_drops_) n = 0;
+  }
+  flush();
+}
+
+void FaultTransport::drop_next(MessageType kind, std::uint32_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto idx = static_cast<std::uint32_t>(kind);
+  if (idx < 32) pending_drops_[idx] += n;
+}
+
+void FaultTransport::target(std::initializer_list<MessageType> kinds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  target_mask_ = 0;
+  for (MessageType t : kinds) {
+    target_mask_ |= 1u << static_cast<std::uint32_t>(t);
+  }
+}
+
+void FaultTransport::target_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  target_mask_ = 0;
+}
+
+void FaultTransport::set_fuse(int sends) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sent_ = 0;
+  fuse_ = sends;
+}
+
+void FaultTransport::flush() {
+  std::vector<Held> held;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    held.swap(held_);
+  }
+  for (auto& h : held) {
+    Status s = inner_.send(std::move(h.msg));
+    if (s.is_ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.delivered;
+    }
+  }
+}
+
+FaultStats FaultTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace srpc

@@ -1,0 +1,108 @@
+// FaultTransport — a seedable fault-injection decorator for any Transport.
+//
+// Wraps SimNetwork or SocketHub and subjects traffic to deterministic,
+// seeded message loss, duplication, and delay/reordering, plus the legacy
+// "fuse" (hard send failures after N successful sends). Tests use it to
+// prove the deadline/retry/dedup layer: a dropped message exercises
+// retransmission and DEADLINE_EXCEEDED, a duplicated one exercises
+// request-id dedup, a delayed one exercises stale-reply absorption and
+// session tombstones.
+//
+// Injection model per send of a targeted message kind:
+//   * drop:      with P(drop) the message is silently discarded (send still
+//                returns OK — the loss a real network would inflict);
+//   * duplicate: with P(duplicate) the message is delivered twice;
+//   * delay:     with P(delay) the message is held back and delivered only
+//                after `delay_window` later sends have passed through,
+//                which reorders it behind younger traffic.
+// Drops can also be scheduled precisely with drop_next(kind, n), which
+// discards the next n sends of that kind regardless of rates — the tool
+// for deterministic "lose exactly one reply" tests.
+//
+// Thread-safety: send() may be called from any thread, including the
+// SIGSEGV fault path (same discipline as every Transport). All state is
+// guarded by one mutex; the inner transport is invoked outside callbacks
+// into this object, so there is no lock cycle.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
+
+namespace srpc {
+
+struct FaultOptions {
+  std::uint64_t seed = 0x5EEDF00DULL;
+  double drop = 0.0;       // P(silently lose a targeted message)
+  double duplicate = 0.0;  // P(deliver a targeted message twice)
+  double delay = 0.0;      // P(hold a targeted message back)
+  std::uint32_t delay_window = 2;  // later sends a held message waits for
+};
+
+struct FaultStats {
+  std::uint64_t seen = 0;        // sends entering the decorator
+  std::uint64_t delivered = 0;   // forwards to the inner transport
+  std::uint64_t dropped = 0;     // rate- or drop_next-injected losses
+  std::uint64_t duplicated = 0;  // extra copies delivered
+  std::uint64_t delayed = 0;     // messages held back at least once
+  std::uint64_t fuse_failures = 0;  // sends refused by the fuse
+};
+
+class FaultTransport final : public Transport {
+ public:
+  explicit FaultTransport(Transport& inner, FaultOptions options = {})
+      : inner_(inner), options_(options), rng_(options.seed) {}
+
+  Status send(Message msg) override;
+
+  // Starts injecting with `options` (reseeds the RNG from options.seed).
+  void arm(const FaultOptions& options);
+
+  // Stops rate-based injection and releases every held-back message; the
+  // fuse and any pending drop_next() counts are cleared too. After
+  // disarm() the decorator is a pure pass-through.
+  void disarm();
+
+  // Drops the next `n` sends of `kind`, independent of rates and of
+  // arm()/disarm() state.
+  void drop_next(MessageType kind, std::uint32_t n);
+
+  // Restricts rate-based injection to the listed kinds (default: all).
+  void target(std::initializer_list<MessageType> kinds);
+  void target_all();
+
+  // Legacy hard-failure fuse: after `sends` more successful sends, every
+  // send (any kind) fails with UNAVAILABLE until the fuse is reset.
+  void set_fuse(int sends);
+
+  // Delivers every held-back message now.
+  void flush();
+
+  [[nodiscard]] FaultStats stats() const;
+
+ private:
+  [[nodiscard]] bool targeted(MessageType t) const;  // mutex held
+
+  Transport& inner_;
+  mutable std::mutex mutex_;
+  FaultOptions options_;
+  Rng rng_;
+  bool armed_ = false;
+  std::uint32_t target_mask_ = 0;  // bit per MessageType value; 0 = all
+  std::uint32_t pending_drops_[32] = {};
+  int fuse_ = -1;  // <0: disabled
+  int sent_ = 0;
+  struct Held {
+    Message msg;
+    std::uint32_t remaining = 0;
+  };
+  std::vector<Held> held_;
+  FaultStats stats_;
+};
+
+}  // namespace srpc

@@ -34,6 +34,23 @@ Result<MailItem> Mailbox::pop() {
   return item;
 }
 
+Result<MailItem> Mailbox::pop_until(std::chrono::steady_clock::time_point deadline) {
+  if (deadline == std::chrono::steady_clock::time_point::max()) {
+    return pop();  // wait_until with time_point::max overflows on some libs
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!cv_.wait_until(lock, deadline,
+                      [this] { return !queue_.empty() || closed_; })) {
+    return deadline_exceeded("mailbox wait timed out");
+  }
+  if (queue_.empty()) {
+    return unavailable("mailbox closed");
+  }
+  MailItem item = std::move(queue_.front());
+  queue_.pop_front();
+  return item;
+}
+
 std::optional<MailItem> Mailbox::try_pop() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (queue_.empty()) return std::nullopt;

@@ -13,6 +13,7 @@
 // against itself.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -43,6 +44,17 @@ class Mailbox {
   // Blocks until an item arrives or the mailbox is closed.
   // Returns UNAVAILABLE when closed and drained.
   Result<MailItem> pop();
+
+  // Deadline-aware pop: additionally returns DEADLINE_EXCEEDED once
+  // `deadline` passes with the queue still empty. A deadline of
+  // time_point::max() waits forever (equivalent to pop()).
+  Result<MailItem> pop_until(std::chrono::steady_clock::time_point deadline);
+
+  // Duration flavour of pop_until.
+  Result<MailItem> wait_for(std::chrono::nanoseconds timeout) {
+    if (timeout == std::chrono::nanoseconds::max()) return pop();
+    return pop_until(std::chrono::steady_clock::now() + timeout);
+  }
 
   // Non-blocking variant; returns nullopt when empty.
   std::optional<MailItem> try_pop();

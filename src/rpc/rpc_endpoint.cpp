@@ -1,8 +1,21 @@
 #include "rpc/rpc_endpoint.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "common/logging.hpp"
 
 namespace srpc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string describe_wait(MessageType reply_type, std::uint64_t seq) {
+  return std::string(to_string(reply_type)) + " seq=" + std::to_string(seq);
+}
+
+}  // namespace
 
 Status RpcEndpoint::send(Message msg) {
   msg.from = self_;
@@ -10,10 +23,17 @@ Status RpcEndpoint::send(Message msg) {
 }
 
 Result<Message> RpcEndpoint::await_reply(MessageType reply_type, std::uint64_t seq,
-                                         const Dispatcher& serve) {
+                                         const Dispatcher& serve,
+                                         Clock::time_point deadline) {
   while (true) {
-    auto item = mailbox_.pop();
-    if (!item) return item.status();
+    auto item = mailbox_.pop_until(deadline);
+    if (!item) {
+      if (item.status().code() == StatusCode::kDeadlineExceeded) {
+        return deadline_exceeded("no " + describe_wait(reply_type, seq) +
+                                 " before deadline");
+      }
+      return item.status();
+    }
 
     if (std::holds_alternative<Task>(item.value())) {
       // User code posted from outside while we're mid-call: run it when the
@@ -36,6 +56,53 @@ Result<Message> RpcEndpoint::await_reply(MessageType reply_type, std::uint64_t s
                  << " while awaiting " << to_string(reply_type) << " seq=" << seq;
       deferred_.push_back(std::move(msg));
     }
+  }
+}
+
+Result<Message> RpcEndpoint::roundtrip(Message msg, MessageType reply_type,
+                                       const Dispatcher& serve,
+                                       const TimeoutConfig& cfg, bool idempotent) {
+  const std::uint32_t attempts =
+      idempotent ? std::max<std::uint32_t>(1, cfg.max_attempts) : 1;
+  const std::uint64_t seq = msg.seq;
+  const auto deadline = cfg.unbounded_deadline()
+                            ? Clock::time_point::max()
+                            : Clock::now() + cfg.request_deadline;
+
+  // Keep a retransmittable copy only when we may actually resend.
+  std::optional<Message> original;
+  if (attempts > 1) original = msg;
+
+  SRPC_RETURN_IF_ERROR(send(std::move(msg)));
+
+  auto backoff = cfg.attempt_timeout;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    // Intermediate attempts wait one backoff step; the last attempt gets
+    // whatever remains of the overall deadline.
+    auto attempt_deadline = deadline;
+    if (attempt < attempts && !cfg.unbounded_attempts()) {
+      attempt_deadline = std::min(deadline, Clock::now() + backoff);
+    }
+
+    auto reply = await_reply(reply_type, seq, serve, attempt_deadline);
+    if (reply) return reply;
+    if (reply.status().code() != StatusCode::kDeadlineExceeded) {
+      return reply;  // transport/dispatch failure: retrying won't help
+    }
+
+    const bool out_of_time =
+        deadline != Clock::time_point::max() && Clock::now() >= deadline;
+    if (attempt >= attempts || out_of_time || !original.has_value()) {
+      return deadline_exceeded(describe_wait(reply_type, seq) + " not received after " +
+                               std::to_string(attempt) + " attempt(s)");
+    }
+
+    ++retransmits_;
+    SRPC_DEBUG << "retransmitting for " << describe_wait(reply_type, seq)
+               << " (attempt " << attempt + 1 << "/" << attempts << ")";
+    Message again = *original;
+    SRPC_RETURN_IF_ERROR(send(std::move(again)));
+    backoff = std::min(backoff * 2, cfg.max_backoff);
   }
 }
 

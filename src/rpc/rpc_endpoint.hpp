@@ -9,10 +9,12 @@
 // preserved because serving happens on the blocked thread itself.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 
+#include "common/config.hpp"
 #include "common/status.hpp"
 #include "net/mailbox.hpp"
 #include "net/transport.hpp"
@@ -41,18 +43,37 @@ class RpcEndpoint {
   // arrives. Other messages are fed to `serve`; if `serve` is empty they
   // are deferred for the main loop (used on the fault path, where nothing
   // but the reply can legitimately arrive). Tasks are always deferred.
+  // Once `deadline` passes with no reply the await fails with
+  // DEADLINE_EXCEEDED (the default never expires).
   Result<Message> await_reply(MessageType reply_type, std::uint64_t seq,
-                              const Dispatcher& serve);
+                              const Dispatcher& serve,
+                              std::chrono::steady_clock::time_point deadline =
+                                  std::chrono::steady_clock::time_point::max());
+
+  // One logical request/reply round trip under `cfg`: sends `msg`, awaits
+  // its reply within cfg.request_deadline, and — for idempotent requests —
+  // retransmits the identical message (same seq, so the receiver's
+  // request-id dedup and the sender's reply matching both absorb
+  // duplicates) after each attempt timeout with exponential backoff.
+  // Non-idempotent requests get a single attempt: the full deadline, no
+  // retransmit.
+  Result<Message> roundtrip(Message msg, MessageType reply_type,
+                            const Dispatcher& serve, const TimeoutConfig& cfg,
+                            bool idempotent);
 
   // Next item for the main loop; drains deferred items first, then blocks
   // on the mailbox. UNAVAILABLE once the mailbox is closed and drained.
   Result<MailItem> next();
+
+  // Retransmissions issued by roundtrip() over this endpoint's lifetime.
+  [[nodiscard]] std::uint64_t retransmits() const noexcept { return retransmits_; }
 
  private:
   SpaceId self_;
   Transport& transport_;
   Mailbox& mailbox_;
   std::uint64_t seq_ = 0;
+  std::uint64_t retransmits_ = 0;
   std::deque<MailItem> deferred_;
 };
 

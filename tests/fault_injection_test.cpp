@@ -1,10 +1,12 @@
-// Transport failure injection: send errors must surface as Status at the
-// initiating call site, never hang or corrupt runtime state.
+// Transport failure injection through the reusable net/fault_transport
+// decorator: hard send failures must surface as Status at the initiating
+// call site, and duplicated deliveries (replayed requests and replies) must
+// be absorbed by request-id dedup — never served twice, never corrupting
+// runtime state.
 #include <gtest/gtest.h>
 
-#include <atomic>
-
 #include "core/smart_rpc.hpp"
+#include "net/fault_transport.hpp"
 #include "workload/list.hpp"
 
 namespace srpc {
@@ -12,105 +14,78 @@ namespace {
 
 using workload::ListNode;
 
-// Wraps a transport and starts failing sends after a fuse burns down.
-class FlakyTransport final : public Transport {
- public:
-  explicit FlakyTransport(Transport& inner) : inner_(inner) {}
+// Zero-cost sim wire wrapped in the fault decorator; eager closure off so
+// every remote datum travels through an explicit FETCH round trip (the
+// interesting path for duplication).
+WorldOptions faulty_world() {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  options.cache.closure_bytes = 0;
+  options.fault_injection = true;
+  options.timeouts = TimeoutConfig::aggressive();
+  return options;
+}
 
-  Status send(Message msg) override {
-    if (fuse_.load() >= 0 && sent_.fetch_add(1) >= fuse_.load()) {
-      return unavailable("injected transport failure");
-    }
-    return inner_.send(std::move(msg));
-  }
-
-  void set_fuse(int messages) {
-    sent_.store(0);
-    fuse_.store(messages);
-  }
-  void disarm() { fuse_.store(-1); }
-
- private:
-  Transport& inner_;
-  std::atomic<int> sent_{0};
-  std::atomic<int> fuse_{-1};
-};
-
-// A world wired through the flaky transport. Built by hand (World always
-// wires spaces straight to its own transport).
 class FaultInjectionTest : public ::testing::Test {
  protected:
-  FaultInjectionTest()
-      : layouts_(registry_), net_(CostModel::zero()), flaky_(net_) {
-    auto directory = [] { return std::vector<SpaceId>{0, 1}; };
-    a_ = std::make_unique<AddressSpace>(0, "A", host_arch(), registry_, layouts_,
-                                        host_types_, flaky_, &net_, CacheOptions{},
-                                        directory);
-    b_ = std::make_unique<AddressSpace>(1, "B", host_arch(), registry_, layouts_,
-                                        host_types_, flaky_, &net_, CacheOptions{},
-                                        directory);
-    net_.attach(0, &a_->mailbox());
-    net_.attach(1, &b_->mailbox());
-    a_->start().check();
-    b_->start().check();
-
-    // Register the list type by hand (no World sugar here).
-    auto node = registry_.declare_struct("FNode");
-    node.status().check();
-    node_ = node.value();
-    registry_
-        .define_struct(node_, {{"next", registry_.pointer_to(node_)},
-                               {"value", TypeRegistry::scalar_id(ScalarType::kI64)}})
-        .check();
-    host_types_.bind<ListNode>(node_).check();
-
+  FaultInjectionTest() : world_(faulty_world()) {
+    a_ = &world_.create_space("A");
+    b_ = &world_.create_space("B");
+    workload::register_list_type(world_).status().check();
     b_->bind("sum",
              [](CallContext&, ListNode* head) -> std::int64_t {
                return workload::sum_list(head);
              })
         .check();
+    b_->bind("head", [this](CallContext&) -> ListNode* { return remote_head_; })
+        .check();
+    // A three-node list homed at B for fetch-path tests.
+    b_->run([&](Runtime& rt) {
+      auto head = workload::build_list(rt, 3, [](std::uint32_t i) {
+        return static_cast<std::int64_t>(10 + i);
+      });
+      head.status().check();
+      remote_head_ = head.value();
+    });
+    fault_ = world_.fault();
   }
 
-  ~FaultInjectionTest() override {
-    a_->shutdown();
-    b_->shutdown();
-  }
+  ~FaultInjectionTest() override { fault_->disarm(); }
 
-  TypeRegistry registry_;
-  LayoutEngine layouts_;
-  HostTypeMap host_types_;
-  SimNetwork net_;
-  FlakyTransport flaky_;
-  std::unique_ptr<AddressSpace> a_;
-  std::unique_ptr<AddressSpace> b_;
-  TypeId node_ = kInvalidTypeId;
+  World world_;
+  AddressSpace* a_ = nullptr;
+  AddressSpace* b_ = nullptr;
+  FaultTransport* fault_ = nullptr;
+  ListNode* remote_head_ = nullptr;
 };
+
+// --- legacy hard-failure ("fuse") scenarios --------------------------------
 
 TEST_F(FaultInjectionTest, SendFailureOnCallSurfacesImmediately) {
   a_->run([&](Runtime& rt) {
-    flaky_.set_fuse(0);  // every send fails
+    fault_->set_fuse(0);  // every send fails
     Session session(rt);
     auto sum = typed_call<std::int64_t>(rt, 1, "sum", static_cast<ListNode*>(nullptr));
     ASSERT_FALSE(sum.is_ok());
     EXPECT_EQ(sum.status().code(), StatusCode::kUnavailable);
-    flaky_.disarm();
+    fault_->disarm();
     ASSERT_TRUE(session.end().is_ok());
   });
 }
 
 TEST_F(FaultInjectionTest, RuntimeRecoversAfterTransportHeals) {
   a_->run([&](Runtime& rt) {
-    auto head = rt.heap().allocate(node_);
+    auto head = rt.heap().allocate(rt.host_types().find<ListNode>().value());
     head.status().check();
     static_cast<ListNode*>(head.value())->value = 21;
 
     {
-      flaky_.set_fuse(0);
+      fault_->set_fuse(0);
       Session session(rt);
       auto sum = typed_call<std::int64_t>(rt, 1, "sum",
                                           static_cast<ListNode*>(head.value()));
       ASSERT_FALSE(sum.is_ok());
-      flaky_.disarm();
+      fault_->disarm();
       ASSERT_TRUE(session.end().is_ok());
     }
     {
@@ -126,21 +101,88 @@ TEST_F(FaultInjectionTest, RuntimeRecoversAfterTransportHeals) {
 
 TEST_F(FaultInjectionTest, SessionEndFailuresSurfaceToo) {
   a_->run([&](Runtime& rt) {
-    auto head = rt.heap().allocate(node_);
+    auto head = rt.heap().allocate(rt.host_types().find<ListNode>().value());
     head.status().check();
     ASSERT_TRUE(rt.begin_session().is_ok());
     auto sum = typed_call<std::int64_t>(rt, 1, "sum",
                                         static_cast<ListNode*>(head.value()));
     ASSERT_TRUE(sum.is_ok());
     // Fail the invalidation multicast at session end.
-    flaky_.set_fuse(0);
+    fault_->set_fuse(0);
     auto ended = rt.end_session();
     ASSERT_FALSE(ended.is_ok());
     EXPECT_EQ(ended.code(), StatusCode::kUnavailable);
-    flaky_.disarm();
+    fault_->disarm();
     // A retried end succeeds once the transport heals.
     ASSERT_TRUE(rt.end_session().is_ok());
   });
+}
+
+// --- duplicate-delivery scenarios (request-id dedup) ------------------------
+
+TEST_F(FaultInjectionTest, ReplayedFetchRepliesAreAbsorbed) {
+  FaultOptions opts;
+  opts.duplicate = 1.0;  // every fetch reply delivered twice
+  fault_->target({MessageType::kFetchReply});
+  fault_->arm(opts);
+
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto head = typed_call<ListNode*>(rt, 1, "head");
+    ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+    // Walking the list faults node by node (closure budget is zero); every
+    // FETCH_REPLY arrives twice and the twin must be dropped by seq
+    // matching, not filled twice or misread as another reply.
+    EXPECT_EQ(workload::sum_list(head.value()), 10 + 11 + 12);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  fault_->disarm();
+
+  const auto stats = a_->run([](Runtime& rt) { return rt.stats(); });
+  EXPECT_GE(stats.stale_replies_absorbed, 3u);
+  // The duplicates were injected at the wire, not invented by retransmits.
+  EXPECT_GE(fault_->stats().duplicated, 3u);
+}
+
+TEST_F(FaultInjectionTest, DuplicatedCallsExecuteAtMostOnce) {
+  FaultOptions opts;
+  opts.duplicate = 1.0;
+  fault_->target({MessageType::kCall});
+  fault_->arm(opts);
+
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto sum = typed_call<std::int64_t>(rt, 1, "sum", static_cast<ListNode*>(nullptr));
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 0);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  fault_->disarm();
+
+  const auto stats = b_->run([](Runtime& rt) { return rt.stats(); });
+  EXPECT_EQ(stats.calls_served, 1u);
+  EXPECT_GE(stats.duplicate_requests_absorbed, 1u);
+}
+
+TEST_F(FaultInjectionTest, DuplicatedInvalidationsStayIdempotent) {
+  FaultOptions opts;
+  opts.duplicate = 1.0;
+  fault_->target({MessageType::kInvalidate, MessageType::kInvalidateAck});
+  fault_->arm(opts);
+
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto head = typed_call<ListNode*>(rt, 1, "head");
+    ASSERT_TRUE(head.is_ok());
+    ASSERT_TRUE(session.end().is_ok());
+    // A second session right behind it proves the duplicated invalidate
+    // did not wedge the peer.
+    Session again(rt);
+    auto sum = typed_call<std::int64_t>(rt, 1, "sum", static_cast<ListNode*>(nullptr));
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    ASSERT_TRUE(again.end().is_ok());
+  });
+  fault_->disarm();
 }
 
 }  // namespace

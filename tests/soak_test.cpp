@@ -1,0 +1,166 @@
+// Soak: 100+ back-to-back sessions per transport with seeded
+// drop/duplicate/delay injection. Every session must either complete or
+// abort cleanly, at-most-once call semantics must hold (a server-side
+// counter stays within [confirmed, attempted]), and after the run both
+// spaces' allocation tables must be empty — nothing leaks across sessions.
+//
+// The injection schedule is fully deterministic: iteration i arms the
+// fault transport with seed kSoakSeedBase + i, so any failure reproduces
+// from the seed printed in the trace.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+
+#include "core/smart_rpc.hpp"
+#include "net/fault_transport.hpp"
+#include "workload/list.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::ListNode;
+
+constexpr std::uint64_t kSoakSeedBase = 0x50AB5EEDull;
+constexpr int kIterations = 55;  // 2 sessions each → 110 sessions/transport
+
+class SoakTest : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(SoakTest, BackToBackSessionsSurviveInjection) {
+  WorldOptions options;
+  options.transport = GetParam();
+  options.cost = CostModel::zero();
+  options.cache.closure_bytes = 0;  // every remote read is a FETCH
+  options.fault_injection = true;
+  options.timeouts = TimeoutConfig::aggressive();
+  World world(options);
+  AddressSpace& a = world.create_space("A");
+  AddressSpace& b = world.create_space("B");
+  workload::register_list_type(world).status().check();
+
+  // Server state: a monotone counter (at-most-once witness) and the most
+  // recently built list (worker-thread-only access).
+  std::int64_t counter = 0;
+  ListNode* latest = nullptr;
+  b.bind("incr", [&counter](CallContext&) -> std::int64_t { return ++counter; })
+      .check();
+  b.bind("get", [&counter](CallContext&) -> std::int64_t { return counter; })
+      .check();
+  b.bind("make",
+         [&latest](CallContext& ctx, std::int64_t base) -> ListNode* {
+           auto head = workload::build_list(
+               ctx.runtime, 3, [base](std::uint32_t i) {
+                 return base + static_cast<std::int64_t>(i);
+               });
+           head.status().check();
+           latest = head.value();
+           return latest;
+         })
+      .check();
+  world.start().check();
+  FaultTransport* fault = world.fault();
+  ASSERT_NE(fault, nullptr);
+
+  std::int64_t attempted = 0;  // incr calls issued (upper bound on counter)
+  std::int64_t confirmed = 0;  // incr calls whose RETURN arrived (lower bound)
+  int completed = 0;
+  int aborted = 0;
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    FaultOptions fo;
+    fo.seed = kSoakSeedBase + static_cast<std::uint64_t>(iter);
+    fo.drop = 0.03;
+    fo.duplicate = 0.05;
+    fo.delay = 0.04;
+    SCOPED_TRACE(::testing::Message()
+                 << "iteration " << iter << ", fault seed 0x" << std::hex
+                 << fo.seed);
+
+    // --- session 1: armed -------------------------------------------------
+    a.run([&](Runtime& rt) {
+      fault->target_all();
+      fault->arm(fo);
+      bool failed = !rt.begin_session().is_ok();
+      if (!failed) {
+        const std::int64_t base = iter * 1000 + 100;
+        auto head = typed_call<ListNode*>(rt, 1, "make", base);
+        if (head.is_ok()) {
+          // Prefetch (Status-returning) before any deref so a lost reply
+          // can never strand an unserviceable MMU fault.
+          if (rt.prefetch(head.value(), 1 << 16).is_ok()) {
+            EXPECT_EQ(head.value()->value, base);
+          } else {
+            failed = true;
+          }
+        } else {
+          failed = true;
+        }
+        ++attempted;
+        auto inc = typed_call<std::int64_t>(rt, 1, "incr");
+        if (inc.is_ok()) {
+          ++confirmed;
+        } else {
+          failed = true;
+        }
+        if (!failed) {
+          failed = !rt.end_session().is_ok();
+        }
+        if (failed) {
+          // Heal the wire first so the abort's best-effort invalidation
+          // actually clears the peer, then unwind locally.
+          fault->disarm();
+          ASSERT_TRUE(rt.abort_session().is_ok());
+          ++aborted;
+        } else {
+          ++completed;
+        }
+      }
+      fault->disarm();
+    });
+
+    // --- session 2: clean verification ------------------------------------
+    a.run([&](Runtime& rt) {
+      Session session(rt);
+      const std::int64_t base = iter * 1000 + 500;
+      auto head = typed_call<ListNode*>(rt, 1, "make", base);
+      ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+      ASSERT_TRUE(rt.prefetch(head.value(), 1 << 16).is_ok());
+      EXPECT_EQ(workload::sum_list(head.value()), 3 * base + 3);
+      auto got = typed_call<std::int64_t>(rt, 1, "get");
+      ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+      // At-most-once: the counter can exceed `confirmed` only by calls whose
+      // RETURN was lost after the serve, and can never exceed `attempted`.
+      EXPECT_GE(got.value(), confirmed);
+      EXPECT_LE(got.value(), attempted);
+      ASSERT_TRUE(session.end().is_ok());
+    });
+  }
+
+  // Nothing may leak across 110 sessions: both allocation tables empty.
+  EXPECT_EQ(a.run([](Runtime& rt) { return rt.cache().table().size(); }), 0u);
+  EXPECT_EQ(b.run([](Runtime& rt) { return rt.cache().table().size(); }), 0u);
+  EXPECT_GT(completed, 0) << "injection aborted every session";
+  EXPECT_EQ(completed + aborted, kIterations);
+
+  const auto fstats = fault->stats();
+  const auto rstats = a.run([](Runtime& rt) { return rt.stats(); });
+  std::cout << "[soak] seed base 0x" << std::hex << kSoakSeedBase << std::dec
+            << ": " << completed << " completed, " << aborted << " aborted; "
+            << "wire dropped=" << fstats.dropped
+            << " duplicated=" << fstats.duplicated
+            << " delayed=" << fstats.delayed
+            << "; client retransmits="
+            << a.run([](Runtime& rt) { return rt.endpoint().retransmits(); })
+            << " stale_absorbed=" << rstats.stale_replies_absorbed
+            << " aborts=" << rstats.sessions_aborted << "\n";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, SoakTest,
+    ::testing::Values(TransportKind::kSimulated, TransportKind::kSockets),
+    [](const ::testing::TestParamInfo<TransportKind>& info) {
+      return info.param == TransportKind::kSimulated ? "Sim" : "Sockets";
+    });
+
+}  // namespace
+}  // namespace srpc

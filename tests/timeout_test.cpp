@@ -1,0 +1,193 @@
+// Deadline behaviour under message loss: a lost FETCH_REPLY, a lost
+// write-back ack, and a lost invalidation ack must each surface
+// DEADLINE_EXCEEDED within the configured bound — never hang the caller —
+// and a graceful abort must leave the runtime reusable for a fresh session.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/smart_rpc.hpp"
+#include "net/fault_transport.hpp"
+#include "workload/list.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::ListNode;
+using Clock = std::chrono::steady_clock;
+
+// Generous ceiling for "bounded": the aggressive policy gives up after at
+// most 250 ms per request, so anything near this limit means a real hang.
+constexpr auto kBound = std::chrono::seconds(5);
+
+WorldOptions timeout_world() {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  options.cache.closure_bytes = 0;  // every remote datum needs a FETCH
+  options.fault_injection = true;
+  options.timeouts = TimeoutConfig::aggressive();
+  return options;
+}
+
+class TimeoutTest : public ::testing::Test {
+ protected:
+  TimeoutTest() : world_(timeout_world()) {
+    a_ = &world_.create_space("A");
+    b_ = &world_.create_space("B");
+    workload::register_list_type(world_).status().check();
+    b_->bind("sum",
+             [](CallContext&, ListNode* head) -> std::int64_t {
+               return workload::sum_list(head);
+             })
+        .check();
+    b_->bind("head", [this](CallContext&) -> ListNode* { return remote_head_; })
+        .check();
+    b_->bind("sumall",
+             [this](CallContext&) -> std::int64_t {
+               return workload::sum_list(remote_head_);
+             })
+        .check();
+    b_->run([&](Runtime& rt) {
+      auto head = workload::build_list(rt, 3, [](std::uint32_t i) {
+        return static_cast<std::int64_t>(10 + i);
+      });
+      head.status().check();
+      remote_head_ = head.value();
+    });
+    fault_ = world_.fault();
+  }
+
+  ~TimeoutTest() override { fault_->disarm(); }
+
+  // Drops every message of `kind` until disarm().
+  void drop_all(MessageType kind) {
+    FaultOptions opts;
+    opts.drop = 1.0;
+    fault_->target({kind});
+    fault_->arm(opts);
+  }
+
+  // A fresh session must work end to end once injection is off.
+  void expect_fresh_session_works(Runtime& rt) {
+    Session session(rt);
+    auto head = typed_call<ListNode*>(rt, 1, "head");
+    ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+    ASSERT_TRUE(rt.prefetch(head.value(), 1 << 16).is_ok());
+    EXPECT_EQ(workload::sum_list(head.value()), 10 + 11 + 12);
+    ASSERT_TRUE(session.end().is_ok());
+  }
+
+  World world_;
+  AddressSpace* a_ = nullptr;
+  AddressSpace* b_ = nullptr;
+  FaultTransport* fault_ = nullptr;
+  ListNode* remote_head_ = nullptr;
+};
+
+TEST_F(TimeoutTest, LostFetchReplyReturnsDeadlineExceeded) {
+  a_->run([&](Runtime& rt) {
+    ASSERT_TRUE(rt.begin_session().is_ok());
+    auto head = typed_call<ListNode*>(rt, 1, "head");
+    ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+
+    drop_all(MessageType::kFetchReply);
+    const auto start = Clock::now();
+    auto st = rt.prefetch(head.value(), 0);
+    const auto elapsed = Clock::now() - start;
+    ASSERT_FALSE(st.is_ok());
+    EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.to_string();
+    EXPECT_LT(elapsed, kBound);
+
+    // Graceful abort (the fetch-reply drop does not affect INVALIDATE/ack),
+    // then a disarmed wire must give a fully working session again.
+    ASSERT_TRUE(rt.abort_session().is_ok());
+    fault_->disarm();
+    expect_fresh_session_works(rt);
+    EXPECT_GE(rt.stats().sessions_aborted, 1u);
+  });
+}
+
+TEST_F(TimeoutTest, LostWriteBackAckReturnsDeadlineExceeded) {
+  a_->run([&](Runtime& rt) {
+    ASSERT_TRUE(rt.begin_session().is_ok());
+    auto head = typed_call<ListNode*>(rt, 1, "head");
+    ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+    // Make the head resident and dirty so session end must write it back.
+    ASSERT_TRUE(rt.prefetch(head.value(), 1 << 16).is_ok());
+    head.value()->value = 999;
+
+    drop_all(MessageType::kWriteBackAck);
+    const auto start = Clock::now();
+    auto ended = rt.end_session();
+    const auto elapsed = Clock::now() - start;
+    ASSERT_FALSE(ended.is_ok());
+    EXPECT_EQ(ended.code(), StatusCode::kDeadlineExceeded) << ended.to_string();
+    EXPECT_LT(elapsed, kBound);
+
+    ASSERT_TRUE(rt.abort_session().is_ok());
+    fault_->disarm();
+    // The write-back itself was delivered (only its ack was lost), so the
+    // home applied the new value at least once — overwrite is idempotent.
+    Session session(rt);
+    auto sum = typed_call<std::int64_t>(rt, 1, "sumall");
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 999 + 11 + 12);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(TimeoutTest, LostInvalidateAckReturnsDeadlineExceeded) {
+  a_->run([&](Runtime& rt) {
+    ASSERT_TRUE(rt.begin_session().is_ok());
+    auto head = typed_call<ListNode*>(rt, 1, "head");
+    ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+    ASSERT_TRUE(rt.prefetch(head.value(), 1 << 16).is_ok());
+
+    drop_all(MessageType::kInvalidateAck);
+    const auto start = Clock::now();
+    auto ended = rt.end_session();
+    const auto elapsed = Clock::now() - start;
+    ASSERT_FALSE(ended.is_ok());
+    EXPECT_EQ(ended.code(), StatusCode::kDeadlineExceeded) << ended.to_string();
+    EXPECT_LT(elapsed, kBound);
+
+    // Abort's invalidation multicast is best effort: it still times out
+    // here, yet the local unwind must succeed and stay bounded.
+    const auto abort_start = Clock::now();
+    ASSERT_TRUE(rt.abort_session().is_ok());
+    EXPECT_LT(Clock::now() - abort_start, kBound);
+    fault_->disarm();
+    expect_fresh_session_works(rt);
+  });
+}
+
+TEST_F(TimeoutTest, RetransmitRecoversSingleLostReply) {
+  a_->run([&](Runtime& rt) {
+    Session session(rt);
+    auto head = typed_call<ListNode*>(rt, 1, "head");
+    ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+
+    const auto retransmits_before = rt.endpoint().retransmits();
+    fault_->drop_next(MessageType::kFetchReply, 1);
+    // First attempt's reply is eaten; the idempotent FETCH retransmits with
+    // the same wire id and the second reply completes the prefetch.
+    ASSERT_TRUE(rt.prefetch(head.value(), 1 << 16).is_ok());
+    EXPECT_GE(rt.endpoint().retransmits(), retransmits_before + 1);
+    EXPECT_EQ(workload::sum_list(head.value()), 10 + 11 + 12);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+  EXPECT_EQ(fault_->stats().dropped, 1u);
+}
+
+// The deadline machinery must not fire on a healthy wire: a full session
+// with fetch, write-back, and invalidation completes with zero retransmits.
+TEST_F(TimeoutTest, HealthyWireNeverTripsDeadlines) {
+  a_->run([&](Runtime& rt) {
+    expect_fresh_session_works(rt);
+    EXPECT_EQ(rt.endpoint().retransmits(), 0u);
+    EXPECT_EQ(rt.stats().sessions_aborted, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace srpc
