@@ -16,6 +16,7 @@
 #include <map>
 
 #include "core/smart_rpc.hpp"
+#include "harness.hpp"
 #include "workload/list.hpp"
 
 namespace {
@@ -24,6 +25,8 @@ using namespace srpc;
 using workload::ListNode;
 
 struct Outcome {
+  double strategy = 0;  // 0 = cluster-by-origin, 1 = mixed
+  double closure = 0;
   double seconds = 0;
   double fetches = 0;
   double faults = 0;  // walker-side access violations (page fills)
@@ -107,6 +110,8 @@ void BM_ClusterByOrigin(benchmark::State& state) {
   const auto closure = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
     Outcome out = run_strategy(AllocationStrategy::kClusterByOrigin, closure);
+    out.strategy = 0;
+    out.closure = static_cast<double>(closure);
     state.SetIterationTime(out.seconds);
     state.counters["fetches"] = out.fetches;
     outcomes()["cluster/closure=" + std::to_string(closure)] = out;
@@ -117,6 +122,8 @@ void BM_MixedOrigins(benchmark::State& state) {
   const auto closure = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
     Outcome out = run_strategy(AllocationStrategy::kMixed, closure);
+    out.strategy = 1;
+    out.closure = static_cast<double>(closure);
     state.SetIterationTime(out.seconds);
     state.counters["fetches"] = out.fetches;
     outcomes()["mixed/closure=" + std::to_string(closure)] = out;
@@ -135,10 +142,16 @@ int main(int argc, char** argv) {
 
   std::printf("\n=== Ablation: cache allocation strategy (paper §6) ===\n");
   std::printf("%24s %14s %14s %14s\n", "strategy", "virtual_s", "fetches", "faults");
+  std::vector<std::vector<double>> table;
   for (const auto& [name, out] : outcomes()) {
     std::printf("%24s %14.3f %14.0f %14.0f\n", name.c_str(), out.seconds, out.fetches, out.faults);
+    table.push_back({out.strategy, out.closure, out.seconds, out.fetches, out.faults});
   }
   std::fflush(stdout);
+  srpc::bench::write_bench_json(
+      "ablation_alloc", {{"list_length", 512}},
+      {"strategy_mixed", "closure_bytes", "virtual_s", "fetches", "faults"},
+      table);
   benchmark::Shutdown();
   return 0;
 }

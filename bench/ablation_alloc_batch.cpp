@@ -16,6 +16,7 @@
 #include <map>
 
 #include "core/smart_rpc.hpp"
+#include "harness.hpp"
 #include "workload/list.hpp"
 
 namespace {
@@ -109,10 +110,16 @@ int main(int argc, char** argv) {
   std::printf("\n=== Ablation: remote allocation batching (paper §3.5), %u allocs ===\n",
               kAllocations);
   std::printf("%12s %14s %12s\n", "timing", "virtual_s", "messages");
+  std::vector<std::vector<double>> table;
   for (const auto& [name, out] : outcomes()) {
     std::printf("%12s %14.3f %12.0f\n", name.c_str(), out.seconds, out.messages);
+    table.push_back({name == "immediate" ? 1.0 : 0.0, out.seconds, out.messages});
   }
   std::fflush(stdout);
+  srpc::bench::write_bench_json(
+      "ablation_alloc_batch",
+      {{"allocations", static_cast<double>(kAllocations)}},
+      {"flush_each", "virtual_s", "messages"}, table);
   benchmark::Shutdown();
   return 0;
 }

@@ -22,10 +22,16 @@ using namespace srpc;
 using srpc::bench::Measurement;
 using srpc::bench::TreeExperiment;
 
-constexpr std::uint32_t kNodes = 32767;
 constexpr std::uint32_t kPaths = 10;
 
+std::uint32_t nodes() {
+  static const std::uint32_t n = srpc::bench::node_count_from_env(32767);
+  return n;
+}
+
 struct Outcome {
+  double order = 0;  // 0 = breadth-first, 1 = depth-first
+  double seed = 0;
   double seconds = 0;
   double fetches = 0;
   double wire_kb = 0;
@@ -37,7 +43,7 @@ std::map<std::string, Outcome>& outcomes() {
 }
 
 Outcome run_order(TraversalOrder order, std::uint64_t seed) {
-  TreeExperiment experiment(kNodes, /*closure_bytes=*/8192);
+  TreeExperiment experiment(nodes(), /*closure_bytes=*/8192);
   // The order knob matters on the space that PACKS closures: the home
   // (caller) serving fetches.
   experiment.world().space(0).run([&](Runtime& rt) {
@@ -45,7 +51,9 @@ Outcome run_order(TraversalOrder order, std::uint64_t seed) {
     return 0;
   });
   Measurement m = experiment.run_paths(kPaths, seed);
-  return Outcome{m.seconds, static_cast<double>(m.fetches),
+  return Outcome{order == TraversalOrder::kDepthFirst ? 1.0 : 0.0,
+                 static_cast<double>(seed), m.seconds,
+                 static_cast<double>(m.fetches),
                  static_cast<double>(m.wire_bytes) / 1024.0};
 }
 
@@ -79,11 +87,18 @@ int main(int argc, char** argv) {
 
   std::printf("\n=== Ablation: closure traversal shape (paper §6) ===\n");
   std::printf("%24s %12s %10s %12s\n", "order/seed", "virtual_s", "fetches", "wire_KiB");
+  std::vector<std::vector<double>> table;
   for (const auto& [name, out] : outcomes()) {
     std::printf("%24s %12.3f %10.0f %12.1f\n", name.c_str(), out.seconds, out.fetches,
                 out.wire_kb);
+    table.push_back({out.order, out.seed, out.seconds, out.fetches, out.wire_kb});
   }
   std::fflush(stdout);
+  srpc::bench::write_bench_json(
+      "ablation_closure_shape",
+      {{"nodes", static_cast<double>(nodes())},
+       {"paths", static_cast<double>(kPaths)}},
+      {"order_depth_first", "seed", "virtual_s", "fetches", "wire_KiB"}, table);
   benchmark::Shutdown();
   return 0;
 }

@@ -22,11 +22,15 @@ namespace {
 using srpc::bench::Measurement;
 using srpc::bench::TreeExperiment;
 
-constexpr std::uint32_t kNodes = 32767;
 constexpr std::uint64_t kClosureBytes = 8192;
 
+std::uint32_t nodes() {
+  static const std::uint32_t n = srpc::bench::node_count_from_env(32767);
+  return n;
+}
+
 TreeExperiment& experiment() {
-  static TreeExperiment e(kNodes, kClosureBytes);
+  static TreeExperiment e(nodes(), kClosureBytes);
   return e;
 }
 
@@ -36,7 +40,9 @@ std::map<int, std::array<double, 3>>& rows() {
   return r;
 }
 
-std::uint64_t limit_for(int tenth) { return kNodes * static_cast<std::uint64_t>(tenth) / 10; }
+std::uint64_t limit_for(int tenth) {
+  return nodes() * static_cast<std::uint64_t>(tenth) / 10;
+}
 
 void BM_FullyEager(benchmark::State& state) {
   const auto tenth = static_cast<int>(state.range(0));
@@ -85,8 +91,13 @@ int main(int argc, char** argv) {
         {tenth / 10.0, methods[0], methods[1], methods[2]});
   }
   srpc::bench::print_table(
-      "Figure 4: processing time (virtual s) vs access ratio, 32767 nodes",
+      "Figure 4: processing time (virtual s) vs access ratio",
       {"access_ratio", "fully_eager", "fully_lazy", "proposed"}, table);
+  srpc::bench::write_bench_json(
+      "fig4_methods",
+      {{"nodes", static_cast<double>(nodes())},
+       {"closure_bytes", static_cast<double>(kClosureBytes)}},
+      {"access_ratio", "fully_eager_s", "fully_lazy_s", "proposed_s"}, table);
   benchmark::Shutdown();
   return 0;
 }

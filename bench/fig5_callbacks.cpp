@@ -21,11 +21,16 @@ namespace {
 using srpc::bench::Measurement;
 using srpc::bench::TreeExperiment;
 
-constexpr std::uint32_t kNodes = 32767;
 constexpr std::uint64_t kClosureBytes = 8192;
+constexpr std::uint64_t kSparseStride = 16;
+
+std::uint32_t nodes() {
+  static const std::uint32_t n = srpc::bench::node_count_from_env(32767);
+  return n;
+}
 
 TreeExperiment& experiment() {
-  static TreeExperiment e(kNodes, kClosureBytes);
+  static TreeExperiment e(nodes(), kClosureBytes);
   return e;
 }
 
@@ -34,7 +39,15 @@ std::map<int, std::array<double, 2>>& rows() {
   return r;
 }
 
-std::uint64_t limit_for(int tenth) { return kNodes * static_cast<std::uint64_t>(tenth) / 10; }
+// {delta modified bytes, full modified bytes} for the sparse update.
+std::array<double, 2>& sparse_bytes() {
+  static std::array<double, 2> b{};
+  return b;
+}
+
+std::uint64_t limit_for(int tenth) {
+  return nodes() * static_cast<std::uint64_t>(tenth) / 10;
+}
 
 void BM_LazyCallbacks(benchmark::State& state) {
   const auto tenth = static_cast<int>(state.range(0));
@@ -56,8 +69,24 @@ void BM_ProposedFetches(benchmark::State& state) {
   }
 }
 
+// The travelling modified set rides the same RETURN path the callbacks
+// contend with; measure its wire footprint for a sparse update with the
+// delta encoding on and off.
+void BM_SparseUpdateBytes(benchmark::State& state) {
+  const bool deltas = state.range(0) != 0;
+  experiment().set_modified_deltas(deltas);
+  for (auto _ : state) {
+    Measurement m = experiment().run_sparse_update(nodes(), kSparseStride);
+    state.SetIterationTime(m.seconds);
+    sparse_bytes()[deltas ? 0 : 1] = static_cast<double>(m.modified_bytes);
+    state.counters["modified_bytes"] = static_cast<double>(m.modified_bytes);
+  }
+  experiment().set_modified_deltas(true);
+}
+
 BENCHMARK(BM_LazyCallbacks)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProposedFetches)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SparseUpdateBytes)->Arg(1)->Arg(0)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
@@ -71,7 +100,22 @@ int main(int argc, char** argv) {
     table.push_back({tenth / 10.0, counts[0], counts[1]});
   }
   srpc::bench::print_table(
-      "Figure 5: remote transfer requests vs access ratio, 32767 nodes",
+      "Figure 5: remote transfer requests vs access ratio",
+      {"access_ratio", "lazy_callbacks", "proposed_fetches"}, table);
+  const double delta = sparse_bytes()[0];
+  const double full = sparse_bytes()[1];
+  srpc::bench::print_table(
+      "Figure 5b: sparse-update modified-set wire bytes (stride 16)",
+      {"delta_bytes", "full_bytes", "delta/full"},
+      {{delta, full, full > 0 ? delta / full : 0.0}});
+  srpc::bench::write_bench_json(
+      "fig5_callbacks",
+      {{"nodes", static_cast<double>(nodes())},
+       {"closure_bytes", static_cast<double>(kClosureBytes)},
+       {"sparse_stride", static_cast<double>(kSparseStride)},
+       {"sparse_modified_bytes_delta", delta},
+       {"sparse_modified_bytes_full", full},
+       {"sparse_delta_over_full", full > 0 ? delta / full : 0.0}},
       {"access_ratio", "lazy_callbacks", "proposed_fetches"}, table);
   benchmark::Shutdown();
   return 0;

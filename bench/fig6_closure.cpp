@@ -14,8 +14,10 @@
 // retrieved data").
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "harness.hpp"
 
@@ -24,7 +26,15 @@ namespace {
 using srpc::bench::Measurement;
 using srpc::bench::TreeExperiment;
 
-constexpr std::uint32_t kTreeSizes[] = {16383, 32767, 65535};
+// SRPC_BENCH_NODES=n scales the sweep to {~n/4, ~n/2, n} (smoke runs).
+const std::array<std::uint32_t, 3>& tree_sizes() {
+  static const std::array<std::uint32_t, 3> sizes = [] {
+    const std::uint32_t n = srpc::bench::node_count_from_env(65535);
+    if (n == 65535) return std::array<std::uint32_t, 3>{16383, 32767, 65535};
+    return std::array<std::uint32_t, 3>{n / 4 + 1, n / 2 + 1, n};
+  }();
+  return sizes;
+}
 constexpr std::uint64_t kClosureSizes[] = {0,    256,   512,   1024,  2048,
                                            4096, 8192, 16384, 32768, 65536};
 // Ten root-to-leaves searches per call: upper levels are cached and reused
@@ -35,7 +45,7 @@ constexpr std::uint64_t kSeed = 424242;
 TreeExperiment& experiment(std::size_t size_index) {
   static std::unique_ptr<TreeExperiment> cache[3];
   if (!cache[size_index]) {
-    cache[size_index] = std::make_unique<TreeExperiment>(kTreeSizes[size_index]);
+    cache[size_index] = std::make_unique<TreeExperiment>(tree_sizes()[size_index]);
   }
   return *cache[size_index];
 }
@@ -75,15 +85,22 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> table;
   for (const auto& [closure, by_size] : rows()) {
     std::vector<double> row{static_cast<double>(closure) / 1024.0};
-    for (const std::uint32_t size : kTreeSizes) {
+    for (const std::uint32_t size : tree_sizes()) {
       auto it = by_size.find(size);
       row.push_back(it == by_size.end() ? 0.0 : it->second);
     }
     table.push_back(row);
   }
+  std::vector<std::string> columns{"closure_KiB"};
+  for (const std::uint32_t size : tree_sizes()) {
+    columns.push_back(std::to_string(size) + "_nodes");
+  }
   srpc::bench::print_table(
       "Figure 6: processing time (virtual s) vs closure size (KiB), 10 searches",
-      {"closure_KiB", "16383_nodes", "32767_nodes", "65535_nodes"}, table);
+      columns, table);
+  srpc::bench::write_bench_json("fig6_closure",
+                                {{"paths", static_cast<double>(kPaths)}},
+                                columns, table);
   benchmark::Shutdown();
   return 0;
 }

@@ -10,6 +10,12 @@
 // and sits around twice the visited-only curve ("the update in the remote
 // procedure body requires at least two page accesses: one for reading and
 // the other for writing-back").
+//
+// Beyond the paper, the sparse-update section measures the delta-encoded
+// modified set (PROTOCOL.md "MODIFIED_DELTA") against the full-image
+// baseline: every stride-th visited node is updated, so pages go dirty but
+// only a few bytes per page change. The `sparse` rows report modified-set
+// wire bytes with deltas on and off and their ratio.
 #include <benchmark/benchmark.h>
 
 #include <array>
@@ -22,11 +28,16 @@ namespace {
 using srpc::bench::Measurement;
 using srpc::bench::TreeExperiment;
 
-constexpr std::uint32_t kNodes = 32767;
 constexpr std::uint64_t kClosureBytes = 8192;
+constexpr std::uint64_t kSparseStrides[] = {1, 4, 16, 64};
+
+std::uint32_t nodes() {
+  static const std::uint32_t n = srpc::bench::node_count_from_env(32767);
+  return n;
+}
 
 TreeExperiment& experiment() {
-  static TreeExperiment e(kNodes, kClosureBytes);
+  static TreeExperiment e(nodes(), kClosureBytes);
   return e;
 }
 
@@ -35,7 +46,15 @@ std::map<int, std::array<double, 2>>& rows() {
   return r;
 }
 
-std::uint64_t limit_for(int tenth) { return kNodes * static_cast<std::uint64_t>(tenth) / 10; }
+// stride -> {delta modified bytes, full modified bytes, delta wire, skips}
+std::map<int, std::array<double, 4>>& sparse_rows() {
+  static std::map<int, std::array<double, 4>> r;
+  return r;
+}
+
+std::uint64_t limit_for(int tenth) {
+  return nodes() * static_cast<std::uint64_t>(tenth) / 10;
+}
 
 void BM_Updated(benchmark::State& state) {
   const auto tenth = static_cast<int>(state.range(0));
@@ -44,6 +63,7 @@ void BM_Updated(benchmark::State& state) {
     state.SetIterationTime(m.seconds);
     rows()[tenth][0] = m.seconds;
     state.counters["fetches"] = static_cast<double>(m.fetches);
+    state.counters["modified_bytes"] = static_cast<double>(m.modified_bytes);
   }
 }
 
@@ -56,8 +76,37 @@ void BM_VisitedOnly(benchmark::State& state) {
   }
 }
 
+void BM_SparseDelta(benchmark::State& state) {
+  const auto stride = static_cast<std::uint64_t>(state.range(0));
+  experiment().set_modified_deltas(true);
+  for (auto _ : state) {
+    Measurement m = experiment().run_sparse_update(nodes(), stride);
+    state.SetIterationTime(m.seconds);
+    auto& row = sparse_rows()[static_cast<int>(stride)];
+    row[0] = static_cast<double>(m.modified_bytes);
+    row[2] = static_cast<double>(m.delta_bytes);
+    row[3] = static_cast<double>(m.deltas_skipped);
+    state.counters["modified_bytes"] = static_cast<double>(m.modified_bytes);
+  }
+}
+
+void BM_SparseFull(benchmark::State& state) {
+  const auto stride = static_cast<std::uint64_t>(state.range(0));
+  experiment().set_modified_deltas(false);
+  for (auto _ : state) {
+    Measurement m = experiment().run_sparse_update(nodes(), stride);
+    state.SetIterationTime(m.seconds);
+    sparse_rows()[static_cast<int>(stride)][1] =
+        static_cast<double>(m.modified_bytes);
+    state.counters["modified_bytes"] = static_cast<double>(m.modified_bytes);
+  }
+  experiment().set_modified_deltas(true);
+}
+
 BENCHMARK(BM_Updated)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VisitedOnly)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SparseDelta)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SparseFull)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
@@ -74,8 +123,33 @@ int main(int argc, char** argv) {
                      visited > 0 ? updated / visited : 0.0});
   }
   srpc::bench::print_table(
-      "Figure 7: update vs visit-only processing time (virtual s), 32767 nodes",
+      "Figure 7: update vs visit-only processing time (virtual s)",
       {"ratio", "updated", "visited_only", "update/visit"}, table);
+  srpc::bench::write_bench_json(
+      "fig7_update",
+      {{"nodes", static_cast<double>(nodes())},
+       {"closure_bytes", static_cast<double>(kClosureBytes)}},
+      {"ratio", "updated_s", "visited_only_s", "update_over_visit"}, table);
+
+  std::vector<std::vector<double>> sparse;
+  for (const auto& [stride, bytes] : sparse_rows()) {
+    const double delta = bytes[0];
+    const double full = bytes[1];
+    sparse.push_back({static_cast<double>(stride), delta, full,
+                      full > 0 ? delta / full : 0.0, bytes[2], bytes[3]});
+  }
+  srpc::bench::print_table(
+      "Figure 7b: sparse-update modified-set wire bytes, delta vs full image",
+      {"stride", "delta_bytes", "full_bytes", "delta/full", "delta_section",
+       "epoch_skips"},
+      sparse);
+  srpc::bench::write_bench_json(
+      "fig7_sparse_update",
+      {{"nodes", static_cast<double>(nodes())},
+       {"closure_bytes", static_cast<double>(kClosureBytes)}},
+      {"stride", "modified_bytes_delta", "modified_bytes_full",
+       "delta_over_full", "delta_section_bytes", "epoch_skips"},
+      sparse);
   benchmark::Shutdown();
   return 0;
 }

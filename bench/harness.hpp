@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/eager_rpc.hpp"
@@ -32,7 +34,20 @@ struct Measurement {
   std::uint64_t fetches = 0;   // proposed-method fetch round trips
   std::uint64_t callbacks = 0; // lazy-method DEREF round trips
   std::uint64_t wire_bytes = 0;
+  // Coherency traffic, summed over caller and callee (RuntimeStats).
+  std::uint64_t modified_bytes = 0;  // wire bytes of modified-set sections
+  std::uint64_t delta_bytes = 0;     // of which MODIFIED_DELTA entries
+  std::uint64_t deltas_skipped = 0;  // epoch/fingerprint skips
 };
+
+// `SRPC_BENCH_NODES` overrides a figure's default tree size — the smoke
+// ctest target runs every figure at a few hundred nodes under sanitizers.
+inline std::uint32_t node_count_from_env(std::uint32_t fallback) {
+  const char* env = std::getenv("SRPC_BENCH_NODES");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<std::uint32_t>(parsed) : fallback;
+}
 
 // One caller/callee pair with the paper's tree built in the caller heap.
 class TreeExperiment {
@@ -63,6 +78,15 @@ class TreeExperiment {
         ->bind("update",
                [](CallContext&, workload::TreeNode* root, std::uint64_t limit)
                    -> std::int64_t { return workload::update_prefix(root, limit, 1); })
+        .check();
+    // Sparse update: every stride-th visited node — pages go dirty but only
+    // a few bytes per page change (the delta encoder's best case).
+    callee_
+        ->bind("update_sparse",
+               [](CallContext&, workload::TreeNode* root, std::uint64_t limit,
+                  std::uint64_t stride) -> std::int64_t {
+                 return workload::update_sparse(root, limit, stride, 1);
+               })
         .check();
     callee_
         ->bind("paths",
@@ -134,11 +158,24 @@ class TreeExperiment {
 
   void set_closure_bytes(std::uint64_t bytes) {
     caller_->run([&](Runtime& rt) {
-      rt.cache().set_closure_bytes(bytes);
+      rt.cache().set_closure_bytes(bytes).check();
       return 0;
     });
     callee_->run([&](Runtime& rt) {
-      rt.cache().set_closure_bytes(bytes);
+      rt.cache().set_closure_bytes(bytes).check();
+      return 0;
+    });
+  }
+
+  // Ablation switch: off forces every modified object back to full graph
+  // payloads (the pre-delta wire behaviour).
+  void set_modified_deltas(bool on) {
+    caller_->run([&](Runtime& rt) {
+      rt.set_modified_deltas(on);
+      return 0;
+    });
+    callee_->run([&](Runtime& rt) {
+      rt.set_modified_deltas(on);
       return 0;
     });
   }
@@ -153,6 +190,20 @@ class TreeExperiment {
       const Measurement m = snapshot();
       session.end().check();
       return m;
+    });
+  }
+
+  // One smart-RPC call updating every `stride`-th of `limit` visited nodes.
+  // The modified-set meters include the session-end write-back, which is
+  // where the coalesced delta batches pay off.
+  Measurement run_sparse_update(std::uint64_t limit, std::uint64_t stride) {
+    return measure([&](Runtime& rt) {
+      Session session(rt);
+      auto sum = session.call<std::int64_t>(callee_->id(), "update_sparse",
+                                            root_, limit, stride);
+      sum.status().check();
+      session.end().check();
+      return snapshot();
     });
   }
 
@@ -216,8 +267,10 @@ class TreeExperiment {
   Measurement measure(F body) {
     return caller_->run([&](Runtime& rt) -> Measurement {
       world_->reset_metering();
+      rt.reset_stats();
       callee_->run([](Runtime& callee_rt) {
         callee_rt.cache().reset_stats();
+        callee_rt.reset_stats();
         return 0;
       });
       return body(rt);
@@ -232,6 +285,15 @@ class TreeExperiment {
     m.wire_bytes = net.wire_bytes;
     m.fetches = net.count(MessageType::kFetch);
     m.callbacks = net.count(MessageType::kDeref);
+    const RuntimeStats caller_stats = caller_->runtime().stats();
+    const RuntimeStats callee_stats =
+        callee_->run([](Runtime& rt) { return rt.stats(); });
+    m.modified_bytes =
+        caller_stats.modified_bytes_shipped + callee_stats.modified_bytes_shipped;
+    m.delta_bytes =
+        caller_stats.delta_bytes_shipped + callee_stats.delta_bytes_shipped;
+    m.deltas_skipped = caller_stats.deltas_skipped_by_epoch +
+                       callee_stats.deltas_skipped_by_epoch;
     return m;
   }
 
@@ -242,6 +304,43 @@ class TreeExperiment {
   workload::TreeNode* root_ = nullptr;
   TypeId tree_type_ = kInvalidTypeId;
 };
+
+// Machine-readable results: every figure binary writes BENCH_<name>.json
+// into the working directory alongside its stdout table, so runs can be
+// compared without scraping the console (scripts/bench.sh collects them).
+// Layout: {"bench": ..., "config": {...}, "columns": [...], "rows": [[...]]}.
+inline void write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& config,
+    const std::vector<std::string>& columns,
+    const std::vector<std::vector<double>>& rows) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": {", name.c_str());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": %.17g", i ? ", " : "", config[i].first.c_str(),
+                 config[i].second);
+  }
+  std::fprintf(f, "},\n  \"columns\": [");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i ? ", " : "", columns[i].c_str());
+  }
+  std::fprintf(f, "],\n  \"rows\": [\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(f, "    [");
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      std::fprintf(f, "%s%.17g", c ? ", " : "", rows[r][c]);
+    }
+    std::fprintf(f, "]%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 // Paper-style table printer ("X-axis: ...; Y-axis: ...").
 inline void print_table(const std::string& title,

@@ -48,7 +48,7 @@ void print_paper_table() {
     auto b = rt.heap().allocate(rt.host_types().find<ListNode>().value());
     a.status().check();
     b.status().check();
-    rt.cache().set_closure_bytes(0);  // pure swizzling, no eager data
+    rt.cache().set_closure_bytes(0).check();  // pure swizzling, no eager data
 
     Session session(rt);
     auto tag = session.call<std::int32_t>(callee.id(), "take_two",

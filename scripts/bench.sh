@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Build and run the full benchmark suite; every binary prints its paper
+# table and drops a machine-readable BENCH_<name>.json into the output
+# directory (bench-results/ by default).
+#
+#   scripts/bench.sh                 # all benches, full size
+#   scripts/bench.sh fig7            # only binaries matching "fig7"
+#   SRPC_BENCH_NODES=1023 scripts/bench.sh   # scaled-down trees
+set -euo pipefail
+
+FILTER="${1:-}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build"
+OUT="${SRPC_BENCH_OUT:-${ROOT}/bench-results}"
+
+BENCHES=(
+  fig4_methods
+  fig5_callbacks
+  fig6_closure
+  fig7_update
+  table1_allocation
+  micro_xdr
+  micro_fault
+  ablation_alloc
+  ablation_closure_shape
+  ablation_alloc_batch
+)
+
+cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j "$(nproc)" --target "${BENCHES[@]}"
+
+mkdir -p "${OUT}"
+cd "${OUT}"
+for b in "${BENCHES[@]}"; do
+  if [ -n "${FILTER}" ] && [[ "${b}" != *"${FILTER}"* ]]; then continue; fi
+  echo "=== ${b} ==="
+  "${BUILD}/bench/${b}"
+done
+echo "results in ${OUT}:"
+ls -1 "${OUT}"/BENCH_*.json 2>/dev/null || echo "  (no JSON emitted)"

@@ -23,6 +23,11 @@ class ByteBuffer {
   // Appends `len` zero bytes and returns the offset where they start.
   std::size_t append_zeros(std::size_t len);
 
+  // Pre-grows capacity for `extra` more bytes beyond the current size, so a
+  // known-size burst of appends reallocates at most once instead of
+  // geometrically.
+  void reserve(std::size_t extra) { bytes_.reserve(bytes_.size() + extra); }
+
   // Reads `len` bytes at the cursor into `out`, advancing the cursor.
   Status read(void* out, std::size_t len);
 

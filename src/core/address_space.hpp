@@ -24,11 +24,12 @@ class AddressSpace {
                HostTypeMap& host_types, Transport& transport, SimNetwork* sim,
                CacheOptions cache_options,
                std::function<std::vector<SpaceId>()> directory,
-               TimeoutConfig timeouts = {})
+               TimeoutConfig timeouts = {},
+               std::function<std::uint32_t(SpaceId)> peer_caps = {})
       : runtime_(std::make_unique<Runtime>(id, std::move(name), arch, registry,
                                            layouts, host_types, transport, sim,
                                            cache_options, std::move(directory),
-                                           timeouts)) {}
+                                           timeouts, std::move(peer_caps))) {}
 
   ~AddressSpace() { shutdown(); }
   AddressSpace(const AddressSpace&) = delete;

@@ -13,6 +13,10 @@ namespace {
 std::uint64_t align_up(std::uint64_t v, std::uint32_t align) noexcept {
   return (v + align - 1) / align * align;
 }
+
+// Two differing runs separated by fewer equal bytes than this merge into
+// one wire range (each range costs 8 header bytes).
+constexpr std::uint32_t kDiffMergeGap = 8;
 }  // namespace
 
 CacheManager::CacheManager(const TypeRegistry& registry, const LayoutEngine& layouts,
@@ -34,12 +38,31 @@ CacheManager::~CacheManager() {
 }
 
 Status CacheManager::init() {
+  if (options_.page_count == 0) {
+    return invalid_argument("CacheOptions.page_count must be nonzero");
+  }
+  if (options_.closure_bytes > options_.page_count * options_.page_size) {
+    return invalid_argument(
+        "CacheOptions.closure_bytes " + std::to_string(options_.closure_bytes) +
+        " exceeds the arena (" +
+        std::to_string(options_.page_count * options_.page_size) + " bytes)");
+  }
   auto arena = PageArena::create(options_.page_count, options_.page_size);
   if (!arena) return arena.status();
   arena_ = std::move(arena.value());
   SRPC_RETURN_IF_ERROR(
       FaultDispatcher::instance().register_range(arena_.base(), arena_.byte_size(), this));
   registered_ = true;
+  return Status::ok();
+}
+
+Status CacheManager::set_closure_bytes(std::uint64_t bytes) {
+  if (bytes > options_.page_count * options_.page_size) {
+    return invalid_argument(
+        "closure budget " + std::to_string(bytes) + " exceeds the arena (" +
+        std::to_string(options_.page_count * options_.page_size) + " bytes)");
+  }
+  options_.closure_bytes = bytes;
   return Status::ok();
 }
 
@@ -243,6 +266,10 @@ bool CacheManager::on_fault(void* addr, FaultAccess access) {
       }
       fetcher_.charge_fault();
       ++stats_.write_faults;
+      // The page is still untouched (the faulting write has not retired):
+      // capture the pre-write image as the twin the delta encoder diffs
+      // against.
+      pages_.snapshot_twin(page, arena_.page_base(page), arena_.page_size());
       if (!pages_.transition(page, PageState::kDirty).is_ok()) return false;
       if (!arena_.protect(page, PageProtection::kReadWrite).is_ok()) return false;
       return true;
@@ -405,17 +432,33 @@ Status CacheManager::fill_page(PageIndex page, std::uint64_t closure_budget) {
 }
 
 Status CacheManager::finish_fill_pages() {
-  // Seal and protect every opened page; overlay pending dirty values.
+  // Apply pending overlays first. The freshly fetched content is the
+  // coherent baseline, so every page an overlaid entry spans gets its twin
+  // snapshotted *before* the overlay bytes land — that keeps the overlay in
+  // the delta the next collect_modified_deltas() emits.
+  std::unordered_set<PageIndex> dirtied;
   for (const PageIndex p : fill_open_pages_) {
-    bool dirty = false;
     for (const AllocationEntry* e : table_.entries_on_page(p)) {
       auto overlay = overlays_.find(e);
-      if (overlay != overlays_.end()) {
-        std::memcpy(e->local, overlay->second.data(), overlay->second.size());
-        overlays_.erase(overlay);
-        dirty = true;
+      if (overlay == overlays_.end()) continue;
+      const std::uint32_t span = pages_spanned(*e);
+      for (std::uint32_t i = 0; i < span; ++i) {
+        const PageIndex q = e->page + i;
+        if (!pages_.has_twin(q)) {
+          pages_.snapshot_twin(q, arena_.page_base(q), arena_.page_size());
+        }
+        dirtied.insert(q);
       }
+      for (const ByteRange& r : overlay->second.valid) {
+        std::memcpy(e->local + r.offset, overlay->second.bytes.data() + r.offset,
+                    r.len);
+      }
+      overlays_.erase(overlay);
     }
+  }
+  // Seal and protect every opened page.
+  for (const PageIndex p : fill_open_pages_) {
+    const bool dirty = dirtied.contains(p);
     SRPC_RETURN_IF_ERROR(
         pages_.transition(p, dirty ? PageState::kDirty : PageState::kClean));
     SRPC_RETURN_IF_ERROR(arena_.protect(
@@ -458,12 +501,117 @@ std::vector<CacheManager::ModifiedObject> CacheManager::collect_modified() const
       }
     }
   }
-  for (const auto& [entry, bytes] : overlays_) {
+  for (const auto& [entry, overlay] : overlays_) {
     if (seen.insert(entry).second) {
-      out.push_back({entry->pointer, bytes.data()});
+      out.push_back({entry->pointer, overlay.bytes.data()});
     }
   }
   return out;
+}
+
+bool CacheManager::diff_entry(const AllocationEntry& entry,
+                              std::vector<ByteRange>& out) const {
+  const std::size_t page_size = arena_.page_size();
+  const std::uint32_t span = pages_spanned(entry);
+  for (std::uint32_t i = 0; i < span; ++i) {
+    const PageIndex p = entry.page + i;
+    if (pages_.info(p).state != PageState::kDirty) continue;  // unchanged
+    if (!pages_.has_twin(p)) return false;  // born dirty: no baseline
+    // The slice of the entry living on page p, in object-relative terms.
+    const std::uint64_t page_lo = static_cast<std::uint64_t>(i) * page_size;
+    const std::uint64_t ent_lo = std::max<std::uint64_t>(entry.offset, page_lo);
+    const std::uint64_t ent_hi =
+        std::min<std::uint64_t>(entry.offset + entry.size, page_lo + page_size);
+    if (ent_lo >= ent_hi) continue;
+    const std::uint64_t in_page = ent_lo % page_size;
+    diff_ranges(arena_.page_base(p) + in_page, pages_.twin(p) + in_page,
+                static_cast<std::uint32_t>(ent_hi - ent_lo),
+                static_cast<std::uint32_t>(ent_lo - entry.offset), kDiffMergeGap,
+                out);
+  }
+  return true;
+}
+
+std::vector<CacheManager::ModifiedDatum> CacheManager::collect_modified_deltas()
+    const {
+  std::vector<ModifiedDatum> out;
+  std::unordered_set<const AllocationEntry*> seen;
+  for (const PageIndex p : pages_.pages_in_state(PageState::kDirty)) {
+    for (const AllocationEntry* e : table_.entries_on_page(p)) {
+      if (!seen.insert(e).second) continue;
+      ModifiedDatum d;
+      d.id = e->pointer;
+      d.image = e->local;
+      d.size = e->size;
+      d.has_baseline = diff_entry(*e, d.dirty);
+      if (!d.has_baseline) d.dirty.clear();
+      out.push_back(std::move(d));
+    }
+  }
+  for (const auto& [entry, overlay] : overlays_) {
+    if (!seen.insert(entry).second) continue;
+    ModifiedDatum d;
+    d.id = entry->pointer;
+    d.image = overlay.bytes.data();
+    d.size = entry->size;
+    d.has_baseline = true;  // only the received ranges are meaningful
+    d.complete = overlay.valid.size() == 1 && overlay.valid[0].offset == 0 &&
+                 overlay.valid[0].len == entry->size;
+    d.dirty = overlay.valid;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Result<CacheManager::ModifiedDatum> CacheManager::modified_datum(
+    const LongPointer& id) const {
+  const AllocationEntry* entry = table_.find(id);
+  if (entry == nullptr) {
+    return not_found("modified_datum: " + id.to_string());
+  }
+  if (auto overlay = overlays_.find(entry); overlay != overlays_.end()) {
+    ModifiedDatum d;
+    d.id = entry->pointer;
+    d.image = overlay->second.bytes.data();
+    d.size = entry->size;
+    d.has_baseline = true;
+    d.complete = overlay->second.valid.size() == 1 &&
+                 overlay->second.valid[0].offset == 0 &&
+                 overlay->second.valid[0].len == entry->size;
+    d.dirty = overlay->second.valid;
+    return d;
+  }
+  bool on_dirty_page = false;
+  const std::uint32_t span = pages_spanned(*entry);
+  for (std::uint32_t i = 0; i < span && !on_dirty_page; ++i) {
+    on_dirty_page = pages_.info(entry->page + i).state == PageState::kDirty;
+  }
+  if (!on_dirty_page) {
+    return not_found("modified_datum: " + id.to_string() + " not modified");
+  }
+  ModifiedDatum d;
+  d.id = entry->pointer;
+  d.image = entry->local;
+  d.size = entry->size;
+  d.has_baseline = diff_entry(*entry, d.dirty);
+  if (!d.has_baseline) d.dirty.clear();
+  return d;
+}
+
+Status CacheManager::dirty_spanned_pages(const AllocationEntry& entry) {
+  const std::uint32_t span = pages_spanned(entry);
+  for (std::uint32_t i = 0; i < span; ++i) {
+    const PageIndex p = entry.page + i;
+    if (pages_.info(p).state == PageState::kClean) {
+      // Pre-write image first: it is the baseline later diffs run against.
+      if (!pages_.has_twin(p)) {
+        pages_.snapshot_twin(p, arena_.page_base(p), arena_.page_size());
+      }
+      SRPC_RETURN_IF_ERROR(pages_.transition(p, PageState::kDirty));
+      SRPC_RETURN_IF_ERROR(arena_.protect(p, PageProtection::kReadWrite));
+    }
+  }
+  return Status::ok();
 }
 
 Result<void*> CacheManager::prepare_incoming_dirty(const LongPointer& id) {
@@ -480,22 +628,61 @@ Result<void*> CacheManager::prepare_incoming_dirty(const LongPointer& id) {
     entry = table_.find(id);
   }
   if (is_resident(entry->local)) {
-    // Overwrite in place; the whole page joins the modified data set.
-    const std::uint32_t span = pages_spanned(*entry);
-    for (std::uint32_t i = 0; i < span; ++i) {
-      const PageIndex p = entry->page + i;
-      if (pages_.info(p).state == PageState::kClean) {
-        SRPC_RETURN_IF_ERROR(pages_.transition(p, PageState::kDirty));
-        SRPC_RETURN_IF_ERROR(arena_.protect(p, PageProtection::kReadWrite));
-      }
-    }
+    // Overwrite in place; the page joins the modified data set.
+    SRPC_RETURN_IF_ERROR(dirty_spanned_pages(*entry));
     return static_cast<void*>(entry->local);
   }
   // Not resident: hold the value as an overlay, applied when (and if) the
-  // page is filled; collect_modified() forwards it meanwhile.
-  auto& bytes = overlays_[entry];
-  bytes.assign(entry->size, 0);
-  return static_cast<void*>(bytes.data());
+  // page is filled; collect_modified() forwards it meanwhile. A full image
+  // arrives, so the whole overlay is valid.
+  Overlay& overlay = overlays_[entry];
+  overlay.bytes.assign(entry->size, 0);
+  overlay.valid.assign(1, ByteRange{0, entry->size});
+  return static_cast<void*>(overlay.bytes.data());
+}
+
+Status CacheManager::apply_incoming_delta(const LongPointer& id,
+                                          std::span<const ByteRange> ranges,
+                                          const std::uint8_t* bytes) {
+  const AllocationEntry* entry = table_.find(id);
+  if (entry == nullptr) {
+    const TypeId type = id.type;
+    if (type == kInvalidTypeId) {
+      return invalid_argument("incoming delta with no type: " + id.to_string());
+    }
+    auto layout = layouts_.layout_of(arch_, type);
+    if (!layout) return layout.status();
+    auto placed = place_lazy(id, layout.value()->size, layout.value()->align);
+    if (!placed) return placed.status();
+    entry = table_.find(id);
+  }
+  if (!ranges.empty() && ranges.back().end() > entry->size) {
+    return protocol_error("delta range past the end of " + id.to_string());
+  }
+  if (is_resident(entry->local)) {
+    SRPC_RETURN_IF_ERROR(dirty_spanned_pages(*entry));
+    const std::uint8_t* src = bytes;
+    for (const ByteRange& r : ranges) {
+      std::memcpy(entry->local + r.offset, src, r.len);
+      src += r.len;
+    }
+    return Status::ok();
+  }
+  // Non-resident: accumulate on the overlay and remember which ranges are
+  // real, so a later fill only applies received bytes over fetched content.
+  Overlay& overlay = overlays_[entry];
+  if (overlay.bytes.size() != entry->size) {
+    overlay.bytes.assign(entry->size, 0);
+    overlay.valid.clear();
+  }
+  const std::uint8_t* src = bytes;
+  for (const ByteRange& r : ranges) {
+    std::memcpy(overlay.bytes.data() + r.offset, src, r.len);
+    src += r.len;
+    overlay.valid.push_back(r);
+  }
+  merge_ranges(overlay.valid);
+  return Status::ok();
 }
 
 void CacheManager::invalidate_all() {

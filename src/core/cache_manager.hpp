@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/byte_range.hpp"
 #include "common/ids.hpp"
 #include "common/status.hpp"
 #include "core/graph_payload.hpp"
@@ -157,11 +158,44 @@ class CacheManager final : public FaultHandler {
   // cache mutation.
   [[nodiscard]] std::vector<ModifiedObject> collect_modified() const;
 
+  // One modified object with sub-page dirty information. `dirty` holds the
+  // merged byte ranges (object-relative) that differ from the coherent
+  // baseline; when `has_baseline` is false the page was born dirty (local
+  // allocation) or its twin is missing, and the whole image must travel.
+  struct ModifiedDatum {
+    LongPointer id;
+    const std::uint8_t* image = nullptr;  // readable local-layout bytes
+    std::uint32_t size = 0;
+    bool has_baseline = false;
+    // False for a partially received overlay: bytes outside `dirty` are
+    // placeholders, so the object must never be shipped as a full image.
+    bool complete = true;
+    std::vector<ByteRange> dirty;  // merged; meaningful iff has_baseline
+  };
+
+  // Delta-aware modified data set: slot entries are diffed against their
+  // pages' twin snapshots; overlays report their valid (received) ranges.
+  // Images stay valid until the next cache mutation.
+  [[nodiscard]] std::vector<ModifiedDatum> collect_modified_deltas() const;
+
+  // The ModifiedDatum for one object currently in the modified set, or
+  // NOT_FOUND if it is neither on a dirty page nor an overlay.
+  Result<ModifiedDatum> modified_datum(const LongPointer& id) const;
+
   // Destination for one incoming modified object (always overwrites: the
   // sender was the active thread). Resident -> the slot (page goes dirty);
   // non-resident -> a pending overlay applied at fill time; unknown -> a
   // freshly allocated location plus overlay.
   Result<void*> prepare_incoming_dirty(const LongPointer& id);
+
+  // Applies one incoming MODIFIED_DELTA entry: `bytes` holds the range
+  // payloads concatenated in order. Resident targets are patched in place
+  // (pages go dirty, twins snapshotted first); non-resident and unknown
+  // targets accumulate the ranges on a pending overlay whose valid-range
+  // set remembers which bytes are real.
+  Status apply_incoming_delta(const LongPointer& id,
+                              std::span<const ByteRange> ranges,
+                              const std::uint8_t* bytes);
 
   // --- session teardown -----------------------------------------------------
 
@@ -178,12 +212,16 @@ class CacheManager final : public FaultHandler {
   [[nodiscard]] PageState page_state(PageIndex page) const {
     return pages_.info(page).state;
   }
+  [[nodiscard]] bool page_has_twin(PageIndex page) const {
+    return pages_.has_twin(page);
+  }
   [[nodiscard]] std::uint64_t closure_bytes() const noexcept {
     return options_.closure_bytes;
   }
-  void set_closure_bytes(std::uint64_t bytes) noexcept {
-    options_.closure_bytes = bytes;
-  }
+  // Rejects a budget larger than the arena (it could never be honoured and
+  // usually means a units mistake). Zero is legal: it disables eager
+  // closures and transfers exactly the faulted data.
+  Status set_closure_bytes(std::uint64_t bytes);
 
  private:
   struct Cursor {
@@ -212,6 +250,12 @@ class CacheManager final : public FaultHandler {
   Status finish_fill_pages();
 
   Status make_writable(PageIndex page);
+  // Clean -> dirty for every resident page `entry` spans, snapshotting each
+  // page's twin first (the pre-write image is the delta baseline).
+  Status dirty_spanned_pages(const AllocationEntry& entry);
+  // Appends the ranges of `entry`'s image differing from the spanned pages'
+  // twins. False if a spanned dirty page has no twin (born-dirty data).
+  bool diff_entry(const AllocationEntry& entry, std::vector<ByteRange>& out) const;
   [[nodiscard]] bool is_fill_open(PageIndex page) const;
   std::uint32_t pages_spanned(const AllocationEntry& e) const;
 
@@ -226,10 +270,18 @@ class CacheManager final : public FaultHandler {
   CacheOptions options_;
   PageFetcher& fetcher_;
 
+  // A pending value for a non-resident slot. `valid` records which byte
+  // ranges of `bytes` were actually received (a delta can populate an
+  // overlay partially); only those are copied onto the page at fill time.
+  struct Overlay {
+    std::vector<std::uint8_t> bytes;
+    std::vector<ByteRange> valid;  // merged
+  };
+
   PageArena arena_;
   PageTable pages_;
   DataAllocationTable table_;
-  std::unordered_map<const AllocationEntry*, std::vector<std::uint8_t>> overlays_;
+  std::unordered_map<const AllocationEntry*, Overlay> overlays_;
 
   std::unordered_map<SpaceId, Cursor> lazy_cursors_;
   Cursor alloc_cursor_;       // born-resident (extended_malloc) chain

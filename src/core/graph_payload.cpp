@@ -160,6 +160,15 @@ Status encode_graph_payload(const ValueCodec& codec, const ArchModel& arch,
     }
   }
 
+  // Size the output once up front: large payloads (closures, modified sets)
+  // otherwise regrow the buffer repeatedly mid-encode.
+  std::uint64_t estimate = 24;  // header fields
+  for (const auto& [type, n] : type_counts) {
+    auto per_object = graph_object_wire_size(codec, type);
+    if (per_object) estimate += per_object.value() * n;
+  }
+  enc.reserve(estimate);
+
   enc.put_u32(space);
   enc.put_u32(wide ? 1 : 0);
   enc.put_u64(base);

@@ -1,7 +1,9 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
+#include <set>
 
 #include "common/logging.hpp"
 #include "core/graph_payload.hpp"
@@ -27,8 +29,9 @@ namespace srpc {
 //   DEREF       long pointer
 //   DEREF_REPLY canonical value bytes
 //   ERROR       code u32 | message string
-// where modified-set and closures are both "count u32 | count x graph
-// payload" sections.
+// where closures are "count u32 | count x graph payload" sections and
+// modified-set is either that same legacy layout or the MODIFIED_DELTA
+// format (rpc/wire.hpp), auto-detected by its leading magic.
 // ---------------------------------------------------------------------------
 
 Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
@@ -36,7 +39,8 @@ Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
                  HostTypeMap& host_types, Transport& transport, SimNetwork* sim,
                  CacheOptions cache_options,
                  std::function<std::vector<SpaceId>()> directory,
-                 TimeoutConfig timeouts)
+                 TimeoutConfig timeouts,
+                 std::function<std::uint32_t(SpaceId)> peer_caps)
     : self_(self),
       name_(std::move(name)),
       arch_(arch),
@@ -46,6 +50,8 @@ Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
       host_types_(host_types),
       sim_(sim),
       directory_(std::move(directory)),
+      peer_caps_(std::move(peer_caps)),
+      pointer_index_(registry, layouts, arch),
       endpoint_(self, transport, mailbox_),
       heap_(registry, layouts, arch, self),
       cache_(registry, layouts, arch, self, cache_options, *this),
@@ -191,43 +197,321 @@ class IncorporateSink final : public GraphSink {
 
 }  // namespace
 
-Status Runtime::attach_modified_set(ByteBuffer& out) {
-  const auto modified = cache_.collect_modified();
-  std::map<SpaceId, std::vector<GraphObjectRef>> groups;
-  for (const auto& m : modified) {
-    if (is_provisional_address(m.id.address)) {
-      return internal_error("provisional identity in modified set: " +
-                            m.id.to_string() + " (alloc batch not flushed?)");
-    }
-    groups[m.id.space].push_back(GraphObjectRef{m.id.address, m.id.type, m.image});
+void Runtime::note_home_update(const LongPointer& id) {
+  if (!session_updates_.insert(id).second) return;
+  // First remote update this session: the current heap bytes are the
+  // baseline every later delta is expressed against. The caller has not
+  // applied the incoming value yet.
+  const ManagedHeap::Record* record = heap_.find_base(id.address);
+  if (record != nullptr) {
+    home_twins_[id].assign(record->base, record->base + record->size);
   }
-  // Home data remotely modified this session travels too, with its CURRENT
-  // heap bytes (which also picks up any later home-side edits).
-  for (auto it = session_updates_.begin(); it != session_updates_.end();) {
-    const ManagedHeap::Record* record = heap_.find_base(it->address);
-    if (record == nullptr) {
-      it = session_updates_.erase(it);  // freed since: drop from the set
+}
+
+CacheManager::ModifiedDatum Runtime::home_modified_datum(
+    const LongPointer& id, const ManagedHeap::Record& record) const {
+  CacheManager::ModifiedDatum d;
+  d.id = LongPointer{self_, id.address, record.type};
+  d.image = record.base;
+  d.size = static_cast<std::uint32_t>(record.size);
+  const auto twin = home_twins_.find(id);
+  if (twin != home_twins_.end() && twin->second.size() == record.size) {
+    d.has_baseline = true;
+    diff_ranges(record.base, twin->second.data(),
+                static_cast<std::uint32_t>(record.size), 0,
+                /*merge_gap=*/8, d.dirty);
+  }
+  return d;
+}
+
+void Runtime::clear_ship_state() {
+  ship_.clear();
+  home_twins_.clear();
+  session_epoch_ = 0;
+}
+
+void Runtime::commit_shipped(SpaceId dest,
+                             const std::vector<ShippedRecord>& shipped) {
+  for (const ShippedRecord& s : shipped) {
+    ship_[s.id].peer_fingerprint[dest] = s.fingerprint;
+  }
+}
+
+Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
+                                    bool write_back, std::size_t* encoded,
+                                    std::vector<ShippedRecord>* shipped) {
+  ++session_epoch_;
+  const bool dest_takes_deltas =
+      modified_deltas_enabled_ && peer_caps_ &&
+      (peer_caps_(dest) & kCapModifiedDelta) != 0;
+
+  if (!dest_takes_deltas) {
+    // Non-capable peer: the original page-granular protocol. Every object
+    // on a dirty page travels as a full image — no baseline diffing, no
+    // cross-hop suppression — so both sides agree on what a modified set
+    // means without the MODIFIED_DELTA capability.
+    std::map<SpaceId, std::vector<GraphObjectRef>> groups;
+    std::size_t emitted = 0;
+    for (const auto& m : cache_.collect_modified()) {
+      if (write_back && m.id.space != dest) continue;
+      if (is_provisional_address(m.id.address)) {
+        return internal_error("provisional identity in modified set: " +
+                              m.id.to_string() + " (alloc batch not flushed?)");
+      }
+      groups[m.id.space].push_back(GraphObjectRef{m.id.address, m.id.type, m.image});
+      ++emitted;
+    }
+    if (!write_back) {
+      for (auto it = session_updates_.begin(); it != session_updates_.end();) {
+        const ManagedHeap::Record* record = heap_.find_base(it->address);
+        if (record == nullptr) {
+          it = session_updates_.erase(it);  // freed since: drop from the set
+          continue;
+        }
+        groups[self_].push_back(GraphObjectRef{it->address, record->type, record->base});
+        ++emitted;
+        ++it;
+      }
+    }
+    xdr::Encoder enc(out);
+    const std::size_t before = out.size();
+    enc.put_u32(static_cast<std::uint32_t>(groups.size()));
+    for (const auto& [space, refs] : groups) {
+      SRPC_RETURN_IF_ERROR(
+          encode_graph_payload(codec_, arch_, space, refs, *this, out));
+    }
+    stats_.modified_bytes_shipped += out.size() - before;
+    if (encoded != nullptr) *encoded = emitted;
+    return Status::ok();
+  }
+
+  // Gather the candidate set: the cache's modified data, plus (except in
+  // write-back mode, where every datum is already expressed against its
+  // home) our own home data that remote activity modified this session.
+  std::vector<CacheManager::ModifiedDatum> candidates;
+  for (auto& d : cache_.collect_modified_deltas()) {
+    if (write_back && d.id.space != dest) continue;
+    candidates.push_back(std::move(d));
+  }
+  if (!write_back) {
+    for (auto it = session_updates_.begin(); it != session_updates_.end();) {
+      const ManagedHeap::Record* record = heap_.find_base(it->address);
+      if (record == nullptr) {
+        it = session_updates_.erase(it);  // freed since: drop from the set
+        continue;
+      }
+      candidates.push_back(home_modified_datum(*it, *record));
+      ++it;
+    }
+  }
+
+  struct DeltaItem {
+    LongPointer id;
+    std::uint64_t epoch = 0;
+    std::vector<ByteRange> ranges;
+    const std::uint8_t* image = nullptr;
+  };
+  std::map<SpaceId, std::vector<GraphObjectRef>> groups;
+  std::vector<DeltaItem> deltas;
+  std::size_t emitted = 0;
+
+  for (auto& d : candidates) {
+    if (is_provisional_address(d.id.address)) {
+      return internal_error("provisional identity in modified set: " +
+                            d.id.to_string() + " (alloc batch not flushed?)");
+    }
+    ShipState& st = ship_[d.id];
+    // Effective ranges: what differs from the baseline now, plus whatever
+    // was already shipped (receivers hold those bytes; a revert to the
+    // baseline value must still travel).
+    std::vector<ByteRange> eff;
+    if (d.has_baseline) {
+      eff = d.dirty;
+      eff.insert(eff.end(), st.ever_shipped.begin(), st.ever_shipped.end());
+      merge_ranges(eff);
+      if (eff.empty()) continue;  // dirtied page, identical bytes: nothing new
+    } else {
+      eff.assign(1, ByteRange{0, d.size});
+    }
+    const std::uint64_t fp = fingerprint_ranges(d.image, eff);
+    if (fp != st.fingerprint) {
+      st.fingerprint = fp;
+      st.epoch = session_epoch_;
+    }
+    if (const auto peer = st.peer_fingerprint.find(dest);
+        peer != st.peer_fingerprint.end() && peer->second == fp) {
+      ++stats_.deltas_skipped_by_epoch;  // dest already holds this content
       continue;
     }
-    groups[self_].push_back(GraphObjectRef{it->address, record->type, record->base});
-    ++it;
+
+    bool as_delta = dest_takes_deltas && d.has_baseline;
+    if (as_delta) {
+      // Raw ranges ship local images verbatim; swizzled local pointers are
+      // meaningless elsewhere, so pointer-touching deltas take the graph
+      // encoder instead.
+      auto pointer_bytes = pointer_index_.pointer_ranges(d.id.type);
+      if (!pointer_bytes) return pointer_bytes.status();
+      if (ranges_intersect(eff, pointer_bytes.value())) {
+        as_delta = false;
+      } else if (d.complete) {
+        // Full-image fallback: past this point the delta costs more wire
+        // than simply re-sending the object.
+        auto full_cost = graph_object_wire_size(codec_, d.id.type);
+        if (full_cost && modified_delta_wire_size(eff) >= full_cost.value()) {
+          as_delta = false;
+        }
+      }
+    }
+    if (!as_delta && !d.complete) {
+      // A partially received overlay cannot be composed into a full image.
+      // With world-uniform capability negotiation this only happens if
+      // deltas were toggled off mid-session; ship the delta regardless —
+      // every receiver in this codebase auto-detects the format.
+      SRPC_WARN << name_ << ": partial overlay for " << d.id.to_string()
+                << " forced into delta format";
+      as_delta = true;
+    }
+
+    if (as_delta) {
+      deltas.push_back(DeltaItem{d.id, st.epoch, eff, d.image});
+    } else {
+      groups[d.id.space].push_back(GraphObjectRef{d.id.address, d.id.type, d.image});
+    }
+    ++emitted;
+    if (shipped != nullptr) shipped->push_back(ShippedRecord{d.id, fp});
+    if (d.has_baseline) {
+      st.ever_shipped.insert(st.ever_shipped.end(), eff.begin(), eff.end());
+      merge_ranges(st.ever_shipped);
+    } else {
+      st.ever_shipped.assign(1, ByteRange{0, d.size});
+    }
   }
+
   xdr::Encoder enc(out);
-  enc.put_u32(static_cast<std::uint32_t>(groups.size()));
-  for (const auto& [space, refs] : groups) {
-    SRPC_RETURN_IF_ERROR(
-        encode_graph_payload(codec_, arch_, space, refs, *this, out));
+  const std::size_t before = out.size();
+  if (deltas.empty()) {
+    // Every surviving candidate fell back to a full image (small objects,
+    // pointer-touching writes): the legacy layout says it in fewer bytes.
+    enc.put_u32(static_cast<std::uint32_t>(groups.size()));
+    for (const auto& [space, refs] : groups) {
+      SRPC_RETURN_IF_ERROR(
+          encode_graph_payload(codec_, arch_, space, refs, *this, out));
+    }
+  } else {
+    std::uint64_t delta_wire = 0;
+    for (const DeltaItem& item : deltas) {
+      delta_wire += modified_delta_wire_size(item.ranges);
+    }
+    enc.reserve(16 + delta_wire);
+    enc.put_u32(kModifiedDeltaMagic);
+    enc.put_u32(0);  // flags, reserved
+    enc.put_u32(static_cast<std::uint32_t>(groups.size()));
+    for (const auto& [space, refs] : groups) {
+      SRPC_RETURN_IF_ERROR(
+          encode_graph_payload(codec_, arch_, space, refs, *this, out));
+    }
+    enc.put_u32(static_cast<std::uint32_t>(deltas.size()));
+    for (const DeltaItem& item : deltas) {
+      encode_modified_delta(enc, item.id, item.epoch, item.ranges, item.image);
+    }
+    stats_.delta_bytes_shipped += delta_wire;
   }
+  stats_.modified_bytes_shipped += out.size() - before;
+  if (encoded != nullptr) *encoded = emitted;
   return Status::ok();
 }
 
-Status Runtime::apply_modified_set(ByteBuffer& in) {
+void Runtime::observe_incoming(const LongPointer& id, SpaceId from,
+                               std::uint64_t epoch) {
+  ShipState& st = ship_[id];
+  if (epoch > st.epoch) st.epoch = epoch;
+  // Fingerprint our own post-application image the same way
+  // attach_modified_set() will, and credit `from` with it: the sender knows
+  // exactly what it sent, so echoing it back is pure waste.
+  CacheManager::ModifiedDatum d;
+  if (id.space == self_) {
+    const ManagedHeap::Record* record = heap_.find_base(id.address);
+    if (record == nullptr) return;  // dropped (freed at home)
+    d = home_modified_datum(id, *record);
+  } else {
+    auto datum = cache_.modified_datum(id);
+    if (!datum) return;  // e.g. skipped object that never landed
+    d = std::move(datum).value();
+  }
+  std::vector<ByteRange> eff;
+  if (d.has_baseline) {
+    eff = d.dirty;
+    eff.insert(eff.end(), st.ever_shipped.begin(), st.ever_shipped.end());
+    merge_ranges(eff);
+  } else {
+    eff.assign(1, ByteRange{0, d.size});
+  }
+  const std::uint64_t fp = eff.empty() ? 0 : fingerprint_ranges(d.image, eff);
+  st.fingerprint = fp;
+  st.peer_fingerprint[from] = fp;
+}
+
+Status Runtime::apply_delta_entry(const ModifiedDelta& delta) {
+  if (delta.id.space == self_) {
+    const ManagedHeap::Record* record = heap_.find_base(delta.id.address);
+    if (record == nullptr) {
+      // Delta for data freed at home (free-while-cached): tolerated,
+      // dropped — same policy as the graph-payload path.
+      SRPC_WARN << name_ << ": dropping delta for unknown home address "
+                << delta.id.to_string();
+      return Status::ok();
+    }
+    if (!delta.ranges.empty() && delta.ranges.back().end() > record->size) {
+      return protocol_error("delta range past the end of home datum " +
+                            delta.id.to_string());
+    }
+    note_home_update(delta.id);  // snapshots the pre-application baseline
+    const std::uint8_t* src = delta.bytes.data();
+    for (const ByteRange& r : delta.ranges) {
+      std::memcpy(record->base + r.offset, src, r.len);
+      src += r.len;
+    }
+    return Status::ok();
+  }
+  return cache_.apply_incoming_delta(delta.id, delta.ranges, delta.bytes.data());
+}
+
+Status Runtime::apply_modified_set(ByteBuffer& in, SpaceId from) {
   xdr::Decoder dec(in);
-  auto count = dec.get_u32();
-  if (!count) return count.status();
-  for (std::uint32_t i = 0; i < count.value(); ++i) {
-    IncorporateSink sink(*this);
-    SRPC_RETURN_IF_ERROR(decode_graph_payload(codec_, arch_, in, sink));
+  auto first = dec.get_u32();
+  if (!first) return first.status();
+
+  std::vector<std::pair<LongPointer, std::uint64_t>> received;  // id, epoch
+  auto apply_payloads = [&](std::uint32_t count) -> Status {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      IncorporateSink sink(*this);
+      std::vector<LongPointer> ids;
+      SRPC_RETURN_IF_ERROR(decode_graph_payload(codec_, arch_, in, sink, &ids));
+      for (const LongPointer& id : ids) received.emplace_back(id, 0);
+    }
+    return Status::ok();
+  };
+
+  if (first.value() == kModifiedDeltaMagic) {
+    auto flags = dec.get_u32();
+    if (!flags) return flags.status();
+    auto nfull = dec.get_u32();
+    if (!nfull) return nfull.status();
+    SRPC_RETURN_IF_ERROR(apply_payloads(nfull.value()));
+    auto ndelta = dec.get_u32();
+    if (!ndelta) return ndelta.status();
+    for (std::uint32_t i = 0; i < ndelta.value(); ++i) {
+      auto delta = decode_modified_delta(dec);
+      if (!delta) return delta.status();
+      SRPC_RETURN_IF_ERROR(apply_delta_entry(delta.value()));
+      received.emplace_back(delta.value().id, delta.value().epoch);
+    }
+  } else {
+    SRPC_RETURN_IF_ERROR(apply_payloads(first.value()));
+  }
+
+  for (const auto& [id, epoch] : received) {
+    observe_incoming(id, from, epoch);
   }
   return Status::ok();
 }
@@ -477,7 +761,10 @@ Result<ByteBuffer> Runtime::call_raw(SpaceId target, const std::string& proc,
   msg.seq = endpoint_.next_seq();
   xdr::Encoder enc(msg.payload);
   enc.put_string(proc);
-  SRPC_RETURN_IF_ERROR(attach_modified_set(msg.payload));
+  std::vector<ShippedRecord> shipped;
+  SRPC_RETURN_IF_ERROR(attach_modified_set(msg.payload, target,
+                                           /*write_back=*/false,
+                                           /*encoded=*/nullptr, &shipped));
   SRPC_RETURN_IF_ERROR(attach_closures(msg.payload, pointer_roots));
   msg.payload.append(args.view());
 
@@ -493,8 +780,10 @@ Result<ByteBuffer> Runtime::call_raw(SpaceId target, const std::string& proc,
   if (reply.value().type == MessageType::kError) {
     return decode_error(reply.value());
   }
+  // The callee saw (and now holds) everything we shipped.
+  commit_shipped(target, shipped);
   ByteBuffer payload = std::move(reply.value().payload);
-  SRPC_RETURN_IF_ERROR(apply_modified_set(payload));
+  SRPC_RETURN_IF_ERROR(apply_modified_set(payload, target));
   SRPC_RETURN_IF_ERROR(apply_closures(payload));
   // Cursor now rests at the marshalled results.
   return payload;
@@ -517,7 +806,7 @@ Status Runtime::serve_call(Message msg) {
   if (!proc) {
     return send_error(msg.from, msg.session, msg.seq, proc.status());
   }
-  Status applied = apply_modified_set(msg.payload);
+  Status applied = apply_modified_set(msg.payload, msg.from);
   if (!applied.is_ok()) {
     return send_error(msg.from, msg.session, msg.seq,
                       Status(applied.code(), "modified-set: " + applied.message()));
@@ -553,14 +842,19 @@ Status Runtime::serve_call(Message msg) {
   reply.to = msg.from;
   reply.session = msg.session;
   reply.seq = msg.seq;
-  Status built = attach_modified_set(reply.payload);
+  std::vector<ShippedRecord> shipped;
+  Status built = attach_modified_set(reply.payload, msg.from,
+                                     /*write_back=*/false,
+                                     /*encoded=*/nullptr, &shipped);
   if (built.is_ok()) built = attach_closures(reply.payload, result_roots);
   session_ = previous_session;
   if (!built.is_ok()) {
     return send_error(msg.from, msg.session, msg.seq, built);
   }
   reply.payload.append(results.view());
-  return endpoint_.send(std::move(reply));
+  Status sent = endpoint_.send(std::move(reply));
+  if (sent.is_ok()) commit_shipped(msg.from, shipped);
+  return sent;
 }
 
 Status Runtime::serve_fetch(Message msg) {
@@ -651,7 +945,7 @@ Status Runtime::serve_alloc_batch(Message msg) {
 
 Status Runtime::serve_writeback(Message msg) {
   ++stats_.writebacks_served;
-  Status applied = apply_modified_set(msg.payload);
+  Status applied = apply_modified_set(msg.payload, msg.from);
   if (!applied.is_ok()) {
     return send_error(msg.from, msg.session, msg.seq, applied);
   }
@@ -670,6 +964,7 @@ Status Runtime::serve_invalidate(Message msg) {
     cache_.invalidate_all();
     allocator_.clear();
     session_updates_.clear();
+    clear_ship_state();
     cache_session_ = kNoSession;
   }
   // The session is over: refuse any straggler (delayed or replayed
@@ -732,29 +1027,34 @@ Status Runtime::end_session() {
   }
   SRPC_RETURN_IF_ERROR(flush_alloc_batches());
 
-  // Examine the modified data set and write each datum back to its home.
-  const auto modified = cache_.collect_modified();
-  std::map<SpaceId, std::vector<GraphObjectRef>> groups;
-  for (const auto& m : modified) {
-    groups[m.id.space].push_back(GraphObjectRef{m.id.address, m.id.type, m.image});
+  // Examine the modified data set and write each datum back to its home,
+  // one coalesced WRITE_BACK batch per home peer. Data whose final content
+  // the home already observed (epoch/fingerprint match from the last hop)
+  // is skipped entirely; a home with nothing left to learn gets no message.
+  std::set<SpaceId> homes;
+  for (const auto& d : cache_.collect_modified_deltas()) {
+    if (d.id.space != self_) homes.insert(d.id.space);
   }
-  for (const auto& [home, refs] : groups) {
-    if (home == self_) continue;  // our own data is already at home
+  for (const SpaceId home : homes) {
     Message msg;
     msg.type = MessageType::kWriteBack;
     msg.to = home;
     msg.session = session_;
     msg.seq = endpoint_.next_seq();
-    xdr::Encoder enc(msg.payload);
-    enc.put_u32(1);
-    SRPC_RETURN_IF_ERROR(
-        encode_graph_payload(codec_, arch_, home, refs, *this, msg.payload));
-    // Write-back applies final values by overwrite, so replaying the same
-    // set is idempotent and a lost ack is recovered by retransmission.
+    std::size_t encoded = 0;
+    std::vector<ShippedRecord> shipped;
+    SRPC_RETURN_IF_ERROR(attach_modified_set(msg.payload, home,
+                                             /*write_back=*/true, &encoded,
+                                             &shipped));
+    if (encoded == 0) continue;  // home already holds the final content
+    // Write-back applies final values by overwrite (deltas are absolute
+    // bytes against the fetch-time baseline), so replaying the same set is
+    // idempotent and a lost ack is recovered by retransmission.
     auto ack = endpoint_.roundtrip(std::move(msg), MessageType::kWriteBackAck,
                                    nullptr, timeouts_, /*idempotent=*/true);
     if (!ack) return ack.status();
     if (ack.value().type == MessageType::kError) return decode_error(ack.value());
+    commit_shipped(home, shipped);
   }
 
   // Multicast the invalidation to every space concerned with the session.
@@ -774,6 +1074,7 @@ Status Runtime::end_session() {
   cache_.invalidate_all();
   allocator_.clear();
   session_updates_.clear();
+  clear_ship_state();
   cache_session_ = kNoSession;
   session_ = kNoSession;
   return Status::ok();
@@ -820,6 +1121,7 @@ Status Runtime::abort_session() {
   // is untouched — only session-scoped state dies.
   cache_.invalidate_all();
   session_updates_.clear();
+  clear_ship_state();
   cache_session_ = kNoSession;
   session_ = kNoSession;
   return Status::ok();

@@ -28,11 +28,13 @@
 #include "common/status.hpp"
 #include "core/cache_manager.hpp"
 #include "core/closure.hpp"
+#include "core/modified_set.hpp"
 #include "mem/managed_heap.hpp"
 #include "mem/remote_allocator.hpp"
 #include "net/sim_network.hpp"
 #include "rpc/rpc_endpoint.hpp"
 #include "rpc/service_registry.hpp"
+#include "rpc/wire.hpp"
 #include "types/host_type_map.hpp"
 #include "types/value_codec.hpp"
 
@@ -51,6 +53,12 @@ struct RuntimeStats {
   std::uint64_t duplicate_requests_absorbed = 0;  // replayed CALL/ALLOC_BATCH
   std::uint64_t dead_session_rejections = 0;    // traffic from tombstoned sessions
   std::uint64_t sessions_aborted = 0;
+  // Delta-encoded modified sets (PROTOCOL.md "MODIFIED_DELTA").
+  std::uint64_t modified_bytes_shipped = 0;   // wire bytes of every modified-set
+                                              // section this runtime attached
+  std::uint64_t delta_bytes_shipped = 0;      // of which delta-format entries
+  std::uint64_t deltas_skipped_by_epoch = 0;  // objects omitted because the
+                                              // destination already held them
 };
 
 class Runtime final : public PageFetcher,
@@ -60,12 +68,16 @@ class Runtime final : public PageFetcher,
   // `sim` may be null (real-socket transport): fault costs then show up as
   // real time instead of virtual time. `directory` lists every space in the
   // world for the session-end invalidation multicast.
+  // `peer_caps` reports the capability bits (rpc/wire.hpp kCap*) a peer
+  // accepts; empty means "no optional features" and keeps every payload in
+  // the legacy format.
   Runtime(SpaceId self, std::string name, const ArchModel& arch,
           TypeRegistry& registry, const LayoutEngine& layouts,
           HostTypeMap& host_types, Transport& transport, SimNetwork* sim,
           CacheOptions cache_options,
           std::function<std::vector<SpaceId>()> directory,
-          TimeoutConfig timeouts = {});
+          TimeoutConfig timeouts = {},
+          std::function<std::uint32_t(SpaceId)> peer_caps = {});
   ~Runtime() override = default;
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -89,10 +101,19 @@ class Runtime final : public PageFetcher,
   [[nodiscard]] Mailbox& mailbox() noexcept { return mailbox_; }
   [[nodiscard]] RpcEndpoint& endpoint() noexcept { return endpoint_; }
   [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = RuntimeStats{}; }
 
   // Deadline/retry policy for every request this runtime initiates.
   [[nodiscard]] const TimeoutConfig& timeouts() const noexcept { return timeouts_; }
   void set_timeouts(const TimeoutConfig& timeouts) noexcept { timeouts_ = timeouts; }
+
+  // Local kill switch for delta-encoded modified sets (benchmarks ablate
+  // with it). Off, every modified object ships as a full graph payload even
+  // to delta-capable peers. Flip only between sessions.
+  [[nodiscard]] bool modified_deltas() const noexcept {
+    return modified_deltas_enabled_;
+  }
+  void set_modified_deltas(bool on) noexcept { modified_deltas_enabled_ = on; }
 
   // --- worker loop ------------------------------------------------------------
 
@@ -183,8 +204,10 @@ class Runtime final : public PageFetcher,
   // copies that only the travelling set can refresh (paper §3.4: "the
   // modified data set is passed among the address spaces with the
   // transition of thread activation ... each address space in the session
-  // can always see the correct working set").
-  void note_home_update(const LongPointer& id) { session_updates_.insert(id); }
+  // can always see the correct working set"). The heap bytes at the moment
+  // of the first note are snapshotted as the datum's delta baseline, so
+  // call this *before* applying the incoming value.
+  void note_home_update(const LongPointer& id);
 
  private:
   Status dispatch(Message msg);
@@ -210,13 +233,49 @@ class Runtime final : public PageFetcher,
   // unswizzled while provisional identities are outstanding).
   Status flush_alloc_batches();
 
-  // Appends "count + graph payloads" sections.
-  Status attach_modified_set(ByteBuffer& out);
+  // One (id, fingerprint) pair per object encoded into an outgoing
+  // modified-set section; committed into per-peer ship state only once the
+  // transfer is known to have reached `dest` (see commit_shipped).
+  struct ShippedRecord {
+    LongPointer id;
+    std::uint64_t fingerprint = 0;
+  };
+
+  // Appends the modified-set section for `dest` — legacy "count + graph
+  // payloads" or the MODIFIED_DELTA format when `dest` is capable. With
+  // `write_back` set, only objects homed at `dest` are considered and
+  // travelling home updates are excluded. `encoded` (optional) counts the
+  // objects actually written; `shipped` (optional) collects the records to
+  // commit after a successful transfer.
+  Status attach_modified_set(ByteBuffer& out, SpaceId dest,
+                             bool write_back = false,
+                             std::size_t* encoded = nullptr,
+                             std::vector<ShippedRecord>* shipped = nullptr);
   Status attach_closures(ByteBuffer& out, std::span<const std::uint64_t> roots);
 
-  // Consumes "count + graph payloads" sections.
-  Status apply_modified_set(ByteBuffer& in);
+  // Records that `dest` now holds the listed content.
+  void commit_shipped(SpaceId dest, const std::vector<ShippedRecord>& shipped);
+
+  // Consumes a modified-set section (either format, auto-detected) sent by
+  // `from`, then refreshes ship state: `from` knows everything it sent.
+  Status apply_modified_set(ByteBuffer& in, SpaceId from);
   Status apply_closures(ByteBuffer& in);
+
+  // Applies one MODIFIED_DELTA entry to the heap (home data) or cache.
+  Status apply_delta_entry(const ModifiedDelta& delta);
+
+  // Builds the ModifiedDatum view of a home-heap object (diffed against its
+  // session twin when one exists).
+  CacheManager::ModifiedDatum home_modified_datum(
+      const LongPointer& id, const ManagedHeap::Record& record) const;
+
+  // Refreshes an object's ship state after an incoming transfer from
+  // `from`: recomputes the fingerprint over our post-application image.
+  void observe_incoming(const LongPointer& id, SpaceId from, std::uint64_t epoch);
+
+  // Drops all per-session delta/epoch state (session end, abort,
+  // invalidation).
+  void clear_ship_state();
 
   Status send_error(SpaceId to, SessionId session, std::uint64_t seq, const Status& error);
   static Status decode_error(Message& msg);
@@ -230,6 +289,9 @@ class Runtime final : public PageFetcher,
   HostTypeMap& host_types_;
   SimNetwork* sim_;
   std::function<std::vector<SpaceId>()> directory_;
+  std::function<std::uint32_t(SpaceId)> peer_caps_;
+  PointerRangeIndex pointer_index_;
+  bool modified_deltas_enabled_ = true;
 
   Mailbox mailbox_;
   RpcEndpoint endpoint_;
@@ -257,6 +319,14 @@ class Runtime final : public PageFetcher,
   // Home data modified by remote activity this session; travels with every
   // outgoing modified set so stale caches elsewhere get refreshed.
   std::unordered_set<LongPointer, LongPointerHash> session_updates_;
+  // Baseline images of home data at the first remote update this session;
+  // what home_modified_datum() diffs against.
+  std::unordered_map<LongPointer, std::vector<std::uint8_t>, LongPointerHash>
+      home_twins_;
+  // Per-object epoch/fingerprint shipping records (session-scoped), and the
+  // monotonic hop counter that stamps outgoing deltas.
+  std::unordered_map<LongPointer, ShipState, LongPointerHash> ship_;
+  std::uint64_t session_epoch_ = 0;
   // The session whose data currently populates our cache. A CALL from a
   // *different* session while we still hold another session's cached data
   // is refused: the paper's model has one session at a time, and mixing

@@ -40,9 +40,19 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
     for (const auto& s : spaces_) ids.push_back(s->id());
     return ids;
   };
+  // Capability advertisement is evaluated per send, so a later create_space
+  // with a foreign ArchModel retracts the delta capability world-wide.
+  auto peer_caps = [this](SpaceId) -> std::uint32_t {
+    if (!options_.modified_deltas) return 0;
+    for (const auto& s : spaces_) {
+      if (!(s->runtime().arch() == spaces_.front()->runtime().arch())) return 0;
+    }
+    return kCapModifiedDelta;
+  };
   spaces_.push_back(std::make_unique<AddressSpace>(
       id, name, arch, registry_, layouts_, host_types_, transport, sim_.get(),
-      options_.cache, std::move(directory), options_.timeouts));
+      options_.cache, std::move(directory), options_.timeouts,
+      std::move(peer_caps)));
   AddressSpace& space = *spaces_.back();
 
   if (sim_) {

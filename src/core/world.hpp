@@ -34,6 +34,12 @@ struct WorldOptions {
   // Wraps the wire in a seedable FaultTransport decorator; arm it through
   // World::fault() to inject drop/duplicate/delay (soak and fault tests).
   bool fault_injection = false;
+  // Advertise the MODIFIED_DELTA capability so modified sets travel as
+  // byte-range deltas where possible. Effective only while every space in
+  // the world shares one architecture model (delta offsets are positions in
+  // the sender's local layout); mixed-arch worlds fall back to full graph
+  // payloads automatically.
+  bool modified_deltas = true;
 };
 
 class World {

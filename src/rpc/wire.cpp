@@ -15,7 +15,70 @@ bool valid_message_type(std::uint32_t t) noexcept {
   return t >= static_cast<std::uint32_t>(MessageType::kCall) &&
          t <= static_cast<std::uint32_t>(MessageType::kShutdown);
 }
+
+constexpr std::uint32_t kMaxDeltaRanges = 1U << 20;
 }  // namespace
+
+void encode_modified_delta(xdr::Encoder& enc, const LongPointer& id,
+                           std::uint64_t epoch, std::span<const ByteRange> ranges,
+                           const std::uint8_t* image) {
+  encode_long_pointer(enc, id);
+  enc.put_u64(epoch);
+  enc.put_u32(static_cast<std::uint32_t>(ranges.size()));
+  for (const ByteRange& r : ranges) {
+    enc.put_u32(r.offset);
+    enc.put_u32(r.len);
+    enc.put_opaque_fixed({image + r.offset, r.len});
+  }
+}
+
+std::uint64_t modified_delta_wire_size(
+    std::span<const ByteRange> ranges) noexcept {
+  std::uint64_t size = kLongPointerWireSize + 8 + 4;  // pointer, epoch, count
+  for (const ByteRange& r : ranges) {
+    size += 8 + ((r.len + 3ULL) & ~3ULL);  // header + padded payload
+  }
+  return size;
+}
+
+Result<ModifiedDelta> decode_modified_delta(xdr::Decoder& dec) {
+  ModifiedDelta d;
+  auto id = decode_long_pointer(dec);
+  if (!id) return id.status();
+  d.id = id.value();
+  auto epoch = dec.get_u64();
+  if (!epoch) return epoch.status();
+  d.epoch = epoch.value();
+  auto count = dec.get_u32();
+  if (!count) return count.status();
+  if (count.value() > kMaxDeltaRanges) {
+    return protocol_error("modified-delta range count " +
+                          std::to_string(count.value()));
+  }
+  d.ranges.reserve(count.value());
+  std::uint32_t prev_end = 0;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto offset = dec.get_u32();
+    if (!offset) return offset.status();
+    auto len = dec.get_u32();
+    if (!len) return len.status();
+    if (len.value() == 0) {
+      return protocol_error("modified-delta empty range");
+    }
+    if (i > 0 && offset.value() < prev_end) {
+      return protocol_error("modified-delta ranges out of order");
+    }
+    if (offset.value() + static_cast<std::uint64_t>(len.value()) > UINT32_MAX) {
+      return protocol_error("modified-delta range overflow");
+    }
+    auto bytes = dec.get_opaque_fixed(len.value());
+    if (!bytes) return bytes.status();
+    d.ranges.push_back(ByteRange{offset.value(), len.value()});
+    prev_end = offset.value() + len.value();
+    d.bytes.insert(d.bytes.end(), bytes.value().begin(), bytes.value().end());
+  }
+  return d;
+}
 
 void encode_frame(const Message& msg, ByteBuffer& out) {
   xdr::Encoder enc(out);

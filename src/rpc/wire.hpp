@@ -15,15 +15,68 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/byte_buffer.hpp"
+#include "common/byte_range.hpp"
 #include "common/status.hpp"
 #include "net/message.hpp"
+#include "swizzle/long_pointer.hpp"
 
 namespace srpc {
 
 inline constexpr std::uint32_t kFrameMagic = 0x53525043;  // "SRPC"
 inline constexpr std::size_t kFrameHeaderSize = 36;
+
+// --- MODIFIED_DELTA: delta-encoded modified sets (PROTOCOL.md) -------------
+//
+// The modified-set section of CALL/RETURN/WRITE_BACK payloads comes in two
+// formats, distinguished by the first word:
+//
+//   legacy  ngroups u32 | ngroups x graph payload          (full images)
+//   delta   magic u32 ('MDLT') | flags u32
+//           | nfull u32  | nfull x graph payload           (full images)
+//           | ndelta u32 | ndelta x modified-delta entry   (byte ranges)
+//
+// A modified-delta entry names one object and the byte ranges of its local
+// image modified since the receiver last saw it:
+//
+//   pointer  16 B   home identity (space u32 | address u64 | type u32)
+//   epoch    u64    sender's session epoch when these bytes last changed
+//   nranges  u32
+//   nranges x { offset u32 | len u32 | bytes (len, zero-padded to 4) }
+//
+// Receivers always understand both formats (the magic cannot collide with a
+// plausible group count); senders only emit the delta format to peers that
+// advertise kCapModifiedDelta — negotiated out of band by the World, which
+// grants the bit only when every space shares one architecture, since range
+// offsets are positions in the sender's native layout.
+
+inline constexpr std::uint32_t kModifiedDeltaMagic = 0x4D444C54;  // "MDLT"
+
+// Capability bits (World::peer_caps).
+inline constexpr std::uint32_t kCapModifiedDelta = 1U << 0;
+
+struct ModifiedDelta {
+  LongPointer id;
+  std::uint64_t epoch = 0;
+  std::vector<ByteRange> ranges;      // sorted, non-overlapping
+  std::vector<std::uint8_t> bytes;    // range payloads, concatenated in order
+};
+
+// Appends one modified-delta entry; `image` supplies the range bytes.
+void encode_modified_delta(xdr::Encoder& enc, const LongPointer& id,
+                           std::uint64_t epoch, std::span<const ByteRange> ranges,
+                           const std::uint8_t* image);
+
+// Wire byte count encode_modified_delta() will append for `ranges`.
+[[nodiscard]] std::uint64_t modified_delta_wire_size(
+    std::span<const ByteRange> ranges) noexcept;
+
+// Decodes one modified-delta entry from the cursor. Validates that ranges
+// are sorted, non-overlapping, and non-empty; bounds against the target
+// object's size are the applier's job (it knows the type).
+Result<ModifiedDelta> decode_modified_delta(xdr::Decoder& dec);
 
 // Appends the framed message to `out`.
 void encode_frame(const Message& msg, ByteBuffer& out);

@@ -49,8 +49,14 @@ std::vector<PageIndex> PageTable::pages_in_state(PageState s) const {
   return out;
 }
 
+void PageTable::snapshot_twin(PageIndex page, const std::uint8_t* bytes,
+                              std::size_t len) {
+  twins_[page].assign(bytes, bytes + len);
+}
+
 void PageTable::reset() {
   for (auto& p : pages_) p = PageInfo{};
+  twins_.clear();
 }
 
 }  // namespace srpc

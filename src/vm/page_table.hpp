@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -53,11 +54,27 @@ class PageTable {
   // All pages currently in the given state.
   [[nodiscard]] std::vector<PageIndex> pages_in_state(PageState s) const;
 
+  // Twin slots: a copy of a page's bytes taken the instant it turned
+  // writable, so the cache manager can later diff the live page against the
+  // pre-write image and ship only the bytes that changed. Twins exist only
+  // for pages that faulted clean→dirty (or had an overlay applied); pages
+  // born dirty (local allocation) have no coherent baseline and no twin.
+  void snapshot_twin(PageIndex page, const std::uint8_t* bytes, std::size_t len);
+  [[nodiscard]] bool has_twin(PageIndex page) const {
+    return twins_.contains(page);
+  }
+  // Valid only when has_twin(page); pointer stable until drop/reset.
+  [[nodiscard]] const std::uint8_t* twin(PageIndex page) const {
+    return twins_.at(page).data();
+  }
+  void drop_twin(PageIndex page) { twins_.erase(page); }
+
   // Resets every page to kEmpty/unsealed (session-end invalidation).
   void reset();
 
  private:
   std::vector<PageInfo> pages_;
+  std::unordered_map<PageIndex, std::vector<std::uint8_t>> twins_;
 };
 
 }  // namespace srpc

@@ -83,6 +83,25 @@ std::int64_t update_prefix(TreeNode* root, std::uint64_t limit, std::int64_t del
   return sum;
 }
 
+std::int64_t update_sparse(TreeNode* root, std::uint64_t limit,
+                           std::uint64_t stride, std::int64_t delta) {
+  if (stride == 0) stride = 1;
+  std::int64_t sum = 0;
+  std::uint64_t visited = 0;
+  std::vector<TreeNode*> stack;
+  if (root != nullptr) stack.push_back(root);
+  while (!stack.empty() && visited < limit) {
+    TreeNode* node = stack.back();
+    stack.pop_back();
+    if (visited % stride == 0) node->data += delta;
+    sum += node->data;
+    ++visited;
+    if (node->right != nullptr) stack.push_back(node->right);
+    if (node->left != nullptr) stack.push_back(node->left);
+  }
+  return sum;
+}
+
 std::int64_t walk_random_paths(const TreeNode* root, std::uint32_t paths,
                                std::uint64_t seed) {
   std::int64_t sum = 0;

@@ -43,6 +43,12 @@ std::int64_t visit_prefix(const TreeNode* root, std::uint64_t limit);
 // workload: identical access pattern, plus stores).
 std::int64_t update_prefix(TreeNode* root, std::uint64_t limit, std::int64_t delta);
 
+// Same traversal again, but only every `stride`-th visited node is updated —
+// the sparse-update workload where delta-encoded modified sets shine: the
+// pages all go dirty, yet only a few bytes per page actually change.
+std::int64_t update_sparse(TreeNode* root, std::uint64_t limit,
+                           std::uint64_t stride, std::int64_t delta);
+
 // `paths` root-to-leaf walks choosing left/right pseudo-randomly from
 // `seed` (Fig. 6's repeated searches); returns the sum of visited data.
 std::int64_t walk_random_paths(const TreeNode* root, std::uint32_t paths,

@@ -37,6 +37,9 @@ class Encoder {
   [[nodiscard]] std::size_t reserve_u32();
   void patch_u32(std::size_t offset, std::uint32_t v);
 
+  // Capacity hint: `extra` more bytes are coming (see ByteBuffer::reserve).
+  void reserve(std::size_t extra) { out_.reserve(extra); }
+
   [[nodiscard]] ByteBuffer& buffer() noexcept { return out_; }
 
  private:

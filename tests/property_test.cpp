@@ -196,8 +196,8 @@ TEST_P(ClosureEquivalence, VisitSumIndependentOfClosureSize) {
       .check();
 
   caller.run([&](Runtime& rt) {
-    rt.cache().set_closure_bytes(GetParam());
-    callee.run([&](Runtime& crt) { crt.cache().set_closure_bytes(GetParam()); });
+    rt.cache().set_closure_bytes(GetParam()).check();
+    callee.run([&](Runtime& crt) { crt.cache().set_closure_bytes(GetParam()).check(); });
     auto root = workload::build_complete_tree(rt, 127);
     root.status().check();
     Rng rng(GetParam() + 17);

@@ -499,9 +499,9 @@ TEST_F(SmartRpcTest, ClosureBudgetControlsEagerness) {
       root.status().check();
       // The budget steers both sides: the caller's eager argument closure
       // and the callee's fetch-time closure requests.
-      rt.cache().set_closure_bytes(budget);
+      rt.cache().set_closure_bytes(budget).check();
       callee_->run([&](Runtime& callee_rt) {
-        callee_rt.cache().set_closure_bytes(budget);
+        callee_rt.cache().set_closure_bytes(budget).check();
         callee_rt.cache().reset_stats();
         return 0;
       });

@@ -136,7 +136,8 @@ TEST_F(RuntimeEdgeTest, TasksPostedMidCallRunAfterwards) {
 
 TEST_F(RuntimeEdgeTest, CacheArenaExhaustionSurfacesAsCallError) {
   WorldOptions tiny = fast_world();
-  tiny.cache.page_count = 2;  // almost no cache
+  tiny.cache.page_count = 2;       // almost no cache
+  tiny.cache.closure_bytes = 8192; // eager budget = the whole arena
   World small(tiny);
   auto& x = small.create_space("X");
   auto& y = small.create_space("Y");
@@ -147,7 +148,6 @@ TEST_F(RuntimeEdgeTest, CacheArenaExhaustionSurfacesAsCallError) {
          })
       .check();
   x.run([&](Runtime& rt) {
-    rt.cache().set_closure_bytes(1 << 20);  // force a big eager transfer
     auto head = workload::build_list(rt, 4000, [](std::uint32_t) {
       return std::int64_t{1};
     });
@@ -207,9 +207,9 @@ TEST_F(RuntimeEdgeTest, ExplicitPrefetchAvoidsTheFault) {
       .check();
   // Disable eager transfer everywhere so the prefetch is the only thing
   // that can move the data ahead of access.
-  b_->run([](Runtime& rt) { rt.cache().set_closure_bytes(0); });
+  b_->run([](Runtime& rt) { rt.cache().set_closure_bytes(0).check(); });
   a_->run([&](Runtime& rt) {
-    rt.cache().set_closure_bytes(0);
+    rt.cache().set_closure_bytes(0).check();
     Session session(rt);
     auto head = session.call<ListNode*>(b_->id(), "give", 32);
     ASSERT_TRUE(head.is_ok());

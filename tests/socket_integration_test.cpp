@@ -57,7 +57,7 @@ TEST_F(SocketIntegrationTest, FaultDrivenFetchOverRealFrames) {
                 })
       .check();
   caller_->run([&](Runtime& rt) {
-    rt.cache().set_closure_bytes(0);  // force fetches through the sockets
+    rt.cache().set_closure_bytes(0).check();  // force fetches through the sockets
     auto head = workload::build_list(rt, 50, [](std::uint32_t i) {
       return static_cast<std::int64_t>(i);
     });
