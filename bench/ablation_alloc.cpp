@@ -37,6 +37,13 @@ std::map<std::string, Outcome>& outcomes() {
   return o;
 }
 
+// Each data point builds its own world; fold its robustness counters into
+// a running total before it is torn down.
+srpc::bench::RobustnessCounters& robustness_total() {
+  static srpc::bench::RobustnessCounters r;
+  return r;
+}
+
 Outcome run_strategy(AllocationStrategy strategy, std::uint64_t closure_bytes) {
   WorldOptions options;
   options.cost = CostModel::sparc_ethernet();
@@ -102,6 +109,8 @@ Outcome run_strategy(AllocationStrategy strategy, std::uint64_t closure_bytes) {
       return walker_rt.cache().stats().read_faults;
     }));
     session.end().check();
+    robustness_total().add(rt.stats());
+    robustness_total().add(walker.run([](Runtime& w) { return w.stats(); }));
     return out;
   });
 }
@@ -151,7 +160,7 @@ int main(int argc, char** argv) {
   srpc::bench::write_bench_json(
       "ablation_alloc", {{"list_length", 512}},
       {"strategy_mixed", "closure_bytes", "virtual_s", "fetches", "faults"},
-      table);
+      table, robustness_total());
   benchmark::Shutdown();
   return 0;
 }

@@ -36,6 +36,13 @@ std::map<std::string, Outcome>& outcomes() {
   return o;
 }
 
+// Each data point builds its own world; fold its robustness counters into
+// a running total before it is torn down.
+srpc::bench::RobustnessCounters& robustness_total() {
+  static srpc::bench::RobustnessCounters r;
+  return r;
+}
+
 Outcome build_remote_list(bool flush_each) {
   WorldOptions options;
   options.cost = CostModel::sparc_ethernet();
@@ -75,6 +82,8 @@ Outcome build_remote_list(bool flush_each) {
     out.seconds = world.virtual_seconds();
     out.messages = static_cast<double>(world.net_stats().messages);
     session.end().check();
+    robustness_total().add(rt.stats());
+    robustness_total().add(home.run([](Runtime& h) { return h.stats(); }));
     return out;
   });
 }
@@ -119,7 +128,7 @@ int main(int argc, char** argv) {
   srpc::bench::write_bench_json(
       "ablation_alloc_batch",
       {{"allocations", static_cast<double>(kAllocations)}},
-      {"flush_each", "virtual_s", "messages"}, table);
+      {"flush_each", "virtual_s", "messages"}, table, robustness_total());
   benchmark::Shutdown();
   return 0;
 }

@@ -42,6 +42,13 @@ std::map<std::string, Outcome>& outcomes() {
   return o;
 }
 
+// Each data point builds (and tears down) its own world, so the
+// robustness counters are folded into a running total as we go.
+srpc::bench::RobustnessCounters& robustness_total() {
+  static srpc::bench::RobustnessCounters r;
+  return r;
+}
+
 Outcome run_order(TraversalOrder order, std::uint64_t seed) {
   TreeExperiment experiment(nodes(), /*closure_bytes=*/8192);
   // The order knob matters on the space that PACKS closures: the home
@@ -51,6 +58,7 @@ Outcome run_order(TraversalOrder order, std::uint64_t seed) {
     return 0;
   });
   Measurement m = experiment.run_paths(kPaths, seed);
+  robustness_total().merge(experiment.robustness());
   return Outcome{order == TraversalOrder::kDepthFirst ? 1.0 : 0.0,
                  static_cast<double>(seed), m.seconds,
                  static_cast<double>(m.fetches),
@@ -98,7 +106,8 @@ int main(int argc, char** argv) {
       "ablation_closure_shape",
       {{"nodes", static_cast<double>(nodes())},
        {"paths", static_cast<double>(kPaths)}},
-      {"order_depth_first", "seed", "virtual_s", "fetches", "wire_KiB"}, table);
+      {"order_depth_first", "seed", "virtual_s", "fetches", "wire_KiB"}, table,
+      robustness_total());
   benchmark::Shutdown();
   return 0;
 }

@@ -97,7 +97,8 @@ int main(int argc, char** argv) {
       "fig4_methods",
       {{"nodes", static_cast<double>(nodes())},
        {"closure_bytes", static_cast<double>(kClosureBytes)}},
-      {"access_ratio", "fully_eager_s", "fully_lazy_s", "proposed_s"}, table);
+      {"access_ratio", "fully_eager_s", "fully_lazy_s", "proposed_s"}, table,
+      experiment().robustness());
   benchmark::Shutdown();
   return 0;
 }

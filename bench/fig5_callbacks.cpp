@@ -116,7 +116,8 @@ int main(int argc, char** argv) {
        {"sparse_modified_bytes_delta", delta},
        {"sparse_modified_bytes_full", full},
        {"sparse_delta_over_full", full > 0 ? delta / full : 0.0}},
-      {"access_ratio", "lazy_callbacks", "proposed_fetches"}, table);
+      {"access_ratio", "lazy_callbacks", "proposed_fetches"}, table,
+      experiment().robustness());
   benchmark::Shutdown();
   return 0;
 }

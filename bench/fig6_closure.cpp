@@ -50,6 +50,13 @@ TreeExperiment& experiment(std::size_t size_index) {
   return *cache[size_index];
 }
 
+// Counters summed across the three cached tree-size experiments.
+srpc::bench::RobustnessCounters robustness_total() {
+  srpc::bench::RobustnessCounters r;
+  for (std::size_t i = 0; i < 3; ++i) r.merge(experiment(i).robustness());
+  return r;
+}
+
 // closure -> per-tree-size seconds
 std::map<std::uint64_t, std::map<std::uint32_t, double>>& rows() {
   static std::map<std::uint64_t, std::map<std::uint32_t, double>> r;
@@ -100,7 +107,7 @@ int main(int argc, char** argv) {
       columns, table);
   srpc::bench::write_bench_json("fig6_closure",
                                 {{"paths", static_cast<double>(kPaths)}},
-                                columns, table);
+                                columns, table, robustness_total());
   benchmark::Shutdown();
   return 0;
 }

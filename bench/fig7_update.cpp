@@ -129,7 +129,8 @@ int main(int argc, char** argv) {
       "fig7_update",
       {{"nodes", static_cast<double>(nodes())},
        {"closure_bytes", static_cast<double>(kClosureBytes)}},
-      {"ratio", "updated_s", "visited_only_s", "update_over_visit"}, table);
+      {"ratio", "updated_s", "visited_only_s", "update_over_visit"}, table,
+      experiment().robustness());
 
   std::vector<std::vector<double>> sparse;
   for (const auto& [stride, bytes] : sparse_rows()) {
@@ -149,7 +150,7 @@ int main(int argc, char** argv) {
        {"closure_bytes", static_cast<double>(kClosureBytes)}},
       {"stride", "modified_bytes_delta", "modified_bytes_full",
        "delta_over_full", "delta_section_bytes", "epoch_skips"},
-      sparse);
+      sparse, experiment().robustness());
   benchmark::Shutdown();
   return 0;
 }

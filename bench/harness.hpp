@@ -40,6 +40,37 @@ struct Measurement {
   std::uint64_t deltas_skipped = 0;  // epoch/fingerprint skips
 };
 
+// Failure-containment counters, summed over every space a bench touched and
+// emitted into BENCH_<name>.json. On a healthy bench wire the failure
+// counters must stay zero — a nonzero abort/lease/orphan count in a bench
+// run is itself a regression signal — while wb_prepares tracks the
+// two-phase protocol's steady-state cost.
+struct RobustnessCounters {
+  std::uint64_t wb_prepares = 0;
+  std::uint64_t wb_aborts = 0;
+  std::uint64_t leases_expired = 0;
+  std::uint64_t orphan_bytes_reclaimed = 0;
+  std::uint64_t sessions_aborted = 0;
+
+  void add(const RuntimeStats& s) {
+    wb_prepares += s.wb_prepares;
+    wb_aborts += s.wb_aborts;
+    leases_expired += s.leases_expired;
+    orphan_bytes_reclaimed += s.orphan_bytes_reclaimed;
+    sessions_aborted += s.sessions_aborted;
+  }
+
+  // For benches that build one world per data point: fold the outcome of a
+  // finished experiment into a running total.
+  void merge(const RobustnessCounters& o) {
+    wb_prepares += o.wb_prepares;
+    wb_aborts += o.wb_aborts;
+    leases_expired += o.leases_expired;
+    orphan_bytes_reclaimed += o.orphan_bytes_reclaimed;
+    sessions_aborted += o.sessions_aborted;
+  }
+};
+
 // `SRPC_BENCH_NODES` overrides a figure's default tree size — the smoke
 // ctest target runs every figure at a few hundred nodes under sanitizers.
 inline std::uint32_t node_count_from_env(std::uint32_t fallback) {
@@ -262,6 +293,15 @@ class TreeExperiment {
 
   [[nodiscard]] World& world() noexcept { return *world_; }
 
+  // Cumulative failure-containment counters over both spaces (reset_stats
+  // in measure() zeroes per-measurement, so read this after the last run).
+  [[nodiscard]] RobustnessCounters robustness() {
+    RobustnessCounters r;
+    r.add(caller_->runtime().stats());
+    r.add(callee_->run([](Runtime& rt) { return rt.stats(); }));
+    return r;
+  }
+
  private:
   template <typename F>
   Measurement measure(F body) {
@@ -313,7 +353,8 @@ inline void write_bench_json(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& config,
     const std::vector<std::string>& columns,
-    const std::vector<std::vector<double>>& rows) {
+    const std::vector<std::vector<double>>& rows,
+    const RobustnessCounters& robustness = {}) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -325,6 +366,15 @@ inline void write_bench_json(
     std::fprintf(f, "%s\"%s\": %.17g", i ? ", " : "", config[i].first.c_str(),
                  config[i].second);
   }
+  std::fprintf(f,
+               "},\n  \"robustness\": {\"wb_prepares\": %llu, "
+               "\"wb_aborts\": %llu, \"leases_expired\": %llu, "
+               "\"orphan_bytes_reclaimed\": %llu, \"sessions_aborted\": %llu",
+               static_cast<unsigned long long>(robustness.wb_prepares),
+               static_cast<unsigned long long>(robustness.wb_aborts),
+               static_cast<unsigned long long>(robustness.leases_expired),
+               static_cast<unsigned long long>(robustness.orphan_bytes_reclaimed),
+               static_cast<unsigned long long>(robustness.sessions_aborted));
   std::fprintf(f, "},\n  \"columns\": [");
   for (std::size_t i = 0; i < columns.size(); ++i) {
     std::fprintf(f, "%s\"%s\"", i ? ", " : "", columns[i].c_str());

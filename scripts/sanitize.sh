@@ -41,4 +41,8 @@ esac
 
 cmake -B "${BUILD}" -S "${ROOT}" -DSRPC_SANITIZE="${SAN}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD}" -j "$(nproc)"
-ctest --test-dir "${BUILD}" --output-on-failure "$@"
+# Failure-containment matrix first (crash points, partitions, soak): it is
+# the suite most likely to trip a sanitizer, so fail fast on it before the
+# rest of the tests. scripts/soak.sh layers a many-seed sweep on top.
+ctest --test-dir "${BUILD}" --output-on-failure -L fault
+ctest --test-dir "${BUILD}" --output-on-failure -LE fault "$@"

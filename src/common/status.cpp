@@ -28,6 +28,8 @@ std::string_view to_string(StatusCode code) noexcept {
       return "PROTOCOL_ERROR";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kSpaceDead:
+      return "SPACE_DEAD";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,7 @@ enum class StatusCode : std::uint8_t {
   kResourceExhausted,
   kProtocolError,
   kDeadlineExceeded,
+  kSpaceDead,  // kUnavailable family: peer declared dead by the failure detector
 };
 
 std::string_view to_string(StatusCode code) noexcept;
@@ -92,6 +93,9 @@ inline Status protocol_error(std::string msg) {
 }
 inline Status deadline_exceeded(std::string msg) {
   return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status space_dead(std::string msg) {
+  return Status(StatusCode::kSpaceDead, std::move(msg));
 }
 
 // Minimal expected<T, Status>. Value-or-error; accessing the wrong arm

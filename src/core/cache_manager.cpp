@@ -685,6 +685,69 @@ Status CacheManager::apply_incoming_delta(const LongPointer& id,
   return Status::ok();
 }
 
+void CacheManager::renew_lease(SpaceId source, std::uint64_t vnow_ns) {
+  auto it = leases_.find(source);
+  if (it == leases_.end()) {
+    SourceLease fresh;
+    auto floor = lease_epoch_floor_.find(source);
+    if (floor != lease_epoch_floor_.end()) fresh.epoch = floor->second;
+    it = leases_.emplace(source, fresh).first;
+  }
+  if (vnow_ns > it->second.last_contact_ns) it->second.last_contact_ns = vnow_ns;
+}
+
+void CacheManager::touch_lease(SpaceId source, std::uint64_t vnow_ns) {
+  auto it = leases_.find(source);
+  if (it == leases_.end()) return;
+  if (vnow_ns > it->second.last_contact_ns) it->second.last_contact_ns = vnow_ns;
+}
+
+const CacheManager::SourceLease* CacheManager::lease(SpaceId source) const {
+  auto it = leases_.find(source);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+std::vector<SpaceId> CacheManager::lapsed_sources(std::uint64_t vnow_ns,
+                                                  std::uint64_t ttl_ns) const {
+  std::vector<SpaceId> out;
+  for (const auto& [source, l] : leases_) {
+    if (l.last_contact_ns + ttl_ns < vnow_ns) out.push_back(source);
+  }
+  return out;
+}
+
+std::size_t CacheManager::revoke_source(SpaceId source) {
+  std::size_t revoked = 0;
+  for (PageIndex p = 0; p < next_fresh_page_; ++p) {
+    PageInfo& info = pages_.info(p);
+    if (info.origin != source || info.kind != PageKind::kLazy) continue;
+    if (info.state != PageState::kClean && info.state != PageState::kDirty) {
+      continue;
+    }
+    (void)arena_.protect(p, PageProtection::kNone);
+    info.state = PageState::kAllocated;  // table entries survive; bytes do not
+    pages_.drop_twin(p);
+    ++revoked;
+  }
+  for (auto it = overlays_.begin(); it != overlays_.end();) {
+    if (it->first->pointer.space == source) {
+      it = overlays_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // A fresh chain starts if the source ever comes back in a later session.
+  lazy_cursors_.erase(source);
+  // The lease ends with the data: a later fetch from the source (should it
+  // turn out alive after all) starts a fresh one under a higher epoch.
+  auto lit = leases_.find(source);
+  if (lit != leases_.end()) {
+    lease_epoch_floor_[source] = lit->second.epoch + 1;
+    leases_.erase(lit);
+  }
+  return revoked;
+}
+
 void CacheManager::invalidate_all() {
   if (next_fresh_page_ > 0) {
     (void)set_protection(arena_.base(),
@@ -695,6 +758,7 @@ void CacheManager::invalidate_all() {
   overlays_.clear();
   pages_.reset();
   lazy_cursors_.clear();
+  leases_.clear();
   alloc_cursor_ = Cursor{};
   fill_cursor_ = Cursor{};
   fill_open_pages_.clear();

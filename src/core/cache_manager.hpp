@@ -197,6 +197,40 @@ class CacheManager final : public FaultHandler {
                               std::span<const ByteRange> ranges,
                               const std::uint8_t* bytes);
 
+  // --- leases (failure containment) ----------------------------------------
+
+  // A lease tracks when this cache last heard from a source space whose
+  // data it holds. The runtime renews it on every successful exchange; if
+  // the source is declared dead (or the lease lapses without contact) the
+  // source's resident pages are revoked so dereferences re-fault into
+  // Runtime::fetch, where the failure detector converts them into a typed
+  // SPACE_DEAD error instead of serving stale bytes forever.
+  struct SourceLease {
+    std::uint64_t epoch = 0;            // generation: bumps across revocations
+    std::uint64_t last_contact_ns = 0;  // virtual-clock time
+  };
+
+  // Upserts the lease for `source` (first fetch from it starts the lease).
+  void renew_lease(SpaceId source, std::uint64_t vnow_ns);
+  // Updates last-contact only if a lease already exists.
+  void touch_lease(SpaceId source, std::uint64_t vnow_ns);
+  [[nodiscard]] const SourceLease* lease(SpaceId source) const;
+  // Sources holding a lease whose last contact is older than `vnow_ns -
+  // ttl_ns` (candidates for revocation).
+  [[nodiscard]] std::vector<SpaceId> lapsed_sources(std::uint64_t vnow_ns,
+                                                    std::uint64_t ttl_ns) const;
+
+  // Revokes every resident lazy page clustered to `source`: the page is
+  // re-protected and demoted to kAllocated (its bytes are discarded; the
+  // table entries stay so a later touch re-faults through the fetch path,
+  // which reports the peer's health as a typed error). Pending overlays for
+  // data homed at `source` are dropped and its lease ends (a later renewal
+  // starts a fresh lease under a higher epoch). Returns the number of pages
+  // revoked. Pages holding data from several homes (kMixed strategy) and
+  // born-resident alloc pages are left alone — they contain local or
+  // third-party bytes that are still valid.
+  std::size_t revoke_source(SpaceId source);
+
   // --- session teardown -----------------------------------------------------
 
   // Drops every cached datum and re-protects the arena (session-end
@@ -284,6 +318,9 @@ class CacheManager final : public FaultHandler {
   std::unordered_map<const AllocationEntry*, Overlay> overlays_;
 
   std::unordered_map<SpaceId, Cursor> lazy_cursors_;
+  std::unordered_map<SpaceId, SourceLease> leases_;
+  // Next lease epoch per revoked source, so generations never repeat.
+  std::unordered_map<SpaceId, std::uint64_t> lease_epoch_floor_;
   Cursor alloc_cursor_;       // born-resident (extended_malloc) chain
   Cursor fill_cursor_;        // prefetch-extras chain, valid during a fill
   bool filling_ = false;

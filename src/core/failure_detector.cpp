@@ -1,0 +1,78 @@
+#include "core/failure_detector.hpp"
+
+namespace srpc {
+
+std::string_view to_string(PeerHealth h) noexcept {
+  switch (h) {
+    case PeerHealth::kAlive:
+      return "ALIVE";
+    case PeerHealth::kSuspect:
+      return "SUSPECT";
+    case PeerHealth::kDead:
+      return "DEAD";
+  }
+  return "UNKNOWN";
+}
+
+void FailureDetector::note_contact(SpaceId peer, std::uint64_t vnow_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PeerState& st = peers_[peer];
+  if (st.health == PeerHealth::kDead) return;  // dead is terminal
+  st.health = PeerHealth::kAlive;
+  st.consecutive_misses = 0;
+  if (vnow_ns > st.last_contact_ns) st.last_contact_ns = vnow_ns;
+}
+
+PeerHealth FailureDetector::note_miss(SpaceId peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PeerState& st = peers_[peer];
+  if (st.health == PeerHealth::kDead) return PeerHealth::kDead;
+  ++st.consecutive_misses;
+  if (st.consecutive_misses >= options_.dead_after) {
+    st.health = PeerHealth::kDead;
+  } else if (st.consecutive_misses >= options_.suspect_after) {
+    st.health = PeerHealth::kSuspect;
+  }
+  return st.health;
+}
+
+void FailureDetector::mark_suspect(SpaceId peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PeerState& st = peers_[peer];
+  if (st.health == PeerHealth::kDead) return;
+  st.health = PeerHealth::kSuspect;
+  if (st.consecutive_misses < options_.suspect_after) {
+    st.consecutive_misses = options_.suspect_after;
+  }
+}
+
+bool FailureDetector::mark_dead(SpaceId peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PeerState& st = peers_[peer];
+  if (st.health == PeerHealth::kDead) return false;
+  st.health = PeerHealth::kDead;
+  return true;
+}
+
+PeerHealth FailureDetector::health(SpaceId peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? PeerHealth::kAlive : it->second.health;
+}
+
+std::uint64_t FailureDetector::last_contact_ns(SpaceId peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.last_contact_ns;
+}
+
+std::vector<SpaceId> FailureDetector::dead_peers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpaceId> out;
+  for (const auto& [id, st] : peers_) {
+    if (st.health == PeerHealth::kDead) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace srpc

@@ -1,0 +1,83 @@
+// FailureDetector — per-peer liveness bookkeeping for one runtime.
+//
+// The paper assumes spaces never fail; this layer makes failure explicit so
+// the rest of the runtime can contain it. The detector is passive: it never
+// sends anything itself. The runtime feeds it observations — a completed
+// round trip is contact, a probe that times out is a miss — and reads back
+// a three-state health verdict:
+//
+//   kAlive    default; traffic flows normally
+//   kSuspect  >= suspect_after consecutive probe misses (or an explicit
+//             mark_suspect); traffic still flows, leases stop renewing
+//   kDead     >= dead_after consecutive misses, or an explicit mark_dead
+//             (World::mark_dead, crash_space); calls fail fast with
+//             SPACE_DEAD instead of burning the full backoff schedule
+//
+// Dead is terminal: a space that was declared dead stays dead even if a
+// stray late message arrives (the declaration may already have triggered
+// lease revocation and orphan reclamation, which cannot be undone).
+//
+// Thread-safety: every method takes the internal mutex. mark_dead() is
+// called from World threads while the runtime's worker may be mid-await,
+// so nothing here may block or call back into the runtime.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace srpc {
+
+enum class PeerHealth : std::uint8_t { kAlive, kSuspect, kDead };
+
+std::string_view to_string(PeerHealth h) noexcept;
+
+struct FailureDetectorOptions {
+  std::uint32_t suspect_after = 1;  // consecutive misses before kSuspect
+  std::uint32_t dead_after = 3;     // consecutive misses before kDead
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(FailureDetectorOptions options = {})
+      : options_(options) {}
+
+  // A successful exchange with `peer` at virtual time `vnow_ns`. Clears the
+  // miss streak and lifts suspicion — unless the peer is already dead.
+  void note_contact(SpaceId peer, std::uint64_t vnow_ns);
+
+  // A probe of `peer` went unanswered. Returns the health after counting
+  // the miss, so the caller can react to the alive->dead edge exactly once
+  // (the transition is reported by exactly one note_miss/mark_dead call).
+  PeerHealth note_miss(SpaceId peer);
+
+  void mark_suspect(SpaceId peer);
+  // Returns true if this call performed the alive/suspect -> dead
+  // transition (false if the peer was already dead).
+  bool mark_dead(SpaceId peer);
+
+  [[nodiscard]] PeerHealth health(SpaceId peer) const;
+  [[nodiscard]] bool is_dead(SpaceId peer) const {
+    return health(peer) == PeerHealth::kDead;
+  }
+  [[nodiscard]] std::uint64_t last_contact_ns(SpaceId peer) const;
+
+  [[nodiscard]] std::vector<SpaceId> dead_peers() const;
+
+ private:
+  struct PeerState {
+    PeerHealth health = PeerHealth::kAlive;
+    std::uint32_t consecutive_misses = 0;
+    std::uint64_t last_contact_ns = 0;
+  };
+
+  FailureDetectorOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<SpaceId, PeerState> peers_;
+};
+
+}  // namespace srpc

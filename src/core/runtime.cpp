@@ -25,7 +25,11 @@ namespace srpc {
 //               | nfree u32 | nfree x {addr u64}
 //   ALLOC_REPLY n u32 | n x {provisional u64, real u64}
 //   WRITE_BACK  modified-set            (acked empty)
-//   INVALIDATE  empty                   (acked empty)
+//   WB_PREPARE  epoch u64 | modified-set  (acked empty; staged, not applied)
+//   WB_COMMIT   epoch u64               (acked empty; applies the stage)
+//   WB_ABORT    epoch u64               (acked empty; discards the stage)
+//   INVALIDATE  empty or aborted u32    (acked empty; empty = normal end)
+//   PING        empty                   (PONG, empty)
 //   DEREF       long pointer
 //   DEREF_REPLY canonical value bytes
 //   ERROR       code u32 | message string
@@ -648,8 +652,8 @@ Status Runtime::flush_alloc_batches() {
     }
     // Allocation is not idempotent (a replayed batch would double-allocate
     // at the home), so a single attempt races the full deadline.
-    auto reply = endpoint_.roundtrip(std::move(msg), MessageType::kAllocReply,
-                                     nullptr, timeouts_, /*idempotent=*/false);
+    auto reply = guarded_roundtrip(std::move(msg), MessageType::kAllocReply,
+                                   nullptr, /*idempotent=*/false);
     if (!reply) return reply.status();
     if (reply.value().type == MessageType::kError) {
       return decode_error(reply.value());
@@ -669,6 +673,109 @@ Status Runtime::flush_alloc_batches() {
     SRPC_RETURN_IF_ERROR(allocator_.apply_assignments(home, assigned));
   }
   return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Failure containment (detector, probes, leases, orphan reclamation)
+// ---------------------------------------------------------------------------
+
+std::uint64_t Runtime::vnow_ns() const noexcept {
+  return sim_ != nullptr ? sim_->clock().now() : 0;
+}
+
+Result<Message> Runtime::guarded_roundtrip(Message msg, MessageType reply_type,
+                                           const RpcEndpoint::Dispatcher& serve,
+                                           bool idempotent) {
+  const SpaceId peer = msg.to;
+  if (detector_.is_dead(peer)) {
+    ++stats_.failfast_rejections;
+    return space_dead("space " + std::to_string(peer) +
+                      " is dead (failure detector)");
+  }
+  auto reply = endpoint_.roundtrip(std::move(msg), reply_type, serve,
+                                   timeouts_, idempotent);
+  if (reply) {
+    detector_.note_contact(peer, vnow_ns());
+    cache_.touch_lease(peer, vnow_ns());
+    return reply;
+  }
+  const StatusCode code = reply.status().code();
+  if ((code == StatusCode::kDeadlineExceeded ||
+       code == StatusCode::kUnavailable) &&
+      !probing_) {
+    probe_peer(peer);
+  }
+  return reply;
+}
+
+void Runtime::probe_peer(SpaceId peer) {
+  probing_ = true;
+  ++stats_.probes_sent;
+  Message ping;
+  ping.type = MessageType::kPing;
+  ping.to = peer;
+  ping.session = kNoSession;
+  ping.seq = endpoint_.next_seq();
+  // One short attempt: the surrounding request already burned its deadline,
+  // the probe only asks "is anyone there at all".
+  TimeoutConfig cfg = timeouts_;
+  cfg.request_deadline = cfg.attempt_timeout;
+  cfg.max_attempts = 1;
+  auto pong = endpoint_.roundtrip(std::move(ping), MessageType::kPong, nullptr,
+                                  cfg, /*idempotent=*/true);
+  probing_ = false;
+  if (pong) {
+    // The peer lives; the original failure was loss or slowness, not death.
+    detector_.note_contact(peer, vnow_ns());
+    return;
+  }
+  const PeerHealth verdict = detector_.note_miss(peer);
+  SRPC_WARN << name_ << ": probe of space " << peer
+            << " missed; peer is " << to_string(verdict);
+  if (verdict == PeerHealth::kDead) {
+    // We may be inside the SIGSEGV fill path: defer the page revocation and
+    // heap reclamation to the next safe point.
+    pending_dead_cleanup_.push_back(peer);
+  }
+}
+
+void Runtime::on_peer_dead(SpaceId peer) {
+  detector_.mark_dead(peer);
+  if (!dead_cleaned_.insert(peer).second) return;  // already contained
+  ++stats_.peers_died;
+  const std::size_t revoked = cache_.revoke_source(peer);
+  if (revoked > 0) ++stats_.leases_expired;
+  const std::uint64_t reclaimed = heap_.reclaim_owned_by(peer);
+  stats_.orphan_bytes_reclaimed += reclaimed;
+  // Shadow commits staged by the dead coordinator will never commit.
+  for (auto it = shadow_commits_.begin(); it != shadow_commits_.end();) {
+    if (it->second.from == peer) {
+      ++stats_.wb_aborts_served;
+      it = shadow_commits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  SRPC_ERROR << name_ << ": space " << peer << " declared dead; revoked "
+             << revoked << " cached pages, reclaimed " << reclaimed
+             << " orphaned bytes";
+}
+
+void Runtime::poll_failures() {
+  while (!pending_dead_cleanup_.empty()) {
+    const SpaceId peer = pending_dead_cleanup_.back();
+    pending_dead_cleanup_.pop_back();
+    on_peer_dead(peer);
+  }
+  if (lease_ttl_ns_ == 0 || sim_ == nullptr) return;
+  const std::uint64_t now = vnow_ns();
+  for (const SpaceId source : cache_.lapsed_sources(now, lease_ttl_ns_)) {
+    const std::size_t revoked = cache_.revoke_source(source);
+    ++stats_.leases_expired;
+    detector_.mark_suspect(source);
+    SRPC_WARN << name_ << ": lease on source space " << source
+              << " lapsed; revoked " << revoked << " cached pages";
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -708,12 +815,14 @@ Result<ByteBuffer> Runtime::fetch(SpaceId home, std::span<const LongPointer> poi
   // Fetch is a pure read, so a lost reply is recovered by retransmitting
   // under the same seq; the home serves it again and any late duplicate
   // reply is absorbed by seq matching.
-  auto reply = endpoint_.roundtrip(std::move(msg), MessageType::kFetchReply,
-                                   nullptr, timeouts_, /*idempotent=*/true);
+  auto reply = guarded_roundtrip(std::move(msg), MessageType::kFetchReply,
+                                 nullptr, /*idempotent=*/true);
   if (!reply) return reply.status();
   if (reply.value().type == MessageType::kError) {
     return decode_error(reply.value());
   }
+  // We now hold this source's bytes: start (or refresh) its lease.
+  cache_.renew_lease(home, vnow_ns());
   return std::move(reply.value().payload);
 }
 
@@ -730,8 +839,8 @@ Result<ByteBuffer> Runtime::deref_remote(const LongPointer& pointer) {
   xdr::Encoder enc(msg.payload);
   encode_long_pointer(enc, pointer);
   // A dereference is a read: safe to retransmit.
-  auto reply = endpoint_.roundtrip(std::move(msg), MessageType::kDerefReply,
-                                   full_dispatcher_, timeouts_, /*idempotent=*/true);
+  auto reply = guarded_roundtrip(std::move(msg), MessageType::kDerefReply,
+                                 full_dispatcher_, /*idempotent=*/true);
   if (!reply) return reply.status();
   if (reply.value().type == MessageType::kError) {
     return decode_error(reply.value());
@@ -749,6 +858,9 @@ Result<ByteBuffer> Runtime::call_raw(SpaceId target, const std::string& proc,
   if (target == self_) {
     return invalid_argument("call to own address space");
   }
+  // Safe point: run deferred dead-peer containment and lease checks before
+  // the activity moves.
+  poll_failures();
   // The activity is about to move: flush batched memory operations first
   // (provisional identities must not cross in the modified set), then
   // attach the travelling modified data set and the arguments' closure.
@@ -774,8 +886,8 @@ Result<ByteBuffer> Runtime::call_raw(SpaceId target, const std::string& proc,
   // code, so it is never retransmitted — on a deadline the caller aborts
   // the session instead (at-most-once execution; the receiver additionally
   // absorbs duplicated deliveries by request id).
-  auto reply = endpoint_.roundtrip(std::move(msg), MessageType::kReturn,
-                                   full_dispatcher_, timeouts_, /*idempotent=*/false);
+  auto reply = guarded_roundtrip(std::move(msg), MessageType::kReturn,
+                                 full_dispatcher_, /*idempotent=*/false);
   if (!reply) return reply.status();
   if (reply.value().type == MessageType::kError) {
     return decode_error(reply.value());
@@ -926,6 +1038,11 @@ Status Runtime::serve_alloc_batch(Message msg) {
     if (!type) return send_error(msg.from, msg.session, msg.seq, type.status());
     auto mem = heap_.allocate(type.value(), 1);
     if (!mem) return send_error(msg.from, msg.session, msg.seq, mem.status());
+    // Track remote provenance until the session settles: a committed
+    // session promotes the storage to durable home data, an aborted or
+    // orphaned one gets it reclaimed.
+    (void)heap_.tag_owner(reinterpret_cast<std::uint64_t>(mem.value()),
+                          msg.from, msg.session);
     enc.put_u64(prov.value());
     enc.put_u64(reinterpret_cast<std::uint64_t>(mem.value()));
   }
@@ -958,6 +1075,14 @@ Status Runtime::serve_writeback(Message msg) {
 }
 
 Status Runtime::serve_invalidate(Message msg) {
+  // An optional flag distinguishes a committed end (0) from an abort (1);
+  // the legacy empty payload means a normal end.
+  bool aborted = false;
+  if (msg.payload.remaining() > 0) {
+    xdr::Decoder dec(msg.payload);
+    auto flag = dec.get_u32();
+    if (flag) aborted = flag.value() != 0;
+  }
   // Invalidation is scoped to its session: a multicast from some other
   // ground must not nuke data a different (still open) session put here.
   if (cache_session_ == kNoSession || cache_session_ == msg.session) {
@@ -967,12 +1092,133 @@ Status Runtime::serve_invalidate(Message msg) {
     clear_ship_state();
     cache_session_ = kNoSession;
   }
+  // Settle the session's extended_malloc storage in our heap: a committed
+  // session's allocations become durable home data; an aborted session's
+  // are orphans and are reclaimed. Both operations are idempotent, so
+  // retransmitted INVALIDATEs are harmless.
+  if (aborted) {
+    const std::uint64_t reclaimed = heap_.reclaim_session(msg.session);
+    stats_.orphan_bytes_reclaimed += reclaimed;
+    if (reclaimed > 0) {
+      SRPC_WARN << name_ << ": reclaimed " << reclaimed
+                << " orphaned bytes of aborted session " << msg.session;
+    }
+  } else {
+    (void)heap_.promote_session(msg.session);
+  }
+  // Any staged (never committed) write-back of this session dies with it.
+  shadow_commits_.erase(msg.session);
+  committed_epochs_.erase(msg.session);
   // The session is over: refuse any straggler (delayed or replayed
   // message) that still carries its id, so it cannot repopulate the cache.
   // Retransmitted INVALIDATEs still land here and are acked again.
   tombstone_session(msg.session);
   Message reply;
   reply.type = MessageType::kInvalidateAck;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  return endpoint_.send(std::move(reply));
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase write-back (home side) and failure-detector probes
+// ---------------------------------------------------------------------------
+
+Status Runtime::serve_wb_prepare(Message msg) {
+  ++stats_.wb_prepares_served;
+  xdr::Decoder dec(msg.payload);
+  auto epoch = dec.get_u64();
+  if (!epoch) return send_error(msg.from, msg.session, msg.seq, epoch.status());
+
+  const auto committed = committed_epochs_.find(msg.session);
+  const bool already_applied =
+      committed != committed_epochs_.end() && committed->second >= epoch.value();
+  if (!already_applied) {
+    ShadowCommit& shadow = shadow_commits_[msg.session];
+    if (shadow.epoch <= epoch.value()) {
+      // Stage (or re-stage — retransmits and duplicates carry identical
+      // bytes) the modified-set section. Nothing is applied yet.
+      shadow.epoch = epoch.value();
+      shadow.from = msg.from;
+      shadow.staged.clear();
+      auto rest = msg.payload.read_view(msg.payload.remaining());
+      if (!rest) return send_error(msg.from, msg.session, msg.seq, rest.status());
+      shadow.staged.append(rest.value());
+    }
+    // A prepare older than the current stage is a straggler from an
+    // abandoned attempt: ignore its bytes but still ack (the retransmit
+    // machinery only needs to hear that *a* prepare landed).
+  }
+
+  Message reply;
+  reply.type = MessageType::kWbPrepareAck;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  return endpoint_.send(std::move(reply));
+}
+
+Status Runtime::serve_wb_commit(Message msg) {
+  ++stats_.wb_commits_served;
+  xdr::Decoder dec(msg.payload);
+  auto epoch = dec.get_u64();
+  if (!epoch) return send_error(msg.from, msg.session, msg.seq, epoch.status());
+
+  const auto committed = committed_epochs_.find(msg.session);
+  if (committed != committed_epochs_.end() && committed->second >= epoch.value()) {
+    // Duplicate or retransmitted commit: already applied, just re-ack.
+  } else {
+    auto it = shadow_commits_.find(msg.session);
+    if (it == shadow_commits_.end() || it->second.epoch != epoch.value()) {
+      return send_error(
+          msg.from, msg.session, msg.seq,
+          failed_precondition("no staged write-back for session " +
+                              std::to_string(msg.session) + " epoch " +
+                              std::to_string(epoch.value())));
+    }
+    it->second.staged.reset_cursor();  // a failed earlier apply may have read
+    Status applied = apply_modified_set(it->second.staged, it->second.from);
+    if (!applied.is_ok()) {
+      return send_error(msg.from, msg.session, msg.seq, applied);
+    }
+    committed_epochs_[msg.session] = epoch.value();
+    shadow_commits_.erase(it);
+  }
+
+  Message reply;
+  reply.type = MessageType::kWbCommitAck;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  return endpoint_.send(std::move(reply));
+}
+
+Status Runtime::serve_wb_abort(Message msg) {
+  xdr::Decoder dec(msg.payload);
+  auto epoch = dec.get_u64();
+  if (!epoch) return send_error(msg.from, msg.session, msg.seq, epoch.status());
+
+  auto it = shadow_commits_.find(msg.session);
+  // Drop only the stage the abort names (or older): a delayed abort from an
+  // abandoned attempt must not kill a newer attempt's stage.
+  if (it != shadow_commits_.end() && it->second.epoch <= epoch.value()) {
+    ++stats_.wb_aborts_served;
+    shadow_commits_.erase(it);
+  }
+  // Always ack — aborts must be re-ackable even after the stage is long
+  // gone (and even for tombstoned sessions).
+  Message reply;
+  reply.type = MessageType::kWbAbortAck;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  return endpoint_.send(std::move(reply));
+}
+
+Status Runtime::serve_ping(Message msg) {
+  Message reply;
+  reply.type = MessageType::kPong;
   reply.to = msg.from;
   reply.session = msg.session;
   reply.seq = msg.seq;
@@ -1025,48 +1271,141 @@ Status Runtime::end_session() {
   if (session_ == kNoSession) {
     return failed_precondition("no active session");
   }
+  poll_failures();
   SRPC_RETURN_IF_ERROR(flush_alloc_batches());
 
   // Examine the modified data set and write each datum back to its home,
-  // one coalesced WRITE_BACK batch per home peer. Data whose final content
-  // the home already observed (epoch/fingerprint match from the last hop)
-  // is skipped entirely; a home with nothing left to learn gets no message.
+  // one coalesced batch per home peer. Data whose final content the home
+  // already observed (epoch/fingerprint match from the last hop) is skipped
+  // entirely; a home with nothing left to learn gets no message.
+  //
+  // Toward two-phase-capable homes the batch travels as WB_PREPARE: the
+  // home stages it in a shadow buffer keyed by {session, epoch} and applies
+  // nothing yet. Only when EVERY home has acknowledged its prepare does
+  // phase two commit them all — so a crash, partition, or deadline during
+  // phase one aborts cleanly everywhere and no home is left half-new.
+  // Legacy homes (capability not negotiated, or the local toggle off) keep
+  // the one-shot WRITE_BACK and apply immediately.
   std::set<SpaceId> homes;
   for (const auto& d : cache_.collect_modified_deltas()) {
     if (d.id.space != self_) homes.insert(d.id.space);
   }
+
+  const std::uint64_t epoch = ++wb_epoch_;
+  struct PreparedHome {
+    SpaceId home;
+    std::vector<ShippedRecord> shipped;
+  };
+  std::vector<PreparedHome> prepared;
+  Status failure = Status::ok();
+
   for (const SpaceId home : homes) {
+    const bool capable =
+        two_phase_writeback_enabled_ && peer_caps_ &&
+        (peer_caps_(home) & kCapTwoPhaseWriteBack) != 0;
     Message msg;
-    msg.type = MessageType::kWriteBack;
+    msg.type = capable ? MessageType::kWbPrepare : MessageType::kWriteBack;
     msg.to = home;
     msg.session = session_;
     msg.seq = endpoint_.next_seq();
+    if (capable) {
+      xdr::Encoder enc(msg.payload);
+      enc.put_u64(epoch);
+    }
     std::size_t encoded = 0;
     std::vector<ShippedRecord> shipped;
-    SRPC_RETURN_IF_ERROR(attach_modified_set(msg.payload, home,
-                                             /*write_back=*/true, &encoded,
-                                             &shipped));
+    Status attached = attach_modified_set(msg.payload, home,
+                                          /*write_back=*/true, &encoded,
+                                          &shipped);
+    if (!attached.is_ok()) {
+      failure = attached;
+      break;
+    }
     if (encoded == 0) continue;  // home already holds the final content
-    // Write-back applies final values by overwrite (deltas are absolute
-    // bytes against the fetch-time baseline), so replaying the same set is
-    // idempotent and a lost ack is recovered by retransmission.
-    auto ack = endpoint_.roundtrip(std::move(msg), MessageType::kWriteBackAck,
-                                   nullptr, timeouts_, /*idempotent=*/true);
+    // Both shapes are idempotent: WRITE_BACK overwrites, WB_PREPARE
+    // re-stages the same bytes under the same epoch. Lost acks are
+    // recovered by retransmission under the same seq.
+    if (capable) ++stats_.wb_prepares;
+    auto ack = guarded_roundtrip(
+        std::move(msg),
+        capable ? MessageType::kWbPrepareAck : MessageType::kWriteBackAck,
+        nullptr, /*idempotent=*/true);
+    if (!ack) {
+      failure = ack.status();
+      break;
+    }
+    if (ack.value().type == MessageType::kError) {
+      failure = decode_error(ack.value());
+      break;
+    }
+    if (capable) {
+      prepared.push_back(PreparedHome{home, std::move(shipped)});
+    } else {
+      commit_shipped(home, shipped);
+    }
+  }
+
+  if (!failure.is_ok()) {
+    // Phase one failed somewhere: roll back every staged home, best-effort
+    // (a home we cannot reach will drop its stage when the session's
+    // INVALIDATE or tombstone eventually lands). The session stays open so
+    // the caller may retry end_session() or fall back to abort_session().
+    for (const PreparedHome& p : prepared) {
+      Message msg;
+      msg.type = MessageType::kWbAbort;
+      msg.to = p.home;
+      msg.session = session_;
+      msg.seq = endpoint_.next_seq();
+      xdr::Encoder enc(msg.payload);
+      enc.put_u64(epoch);
+      ++stats_.wb_aborts;
+      auto ack = guarded_roundtrip(std::move(msg), MessageType::kWbAbortAck,
+                                   nullptr, /*idempotent=*/true);
+      if (!ack) {
+        SRPC_WARN << name_ << ": write-back abort to space " << p.home
+                  << " failed: " << ack.status().to_string();
+      }
+    }
+    return failure;
+  }
+
+  // Phase two: every home staged successfully — commit them all. A failure
+  // here leaves the session open and is safe to retry: homes that already
+  // committed re-ack the duplicate epoch, homes that still hold the stage
+  // apply it, and a retried end_session() re-prepares only what the
+  // fingerprint suppression has not already committed.
+  for (const PreparedHome& p : prepared) {
+    Message msg;
+    msg.type = MessageType::kWbCommit;
+    msg.to = p.home;
+    msg.session = session_;
+    msg.seq = endpoint_.next_seq();
+    xdr::Encoder enc(msg.payload);
+    enc.put_u64(epoch);
+    ++stats_.wb_commits;
+    auto ack = guarded_roundtrip(std::move(msg), MessageType::kWbCommitAck,
+                                 nullptr, /*idempotent=*/true);
     if (!ack) return ack.status();
     if (ack.value().type == MessageType::kError) return decode_error(ack.value());
-    commit_shipped(home, shipped);
+    commit_shipped(p.home, p.shipped);
   }
 
   // Multicast the invalidation to every space concerned with the session.
+  // The explicit aborted=0 flag tells homes the session committed: their
+  // extended_malloc storage owned by it is promoted to durable home data.
   for (const SpaceId peer : directory_()) {
-    if (peer == self_) continue;
+    // A dead peer has nothing left to invalidate (its pages were revoked,
+    // its orphans reclaimed) and must not wedge everyone else's commit.
+    if (peer == self_ || detector_.is_dead(peer)) continue;
     Message msg;
     msg.type = MessageType::kInvalidate;
     msg.to = peer;
     msg.session = session_;
     msg.seq = endpoint_.next_seq();
-    auto ack = endpoint_.roundtrip(std::move(msg), MessageType::kInvalidateAck,
-                                   nullptr, timeouts_, /*idempotent=*/true);
+    xdr::Encoder enc(msg.payload);
+    enc.put_u32(0);  // not aborted
+    auto ack = guarded_roundtrip(std::move(msg), MessageType::kInvalidateAck,
+                                 nullptr, /*idempotent=*/true);
     if (!ack) return ack.status();
     if (ack.value().type == MessageType::kError) return decode_error(ack.value());
   }
@@ -1088,6 +1427,7 @@ Status Runtime::abort_session() {
   }
   ++stats_.sessions_aborted;
   SRPC_WARN << name_ << ": aborting session " << aborting;
+  poll_failures();
 
   // Un-flushed extended_malloc/free batches die with the session —
   // provisional identities never reached a home, so there is nothing to
@@ -1095,22 +1435,29 @@ Status Runtime::abort_session() {
   allocator_.clear();
 
   // Best-effort invalidation multicast so peers drop (and tombstone) the
-  // session too. Failures are logged and ignored: abort must succeed even
-  // on a dead network, and the tombstone machinery absorbs whatever the
-  // unreachable peers later send.
+  // session too. A failure never stops the local unwind — abort must leave
+  // the runtime reusable even on a dead network — but it is reported to the
+  // caller: an unreachable live peer still holds session state it will only
+  // shed through its own tombstones or failure detection.
+  Status worst = Status::ok();
   if (aborting != kNoSession) {
     for (const SpaceId peer : directory_()) {
-      if (peer == self_) continue;
+      if (peer == self_ || detector_.is_dead(peer)) continue;
       Message msg;
       msg.type = MessageType::kInvalidate;
       msg.to = peer;
       msg.session = aborting;
       msg.seq = endpoint_.next_seq();
-      auto ack = endpoint_.roundtrip(std::move(msg), MessageType::kInvalidateAck,
-                                     nullptr, timeouts_, /*idempotent=*/true);
+      // aborted=1: homes discard any staged write-back and reclaim the
+      // extended_malloc storage this session created there.
+      xdr::Encoder enc(msg.payload);
+      enc.put_u32(1);
+      auto ack = guarded_roundtrip(std::move(msg), MessageType::kInvalidateAck,
+                                   nullptr, /*idempotent=*/true);
       if (!ack) {
         SRPC_WARN << name_ << ": abort invalidate of space " << peer
                   << " failed: " << ack.status().to_string();
+        worst = ack.status();
       }
     }
     tombstone_session(aborting);
@@ -1124,7 +1471,7 @@ Status Runtime::abort_session() {
   clear_ship_state();
   cache_session_ = kNoSession;
   session_ = kNoSession;
-  return Status::ok();
+  return worst;
 }
 
 // ---------------------------------------------------------------------------
@@ -1142,6 +1489,8 @@ Status Runtime::dispatch(Message msg) {
     case MessageType::kFetch:
     case MessageType::kAllocBatch:
     case MessageType::kWriteBack:
+    case MessageType::kWbPrepare:
+    case MessageType::kWbCommit:
     case MessageType::kDeref:
       if (is_dead_session(msg.session)) {
         ++stats_.dead_session_rejections;
@@ -1176,6 +1525,16 @@ Status Runtime::dispatch(Message msg) {
       return serve_writeback(std::move(msg));
     case MessageType::kInvalidate:
       return serve_invalidate(std::move(msg));
+    case MessageType::kWbPrepare:
+      return serve_wb_prepare(std::move(msg));
+    case MessageType::kWbCommit:
+      return serve_wb_commit(std::move(msg));
+    case MessageType::kWbAbort:
+      // Always servable, even past the tombstone: a lost abort may be
+      // retransmitted after the session's INVALIDATE already landed.
+      return serve_wb_abort(std::move(msg));
+    case MessageType::kPing:
+      return serve_ping(std::move(msg));
     case MessageType::kDeref:
       return serve_deref(std::move(msg));
     case MessageType::kShutdown:
@@ -1186,6 +1545,10 @@ Status Runtime::dispatch(Message msg) {
     case MessageType::kAllocReply:
     case MessageType::kWriteBackAck:
     case MessageType::kInvalidateAck:
+    case MessageType::kWbPrepareAck:
+    case MessageType::kWbCommitAck:
+    case MessageType::kWbAbortAck:
+    case MessageType::kPong:
     case MessageType::kDerefReply:
     case MessageType::kError:
       // A reply whose request already completed: the first copy (or a

@@ -28,6 +28,7 @@
 #include "common/status.hpp"
 #include "core/cache_manager.hpp"
 #include "core/closure.hpp"
+#include "core/failure_detector.hpp"
 #include "core/modified_set.hpp"
 #include "mem/managed_heap.hpp"
 #include "mem/remote_allocator.hpp"
@@ -59,6 +60,21 @@ struct RuntimeStats {
   std::uint64_t delta_bytes_shipped = 0;      // of which delta-format entries
   std::uint64_t deltas_skipped_by_epoch = 0;  // objects omitted because the
                                               // destination already held them
+  // Crash-safe session commit & failure containment (PROTOCOL.md "Failure
+  // model & two-phase write-back").
+  std::uint64_t wb_prepares = 0;          // WB_PREPARE round trips initiated
+  std::uint64_t wb_commits = 0;           // WB_COMMIT round trips initiated
+  std::uint64_t wb_aborts = 0;            // WB_ABORT rollbacks initiated
+  std::uint64_t wb_prepares_served = 0;   // shadow stagings at this home
+  std::uint64_t wb_commits_served = 0;    // shadow applications at this home
+  std::uint64_t wb_aborts_served = 0;     // shadow discards at this home
+  std::uint64_t probes_sent = 0;          // failure-detector pings issued
+  std::uint64_t peers_died = 0;           // dead-peer cleanups performed here
+  std::uint64_t failfast_rejections = 0;  // requests refused locally: peer dead
+  std::uint64_t leases_expired = 0;       // source leases revoked (death/lapse)
+  std::uint64_t orphan_bytes_reclaimed = 0;  // extended_malloc storage freed
+                                             // after owner death or abort
+  std::uint64_t session_teardown_failures = 0;  // ~Session: end AND abort failed
 };
 
 class Runtime final : public PageFetcher,
@@ -114,6 +130,46 @@ class Runtime final : public PageFetcher,
     return modified_deltas_enabled_;
   }
   void set_modified_deltas(bool on) noexcept { modified_deltas_enabled_ = on; }
+
+  // Local kill switch for the two-phase session-end write-back. Off, this
+  // runtime ends sessions with the one-shot WRITE_BACK protocol even toward
+  // capable peers. Flip only between sessions.
+  [[nodiscard]] bool two_phase_writeback() const noexcept {
+    return two_phase_writeback_enabled_;
+  }
+  void set_two_phase_writeback(bool on) noexcept {
+    two_phase_writeback_enabled_ = on;
+  }
+
+  // --- failure containment --------------------------------------------------
+
+  // Per-peer liveness verdicts. The detector is thread-safe; World::mark_dead
+  // flips the bit from outside the worker, then queues on_peer_dead() for
+  // the side effects.
+  [[nodiscard]] FailureDetector& detector() noexcept { return detector_; }
+
+  // Containment for one dead peer: revoke its cached pages (leases), drop
+  // shadow commits it staged, and reclaim extended_malloc storage it owns.
+  // Must run on the worker thread at a safe point (never inside the SIGSEGV
+  // fill path) — external callers go through the mailbox task queue.
+  void on_peer_dead(SpaceId peer);
+
+  // Lease time-to-live on cached sources, in virtual-clock nanoseconds.
+  // 0 (default) disables lapse-based revocation; death-based revocation via
+  // on_peer_dead() is always active.
+  void set_lease_ttl_ns(std::uint64_t ttl_ns) noexcept { lease_ttl_ns_ = ttl_ns; }
+  [[nodiscard]] std::uint64_t lease_ttl_ns() const noexcept { return lease_ttl_ns_; }
+
+  // Drains queued dead-peer cleanups and revokes lapsed leases. Runs
+  // automatically at session boundaries and before calls; exposed so tests
+  // can force a check at a known point.
+  void poll_failures();
+
+  // Called by Session's destructor when end_session() failed AND the
+  // abort_session() fallback failed too — the swallowed-status counter.
+  void note_session_teardown_failure() noexcept {
+    ++stats_.session_teardown_failures;
+  }
 
   // --- worker loop ------------------------------------------------------------
 
@@ -227,6 +283,21 @@ class Runtime final : public PageFetcher,
   Status serve_writeback(Message msg);
   Status serve_invalidate(Message msg);
   Status serve_deref(Message msg);
+  Status serve_wb_prepare(Message msg);
+  Status serve_wb_commit(Message msg);
+  Status serve_wb_abort(Message msg);
+  Status serve_ping(Message msg);
+
+  // endpoint_.roundtrip guarded by the failure detector: fails fast with
+  // SPACE_DEAD when the destination is already declared dead, notes contact
+  // on success, and probes the peer (kPing, one short attempt) after a
+  // DEADLINE_EXCEEDED/UNAVAILABLE so consecutive misses accumulate into
+  // suspicion and, eventually, a death verdict.
+  Result<Message> guarded_roundtrip(Message msg, MessageType reply_type,
+                                    const RpcEndpoint::Dispatcher& serve,
+                                    bool idempotent);
+  void probe_peer(SpaceId peer);
+  [[nodiscard]] std::uint64_t vnow_ns() const noexcept;
 
   // Flushes pending extended_malloc/extended_free batches to every home
   // (must precede any control transfer: the modified data set cannot be
@@ -292,6 +363,7 @@ class Runtime final : public PageFetcher,
   std::function<std::uint32_t(SpaceId)> peer_caps_;
   PointerRangeIndex pointer_index_;
   bool modified_deltas_enabled_ = true;
+  bool two_phase_writeback_enabled_ = true;
 
   Mailbox mailbox_;
   RpcEndpoint endpoint_;
@@ -332,6 +404,37 @@ class Runtime final : public PageFetcher,
   // is refused: the paper's model has one session at a time, and mixing
   // two sessions' modified sets would corrupt both.
   SessionId cache_session_ = kNoSession;
+
+  // --- two-phase write-back (home side) ------------------------------------
+  // A staged modified set waiting for WB_COMMIT. Keyed by session; the
+  // commit epoch disambiguates retried end_session() attempts (a fresh
+  // attempt re-prepares under a higher epoch and simply replaces the stale
+  // stage). Applied only by serve_wb_commit; dropped by serve_wb_abort and
+  // by the session's INVALIDATE.
+  struct ShadowCommit {
+    std::uint64_t epoch = 0;
+    SpaceId from = kInvalidSpaceId;
+    ByteBuffer staged;  // the modified-set section, byte-exact
+  };
+  std::unordered_map<SessionId, ShadowCommit> shadow_commits_;
+  // Highest epoch already applied per session, so duplicate-delivered or
+  // retransmitted WB_COMMIT/WB_PREPARE messages re-ack instead of
+  // re-staging or failing. Erased when the session's INVALIDATE lands.
+  std::unordered_map<SessionId, std::uint64_t> committed_epochs_;
+  // Coordinator-side commit epoch, monotonically increasing per attempt.
+  std::uint64_t wb_epoch_ = 0;
+
+  // --- failure containment ---------------------------------------------------
+  FailureDetector detector_;
+  std::uint64_t lease_ttl_ns_ = 0;  // 0: lapse-based revocation disabled
+  // Peers whose death was detected mid-request (possibly inside the SIGSEGV
+  // fill path, where revoking pages would corrupt the fill in progress);
+  // poll_failures() runs the cleanup at the next safe point.
+  std::vector<SpaceId> pending_dead_cleanup_;
+  // Peers already contained by on_peer_dead(), so repeated death reports
+  // (detector edge + World::mark_dead + queued cleanups) act once.
+  std::unordered_set<SpaceId> dead_cleaned_;
+  bool probing_ = false;  // re-entrancy guard: never probe from a probe
 };
 
 }  // namespace srpc

@@ -43,7 +43,13 @@ class Session {
                    << "; aborting session";
         Status aborted = rt_.abort_session();
         if (!aborted.is_ok()) {
-          SRPC_ERROR << "session abort failed: " << aborted.to_string();
+          // Both teardown paths failed: the session is gone locally but
+          // peers may still hold its state until their own tombstone or
+          // failure detection catches up. Surface it in stats, not just the
+          // log, so tests and operators can assert on it.
+          SRPC_ERROR << "session abort also failed: " << aborted.to_string()
+                     << "; peers must reclaim via tombstones";
+          rt_.note_session_teardown_failure();
         }
       }
     }
@@ -92,7 +98,9 @@ class Session {
 
   // Gives up on the session after a failure (deadline, unreachable peer):
   // best-effort peer invalidation, then unconditional local unwind. The
-  // runtime is reusable for a fresh session afterwards.
+  // runtime is reusable for a fresh session afterwards regardless of the
+  // returned status; non-OK means some live peer could not be told and
+  // will shed the session through its own tombstones or failure detection.
   Status abort() {
     ended_ = true;
     return rt_.abort_session();

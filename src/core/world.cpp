@@ -43,11 +43,18 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
   // Capability advertisement is evaluated per send, so a later create_space
   // with a foreign ArchModel retracts the delta capability world-wide.
   auto peer_caps = [this](SpaceId) -> std::uint32_t {
-    if (!options_.modified_deltas) return 0;
-    for (const auto& s : spaces_) {
-      if (!(s->runtime().arch() == spaces_.front()->runtime().arch())) return 0;
+    std::uint32_t caps = 0;
+    if (options_.two_phase_writeback) caps |= kCapTwoPhaseWriteBack;
+    if (options_.modified_deltas) {
+      caps |= kCapModifiedDelta;
+      for (const auto& s : spaces_) {
+        if (!(s->runtime().arch() == spaces_.front()->runtime().arch())) {
+          caps &= ~kCapModifiedDelta;
+          break;
+        }
+      }
     }
-    return kCapModifiedDelta;
+    return caps;
   };
   spaces_.push_back(std::make_unique<AddressSpace>(
       id, name, arch, registry_, layouts_, host_types_, transport, sim_.get(),
@@ -74,6 +81,31 @@ Status World::start() {
     }
   }
   return Status::ok();
+}
+
+void World::mark_suspect(SpaceId id) {
+  for (auto& space : spaces_) {
+    if (space->id() == id) continue;
+    space->runtime().detector().mark_suspect(id);
+  }
+}
+
+void World::mark_dead(SpaceId id) {
+  for (auto& space : spaces_) {
+    if (space->id() == id) continue;
+    // The detector is thread-safe, so flip the liveness bit immediately —
+    // new calls into `id` fail fast right away. The cleanup side effects
+    // (lease revocation, orphan reclamation) touch worker-owned state, so
+    // they run as a task on that space's own thread.
+    space->runtime().detector().mark_dead(id);
+    Runtime& rt = space->runtime();
+    (void)rt.mailbox().push_task([&rt, id] { rt.on_peer_dead(id); });
+  }
+}
+
+void World::crash_space(SpaceId id) {
+  if (fault_) fault_->crash_space(id);
+  mark_dead(id);
 }
 
 double World::virtual_seconds() const {

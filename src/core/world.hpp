@@ -40,6 +40,12 @@ struct WorldOptions {
   // the sender's local layout); mixed-arch worlds fall back to full graph
   // payloads automatically.
   bool modified_deltas = true;
+  // Advertise the two-phase write-back capability: session end stages the
+  // modified set on every home (WB_PREPARE) and applies it only once all
+  // homes acked (WB_COMMIT), so a crash mid-commit leaves surviving homes
+  // all-committed or all-rolled-back. Works across mixed-arch worlds — the
+  // staged bytes reuse the existing modified-set formats.
+  bool two_phase_writeback = true;
 };
 
 class World {
@@ -68,6 +74,18 @@ class World {
 
   // Fault-injection decorator (null unless options.fault_injection).
   [[nodiscard]] FaultTransport* fault() noexcept { return fault_.get(); }
+
+  // Failure-model controls. mark_suspect/mark_dead tell every *other*
+  // space's failure detector about `id` (dead is terminal: calls into the
+  // space fail fast with SPACE_DEAD, its leases are revoked and the
+  // extended_malloc storage it owns on each home is reclaimed).
+  // crash_space additionally severs the space from the wire (requires
+  // options.fault_injection for the transport cut; the liveness verdict is
+  // delivered either way). Simulated transport only for the verdict push —
+  // socket worlds rely on the probe path.
+  void mark_suspect(SpaceId id);
+  void mark_dead(SpaceId id);
+  void crash_space(SpaceId id);
 
   // Simulated-transport observability (null on the socket transport).
   [[nodiscard]] SimNetwork* sim() noexcept { return sim_.get(); }

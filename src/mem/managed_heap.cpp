@@ -122,4 +122,65 @@ const ManagedHeap::Record* ManagedHeap::find_base(std::uint64_t addr) const {
   return it == records_.end() ? nullptr : &it->second;
 }
 
+Status ManagedHeap::tag_owner(std::uint64_t addr, SpaceId space,
+                              SessionId session) {
+  auto it = records_.find(static_cast<std::uintptr_t>(addr));
+  if (it == records_.end()) {
+    return not_found("tag_owner: not an allocation base");
+  }
+  it->second.owner_space = space;
+  it->second.owner_session = session;
+  return Status::ok();
+}
+
+std::size_t ManagedHeap::promote_session(SessionId session) {
+  std::size_t promoted = 0;
+  for (auto& [base, record] : records_) {
+    if (record.owner_session == session) {
+      record.owner_space = kInvalidSpaceId;
+      record.owner_session = kNoSession;
+      ++promoted;
+    }
+  }
+  return promoted;
+}
+
+std::uint64_t ManagedHeap::reclaim_session(SessionId session) {
+  std::uint64_t reclaimed = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.owner_session == session) {
+      reclaimed += it->second.size;
+      live_bytes_ -= it->second.size;
+      release_record(it->second);
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+std::uint64_t ManagedHeap::reclaim_owned_by(SpaceId space) {
+  std::uint64_t reclaimed = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.owner_space == space) {
+      reclaimed += it->second.size;
+      live_bytes_ -= it->second.size;
+      release_record(it->second);
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+std::uint64_t ManagedHeap::owned_bytes(SpaceId space) const {
+  std::uint64_t bytes = 0;
+  for (const auto& [base, record] : records_) {
+    if (record.owner_space == space) bytes += record.size;
+  }
+  return bytes;
+}
+
 }  // namespace srpc

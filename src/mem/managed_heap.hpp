@@ -40,6 +40,12 @@ class ManagedHeap {
     std::uint8_t* base = nullptr;
     bool adopted = false;        // registered, not owned: never deallocated here
     bool mapped = false;         // low-address mmap (foreign-arch space)
+    // Remote provenance, for orphan reclamation: which space/session asked
+    // for this storage via extended_malloc (ALLOC_BATCH). Local allocations
+    // stay untagged. A committed session promotes its allocations to
+    // untagged (they are durable home data from then on).
+    SpaceId owner_space = kInvalidSpaceId;
+    SessionId owner_session = kNoSession;
   };
 
   ManagedHeap(TypeRegistry& registry, const LayoutEngine& layouts,
@@ -67,6 +73,27 @@ class ManagedHeap {
 
   // Allocation whose base is exactly `addr`.
   [[nodiscard]] const Record* find_base(std::uint64_t addr) const;
+
+  // --- Orphan reclamation (remote extended_malloc provenance) ---
+
+  // Tags the allocation based at `addr` with the requesting space/session.
+  Status tag_owner(std::uint64_t addr, SpaceId space, SessionId session);
+
+  // Clears the tags of every allocation owned by `session`: its data
+  // committed and now belongs to the home like any local allocation.
+  // Returns the number of allocations promoted.
+  std::size_t promote_session(SessionId session);
+
+  // Frees every still-tagged allocation owned by `session` (its owner
+  // aborted or died before committing). Returns bytes reclaimed.
+  std::uint64_t reclaim_session(SessionId session);
+
+  // Frees every still-tagged allocation owned by `space`, any session
+  // (the space was declared dead). Returns bytes reclaimed.
+  std::uint64_t reclaim_owned_by(SpaceId space);
+
+  // Live bytes still tagged to some remote owner (not yet promoted).
+  [[nodiscard]] std::uint64_t owned_bytes(SpaceId space) const;
 
   [[nodiscard]] bool contains(const void* addr) const { return find(addr) != nullptr; }
 

@@ -9,6 +9,20 @@ bool FaultTransport::targeted(MessageType t) const {
   return (target_mask_ & (1u << static_cast<std::uint32_t>(t))) != 0;
 }
 
+bool FaultTransport::cut(const Message& msg) {
+  // Mutex held. Crash wins over partition for attribution; both lose the
+  // message silently in either direction.
+  if (crashed_.contains(msg.to) || crashed_.contains(msg.from)) {
+    ++stats_.crash_drops;
+    return true;
+  }
+  if (partitioned_.contains(msg.to) || partitioned_.contains(msg.from)) {
+    ++stats_.partition_drops;
+    return true;
+  }
+  return false;
+}
+
 Status FaultTransport::send(Message msg) {
   bool drop = false;
   bool duplicate = false;
@@ -17,6 +31,12 @@ Status FaultTransport::send(Message msg) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.seen;
+
+    if (cut(msg)) {
+      SRPC_DEBUG << "fault: cut " << to_string(msg.type) << " " << msg.from
+                 << "->" << msg.to << " seq=" << msg.seq;
+      return Status::ok();  // silent loss, like any network drop
+    }
 
     if (fuse_ >= 0 && sent_++ >= fuse_) {
       ++stats_.fuse_failures;
@@ -80,8 +100,13 @@ Status FaultTransport::send(Message msg) {
                << "->" << msg.to << " seq=" << msg.seq;
   }
 
-  // Reordered traffic rides out after the current message.
+  // Reordered traffic rides out after the current message (unless the
+  // destination got cut while the message was held).
   for (auto& late : due) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (cut(late)) continue;
+    }
     Status s = inner_.send(std::move(late));
     if (s.is_ok()) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -107,6 +132,7 @@ void FaultTransport::disarm() {
     fuse_ = -1;
     sent_ = 0;
     for (auto& n : pending_drops_) n = 0;
+    partitioned_.clear();  // crashes stay: the process is gone for good
   }
   flush();
 }
@@ -130,6 +156,36 @@ void FaultTransport::target_all() {
   target_mask_ = 0;
 }
 
+void FaultTransport::partition(SpaceId dst) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitioned_.insert(dst);
+}
+
+void FaultTransport::heal(SpaceId dst) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitioned_.erase(dst);
+}
+
+void FaultTransport::heal_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitioned_.clear();
+}
+
+bool FaultTransport::is_partitioned(SpaceId dst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return partitioned_.contains(dst);
+}
+
+void FaultTransport::crash_space(SpaceId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_.insert(id);
+}
+
+bool FaultTransport::is_crashed(SpaceId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_.contains(id);
+}
+
 void FaultTransport::set_fuse(int sends) {
   std::lock_guard<std::mutex> lock(mutex_);
   sent_ = 0;
@@ -143,6 +199,10 @@ void FaultTransport::flush() {
     held.swap(held_);
   }
   for (auto& h : held) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (cut(h.msg)) continue;
+    }
     Status s = inner_.send(std::move(h.msg));
     if (s.is_ok()) {
       std::lock_guard<std::mutex> lock(mutex_);

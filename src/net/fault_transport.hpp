@@ -19,6 +19,14 @@
 // discards the next n sends of that kind regardless of rates — the tool
 // for deterministic "lose exactly one reply" tests.
 //
+// Topology faults model whole-space failure rather than per-message loss:
+//   * partition(dst): every message to or from `dst` is silently discarded
+//     until heal(dst)/heal_all() — a two-way network cut. Healable.
+//   * crash_space(id): same cut, but permanent for the transport's
+//     lifetime — the process is gone, not the link. disarm() heals
+//     partitions but never crashes.
+// Both are independent of arm()/disarm() rates and of the target mask.
+//
 // Thread-safety: send() may be called from any thread, including the
 // SIGSEGV fault path (same discipline as every Transport). All state is
 // guarded by one mutex; the inner transport is invoked outside callbacks
@@ -28,6 +36,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -51,6 +60,8 @@ struct FaultStats {
   std::uint64_t duplicated = 0;  // extra copies delivered
   std::uint64_t delayed = 0;     // messages held back at least once
   std::uint64_t fuse_failures = 0;  // sends refused by the fuse
+  std::uint64_t partition_drops = 0;  // losses from partition(dst) cuts
+  std::uint64_t crash_drops = 0;      // losses from crash_space(id)
 };
 
 class FaultTransport final : public Transport {
@@ -76,8 +87,23 @@ class FaultTransport final : public Transport {
   void target(std::initializer_list<MessageType> kinds);
   void target_all();
 
+  // Two-way network cut around `dst`: messages to or from it are silently
+  // lost (send still returns OK) until healed.
+  void partition(SpaceId dst);
+  void heal(SpaceId dst);
+  void heal_all();
+  [[nodiscard]] bool is_partitioned(SpaceId dst) const;
+
+  // Permanent cut: the space's process is gone. Never healed (not even by
+  // disarm()); messages in both directions are silently lost.
+  void crash_space(SpaceId id);
+  [[nodiscard]] bool is_crashed(SpaceId id) const;
+
   // Legacy hard-failure fuse: after `sends` more successful sends, every
   // send (any kind) fails with UNAVAILABLE until the fuse is reset.
+  // Legacy — prefer partition()/crash_space(), which model where the
+  // failure is (a peer, not the whole world) and let unaffected traffic
+  // flow; the fuse remains for tests of the global-outage path.
   void set_fuse(int sends);
 
   // Delivers every held-back message now.
@@ -87,6 +113,7 @@ class FaultTransport final : public Transport {
 
  private:
   [[nodiscard]] bool targeted(MessageType t) const;  // mutex held
+  [[nodiscard]] bool cut(const Message& msg);        // mutex held; counts stats
 
   Transport& inner_;
   mutable std::mutex mutex_;
@@ -102,6 +129,8 @@ class FaultTransport final : public Transport {
     std::uint32_t remaining = 0;
   };
   std::vector<Held> held_;
+  std::unordered_set<SpaceId> partitioned_;
+  std::unordered_set<SpaceId> crashed_;
   FaultStats stats_;
 };
 

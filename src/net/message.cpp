@@ -32,6 +32,22 @@ std::string_view to_string(MessageType t) noexcept {
       return "ERROR";
     case MessageType::kShutdown:
       return "SHUTDOWN";
+    case MessageType::kWbPrepare:
+      return "WB_PREPARE";
+    case MessageType::kWbPrepareAck:
+      return "WB_PREPARE_ACK";
+    case MessageType::kWbCommit:
+      return "WB_COMMIT";
+    case MessageType::kWbCommitAck:
+      return "WB_COMMIT_ACK";
+    case MessageType::kWbAbort:
+      return "WB_ABORT";
+    case MessageType::kWbAbortAck:
+      return "WB_ABORT_ACK";
+    case MessageType::kPing:
+      return "PING";
+    case MessageType::kPong:
+      return "PONG";
   }
   return "UNKNOWN";
 }

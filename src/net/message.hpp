@@ -30,6 +30,14 @@ enum class MessageType : std::uint8_t {
   kDerefReply,
   kError,          // remote failure terminating the pending operation
   kShutdown,       // world teardown: stop the space's worker loop
+  kWbPrepare,      // two-phase write-back: stage modified set in a shadow buffer
+  kWbPrepareAck,
+  kWbCommit,       // apply the staged shadow buffer for {session, epoch}
+  kWbCommitAck,
+  kWbAbort,        // discard the staged shadow buffer
+  kWbAbortAck,
+  kPing,           // failure-detector probe
+  kPong,
 };
 
 std::string_view to_string(MessageType t) noexcept;

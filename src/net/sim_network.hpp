@@ -25,8 +25,8 @@ struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t wire_bytes = 0;
   // Indexed by MessageType's underlying value.
-  std::array<std::uint64_t, 16> messages_by_type{};
-  std::array<std::uint64_t, 16> bytes_by_type{};
+  std::array<std::uint64_t, 32> messages_by_type{};
+  std::array<std::uint64_t, 32> bytes_by_type{};
 
   [[nodiscard]] std::uint64_t count(MessageType t) const noexcept {
     return messages_by_type[static_cast<std::size_t>(t)];

@@ -13,7 +13,7 @@ namespace srpc {
 namespace {
 bool valid_message_type(std::uint32_t t) noexcept {
   return t >= static_cast<std::uint32_t>(MessageType::kCall) &&
-         t <= static_cast<std::uint32_t>(MessageType::kShutdown);
+         t <= static_cast<std::uint32_t>(MessageType::kPong);
 }
 
 constexpr std::uint32_t kMaxDeltaRanges = 1U << 20;

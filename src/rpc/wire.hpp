@@ -56,6 +56,10 @@ inline constexpr std::uint32_t kModifiedDeltaMagic = 0x4D444C54;  // "MDLT"
 
 // Capability bits (World::peer_caps).
 inline constexpr std::uint32_t kCapModifiedDelta = 1U << 0;
+// Peer understands the two-phase write-back exchange (WB_PREPARE /
+// WB_COMMIT / WB_ABORT, PROTOCOL.md "Failure model"). Non-capable peers
+// keep the one-shot WRITE_BACK protocol.
+inline constexpr std::uint32_t kCapTwoPhaseWriteBack = 1U << 1;
 
 struct ModifiedDelta {
   LongPointer id;

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 
 #include "core/smart_rpc.hpp"
@@ -21,7 +22,16 @@ namespace {
 
 using workload::ListNode;
 
-constexpr std::uint64_t kSoakSeedBase = 0x50AB5EEDull;
+constexpr std::uint64_t kDefaultSoakSeedBase = 0x50AB5EEDull;
+
+// scripts/soak.sh sweeps many bases by exporting SRPC_SOAK_SEED_BASE; the
+// default keeps a plain `ctest` run fully deterministic.
+std::uint64_t soak_seed_base() {
+  const char* env = std::getenv("SRPC_SOAK_SEED_BASE");
+  if (env == nullptr || *env == '\0') return kDefaultSoakSeedBase;
+  return std::strtoull(env, nullptr, 0);
+}
+const std::uint64_t kSoakSeedBase = soak_seed_base();
 constexpr int kIterations = 55;  // 2 sessions each → 110 sessions/transport
 
 class SoakTest : public ::testing::TestWithParam<TransportKind> {};

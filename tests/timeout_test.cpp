@@ -107,7 +107,7 @@ TEST_F(TimeoutTest, LostFetchReplyReturnsDeadlineExceeded) {
   });
 }
 
-TEST_F(TimeoutTest, LostWriteBackAckReturnsDeadlineExceeded) {
+TEST_F(TimeoutTest, LostPrepareAckRollsBackCleanly) {
   a_->run([&](Runtime& rt) {
     ASSERT_TRUE(rt.begin_session().is_ok());
     auto head = typed_call<ListNode*>(rt, 1, "head");
@@ -116,7 +116,7 @@ TEST_F(TimeoutTest, LostWriteBackAckReturnsDeadlineExceeded) {
     ASSERT_TRUE(rt.prefetch(head.value(), 1 << 16).is_ok());
     head.value()->value = 999;
 
-    drop_all(MessageType::kWriteBackAck);
+    drop_all(MessageType::kWbPrepareAck);
     const auto start = Clock::now();
     auto ended = rt.end_session();
     const auto elapsed = Clock::now() - start;
@@ -126,13 +126,105 @@ TEST_F(TimeoutTest, LostWriteBackAckReturnsDeadlineExceeded) {
 
     ASSERT_TRUE(rt.abort_session().is_ok());
     fault_->disarm();
-    // The write-back itself was delivered (only its ack was lost), so the
-    // home applied the new value at least once — overwrite is idempotent.
+    // Two-phase write-back: the PREPARE may have been staged at the home
+    // but was never committed, and the abort discarded the stage — the
+    // home must still hold the original value, not the half-shipped 999.
     Session session(rt);
     auto sum = typed_call<std::int64_t>(rt, 1, "sumall");
     ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
-    EXPECT_EQ(sum.value(), 999 + 11 + 12);
+    EXPECT_EQ(sum.value(), 10 + 11 + 12);
     ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+TEST_F(TimeoutTest, LostCommitAckConvergesOnRetry) {
+  a_->run([&](Runtime& rt) {
+    ASSERT_TRUE(rt.begin_session().is_ok());
+    auto head = typed_call<ListNode*>(rt, 1, "head");
+    ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+    ASSERT_TRUE(rt.prefetch(head.value(), 1 << 16).is_ok());
+    head.value()->value = 777;
+
+    // The COMMIT itself lands (the home applies), only its ack is eaten:
+    // end_session must report failure and stay retryable.
+    drop_all(MessageType::kWbCommitAck);
+    auto ended = rt.end_session();
+    ASSERT_FALSE(ended.is_ok());
+    EXPECT_EQ(ended.code(), StatusCode::kDeadlineExceeded) << ended.to_string();
+
+    // Once the wire heals, retrying end() converges: the home re-acks the
+    // duplicate prepare/commit and the value is applied exactly as written.
+    fault_->disarm();
+    ASSERT_TRUE(rt.end_session().is_ok());
+    Session session(rt);
+    auto sum = typed_call<std::int64_t>(rt, 1, "sumall");
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 777 + 11 + 12);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Home partitioned while end_session() runs: the caller must get a bounded
+// typed failure, the session must be abortable (tombstoning it), and the
+// home must not be left half-committed — its data still reads as the
+// original after the partition heals.
+TEST_F(TimeoutTest, PartitionDuringEndSessionLeavesNoHalfCommit) {
+  a_->run([&](Runtime& rt) {
+    ASSERT_TRUE(rt.begin_session().is_ok());
+    auto head = typed_call<ListNode*>(rt, 1, "head");
+    ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+    ASSERT_TRUE(rt.prefetch(head.value(), 1 << 16).is_ok());
+    head.value()->value = 555;
+
+    fault_->partition(1);  // sever A <-> B both directions
+    const auto start = Clock::now();
+    auto ended = rt.end_session();
+    const auto elapsed = Clock::now() - start;
+    ASSERT_FALSE(ended.is_ok());
+    EXPECT_TRUE(ended.code() == StatusCode::kDeadlineExceeded ||
+                ended.code() == StatusCode::kUnavailable ||
+                ended.code() == StatusCode::kSpaceDead)
+        << ended.to_string();
+    EXPECT_LT(elapsed, kBound);
+
+    // Abort while still partitioned: the local unwind completes, bounded,
+    // and the unreachable peer is reported (it relies on tombstones).
+    const auto abort_start = Clock::now();
+    EXPECT_FALSE(rt.abort_session().is_ok());
+    EXPECT_LT(Clock::now() - abort_start, kBound);
+    EXPECT_GE(rt.stats().sessions_aborted, 1u);
+
+    fault_->heal(1);
+    expect_fresh_session_works(rt);
+    // No half-commit: the orderly end never reached COMMIT, so the home
+    // still serves the original list.
+    Session session(rt);
+    auto sum = typed_call<std::int64_t>(rt, 1, "sumall");
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 10 + 11 + 12);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
+
+// Regression for the silent-swallow in ~Session: when the implicit end
+// fails and the abort fallback cannot invalidate peers either, the failure
+// must be recorded in RuntimeStats, not just logged.
+TEST_F(TimeoutTest, SessionDtorRecordsDoubleTeardownFailure) {
+  a_->run([&](Runtime& rt) {
+    const auto before = rt.stats().session_teardown_failures;
+    {
+      Session session(rt);
+      auto head = typed_call<ListNode*>(rt, 1, "head");
+      ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+      ASSERT_TRUE(rt.prefetch(head.value(), 1 << 16).is_ok());
+      head.value()->value = 321;
+      // Cut the home off entirely: end() fails (no prepare ack) and the
+      // abort fallback's own unwind hits the same dead wire.
+      fault_->partition(1);
+    }
+    EXPECT_GE(rt.stats().session_teardown_failures, before + 1);
+    fault_->heal(1);
+    expect_fresh_session_works(rt);
   });
 }
 
@@ -151,10 +243,11 @@ TEST_F(TimeoutTest, LostInvalidateAckReturnsDeadlineExceeded) {
     EXPECT_EQ(ended.code(), StatusCode::kDeadlineExceeded) << ended.to_string();
     EXPECT_LT(elapsed, kBound);
 
-    // Abort's invalidation multicast is best effort: it still times out
-    // here, yet the local unwind must succeed and stay bounded.
+    // Abort's invalidation multicast also loses its acks: the local unwind
+    // still completes, bounded, but the failure to reach the peer is now
+    // reported instead of swallowed.
     const auto abort_start = Clock::now();
-    ASSERT_TRUE(rt.abort_session().is_ok());
+    EXPECT_FALSE(rt.abort_session().is_ok());
     EXPECT_LT(Clock::now() - abort_start, kBound);
     fault_->disarm();
     expect_fresh_session_works(rt);
