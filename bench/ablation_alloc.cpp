@@ -44,6 +44,12 @@ srpc::bench::RobustnessCounters& robustness_total() {
   return r;
 }
 
+// Same deal for the roundtrip-latency histograms feeding "latency_ns".
+srpc::MetricsRegistry& latency_total() {
+  static srpc::MetricsRegistry m;
+  return m;
+}
+
 Outcome run_strategy(AllocationStrategy strategy, std::uint64_t closure_bytes) {
   WorldOptions options;
   options.cost = CostModel::sparc_ethernet();
@@ -111,6 +117,9 @@ Outcome run_strategy(AllocationStrategy strategy, std::uint64_t closure_bytes) {
     session.end().check();
     robustness_total().add(rt.stats());
     robustness_total().add(walker.run([](Runtime& w) { return w.stats(); }));
+    latency_total().merge(rt.metrics());
+    latency_total().merge(
+        walker.run([](Runtime& w) -> MetricsRegistry { return w.metrics(); }));
     return out;
   });
 }
@@ -145,6 +154,7 @@ BENCHMARK(BM_MixedOrigins)->Arg(0)->Arg(4096)->UseManualTime()->Iterations(1)->U
 }  // namespace
 
 int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -160,7 +170,7 @@ int main(int argc, char** argv) {
   srpc::bench::write_bench_json(
       "ablation_alloc", {{"list_length", 512}},
       {"strategy_mixed", "closure_bytes", "virtual_s", "fetches", "faults"},
-      table, robustness_total());
+      table, robustness_total(), &latency_total());
   benchmark::Shutdown();
   return 0;
 }

@@ -43,6 +43,12 @@ srpc::bench::RobustnessCounters& robustness_total() {
   return r;
 }
 
+// Same deal for the roundtrip-latency histograms feeding "latency_ns".
+srpc::MetricsRegistry& latency_total() {
+  static srpc::MetricsRegistry m;
+  return m;
+}
+
 Outcome build_remote_list(bool flush_each) {
   WorldOptions options;
   options.cost = CostModel::sparc_ethernet();
@@ -84,6 +90,9 @@ Outcome build_remote_list(bool flush_each) {
     session.end().check();
     robustness_total().add(rt.stats());
     robustness_total().add(home.run([](Runtime& h) { return h.stats(); }));
+    latency_total().merge(rt.metrics());
+    latency_total().merge(
+        home.run([](Runtime& h) -> MetricsRegistry { return h.metrics(); }));
     return out;
   });
 }
@@ -112,6 +121,7 @@ BENCHMARK(BM_ImmediatePerPrimitive)->UseManualTime()->Iterations(1)->Unit(benchm
 }  // namespace
 
 int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -128,7 +138,8 @@ int main(int argc, char** argv) {
   srpc::bench::write_bench_json(
       "ablation_alloc_batch",
       {{"allocations", static_cast<double>(kAllocations)}},
-      {"flush_each", "virtual_s", "messages"}, table, robustness_total());
+      {"flush_each", "virtual_s", "messages"}, table, robustness_total(),
+      &latency_total());
   benchmark::Shutdown();
   return 0;
 }

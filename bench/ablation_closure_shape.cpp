@@ -49,6 +49,12 @@ srpc::bench::RobustnessCounters& robustness_total() {
   return r;
 }
 
+// Same deal for the roundtrip-latency histograms feeding "latency_ns".
+srpc::MetricsRegistry& latency_total() {
+  static srpc::MetricsRegistry m;
+  return m;
+}
+
 Outcome run_order(TraversalOrder order, std::uint64_t seed) {
   TreeExperiment experiment(nodes(), /*closure_bytes=*/8192);
   // The order knob matters on the space that PACKS closures: the home
@@ -59,6 +65,7 @@ Outcome run_order(TraversalOrder order, std::uint64_t seed) {
   });
   Measurement m = experiment.run_paths(kPaths, seed);
   robustness_total().merge(experiment.robustness());
+  latency_total().merge(experiment.latency());
   return Outcome{order == TraversalOrder::kDepthFirst ? 1.0 : 0.0,
                  static_cast<double>(seed), m.seconds,
                  static_cast<double>(m.fetches),
@@ -89,6 +96,7 @@ BENCHMARK(BM_DepthFirst)->DenseRange(0, 2)->UseManualTime()->Iterations(1)->Unit
 }  // namespace
 
 int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -107,7 +115,7 @@ int main(int argc, char** argv) {
       {{"nodes", static_cast<double>(nodes())},
        {"paths", static_cast<double>(kPaths)}},
       {"order_depth_first", "seed", "virtual_s", "fetches", "wire_KiB"}, table,
-      robustness_total());
+      robustness_total(), &latency_total());
   benchmark::Shutdown();
   return 0;
 }

@@ -81,6 +81,7 @@ BENCHMARK(BM_Proposed)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -98,7 +99,7 @@ int main(int argc, char** argv) {
       {{"nodes", static_cast<double>(nodes())},
        {"closure_bytes", static_cast<double>(kClosureBytes)}},
       {"access_ratio", "fully_eager_s", "fully_lazy_s", "proposed_s"}, table,
-      experiment().robustness());
+      experiment().robustness(), &experiment().latency());
   benchmark::Shutdown();
   return 0;
 }

@@ -91,6 +91,7 @@ BENCHMARK(BM_SparseUpdateBytes)->Arg(1)->Arg(0)->UseManualTime()->Iterations(1)-
 }  // namespace
 
 int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -117,7 +118,7 @@ int main(int argc, char** argv) {
        {"sparse_modified_bytes_full", full},
        {"sparse_delta_over_full", full > 0 ? delta / full : 0.0}},
       {"access_ratio", "lazy_callbacks", "proposed_fetches"}, table,
-      experiment().robustness());
+      experiment().robustness(), &experiment().latency());
   benchmark::Shutdown();
   return 0;
 }

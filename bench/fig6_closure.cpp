@@ -63,6 +63,13 @@ std::map<std::uint64_t, std::map<std::uint32_t, double>>& rows() {
   return r;
 }
 
+// closure -> {prefetch hits, prefetch misses} summed over the tree sizes:
+// how much of each closure the callee's walks actually consumed.
+std::map<std::uint64_t, std::array<double, 2>>& hit_miss() {
+  static std::map<std::uint64_t, std::array<double, 2>> h;
+  return h;
+}
+
 void BM_ClosureSweep(benchmark::State& state) {
   const auto size_index = static_cast<std::size_t>(state.range(0));
   const std::uint64_t closure = kClosureSizes[state.range(1)];
@@ -72,7 +79,11 @@ void BM_ClosureSweep(benchmark::State& state) {
     Measurement m = exp.run_paths(kPaths, kSeed);
     state.SetIterationTime(m.seconds);
     rows()[closure][exp.node_count()] = m.seconds;
+    hit_miss()[closure][0] += static_cast<double>(m.closure_hits);
+    hit_miss()[closure][1] += static_cast<double>(m.closure_misses);
     state.counters["fetches"] = static_cast<double>(m.fetches);
+    state.counters["closure_hits"] = static_cast<double>(m.closure_hits);
+    state.counters["closure_misses"] = static_cast<double>(m.closure_misses);
   }
 }
 
@@ -85,6 +96,7 @@ BENCHMARK(BM_ClosureSweep)
 }  // namespace
 
 int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -96,18 +108,24 @@ int main(int argc, char** argv) {
       auto it = by_size.find(size);
       row.push_back(it == by_size.end() ? 0.0 : it->second);
     }
+    row.push_back(hit_miss()[closure][0]);
+    row.push_back(hit_miss()[closure][1]);
     table.push_back(row);
   }
   std::vector<std::string> columns{"closure_KiB"};
   for (const std::uint32_t size : tree_sizes()) {
     columns.push_back(std::to_string(size) + "_nodes");
   }
+  columns.push_back("closure_prefetch_hits");
+  columns.push_back("closure_prefetch_misses");
   srpc::bench::print_table(
       "Figure 6: processing time (virtual s) vs closure size (KiB), 10 searches",
       columns, table);
+  srpc::MetricsRegistry latency;
+  for (std::size_t i = 0; i < 3; ++i) latency.merge(experiment(i).latency());
   srpc::bench::write_bench_json("fig6_closure",
                                 {{"paths", static_cast<double>(kPaths)}},
-                                columns, table, robustness_total());
+                                columns, table, robustness_total(), &latency);
   benchmark::Shutdown();
   return 0;
 }

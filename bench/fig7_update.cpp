@@ -111,6 +111,7 @@ BENCHMARK(BM_SparseFull)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Ite
 }  // namespace
 
 int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -130,7 +131,7 @@ int main(int argc, char** argv) {
       {{"nodes", static_cast<double>(nodes())},
        {"closure_bytes", static_cast<double>(kClosureBytes)}},
       {"ratio", "updated_s", "visited_only_s", "update_over_visit"}, table,
-      experiment().robustness());
+      experiment().robustness(), &experiment().latency());
 
   std::vector<std::vector<double>> sparse;
   for (const auto& [stride, bytes] : sparse_rows()) {
@@ -150,7 +151,7 @@ int main(int argc, char** argv) {
        {"closure_bytes", static_cast<double>(kClosureBytes)}},
       {"stride", "modified_bytes_delta", "modified_bytes_full",
        "delta_over_full", "delta_section_bytes", "epoch_skips"},
-      sparse, experiment().robustness());
+      sparse, experiment().robustness(), &experiment().latency());
   benchmark::Shutdown();
   return 0;
 }

@@ -24,7 +24,9 @@
 
 #include "baselines/eager_rpc.hpp"
 #include "baselines/lazy_rpc.hpp"
+#include "common/logging.hpp"
 #include "core/smart_rpc.hpp"
+#include "obs/metrics.hpp"
 #include "workload/tree.hpp"
 
 namespace srpc::bench {
@@ -38,6 +40,10 @@ struct Measurement {
   std::uint64_t modified_bytes = 0;  // wire bytes of modified-set sections
   std::uint64_t delta_bytes = 0;     // of which MODIFIED_DELTA entries
   std::uint64_t deltas_skipped = 0;  // epoch/fingerprint skips
+  // Eagerness effectiveness at the callee (CacheStats): closure surplus
+  // objects received vs. objects the callee still faulted for.
+  std::uint64_t closure_hits = 0;
+  std::uint64_t closure_misses = 0;
 };
 
 // Failure-containment counters, summed over every space a bench touched and
@@ -302,6 +308,13 @@ class TreeExperiment {
     return r;
   }
 
+  // Roundtrip latency histograms (rpc.roundtrip_ns{kind=...}) accumulated
+  // over every measurement on both spaces — what write_bench_json turns
+  // into per-kind p50/p95/p99.
+  [[nodiscard]] const MetricsRegistry& latency() const noexcept {
+    return latency_;
+  }
+
  private:
   template <typename F>
   Measurement measure(F body) {
@@ -313,7 +326,13 @@ class TreeExperiment {
         callee_rt.reset_stats();
         return 0;
       });
-      return body(rt);
+      Measurement m = body(rt);
+      // Fold this measurement's latency histograms into the accumulated
+      // registry before the next measurement's reset wipes them.
+      latency_.merge(rt.metrics());
+      latency_.merge(callee_->run(
+          [](Runtime& callee_rt) -> MetricsRegistry { return callee_rt.metrics(); }));
+      return m;
     });
   }
 
@@ -334,6 +353,10 @@ class TreeExperiment {
         caller_stats.delta_bytes_shipped + callee_stats.delta_bytes_shipped;
     m.deltas_skipped = caller_stats.deltas_skipped_by_epoch +
                        callee_stats.deltas_skipped_by_epoch;
+    const CacheStats callee_cache =
+        callee_->run([](Runtime& rt) { return rt.cache().stats(); });
+    m.closure_hits = callee_cache.closure_prefetch_hits;
+    m.closure_misses = callee_cache.closure_prefetch_misses;
     return m;
   }
 
@@ -343,18 +366,25 @@ class TreeExperiment {
   AddressSpace* callee_ = nullptr;
   workload::TreeNode* root_ = nullptr;
   TypeId tree_type_ = kInvalidTypeId;
+  MetricsRegistry latency_;
 };
 
 // Machine-readable results: every figure binary writes BENCH_<name>.json
 // into the working directory alongside its stdout table, so runs can be
 // compared without scraping the console (scripts/bench.sh collects them).
-// Layout: {"bench": ..., "config": {...}, "columns": [...], "rows": [[...]]}.
+// Layout: {"bench": ..., "config": {...}, "robustness": {...},
+//          "latency_ns": {"CALL": {count,p50,p95,p99}, ...},
+//          "columns": [...], "rows": [[...]]}.
+// `latency` supplies the rpc.roundtrip_ns{kind=...} histograms (virtual-
+// clock nanoseconds on the simulated transport) — typically
+// TreeExperiment::latency() or an accumulator merged across worlds.
 inline void write_bench_json(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& config,
     const std::vector<std::string>& columns,
     const std::vector<std::vector<double>>& rows,
-    const RobustnessCounters& robustness = {}) {
+    const RobustnessCounters& robustness = {},
+    const MetricsRegistry* latency = nullptr) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -375,6 +405,24 @@ inline void write_bench_json(
                static_cast<unsigned long long>(robustness.leases_expired),
                static_cast<unsigned long long>(robustness.orphan_bytes_reclaimed),
                static_cast<unsigned long long>(robustness.sessions_aborted));
+  std::fprintf(f, "},\n  \"latency_ns\": {");
+  if (latency != nullptr) {
+    const std::string prefix = "rpc.roundtrip_ns{kind=";
+    bool first = true;
+    for (const auto& [key, hist] : latency->histograms()) {
+      if (key.rfind(prefix, 0) != 0 || hist.count() == 0) continue;
+      std::string kind = key.substr(prefix.size());
+      if (!kind.empty() && kind.back() == '}') kind.pop_back();
+      std::fprintf(f,
+                   "%s\"%s\": {\"count\": %llu, \"p50\": %.1f, "
+                   "\"p95\": %.1f, \"p99\": %.1f}",
+                   first ? "" : ", ", kind.c_str(),
+                   static_cast<unsigned long long>(hist.count()),
+                   hist.percentile(0.50), hist.percentile(0.95),
+                   hist.percentile(0.99));
+      first = false;
+    }
+  }
   std::fprintf(f, "},\n  \"columns\": [");
   for (std::size_t i = 0; i < columns.size(); ++i) {
     std::fprintf(f, "%s\"%s\"", i ? ", " : "", columns[i].c_str());

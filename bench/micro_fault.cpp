@@ -6,6 +6,7 @@
 
 #include <cstring>
 
+#include "common/logging.hpp"
 #include "vm/fault_dispatcher.hpp"
 #include "vm/page_arena.hpp"
 
@@ -88,4 +89,11 @@ BENCHMARK(BM_MprotectPair);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 // reports what it costs on the real host).
 #include <benchmark/benchmark.h>
 
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "types/type_registry.hpp"
 #include "types/value_codec.hpp"
@@ -128,4 +129,11 @@ BENCHMARK(BM_NodeDecodeToSparc32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,8 +10,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <vector>
 
 #include "core/smart_rpc.hpp"
+#include "harness.hpp"
 #include "workload/list.hpp"
 
 namespace {
@@ -57,6 +59,7 @@ void print_paper_table() {
     tag.status().check();
 
     // Print the callee's data allocation table (the paper's Table 1).
+    std::vector<std::vector<double>> rows;
     callee.run([&](Runtime& callee_rt) {
       std::printf("\n=== Table 1: the callee's data allocation table ===\n");
       std::printf("%8s %18s   %s\n", "page #", "offset within page", "long pointer");
@@ -67,12 +70,25 @@ void print_paper_table() {
                       entry->pointer.to_string().c_str(),
                       std::string(to_string(callee_rt.cache().page_state(entry->page)))
                           .c_str());
+          rows.push_back({static_cast<double>(entry->page),
+                          static_cast<double>(entry->offset)});
         }
       }
       std::fflush(stdout);
       return 0;
     });
     session.end().check();
+
+    srpc::bench::RobustnessCounters robust;
+    robust.add(rt.stats());
+    robust.add(callee.run([](Runtime& c) { return c.stats(); }));
+    srpc::MetricsRegistry latency;
+    latency.merge(rt.metrics());
+    latency.merge(callee.run(
+        [](Runtime& c) -> srpc::MetricsRegistry { return c.metrics(); }));
+    srpc::bench::write_bench_json(
+        "table1_allocation", {{"pointers_passed", 2}},
+        {"page", "offset"}, rows, robust, &latency);
     return 0;
   });
 }
@@ -151,6 +167,7 @@ BENCHMARK(BM_Unswizzle);
 }  // namespace
 
 int main(int argc, char** argv) {
+  srpc::init_log_level_from_env();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

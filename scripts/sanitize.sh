@@ -43,6 +43,8 @@ cmake -B "${BUILD}" -S "${ROOT}" -DSRPC_SANITIZE="${SAN}" -DCMAKE_BUILD_TYPE=Rel
 cmake --build "${BUILD}" -j "$(nproc)"
 # Failure-containment matrix first (crash points, partitions, soak): it is
 # the suite most likely to trip a sanitizer, so fail fast on it before the
-# rest of the tests. scripts/soak.sh layers a many-seed sweep on top.
+# rest of the tests. scripts/soak.sh layers a many-seed sweep on top. Then
+# the observability suite (tracing touches every wire path), then the rest.
 ctest --test-dir "${BUILD}" --output-on-failure -L fault
-ctest --test-dir "${BUILD}" --output-on-failure -LE fault "$@"
+ctest --test-dir "${BUILD}" --output-on-failure -L obs
+ctest --test-dir "${BUILD}" --output-on-failure -LE "fault|obs" "$@"

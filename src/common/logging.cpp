@@ -13,6 +13,13 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_log_mutex;
 
+// Per-thread log prefix: the space whose worker this thread is, plus an
+// optional clock for virtual-time stamping. Plain pointers — the runtime
+// that installs them outlives its worker thread.
+thread_local const char* t_space_name = nullptr;
+thread_local std::uint64_t (*t_now_ns)(void*) = nullptr;
+thread_local void* t_clock_arg = nullptr;
+
 const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -54,14 +61,38 @@ void init_log_level_from_env() noexcept {
   }
 }
 
+void set_thread_log_context(const char* space_name,
+                            std::uint64_t (*now_ns)(void*),
+                            void* clock_arg) noexcept {
+  t_space_name = space_name;
+  t_now_ns = now_ns;
+  t_clock_arg = clock_arg;
+}
+
 namespace detail {
 
 void log_line(LogLevel level, std::string_view file, int line, std::string_view msg) {
   // Strip directories from the file path for readability.
   const auto pos = file.find_last_of('/');
   if (pos != std::string_view::npos) file.remove_prefix(pos + 1);
+
+  // "[srpc D 1.234567s client cache_manager.cpp:42] ..." on a space's
+  // worker thread; plain "[srpc D cache_manager.cpp:42] ..." elsewhere.
+  char prefix[96];
+  prefix[0] = '\0';
+  int n = 0;
+  if (t_now_ns != nullptr) {
+    const double secs = static_cast<double>(t_now_ns(t_clock_arg)) / 1e9;
+    n += std::snprintf(prefix + n, sizeof(prefix) - static_cast<size_t>(n),
+                       "%.6fs ", secs);
+  }
+  if (t_space_name != nullptr && n >= 0 &&
+      static_cast<size_t>(n) < sizeof(prefix)) {
+    std::snprintf(prefix + n, sizeof(prefix) - static_cast<size_t>(n), "%s ",
+                  t_space_name);
+  }
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[srpc %s %.*s:%d] %.*s\n", level_tag(level),
+  std::fprintf(stderr, "[srpc %s %s%.*s:%d] %.*s\n", level_tag(level), prefix,
                static_cast<int>(file.size()), file.data(), line,
                static_cast<int>(msg.size()), msg.data());
 }

@@ -2,6 +2,7 @@
 // set SRPC_LOG=debug (or call set_log_level) to trace the runtime.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
@@ -14,6 +15,18 @@ LogLevel log_level() noexcept;
 
 // Reads SRPC_LOG from the environment once ("debug"/"info"/"warn"/"error"/"off").
 void init_log_level_from_env() noexcept;
+
+// Labels every SRPC_LOG line emitted by the calling thread with the space
+// name and, when `now_ns` is non-null, a virtual-clock timestamp read at
+// log time. Each space's worker thread installs its own context on entry
+// to serve_forever; `now_ns` must outlive the thread's logging (it does —
+// it reads the runtime's clock). Pass (nullptr, nullptr) to clear.
+void set_thread_log_context(const char* space_name,
+                            std::uint64_t (*now_ns)(void*) = nullptr,
+                            void* clock_arg = nullptr) noexcept;
+inline void clear_thread_log_context() noexcept {
+  set_thread_log_context(nullptr, nullptr, nullptr);
+}
 
 namespace detail {
 void log_line(LogLevel level, std::string_view file, int line, std::string_view msg);

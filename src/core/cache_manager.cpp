@@ -250,6 +250,14 @@ bool CacheManager::on_fault(void* addr, FaultAccess access) {
       // First access to data allocated to a protected page: transfer it.
       fetcher_.charge_fault();
       ++stats_.read_faults;
+      // Every object already allocated to this page is data an eager
+      // closure could have delivered but did not — we are faulting for it.
+      const std::size_t faulted_objects = table_.entries_on_page(page).size();
+      stats_.closure_prefetch_misses += faulted_objects;
+      if (telemetry_ != nullptr && telemetry_->tracing()) {
+        telemetry_->annotate("read fault: page " + std::to_string(page) + ", " +
+                             std::to_string(faulted_objects) + " objects");
+      }
       Status filled = fill_page(page, options_.closure_bytes);
       if (!filled.is_ok()) {
         SRPC_ERROR << "page fill failed: " << filled.to_string();
@@ -266,6 +274,9 @@ bool CacheManager::on_fault(void* addr, FaultAccess access) {
       }
       fetcher_.charge_fault();
       ++stats_.write_faults;
+      if (telemetry_ != nullptr && telemetry_->tracing()) {
+        telemetry_->annotate("write fault: page " + std::to_string(page));
+      }
       // The page is still untouched (the faulting write has not retired):
       // capture the pre-write image as the twin the delta encoder diffs
       // against.
@@ -313,6 +324,9 @@ class CacheManager::FillSink final : public GraphSink {
     }
     locals_[index] = reinterpret_cast<std::uint64_t>(entry.value().local);
     ++cache_.stats_.objects_filled;
+    // This object arrived as closure surplus — resident before any fault
+    // could ask for it. If it is later touched, that's an eagerness win.
+    ++cache_.stats_.closure_prefetch_hits;
     return static_cast<void*>(entry.value().local);
   }
 

@@ -27,6 +27,7 @@
 #include "common/ids.hpp"
 #include "common/status.hpp"
 #include "core/graph_payload.hpp"
+#include "obs/telemetry.hpp"
 #include "swizzle/allocation_table.hpp"
 #include "swizzle/long_pointer.hpp"
 #include "types/arch.hpp"
@@ -80,6 +81,13 @@ struct CacheStats {
   std::uint64_t fetches = 0;          // FETCH round trips issued
   std::uint64_t objects_filled = 0;   // payload objects written into slots
   std::uint64_t objects_skipped = 0;  // payload objects dropped (already held)
+  // Eagerness effectiveness (paper §3.3 / fig6): an eager closure "hit" is
+  // an object the sender volunteered beyond what was asked for — it arrives
+  // before any fault touches it; a "miss" is an object we had to fault for
+  // anyway (each faulted page's known entries were NOT satisfied by an
+  // earlier closure).
+  std::uint64_t closure_prefetch_hits = 0;
+  std::uint64_t closure_prefetch_misses = 0;
 };
 
 class CacheManager final : public FaultHandler {
@@ -241,6 +249,9 @@ class CacheManager final : public FaultHandler {
 
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = CacheStats{}; }
+  // Optional observability sink (owned by the Runtime): fault and fill
+  // annotations land on whatever span is open when the MMU fires.
+  void set_telemetry(Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
   [[nodiscard]] const DataAllocationTable& table() const noexcept { return table_; }
   [[nodiscard]] const PageArena& arena() const noexcept { return arena_; }
   [[nodiscard]] PageState page_state(PageIndex page) const {
@@ -329,6 +340,7 @@ class CacheManager final : public FaultHandler {
   PageIndex next_fresh_page_ = 0;
   bool registered_ = false;
   CacheStats stats_;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace srpc

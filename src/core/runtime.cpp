@@ -61,8 +61,14 @@ Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
       cache_(registry, layouts, arch, self, cache_options, *this),
       allocator_(cache_),
       packer_(codec_, arch, *this),
-      timeouts_(timeouts) {
+      timeouts_(timeouts),
+      telemetry_(self, name_) {
   full_dispatcher_ = [this](Message msg) { return dispatch(std::move(msg)); };
+  if (sim_ != nullptr) {
+    telemetry_.set_clock([this] { return vnow_ns(); });
+  }
+  endpoint_.set_telemetry(&telemetry_);
+  cache_.set_telemetry(&telemetry_);
 }
 
 Status Runtime::init() { return cache_.init(); }
@@ -683,22 +689,100 @@ std::uint64_t Runtime::vnow_ns() const noexcept {
   return sim_ != nullptr ? sim_->clock().now() : 0;
 }
 
+std::string Runtime::metrics_json() {
+  // Fold the legacy struct counters into the registry (assignment, not
+  // accumulation: this may be called repeatedly) so one JSON snapshot
+  // carries the whole picture.
+  MetricsRegistry& m = telemetry_.metrics();
+  const auto set = [&m](const char* name, std::uint64_t v) {
+    m.counter(name).value = v;
+  };
+  set("runtime.calls_sent", stats_.calls_sent);
+  set("runtime.calls_served", stats_.calls_served);
+  set("runtime.fetches_served", stats_.fetches_served);
+  set("runtime.derefs_served", stats_.derefs_served);
+  set("runtime.writebacks_served", stats_.writebacks_served);
+  set("runtime.alloc_batches_served", stats_.alloc_batches_served);
+  set("runtime.stale_replies_absorbed", stats_.stale_replies_absorbed);
+  set("runtime.duplicate_requests_absorbed", stats_.duplicate_requests_absorbed);
+  set("runtime.dead_session_rejections", stats_.dead_session_rejections);
+  set("runtime.sessions_aborted", stats_.sessions_aborted);
+  set("runtime.modified_bytes_shipped", stats_.modified_bytes_shipped);
+  set("runtime.delta_bytes_shipped", stats_.delta_bytes_shipped);
+  set("runtime.deltas_skipped_by_epoch", stats_.deltas_skipped_by_epoch);
+  set("runtime.wb_prepares", stats_.wb_prepares);
+  set("runtime.wb_commits", stats_.wb_commits);
+  set("runtime.wb_aborts", stats_.wb_aborts);
+  set("runtime.wb_prepares_served", stats_.wb_prepares_served);
+  set("runtime.wb_commits_served", stats_.wb_commits_served);
+  set("runtime.wb_aborts_served", stats_.wb_aborts_served);
+  set("runtime.probes_sent", stats_.probes_sent);
+  set("runtime.peers_died", stats_.peers_died);
+  set("runtime.failfast_rejections", stats_.failfast_rejections);
+  set("runtime.leases_expired", stats_.leases_expired);
+  set("runtime.orphan_bytes_reclaimed", stats_.orphan_bytes_reclaimed);
+  set("runtime.session_teardown_failures", stats_.session_teardown_failures);
+  const CacheStats& cs = cache_.stats();
+  set("cache.read_faults", cs.read_faults);
+  set("cache.write_faults", cs.write_faults);
+  set("cache.fills", cs.fills);
+  set("cache.fetches", cs.fetches);
+  set("cache.objects_filled", cs.objects_filled);
+  set("cache.objects_skipped", cs.objects_skipped);
+  set("cache.closure_prefetch_hits", cs.closure_prefetch_hits);
+  set("cache.closure_prefetch_misses", cs.closure_prefetch_misses);
+  set("rpc.retransmits", endpoint_.retransmits());
+  return m.to_json();
+}
+
 Result<Message> Runtime::guarded_roundtrip(Message msg, MessageType reply_type,
                                            const RpcEndpoint::Dispatcher& serve,
                                            bool idempotent) {
   const SpaceId peer = msg.to;
+  const MessageType kind = msg.type;
   if (detector_.is_dead(peer)) {
     ++stats_.failfast_rejections;
+    telemetry_.count("rpc.failfast_rejections",
+                     std::string("peer=") + std::to_string(peer));
     return space_dead("space " + std::to_string(peer) +
                       " is dead (failure detector)");
   }
+
+  // Every request roundtrip this runtime initiates passes through here, so
+  // this one site produces the client half of the span tree and the
+  // per-kind latency histograms.
+  const std::uint64_t start = telemetry_.now_ns();
+  SpanRecorder::Handle span = SpanRecorder::kNoSpan;
+  if (telemetry_.tracing()) {
+    span = telemetry_.tracer().start_local(
+        std::string(to_string(kind)) + " -> " + std::to_string(peer),
+        "rpc.client", start);
+    // The context crosses the wire only toward peers that negotiated the
+    // extension; retransmits reuse this message verbatim (same span), so a
+    // duplicated serve lands as a sibling, never a forked tree.
+    if (peer_caps_ && (peer_caps_(peer) & kCapTraceContext) != 0) {
+      msg.trace = telemetry_.tracer().context_of(span);
+    }
+  }
+
   auto reply = endpoint_.roundtrip(std::move(msg), reply_type, serve,
                                    timeouts_, idempotent);
+
+  const std::uint64_t end = telemetry_.now_ns();
+  const std::string kind_label = std::string("kind=") + std::string(to_string(kind));
+  telemetry_.hist("rpc.roundtrip_ns", kind_label).record(end - start);
+  telemetry_.count("rpc.requests", kind_label);
+  telemetry_.count("rpc.requests", std::string("peer=") + std::to_string(peer));
+  if (span != SpanRecorder::kNoSpan) {
+    telemetry_.tracer().finish(span, end, reply.is_ok());
+  }
+
   if (reply) {
     detector_.note_contact(peer, vnow_ns());
     cache_.touch_lease(peer, vnow_ns());
     return reply;
   }
+  telemetry_.count("rpc.failures", kind_label);
   const StatusCode code = reply.status().code();
   if ((code == StatusCode::kDeadlineExceeded ||
        code == StatusCode::kUnavailable) &&
@@ -732,6 +816,10 @@ void Runtime::probe_peer(SpaceId peer) {
   const PeerHealth verdict = detector_.note_miss(peer);
   SRPC_WARN << name_ << ": probe of space " << peer
             << " missed; peer is " << to_string(verdict);
+  if (telemetry_.tracing()) {
+    telemetry_.annotate("probe miss: space " + std::to_string(peer) + " is " +
+                        std::string(to_string(verdict)));
+  }
   if (verdict == PeerHealth::kDead) {
     // We may be inside the SIGSEGV fill path: defer the page revocation and
     // heap reclamation to the next safe point.
@@ -759,6 +847,12 @@ void Runtime::on_peer_dead(SpaceId peer) {
   SRPC_ERROR << name_ << ": space " << peer << " declared dead; revoked "
              << revoked << " cached pages, reclaimed " << reclaimed
              << " orphaned bytes";
+  if (telemetry_.tracing()) {
+    telemetry_.annotate("peer dead: space " + std::to_string(peer) +
+                        ", revoked " + std::to_string(revoked) +
+                        " pages, reclaimed " + std::to_string(reclaimed) +
+                        " bytes");
+  }
 }
 
 void Runtime::poll_failures() {
@@ -775,6 +869,10 @@ void Runtime::poll_failures() {
     detector_.mark_suspect(source);
     SRPC_WARN << name_ << ": lease on source space " << source
               << " lapsed; revoked " << revoked << " cached pages";
+    if (telemetry_.tracing()) {
+      telemetry_.annotate("lease expired: source " + std::to_string(source) +
+                          ", revoked " + std::to_string(revoked) + " pages");
+    }
   }
 }
 
@@ -823,6 +921,9 @@ Result<ByteBuffer> Runtime::fetch(SpaceId home, std::span<const LongPointer> poi
   }
   // We now hold this source's bytes: start (or refresh) its lease.
   cache_.renew_lease(home, vnow_ns());
+  if (telemetry_.tracing()) {
+    telemetry_.annotate("lease renewed: source " + std::to_string(home));
+  }
   return std::move(reply.value().payload);
 }
 
@@ -1264,6 +1365,10 @@ Result<SessionId> Runtime::begin_session() {
   }
   session_ = (static_cast<SessionId>(self_) << 32) | ++session_counter_;
   cache_session_ = session_;
+  if (telemetry_.tracing()) {
+    session_span_ = telemetry_.tracer().start_local(
+        "session " + std::to_string(session_), "session", telemetry_.now_ns());
+  }
   return session_;
 }
 
@@ -1325,7 +1430,13 @@ Status Runtime::end_session() {
     // Both shapes are idempotent: WRITE_BACK overwrites, WB_PREPARE
     // re-stages the same bytes under the same epoch. Lost acks are
     // recovered by retransmission under the same seq.
-    if (capable) ++stats_.wb_prepares;
+    if (capable) {
+      ++stats_.wb_prepares;
+      if (telemetry_.tracing()) {
+        telemetry_.annotate("wb prepare: home " + std::to_string(home) +
+                            " epoch " + std::to_string(epoch));
+      }
+    }
     auto ack = guarded_roundtrip(
         std::move(msg),
         capable ? MessageType::kWbPrepareAck : MessageType::kWriteBackAck,
@@ -1359,6 +1470,10 @@ Status Runtime::end_session() {
       xdr::Encoder enc(msg.payload);
       enc.put_u64(epoch);
       ++stats_.wb_aborts;
+      if (telemetry_.tracing()) {
+        telemetry_.annotate("wb abort: home " + std::to_string(p.home) +
+                            " epoch " + std::to_string(epoch));
+      }
       auto ack = guarded_roundtrip(std::move(msg), MessageType::kWbAbortAck,
                                    nullptr, /*idempotent=*/true);
       if (!ack) {
@@ -1383,6 +1498,10 @@ Status Runtime::end_session() {
     xdr::Encoder enc(msg.payload);
     enc.put_u64(epoch);
     ++stats_.wb_commits;
+    if (telemetry_.tracing()) {
+      telemetry_.annotate("wb commit: home " + std::to_string(p.home) +
+                          " epoch " + std::to_string(epoch));
+    }
     auto ack = guarded_roundtrip(std::move(msg), MessageType::kWbCommitAck,
                                  nullptr, /*idempotent=*/true);
     if (!ack) return ack.status();
@@ -1416,6 +1535,10 @@ Status Runtime::end_session() {
   clear_ship_state();
   cache_session_ = kNoSession;
   session_ = kNoSession;
+  if (session_span_ != SpanRecorder::kNoSpan) {
+    telemetry_.tracer().finish(session_span_, telemetry_.now_ns(), /*ok=*/true);
+    session_span_ = SpanRecorder::kNoSpan;
+  }
   return Status::ok();
 }
 
@@ -1471,6 +1594,12 @@ Status Runtime::abort_session() {
   clear_ship_state();
   cache_session_ = kNoSession;
   session_ = kNoSession;
+  if (session_span_ != SpanRecorder::kNoSpan) {
+    telemetry_.tracer().annotate(session_span_, "session aborted",
+                                 telemetry_.now_ns());
+    telemetry_.tracer().finish(session_span_, telemetry_.now_ns(), /*ok=*/false);
+    session_span_ = SpanRecorder::kNoSpan;
+  }
   return worst;
 }
 
@@ -1505,20 +1634,58 @@ Status Runtime::dispatch(Message msg) {
       break;
   }
 
+  // Non-idempotent requests execute at most once: a duplicated delivery
+  // (the reply for the first copy is en route) is absorbed by request id,
+  // before any server span is recorded.
+  if (msg.type == MessageType::kCall || msg.type == MessageType::kAllocBatch) {
+    if (note_duplicate_request(msg.from, msg.seq)) {
+      ++stats_.duplicate_requests_absorbed;
+      SRPC_DEBUG << name_ << ": absorbing duplicate " << to_string(msg.type)
+                 << " seq=" << msg.seq << " from " << msg.from;
+      return Status::ok();
+    }
+  }
+
+  // Server span covering the serve of one incoming request, parented to
+  // the caller's client span through the wire TraceContext (hop + 1). A
+  // retransmitted request carries the original context verbatim, so a
+  // duplicate serve lands as a sibling of the first — the tree never
+  // forks.
+  SpanRecorder::Handle span = SpanRecorder::kNoSpan;
+  if (telemetry_.tracing()) {
+    switch (msg.type) {
+      case MessageType::kCall:
+      case MessageType::kFetch:
+      case MessageType::kAllocBatch:
+      case MessageType::kWriteBack:
+      case MessageType::kInvalidate:
+      case MessageType::kWbPrepare:
+      case MessageType::kWbCommit:
+      case MessageType::kWbAbort:
+      case MessageType::kPing:
+      case MessageType::kDeref:
+        span = telemetry_.tracer().start_server(
+            msg.trace, "serve " + std::string(to_string(msg.type)),
+            "rpc.server", telemetry_.now_ns());
+        break;
+      default:
+        break;
+    }
+  }
+  if (span == SpanRecorder::kNoSpan) {
+    return dispatch_serve(std::move(msg));
+  }
+  Status served = dispatch_serve(std::move(msg));
+  telemetry_.tracer().finish(span, telemetry_.now_ns(), served.is_ok());
+  return served;
+}
+
+Status Runtime::dispatch_serve(Message msg) {
   switch (msg.type) {
     case MessageType::kCall:
+      return serve_call(std::move(msg));
     case MessageType::kAllocBatch:
-      // Non-idempotent requests execute at most once: a duplicated
-      // delivery (the reply for the first copy is en route) is absorbed by
-      // request id.
-      if (note_duplicate_request(msg.from, msg.seq)) {
-        ++stats_.duplicate_requests_absorbed;
-        SRPC_DEBUG << name_ << ": absorbing duplicate " << to_string(msg.type)
-                   << " seq=" << msg.seq << " from " << msg.from;
-        return Status::ok();
-      }
-      return msg.type == MessageType::kCall ? serve_call(std::move(msg))
-                                            : serve_alloc_batch(std::move(msg));
+      return serve_alloc_batch(std::move(msg));
     case MessageType::kFetch:
       return serve_fetch(std::move(msg));
     case MessageType::kWriteBack:
@@ -1565,6 +1732,16 @@ Status Runtime::dispatch(Message msg) {
 }
 
 void Runtime::serve_forever() {
+  // Label this worker's SRPC_LOG lines with the space name and, on the
+  // simulated network, the virtual-clock time.
+  if (sim_ != nullptr) {
+    set_thread_log_context(
+        name_.c_str(),
+        [](void* arg) { return static_cast<const Runtime*>(arg)->vnow_ns(); },
+        this);
+  } else {
+    set_thread_log_context(name_.c_str());
+  }
   running_ = true;
   while (running_) {
     auto item = endpoint_.next();

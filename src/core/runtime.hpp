@@ -33,6 +33,7 @@
 #include "mem/managed_heap.hpp"
 #include "mem/remote_allocator.hpp"
 #include "net/sim_network.hpp"
+#include "obs/telemetry.hpp"
 #include "rpc/rpc_endpoint.hpp"
 #include "rpc/service_registry.hpp"
 #include "rpc/wire.hpp"
@@ -117,7 +118,24 @@ class Runtime final : public PageFetcher,
   [[nodiscard]] Mailbox& mailbox() noexcept { return mailbox_; }
   [[nodiscard]] RpcEndpoint& endpoint() noexcept { return endpoint_; }
   [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = RuntimeStats{}; }
+  void reset_stats() noexcept {
+    stats_ = RuntimeStats{};
+    telemetry_.metrics().reset();
+    telemetry_.tracer().clear();
+  }
+
+  // --- observability (src/obs) ----------------------------------------------
+
+  [[nodiscard]] Telemetry& telemetry() noexcept { return telemetry_; }
+  [[nodiscard]] const Telemetry& telemetry() const noexcept { return telemetry_; }
+  [[nodiscard]] SpanRecorder& tracer() noexcept { return telemetry_.tracer(); }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return telemetry_.metrics(); }
+  void set_tracing(bool on) noexcept { telemetry_.set_tracing(on); }
+  [[nodiscard]] bool tracing() const noexcept { return telemetry_.tracing(); }
+
+  // JSON snapshot of the metrics registry with the legacy RuntimeStats and
+  // CacheStats counters folded in, so one export shows everything.
+  [[nodiscard]] std::string metrics_json();
 
   // Deadline/retry policy for every request this runtime initiates.
   [[nodiscard]] const TimeoutConfig& timeouts() const noexcept { return timeouts_; }
@@ -267,6 +285,10 @@ class Runtime final : public PageFetcher,
 
  private:
   Status dispatch(Message msg);
+  // The serve half of dispatch (the main type switch), split out so
+  // dispatch can wrap it in a server span parented to the message's
+  // TraceContext.
+  Status dispatch_serve(Message msg);
   // True when (from, seq) repeats a CALL/ALLOC_BATCH already served — the
   // receiver half of at-most-once execution for non-idempotent requests.
   bool note_duplicate_request(SpaceId from, std::uint64_t seq);
@@ -375,6 +397,9 @@ class Runtime final : public PageFetcher,
 
   RpcEndpoint::Dispatcher full_dispatcher_;
   TimeoutConfig timeouts_;
+  Telemetry telemetry_;
+  // Root span of the active session (kNoSpan while tracing is off).
+  SpanRecorder::Handle session_span_ = SpanRecorder::kNoSpan;
   SessionId session_ = kNoSession;
   std::uint64_t session_counter_ = 0;
   bool running_ = false;

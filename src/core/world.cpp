@@ -1,6 +1,8 @@
 #include "core/world.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/logging.hpp"
 
@@ -9,6 +11,10 @@ namespace srpc {
 World::World(WorldOptions options)
     : options_(options), layouts_(registry_) {
   init_log_level_from_env();  // SRPC_LOG=debug|info|warn|error|off
+  if (const char* env = std::getenv("SRPC_TRACE");
+      env != nullptr && env[0] != '\0' && std::string_view(env) != "0") {
+    options_.tracing = true;
+  }
   if (options_.transport == TransportKind::kSimulated) {
     sim_ = std::make_unique<SimNetwork>(options_.cost);
   } else {
@@ -45,6 +51,7 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
   auto peer_caps = [this](SpaceId) -> std::uint32_t {
     std::uint32_t caps = 0;
     if (options_.two_phase_writeback) caps |= kCapTwoPhaseWriteBack;
+    if (options_.trace_context) caps |= kCapTraceContext;
     if (options_.modified_deltas) {
       caps |= kCapModifiedDelta;
       for (const auto& s : spaces_) {
@@ -61,6 +68,9 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
       options_.cache, std::move(directory), options_.timeouts,
       std::move(peer_caps)));
   AddressSpace& space = *spaces_.back();
+  if (options_.tracing) {
+    space.runtime().set_tracing(true);  // before start(): no worker yet
+  }
 
   if (sim_) {
     sim_->attach(id, &space.mailbox());
@@ -121,6 +131,32 @@ void World::reset_metering() {
     sim_->reset_stats();
     sim_->clock().reset();
   }
+}
+
+void World::set_tracing(bool on) {
+  options_.tracing = on;
+  for (auto& space : spaces_) {
+    // The recorder belongs to the space's worker; flip it there.
+    space->run([on](Runtime& rt) { rt.set_tracing(on); });
+  }
+}
+
+std::vector<SpaceSpans> World::collect_spans() {
+  std::vector<SpaceSpans> all;
+  all.reserve(spaces_.size());
+  for (auto& space : spaces_) {
+    SpaceSpans sp;
+    sp.space = space->id();
+    sp.name = space->name();
+    sp.spans = space->run(
+        [](Runtime& rt) -> std::vector<Span> { return rt.tracer().spans(); });
+    all.push_back(std::move(sp));
+  }
+  return all;
+}
+
+Status World::merge_traces(const std::string& path) {
+  return write_chrome_trace(collect_spans(), path);
 }
 
 }  // namespace srpc

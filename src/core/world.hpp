@@ -14,6 +14,7 @@
 
 #include "core/address_space.hpp"
 #include "net/fault_transport.hpp"
+#include "obs/trace_export.hpp"
 #include "net/sim_network.hpp"
 #include "net/socket_transport.hpp"
 #include "types/host_type_map.hpp"
@@ -46,6 +47,15 @@ struct WorldOptions {
   // all-committed or all-rolled-back. Works across mixed-arch worlds — the
   // staged bytes reuse the existing modified-set formats.
   bool two_phase_writeback = true;
+  // Advertise the trace-context wire extension (kCapTraceContext): messages
+  // may carry {trace_id, span_id, parent, hop} so spans link causally
+  // across spaces. Advertising costs nothing while tracing is off — the
+  // extension is only attached to messages sent while a span is open.
+  bool trace_context = true;
+  // Record spans from the first message on. Defaults from the SRPC_TRACE
+  // environment variable (any non-empty value but "0" enables); flip at
+  // runtime with set_tracing().
+  bool tracing = false;
 };
 
 class World {
@@ -92,6 +102,19 @@ class World {
   [[nodiscard]] double virtual_seconds() const;
   [[nodiscard]] NetworkStats net_stats() const;
   void reset_metering();
+
+  // --- distributed tracing (src/obs) ----------------------------------------
+
+  // Enables/disables span recording on every space (runs on each worker).
+  void set_tracing(bool on);
+
+  // Collects every space's spans into one Chrome trace-event / Perfetto
+  // JSON file. Call at a quiet point (no in-flight sessions); open spans
+  // are exported with zero duration and flagged "open".
+  Status merge_traces(const std::string& path);
+
+  // The merged spans themselves (for tests and custom exporters).
+  [[nodiscard]] std::vector<SpaceSpans> collect_spans();
 
   // Describes a host struct; finish with register_type() which also maps
   // the C++ type for the typed stubs.

@@ -12,6 +12,7 @@
 
 #include "common/byte_buffer.hpp"
 #include "common/ids.hpp"
+#include "obs/trace_context.hpp"
 
 namespace srpc {
 
@@ -48,6 +49,7 @@ struct Message {
   SpaceId to = kInvalidSpaceId;
   SessionId session = kNoSession;
   std::uint64_t seq = 0;  // matches replies to requests
+  TraceContext trace;     // causal identity (trace_id == 0: none attached)
   ByteBuffer payload;
 
   [[nodiscard]] std::size_t wire_size() const noexcept;
@@ -57,7 +59,10 @@ struct Message {
 inline constexpr std::size_t kMessageHeaderWireSize = 32;
 
 inline std::size_t Message::wire_size() const noexcept {
-  return kMessageHeaderWireSize + payload.size();
+  // The trace-context extension is charged only when attached, so runs
+  // with tracing off price (and simulate) identically to pre-trace builds.
+  return kMessageHeaderWireSize + (trace.valid() ? kTraceContextWireSize : 0) +
+         payload.size();
 }
 
 }  // namespace srpc

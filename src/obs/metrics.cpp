@@ -1,0 +1,138 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace srpc {
+
+void Histogram::record(std::uint64_t value) noexcept {
+  const int bucket = std::bit_width(value);  // 0 for value == 0
+  ++buckets_[std::min(bucket, kBuckets - 1)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const auto next = seen + buckets_[i];
+    if (static_cast<double>(next) >= rank) {
+      // Bucket i holds values in [2^(i-1), 2^i - 1] (bucket 0 holds {0}).
+      const double lo = (i == 0) ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      const double hi =
+          (i == 0) ? 0.0
+                   : static_cast<double>((i >= 64 ? UINT64_MAX : (1ULL << i) - 1));
+      const double within =
+          buckets_[i] > 1
+              ? (rank - static_cast<double>(seen)) / static_cast<double>(buckets_[i])
+              : 0.5;
+      double v = lo + (hi - lo) * within;
+      v = std::max(v, static_cast<double>(min()));
+      v = std::min(v, static_cast<double>(max_));
+      return v;
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string MetricsRegistry::key(std::string_view name, std::string_view label) {
+  std::string k(name);
+  if (!label.empty()) {
+    k.push_back('{');
+    k.append(label);
+    k.push_back('}');
+  }
+  return k;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [k, c] : other.counters_) counters_[k].value += c.value;
+  for (const auto& [k, g] : other.gauges_) gauges_[k].value = g.value;
+  for (const auto& [k, h] : other.histograms_) histograms_[k].merge(h);
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  out += buf;
+}
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [k, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, k);
+    out.push_back(':');
+    out += std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, k);
+    out.push_back(':');
+    out += std::to_string(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, k);
+    out += ":{\"count\":" + std::to_string(h.count());
+    out += ",\"min\":" + std::to_string(h.min());
+    out += ",\"max\":" + std::to_string(h.max());
+    out += ",\"sum\":" + std::to_string(h.sum());
+    out += ",\"p50\":";
+    append_number(out, h.percentile(0.50));
+    out += ",\"p95\":";
+    append_number(out, h.percentile(0.95));
+    out += ",\"p99\":";
+    append_number(out, h.percentile(0.99));
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace srpc

@@ -1,0 +1,90 @@
+// Metrics registry — named counters, gauges, and fixed-bucket latency
+// histograms, labelled per peer / per message kind.
+//
+// Keys are flat strings "name" or "name{label}" (e.g.
+// "rpc.roundtrip_ns{kind=CALL}"); the registry is a std::map so handed-out
+// references stay valid across later registrations. Histograms use 64
+// power-of-two buckets indexed by bit_width(value) — constant memory, any
+// value range — and report percentiles by linear interpolation inside the
+// hit bucket, clamped to the exact observed min/max. Everything is single-
+// writer per runtime (the space's one worker thread); merge() exists so the
+// bench harness can aggregate across spaces after the workers are quiesced.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace srpc {
+
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t n = 1) noexcept { value += n; }
+};
+
+struct Gauge {
+  std::int64_t value = 0;
+  void set(std::int64_t v) noexcept { value = v; }
+  void add(std::int64_t n) noexcept { value += n; }
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t value) noexcept;
+  void merge(const Histogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+
+  // Interpolated value at quantile q in [0, 1].
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // "name{label}" when label is non-empty, "name" otherwise.
+  static std::string key(std::string_view name, std::string_view label);
+
+  Counter& counter(const std::string& key) { return counters_[key]; }
+  Gauge& gauge(const std::string& key) { return gauges_[key]; }
+  Histogram& histogram(const std::string& key) { return histograms_[key]; }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  // Folds `other`'s series into this registry (counters/histograms add,
+  // gauges take the other's last value).
+  void merge(const MetricsRegistry& other);
+
+  void reset();
+
+  // Snapshot as a JSON object:
+  //   {"counters":{...},"gauges":{...},
+  //    "histograms":{"k":{"count","min","max","sum","p50","p95","p99"}}}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace srpc

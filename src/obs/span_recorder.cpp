@@ -1,0 +1,82 @@
+#include "obs/span_recorder.hpp"
+
+#include <algorithm>
+
+namespace srpc {
+
+SpanRecorder::Handle SpanRecorder::start_local(std::string name,
+                                               std::string category,
+                                               std::uint64_t now_ns) {
+  if (!enabled_) return kNoSpan;
+  Span span;
+  if (stack_.empty()) {
+    span.trace_id = next_id();
+    span.parent_span_id = 0;
+    span.hop = 0;
+  } else {
+    const Span& parent = spans_[stack_.back()];
+    span.trace_id = parent.trace_id;
+    span.parent_span_id = parent.span_id;
+    span.hop = parent.hop;
+  }
+  span.span_id = next_id();
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start_ns = span.end_ns = now_ns;
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.size() - 1);
+  return spans_.size() - 1;
+}
+
+SpanRecorder::Handle SpanRecorder::start_server(const TraceContext& ctx,
+                                                std::string name,
+                                                std::string category,
+                                                std::uint64_t now_ns) {
+  if (!enabled_) return kNoSpan;
+  if (!ctx.valid()) return start_local(std::move(name), std::move(category), now_ns);
+  Span span;
+  span.trace_id = ctx.trace_id;
+  span.parent_span_id = ctx.span_id;
+  span.hop = ctx.hop + 1;
+  span.span_id = next_id();
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start_ns = span.end_ns = now_ns;
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.size() - 1);
+  return spans_.size() - 1;
+}
+
+void SpanRecorder::finish(Handle h, std::uint64_t now_ns, bool ok) {
+  if (h == kNoSpan || h >= spans_.size()) return;
+  Span& span = spans_[h];
+  span.end_ns = std::max(now_ns, span.start_ns);
+  span.open = false;
+  span.ok = ok;
+  // Usually the top of the stack; tolerate out-of-order finishes (e.g. a
+  // session span closed while an unrelated serve is still open).
+  auto it = std::find(stack_.rbegin(), stack_.rend(), h);
+  if (it != stack_.rend()) stack_.erase(std::next(it).base());
+}
+
+void SpanRecorder::annotate(std::string text, std::uint64_t now_ns) {
+  annotate(current(), std::move(text), now_ns);
+}
+
+void SpanRecorder::annotate(Handle h, std::string text, std::uint64_t now_ns) {
+  if (!enabled_ || h == kNoSpan || h >= spans_.size()) return;
+  spans_[h].annotations.push_back(SpanAnnotation{now_ns, std::move(text)});
+}
+
+TraceContext SpanRecorder::context_of(Handle h) const {
+  if (h == kNoSpan || h >= spans_.size()) return {};
+  const Span& span = spans_[h];
+  return TraceContext{span.trace_id, span.span_id, span.parent_span_id, span.hop};
+}
+
+void SpanRecorder::clear() {
+  spans_.clear();
+  stack_.clear();
+}
+
+}  // namespace srpc

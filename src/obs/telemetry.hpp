@@ -1,0 +1,76 @@
+// Telemetry — the one observability handle a Runtime owns and shares with
+// its collaborators (RpcEndpoint, CacheManager).
+//
+// Bundles the span recorder and the metrics registry with the clock that
+// timestamps both: the simulated network's virtual clock when there is
+// one, the process steady clock on the real socket transport. Collaborators
+// hold a Telemetry* and never need to know which. Metrics are always on
+// (they are the registry RuntimeStats migrates onto); spans/annotations
+// record only while tracing is enabled (World::set_tracing / SRPC_TRACE).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/ids.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_recorder.hpp"
+
+namespace srpc {
+
+class Telemetry {
+ public:
+  Telemetry(SpaceId space, std::string space_name)
+      : space_(space), space_name_(std::move(space_name)), tracer_(space) {}
+
+  // `now` must return monotonic nanoseconds; pass {} to fall back to the
+  // process steady clock (socket transport, no virtual time).
+  void set_clock(std::function<std::uint64_t()> now) { clock_ = std::move(now); }
+
+  [[nodiscard]] std::uint64_t now_ns() const {
+    if (clock_) return clock_();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  [[nodiscard]] SpaceId space() const noexcept { return space_; }
+  [[nodiscard]] const std::string& space_name() const noexcept {
+    return space_name_;
+  }
+
+  void set_tracing(bool on) noexcept { tracer_.set_enabled(on); }
+  [[nodiscard]] bool tracing() const noexcept { return tracer_.enabled(); }
+
+  [[nodiscard]] SpanRecorder& tracer() noexcept { return tracer_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const SpanRecorder& tracer() const noexcept { return tracer_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  // Convenience shorthands for instrumentation sites.
+  void count(std::string_view name, std::string_view label = {},
+             std::uint64_t n = 1) {
+    metrics_.counter(MetricsRegistry::key(name, label)).add(n);
+  }
+  Histogram& hist(std::string_view name, std::string_view label = {}) {
+    return metrics_.histogram(MetricsRegistry::key(name, label));
+  }
+  // Timestamped note on the innermost open span; no-op unless tracing.
+  void annotate(std::string text) {
+    if (tracer_.enabled()) tracer_.annotate(std::move(text), now_ns());
+  }
+
+ private:
+  SpaceId space_;
+  std::string space_name_;
+  std::function<std::uint64_t()> clock_;
+  SpanRecorder tracer_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace srpc

@@ -1,0 +1,95 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+
+namespace srpc {
+
+namespace {
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpaceSpans>& spaces) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  for (const SpaceSpans& sp : spaces) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(sp.space) + ",\"tid\":0,\"args\":{\"name\":";
+    append_escaped(out, sp.name);
+    out += "}}";
+    for (const Span& span : sp.spans) {
+      comma();
+      out += "{\"name\":";
+      append_escaped(out, span.name);
+      out += ",\"cat\":";
+      append_escaped(out, span.category);
+      out += ",\"ph\":\"X\",\"ts\":";
+      append_us(out, span.start_ns);
+      out += ",\"dur\":";
+      append_us(out, span.end_ns - span.start_ns);
+      out += ",\"pid\":" + std::to_string(sp.space) + ",\"tid\":0,\"args\":{";
+      out += "\"trace_id\":" + std::to_string(span.trace_id);
+      out += ",\"span_id\":" + std::to_string(span.span_id);
+      out += ",\"parent_span_id\":" + std::to_string(span.parent_span_id);
+      out += ",\"hop\":" + std::to_string(span.hop);
+      out += span.ok ? ",\"ok\":true" : ",\"ok\":false";
+      out += span.open ? ",\"open\":true}}" : "}}";
+      for (const SpanAnnotation& note : span.annotations) {
+        comma();
+        out += "{\"ph\":\"i\",\"s\":\"t\",\"name\":";
+        append_escaped(out, note.text);
+        out += ",\"ts\":";
+        append_us(out, note.ts_ns);
+        out += ",\"pid\":" + std::to_string(sp.space) + ",\"tid\":0,\"args\":{";
+        out += "\"span_id\":" + std::to_string(span.span_id) + "}}";
+      }
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status write_chrome_trace(const std::vector<SpaceSpans>& spaces,
+                          const std::string& path) {
+  const std::string json = chrome_trace_json(spaces);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    return unavailable("cannot open trace file " + path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return unavailable("short write to trace file " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace srpc

@@ -1,0 +1,33 @@
+// Chrome trace-event export — turns every space's recorded spans into one
+// JSON file loadable by Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Each address space becomes a "process" (pid = SpaceId, named by a
+// process_name metadata event); spans become complete ("ph":"X") events on
+// the space's single worker thread, and span annotations become instant
+// ("ph":"i") events. Span/trace identities ride in "args" so tools (and
+// scripts/trace.sh) can re-check parent links across spaces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "obs/span_recorder.hpp"
+
+namespace srpc {
+
+struct SpaceSpans {
+  SpaceId space = kInvalidSpaceId;
+  std::string name;
+  std::vector<Span> spans;
+};
+
+// The merged trace as a JSON string ({"traceEvents":[...]}).
+[[nodiscard]] std::string chrome_trace_json(const std::vector<SpaceSpans>& spaces);
+
+// Writes chrome_trace_json() to `path`.
+Status write_chrome_trace(const std::vector<SpaceSpans>& spaces,
+                          const std::string& path);
+
+}  // namespace srpc

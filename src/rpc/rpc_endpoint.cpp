@@ -100,6 +100,17 @@ Result<Message> RpcEndpoint::roundtrip(Message msg, MessageType reply_type,
     ++retransmits_;
     SRPC_DEBUG << "retransmitting for " << describe_wait(reply_type, seq)
                << " (attempt " << attempt + 1 << "/" << attempts << ")";
+    if (telemetry_ != nullptr) {
+      telemetry_->count("rpc.retransmits",
+                        std::string("kind=") + std::string(to_string(original->type)));
+      if (telemetry_->tracing()) {
+        // Attaches to the open client span for this roundtrip, so a slow
+        // call is attributable to retry backoff at a glance.
+        telemetry_->annotate("retransmit " + describe_wait(reply_type, seq) +
+                             " attempt " + std::to_string(attempt + 1) + "/" +
+                             std::to_string(attempts));
+      }
+    }
     Message again = *original;
     SRPC_RETURN_IF_ERROR(send(std::move(again)));
     backoff = std::min(backoff * 2, cfg.max_backoff);

@@ -18,6 +18,7 @@
 #include "common/status.hpp"
 #include "net/mailbox.hpp"
 #include "net/transport.hpp"
+#include "obs/telemetry.hpp"
 
 namespace srpc {
 
@@ -68,12 +69,17 @@ class RpcEndpoint {
   // Retransmissions issued by roundtrip() over this endpoint's lifetime.
   [[nodiscard]] std::uint64_t retransmits() const noexcept { return retransmits_; }
 
+  // Optional observability sink (owned by the Runtime): retransmit
+  // annotations and per-kind retry counters land there.
+  void set_telemetry(Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+
  private:
   SpaceId self_;
   Transport& transport_;
   Mailbox& mailbox_;
   std::uint64_t seq_ = 0;
   std::uint64_t retransmits_ = 0;
+  Telemetry* telemetry_ = nullptr;
   std::deque<MailItem> deferred_;
 };
 

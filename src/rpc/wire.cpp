@@ -12,8 +12,32 @@ namespace srpc {
 
 namespace {
 bool valid_message_type(std::uint32_t t) noexcept {
+  t &= ~kFrameTraceFlag;  // the flag rides on the type word, mask it off
   return t >= static_cast<std::uint32_t>(MessageType::kCall) &&
          t <= static_cast<std::uint32_t>(MessageType::kPong);
+}
+
+void encode_trace_ext(xdr::Encoder& enc, const TraceContext& trace) {
+  enc.put_u64(trace.trace_id);
+  enc.put_u64(trace.span_id);
+  enc.put_u64(trace.parent_span_id);
+  enc.put_u32(trace.hop);
+}
+
+Status decode_trace_ext(xdr::Decoder& dec, TraceContext& trace) {
+  auto trace_id = dec.get_u64();
+  if (!trace_id) return trace_id.status();
+  trace.trace_id = trace_id.value();
+  auto span_id = dec.get_u64();
+  if (!span_id) return span_id.status();
+  trace.span_id = span_id.value();
+  auto parent = dec.get_u64();
+  if (!parent) return parent.status();
+  trace.parent_span_id = parent.value();
+  auto hop = dec.get_u32();
+  if (!hop) return hop.status();
+  trace.hop = hop.value();
+  return Status::ok();
 }
 
 constexpr std::uint32_t kMaxDeltaRanges = 1U << 20;
@@ -83,12 +107,15 @@ Result<ModifiedDelta> decode_modified_delta(xdr::Decoder& dec) {
 void encode_frame(const Message& msg, ByteBuffer& out) {
   xdr::Encoder enc(out);
   enc.put_u32(kFrameMagic);
-  enc.put_u32(static_cast<std::uint32_t>(msg.type));
+  std::uint32_t type = static_cast<std::uint32_t>(msg.type);
+  if (msg.trace.valid()) type |= kFrameTraceFlag;
+  enc.put_u32(type);
   enc.put_u32(msg.from);
   enc.put_u32(msg.to);
   enc.put_u64(msg.session);
   enc.put_u64(msg.seq);
   enc.put_u32(static_cast<std::uint32_t>(msg.payload.size()));
+  if (msg.trace.valid()) encode_trace_ext(enc, msg.trace);
   out.append(msg.payload.view());
 }
 
@@ -105,7 +132,7 @@ Result<Message> decode_frame(ByteBuffer& in) {
     return protocol_error("unknown message type " + std::to_string(type.value()));
   }
   Message msg;
-  msg.type = static_cast<MessageType>(type.value());
+  msg.type = static_cast<MessageType>(type.value() & ~kFrameTraceFlag);
   auto from = dec.get_u32();
   if (!from) return from.status();
   msg.from = from.value();
@@ -120,6 +147,9 @@ Result<Message> decode_frame(ByteBuffer& in) {
   msg.seq = seq.value();
   auto len = dec.get_u32();
   if (!len) return len.status();
+  if ((type.value() & kFrameTraceFlag) != 0) {
+    SRPC_RETURN_IF_ERROR(decode_trace_ext(dec, msg.trace));
+  }
   auto view = in.read_view(len.value());
   if (!view) return view.status();
   msg.payload.append(view.value());
@@ -174,7 +204,7 @@ Result<Message> read_frame(int fd) {
     return protocol_error("unknown message type " + std::to_string(type.value()));
   }
   Message msg;
-  msg.type = static_cast<MessageType>(type.value());
+  msg.type = static_cast<MessageType>(type.value() & ~kFrameTraceFlag);
   auto from = dec.get_u32();
   if (!from) return from.status();
   msg.from = from.value();
@@ -189,6 +219,14 @@ Result<Message> read_frame(int fd) {
   msg.seq = seq.value();
   auto len = dec.get_u32();
   if (!len) return len.status();
+
+  if ((type.value() & kFrameTraceFlag) != 0) {
+    ByteBuffer ext;
+    ext.append_zeros(kTraceContextWireSize);
+    SRPC_RETURN_IF_ERROR(read_all(fd, ext.data(), kTraceContextWireSize));
+    xdr::Decoder ext_dec(ext);
+    SRPC_RETURN_IF_ERROR(decode_trace_ext(ext_dec, msg.trace));
+  }
 
   if (len.value() > 0) {
     msg.payload.append_zeros(len.value());

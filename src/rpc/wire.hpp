@@ -11,6 +11,8 @@
 //   session u64
 //   seq     u64
 //   len     u32  payload byte count
+//   [trace ext, only when the type word has kFrameTraceFlag set:
+//    trace_id u64 | span_id u64 | parent_span_id u64 | hop u32]
 //   payload len bytes
 #pragma once
 
@@ -27,6 +29,12 @@ namespace srpc {
 
 inline constexpr std::uint32_t kFrameMagic = 0x53525043;  // "SRPC"
 inline constexpr std::size_t kFrameHeaderSize = 36;
+
+// High bit of the frame's type word: a 28-byte trace-context extension
+// (obs/trace_context.hpp) follows the fixed header. Senders set it only
+// toward peers advertising kCapTraceContext, so legacy decoders — which
+// reject unknown type words — never see it.
+inline constexpr std::uint32_t kFrameTraceFlag = 0x80000000U;
 
 // --- MODIFIED_DELTA: delta-encoded modified sets (PROTOCOL.md) -------------
 //
@@ -60,6 +68,10 @@ inline constexpr std::uint32_t kCapModifiedDelta = 1U << 0;
 // WB_COMMIT / WB_ABORT, PROTOCOL.md "Failure model"). Non-capable peers
 // keep the one-shot WRITE_BACK protocol.
 inline constexpr std::uint32_t kCapTwoPhaseWriteBack = 1U << 1;
+// Peer understands the trace-context frame extension (kFrameTraceFlag).
+// Non-capable peers receive plain frames; tracing then records spans
+// locally but cannot link them across that hop.
+inline constexpr std::uint32_t kCapTraceContext = 1U << 2;
 
 struct ModifiedDelta {
   LongPointer id;

@@ -1,0 +1,245 @@
+// Distributed tracing (src/obs): the trace context travelling in the wire
+// header must stitch every space's spans into ONE causal tree — across a
+// nested call + callback chain spanning three address spaces — and the
+// tree must survive fault injection: a retransmitted request reuses the
+// original span identity, so duplicate deliveries can never fork the tree.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/smart_rpc.hpp"
+#include "net/fault_transport.hpp"
+#include "rpc/wire.hpp"
+#include "workload/list.hpp"
+
+namespace srpc {
+namespace {
+
+using workload::ListNode;
+
+// --- wire-level round trip -------------------------------------------------
+
+TEST(TraceWireTest, FrameCarriesTraceContextWhenAttached) {
+  Message msg;
+  msg.type = MessageType::kCall;
+  msg.from = 0;
+  msg.to = 1;
+  msg.session = 7;
+  msg.seq = 42;
+  msg.payload.append_byte(0x68);
+  msg.payload.append_byte(0x69);
+  msg.trace = TraceContext{0xAAA, 0xBBB, 0xCCC, 3};
+
+  ByteBuffer wire;
+  encode_frame(msg, wire);
+  auto decoded = decode_frame(wire);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().type, MessageType::kCall);
+  EXPECT_EQ(decoded.value().trace.trace_id, 0xAAAu);
+  EXPECT_EQ(decoded.value().trace.span_id, 0xBBBu);
+  EXPECT_EQ(decoded.value().trace.parent_span_id, 0xCCCu);
+  EXPECT_EQ(decoded.value().trace.hop, 3u);
+  EXPECT_EQ(decoded.value().payload.size(), 2u);
+}
+
+TEST(TraceWireTest, LegacyFrameDecodesWithEmptyContext) {
+  Message msg;
+  msg.type = MessageType::kFetch;
+  msg.from = 2;
+  msg.to = 0;
+  msg.seq = 1;
+
+  ByteBuffer wire;
+  encode_frame(msg, wire);  // trace invalid -> no extension, no flag
+  auto decoded = decode_frame(wire);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_FALSE(decoded.value().trace.valid());
+}
+
+TEST(TraceWireTest, TraceBytesChargedOnlyWhenAttached) {
+  Message plain;
+  plain.type = MessageType::kCall;
+  Message traced = plain;
+  traced.trace = TraceContext{1, 2, 0, 0};
+  EXPECT_EQ(traced.wire_size(), plain.wire_size() + kTraceContextWireSize);
+}
+
+// --- cross-space span tree -------------------------------------------------
+
+struct FlatSpans {
+  std::vector<Span> all;
+  std::map<std::uint64_t, const Span*> by_id;
+};
+
+FlatSpans flatten(World& world) {
+  FlatSpans flat;
+  for (auto& space_spans : world.collect_spans()) {
+    for (auto& span : space_spans.spans) flat.all.push_back(span);
+  }
+  for (const auto& span : flat.all) flat.by_id[span.span_id] = &span;
+  return flat;
+}
+
+bool any_span_named(const FlatSpans& flat, const std::string& needle) {
+  for (const auto& span : flat.all) {
+    if (span.name.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Runs the §3.1 chain — A calls B, B calls C (nested), C calls back into A,
+// C updates remote data so session end ships invalidations — and returns
+// the merged spans.
+FlatSpans run_chain(World& world) {
+  auto& a = world.create_space("A");
+  auto& b = world.create_space("B");
+  auto& c = world.create_space("C");
+  workload::register_list_type(world).status().check();
+  const SpaceId a_id = a.id();
+  const SpaceId c_id = c.id();
+
+  c.bind("bump_and_report",
+         [a_id](CallContext& ctx, ListNode* head) -> std::int64_t {
+           std::int64_t sum = 0;
+           for (ListNode* n = head; n != nullptr; n = n->next) {
+             n->value += 100;
+             sum += n->value;
+           }
+           auto ack = typed_call<std::int64_t>(ctx.runtime, a_id, "notify", sum);
+           ack.status().check();
+           return sum;
+         })
+      .check();
+  b.bind("forward",
+         [c_id](CallContext& ctx, ListNode* head) -> std::int64_t {
+           auto sum =
+               typed_call<std::int64_t>(ctx.runtime, c_id, "bump_and_report", head);
+           sum.status().check();
+           return sum.value();
+         })
+      .check();
+
+  a.run([&](Runtime& rt) {
+    auto head = workload::build_list(
+        rt, 5, [](std::uint32_t i) { return static_cast<std::int64_t>(i + 1); });
+    head.status().check();
+    bind_procedure(rt, "notify",
+                   [](CallContext&, std::int64_t sum) -> std::int64_t { return sum; })
+        .check();
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(b.id(), "forward", head.value());
+    sum.status().check();
+    session.end().check();
+    return 0;
+  });
+  return flatten(world);
+}
+
+void expect_one_connected_tree(const FlatSpans& flat) {
+  ASSERT_FALSE(flat.all.empty());
+
+  // Exactly one trace, exactly one root.
+  const std::uint64_t trace = flat.all.front().trace_id;
+  std::size_t roots = 0;
+  for (const auto& span : flat.all) {
+    EXPECT_EQ(span.trace_id, trace) << span.name;
+    EXPECT_FALSE(span.open) << span.name;
+    if (span.parent_span_id == 0) {
+      ++roots;
+      EXPECT_EQ(span.category, "session") << span.name;
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+
+  // Every non-root span's parent exists, in the same trace, and started
+  // no later than its child (the causal order the tree claims).
+  for (const auto& span : flat.all) {
+    if (span.parent_span_id == 0) continue;
+    auto parent = flat.by_id.find(span.parent_span_id);
+    ASSERT_NE(parent, flat.by_id.end())
+        << span.name << " orphaned (parent " << span.parent_span_id << ")";
+    EXPECT_EQ(parent->second->trace_id, span.trace_id);
+    EXPECT_LE(parent->second->start_ns, span.start_ns);
+  }
+}
+
+TEST(TraceTreeTest, NestedCallAndCallbackFormOneTreeAcrossThreeSpaces) {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  options.cache.closure_bytes = 0;  // force explicit FETCH traffic
+  options.tracing = true;
+  World world(options);
+  FlatSpans flat = run_chain(world);
+
+  expect_one_connected_tree(flat);
+
+  // Spans exist on all three spaces (the recorder ids embed the space).
+  std::map<std::uint64_t, int> spans_per_space;
+  for (const auto& span : flat.all) ++spans_per_space[span.span_id >> 40];
+  EXPECT_EQ(spans_per_space.size(), 3u);
+
+  // Every wire kind the chain exercises shows up as a server span.
+  EXPECT_TRUE(any_span_named(flat, "serve CALL"));
+  EXPECT_TRUE(any_span_named(flat, "serve FETCH"));
+  EXPECT_TRUE(any_span_named(flat, "serve INVALIDATE"));
+  // And the client side of the nested chain.
+  EXPECT_TRUE(any_span_named(flat, "CALL -> "));
+
+  // Hops grow along the chain: A(0) -> B -> C -> A again is >= 3 transfers.
+  std::uint32_t max_hop = 0;
+  for (const auto& span : flat.all) max_hop = std::max(max_hop, span.hop);
+  EXPECT_GE(max_hop, 3u);
+}
+
+TEST(TraceTreeTest, TracingDisabledRecordsNothing) {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  options.cache.closure_bytes = 0;
+  options.tracing = false;
+  World world(options);
+  FlatSpans flat = run_chain(world);
+  EXPECT_TRUE(flat.all.empty());
+}
+
+TEST(TraceTreeTest, RetransmitsDoNotForkTheTree) {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  options.cache.closure_bytes = 0;
+  options.tracing = true;
+  options.fault_injection = true;
+  options.timeouts = TimeoutConfig::aggressive();
+  World world(options);
+
+  // Lose the first FETCH request and the first FETCH_REPLY: the client
+  // retransmits (the copied original message — same span identity on the
+  // wire) and the server's dedup absorbs any replays, so the span tree
+  // must come out exactly as connected as the healthy run's.
+  world.fault()->drop_next(MessageType::kFetch, 1);
+  world.fault()->drop_next(MessageType::kFetchReply, 1);
+
+  FlatSpans flat = run_chain(world);
+  world.fault()->disarm();
+
+  expect_one_connected_tree(flat);
+
+  // The faults really fired and really caused retransmits.
+  EXPECT_GE(world.fault()->stats().dropped, 2u);
+
+  // Request-id dedup means each non-idempotent request (CALL) is served at
+  // most once: a duplicate serve-span under one parent would mean the tree
+  // forked on a replay. (Replayed idempotent FETCHes may legitimately be
+  // served twice — those become siblings, which is still one tree.)
+  std::map<std::string, int> serve_calls;
+  for (const auto& span : flat.all) {
+    if (span.category != "rpc.server" || span.name != "serve CALL") continue;
+    ++serve_calls[std::to_string(span.parent_span_id)];
+  }
+  for (const auto& [parent, count] : serve_calls) {
+    EXPECT_EQ(count, 1) << "duplicate serve CALL under parent " << parent;
+  }
+}
+
+}  // namespace
+}  // namespace srpc
