@@ -1,0 +1,256 @@
+// Figure 8 — "Multi-session throughput under home-side arbitration".
+//
+// Beyond the paper: the concurrent multi-session runtime (PROTOCOL.md
+// "Concurrent sessions & arbitration"). N ground spaces each run a stream
+// of sessions against one home; every session fetches a list head, spends
+// a fixed client-side think time with the session open, increments the
+// head value, and commits. Aggregate committed-sessions/sec and the p95
+// session-commit latency are wall-clock (std::chrono) — the point of the
+// figure is real overlap, not virtual-clock accounting.
+//
+// Two contention regimes per session count:
+//  * low  — ground g owns list g: disjoint footprints, zero conflicts
+//           expected, throughput should scale with the session count until
+//           the home worker saturates (the acceptance bar is >= 3x going
+//           from 1 to 8 sessions).
+//  * high — every ground increments list 0: the wound-wait arbiter picks
+//           one winner per object generation, losers see WB_CONFLICT,
+//           abort, back off, and retry under a fresh session.
+//
+// Every row ends with a coherency verification: the home-side head value
+// must equal the initial value plus the number of commits the benchmark
+// counted against that list — `violations` is the absolute difference
+// summed over lists and MUST be zero (a nonzero value means a lost or
+// phantom update slipped past the arbiter).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/smart_rpc.hpp"
+#include "harness.hpp"
+#include "workload/list.hpp"
+
+namespace {
+
+using srpc::AddressSpace;
+using srpc::CostModel;
+using srpc::Runtime;
+using srpc::Status;
+using srpc::StatusCode;
+using srpc::World;
+using srpc::WorldOptions;
+using srpc::workload::ListNode;
+
+constexpr std::uint32_t kSessionCounts[] = {1, 2, 4, 8, 16, 32};
+constexpr std::uint32_t kMaxSessions = 32;
+constexpr std::int64_t kInitialValue = 1000;
+// Client-side compute per session, spent with the session open (between
+// the fetch and the commit). This is what makes aggregate throughput a
+// concurrency measurement: one ground is think-time bound, many grounds
+// overlap their think times until the home worker is the bottleneck.
+constexpr std::chrono::microseconds kThinkTime{2000};
+// Retry budget per logical operation. Wound-wait orders sessions by id and
+// a retry gets a fresh (younger) id, so under a sustained stampede the
+// youngest spaces only drain once older grounds finish their quota — the
+// cap just has to outlast that, it is not expected to be reached.
+constexpr std::uint32_t kMaxAttempts = 512;
+
+// SRPC_BENCH_NODES scales the per-ground session count (the smoke ctest
+// entry runs at 511 => 2 commits per ground).
+std::uint32_t commits_per_ground() {
+  static const std::uint32_t c =
+      std::max<std::uint32_t>(2, srpc::bench::node_count_from_env(4096) / 256);
+  return c;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct PointResult {
+  std::uint64_t committed = 0;
+  double elapsed_s = 0;
+  double p95_commit_ms = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t wounds = 0;
+  std::uint64_t failed = 0;      // operations that exhausted the retry budget
+  std::uint64_t violations = 0;  // coherency check: lost or phantom updates
+};
+
+// One fresh world per data point so arbitration state, caches, and version
+// counters never leak between rows.
+PointResult run_point(std::uint32_t sessions, bool high_contention,
+                      srpc::bench::RobustnessCounters& robustness) {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  options.cache.closure_bytes = 0;  // every remote read is a FETCH
+  options.multi_session = true;
+  World world(options);
+  AddressSpace& home = world.create_space("home");
+  std::vector<AddressSpace*> grounds;
+  grounds.reserve(sessions);
+  for (std::uint32_t g = 0; g < sessions; ++g) {
+    grounds.push_back(&world.create_space("g" + std::to_string(g + 1)));
+  }
+  srpc::workload::register_list_type(world).status().check();
+
+  std::vector<ListNode*> heads(kMaxSessions, nullptr);
+  home.bind("list", [&heads](srpc::CallContext&, std::int64_t which) -> ListNode* {
+        return heads[static_cast<std::size_t>(which)];
+      })
+      .check();
+  home.run([&heads](Runtime& rt) {
+    for (std::uint32_t w = 0; w < kMaxSessions; ++w) {
+      auto head = srpc::workload::build_list(
+          rt, 3, [](std::uint32_t i) { return kInitialValue + i; });
+      head.status().check();
+      heads[w] = head.value();
+    }
+  });
+
+  std::mutex agg_mu;
+  std::vector<double> commit_ms;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::vector<std::uint64_t> commits_per_list(kMaxSessions, 0);
+
+  std::vector<std::pair<AddressSpace*, World::GroundFn>> jobs;
+  jobs.reserve(sessions);
+  for (std::uint32_t g = 0; g < sessions; ++g) {
+    const std::int64_t which = high_contention ? 0 : static_cast<std::int64_t>(g);
+    jobs.emplace_back(grounds[g], [&, which](Runtime& rt) {
+      for (std::uint32_t c = 0; c < commits_per_ground(); ++c) {
+        bool done = false;
+        for (std::uint32_t attempt = 0; attempt < kMaxAttempts && !done;
+             ++attempt) {
+          if (!rt.begin_session().is_ok()) break;
+          auto head = srpc::typed_call<ListNode*>(rt, 0, "list", which);
+          if (!head.is_ok() || !rt.prefetch(head.value(), 1 << 16).is_ok()) {
+            (void)rt.abort_session();
+            continue;
+          }
+          // Client compute happens once; a conflict retry only re-fetches
+          // and re-applies the already-computed update.
+          if (attempt == 0) std::this_thread::sleep_for(kThinkTime);
+          head.value()->value += 1;
+          const auto t0 = std::chrono::steady_clock::now();
+          Status ended = rt.end_session();
+          const auto t1 = std::chrono::steady_clock::now();
+          if (ended.is_ok()) {
+            const double ms =
+                std::chrono::duration<double, std::milli>(t1 - t0).count();
+            std::lock_guard<std::mutex> lock(agg_mu);
+            commit_ms.push_back(ms);
+            ++committed;
+            ++commits_per_list[static_cast<std::size_t>(which)];
+            done = true;
+          } else {
+            (void)rt.abort_session();
+            if (ended.code() != StatusCode::kConflict) break;
+            // Lost the arbitration: back off a little before retrying so
+            // the winner's commit window can close.
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                200 * std::min<std::uint32_t>(attempt + 1, 16)));
+          }
+        }
+        if (!done) {
+          std::lock_guard<std::mutex> lock(agg_mu);
+          ++failed;
+        }
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  world.run_concurrent(jobs);
+  const auto stop = std::chrono::steady_clock::now();
+
+  PointResult r;
+  r.committed = committed;
+  r.elapsed_s = std::chrono::duration<double>(stop - start).count();
+  r.p95_commit_ms = percentile(commit_ms, 0.95);
+  const srpc::ArbiterStats arb =
+      home.run([](Runtime& rt) { return rt.arbiter().stats(); });
+  r.conflicts = arb.conflicts;
+  r.wounds = arb.wounds;
+
+  // Coherency verification: the home's own memory must show exactly the
+  // committed increments — no lost updates, no phantom ones.
+  r.violations = home.run([&heads, &commits_per_list](Runtime&) {
+    std::uint64_t bad = 0;
+    for (std::uint32_t w = 0; w < kMaxSessions; ++w) {
+      const std::int64_t expected =
+          kInitialValue + static_cast<std::int64_t>(commits_per_list[w]);
+      const std::int64_t actual = heads[w]->value;
+      bad += static_cast<std::uint64_t>(
+          actual > expected ? actual - expected : expected - actual);
+    }
+    return bad;
+  });
+  r.failed = failed;
+  if (failed != 0) {
+    std::fprintf(stderr, "fig8: %llu operations exhausted the retry budget\n",
+                 static_cast<unsigned long long>(failed));
+  }
+
+  srpc::bench::RobustnessCounters point;
+  point.add(home.run([](Runtime& rt) { return rt.stats(); }));
+  for (AddressSpace* g : grounds) {
+    point.add(g->run([](Runtime& rt) { return rt.stats(); }));
+  }
+  robustness.merge(point);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  srpc::init_log_level_from_env();
+
+  srpc::bench::RobustnessCounters robustness;
+  std::vector<std::vector<double>> table;
+  double low_rate_1 = 0, low_rate_8 = 0;
+  for (const bool high : {false, true}) {
+    for (const std::uint32_t n : kSessionCounts) {
+      const PointResult r = run_point(n, high, robustness);
+      const double rate = r.elapsed_s > 0
+                              ? static_cast<double>(r.committed) / r.elapsed_s
+                              : 0.0;
+      if (!high && n == 1) low_rate_1 = rate;
+      if (!high && n == 8) low_rate_8 = rate;
+      table.push_back({static_cast<double>(n), high ? 1.0 : 0.0,
+                       static_cast<double>(r.committed), r.elapsed_s, rate,
+                       r.p95_commit_ms, static_cast<double>(r.conflicts),
+                       static_cast<double>(r.wounds),
+                       static_cast<double>(r.failed),
+                       static_cast<double>(r.violations)});
+    }
+  }
+
+  const double speedup = low_rate_1 > 0 ? low_rate_8 / low_rate_1 : 0.0;
+  srpc::bench::print_table(
+      "Figure 8: concurrent sessions vs committed-sessions/sec (wall clock)",
+      {"sessions", "contention", "committed", "elapsed_s", "commits_per_s",
+       "p95_commit_ms", "conflicts", "wounds", "failed", "violations"},
+      table);
+  std::printf("disjoint-workload speedup 1 -> 8 sessions: %.2fx\n", speedup);
+
+  srpc::bench::write_bench_json(
+      "fig8_multisession",
+      {{"commits_per_ground", static_cast<double>(commits_per_ground())},
+       {"think_time_us", static_cast<double>(kThinkTime.count())},
+       {"speedup_low_1_to_8", speedup}},
+      {"sessions", "high_contention", "committed", "elapsed_s",
+       "commits_per_s", "p95_commit_ms", "conflicts", "wounds", "failed",
+       "violations"},
+      table, robustness);
+  return 0;
+}

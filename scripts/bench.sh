@@ -18,6 +18,7 @@ BENCHES=(
   fig5_callbacks
   fig6_closure
   fig7_update
+  fig8_multisession
   table1_allocation
   micro_xdr
   micro_fault

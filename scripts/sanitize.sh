@@ -14,8 +14,8 @@
 #   FaultDispatcher.
 # - TSan flags signal handlers that run "signal-unsafe" code; our handler
 #   deliberately performs a full fetch RPC inside the fault (the paper's
-#   design), so report_signal_unsafe=0 is required, and tsan.supp mutes
-#   known-benign races in the test-only FaultTransport stats snapshot.
+#   design), so report_signal_unsafe=0 is required; tsan.supp covers only
+#   the handler's allocator attribution.
 set -euo pipefail
 
 SAN="${1:-address}"
@@ -41,10 +41,15 @@ esac
 
 cmake -B "${BUILD}" -S "${ROOT}" -DSRPC_SANITIZE="${SAN}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD}" -j "$(nproc)"
-# Failure-containment matrix first (crash points, partitions, soak): it is
+# The concurrency suite first: the multi-session runtime runs truly
+# parallel ground workers against one home arbiter, so it is the suite
+# ThreadSanitizer exists for — but it runs under every sanitizer so a
+# data race that ASan happens to crash on is caught too.
+ctest --test-dir "${BUILD}" --output-on-failure -L concurrency
+# Failure-containment matrix next (crash points, partitions, soak): it is
 # the suite most likely to trip a sanitizer, so fail fast on it before the
 # rest of the tests. scripts/soak.sh layers a many-seed sweep on top. Then
 # the observability suite (tracing touches every wire path), then the rest.
-ctest --test-dir "${BUILD}" --output-on-failure -L fault
+ctest --test-dir "${BUILD}" --output-on-failure -L fault -LE concurrency
 ctest --test-dir "${BUILD}" --output-on-failure -L obs
 ctest --test-dir "${BUILD}" --output-on-failure -LE "fault|obs" "$@"

@@ -30,6 +30,8 @@ std::string_view to_string(StatusCode code) noexcept {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kSpaceDead:
       return "SPACE_DEAD";
+    case StatusCode::kConflict:
+      return "CONFLICT";
   }
   return "UNKNOWN";
 }

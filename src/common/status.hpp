@@ -29,6 +29,7 @@ enum class StatusCode : std::uint8_t {
   kProtocolError,
   kDeadlineExceeded,
   kSpaceDead,  // kUnavailable family: peer declared dead by the failure detector
+  kConflict,   // WB_CONFLICT: write-back lost the session arbitration at a home
 };
 
 std::string_view to_string(StatusCode code) noexcept;
@@ -96,6 +97,9 @@ inline Status deadline_exceeded(std::string msg) {
 }
 inline Status space_dead(std::string msg) {
   return Status(StatusCode::kSpaceDead, std::move(msg));
+}
+inline Status conflict(std::string msg) {
+  return Status(StatusCode::kConflict, std::move(msg));
 }
 
 // Minimal expected<T, Status>. Value-or-error; accessing the wrong arm

@@ -1,0 +1,108 @@
+#include "concurrency/arbiter.hpp"
+
+#include <string>
+
+namespace srpc {
+
+void ConflictArbiter::note_read(SessionId session, std::uint64_t addr) {
+  const ObjectLockTable::Outcome out = locks_.acquire_shared(session, addr);
+  if (out.contended) ++stats_.lock_waits;
+  observed_[session][addr] = version(addr);
+}
+
+Status ConflictArbiter::validate_prepare(
+    SessionId session, std::span<const std::uint64_t> writes) {
+  // A retransmitted prepare of a session we already admitted: the locks are
+  // held and the verdict stands.
+  if (committing_.count(session) > 0) return Status::ok();
+
+  if (wounded_.count(session) > 0) {
+    ++stats_.conflicts;
+    return conflict("session " + std::to_string(session) +
+                    " was wounded by an older session's write");
+  }
+
+  // Version check: only objects this session actually observed here.
+  auto observed = observed_.find(session);
+  if (observed != observed_.end()) {
+    for (std::uint64_t addr : writes) {
+      auto seen = observed->second.find(addr);
+      if (seen != observed->second.end() && seen->second != version(addr)) {
+        ++stats_.conflicts;
+        return conflict("stale read: object " + std::to_string(addr) +
+                        " committed past version " +
+                        std::to_string(seen->second));
+      }
+    }
+  }
+
+  const ObjectLockTable::Unwoundable unwoundable = [this](SessionId holder) {
+    return committing_.count(holder) > 0;
+  };
+
+  // All-or-nothing: probe the whole manifest before wounding anyone, so a
+  // refused prepare leaves every other session untouched.
+  for (std::uint64_t addr : writes) {
+    const SessionId blocker = locks_.exclusive_blocker(session, addr, unwoundable);
+    if (blocker != kNoSession) {
+      ++stats_.conflicts;
+      ++stats_.lock_waits;
+      return conflict("object " + std::to_string(addr) +
+                      " is locked by session " + std::to_string(blocker));
+    }
+  }
+  for (std::uint64_t addr : writes) {
+    const ObjectLockTable::Outcome out =
+        locks_.acquire_exclusive(session, addr, unwoundable);
+    if (out.contended) ++stats_.lock_waits;
+    for (SessionId victim : out.wounded) {
+      if (wounded_.insert(victim).second) ++stats_.wounds;
+      locks_.release_session(victim);
+    }
+  }
+
+  committing_.insert(session);
+  prepared_[session].assign(writes.begin(), writes.end());
+  return Status::ok();
+}
+
+void ConflictArbiter::commit(SessionId session) {
+  auto it = prepared_.find(session);
+  if (it != prepared_.end()) {
+    for (std::uint64_t addr : it->second) ++versions_[addr];
+    prepared_.erase(it);
+  }
+  committing_.erase(session);
+  wounded_.erase(session);
+  observed_.erase(session);
+  locks_.release_session(session);
+}
+
+void ConflictArbiter::release(SessionId session) {
+  prepared_.erase(session);
+  committing_.erase(session);
+  wounded_.erase(session);
+  observed_.erase(session);
+  locks_.release_session(session);
+}
+
+void ConflictArbiter::release_space(SpaceId space) {
+  for (SessionId session : locks_.sessions_of_space(space)) release(session);
+  auto of_space = [space](SessionId id) {
+    return static_cast<SpaceId>(id >> 32) == space;
+  };
+  for (auto it = observed_.begin(); it != observed_.end();) {
+    it = of_space(it->first) ? observed_.erase(it) : std::next(it);
+  }
+  for (auto it = prepared_.begin(); it != prepared_.end();) {
+    it = of_space(it->first) ? prepared_.erase(it) : std::next(it);
+  }
+  for (auto it = wounded_.begin(); it != wounded_.end();) {
+    it = of_space(*it) ? wounded_.erase(it) : std::next(it);
+  }
+  for (auto it = committing_.begin(); it != committing_.end();) {
+    it = of_space(*it) ? committing_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace srpc

@@ -1,0 +1,94 @@
+// ConflictArbiter — home-side session arbitration for concurrent write-back.
+//
+// One arbiter lives in each Runtime and validates WB_PREPARE against every
+// session the home has served since. It combines two mechanisms:
+//
+//  * Optimistic versioning. Each home object carries a version counter,
+//    bumped only when a committed modified set is applied. Serving a FETCH
+//    or DEREF records the version the session observed; the write manifest
+//    presented at WB_PREPARE re-checks those observations, so a session
+//    that read data an earlier commit has since overwritten loses with
+//    WB_CONFLICT instead of silently clobbering the newer state. Blind
+//    writes (objects the session never fetched from this home) pass
+//    unchecked, matching the paper's last-writer semantics for disjoint
+//    data.
+//
+//  * Wound-wait object locks (ObjectLockTable). Reads take shared locks;
+//    prepare upgrades the manifest to exclusive ones. An older session
+//    wounds younger readers in its way; a younger session meeting an older
+//    holder conflicts immediately. A wounded session learns of its wound at
+//    its own next prepare and retries from scratch. Prepared sessions are
+//    unwoundable until WB_COMMIT/WB_ABORT resolves them, preserving
+//    two-phase atomicity.
+//
+// Everything runs on the home's single worker thread — no locking here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "concurrency/object_lock_table.hpp"
+
+namespace srpc {
+
+struct ArbiterStats {
+  std::uint64_t lock_waits = 0;  // contended acquisitions (non-blocking "waits")
+  std::uint64_t wounds = 0;      // younger sessions displaced by older writers
+  std::uint64_t conflicts = 0;   // WB_PREPAREs refused
+};
+
+class ConflictArbiter {
+ public:
+  // The session observed (read) the object based at `addr` at its current
+  // version. Takes a shared lock; never fails.
+  void note_read(SessionId session, std::uint64_t addr);
+
+  // Validates a write manifest: wound check, version check, then exclusive
+  // lock acquisition (all-or-nothing across the manifest). On success the
+  // session is committing (unwoundable) until commit() or release().
+  // Idempotent for retransmitted prepares of an already-committing session.
+  Status validate_prepare(SessionId session,
+                          std::span<const std::uint64_t> writes);
+
+  // WB_COMMIT applied: bump versions of everything the session prepared,
+  // then forget the session entirely.
+  void commit(SessionId session);
+
+  // Session over without a commit (abort, invalidate, wound cleanup):
+  // forget it without bumping any versions.
+  void release(SessionId session);
+
+  // Every session of `space` is gone (peer declared dead).
+  void release_space(SpaceId space);
+
+  [[nodiscard]] bool is_wounded(SessionId session) const {
+    return wounded_.count(session) > 0;
+  }
+  [[nodiscard]] bool is_committing(SessionId session) const {
+    return committing_.count(session) > 0;
+  }
+  [[nodiscard]] std::uint64_t version(std::uint64_t addr) const {
+    auto it = versions_.find(addr);
+    return it == versions_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::size_t lock_count() const { return locks_.lock_count(); }
+  [[nodiscard]] const ObjectLockTable& locks() const noexcept { return locks_; }
+  [[nodiscard]] const ArbiterStats& stats() const noexcept { return stats_; }
+
+ private:
+  ObjectLockTable locks_;
+  std::unordered_map<std::uint64_t, std::uint64_t> versions_;
+  std::unordered_map<SessionId, std::unordered_map<std::uint64_t, std::uint64_t>>
+      observed_;
+  std::unordered_set<SessionId> wounded_;
+  std::unordered_map<SessionId, std::vector<std::uint64_t>> prepared_;
+  std::unordered_set<SessionId> committing_;
+  ArbiterStats stats_;
+};
+
+}  // namespace srpc

@@ -1,0 +1,96 @@
+#include "concurrency/object_lock_table.hpp"
+
+#include <algorithm>
+
+namespace srpc {
+
+ObjectLockTable::Outcome ObjectLockTable::acquire_shared(SessionId session,
+                                                         std::uint64_t addr) {
+  Outcome out;
+  Lock& lock = locks_[addr];
+  out.contended = lock.writer != kNoSession && lock.writer != session;
+  lock.readers.insert(session);
+  held_[session].insert(addr);
+  out.granted = true;
+  return out;
+}
+
+SessionId ObjectLockTable::exclusive_blocker(
+    SessionId session, std::uint64_t addr,
+    const Unwoundable& unwoundable) const {
+  auto it = locks_.find(addr);
+  if (it == locks_.end()) return kNoSession;
+  const Lock& lock = it->second;
+  // A competing writer always wins: it is prepared (committing) by the time
+  // it holds the exclusive lock, hence unwoundable.
+  if (lock.writer != kNoSession && lock.writer != session) return lock.writer;
+  for (SessionId reader : lock.readers) {
+    if (reader == session) continue;
+    // Wound-wait: an older reader (smaller id) defeats us; so does any
+    // reader the arbiter declared unwoundable (already committing).
+    if (reader < session || (unwoundable && unwoundable(reader))) return reader;
+  }
+  return kNoSession;
+}
+
+ObjectLockTable::Outcome ObjectLockTable::acquire_exclusive(
+    SessionId session, std::uint64_t addr, const Unwoundable& unwoundable) {
+  Outcome out;
+  out.blocker = exclusive_blocker(session, addr, unwoundable);
+  if (out.blocker != kNoSession) return out;
+  Lock& lock = locks_[addr];
+  out.contended = !lock.readers.empty() &&
+                  !(lock.readers.size() == 1 && lock.readers.count(session));
+  for (SessionId reader : lock.readers) {
+    if (reader == session) continue;
+    out.wounded.push_back(reader);
+  }
+  for (SessionId reader : out.wounded) drop(reader, addr);
+  lock.readers.clear();
+  lock.writer = session;
+  held_[session].insert(addr);
+  out.granted = true;
+  return out;
+}
+
+void ObjectLockTable::release_session(SessionId session) {
+  auto it = held_.find(session);
+  if (it == held_.end()) return;
+  for (std::uint64_t addr : it->second) {
+    auto lock = locks_.find(addr);
+    if (lock == locks_.end()) continue;
+    if (lock->second.writer == session) lock->second.writer = kNoSession;
+    lock->second.readers.erase(session);
+    if (lock->second.empty()) locks_.erase(lock);
+  }
+  held_.erase(it);
+}
+
+void ObjectLockTable::drop(SessionId session, std::uint64_t addr) {
+  auto it = held_.find(session);
+  if (it == held_.end()) return;
+  it->second.erase(addr);
+  if (it->second.empty()) held_.erase(it);
+}
+
+bool ObjectLockTable::held_by(SessionId session, std::uint64_t addr) const {
+  auto it = locks_.find(addr);
+  if (it == locks_.end()) return false;
+  return it->second.writer == session || it->second.readers.count(session) > 0;
+}
+
+std::size_t ObjectLockTable::held_count(SessionId session) const {
+  auto it = held_.find(session);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+std::vector<SessionId> ObjectLockTable::sessions_of_space(SpaceId space) const {
+  std::vector<SessionId> out;
+  for (const auto& [session, addrs] : held_) {
+    if (static_cast<SpaceId>(session >> 32) == space) out.push_back(session);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace srpc

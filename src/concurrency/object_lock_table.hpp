@@ -1,0 +1,89 @@
+// ObjectLockTable — home-side per-object session locks.
+//
+// The paper's execution model gives each session exclusive use of a space's
+// cache, which serialises sessions world-wide. The concurrent runtime keeps
+// many sessions in flight and instead arbitrates at the homes: every object
+// a session reads takes a shared lock at FETCH/DEREF time, and the write
+// manifest carried by WB_PREPARE upgrades to exclusive locks before the
+// modified set is staged.
+//
+// Conflicts resolve by wound-wait ordered by session id — ids are
+// (space << 32 | counter), so a smaller id is an older session and the
+// total order is world-wide without any extra coordination. Nothing here
+// ever blocks: a younger writer meeting an older holder loses immediately
+// (the home answers WB_CONFLICT and the client retries under backoff), and
+// an older writer wounds younger readers, who discover the wound at their
+// own next WB_PREPARE. Sessions that already started committing are
+// unwoundable — two-phase write-back must not lose a prepared session.
+//
+// Keys are canonical home base addresses (the home canonicalises interior
+// and element pointers through its heap index before locking), so a lock on
+// a container covers every element pointer into it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace srpc {
+
+enum class LockMode : std::uint8_t { kShared, kExclusive };
+
+class ObjectLockTable {
+ public:
+  // Returns true for sessions that must not be wounded (e.g. committing).
+  using Unwoundable = std::function<bool(SessionId)>;
+
+  struct Outcome {
+    bool granted = false;
+    bool contended = false;             // met a competing holder on the way
+    SessionId blocker = kNoSession;     // who defeated us (grant failed)
+    std::vector<SessionId> wounded;     // younger holders displaced (grant ok)
+  };
+
+  // Shared locks always grant: readers coexist with each other and with a
+  // writer (optimistic versioning catches stale reads at prepare time).
+  Outcome acquire_shared(SessionId session, std::uint64_t addr);
+
+  // Probe only — who would defeat `session`'s exclusive claim on `addr`?
+  // kNoSession means the claim would succeed. Used for the all-or-nothing
+  // first pass over a write manifest, so a half-granted manifest never
+  // leaves stray wounds behind.
+  [[nodiscard]] SessionId exclusive_blocker(SessionId session,
+                                            std::uint64_t addr,
+                                            const Unwoundable& unwoundable) const;
+
+  // Takes the exclusive lock, wounding younger woundable readers. Callers
+  // must have probed first (exclusive_blocker == kNoSession); a blocked
+  // acquire reports granted = false and changes nothing.
+  Outcome acquire_exclusive(SessionId session, std::uint64_t addr,
+                            const Unwoundable& unwoundable);
+
+  // Drops every lock `session` holds.
+  void release_session(SessionId session);
+
+  [[nodiscard]] bool held_by(SessionId session, std::uint64_t addr) const;
+  [[nodiscard]] std::size_t lock_count() const noexcept { return locks_.size(); }
+  [[nodiscard]] std::size_t held_count(SessionId session) const;
+
+  // Sessions of `space` currently holding any lock (peer-death cleanup).
+  [[nodiscard]] std::vector<SessionId> sessions_of_space(SpaceId space) const;
+
+ private:
+  struct Lock {
+    SessionId writer = kNoSession;
+    std::unordered_set<SessionId> readers;
+    [[nodiscard]] bool empty() const { return writer == kNoSession && readers.empty(); }
+  };
+
+  void drop(SessionId session, std::uint64_t addr);
+
+  std::unordered_map<std::uint64_t, Lock> locks_;
+  std::unordered_map<SessionId, std::unordered_set<std::uint64_t>> held_;
+};
+
+}  // namespace srpc

@@ -1,0 +1,37 @@
+#include "concurrency/session_table.hpp"
+
+#include <algorithm>
+
+namespace srpc {
+
+SessionState& SessionTable::open(SessionId id) {
+  auto it = states_.find(id);
+  if (it == states_.end()) {
+    auto state = std::make_unique<SessionState>();
+    state->id = id;
+    it = states_.emplace(id, std::move(state)).first;
+  }
+  return *it->second;
+}
+
+SessionState* SessionTable::find(SessionId id) {
+  auto it = states_.find(id);
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+const SessionState* SessionTable::find(SessionId id) const {
+  auto it = states_.find(id);
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+bool SessionTable::close(SessionId id) { return states_.erase(id) > 0; }
+
+std::vector<SessionId> SessionTable::ids() const {
+  std::vector<SessionId> out;
+  out.reserve(states_.size());
+  for (const auto& [id, state] : states_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace srpc

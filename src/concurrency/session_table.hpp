@@ -1,0 +1,102 @@
+// SessionTable — per-runtime bookkeeping for concurrent RPC sessions.
+//
+// The single-session runtime kept one scalar of each piece of session
+// state (the travelling modified set, home twins, ship records, the session
+// span). SessionTable generalises that to many sessions in flight at once:
+// one SessionState per session id, holding everything the runtime used to
+// keep in scalars plus the per-session cache overlay that gives each
+// session its own extended address space.
+//
+// States are created lazily at two tiers: serving any message of a session
+// creates a bare state (sets, ship records — cheap), while the cache and
+// allocator only materialise when the session actually faults remote data
+// in or allocates remotely (a cache reserves a whole arena, so a home that
+// merely applies write-backs never pays for one).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/cache_manager.hpp"
+#include "core/modified_set.hpp"
+#include "mem/remote_allocator.hpp"
+#include "obs/span_recorder.hpp"
+#include "swizzle/long_pointer.hpp"
+
+namespace srpc {
+
+enum class SessionStatus : std::uint8_t {
+  kActive,      // open, accepting work
+  kCommitting,  // end_session in progress (write-back phases running)
+  kAborted,     // being unwound
+};
+
+// Everything one session owns at one space. `local` marks the space that
+// began the session (the commit coordinator); remotes hold participant
+// states created by serving the session's messages.
+struct SessionState {
+  SessionId id = kNoSession;
+  bool local = false;
+  SessionStatus status = SessionStatus::kActive;
+
+  // Objects of OUR home heap this session modified (directly or via an
+  // incoming modified set) — the home-resident half of the travelling set.
+  std::unordered_set<LongPointer, LongPointerHash> updates;
+  // Baseline copies backing delta encoding of those home objects.
+  std::unordered_map<LongPointer, std::vector<std::uint8_t>, LongPointerHash>
+      home_twins;
+  // Per-object shipping records (delta fingerprints, ever-shipped ranges).
+  std::unordered_map<LongPointer, ShipState, LongPointerHash> ship;
+  std::uint64_t ship_epoch = 0;  // bumped every control transfer
+
+  SpanRecorder::Handle span = SpanRecorder::kNoSpan;  // session span (local)
+
+  // Peers this session exchanged requests with from here — the invalidation
+  // multicast tree: session end notifies exactly these, and each forwards
+  // to its own touched set.
+  std::unordered_set<SpaceId> touched;
+
+  // Per-session extended address space (lazily built, see file comment).
+  std::unique_ptr<CacheManager> cache;
+  std::unique_ptr<RemoteAllocator> allocator;
+
+  void clear_ship() {
+    ship.clear();
+    home_twins.clear();
+    ship_epoch = 0;
+  }
+};
+
+class SessionTable {
+ public:
+  // Creates (or returns) the state for `id`. State addresses are stable:
+  // they survive rehashing and the creation/close of sibling sessions.
+  SessionState& open(SessionId id);
+
+  [[nodiscard]] SessionState* find(SessionId id);
+  [[nodiscard]] const SessionState* find(SessionId id) const;
+
+  // Destroys the state (and its cache/allocator). Returns false if absent.
+  bool close(SessionId id);
+
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] std::vector<SessionId> ids() const;
+
+  template <typename F>
+  void for_each(F&& fn) {
+    for (auto& [id, state] : states_) fn(*state);
+  }
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& [id, state] : states_) fn(*state);
+  }
+
+ private:
+  std::unordered_map<SessionId, std::unique_ptr<SessionState>> states_;
+};
+
+}  // namespace srpc

@@ -412,7 +412,7 @@ Status CacheManager::fill_page(PageIndex page, std::uint64_t closure_budget) {
   if (result.is_ok()) {
     for (auto& [home, pointers] : by_home) {
       ++stats_.fetches;
-      auto reply = fetcher_.fetch(home, pointers, closure_budget);
+      auto reply = fetcher_.fetch(home, pointers, closure_budget, session_);
       if (!reply) {
         result = reply.status();
         break;

@@ -55,9 +55,12 @@ class PageFetcher {
  public:
   virtual ~PageFetcher() = default;
   // Requests `pointers` (all homed at `home`); returns the FETCH_REPLY's
-  // graph payload bytes.
+  // graph payload bytes. `session` is the RPC session this cache serves
+  // (kNoSession from the runtime's default cache — the fetch then rides
+  // whatever session is current).
   virtual Result<ByteBuffer> fetch(SpaceId home, std::span<const LongPointer> pointers,
-                                   std::uint64_t closure_budget) = 0;
+                                   std::uint64_t closure_budget,
+                                   SessionId session) = 0;
   // Cost accounting for one MMU access violation.
   virtual void charge_fault() = 0;
   // Swizzles a pointer homed in *this* space (a payload can reference the
@@ -252,6 +255,10 @@ class CacheManager final : public FaultHandler {
   // Optional observability sink (owned by the Runtime): fault and fill
   // annotations land on whatever span is open when the MMU fires.
   void set_telemetry(Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+  // The session this cache is an overlay for (kNoSession for a runtime's
+  // shared default cache). Stamped on every fetch the fault path issues.
+  void set_session(SessionId id) noexcept { session_ = id; }
+  [[nodiscard]] SessionId session() const noexcept { return session_; }
   [[nodiscard]] const DataAllocationTable& table() const noexcept { return table_; }
   [[nodiscard]] const PageArena& arena() const noexcept { return arena_; }
   [[nodiscard]] PageState page_state(PageIndex page) const {
@@ -339,6 +346,7 @@ class CacheManager final : public FaultHandler {
 
   PageIndex next_fresh_page_ = 0;
   bool registered_ = false;
+  SessionId session_ = kNoSession;
   CacheStats stats_;
   Telemetry* telemetry_ = nullptr;
 };

@@ -62,7 +62,8 @@ Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
       allocator_(cache_),
       packer_(codec_, arch, *this),
       timeouts_(timeouts),
-      telemetry_(self, name_) {
+      telemetry_(self, name_),
+      cache_options_(cache_options) {
   full_dispatcher_ = [this](Message msg) { return dispatch(std::move(msg)); };
   if (sim_ != nullptr) {
     telemetry_.set_clock([this] { return vnow_ns(); });
@@ -74,13 +75,95 @@ Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
 Status Runtime::init() { return cache_.init(); }
 
 // ---------------------------------------------------------------------------
+// Session-state resolution (multi-session mode)
+// ---------------------------------------------------------------------------
+
+SessionState& Runtime::state_for(SessionId id) {
+  if (!multi_session_ || id == kNoSession) return ambient_state_;
+  SessionState& st = sessions_.open(id);
+  if (st.id == kNoSession) st.id = id;
+  return st;
+}
+
+const SessionState& Runtime::cur_state() const {
+  const SessionId id = current_session();
+  if (!multi_session_ || id == kNoSession) return ambient_state_;
+  const SessionState* st = sessions_.find(id);
+  return st != nullptr ? *st : ambient_state_;
+}
+
+CacheManager& Runtime::cache_for(SessionId id) {
+  if (!multi_session_ || id == kNoSession) return cache_;
+  SessionState& st = state_for(id);
+  if (!st.cache) {
+    st.cache = std::make_unique<CacheManager>(registry_, layouts_, arch_, self_,
+                                              cache_options_, *this);
+    st.cache->set_telemetry(&telemetry_);
+    st.cache->set_session(id);
+    // Arena reservation failing is an OOM-class condition; fail loudly
+    // rather than silently sharing the default cache across sessions.
+    st.cache->init().check();
+    st.allocator = std::make_unique<RemoteAllocator>(*st.cache);
+  }
+  return *st.cache;
+}
+
+RemoteAllocator& Runtime::allocator_for(SessionId id) {
+  if (!multi_session_ || id == kNoSession) return allocator_;
+  (void)cache_for(id);  // materialises the allocator alongside the cache
+  return *state_for(id).allocator;
+}
+
+CacheManager& Runtime::cache() { return cache_for(current_session()); }
+
+const CacheManager& Runtime::cache() const {
+  const SessionId id = current_session();
+  if (!multi_session_ || id == kNoSession) return cache_;
+  const SessionState* st = sessions_.find(id);
+  return (st != nullptr && st->cache) ? *st->cache : cache_;
+}
+
+CacheManager* Runtime::cache_owning(const void* p) {
+  if (cache_.contains(p)) return &cache_;
+  CacheManager* owner = nullptr;
+  sessions_.for_each([&](SessionState& st) {
+    if (owner == nullptr && st.cache && st.cache->contains(p)) {
+      owner = st.cache.get();
+    }
+  });
+  return owner;
+}
+
+const CacheManager* Runtime::cache_owning(const void* p) const {
+  if (cache_.contains(p)) return &cache_;
+  const CacheManager* owner = nullptr;
+  sessions_.for_each([&](const SessionState& st) {
+    if (owner == nullptr && st.cache && st.cache->contains(p)) {
+      owner = st.cache.get();
+    }
+  });
+  return owner;
+}
+
+RemoteAllocator* Runtime::allocator_of(const CacheManager* cache) {
+  if (cache == &cache_) return &allocator_;
+  RemoteAllocator* owner = nullptr;
+  sessions_.for_each([&](SessionState& st) {
+    if (owner == nullptr && st.cache.get() == cache) {
+      owner = st.allocator.get();
+    }
+  });
+  return owner;
+}
+
+// ---------------------------------------------------------------------------
 // Pointer translation (heap + data allocation table)
 // ---------------------------------------------------------------------------
 
 Result<LongPointer> Runtime::unswizzle(std::uint64_t ordinary, TypeId pointee) {
   const void* addr = reinterpret_cast<const void*>(ordinary);
-  if (cache_.contains(addr)) {
-    return cache_.unswizzle(addr);
+  if (const CacheManager* owner = cache_owning(addr)) {
+    return owner->unswizzle(addr);
   }
   const ManagedHeap::Record* record = heap_.find(addr);
   if (record == nullptr) {
@@ -115,7 +198,7 @@ Result<std::uint64_t> Runtime::swizzle(const LongPointer& pointer, TypeId pointe
     }
     return pointer.address;
   }
-  return cache_.swizzle(pointer, pointee);
+  return cache().swizzle(pointer, pointee);
 }
 
 Result<std::uint64_t> Runtime::swizzle_home(const LongPointer& pointer, TypeId pointee) {
@@ -127,14 +210,14 @@ Result<std::uint64_t> Runtime::swizzle_home(const LongPointer& pointer, TypeId p
 
 Result<LocalDataView::DatumView> Runtime::view_local(std::uint64_t local_addr) const {
   const void* addr = reinterpret_cast<const void*>(local_addr);
-  if (cache_.contains(addr)) {
-    const AllocationEntry* entry = cache_.lookup_local(addr);
+  if (const CacheManager* owner = cache_owning(addr)) {
+    const AllocationEntry* entry = owner->lookup_local(addr);
     if (entry == nullptr) {
       return not_found("cache address with no allocation entry");
     }
     DatumView view;
     view.id = entry->pointer;
-    view.image = cache_.is_resident(entry->local) ? entry->local : nullptr;
+    view.image = owner->is_resident(entry->local) ? entry->local : nullptr;
     return view;
   }
   const ManagedHeap::Record* record = heap_.find(addr);
@@ -208,13 +291,14 @@ class IncorporateSink final : public GraphSink {
 }  // namespace
 
 void Runtime::note_home_update(const LongPointer& id) {
-  if (!session_updates_.insert(id).second) return;
+  SessionState& st = cur_state();
+  if (!st.updates.insert(id).second) return;
   // First remote update this session: the current heap bytes are the
   // baseline every later delta is expressed against. The caller has not
   // applied the incoming value yet.
   const ManagedHeap::Record* record = heap_.find_base(id.address);
   if (record != nullptr) {
-    home_twins_[id].assign(record->base, record->base + record->size);
+    st.home_twins[id].assign(record->base, record->base + record->size);
   }
 }
 
@@ -224,8 +308,9 @@ CacheManager::ModifiedDatum Runtime::home_modified_datum(
   d.id = LongPointer{self_, id.address, record.type};
   d.image = record.base;
   d.size = static_cast<std::uint32_t>(record.size);
-  const auto twin = home_twins_.find(id);
-  if (twin != home_twins_.end() && twin->second.size() == record.size) {
+  const auto& home_twins = cur_state().home_twins;
+  const auto twin = home_twins.find(id);
+  if (twin != home_twins.end() && twin->second.size() == record.size) {
     d.has_baseline = true;
     diff_ranges(record.base, twin->second.data(),
                 static_cast<std::uint32_t>(record.size), 0,
@@ -234,23 +319,21 @@ CacheManager::ModifiedDatum Runtime::home_modified_datum(
   return d;
 }
 
-void Runtime::clear_ship_state() {
-  ship_.clear();
-  home_twins_.clear();
-  session_epoch_ = 0;
-}
+void Runtime::clear_ship_state() { cur_state().clear_ship(); }
 
 void Runtime::commit_shipped(SpaceId dest,
                              const std::vector<ShippedRecord>& shipped) {
+  auto& ship = cur_state().ship;
   for (const ShippedRecord& s : shipped) {
-    ship_[s.id].peer_fingerprint[dest] = s.fingerprint;
+    ship[s.id].peer_fingerprint[dest] = s.fingerprint;
   }
 }
 
 Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
                                     bool write_back, std::size_t* encoded,
                                     std::vector<ShippedRecord>* shipped) {
-  ++session_epoch_;
+  SessionState& sst = cur_state();
+  ++sst.ship_epoch;
   const bool dest_takes_deltas =
       modified_deltas_enabled_ && peer_caps_ &&
       (peer_caps_(dest) & kCapModifiedDelta) != 0;
@@ -262,7 +345,7 @@ Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
     // means without the MODIFIED_DELTA capability.
     std::map<SpaceId, std::vector<GraphObjectRef>> groups;
     std::size_t emitted = 0;
-    for (const auto& m : cache_.collect_modified()) {
+    for (const auto& m : cache().collect_modified()) {
       if (write_back && m.id.space != dest) continue;
       if (is_provisional_address(m.id.address)) {
         return internal_error("provisional identity in modified set: " +
@@ -272,10 +355,10 @@ Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
       ++emitted;
     }
     if (!write_back) {
-      for (auto it = session_updates_.begin(); it != session_updates_.end();) {
+      for (auto it = sst.updates.begin(); it != sst.updates.end();) {
         const ManagedHeap::Record* record = heap_.find_base(it->address);
         if (record == nullptr) {
-          it = session_updates_.erase(it);  // freed since: drop from the set
+          it = sst.updates.erase(it);  // freed since: drop from the set
           continue;
         }
         groups[self_].push_back(GraphObjectRef{it->address, record->type, record->base});
@@ -299,15 +382,15 @@ Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
   // write-back mode, where every datum is already expressed against its
   // home) our own home data that remote activity modified this session.
   std::vector<CacheManager::ModifiedDatum> candidates;
-  for (auto& d : cache_.collect_modified_deltas()) {
+  for (auto& d : cache().collect_modified_deltas()) {
     if (write_back && d.id.space != dest) continue;
     candidates.push_back(std::move(d));
   }
   if (!write_back) {
-    for (auto it = session_updates_.begin(); it != session_updates_.end();) {
+    for (auto it = sst.updates.begin(); it != sst.updates.end();) {
       const ManagedHeap::Record* record = heap_.find_base(it->address);
       if (record == nullptr) {
-        it = session_updates_.erase(it);  // freed since: drop from the set
+        it = sst.updates.erase(it);  // freed since: drop from the set
         continue;
       }
       candidates.push_back(home_modified_datum(*it, *record));
@@ -330,7 +413,7 @@ Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
       return internal_error("provisional identity in modified set: " +
                             d.id.to_string() + " (alloc batch not flushed?)");
     }
-    ShipState& st = ship_[d.id];
+    ShipState& st = sst.ship[d.id];
     // Effective ranges: what differs from the baseline now, plus whatever
     // was already shipped (receivers hold those bytes; a revert to the
     // baseline value must still travel).
@@ -346,7 +429,7 @@ Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
     const std::uint64_t fp = fingerprint_ranges(d.image, eff);
     if (fp != st.fingerprint) {
       st.fingerprint = fp;
-      st.epoch = session_epoch_;
+      st.epoch = sst.ship_epoch;
     }
     if (const auto peer = st.peer_fingerprint.find(dest);
         peer != st.peer_fingerprint.end() && peer->second == fp) {
@@ -433,7 +516,7 @@ Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
 
 void Runtime::observe_incoming(const LongPointer& id, SpaceId from,
                                std::uint64_t epoch) {
-  ShipState& st = ship_[id];
+  ShipState& st = cur_state().ship[id];
   if (epoch > st.epoch) st.epoch = epoch;
   // Fingerprint our own post-application image the same way
   // attach_modified_set() will, and credit `from` with it: the sender knows
@@ -444,7 +527,7 @@ void Runtime::observe_incoming(const LongPointer& id, SpaceId from,
     if (record == nullptr) return;  // dropped (freed at home)
     d = home_modified_datum(id, *record);
   } else {
-    auto datum = cache_.modified_datum(id);
+    auto datum = cache().modified_datum(id);
     if (!datum) return;  // e.g. skipped object that never landed
     d = std::move(datum).value();
   }
@@ -483,7 +566,7 @@ Status Runtime::apply_delta_entry(const ModifiedDelta& delta) {
     }
     return Status::ok();
   }
-  return cache_.apply_incoming_delta(delta.id, delta.ranges, delta.bytes.data());
+  return cache().apply_incoming_delta(delta.id, delta.ranges, delta.bytes.data());
 }
 
 Status Runtime::apply_modified_set(ByteBuffer& in, SpaceId from) {
@@ -532,7 +615,7 @@ Status Runtime::attach_closures(ByteBuffer& out, std::span<const std::uint64_t> 
     enc.put_u32(0);
     return Status::ok();
   }
-  auto packed = packer_.pack(roots, cache_.closure_bytes(), /*require_roots=*/false);
+  auto packed = packer_.pack(roots, cache().closure_bytes(), /*require_roots=*/false);
   if (!packed) return packed.status();
   enc.put_u32(static_cast<std::uint32_t>(packed.value().groups.size()));
   for (const auto& [space, refs] : packed.value().groups) {
@@ -547,7 +630,7 @@ Status Runtime::apply_closures(ByteBuffer& in) {
   auto count = dec.get_u32();
   if (!count) return count.status();
   for (std::uint32_t i = 0; i < count.value(); ++i) {
-    SRPC_RETURN_IF_ERROR(cache_.incorporate_clean_payload(in));
+    SRPC_RETURN_IF_ERROR(cache().incorporate_clean_payload(in));
   }
   return Status::ok();
 }
@@ -623,28 +706,50 @@ Result<void*> Runtime::extended_malloc(SpaceId home, TypeId type, std::uint32_t 
   const TypeId full = count > 1 ? registry_.array_of(type, count) : type;
   auto layout = layouts_.layout_of(arch_, full);
   if (!layout) return layout.status();
-  return allocator_.allocate(home, full, layout.value()->size, layout.value()->align);
+  return allocator_for(current_session())
+      .allocate(home, full, layout.value()->size, layout.value()->align);
 }
 
 Status Runtime::extended_free(void* p) {
   if (p == nullptr) return invalid_argument("extended_free(nullptr)");
-  if (cache_.contains(p)) {
-    const AllocationEntry* entry = cache_.lookup_local(p);
+  if (CacheManager* owner = cache_owning(p)) {
+    const AllocationEntry* entry = owner->lookup_local(p);
     if (entry == nullptr || entry->local != p) {
       return invalid_argument("extended_free: not a datum base address");
     }
-    return allocator_.release(entry->pointer);
+    RemoteAllocator* alloc = allocator_of(owner);
+    if (alloc == nullptr) {
+      return internal_error("cache without a paired allocator");
+    }
+    return alloc->release(entry->pointer);
   }
   return heap_.free(p);
 }
 
+Status Runtime::prefetch(const void* p, std::uint64_t closure_budget) {
+  if (p == nullptr) return invalid_argument("prefetch(nullptr)");
+  CacheManager* owner = cache_owning(p);
+  if (owner == nullptr) return Status::ok();  // home data: already here
+  return owner->prefetch(p, closure_budget);
+}
+
 Status Runtime::flush_alloc_batches() {
-  for (const SpaceId home : allocator_.pending_homes()) {
-    RemoteAllocator::Batch batch = allocator_.take_batch(home);
+  const SessionId session = current_session();
+  RemoteAllocator* allocator = &allocator_;
+  if (multi_session_ && session != kNoSession) {
+    // Only flush a session that actually allocated — resolving through
+    // allocator_for() here would materialise a cache for every session
+    // this space merely serves.
+    SessionState* st = sessions_.find(session);
+    if (st == nullptr || !st->allocator) return Status::ok();
+    allocator = st->allocator.get();
+  }
+  for (const SpaceId home : allocator->pending_homes()) {
+    RemoteAllocator::Batch batch = allocator->take_batch(home);
     Message msg;
     msg.type = MessageType::kAllocBatch;
     msg.to = home;
-    msg.session = session_;
+    msg.session = session;
     msg.seq = endpoint_.next_seq();
     xdr::Encoder enc(msg.payload);
     enc.put_u32(static_cast<std::uint32_t>(batch.allocs.size()));
@@ -676,7 +781,7 @@ Status Runtime::flush_alloc_batches() {
       if (!real) return real.status();
       assigned.emplace_back(prov.value(), real.value());
     }
-    SRPC_RETURN_IF_ERROR(allocator_.apply_assignments(home, assigned));
+    SRPC_RETURN_IF_ERROR(allocator->apply_assignments(home, assigned));
   }
   return Status::ok();
 }
@@ -722,7 +827,24 @@ std::string Runtime::metrics_json() {
   set("runtime.leases_expired", stats_.leases_expired);
   set("runtime.orphan_bytes_reclaimed", stats_.orphan_bytes_reclaimed);
   set("runtime.session_teardown_failures", stats_.session_teardown_failures);
-  const CacheStats& cs = cache_.stats();
+  set("runtime.sessions_committed", stats_.sessions_committed);
+  set("runtime.wb_conflicts", stats_.wb_conflicts);
+  // Cache counters summed across the default cache and every live
+  // per-session overlay (an overlay's counters leave the sum when its
+  // session closes — sample before teardown for per-session numbers).
+  CacheStats cs = cache_.stats();
+  sessions_.for_each([&](const SessionState& st) {
+    if (!st.cache) return;
+    const CacheStats& s = st.cache->stats();
+    cs.read_faults += s.read_faults;
+    cs.write_faults += s.write_faults;
+    cs.fills += s.fills;
+    cs.fetches += s.fetches;
+    cs.objects_filled += s.objects_filled;
+    cs.objects_skipped += s.objects_skipped;
+    cs.closure_prefetch_hits += s.closure_prefetch_hits;
+    cs.closure_prefetch_misses += s.closure_prefetch_misses;
+  });
   set("cache.read_faults", cs.read_faults);
   set("cache.write_faults", cs.write_faults);
   set("cache.fills", cs.fills);
@@ -732,6 +854,12 @@ std::string Runtime::metrics_json() {
   set("cache.closure_prefetch_hits", cs.closure_prefetch_hits);
   set("cache.closure_prefetch_misses", cs.closure_prefetch_misses);
   set("rpc.retransmits", endpoint_.retransmits());
+  // Concurrency layer (multi-session runtime + home-side arbitration).
+  set("concurrency.active_sessions", active_sessions());
+  set("concurrency.lock_waits", arbiter_.stats().lock_waits);
+  set("concurrency.conflicts", arbiter_.stats().conflicts);
+  set("concurrency.wounds", arbiter_.stats().wounds);
+  set("concurrency.locks_held", arbiter_.lock_count());
   return m.to_json();
 }
 
@@ -740,6 +868,13 @@ Result<Message> Runtime::guarded_roundtrip(Message msg, MessageType reply_type,
                                            bool idempotent) {
   const SpaceId peer = msg.to;
   const MessageType kind = msg.type;
+  const SessionId msg_session = msg.session;
+  if (multi_session_ && msg_session != kNoSession && peer != self_) {
+    // Remember who this session talked to from here: the session-end
+    // invalidation multicasts to exactly this set (and each member forwards
+    // to its own), instead of the whole world directory.
+    if (SessionState* st = sessions_.find(msg_session)) st->touched.insert(peer);
+  }
   if (detector_.is_dead(peer)) {
     ++stats_.failfast_rejections;
     telemetry_.count("rpc.failfast_rejections",
@@ -779,7 +914,14 @@ Result<Message> Runtime::guarded_roundtrip(Message msg, MessageType reply_type,
 
   if (reply) {
     detector_.note_contact(peer, vnow_ns());
-    cache_.touch_lease(peer, vnow_ns());
+    if (multi_session_ && msg_session != kNoSession) {
+      if (SessionState* st = sessions_.find(msg_session);
+          st != nullptr && st->cache) {
+        st->cache->touch_lease(peer, vnow_ns());
+      }
+    } else {
+      cache_.touch_lease(peer, vnow_ns());
+    }
     return reply;
   }
   telemetry_.count("rpc.failures", kind_label);
@@ -831,8 +973,12 @@ void Runtime::on_peer_dead(SpaceId peer) {
   detector_.mark_dead(peer);
   if (!dead_cleaned_.insert(peer).second) return;  // already contained
   ++stats_.peers_died;
-  const std::size_t revoked = cache_.revoke_source(peer);
+  std::size_t revoked = 0;
+  for_each_cache([&](CacheManager& c) { revoked += c.revoke_source(peer); });
   if (revoked > 0) ++stats_.leases_expired;
+  // Locks and version observations of the dead peer's sessions will never
+  // resolve through WB_COMMIT/INVALIDATE; drop them here.
+  arbiter_.release_space(peer);
   const std::uint64_t reclaimed = heap_.reclaim_owned_by(peer);
   stats_.orphan_bytes_reclaimed += reclaimed;
   // Shadow commits staged by the dead coordinator will never commit.
@@ -863,17 +1009,19 @@ void Runtime::poll_failures() {
   }
   if (lease_ttl_ns_ == 0 || sim_ == nullptr) return;
   const std::uint64_t now = vnow_ns();
-  for (const SpaceId source : cache_.lapsed_sources(now, lease_ttl_ns_)) {
-    const std::size_t revoked = cache_.revoke_source(source);
-    ++stats_.leases_expired;
-    detector_.mark_suspect(source);
-    SRPC_WARN << name_ << ": lease on source space " << source
-              << " lapsed; revoked " << revoked << " cached pages";
-    if (telemetry_.tracing()) {
-      telemetry_.annotate("lease expired: source " + std::to_string(source) +
-                          ", revoked " + std::to_string(revoked) + " pages");
+  for_each_cache([&](CacheManager& c) {
+    for (const SpaceId source : c.lapsed_sources(now, lease_ttl_ns_)) {
+      const std::size_t revoked = c.revoke_source(source);
+      ++stats_.leases_expired;
+      detector_.mark_suspect(source);
+      SRPC_WARN << name_ << ": lease on source space " << source
+                << " lapsed; revoked " << revoked << " cached pages";
+      if (telemetry_.tracing()) {
+        telemetry_.annotate("lease expired: source " + std::to_string(source) +
+                            ", revoked " + std::to_string(revoked) + " pages");
+      }
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -881,11 +1029,15 @@ void Runtime::poll_failures() {
 // ---------------------------------------------------------------------------
 
 Result<ByteBuffer> Runtime::fetch(SpaceId home, std::span<const LongPointer> pointers,
-                                  std::uint64_t closure_budget) {
+                                  std::uint64_t closure_budget,
+                                  SessionId session) {
+  // A session-tagged cache pins its own session; the default cache passes
+  // kNoSession and the fetch rides whatever session scope is current.
+  const SessionId sid = session != kNoSession ? session : current_session();
   Message msg;
   msg.type = MessageType::kFetch;
   msg.to = home;
-  msg.session = session_;
+  msg.session = sid;
   msg.seq = endpoint_.next_seq();
   xdr::Encoder enc(msg.payload);
   enc.put_u64(closure_budget);
@@ -919,8 +1071,9 @@ Result<ByteBuffer> Runtime::fetch(SpaceId home, std::span<const LongPointer> poi
   if (reply.value().type == MessageType::kError) {
     return decode_error(reply.value());
   }
-  // We now hold this source's bytes: start (or refresh) its lease.
-  cache_.renew_lease(home, vnow_ns());
+  // We now hold this source's bytes: start (or refresh) its lease on the
+  // cache that issued the fetch.
+  cache_for(sid).renew_lease(home, vnow_ns());
   if (telemetry_.tracing()) {
     telemetry_.annotate("lease renewed: source " + std::to_string(home));
   }
@@ -935,7 +1088,7 @@ Result<ByteBuffer> Runtime::deref_remote(const LongPointer& pointer) {
   Message msg;
   msg.type = MessageType::kDeref;
   msg.to = pointer.space;
-  msg.session = session_;
+  msg.session = current_session();
   msg.seq = endpoint_.next_seq();
   xdr::Encoder enc(msg.payload);
   encode_long_pointer(enc, pointer);
@@ -970,7 +1123,7 @@ Result<ByteBuffer> Runtime::call_raw(SpaceId target, const std::string& proc,
   Message msg;
   msg.type = MessageType::kCall;
   msg.to = target;
-  msg.session = session_;
+  msg.session = current_session();
   msg.seq = endpoint_.next_seq();
   xdr::Encoder enc(msg.payload);
   enc.put_string(proc);
@@ -1004,16 +1157,25 @@ Result<ByteBuffer> Runtime::call_raw(SpaceId target, const std::string& proc,
 
 Status Runtime::serve_call(Message msg) {
   ++stats_.calls_served;
-  // One RPC session at a time: refuse to mix another session's activity
-  // into a cache that still holds this one's data (see cache_session_).
-  const bool cache_in_use =
-      cache_.table().size() > 0 || !session_updates_.empty();
-  if (cache_in_use && cache_session_ != kNoSession && cache_session_ != msg.session) {
-    return send_error(msg.from, msg.session, msg.seq,
-                      failed_precondition(
-                          "space busy: cache holds data of another RPC session"));
+  if (multi_session_) {
+    // Concurrent mode: every session gets its own cache overlay, so there
+    // is nothing to protect — just make sure the session is tracked here
+    // (its state is what the invalidation multicast tears down later).
+    (void)state_for(msg.session);
+  } else {
+    // One RPC session at a time: refuse to mix another session's activity
+    // into a cache that still holds this one's data (see cache_session_).
+    const bool cache_in_use =
+        cache_.table().size() > 0 || !ambient_state_.updates.empty();
+    if (cache_in_use && cache_session_ != kNoSession &&
+        cache_session_ != msg.session) {
+      return send_error(
+          msg.from, msg.session, msg.seq,
+          failed_precondition(
+              "space busy: cache holds data of another RPC session"));
+    }
+    cache_session_ = msg.session;
   }
-  cache_session_ = msg.session;
   xdr::Decoder dec(msg.payload);
   auto proc = dec.get_string();
   if (!proc) {
@@ -1036,8 +1198,8 @@ Status Runtime::serve_call(Message msg) {
                       not_found("no such procedure: " + proc.value()));
   }
 
-  const SessionId previous_session = session_;
-  session_ = msg.session;
+  // The dispatch-level session scope already pins msg.session, so the
+  // handler's nested calls/fetches/allocations ride the caller's session.
   CallContext ctx{*this, msg.session, msg.from};
   ByteBuffer results;
   std::vector<std::uint64_t> result_roots;
@@ -1046,7 +1208,6 @@ Status Runtime::serve_call(Message msg) {
     handled = flush_alloc_batches();
   }
   if (!handled.is_ok()) {
-    session_ = previous_session;
     return send_error(msg.from, msg.session, msg.seq, handled);
   }
 
@@ -1060,7 +1221,6 @@ Status Runtime::serve_call(Message msg) {
                                      /*write_back=*/false,
                                      /*encoded=*/nullptr, &shipped);
   if (built.is_ok()) built = attach_closures(reply.payload, result_roots);
-  session_ = previous_session;
   if (!built.is_ok()) {
     return send_error(msg.from, msg.session, msg.seq, built);
   }
@@ -1093,6 +1253,20 @@ Status Runtime::serve_fetch(Message msg) {
       auto delta = dec.get_u32();
       if (!delta) return send_error(msg.from, msg.session, msg.seq, delta.status());
       roots.push_back(base.value() + delta.value());
+    }
+  }
+
+  if (multi_session_ && msg.session != kNoSession) {
+    // Record what the session observed: shared lock + version snapshot,
+    // validated against its write manifest at WB_PREPARE time. Reads are
+    // never refused — conflicts surface at commit, not here.
+    for (const std::uint64_t addr : roots) {
+      const ManagedHeap::Record* record =
+          heap_.find(reinterpret_cast<const void*>(addr));
+      if (record != nullptr) {
+        arbiter_.note_read(msg.session,
+                           reinterpret_cast<std::uint64_t>(record->base));
+      }
     }
   }
 
@@ -1184,13 +1358,63 @@ Status Runtime::serve_invalidate(Message msg) {
     auto flag = dec.get_u32();
     if (flag) aborted = flag.value() != 0;
   }
-  // Invalidation is scoped to its session: a multicast from some other
-  // ground must not nuke data a different (still open) session put here.
-  if (cache_session_ == kNoSession || cache_session_ == msg.session) {
+  if (multi_session_) {
+    SessionState* st = sessions_.find(msg.session);
+    if (st != nullptr && st->local) {
+      // A peer cascade-forwarded the invalidation back to the session's own
+      // coordinator while its ground is mid-teardown. The ground owns the
+      // unwind — closing the state here would leave end_session()/
+      // abort_session() holding dangling references — so only re-ack.
+      Message reply;
+      reply.type = MessageType::kInvalidateAck;
+      reply.to = msg.from;
+      reply.session = msg.session;
+      reply.seq = msg.seq;
+      return endpoint_.send(std::move(reply));
+    }
+    // Home-side arbitration state (locks, observed versions, stage marks)
+    // dies with the session whether it committed or aborted.
+    arbiter_.release(msg.session);
+    std::vector<SpaceId> forward;
+    if (st != nullptr) {
+      if (st->span != SpanRecorder::kNoSpan) {
+        telemetry_.tracer().finish(st->span, telemetry_.now_ns(), !aborted);
+      }
+      // Peers this space pulled into the session on the closing ground's
+      // behalf may never have heard from that ground directly: forward the
+      // invalidation so the whole reachable participant graph converges.
+      for (const SpaceId peer : st->touched) {
+        if (peer == self_ || peer == msg.from || detector_.is_dead(peer)) {
+          continue;
+        }
+        forward.push_back(peer);
+      }
+      if (st->cache) st->cache->invalidate_all();
+      if (st->allocator) st->allocator->clear();
+      sessions_.close(msg.session);
+    }
+    for (const SpaceId peer : forward) {
+      Message fwd;
+      fwd.type = MessageType::kInvalidate;
+      fwd.to = peer;
+      fwd.session = msg.session;
+      fwd.seq = endpoint_.next_seq();
+      xdr::Encoder enc(fwd.payload);
+      enc.put_u32(aborted ? 1u : 0u);
+      auto ack = guarded_roundtrip(std::move(fwd), MessageType::kInvalidateAck,
+                                   full_dispatcher_, /*idempotent=*/true);
+      if (!ack) {
+        SRPC_WARN << name_ << ": invalidate cascade to space " << peer
+                  << " failed: " << ack.status().to_string();
+      }
+    }
+  } else if (cache_session_ == kNoSession || cache_session_ == msg.session) {
+    // Invalidation is scoped to its session: a multicast from some other
+    // ground must not nuke data a different (still open) session put here.
     cache_.invalidate_all();
     allocator_.clear();
-    session_updates_.clear();
-    clear_ship_state();
+    ambient_state_.updates.clear();
+    ambient_state_.clear_ship();
     cache_session_ = kNoSession;
   }
   // Settle the session's extended_malloc storage in our heap: a committed
@@ -1232,9 +1456,40 @@ Status Runtime::serve_wb_prepare(Message msg) {
   auto epoch = dec.get_u64();
   if (!epoch) return send_error(msg.from, msg.session, msg.seq, epoch.status());
 
+  // Multi-session prepares carry a write manifest (the home addresses the
+  // batch will overwrite) ahead of the modified-set section. The manifest
+  // must be consumed even on a duplicate so the stage cursor lands on the
+  // section either way.
+  std::vector<std::uint64_t> writes;
+  if (multi_session_) {
+    auto n = dec.get_u32();
+    if (!n) return send_error(msg.from, msg.session, msg.seq, n.status());
+    writes.reserve(n.value());
+    for (std::uint32_t i = 0; i < n.value(); ++i) {
+      auto addr = dec.get_u64();
+      if (!addr) return send_error(msg.from, msg.session, msg.seq, addr.status());
+      // Canonicalise interior addresses to the object base the lock table
+      // keys on. An address we no longer host (freed, or a blind create)
+      // has no version to defend and is skipped.
+      const ManagedHeap::Record* record =
+          heap_.find(reinterpret_cast<const void*>(addr.value()));
+      if (record != nullptr) {
+        writes.push_back(reinterpret_cast<std::uint64_t>(record->base));
+      }
+    }
+  }
+
   const auto committed = committed_epochs_.find(msg.session);
   const bool already_applied =
       committed != committed_epochs_.end() && committed->second >= epoch.value();
+  if (!already_applied && multi_session_) {
+    // Arbitration gate: stale reads or a wound lose here, before anything
+    // is staged, and the ground aborts + retries the whole session.
+    Status granted = arbiter_.validate_prepare(msg.session, writes);
+    if (!granted.is_ok()) {
+      return send_error(msg.from, msg.session, msg.seq, granted);
+    }
+  }
   if (!already_applied) {
     ShadowCommit& shadow = shadow_commits_[msg.session];
     if (shadow.epoch <= epoch.value()) {
@@ -1285,6 +1540,12 @@ Status Runtime::serve_wb_commit(Message msg) {
     }
     committed_epochs_[msg.session] = epoch.value();
     shadow_commits_.erase(it);
+    if (multi_session_) {
+      // The write-back is durable: bump the versions of everything it
+      // touched so later validations see the new world, and release this
+      // session's locks and observations.
+      arbiter_.commit(msg.session);
+    }
   }
 
   Message reply;
@@ -1306,6 +1567,12 @@ Status Runtime::serve_wb_abort(Message msg) {
   if (it != shadow_commits_.end() && it->second.epoch <= epoch.value()) {
     ++stats_.wb_aborts_served;
     shadow_commits_.erase(it);
+    if (multi_session_) {
+      // Only an abort that actually dropped a stage releases arbitration
+      // state: a straggler from an abandoned attempt must not free the
+      // locks a newer prepare of the same session just validated under.
+      arbiter_.release(msg.session);
+    }
   }
   // Always ack — aborts must be re-ackable even after the stage is long
   // gone (and even for tombstoned sessions).
@@ -1340,6 +1607,12 @@ Status Runtime::serve_deref(Message msg) {
     return send_error(msg.from, msg.session, msg.seq,
                       not_found("deref of unknown datum: " + lp.value().to_string()));
   }
+  if (multi_session_ && msg.session != kNoSession) {
+    // The session observed this object's current version; a later commit
+    // by anyone else invalidates that read at WB_PREPARE time.
+    arbiter_.note_read(msg.session,
+                       reinterpret_cast<std::uint64_t>(record->base));
+  }
   Message reply;
   reply.type = MessageType::kDerefReply;
   reply.to = msg.from;
@@ -1360,24 +1633,70 @@ Status Runtime::serve_deref(Message msg) {
 // ---------------------------------------------------------------------------
 
 Result<SessionId> Runtime::begin_session() {
-  if (session_ != kNoSession) {
+  if (!multi_session_ && session_ != kNoSession) {
     return failed_precondition("session already active");
   }
-  session_ = (static_cast<SessionId>(self_) << 32) | ++session_counter_;
-  cache_session_ = session_;
-  if (telemetry_.tracing()) {
-    session_span_ = telemetry_.tracer().start_local(
-        "session " + std::to_string(session_), "session", telemetry_.now_ns());
+  const SessionId id = (static_cast<SessionId>(self_) << 32) | ++session_counter_;
+  if (multi_session_) {
+    SessionState& st = state_for(id);
+    st.local = true;
+    // Materialise the cache overlay now: the ground is about to use it, and
+    // arena reservation should not be charged to the first fetch.
+    (void)cache_for(id);
+    // The ambient session backs the no-argument end/abort overloads (and
+    // legacy callers that never learned ids): first-open wins.
+    if (session_ == kNoSession) session_ = id;
+    if (telemetry_.tracing()) {
+      ScopedSession scope(*this, id);
+      st.span = telemetry_.tracer().start_local(
+          "session " + std::to_string(id), "session", telemetry_.now_ns());
+    }
+    return id;
   }
-  return session_;
+  session_ = id;
+  cache_session_ = id;
+  if (telemetry_.tracing()) {
+    ambient_state_.span = telemetry_.tracer().start_local(
+        "session " + std::to_string(id), "session", telemetry_.now_ns());
+  }
+  return id;
 }
 
 Status Runtime::end_session() {
   if (session_ == kNoSession) {
     return failed_precondition("no active session");
   }
+  return end_session(session_);
+}
+
+Status Runtime::end_session(SessionId id) {
+  if (multi_session_) {
+    if (sessions_.find(id) == nullptr) {
+      return failed_precondition("unknown session " + std::to_string(id));
+    }
+  } else if (id == kNoSession || id != session_) {
+    return failed_precondition("session " + std::to_string(id) +
+                               " is not the active session");
+  }
+  // Pin the whole commit to `id`: every nested fetch, flush, span, and
+  // write-back below is attributed to this session even when the worker
+  // interleaves other sessions' serves through full_dispatcher_.
+  ScopedSession scope(*this, id);
+  SessionState& st = cur_state();
+  CacheManager& session_cache =
+      multi_session_ && st.cache ? *st.cache : cache_;
+  RemoteAllocator& session_alloc =
+      multi_session_ && st.allocator ? *st.allocator : allocator_;
+  // While a commit is in flight the worker may serve other traffic: a
+  // roundtrip that refuses to serve would deadlock two grounds committing
+  // at each other, so multi-session mode always passes the full dispatcher.
+  const RpcEndpoint::Dispatcher no_serve;
+  const RpcEndpoint::Dispatcher& serve_during_commit =
+      multi_session_ ? full_dispatcher_ : no_serve;
+  const std::uint64_t t_start = telemetry_.now_ns();
   poll_failures();
   SRPC_RETURN_IF_ERROR(flush_alloc_batches());
+  st.status = SessionStatus::kCommitting;
 
   // Examine the modified data set and write each datum back to its home,
   // one coalesced batch per home peer. Data whose final content the home
@@ -1392,7 +1711,7 @@ Status Runtime::end_session() {
   // Legacy homes (capability not negotiated, or the local toggle off) keep
   // the one-shot WRITE_BACK and apply immediately.
   std::set<SpaceId> homes;
-  for (const auto& d : cache_.collect_modified_deltas()) {
+  for (const auto& d : session_cache.collect_modified_deltas()) {
     if (d.id.space != self_) homes.insert(d.id.space);
   }
 
@@ -1408,25 +1727,51 @@ Status Runtime::end_session() {
     const bool capable =
         two_phase_writeback_enabled_ && peer_caps_ &&
         (peer_caps_(home) & kCapTwoPhaseWriteBack) != 0;
+    // The manifest (and the home's arbitration) rides only on prepares
+    // between multi-session peers — the capability is world-uniform, so a
+    // mixed wire format never occurs.
+    const bool multi_capable =
+        capable && multi_session_ &&
+        (peer_caps_(home) & kCapMultiSession) != 0;
     Message msg;
     msg.type = capable ? MessageType::kWbPrepare : MessageType::kWriteBack;
     msg.to = home;
-    msg.session = session_;
+    msg.session = id;
     msg.seq = endpoint_.next_seq();
-    if (capable) {
-      xdr::Encoder enc(msg.payload);
-      enc.put_u64(epoch);
-    }
     std::size_t encoded = 0;
     std::vector<ShippedRecord> shipped;
-    Status attached = attach_modified_set(msg.payload, home,
-                                          /*write_back=*/true, &encoded,
-                                          &shipped);
-    if (!attached.is_ok()) {
-      failure = attached;
-      break;
+    if (multi_capable) {
+      // The write manifest (home addresses this batch overwrites) precedes
+      // the modified-set section, but is derived from it — so encode the
+      // section into a scratch buffer first, then splice.
+      ByteBuffer section;
+      Status attached = attach_modified_set(section, home,
+                                            /*write_back=*/true, &encoded,
+                                            &shipped);
+      if (!attached.is_ok()) {
+        failure = attached;
+        break;
+      }
+      if (encoded == 0) continue;  // home already holds the final content
+      xdr::Encoder enc(msg.payload);
+      enc.put_u64(epoch);
+      enc.put_u32(static_cast<std::uint32_t>(shipped.size()));
+      for (const ShippedRecord& r : shipped) enc.put_u64(r.id.address);
+      msg.payload.append(section.view());
+    } else {
+      if (capable) {
+        xdr::Encoder enc(msg.payload);
+        enc.put_u64(epoch);
+      }
+      Status attached = attach_modified_set(msg.payload, home,
+                                            /*write_back=*/true, &encoded,
+                                            &shipped);
+      if (!attached.is_ok()) {
+        failure = attached;
+        break;
+      }
+      if (encoded == 0) continue;  // home already holds the final content
     }
-    if (encoded == 0) continue;  // home already holds the final content
     // Both shapes are idempotent: WRITE_BACK overwrites, WB_PREPARE
     // re-stages the same bytes under the same epoch. Lost acks are
     // recovered by retransmission under the same seq.
@@ -1440,13 +1785,24 @@ Status Runtime::end_session() {
     auto ack = guarded_roundtrip(
         std::move(msg),
         capable ? MessageType::kWbPrepareAck : MessageType::kWriteBackAck,
-        nullptr, /*idempotent=*/true);
+        serve_during_commit, /*idempotent=*/true);
     if (!ack) {
       failure = ack.status();
       break;
     }
     if (ack.value().type == MessageType::kError) {
       failure = decode_error(ack.value());
+      if (failure.code() == StatusCode::kConflict) {
+        // WB_CONFLICT: the home's arbiter refused the prepare (stale read,
+        // wound, or an older writer holds the object). The session lost;
+        // the caller aborts it and retries under backoff.
+        ++stats_.wb_conflicts;
+        telemetry_.count("concurrency.wb_conflicts",
+                         "session=" + std::to_string(id));
+        SRPC_WARN << name_ << ": session " << id
+                  << " lost arbitration at home " << home << ": "
+                  << failure.to_string();
+      }
       break;
     }
     if (capable) {
@@ -1465,7 +1821,7 @@ Status Runtime::end_session() {
       Message msg;
       msg.type = MessageType::kWbAbort;
       msg.to = p.home;
-      msg.session = session_;
+      msg.session = id;
       msg.seq = endpoint_.next_seq();
       xdr::Encoder enc(msg.payload);
       enc.put_u64(epoch);
@@ -1475,12 +1831,13 @@ Status Runtime::end_session() {
                             " epoch " + std::to_string(epoch));
       }
       auto ack = guarded_roundtrip(std::move(msg), MessageType::kWbAbortAck,
-                                   nullptr, /*idempotent=*/true);
+                                   serve_during_commit, /*idempotent=*/true);
       if (!ack) {
         SRPC_WARN << name_ << ": write-back abort to space " << p.home
                   << " failed: " << ack.status().to_string();
       }
     }
+    st.status = SessionStatus::kActive;  // still open: retry or abort
     return failure;
   }
 
@@ -1493,7 +1850,7 @@ Status Runtime::end_session() {
     Message msg;
     msg.type = MessageType::kWbCommit;
     msg.to = p.home;
-    msg.session = session_;
+    msg.session = id;
     msg.seq = endpoint_.next_seq();
     xdr::Encoder enc(msg.payload);
     enc.put_u64(epoch);
@@ -1503,49 +1860,85 @@ Status Runtime::end_session() {
                           " epoch " + std::to_string(epoch));
     }
     auto ack = guarded_roundtrip(std::move(msg), MessageType::kWbCommitAck,
-                                 nullptr, /*idempotent=*/true);
-    if (!ack) return ack.status();
-    if (ack.value().type == MessageType::kError) return decode_error(ack.value());
+                                 serve_during_commit, /*idempotent=*/true);
+    if (!ack) {
+      st.status = SessionStatus::kActive;
+      return ack.status();
+    }
+    if (ack.value().type == MessageType::kError) {
+      st.status = SessionStatus::kActive;
+      return decode_error(ack.value());
+    }
     commit_shipped(p.home, p.shipped);
   }
 
   // Multicast the invalidation to every space concerned with the session.
   // The explicit aborted=0 flag tells homes the session committed: their
   // extended_malloc storage owned by it is promoted to durable home data.
-  for (const SpaceId peer : directory_()) {
+  // Multi-session mode multicasts only to the peers this session actually
+  // touched (each forwards to its own touched set); single-session mode
+  // keeps the whole-directory sweep.
+  std::vector<SpaceId> invalidate_targets;
+  if (multi_session_) {
+    invalidate_targets.assign(st.touched.begin(), st.touched.end());
+  } else {
+    const std::vector<SpaceId> everyone = directory_();
+    invalidate_targets.assign(everyone.begin(), everyone.end());
+  }
+  for (const SpaceId peer : invalidate_targets) {
     // A dead peer has nothing left to invalidate (its pages were revoked,
     // its orphans reclaimed) and must not wedge everyone else's commit.
     if (peer == self_ || detector_.is_dead(peer)) continue;
     Message msg;
     msg.type = MessageType::kInvalidate;
     msg.to = peer;
-    msg.session = session_;
+    msg.session = id;
     msg.seq = endpoint_.next_seq();
     xdr::Encoder enc(msg.payload);
     enc.put_u32(0);  // not aborted
     auto ack = guarded_roundtrip(std::move(msg), MessageType::kInvalidateAck,
-                                 nullptr, /*idempotent=*/true);
-    if (!ack) return ack.status();
-    if (ack.value().type == MessageType::kError) return decode_error(ack.value());
+                                 serve_during_commit, /*idempotent=*/true);
+    if (!ack) {
+      st.status = SessionStatus::kActive;
+      return ack.status();
+    }
+    if (ack.value().type == MessageType::kError) {
+      st.status = SessionStatus::kActive;
+      return decode_error(ack.value());
+    }
   }
 
-  cache_.invalidate_all();
-  allocator_.clear();
-  session_updates_.clear();
-  clear_ship_state();
-  cache_session_ = kNoSession;
-  session_ = kNoSession;
-  if (session_span_ != SpanRecorder::kNoSpan) {
-    telemetry_.tracer().finish(session_span_, telemetry_.now_ns(), /*ok=*/true);
-    session_span_ = SpanRecorder::kNoSpan;
+  session_cache.invalidate_all();
+  session_alloc.clear();
+  st.updates.clear();
+  st.clear_ship();
+  if (st.span != SpanRecorder::kNoSpan) {
+    telemetry_.tracer().finish(st.span, telemetry_.now_ns(), /*ok=*/true);
+    st.span = SpanRecorder::kNoSpan;
+  }
+  ++stats_.sessions_committed;
+  telemetry_.hist("session.commit_ns", "session=" + std::to_string(id))
+      .record(telemetry_.now_ns() - t_start);
+  if (multi_session_) {
+    // Any arbitration state this session left in the local arbiter (it is
+    // usually empty — grounds do not fetch from themselves) dies with it.
+    arbiter_.release(id);
+    if (session_ == id) session_ = kNoSession;
+    sessions_.close(id);
+  } else {
+    cache_session_ = kNoSession;
+    session_ = kNoSession;
   }
   return Status::ok();
 }
 
 Status Runtime::abort_session() {
+  if (multi_session_) {
+    return session_ == kNoSession ? Status::ok() : abort_session(session_);
+  }
   const SessionId aborting = session_ != kNoSession ? session_ : cache_session_;
   if (aborting == kNoSession && cache_.table().size() == 0 &&
-      session_updates_.empty()) {
+      ambient_state_.updates.empty()) {
     return Status::ok();  // nothing to unwind
   }
   ++stats_.sessions_aborted;
@@ -1590,16 +1983,77 @@ Status Runtime::abort_session() {
   // pending overlay, and the travelling modified set. The heap (home data)
   // is untouched — only session-scoped state dies.
   cache_.invalidate_all();
-  session_updates_.clear();
-  clear_ship_state();
+  ambient_state_.updates.clear();
+  ambient_state_.clear_ship();
   cache_session_ = kNoSession;
   session_ = kNoSession;
-  if (session_span_ != SpanRecorder::kNoSpan) {
-    telemetry_.tracer().annotate(session_span_, "session aborted",
+  if (ambient_state_.span != SpanRecorder::kNoSpan) {
+    telemetry_.tracer().annotate(ambient_state_.span, "session aborted",
                                  telemetry_.now_ns());
-    telemetry_.tracer().finish(session_span_, telemetry_.now_ns(), /*ok=*/false);
-    session_span_ = SpanRecorder::kNoSpan;
+    telemetry_.tracer().finish(ambient_state_.span, telemetry_.now_ns(),
+                               /*ok=*/false);
+    ambient_state_.span = SpanRecorder::kNoSpan;
   }
+  return worst;
+}
+
+Status Runtime::abort_session(SessionId id) {
+  if (!multi_session_) {
+    // A Session object whose session already ended (or was superseded)
+    // must not unwind a sibling's state: only the active id may abort.
+    const SessionId aborting = session_ != kNoSession ? session_ : cache_session_;
+    if (aborting != kNoSession && id != aborting) return Status::ok();
+    return abort_session();
+  }
+  SessionState* st = sessions_.find(id);
+  if (st == nullptr) return Status::ok();  // already gone — abort is idempotent
+  ScopedSession scope(*this, id);
+  ++stats_.sessions_aborted;
+  SRPC_WARN << name_ << ": aborting session " << id;
+  st->status = SessionStatus::kAborted;
+  // Un-flushed extended_malloc/free batches die with the session —
+  // provisional identities never reached a home, so there is nothing to
+  // undo remotely.
+  if (st->allocator) st->allocator->clear();
+  const std::vector<SpaceId> targets(st->touched.begin(), st->touched.end());
+  // Best-effort invalidation to the touched peers (each cascades onward).
+  // A failure never stops the local unwind, but is reported to the caller.
+  Status worst = Status::ok();
+  for (const SpaceId peer : targets) {
+    if (peer == self_ || detector_.is_dead(peer)) continue;
+    Message msg;
+    msg.type = MessageType::kInvalidate;
+    msg.to = peer;
+    msg.session = id;
+    msg.seq = endpoint_.next_seq();
+    // aborted=1: homes discard any staged write-back and reclaim the
+    // extended_malloc storage this session created there.
+    xdr::Encoder enc(msg.payload);
+    enc.put_u32(1);
+    auto ack = guarded_roundtrip(std::move(msg), MessageType::kInvalidateAck,
+                                 full_dispatcher_, /*idempotent=*/true);
+    if (!ack) {
+      SRPC_WARN << name_ << ": abort invalidate of space " << peer
+                << " failed: " << ack.status().to_string();
+      worst = ack.status();
+    }
+  }
+  tombstone_session(id);
+  arbiter_.release(id);
+  // The roundtrips above may have served nested traffic; re-resolve the
+  // state before the final unwind in case a cascade already closed it.
+  st = sessions_.find(id);
+  if (st != nullptr) {
+    if (st->cache) st->cache->invalidate_all();
+    if (st->span != SpanRecorder::kNoSpan) {
+      telemetry_.tracer().annotate(st->span, "session aborted",
+                                   telemetry_.now_ns());
+      telemetry_.tracer().finish(st->span, telemetry_.now_ns(), /*ok=*/false);
+      st->span = SpanRecorder::kNoSpan;
+    }
+    sessions_.close(id);
+  }
+  if (session_ == id) session_ = kNoSession;
   return worst;
 }
 
@@ -1608,6 +2062,10 @@ Status Runtime::abort_session() {
 // ---------------------------------------------------------------------------
 
 Status Runtime::dispatch(Message msg) {
+  // Pin the serve (and everything nested under it — spans, fetches, state
+  // lookups) to the session the message names. This is what lets one
+  // worker thread interleave many sessions without cross-talk.
+  ScopedSession scope(*this, msg.session);
   // Stragglers of invalidated sessions are refused before they can touch
   // any state: a delayed CALL or WRITE_BACK must not repopulate the cache
   // of a session that is already gone. INVALIDATE itself stays servable

@@ -26,6 +26,8 @@
 #include "common/config.hpp"
 #include "common/ids.hpp"
 #include "common/status.hpp"
+#include "concurrency/arbiter.hpp"
+#include "concurrency/session_table.hpp"
 #include "core/cache_manager.hpp"
 #include "core/closure.hpp"
 #include "core/failure_detector.hpp"
@@ -76,6 +78,10 @@ struct RuntimeStats {
   std::uint64_t orphan_bytes_reclaimed = 0;  // extended_malloc storage freed
                                              // after owner death or abort
   std::uint64_t session_teardown_failures = 0;  // ~Session: end AND abort failed
+  // Concurrent multi-session runtime (PROTOCOL.md "Concurrent sessions &
+  // arbitration").
+  std::uint64_t sessions_committed = 0;  // end_session() completions here
+  std::uint64_t wb_conflicts = 0;        // WB_PREPAREs we lost (client side)
 };
 
 class Runtime final : public PageFetcher,
@@ -112,8 +118,10 @@ class Runtime final : public PageFetcher,
   [[nodiscard]] HostTypeMap& host_types() noexcept { return host_types_; }
   [[nodiscard]] ManagedHeap& heap() noexcept { return heap_; }
   [[nodiscard]] const ManagedHeap& heap() const noexcept { return heap_; }
-  [[nodiscard]] CacheManager& cache() noexcept { return cache_; }
-  [[nodiscard]] const CacheManager& cache() const noexcept { return cache_; }
+  // The cache serving the current session: the shared default cache in
+  // single-session mode, the session's own overlay in multi-session mode.
+  [[nodiscard]] CacheManager& cache();
+  [[nodiscard]] const CacheManager& cache() const;
   [[nodiscard]] ServiceRegistry& services() noexcept { return services_; }
   [[nodiscard]] Mailbox& mailbox() noexcept { return mailbox_; }
   [[nodiscard]] RpcEndpoint& endpoint() noexcept { return endpoint_; }
@@ -200,15 +208,64 @@ class Runtime final : public PageFetcher,
   // Writes the modified data set back to every home, multicasts the
   // invalidation, and drops the local cache. On failure (for example a
   // write-back ack deadline) the session stays open so the caller may
-  // retry end_session() or fall back to abort_session().
+  // retry end_session() or fall back to abort_session(). In multi-session
+  // mode a WB_PREPARE may come back CONFLICT (kConflict): the session lost
+  // the home-side arbitration; abort it and retry under backoff.
   Status end_session();
+  Status end_session(SessionId id);
   // Unilateral teardown after a mid-session failure: best-effort
   // invalidation multicast to the peers (failures logged, never fatal),
   // then drop every cached page, pending overlay, un-flushed memory-op
   // batch, and the modified data set. Always leaves the runtime reusable
   // for a fresh session; idempotent.
   Status abort_session();
-  [[nodiscard]] SessionId current_session() const noexcept { return session_; }
+  Status abort_session(SessionId id);
+  [[nodiscard]] SessionId current_session() const noexcept {
+    return scope_stack_.empty() ? session_ : scope_stack_.back();
+  }
+
+  // --- concurrent multi-session mode ----------------------------------------
+
+  // Many sessions per space, home-side arbitration (SessionTable +
+  // ConflictArbiter), per-session cache overlays. Off (default): the
+  // paper's one-session-at-a-time model, byte-identical on the wire.
+  // Flip only while idle (no open sessions, empty cache).
+  void set_multi_session(bool on) noexcept { multi_session_ = on; }
+  [[nodiscard]] bool multi_session() const noexcept { return multi_session_; }
+
+  // Sessions this runtime currently tracks (local grounds + served
+  // participants). In single-session mode: 1 while a session is open.
+  [[nodiscard]] std::size_t active_sessions() const noexcept {
+    return multi_session_ ? sessions_.size()
+                          : (session_ != kNoSession ? std::size_t{1} : 0);
+  }
+
+  [[nodiscard]] ConflictArbiter& arbiter() noexcept { return arbiter_; }
+  [[nodiscard]] const ConflictArbiter& arbiter() const noexcept { return arbiter_; }
+  [[nodiscard]] const SessionTable& session_table() const noexcept { return sessions_; }
+
+  // Binds the calling scope to one session: every runtime operation until
+  // destruction (calls, faults, allocation, spans) is attributed to `id`.
+  // This is how one worker thread interleaves many sessions — Session's
+  // methods and message dispatch each pin their own id around the work.
+  class ScopedSession {
+   public:
+    ScopedSession(Runtime& rt, SessionId id) : rt_(rt) {
+      rt_.scope_stack_.push_back(id);
+      prev_tracer_ = rt_.tracer().session();
+      rt_.tracer().set_session(id);
+    }
+    ~ScopedSession() {
+      rt_.scope_stack_.pop_back();
+      rt_.tracer().set_session(prev_tracer_);
+    }
+    ScopedSession(const ScopedSession&) = delete;
+    ScopedSession& operator=(const ScopedSession&) = delete;
+
+   private:
+    Runtime& rt_;
+    SessionId prev_tracer_ = kNoSession;
+  };
 
   // --- calls -------------------------------------------------------------------
 
@@ -245,11 +302,7 @@ class Runtime final : public PageFetcher,
   // Programmer-directed prefetch (paper §6): fetch the data behind a local
   // pointer now, with an explicit closure budget, instead of paying the
   // access violation later. No-op for home data and resident cache.
-  Status prefetch(const void* p, std::uint64_t closure_budget) {
-    if (p == nullptr) return invalid_argument("prefetch(nullptr)");
-    if (!cache_.contains(p)) return Status::ok();  // home data: already here
-    return cache_.prefetch(p, closure_budget);
-  }
+  Status prefetch(const void* p, std::uint64_t closure_budget);
 
   // Closure traversal order used when this space packs eager transfers
   // (paper §3.3 uses breadth-first; §6 discusses the shape as open work —
@@ -268,7 +321,8 @@ class Runtime final : public PageFetcher,
   // --- PageFetcher -------------------------------------------------------------------
 
   Result<ByteBuffer> fetch(SpaceId home, std::span<const LongPointer> pointers,
-                           std::uint64_t closure_budget) override;
+                           std::uint64_t closure_budget,
+                           SessionId session) override;
   void charge_fault() override;
   Result<std::uint64_t> swizzle_home(const LongPointer& pointer, TypeId pointee) override;
 
@@ -284,6 +338,36 @@ class Runtime final : public PageFetcher,
   void note_home_update(const LongPointer& id);
 
  private:
+  friend class ScopedSession;
+
+  // --- session-state resolution (multi-session mode) ------------------------
+  // Single-session mode routes everything to the ambient scalars/cache so
+  // behaviour (and wire bytes) stay identical to the paper's model.
+
+  // Bare per-session state: sets, ship records, touched peers. Creates it
+  // on first sight of the session (cheap — no cache).
+  SessionState& state_for(SessionId id);
+  // State of the current scope (ambient in single-session mode).
+  SessionState& cur_state() { return state_for(current_session()); }
+  [[nodiscard]] const SessionState& cur_state() const;
+  // The cache/allocator overlay for `id`, materialised on first use (a
+  // cache reserves an arena; homes that only apply write-backs skip it).
+  CacheManager& cache_for(SessionId id);
+  RemoteAllocator& allocator_for(SessionId id);
+  // The cache (any session's, or the default) whose arena holds `p`.
+  CacheManager* cache_owning(const void* p);
+  [[nodiscard]] const CacheManager* cache_owning(const void* p) const;
+  // The allocator paired with `cache` (extended_free resolution).
+  RemoteAllocator* allocator_of(const CacheManager* cache);
+  // Visits the default cache plus every session overlay.
+  template <typename F>
+  void for_each_cache(F&& fn) {
+    fn(cache_);
+    sessions_.for_each([&](SessionState& st) {
+      if (st.cache) fn(*st.cache);
+    });
+  }
+
   Status dispatch(Message msg);
   // The serve half of dispatch (the main type switch), split out so
   // dispatch can wrap it in a server span parented to the message's
@@ -398,12 +482,25 @@ class Runtime final : public PageFetcher,
   RpcEndpoint::Dispatcher full_dispatcher_;
   TimeoutConfig timeouts_;
   Telemetry telemetry_;
-  // Root span of the active session (kNoSpan while tracing is off).
-  SpanRecorder::Handle session_span_ = SpanRecorder::kNoSpan;
-  SessionId session_ = kNoSession;
+  SessionId session_ = kNoSession;  // ambient (ground) session of this space
   std::uint64_t session_counter_ = 0;
   bool running_ = false;
   RuntimeStats stats_;
+
+  // --- concurrent multi-session runtime --------------------------------------
+  bool multi_session_ = false;
+  CacheOptions cache_options_;  // kept for per-session overlay construction
+  // Per-session states (multi-session mode). Single-session mode keeps
+  // everything in `ambient_state_` below.
+  SessionTable sessions_;
+  // The one state single-session mode uses for every session it touches —
+  // exactly the scalar fields the pre-concurrency runtime kept.
+  SessionState ambient_state_;
+  // Home-side session arbitration (object locks + version validation).
+  ConflictArbiter arbiter_;
+  // Session pins pushed by ScopedSession; top = the session every runtime
+  // operation in the current scope belongs to. Empty -> ambient session_.
+  std::vector<SessionId> scope_stack_;
   // Request-id dedup for non-idempotent requests, bounded FIFO per peer.
   struct ServedRequests {
     std::unordered_set<std::uint64_t> seen;
@@ -413,21 +510,12 @@ class Runtime final : public PageFetcher,
   // Tombstones of invalidated sessions, bounded FIFO.
   std::unordered_set<SessionId> dead_session_set_;
   std::deque<SessionId> dead_session_order_;
-  // Home data modified by remote activity this session; travels with every
-  // outgoing modified set so stale caches elsewhere get refreshed.
-  std::unordered_set<LongPointer, LongPointerHash> session_updates_;
-  // Baseline images of home data at the first remote update this session;
-  // what home_modified_datum() diffs against.
-  std::unordered_map<LongPointer, std::vector<std::uint8_t>, LongPointerHash>
-      home_twins_;
-  // Per-object epoch/fingerprint shipping records (session-scoped), and the
-  // monotonic hop counter that stamps outgoing deltas.
-  std::unordered_map<LongPointer, ShipState, LongPointerHash> ship_;
-  std::uint64_t session_epoch_ = 0;
-  // The session whose data currently populates our cache. A CALL from a
-  // *different* session while we still hold another session's cached data
-  // is refused: the paper's model has one session at a time, and mixing
-  // two sessions' modified sets would corrupt both.
+  // The session whose data currently populates the default cache
+  // (single-session mode only). A CALL from a *different* session while we
+  // still hold another session's cached data is refused: the paper's model
+  // has one session at a time, and mixing two sessions' modified sets would
+  // corrupt both. Multi-session mode gives each session its own overlay
+  // instead and never refuses.
   SessionId cache_session_ = kNoSession;
 
   // --- two-phase write-back (home side) ------------------------------------

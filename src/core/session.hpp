@@ -37,11 +37,11 @@ class Session {
   // so the runtime is always reusable afterwards.
   ~Session() {
     if (!ended_) {
-      Status s = rt_.end_session();
+      Status s = rt_.end_session(id_);
       if (!s.is_ok()) {
         SRPC_ERROR << "implicit session end failed: " << s.to_string()
                    << "; aborting session";
-        Status aborted = rt_.abort_session();
+        Status aborted = rt_.abort_session(id_);
         if (!aborted.is_ok()) {
           // Both teardown paths failed: the session is gone locally but
           // peers may still hold its state until their own tombstone or
@@ -57,19 +57,25 @@ class Session {
 
   [[nodiscard]] SessionId id() const noexcept { return id_; }
 
+  // Every operation below pins this session around the work
+  // (Runtime::ScopedSession) so one worker thread can interleave many
+  // Session objects without attributing state to the wrong one.
   template <typename R, typename... Args>
   Result<R> call(SpaceId target, const std::string& proc, const Args&... args) {
+    Runtime::ScopedSession scope(rt_, id_);
     return typed_call<R>(rt_, target, proc, args...);
   }
 
   template <typename... Args>
   Status call_void(SpaceId target, const std::string& proc, const Args&... args) {
+    Runtime::ScopedSession scope(rt_, id_);
     return typed_call_void(rt_, target, proc, args...);
   }
 
   // Remote memory management within the session (paper §3.5).
   template <typename T>
   Result<T*> extended_malloc(SpaceId home, std::uint32_t count = 1) {
+    Runtime::ScopedSession scope(rt_, id_);
     auto type = rt_.host_types().find<T>();
     if (!type) return type.status();
     auto mem = rt_.extended_malloc(home, type.value(), count);
@@ -77,21 +83,27 @@ class Session {
     return static_cast<T*>(mem.value());
   }
 
-  Status extended_free(void* p) { return rt_.extended_free(p); }
+  Status extended_free(void* p) {
+    Runtime::ScopedSession scope(rt_, id_);
+    return rt_.extended_free(p);
+  }
 
   // Suggests fetching the data behind `p` (and `closure_budget` bytes of
   // its transitive closure) now rather than on first access — the paper's
   // §6 "suggestions provided by the programmer".
   template <typename T>
   Status prefetch(const T* p, std::uint64_t closure_budget = 8192) {
+    Runtime::ScopedSession scope(rt_, id_);
     return rt_.prefetch(p, closure_budget);
   }
 
   // Declares the end of the session: write-back + invalidation multicast.
   // On failure the session is still open — call end() again once the
-  // network heals, or abort().
+  // network heals, or abort(). In multi-session mode a kConflict status
+  // means this session lost the home-side arbitration: abort() and retry
+  // the work under a fresh session (with backoff).
   Status end() {
-    Status s = rt_.end_session();
+    Status s = rt_.end_session(id_);
     ended_ = s.is_ok();
     return s;
   }
@@ -103,7 +115,7 @@ class Session {
   // will shed the session through its own tombstones or failure detection.
   Status abort() {
     ended_ = true;
-    return rt_.abort_session();
+    return rt_.abort_session(id_);
   }
 
  private:

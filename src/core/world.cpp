@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
 
 #include "common/logging.hpp"
 
@@ -52,6 +53,12 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
     std::uint32_t caps = 0;
     if (options_.two_phase_writeback) caps |= kCapTwoPhaseWriteBack;
     if (options_.trace_context) caps |= kCapTraceContext;
+    // Arbitration needs the staged commit: without two-phase write-back a
+    // home applies bytes before it could refuse them, so the capability is
+    // only advertised together (and world-uniformly, since the option is).
+    if (options_.multi_session && options_.two_phase_writeback) {
+      caps |= kCapMultiSession;
+    }
     if (options_.modified_deltas) {
       caps |= kCapModifiedDelta;
       for (const auto& s : spaces_) {
@@ -70,6 +77,9 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
   AddressSpace& space = *spaces_.back();
   if (options_.tracing) {
     space.runtime().set_tracing(true);  // before start(): no worker yet
+  }
+  if (options_.multi_session && options_.two_phase_writeback) {
+    space.runtime().set_multi_session(true);  // before start(): no worker yet
   }
 
   if (sim_) {
@@ -139,6 +149,33 @@ void World::set_tracing(bool on) {
     // The recorder belongs to the space's worker; flip it there.
     space->run([on](Runtime& rt) { rt.set_tracing(on); });
   }
+}
+
+void World::run_concurrent(
+    const std::vector<std::pair<AddressSpace*, GroundFn>>& jobs) {
+  // One feeder thread per job: each blocks in AddressSpace::run() while the
+  // target space's worker executes the ground function, so jobs on
+  // different spaces genuinely overlap (and overlapping jobs on one space
+  // queue on its mailbox in order).
+  std::vector<std::thread> feeders;
+  feeders.reserve(jobs.size());
+  for (const auto& [space, fn] : jobs) {
+    feeders.emplace_back([space, fn] { space->run(fn); });
+  }
+  for (std::thread& t : feeders) t.join();
+}
+
+std::string World::metrics_json() {
+  std::string out = "{\n";
+  bool first = true;
+  for (auto& space : spaces_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + space->name() + "\": ";
+    out += space->run([](Runtime& rt) { return rt.metrics_json(); });
+  }
+  out += "\n}\n";
+  return out;
 }
 
 std::vector<SpaceSpans> World::collect_spans() {

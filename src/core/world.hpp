@@ -8,8 +8,10 @@
 // loopback-socket hub).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/address_space.hpp"
@@ -56,6 +58,12 @@ struct WorldOptions {
   // environment variable (any non-empty value but "0" enables); flip at
   // runtime with set_tracing().
   bool tracing = false;
+  // Concurrent multi-session runtime: every space tracks many sessions at
+  // once (SessionTable, per-session cache overlays) and homes arbitrate
+  // conflicting commits (ObjectLockTable + ConflictArbiter, wound-wait).
+  // Advertised as kCapMultiSession only together with two_phase_writeback —
+  // arbitration happens at WB_PREPARE, so it needs the staged commit.
+  bool multi_session = false;
 };
 
 class World {
@@ -107,6 +115,19 @@ class World {
 
   // Enables/disables span recording on every space (runs on each worker).
   void set_tracing(bool on);
+
+  // Runs every job's `fn(Runtime&)` on its space's worker simultaneously
+  // (one feeder thread per job) and joins them all — the harness for
+  // concurrent multi-session workloads: each job is typically one ground
+  // opening sessions against shared homes.
+  using GroundFn = std::function<void(Runtime&)>;
+  void run_concurrent(const std::vector<std::pair<AddressSpace*, GroundFn>>& jobs);
+
+  // One JSON document with every space's metrics (Runtime::metrics_json),
+  // keyed by space name — session-labelled series (for example
+  // session.commit_ns) keep their labels, so per-session aggregates
+  // survive the merge.
+  [[nodiscard]] std::string metrics_json();
 
   // Collects every space's spans into one Chrome trace-event / Perfetto
   // JSON file. Call at a quiet point (no in-flight sessions); open spans

@@ -183,4 +183,12 @@ std::uint64_t ManagedHeap::owned_bytes(SpaceId space) const {
   return bytes;
 }
 
+std::uint64_t ManagedHeap::session_owned_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [base, record] : records_) {
+    if (record.owner_session != kNoSession) bytes += record.size;
+  }
+  return bytes;
+}
+
 }  // namespace srpc

@@ -95,6 +95,10 @@ class ManagedHeap {
   // Live bytes still tagged to some remote owner (not yet promoted).
   [[nodiscard]] std::uint64_t owned_bytes(SpaceId space) const;
 
+  // Live bytes still tagged to any uncommitted session, all owners. Zero
+  // after quiescence means no session leaked orphan storage.
+  [[nodiscard]] std::uint64_t session_owned_bytes() const;
+
   [[nodiscard]] bool contains(const void* addr) const { return find(addr) != nullptr; }
 
   [[nodiscard]] SpaceId owner() const noexcept { return owner_; }

@@ -20,6 +20,7 @@ SpanRecorder::Handle SpanRecorder::start_local(std::string name,
     span.hop = parent.hop;
   }
   span.span_id = next_id();
+  span.session = session_;
   span.name = std::move(name);
   span.category = std::move(category);
   span.start_ns = span.end_ns = now_ns;
@@ -39,6 +40,7 @@ SpanRecorder::Handle SpanRecorder::start_server(const TraceContext& ctx,
   span.parent_span_id = ctx.span_id;
   span.hop = ctx.hop + 1;
   span.span_id = next_id();
+  span.session = session_;
   span.name = std::move(name);
   span.category = std::move(category);
   span.start_ns = span.end_ns = now_ns;

@@ -34,6 +34,7 @@ struct Span {
   std::uint64_t span_id = 0;
   std::uint64_t parent_span_id = 0;  // 0 = root of its trace
   std::uint32_t hop = 0;             // control transfers since the root
+  SessionId session = kNoSession;    // RPC session active when the span began
   std::string name;                  // "CALL -> server", "serve FETCH", ...
   std::string category;              // "rpc.client", "rpc.server", "session"
   std::uint64_t start_ns = 0;
@@ -52,6 +53,11 @@ class SpanRecorder {
 
   void set_enabled(bool on) noexcept { enabled_ = on; }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  // Session label stamped on every span started from now on; with many
+  // concurrent sessions per space this is what makes a span attributable.
+  void set_session(SessionId id) noexcept { session_ = id; }
+  [[nodiscard]] SessionId session() const noexcept { return session_; }
 
   // Starts a span parented to the current stack top (a fresh root trace
   // when the stack is empty) and pushes it.
@@ -86,6 +92,7 @@ class SpanRecorder {
   }
 
   SpaceId space_;
+  SessionId session_ = kNoSession;
   bool enabled_ = false;
   std::uint64_t counter_ = 0;
   std::vector<Span> spans_;

@@ -60,6 +60,9 @@ std::string chrome_trace_json(const std::vector<SpaceSpans>& spaces) {
       out += ",\"span_id\":" + std::to_string(span.span_id);
       out += ",\"parent_span_id\":" + std::to_string(span.parent_span_id);
       out += ",\"hop\":" + std::to_string(span.hop);
+      if (span.session != kNoSession) {
+        out += ",\"session\":" + std::to_string(span.session);
+      }
       out += span.ok ? ",\"ok\":true" : ",\"ok\":false";
       out += span.open ? ",\"open\":true}}" : "}}";
       for (const SpanAnnotation& note : span.annotations) {

@@ -72,6 +72,11 @@ inline constexpr std::uint32_t kCapTwoPhaseWriteBack = 1U << 1;
 // Non-capable peers receive plain frames; tracing then records spans
 // locally but cannot link them across that hop.
 inline constexpr std::uint32_t kCapTraceContext = 1U << 2;
+// Peer runs the concurrent multi-session protocol: WB_PREPARE carries a
+// write-manifest of home object addresses for version validation, and the
+// home may answer CONFLICT (PROTOCOL.md "Concurrent sessions"). Non-capable
+// peers keep the single-session protocol with its busy-cache refusal.
+inline constexpr std::uint32_t kCapMultiSession = 1U << 3;
 
 struct ModifiedDelta {
   LongPointer id;

@@ -75,7 +75,7 @@ class MockFetcher final : public PageFetcher {
   void add_home(MockHome* home) { homes_[home->space()] = home; }
 
   Result<ByteBuffer> fetch(SpaceId home, std::span<const LongPointer> pointers,
-                           std::uint64_t) override {
+                           std::uint64_t, SessionId) override {
     ++fetches;
     auto it = homes_.find(home);
     if (it == homes_.end()) return not_found("no such mock home");

@@ -122,7 +122,7 @@ TEST(ModifiedDeltaWireTest, RejectsOutOfOrderRanges) {
 class NeverFetch final : public PageFetcher {
  public:
   Result<ByteBuffer> fetch(SpaceId, std::span<const LongPointer>,
-                           std::uint64_t) override {
+                           std::uint64_t, SessionId) override {
     return internal_error("no fetch expected");
   }
   void charge_fault() override {}
