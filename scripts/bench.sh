@@ -19,6 +19,7 @@ BENCHES=(
   fig6_closure
   fig7_update
   fig8_multisession
+  fig9_pipeline
   table1_allocation
   micro_xdr
   micro_fault

@@ -52,4 +52,8 @@ ctest --test-dir "${BUILD}" --output-on-failure -L concurrency
 # the observability suite (tracing touches every wire path), then the rest.
 ctest --test-dir "${BUILD}" --output-on-failure -L fault -LE concurrency
 ctest --test-dir "${BUILD}" --output-on-failure -L obs
-ctest --test-dir "${BUILD}" --output-on-failure -LE "fault|obs" "$@"
+# Pipelining suite explicitly: the future pump and the mailbox
+# single-consumer guard are the racy surfaces TSan must see; the fault half
+# of the matrix (pipeline_fault_test) already ran under -L fault above.
+ctest --test-dir "${BUILD}" --output-on-failure -L pipeline -LE fault
+ctest --test-dir "${BUILD}" --output-on-failure -LE "fault|obs|pipeline" "$@"

@@ -5,10 +5,12 @@
 #   scripts/soak.sh 50          # 50 seed bases
 #   scripts/soak.sh 20 build-x  # against an alternate build directory
 #
-# Each round exports SRPC_SOAK_SEED_BASE so soak_test derives a disjoint
-# per-iteration seed schedule, then runs every `fault`-labelled ctest
-# (crash-point matrix, partition/timeout suites, soak). Any failure
-# reproduces deterministically from the seed base printed in the trace.
+# Each round exports SRPC_SOAK_SEED_BASE so soak_test and the pipelining
+# torture matrix (pipeline_fault_test's seeded chaos sweep) derive disjoint
+# per-iteration seed schedules, then runs every `fault`-labelled ctest
+# (crash-point matrix, partition/timeout suites, pipeline reorder/dup
+# torture, soak). Any failure reproduces deterministically from the seed
+# base printed in the trace.
 set -euo pipefail
 
 ROUNDS="${1:-20}"

@@ -370,6 +370,104 @@ Status CacheManager::prefetch(const void* addr, std::uint64_t closure_budget) {
   return fill_page(page, closure_budget);
 }
 
+Status CacheManager::prefetch_many(std::span<const void* const> addrs,
+                                   const ParallelFetch& transfer) {
+  if (filling_) {
+    return internal_error("recursive page fill");
+  }
+  // Resolve the fillable pages behind the addresses. Prefetch is advisory:
+  // foreign, resident, and unallocated addresses are skipped, not errors.
+  std::vector<PageIndex> fill_pages;
+  for (const void* addr : addrs) {
+    const PageIndex page = arena_.page_of(addr);
+    if (page == kInvalidPage) continue;
+    const PageState state = pages_.info(page).state;
+    if (state != PageState::kAllocated) continue;
+    if (std::find(fill_pages.begin(), fill_pages.end(), page) == fill_pages.end()) {
+      fill_pages.push_back(page);
+    }
+  }
+  if (fill_pages.empty()) return Status::ok();
+
+  filling_ = true;
+  fill_cursor_ = Cursor{};
+  fill_open_pages_.clear();
+
+  // Open every requested page plus every page spanned by its entries — all
+  // of them at once, so replies may land and fill in any order.
+  Status result = Status::ok();
+  std::vector<const AllocationEntry*> wanted;
+  for (const PageIndex page : fill_pages) {
+    auto entries = table_.entries_on_page(page);
+    if (entries.empty()) continue;
+    if (result.is_ok()) result = make_writable(page);
+    for (const AllocationEntry* e : entries) {
+      if (!result.is_ok()) break;
+      const std::uint32_t span = pages_spanned(*e);
+      for (std::uint32_t i = 0; i < span && result.is_ok(); ++i) {
+        result = make_writable(e->page + i);
+      }
+      if (std::find(wanted.begin(), wanted.end(), e) == wanted.end()) {
+        wanted.push_back(e);
+      }
+    }
+    if (!result.is_ok()) break;
+  }
+  // Lazy cursors must stop pointing at pages that are about to turn
+  // resident, or a later swizzle could hide an unfetched datum on them.
+  for (auto& [origin, cursor] : lazy_cursors_) {
+    if (cursor.page != kInvalidPage && is_fill_open(cursor.page)) {
+      cursor = Cursor{};
+    }
+  }
+
+  std::vector<PrefetchGroup> groups;
+  for (const AllocationEntry* e : wanted) {
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const PrefetchGroup& g) {
+      return g.home == e->pointer.space;
+    });
+    if (it == groups.end()) {
+      groups.push_back(PrefetchGroup{e->pointer.space, {}});
+      it = std::prev(groups.end());
+    }
+    it->pointers.push_back(e->pointer);
+  }
+
+  if (result.is_ok()) {
+    stats_.fetches += groups.size();
+    auto replies = transfer(groups);
+    if (!replies) {
+      result = replies.status();
+    } else {
+      // Same reply shape as the fault path: each FETCH_REPLY is
+      // "count u32 | count x graph payload".
+      for (ByteBuffer& payload : replies.value()) {
+        xdr::Decoder dec(payload);
+        auto count = dec.get_u32();
+        if (!count) {
+          result = count.status();
+          break;
+        }
+        for (std::uint32_t i = 0; i < count.value() && result.is_ok(); ++i) {
+          FillSink sink(*this);
+          result = decode_graph_payload(codec_, arch_, payload, sink);
+        }
+        if (!result.is_ok()) break;
+      }
+    }
+  }
+
+  if (result.is_ok()) {
+    ++stats_.fills;
+    result = finish_fill_pages();
+  }
+
+  filling_ = false;
+  fill_open_pages_.clear();
+  fill_cursor_ = Cursor{};
+  return result;
+}
+
 Status CacheManager::fill_page(PageIndex page, std::uint64_t closure_budget) {
   if (filling_) {
     return internal_error("recursive page fill");

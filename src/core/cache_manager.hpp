@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -156,6 +157,27 @@ class CacheManager final : public FaultHandler {
   // closure budget, instead of waiting for the access violation. No-op if
   // the data is already resident.
   Status prefetch(const void* addr, std::uint64_t closure_budget);
+
+  // One per-home request set produced by prefetch_many: every wanted
+  // pointer homed at `home`, to be answered by one FETCH_REPLY payload.
+  struct PrefetchGroup {
+    SpaceId home = 0;
+    std::vector<LongPointer> pointers;
+  };
+  // Returns one FETCH_REPLY payload per group, aligned by index. The
+  // transfer is free to keep all frames in flight at once (that is the
+  // point); a failed transfer fails the whole fill.
+  using ParallelFetch = std::function<Result<std::vector<ByteBuffer>>(
+      std::vector<PrefetchGroup>& groups)>;
+
+  // Pipelined twin of prefetch(): opens every fillable page behind `addrs`
+  // in one fill, groups the wanted entries by home space, and hands the
+  // whole request set to `transfer` so the per-home FETCH frames overlap on
+  // the wire instead of paying one round trip each. Foreign, resident, and
+  // empty addresses are skipped (prefetch is advisory). All replies are
+  // incorporated into the open pages before the fill seals.
+  Status prefetch_many(std::span<const void* const> addrs,
+                       const ParallelFetch& transfer);
 
   // --- coherency support (paper §3.4) --------------------------------------
 

@@ -12,6 +12,7 @@
 // RawHandler; typed_call() is the caller-side stub.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <tuple>
 #include <type_traits>
@@ -288,6 +289,90 @@ Status typed_call_void(Runtime& rt, SpaceId target, const std::string& proc,
   auto reply = rt.call_raw(target, proc, std::move(argbuf), roots);
   if (!reply) return reply.status();
   return Status::ok();
+}
+
+// --- caller-side async stub (pipelined RPC) ---------------------------------
+
+// Handle on one in-flight typed call. get() blocks — pumping the shared
+// endpoint, so other outstanding calls' replies complete meanwhile — until
+// THIS call's RETURN lands, then finalizes the reply and decodes the typed
+// result exactly like typed_call. One-shot, move-only, collectable in any
+// order relative to other futures.
+template <typename R>
+class TypedCallFuture {
+ public:
+  TypedCallFuture(Runtime& rt, Runtime::RawCallFuture raw)
+      : rt_(&rt), raw_(std::move(raw)) {}
+
+  [[nodiscard]] bool ready() const noexcept { return raw_.ready(); }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return raw_.seq(); }
+
+  Result<R> get(std::chrono::steady_clock::time_point deadline =
+                    std::chrono::steady_clock::time_point::max()) {
+    // The decode swizzles returned pointers: it must run under the same
+    // session scope the call was issued from, like the finalize itself.
+    Runtime::ScopedSession scope(*rt_, raw_.session());
+    auto reply = raw_.get(deadline);
+    if (!reply) return reply.status();
+    xdr::Decoder dec(reply.value());
+    return Param<std::decay_t<R>>::decode(*rt_, dec);
+  }
+
+ private:
+  Runtime* rt_;
+  Runtime::RawCallFuture raw_;
+};
+
+// void procedures: get() yields only the call's completion status.
+template <>
+class TypedCallFuture<void> {
+ public:
+  TypedCallFuture(Runtime& rt, Runtime::RawCallFuture raw)
+      : rt_(&rt), raw_(std::move(raw)) {}
+
+  [[nodiscard]] bool ready() const noexcept { return raw_.ready(); }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return raw_.seq(); }
+
+  Status get(std::chrono::steady_clock::time_point deadline =
+                 std::chrono::steady_clock::time_point::max()) {
+    auto reply = raw_.get(deadline);
+    if (!reply) return reply.status();
+    return Status::ok();
+  }
+
+ private:
+  Runtime* rt_;
+  Runtime::RawCallFuture raw_;
+};
+
+template <typename R, typename... Args>
+Result<TypedCallFuture<R>> typed_call_async(Runtime& rt, SpaceId target,
+                                            const std::string& proc,
+                                            const Args&... args) {
+  static_assert(!std::is_void_v<R>,
+                "use typed_call_async_void for void procedures");
+  SRPC_RETURN_IF_ERROR(rt.flush_pending_memory_ops());
+  ByteBuffer argbuf;
+  xdr::Encoder enc(argbuf);
+  std::vector<std::uint64_t> roots;
+  SRPC_RETURN_IF_ERROR(detail::encode_args(rt, enc, roots, args...));
+  auto raw = rt.call_async(target, proc, std::move(argbuf), roots);
+  if (!raw) return raw.status();
+  return TypedCallFuture<R>(rt, std::move(raw.value()));
+}
+
+template <typename... Args>
+Result<TypedCallFuture<void>> typed_call_async_void(Runtime& rt, SpaceId target,
+                                                    const std::string& proc,
+                                                    const Args&... args) {
+  SRPC_RETURN_IF_ERROR(rt.flush_pending_memory_ops());
+  ByteBuffer argbuf;
+  xdr::Encoder enc(argbuf);
+  std::vector<std::uint64_t> roots;
+  SRPC_RETURN_IF_ERROR(detail::encode_args(rt, enc, roots, args...));
+  auto raw = rt.call_async(target, proc, std::move(argbuf), roots);
+  if (!raw) return raw.status();
+  return TypedCallFuture<void>(rt, std::move(raw.value()));
 }
 
 }  // namespace srpc

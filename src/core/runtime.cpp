@@ -67,6 +67,13 @@ Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
   full_dispatcher_ = [this](Message msg) { return dispatch(std::move(msg)); };
   if (sim_ != nullptr) {
     telemetry_.set_clock([this] { return vnow_ns(); });
+    // The simulated wire stamps arrival timestamps instead of charging the
+    // whole message cost at send (that is what lets pipelined requests
+    // overlap their latency); the receive edge lands here, when the worker
+    // dequeues the message.
+    endpoint_.set_delivery_hook([this](const Message& msg) {
+      if (msg.arrive_ns != 0) sim_->clock().advance_to(msg.arrive_ns);
+    });
   }
   endpoint_.set_telemetry(&telemetry_);
   cache_.set_telemetry(&telemetry_);
@@ -726,11 +733,131 @@ Status Runtime::extended_free(void* p) {
   return heap_.free(p);
 }
 
+namespace {
+
+// FETCH frame body: budget | wide flag | base | count | count x address
+// (u32 deltas off the base unless any pointer needs the wide u64 form).
+void encode_fetch_frame(ByteBuffer& out, std::span<const LongPointer> pointers,
+                        std::uint64_t closure_budget) {
+  xdr::Encoder enc(out);
+  enc.put_u64(closure_budget);
+  std::uint64_t base = pointers.empty() ? 0 : pointers[0].address;
+  bool wide = false;
+  for (const LongPointer& p : pointers) base = std::min(base, p.address);
+  for (const LongPointer& p : pointers) {
+    if (p.address - base > 0xFFFFFFFFULL) {
+      wide = true;
+      break;
+    }
+  }
+  enc.put_u32(wide ? 1 : 0);
+  enc.put_u64(base);
+  enc.put_u32(static_cast<std::uint32_t>(pointers.size()));
+  for (const LongPointer& p : pointers) {
+    if (wide) {
+      enc.put_u64(p.address);
+    } else {
+      enc.put_u32(static_cast<std::uint32_t>(p.address - base));
+    }
+  }
+}
+
+}  // namespace
+
 Status Runtime::prefetch(const void* p, std::uint64_t closure_budget) {
   if (p == nullptr) return invalid_argument("prefetch(nullptr)");
   CacheManager* owner = cache_owning(p);
   if (owner == nullptr) return Status::ok();  // home data: already here
   return owner->prefetch(p, closure_budget);
+}
+
+Status Runtime::prefetch_many(std::span<const void* const> pointers,
+                              std::uint64_t closure_budget) {
+  poll_failures();
+  // Route each address to the cache that owns it (session overlays keep
+  // separate arenas); home data needs no prefetch.
+  std::vector<std::pair<CacheManager*, std::vector<const void*>>> per_cache;
+  for (const void* p : pointers) {
+    if (p == nullptr) continue;
+    CacheManager* owner = cache_owning(p);
+    if (owner == nullptr) continue;
+    auto it = std::find_if(per_cache.begin(), per_cache.end(),
+                           [&](const auto& e) { return e.first == owner; });
+    if (it == per_cache.end()) {
+      per_cache.push_back({owner, {}});
+      it = std::prev(per_cache.end());
+    }
+    it->second.push_back(p);
+  }
+
+  Status failure = Status::ok();
+  for (auto& [owner, addrs] : per_cache) {
+    const SessionId sid =
+        owner->session() != kNoSession ? owner->session() : current_session();
+    Status filled = owner->prefetch_many(
+        std::span<const void* const>(addrs.data(), addrs.size()),
+        [&, owner_cache = owner](std::vector<CacheManager::PrefetchGroup>& groups)
+            -> Result<std::vector<ByteBuffer>> {
+          return parallel_fetch(*owner_cache, groups, closure_budget, sid);
+        });
+    if (failure.is_ok() && !filled.is_ok()) failure = filled;
+  }
+  return failure;
+}
+
+Result<std::vector<ByteBuffer>> Runtime::parallel_fetch(
+    CacheManager& owner, std::vector<CacheManager::PrefetchGroup>& groups,
+    std::uint64_t closure_budget, SessionId session) {
+  struct InFlight {
+    std::size_t group;
+    std::uint64_t seq;
+  };
+  std::vector<InFlight> inflight;
+  inflight.reserve(groups.size());
+  Status failure = Status::ok();
+  // Ship every frame before collecting anything: the homes serve their
+  // FETCHes concurrently, so the wall-clock cost is the slowest single
+  // round trip instead of the sum.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    Message msg;
+    msg.type = MessageType::kFetch;
+    msg.to = groups[g].home;
+    msg.session = session;
+    msg.seq = endpoint_.next_seq();
+    encode_fetch_frame(msg.payload, groups[g].pointers, closure_budget);
+    auto issued =
+        issue_guarded(std::move(msg), MessageType::kFetchReply,
+                      /*idempotent=*/true);
+    if (!issued) {
+      if (failure.is_ok()) failure = issued.status();
+      continue;
+    }
+    inflight.push_back({g, issued.value()});
+  }
+  // Collect EVERY in-flight frame, even once a failure is recorded — no
+  // slot may leak. Restricted await (nullptr dispatcher) like the fault
+  // path: the owning cache is mid-fill and must not be re-entered.
+  std::vector<ByteBuffer> replies(groups.size());
+  for (const InFlight& f : inflight) {
+    auto reply = collect_guarded(f.seq, nullptr);
+    if (!reply) {
+      if (failure.is_ok()) failure = reply.status();
+      continue;
+    }
+    if (reply.value().type == MessageType::kError) {
+      Status err = decode_error(reply.value());
+      if (failure.is_ok() && !err.is_ok()) failure = err;
+      continue;
+    }
+    replies[f.group] = std::move(reply.value().payload);
+    owner.renew_lease(groups[f.group].home, vnow_ns());
+    if (telemetry_.tracing()) {
+      telemetry_.annotate("lease renewed: source " +
+                          std::to_string(groups[f.group].home));
+    }
+  }
+  if (!failure.is_ok()) return failure;
+  return replies;
 }
 
 Status Runtime::flush_alloc_batches() {
@@ -969,6 +1096,125 @@ void Runtime::probe_peer(SpaceId peer) {
   }
 }
 
+Result<std::uint64_t> Runtime::issue_guarded(
+    Message msg, MessageType reply_type, bool idempotent,
+    std::shared_ptr<Promise<Message>> promise) {
+  const SpaceId peer = msg.to;
+  const MessageType kind = msg.type;
+  const SessionId msg_session = msg.session;
+  const std::uint64_t seq = msg.seq;
+  if (multi_session_ && msg_session != kNoSession && peer != self_) {
+    if (SessionState* st = sessions_.find(msg_session)) st->touched.insert(peer);
+  }
+  if (detector_.is_dead(peer)) {
+    ++stats_.failfast_rejections;
+    telemetry_.count("rpc.failfast_rejections",
+                     std::string("peer=") + std::to_string(peer));
+    return space_dead("space " + std::to_string(peer) +
+                      " is dead (failure detector)");
+  }
+
+  const std::uint64_t start = telemetry_.now_ns();
+  SpanRecorder::Handle span = SpanRecorder::kNoSpan;
+  if (telemetry_.tracing()) {
+    // Detached: pipelined client spans are concurrent siblings under the
+    // issuing session (the stack top at issue time), and finish whenever
+    // their reply lands — pushing them would corrupt the LIFO stack once
+    // replies complete out of order.
+    span = telemetry_.tracer().start_detached(
+        std::string(to_string(kind)) + " -> " + std::to_string(peer),
+        "rpc.client", start);
+    if (peer_caps_ && (peer_caps_(peer) & kCapTraceContext) != 0) {
+      msg.trace = telemetry_.tracer().context_of(span);
+    }
+  }
+  const std::string kind_label = std::string("kind=") + std::string(to_string(kind));
+
+  RpcEndpoint::IssueOptions opts;
+  opts.cfg = timeouts_;
+  opts.idempotent = idempotent;
+  opts.detached = promise != nullptr;
+  // Runs inside whichever pump settles the slot — possibly while another
+  // request is being collected, possibly on the SIGSEGV fetch path. Light
+  // by contract: telemetry, lease touch, promise fulfilment; probes are
+  // deferred to drain_probes().
+  opts.on_complete = [this, peer, span, start, kind_label, msg_session,
+                      promise](Result<Message>& reply) {
+    const std::uint64_t end = telemetry_.now_ns();
+    telemetry_.hist("rpc.roundtrip_ns", kind_label).record(end - start);
+    telemetry_.count("rpc.requests", kind_label);
+    telemetry_.count("rpc.requests", std::string("peer=") + std::to_string(peer));
+    if (span != SpanRecorder::kNoSpan) {
+      telemetry_.tracer().finish(span, end, reply.is_ok());
+    }
+    if (reply.is_ok()) {
+      detector_.note_contact(peer, vnow_ns());
+      if (multi_session_ && msg_session != kNoSession) {
+        if (SessionState* st = sessions_.find(msg_session);
+            st != nullptr && st->cache) {
+          st->cache->touch_lease(peer, vnow_ns());
+        }
+      } else {
+        cache_.touch_lease(peer, vnow_ns());
+      }
+    } else {
+      telemetry_.count("rpc.failures", kind_label);
+      const StatusCode code = reply.status().code();
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kUnavailable) {
+        pending_probe_peers_.push_back(peer);
+      }
+    }
+    if (promise) promise->set_result(std::move(reply));
+  };
+  if (span != SpanRecorder::kNoSpan) {
+    opts.on_retransmit = [this, span, reply_type, seq](std::uint32_t attempt,
+                                                       std::uint32_t attempts) {
+      telemetry_.tracer().annotate(
+          span,
+          "retransmit " + std::string(to_string(reply_type)) + " seq=" +
+              std::to_string(seq) + " attempt " + std::to_string(attempt) + "/" +
+              std::to_string(attempts),
+          telemetry_.now_ns());
+    };
+  }
+
+  auto issued = endpoint_.issue(std::move(msg), reply_type, std::move(opts));
+  if (!issued) {
+    // The request never left (transport refusal or seq collision): settle
+    // the telemetry that on_complete would have produced.
+    const std::uint64_t end = telemetry_.now_ns();
+    telemetry_.hist("rpc.roundtrip_ns", kind_label).record(end - start);
+    telemetry_.count("rpc.requests", kind_label);
+    telemetry_.count("rpc.failures", kind_label);
+    if (span != SpanRecorder::kNoSpan) telemetry_.tracer().finish(span, end, false);
+    return issued.status();
+  }
+  return issued;
+}
+
+Result<Message> Runtime::collect_guarded(std::uint64_t seq,
+                                         const RpcEndpoint::Dispatcher& serve) {
+  auto reply = endpoint_.collect(seq, serve);
+  drain_probes();
+  return reply;
+}
+
+Status Runtime::pump_guarded(std::chrono::steady_clock::time_point deadline) {
+  Status pumped = endpoint_.pump_once(deadline, full_dispatcher_);
+  drain_probes();
+  return pumped;
+}
+
+void Runtime::drain_probes() {
+  if (probing_) return;
+  while (!pending_probe_peers_.empty()) {
+    const SpaceId peer = pending_probe_peers_.back();
+    pending_probe_peers_.pop_back();
+    if (!detector_.is_dead(peer)) probe_peer(peer);
+  }
+}
+
 void Runtime::on_peer_dead(SpaceId peer) {
   detector_.mark_dead(peer);
   if (!dead_cleaned_.insert(peer).second) return;  // already contained
@@ -1039,27 +1285,7 @@ Result<ByteBuffer> Runtime::fetch(SpaceId home, std::span<const LongPointer> poi
   msg.to = home;
   msg.session = sid;
   msg.seq = endpoint_.next_seq();
-  xdr::Encoder enc(msg.payload);
-  enc.put_u64(closure_budget);
-  std::uint64_t base = pointers.empty() ? 0 : pointers[0].address;
-  bool wide = false;
-  for (const LongPointer& p : pointers) base = std::min(base, p.address);
-  for (const LongPointer& p : pointers) {
-    if (p.address - base > 0xFFFFFFFFULL) {
-      wide = true;
-      break;
-    }
-  }
-  enc.put_u32(wide ? 1 : 0);
-  enc.put_u64(base);
-  enc.put_u32(static_cast<std::uint32_t>(pointers.size()));
-  for (const LongPointer& p : pointers) {
-    if (wide) {
-      enc.put_u64(p.address);
-    } else {
-      enc.put_u32(static_cast<std::uint32_t>(p.address - base));
-    }
-  }
+  encode_fetch_frame(msg.payload, pointers, closure_budget);
   // Restricted await: we may be inside the SIGSEGV handler, and with a
   // single active thread nothing but this reply can legitimately arrive.
   // Fetch is a pure read, so a lost reply is recovered by retransmitting
@@ -1151,6 +1377,77 @@ Result<ByteBuffer> Runtime::call_raw(SpaceId target, const std::string& proc,
   ByteBuffer payload = std::move(reply.value().payload);
   SRPC_RETURN_IF_ERROR(apply_modified_set(payload, target));
   SRPC_RETURN_IF_ERROR(apply_closures(payload));
+  // Cursor now rests at the marshalled results.
+  return payload;
+}
+
+Result<Runtime::RawCallFuture> Runtime::call_async(
+    SpaceId target, const std::string& proc, ByteBuffer args,
+    std::span<const std::uint64_t> pointer_roots) {
+  if (target == self_) {
+    return invalid_argument("call to own address space");
+  }
+  // Same preamble as call_raw: safe point, then flush batched memory ops
+  // before the modified set and closures are packed. Each async call ships
+  // the modified set as of ITS issue point.
+  poll_failures();
+  SRPC_RETURN_IF_ERROR(flush_alloc_batches());
+
+  Message msg;
+  msg.type = MessageType::kCall;
+  msg.to = target;
+  msg.session = current_session();
+  msg.seq = endpoint_.next_seq();
+  const std::uint64_t seq = msg.seq;
+  xdr::Encoder enc(msg.payload);
+  enc.put_string(proc);
+  std::vector<ShippedRecord> shipped;
+  SRPC_RETURN_IF_ERROR(attach_modified_set(msg.payload, target,
+                                           /*write_back=*/false,
+                                           /*encoded=*/nullptr, &shipped));
+  SRPC_RETURN_IF_ERROR(attach_closures(msg.payload, pointer_roots));
+  msg.payload.append(args.view());
+
+  ++stats_.calls_sent;
+  // At-most-once semantics are unchanged: a CALL is never retransmitted
+  // (idempotent=false caps it at one attempt against the full deadline).
+  auto promise = std::make_shared<Promise<Message>>();
+  auto fut = promise->get_future();
+  auto issued = issue_guarded(std::move(msg), MessageType::kReturn,
+                              /*idempotent=*/false, promise);
+  if (!issued) return issued.status();
+  // get() drives the shared endpoint with full re-entrant service — the
+  // future always blocks on the worker's ground stack, never in a handler.
+  promise->set_pump([this](std::chrono::steady_clock::time_point deadline) {
+    return pump_guarded(deadline);
+  });
+  // An abandoned future cancels its slot: the completion hooks settle with
+  // UNAVAILABLE (closing the client span) and a late reply is absorbed as
+  // stale by seq matching.
+  promise->set_on_drop([this, seq] { (void)endpoint_.cancel(seq); });
+  return RawCallFuture(this, current_session(), target, seq,
+                       std::move(shipped), std::move(fut));
+}
+
+Result<ByteBuffer> Runtime::RawCallFuture::get(
+    std::chrono::steady_clock::time_point deadline) {
+  Runtime& rt = *rt_;
+  // Re-pin the issuing session: the reply's side effects (ship-state
+  // commit, modified set, closure incorporation) must land in the same
+  // session scope the call was issued under, whatever scope the caller
+  // happens to be in when it finally collects.
+  ScopedSession scope(rt, session_);
+  auto reply = fut_.get(deadline);
+  if (!reply) return reply.status();
+  Message msg = std::move(reply.value());
+  if (msg.type == MessageType::kError) {
+    return rt.decode_error(msg);
+  }
+  // The callee saw (and now holds) everything this call shipped.
+  rt.commit_shipped(target_, shipped_);
+  ByteBuffer payload = std::move(msg.payload);
+  SRPC_RETURN_IF_ERROR(rt.apply_modified_set(payload, target_));
+  SRPC_RETURN_IF_ERROR(rt.apply_closures(payload));
   // Cursor now rests at the marshalled results.
   return payload;
 }
@@ -1723,6 +2020,33 @@ Status Runtime::end_session(SessionId id) {
   std::vector<PreparedHome> prepared;
   Status failure = Status::ok();
 
+  // Builds the phase-two/abort frame (epoch only) for one home.
+  auto epoch_message = [&](MessageType type, SpaceId home) {
+    Message msg;
+    msg.type = type;
+    msg.to = home;
+    msg.session = id;
+    msg.seq = endpoint_.next_seq();
+    xdr::Encoder enc(msg.payload);
+    enc.put_u64(epoch);
+    return msg;
+  };
+
+  // Encode every home's batch first (each snapshot rides one frame either
+  // way), then ship. With parallel_commit_ every frame is in flight before
+  // the first ack is collected, so the prepare fan-out costs the slowest
+  // home rather than the sum of all round trips (bench/fig9_pipeline
+  // measures the difference); sequential mode keeps one frame outstanding
+  // at a time as the A/B baseline.
+  struct PendingPrepare {
+    SpaceId home = 0;
+    bool capable = false;
+    std::vector<ShippedRecord> shipped;
+    Message msg;
+    std::uint64_t seq = 0;
+    bool issued = false;
+  };
+  std::vector<PendingPrepare> batch;
   for (const SpaceId home : homes) {
     const bool capable =
         two_phase_writeback_enabled_ && peer_caps_ &&
@@ -1772,27 +2096,45 @@ Status Runtime::end_session(SessionId id) {
       }
       if (encoded == 0) continue;  // home already holds the final content
     }
-    // Both shapes are idempotent: WRITE_BACK overwrites, WB_PREPARE
-    // re-stages the same bytes under the same epoch. Lost acks are
-    // recovered by retransmission under the same seq.
-    if (capable) {
+    PendingPrepare p;
+    p.home = home;
+    p.capable = capable;
+    p.shipped = std::move(shipped);
+    p.msg = std::move(msg);
+    batch.push_back(std::move(p));
+  }
+
+  // Both shapes are idempotent: WRITE_BACK overwrites, WB_PREPARE
+  // re-stages the same bytes under the same epoch. Lost acks are
+  // recovered by retransmission under the same seq.
+  auto issue_prepare = [&](PendingPrepare& p) {
+    if (p.capable) {
       ++stats_.wb_prepares;
       if (telemetry_.tracing()) {
-        telemetry_.annotate("wb prepare: home " + std::to_string(home) +
+        telemetry_.annotate("wb prepare: home " + std::to_string(p.home) +
                             " epoch " + std::to_string(epoch));
       }
     }
-    auto ack = guarded_roundtrip(
-        std::move(msg),
-        capable ? MessageType::kWbPrepareAck : MessageType::kWriteBackAck,
-        serve_during_commit, /*idempotent=*/true);
+    auto issued = issue_guarded(
+        std::move(p.msg),
+        p.capable ? MessageType::kWbPrepareAck : MessageType::kWriteBackAck,
+        /*idempotent=*/true);
+    if (!issued) {
+      if (failure.is_ok()) failure = issued.status();
+      return;
+    }
+    p.seq = issued.value();
+    p.issued = true;
+  };
+  auto settle_prepare = [&](PendingPrepare& p) {
+    auto ack = collect_guarded(p.seq, serve_during_commit);
     if (!ack) {
-      failure = ack.status();
-      break;
+      if (failure.is_ok()) failure = ack.status();
+      return;
     }
     if (ack.value().type == MessageType::kError) {
-      failure = decode_error(ack.value());
-      if (failure.code() == StatusCode::kConflict) {
+      Status err = decode_error(ack.value());
+      if (err.code() == StatusCode::kConflict) {
         // WB_CONFLICT: the home's arbiter refused the prepare (stale read,
         // wound, or an older writer holds the object). The session lost;
         // the caller aborts it and retries under backoff.
@@ -1800,43 +2142,78 @@ Status Runtime::end_session(SessionId id) {
         telemetry_.count("concurrency.wb_conflicts",
                          "session=" + std::to_string(id));
         SRPC_WARN << name_ << ": session " << id
-                  << " lost arbitration at home " << home << ": "
-                  << failure.to_string();
+                  << " lost arbitration at home " << p.home << ": "
+                  << err.to_string();
       }
-      break;
+      if (failure.is_ok()) failure = err;
+      return;
     }
-    if (capable) {
-      prepared.push_back(PreparedHome{home, std::move(shipped)});
+    if (p.capable) {
+      prepared.push_back(PreparedHome{p.home, std::move(p.shipped)});
     } else {
-      commit_shipped(home, shipped);
+      commit_shipped(p.home, p.shipped);
+    }
+  };
+  if (failure.is_ok()) {
+    if (parallel_commit_) {
+      // Fan out, then settle every in-flight frame (even once a failure is
+      // recorded — no completion slot may leak, and every home that staged
+      // must be known so the abort sweep below reaches it).
+      for (PendingPrepare& p : batch) issue_prepare(p);
+      for (PendingPrepare& p : batch) {
+        if (p.issued) settle_prepare(p);
+      }
+    } else {
+      for (PendingPrepare& p : batch) {
+        if (!failure.is_ok()) break;
+        issue_prepare(p);
+        if (p.issued) settle_prepare(p);
+      }
     }
   }
+
+  // One acknowledged epoch-frame round trip (abort, commit, invalidate).
+  struct PendingAck {
+    SpaceId home = 0;
+    std::uint64_t seq = 0;
+    const PreparedHome* prep = nullptr;
+  };
 
   if (!failure.is_ok()) {
     // Phase one failed somewhere: roll back every staged home, best-effort
     // (a home we cannot reach will drop its stage when the session's
     // INVALIDATE or tombstone eventually lands). The session stays open so
     // the caller may retry end_session() or fall back to abort_session().
+    std::vector<PendingAck> aborts;
+    auto settle_abort = [&](const PendingAck& a) {
+      auto ack = collect_guarded(a.seq, serve_during_commit);
+      if (!ack) {
+        SRPC_WARN << name_ << ": write-back abort to space " << a.home
+                  << " failed: " << ack.status().to_string();
+      }
+    };
     for (const PreparedHome& p : prepared) {
-      Message msg;
-      msg.type = MessageType::kWbAbort;
-      msg.to = p.home;
-      msg.session = id;
-      msg.seq = endpoint_.next_seq();
-      xdr::Encoder enc(msg.payload);
-      enc.put_u64(epoch);
       ++stats_.wb_aborts;
       if (telemetry_.tracing()) {
         telemetry_.annotate("wb abort: home " + std::to_string(p.home) +
                             " epoch " + std::to_string(epoch));
       }
-      auto ack = guarded_roundtrip(std::move(msg), MessageType::kWbAbortAck,
-                                   serve_during_commit, /*idempotent=*/true);
-      if (!ack) {
+      auto issued =
+          issue_guarded(epoch_message(MessageType::kWbAbort, p.home),
+                        MessageType::kWbAbortAck, /*idempotent=*/true);
+      if (!issued) {
         SRPC_WARN << name_ << ": write-back abort to space " << p.home
-                  << " failed: " << ack.status().to_string();
+                  << " failed: " << issued.status().to_string();
+        continue;
+      }
+      PendingAck a{p.home, issued.value(), nullptr};
+      if (parallel_commit_) {
+        aborts.push_back(a);
+      } else {
+        settle_abort(a);
       }
     }
+    for (const PendingAck& a : aborts) settle_abort(a);
     st.status = SessionStatus::kActive;  // still open: retry or abort
     return failure;
   }
@@ -1845,31 +2222,49 @@ Status Runtime::end_session(SessionId id) {
   // here leaves the session open and is safe to retry: homes that already
   // committed re-ack the duplicate epoch, homes that still hold the stage
   // apply it, and a retried end_session() re-prepares only what the
-  // fingerprint suppression has not already committed.
+  // fingerprint suppression has not already committed. The fan-out follows
+  // parallel_commit_ like phase one; every issued frame is settled before
+  // the first failure is reported.
+  Status commit_failure = Status::ok();
+  std::vector<PendingAck> commits;
+  auto settle_commit = [&](const PendingAck& a) {
+    auto ack = collect_guarded(a.seq, serve_during_commit);
+    if (!ack) {
+      if (commit_failure.is_ok()) commit_failure = ack.status();
+      return;
+    }
+    if (ack.value().type == MessageType::kError) {
+      Status err = decode_error(ack.value());
+      if (commit_failure.is_ok()) commit_failure = err;
+      return;
+    }
+    commit_shipped(a.home, a.prep->shipped);
+  };
   for (const PreparedHome& p : prepared) {
-    Message msg;
-    msg.type = MessageType::kWbCommit;
-    msg.to = p.home;
-    msg.session = id;
-    msg.seq = endpoint_.next_seq();
-    xdr::Encoder enc(msg.payload);
-    enc.put_u64(epoch);
+    if (!parallel_commit_ && !commit_failure.is_ok()) break;
     ++stats_.wb_commits;
     if (telemetry_.tracing()) {
       telemetry_.annotate("wb commit: home " + std::to_string(p.home) +
                           " epoch " + std::to_string(epoch));
     }
-    auto ack = guarded_roundtrip(std::move(msg), MessageType::kWbCommitAck,
-                                 serve_during_commit, /*idempotent=*/true);
-    if (!ack) {
-      st.status = SessionStatus::kActive;
-      return ack.status();
+    auto issued =
+        issue_guarded(epoch_message(MessageType::kWbCommit, p.home),
+                      MessageType::kWbCommitAck, /*idempotent=*/true);
+    if (!issued) {
+      if (commit_failure.is_ok()) commit_failure = issued.status();
+      continue;
     }
-    if (ack.value().type == MessageType::kError) {
-      st.status = SessionStatus::kActive;
-      return decode_error(ack.value());
+    PendingAck a{p.home, issued.value(), &p};
+    if (parallel_commit_) {
+      commits.push_back(a);
+    } else {
+      settle_commit(a);
     }
-    commit_shipped(p.home, p.shipped);
+  }
+  for (const PendingAck& a : commits) settle_commit(a);
+  if (!commit_failure.is_ok()) {
+    st.status = SessionStatus::kActive;
+    return commit_failure;
   }
 
   // Multicast the invalidation to every space concerned with the session.
@@ -1885,10 +2280,24 @@ Status Runtime::end_session(SessionId id) {
     const std::vector<SpaceId> everyone = directory_();
     invalidate_targets.assign(everyone.begin(), everyone.end());
   }
+  Status inv_failure = Status::ok();
+  std::vector<PendingAck> invalidations;
+  auto settle_invalidate = [&](const PendingAck& a) {
+    auto ack = collect_guarded(a.seq, serve_during_commit);
+    if (!ack) {
+      if (inv_failure.is_ok()) inv_failure = ack.status();
+      return;
+    }
+    if (ack.value().type == MessageType::kError) {
+      Status err = decode_error(ack.value());
+      if (inv_failure.is_ok()) inv_failure = err;
+    }
+  };
   for (const SpaceId peer : invalidate_targets) {
     // A dead peer has nothing left to invalidate (its pages were revoked,
     // its orphans reclaimed) and must not wedge everyone else's commit.
     if (peer == self_ || detector_.is_dead(peer)) continue;
+    if (!parallel_commit_ && !inv_failure.is_ok()) break;
     Message msg;
     msg.type = MessageType::kInvalidate;
     msg.to = peer;
@@ -1896,16 +2305,23 @@ Status Runtime::end_session(SessionId id) {
     msg.seq = endpoint_.next_seq();
     xdr::Encoder enc(msg.payload);
     enc.put_u32(0);  // not aborted
-    auto ack = guarded_roundtrip(std::move(msg), MessageType::kInvalidateAck,
-                                 serve_during_commit, /*idempotent=*/true);
-    if (!ack) {
-      st.status = SessionStatus::kActive;
-      return ack.status();
+    auto issued = issue_guarded(std::move(msg), MessageType::kInvalidateAck,
+                                /*idempotent=*/true);
+    if (!issued) {
+      if (inv_failure.is_ok()) inv_failure = issued.status();
+      continue;
     }
-    if (ack.value().type == MessageType::kError) {
-      st.status = SessionStatus::kActive;
-      return decode_error(ack.value());
+    PendingAck a{peer, issued.value(), nullptr};
+    if (parallel_commit_) {
+      invalidations.push_back(a);
+    } else {
+      settle_invalidate(a);
     }
+  }
+  for (const PendingAck& a : invalidations) settle_invalidate(a);
+  if (!inv_failure.is_ok()) {
+    st.status = SessionStatus::kActive;
+    return inv_failure;
   }
 
   session_cache.invalidate_all();

@@ -16,8 +16,10 @@
 // in a call and fetches issued from the SIGSEGV handler.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,6 +38,7 @@
 #include "mem/remote_allocator.hpp"
 #include "net/sim_network.hpp"
 #include "obs/telemetry.hpp"
+#include "rpc/future.hpp"
 #include "rpc/rpc_endpoint.hpp"
 #include "rpc/service_registry.hpp"
 #include "rpc/wire.hpp"
@@ -167,6 +170,15 @@ class Runtime final : public PageFetcher,
     two_phase_writeback_enabled_ = on;
   }
 
+  // Parallel per-home fan-out at session end (two-phase write-back): all
+  // WB_PREPAREs are issued before any ack is collected, then all
+  // WB_COMMITs, then the invalidation multicast — commit latency is the
+  // slowest home, not the sum. Off, each round trip completes before the
+  // next home is addressed (the pre-pipelining behaviour; kept as a bench
+  // ablation). Flip only between sessions.
+  [[nodiscard]] bool parallel_commit() const noexcept { return parallel_commit_; }
+  void set_parallel_commit(bool on) noexcept { parallel_commit_ = on; }
+
   // --- failure containment --------------------------------------------------
 
   // Per-peer liveness verdicts. The detector is thread-safe; World::mark_dead
@@ -277,6 +289,66 @@ class Runtime final : public PageFetcher,
                               ByteBuffer args,
                               std::span<const std::uint64_t> pointer_roots);
 
+  // --- async calls (pipelined RPC) ------------------------------------------
+
+  // One (id, fingerprint) pair per object encoded into an outgoing
+  // modified-set section; committed into per-peer ship state only once the
+  // transfer is known to have reached `dest` (see commit_shipped).
+  struct ShippedRecord {
+    LongPointer id;
+    std::uint64_t fingerprint = 0;
+  };
+
+  // Handle on one in-flight call_async(). get() blocks — pumping the
+  // endpoint, so replies for OTHER in-flight requests and incoming service
+  // traffic keep flowing — then finalises the reply on the caller's stack
+  // (commit shipped state, apply the returned modified set and closures)
+  // exactly like the blocking call path. One-shot; dropping an un-got
+  // future cancels its completion slot and the late reply is absorbed as
+  // stale. Must be collected on the issuing space's worker thread.
+  class RawCallFuture {
+   public:
+    RawCallFuture(RawCallFuture&&) noexcept = default;
+    RawCallFuture& operator=(RawCallFuture&&) noexcept = default;
+    RawCallFuture(const RawCallFuture&) = delete;
+    RawCallFuture& operator=(const RawCallFuture&) = delete;
+
+    [[nodiscard]] bool ready() const noexcept { return fut_.ready(); }
+    [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+    [[nodiscard]] SessionId session() const noexcept { return session_; }
+
+    Result<ByteBuffer> get(std::chrono::steady_clock::time_point deadline =
+                               std::chrono::steady_clock::time_point::max());
+
+   private:
+    friend class Runtime;
+    RawCallFuture(Runtime* rt, SessionId session, SpaceId target,
+                  std::uint64_t seq, std::vector<ShippedRecord> shipped,
+                  Future<Message> fut)
+        : rt_(rt), session_(session), target_(target), seq_(seq),
+          shipped_(std::move(shipped)), fut_(std::move(fut)) {}
+
+    Runtime* rt_;
+    SessionId session_;
+    SpaceId target_;
+    std::uint64_t seq_;
+    std::vector<ShippedRecord> shipped_;
+    Future<Message> fut_;
+  };
+
+  // Pipelined call: ships the CALL (with the same travelling modified set
+  // and argument closures as call_raw) and returns immediately with a
+  // future for the reply. Many calls may be outstanding at once; their
+  // replies complete in arrival order. At-most-once semantics are
+  // unchanged: a CALL is never retransmitted, and the per-seq completion
+  // slot keeps each reply matched to its own request. Note that each call
+  // ships the modified set as of ITS issue point — overlapping working
+  // sets between calls pipelined to different homes are the caller's
+  // responsibility (see PROTOCOL.md "Request multiplexing & pipelining").
+  Result<RawCallFuture> call_async(SpaceId target, const std::string& proc,
+                                   ByteBuffer args,
+                                   std::span<const std::uint64_t> pointer_roots);
+
   // --- remote memory management (paper §3.5) ------------------------------------
 
   // Allocates `count` objects of `type` in `home`'s heap; returns a locally
@@ -303,6 +375,17 @@ class Runtime final : public PageFetcher,
   // pointer now, with an explicit closure budget, instead of paying the
   // access violation later. No-op for home data and resident cache.
   Status prefetch(const void* p, std::uint64_t closure_budget);
+
+  // Batched, pipelined prefetch: groups the non-resident pointers by home,
+  // ships ONE speculative FETCH frame per home (all homes in parallel —
+  // idempotent, so each frame retransmits under its own seq), and
+  // incorporates every reply as clean pending data. Later faults on the
+  // covered pages fill from the overlay without another network trip.
+  // Per-pointer lookup failures are skipped, not errors; the first
+  // transport-level failure is returned after every in-flight frame has
+  // been settled.
+  Status prefetch_many(std::span<const void* const> pointers,
+                       std::uint64_t closure_budget);
 
   // Closure traversal order used when this space packs eager transfers
   // (paper §3.3 uses breadth-first; §6 discusses the shape as open work —
@@ -402,21 +485,44 @@ class Runtime final : public PageFetcher,
   Result<Message> guarded_roundtrip(Message msg, MessageType reply_type,
                                     const RpcEndpoint::Dispatcher& serve,
                                     bool idempotent);
+
+  // Async twin of guarded_roundtrip's front half: same failfast check,
+  // touched-set recording, and trace-context attachment, but the request is
+  // only *issued* — telemetry (latency histogram, span finish, lease touch,
+  // failure counting) runs in the slot's completion callback whenever the
+  // reply lands, possibly while some other request is being collected.
+  // Client spans are start_detached: concurrent siblings under the issuing
+  // session, never a stack nesting. Failed peers are queued for probing
+  // (pending_probe_peers_) instead of probed inline, because the completion
+  // callback may run on a re-entrant pump stack where a nested ping
+  // roundtrip is not safe. When `promise` is non-null the slot is detached
+  // and the reply is delivered through it (futures); otherwise collect the
+  // seq with collect_guarded.
+  Result<std::uint64_t> issue_guarded(
+      Message msg, MessageType reply_type, bool idempotent,
+      std::shared_ptr<Promise<Message>> promise = nullptr);
+  Result<Message> collect_guarded(std::uint64_t seq,
+                                  const RpcEndpoint::Dispatcher& serve);
+  // One endpoint pump step on the worker's normal stack (Future::get's
+  // drive), followed by the deferred probe drain.
+  Status pump_guarded(std::chrono::steady_clock::time_point deadline);
   void probe_peer(SpaceId peer);
+  // Probes peers whose async requests failed, at a safe point (never from
+  // inside a completion callback).
+  void drain_probes();
   [[nodiscard]] std::uint64_t vnow_ns() const noexcept;
+
+  // Ships one FETCH frame per group with every frame in flight at once,
+  // then collects the replies (restricted await: the owning cache is
+  // mid-fill). Backing transfer for CacheManager::prefetch_many.
+  Result<std::vector<ByteBuffer>> parallel_fetch(
+      CacheManager& owner, std::vector<CacheManager::PrefetchGroup>& groups,
+      std::uint64_t closure_budget, SessionId session);
 
   // Flushes pending extended_malloc/extended_free batches to every home
   // (must precede any control transfer: the modified data set cannot be
   // unswizzled while provisional identities are outstanding).
   Status flush_alloc_batches();
-
-  // One (id, fingerprint) pair per object encoded into an outgoing
-  // modified-set section; committed into per-peer ship state only once the
-  // transfer is known to have reached `dest` (see commit_shipped).
-  struct ShippedRecord {
-    LongPointer id;
-    std::uint64_t fingerprint = 0;
-  };
 
   // Appends the modified-set section for `dest` — legacy "count + graph
   // payloads" or the MODIFIED_DELTA format when `dest` is capable. With
@@ -470,6 +576,7 @@ class Runtime final : public PageFetcher,
   PointerRangeIndex pointer_index_;
   bool modified_deltas_enabled_ = true;
   bool two_phase_writeback_enabled_ = true;
+  bool parallel_commit_ = true;
 
   Mailbox mailbox_;
   RpcEndpoint endpoint_;
@@ -544,6 +651,9 @@ class Runtime final : public PageFetcher,
   // fill path, where revoking pages would corrupt the fill in progress);
   // poll_failures() runs the cleanup at the next safe point.
   std::vector<SpaceId> pending_dead_cleanup_;
+  // Peers whose async requests failed; drain_probes() pings them on the
+  // next normal stack (completion callbacks must not roundtrip).
+  std::vector<SpaceId> pending_probe_peers_;
   // Peers already contained by on_peer_dead(), so repeated death reports
   // (detector edge + World::mark_dead + queued cleanups) act once.
   std::unordered_set<SpaceId> dead_cleaned_;

@@ -11,6 +11,7 @@
 // owning space's worker thread (inside AddressSpace::run()).
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "common/logging.hpp"
@@ -72,6 +73,26 @@ class Session {
     return typed_call_void(rt_, target, proc, args...);
   }
 
+  // Pipelined call: ships the request and returns a future for the typed
+  // result immediately. Many calls may be outstanding at once; collect
+  // them with get() in any order — while one future blocks, replies for
+  // the others complete too (the worker keeps the paper's single active
+  // thread; a future's get() is what drives the endpoint).
+  template <typename R, typename... Args>
+  Result<TypedCallFuture<R>> call_async(SpaceId target, const std::string& proc,
+                                        const Args&... args) {
+    Runtime::ScopedSession scope(rt_, id_);
+    return typed_call_async<R>(rt_, target, proc, args...);
+  }
+
+  template <typename... Args>
+  Result<TypedCallFuture<void>> call_async_void(SpaceId target,
+                                                const std::string& proc,
+                                                const Args&... args) {
+    Runtime::ScopedSession scope(rt_, id_);
+    return typed_call_async_void(rt_, target, proc, args...);
+  }
+
   // Remote memory management within the session (paper §3.5).
   template <typename T>
   Result<T*> extended_malloc(SpaceId home, std::uint32_t count = 1) {
@@ -95,6 +116,14 @@ class Session {
   Status prefetch(const T* p, std::uint64_t closure_budget = 8192) {
     Runtime::ScopedSession scope(rt_, id_);
     return rt_.prefetch(p, closure_budget);
+  }
+
+  // Batched, pipelined prefetch: one speculative FETCH frame per home with
+  // every frame in flight at once. The budget applies per frame.
+  Status prefetch_many(std::span<const void* const> pointers,
+                       std::uint64_t closure_budget = 8192) {
+    Runtime::ScopedSession scope(rt_, id_);
+    return rt_.prefetch_many(pointers, closure_budget);
   }
 
   // Declares the end of the session: write-back + invalidation multicast.

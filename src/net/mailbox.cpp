@@ -23,8 +23,33 @@ Status Mailbox::push_task(Task task) {
   return push_item(std::move(task));
 }
 
+namespace {
+
+// Marks the single blocked consumer for the duration of a wait; the flag is
+// only read and written under the mailbox mutex (condition_variable waits
+// reacquire it before the guard is cleared).
+class ConsumerGuard {
+ public:
+  explicit ConsumerGuard(bool& flag) : flag_(flag) { flag_ = true; }
+  ~ConsumerGuard() { flag_ = false; }
+  ConsumerGuard(const ConsumerGuard&) = delete;
+  ConsumerGuard& operator=(const ConsumerGuard&) = delete;
+
+ private:
+  bool& flag_;
+};
+
+Status concurrent_consumer() {
+  return failed_precondition(
+      "mailbox already has a blocked consumer (single-consumer contract)");
+}
+
+}  // namespace
+
 Result<MailItem> Mailbox::pop() {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (consumer_blocked_) return concurrent_consumer();
+  ConsumerGuard guard(consumer_blocked_);
   cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
   if (queue_.empty()) {
     return unavailable("mailbox closed");
@@ -39,6 +64,8 @@ Result<MailItem> Mailbox::pop_until(std::chrono::steady_clock::time_point deadli
     return pop();  // wait_until with time_point::max overflows on some libs
   }
   std::unique_lock<std::mutex> lock(mutex_);
+  if (consumer_blocked_) return concurrent_consumer();
+  ConsumerGuard guard(consumer_blocked_);
   if (!cv_.wait_until(lock, deadline,
                       [this] { return !queue_.empty() || closed_; })) {
     return deadline_exceeded("mailbox wait timed out");

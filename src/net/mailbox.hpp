@@ -43,11 +43,20 @@ class Mailbox {
 
   // Blocks until an item arrives or the mailbox is closed.
   // Returns UNAVAILABLE when closed and drained.
+  //
+  // Single-consumer contract: a mailbox belongs to its space's one worker
+  // thread, and the multiplexed endpoint relies on that — every blocked
+  // pop is THE pump, and a reply popped by anyone else is a stolen
+  // completion. A second thread blocking while a consumer already waits is
+  // therefore a typed FAILED_PRECONDITION error, never a silent steal.
+  // (Re-entrant pops on the same thread are naturally sequential and
+  // unaffected; try_pop() never blocks and stays exempt.)
   Result<MailItem> pop();
 
   // Deadline-aware pop: additionally returns DEADLINE_EXCEEDED once
   // `deadline` passes with the queue still empty. A deadline of
-  // time_point::max() waits forever (equivalent to pop()).
+  // time_point::max() waits forever (equivalent to pop()). Enforces the
+  // same single-consumer contract as pop().
   Result<MailItem> pop_until(std::chrono::steady_clock::time_point deadline);
 
   // Duration flavour of pop_until.
@@ -72,6 +81,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<MailItem> queue_;
   bool closed_ = false;
+  bool consumer_blocked_ = false;  // a pop()/pop_until() waits on cv_
 };
 
 }  // namespace srpc

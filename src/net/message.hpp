@@ -50,6 +50,10 @@ struct Message {
   SessionId session = kNoSession;
   std::uint64_t seq = 0;  // matches replies to requests
   TraceContext trace;     // causal identity (trace_id == 0: none attached)
+  // Simulation-only arrival timestamp (virtual ns) stamped by SimNetwork;
+  // the receiver advances its clock to it on dequeue. Never framed on the
+  // wire and not part of wire_size().
+  std::uint64_t arrive_ns = 0;
   ByteBuffer payload;
 
   [[nodiscard]] std::size_t wire_size() const noexcept;

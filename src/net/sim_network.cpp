@@ -1,5 +1,7 @@
 #include "net/sim_network.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace srpc {
@@ -16,9 +18,18 @@ Status SimNetwork::send(Message msg) {
     return not_found("send to unknown space " + std::to_string(msg.to));
   }
   const std::uint64_t wire = msg.wire_size();
-  clock_.advance(cost_.message_cost(wire));
+  // Sender CPU: XDR encode happens before anything hits the wire.
+  clock_.advance(wire * cost_.per_marshal_byte_ns);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
+    // Wire occupancy (shared medium, one frame at a time) and arrival
+    // edge; link_free_ns_ shares the stats mutex, which send() may already
+    // take on the SIGSEGV fault path — same discipline.
+    const std::uint64_t depart = std::max(clock_.now(), link_free_ns_);
+    const std::uint64_t wire_done = depart + wire * cost_.per_wire_byte_ns;
+    link_free_ns_ = wire_done;
+    msg.arrive_ns =
+        wire_done + cost_.per_message_ns + wire * cost_.per_marshal_byte_ns;
     stats_.messages += 1;
     stats_.wire_bytes += wire;
     stats_.messages_by_type[static_cast<std::size_t>(msg.type)] += 1;
@@ -37,6 +48,7 @@ NetworkStats SimNetwork::stats() const {
 void SimNetwork::reset_stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_ = NetworkStats{};
+  link_free_ns_ = 0;  // callers reset the clock with the stats (world.cpp)
 }
 
 }  // namespace srpc

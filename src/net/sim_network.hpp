@@ -1,10 +1,22 @@
 // SimNetwork — the simulated 10 Mbps Ethernet connecting address spaces.
 //
 // Delivery is immediate (an in-process mailbox push); *cost* is charged to
-// the world's VirtualClock per the CostModel. Because an RPC session has a
-// single active thread, charges are sequential and the resulting virtual
-// timeline is deterministic — benches report it as the paper reported
-// wall-clock seconds.
+// the world's VirtualClock per the CostModel, split so pipelined requests
+// can genuinely overlap:
+//   - send-side marshal is CPU work on the sender: advance() at send();
+//   - wire occupancy is serialized on the shared Ethernet: each message
+//     departs when both the sender is done encoding and the link is free
+//     (link_free_ns_), then holds the link for its transmission time;
+//   - fixed latency and receive-side unmarshal are charged on the message's
+//     arrival timestamp (arrive_ns); the receiving endpoint advance_to()s
+//     the clock when it dequeues the message.
+// For a blocking request/reply chain this decomposition telescopes to
+// exactly the old per-message advance(message_cost(bytes)) — sequential
+// benches and tests see identical virtual time — but N requests in flight
+// now share the latency term instead of paying it N times. Charging the
+// receive-side unmarshal on the arrival edge models distinct receiving
+// CPUs; for a fan-in of replies to one space it slightly under-charges
+// that space (bounded by the overlapped replies' marshal bytes).
 //
 // SimNetwork also keeps per-message-type counters; Figure 5 ("number of
 // callbacks") is read straight off these.
@@ -63,6 +75,7 @@ class SimNetwork final : public Transport {
   std::unordered_map<SpaceId, Mailbox*> mailboxes_;
   mutable std::mutex stats_mutex_;
   NetworkStats stats_;
+  std::uint64_t link_free_ns_ = 0;  // shared Ethernet is busy until then
 };
 
 }  // namespace srpc

@@ -49,6 +49,30 @@ SpanRecorder::Handle SpanRecorder::start_server(const TraceContext& ctx,
   return spans_.size() - 1;
 }
 
+SpanRecorder::Handle SpanRecorder::start_detached(std::string name,
+                                                  std::string category,
+                                                  std::uint64_t now_ns) {
+  if (!enabled_) return kNoSpan;
+  Span span;
+  if (stack_.empty()) {
+    span.trace_id = next_id();
+    span.parent_span_id = 0;
+    span.hop = 0;
+  } else {
+    const Span& parent = spans_[stack_.back()];
+    span.trace_id = parent.trace_id;
+    span.parent_span_id = parent.span_id;
+    span.hop = parent.hop;
+  }
+  span.span_id = next_id();
+  span.session = session_;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start_ns = span.end_ns = now_ns;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;  // not on the stack: finish() in any order
+}
+
 void SpanRecorder::finish(Handle h, std::uint64_t now_ns, bool ok) {
   if (h == kNoSpan || h >= spans_.size()) return;
   Span& span = spans_[h];

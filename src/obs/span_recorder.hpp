@@ -68,6 +68,12 @@ class SpanRecorder {
   Handle start_server(const TraceContext& ctx, std::string name,
                       std::string category, std::uint64_t now_ns);
 
+  // Starts a span parented to the current stack top WITHOUT pushing it.
+  // Async client spans use this: N pipelined requests are concurrent
+  // siblings under the issuing session, not a nesting chain, and their
+  // replies may finish in any order — which would corrupt a LIFO stack.
+  Handle start_detached(std::string name, std::string category, std::uint64_t now_ns);
+
   void finish(Handle h, std::uint64_t now_ns, bool ok = true);
 
   // Attaches a timestamped note to the current stack top (dropped when no

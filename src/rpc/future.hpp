@@ -1,0 +1,191 @@
+// Future<T>/Promise<T> — the async completion primitive for pipelined RPC.
+//
+// The runtime keeps the paper's single-active-thread execution model: there
+// is no completion thread. A Future makes progress only when its owner
+// blocks in get(), which drives a *pump* — a callback that processes one
+// unit of endpoint work (typically RpcEndpoint::pump_once through the
+// runtime's dispatcher). While one future pumps, replies for every other
+// outstanding seq are routed to their completion slots too, which is where
+// the overlap of a pipelined call chain comes from: N requests on the wire,
+// one thread collecting them in any order.
+//
+// State machine (FutureState):
+//   pending --set_value/set_error--> ready   --get--> consumed
+//   pending --~Promise-------------> abandoned --get--> UNAVAILABLE
+//   pending --get(deadline passes)--> (still pending; get returns
+//                                      DEADLINE_EXCEEDED, retry allowed)
+// get() is one-shot on success/abandon: the result is moved out and the
+// future becomes invalid. Dropping an unconsumed Future fires its on_drop
+// hook (the runtime uses it to cancel the endpoint slot so a late reply is
+// absorbed as stale instead of leaking a completion slot).
+//
+// Single-threaded by design: a Future/Promise pair lives on one space's
+// worker thread, like everything else in a session. It is NOT a
+// std::future; there is no cross-thread wait.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace srpc {
+
+// Drives pending completions forward until `deadline` or until one unit of
+// work was processed. Returns non-OK only for hard failures (closed
+// mailbox, dispatcher error); DEADLINE_EXCEEDED means "nothing arrived yet".
+using FuturePump = std::function<Status(std::chrono::steady_clock::time_point)>;
+
+template <typename T>
+struct FutureState {
+  std::optional<Result<T>> value;
+  bool abandoned = false;
+  FuturePump pump;               // empty: only set_value can complete it
+  std::function<void()> on_drop; // fired when the future dies unconsumed
+};
+
+template <typename T>
+class Future;
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<FutureState<T>>()) {}
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&& other) noexcept {
+    if (this != &other) {
+      abandon();
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+  ~Promise() { abandon(); }
+
+  Future<T> get_future() { return Future<T>(state_); }
+
+  void set_value(T value) { set_result(Result<T>(std::move(value))); }
+  void set_error(Status status) { set_result(Result<T>(std::move(status))); }
+  void set_result(Result<T> result) {
+    if (state_ && !state_->value) state_->value = std::move(result);
+  }
+
+  [[nodiscard]] bool fulfilled() const {
+    return state_ && state_->value.has_value();
+  }
+
+  // Wires the blocking drive and the cancellation hook into the shared
+  // state (seen by the Future side). Set before handing out get_future()
+  // results to consumers that will block.
+  void set_pump(FuturePump pump) {
+    if (state_) state_->pump = std::move(pump);
+  }
+  void set_on_drop(std::function<void()> on_drop) {
+    if (state_) state_->on_drop = std::move(on_drop);
+  }
+
+ private:
+  void abandon() {
+    if (state_ && !state_->value) state_->abandoned = true;
+    state_.reset();
+  }
+
+  std::shared_ptr<FutureState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<FutureState<T>> state) : state_(std::move(state)) {}
+  Future(Future&&) noexcept = default;
+  Future& operator=(Future&& other) noexcept {
+    if (this != &other) {
+      drop();
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+  ~Future() { drop(); }
+
+  // A future is valid until its result has been consumed (or it was
+  // default-constructed / moved from).
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool ready() const noexcept {
+    return state_ && (state_->value.has_value() || state_->abandoned);
+  }
+
+  // Blocks (pumping the endpoint) until the result is ready, the promise
+  // is abandoned, or `deadline` passes. On a deadline the future stays
+  // valid and get() may be retried; every other outcome consumes it.
+  Result<T> get(std::chrono::steady_clock::time_point deadline =
+                    std::chrono::steady_clock::time_point::max()) {
+    if (!state_) {
+      return failed_precondition("future already consumed (get() is one-shot)");
+    }
+    while (true) {
+      if (state_->value) {
+        Result<T> out = std::move(*state_->value);
+        state_.reset();  // consumed: on_drop must not fire
+        return out;
+      }
+      if (state_->abandoned) {
+        state_.reset();
+        return unavailable("promise abandoned before completion");
+      }
+      if (!state_->pump) {
+        return failed_precondition("future is pending and has no pump to drive");
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return deadline_exceeded("future not ready before deadline");
+      }
+      Status pumped = state_->pump(deadline);
+      if (!pumped.is_ok()) {
+        if (state_->value || state_->abandoned) {
+          continue;  // the failure also settled this future; report that
+        }
+        if (pumped.code() == StatusCode::kDeadlineExceeded) {
+          return deadline_exceeded("future not ready before deadline");
+        }
+        drop();  // hard failure: release the completion slot too
+        return pumped;
+      }
+    }
+  }
+
+ private:
+  void drop() {
+    if (state_ && state_->on_drop && !state_->value.has_value()) {
+      state_->on_drop();
+    }
+    state_.reset();
+  }
+
+  std::shared_ptr<FutureState<T>> state_;
+};
+
+// Collects every future in order. Because get() pumps the shared endpoint,
+// replies that land while waiting on futures[0] complete later futures in
+// place — total wait is the slowest outstanding request, not the sum.
+// Failures (including per-future deadline misses) are recorded per slot,
+// never short-circuited, so every in-flight request is settled on return.
+template <typename T>
+std::vector<Result<T>> when_all(std::vector<Future<T>>& futures,
+                                std::chrono::steady_clock::time_point deadline =
+                                    std::chrono::steady_clock::time_point::max()) {
+  std::vector<Result<T>> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) {
+    results.push_back(f.get(deadline));
+  }
+  return results;
+}
+
+}  // namespace srpc

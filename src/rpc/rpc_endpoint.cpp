@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hpp"
 
@@ -22,108 +24,261 @@ Status RpcEndpoint::send(Message msg) {
   return transport_.send(std::move(msg));
 }
 
-Result<Message> RpcEndpoint::await_reply(MessageType reply_type, std::uint64_t seq,
-                                         const Dispatcher& serve,
-                                         Clock::time_point deadline) {
-  while (true) {
-    auto item = mailbox_.pop_until(deadline);
-    if (!item) {
-      if (item.status().code() == StatusCode::kDeadlineExceeded) {
-        return deadline_exceeded("no " + describe_wait(reply_type, seq) +
-                                 " before deadline");
-      }
-      return item.status();
-    }
+void RpcEndpoint::arm_attempt_timer(Pending& p) {
+  // Intermediate attempts wait one backoff step; the last attempt gets
+  // whatever remains of the overall deadline.
+  p.attempt_deadline = p.deadline;
+  if (!p.bare && p.attempt < p.attempts && !p.cfg.unbounded_attempts()) {
+    p.attempt_deadline = std::min(p.deadline, Clock::now() + p.backoff);
+  }
+}
 
-    if (std::holds_alternative<Task>(item.value())) {
-      // User code posted from outside while we're mid-call: run it when the
-      // space is next idle, not on this re-entrant stack.
-      deferred_.push_back(std::move(item).value());
+void RpcEndpoint::complete(const std::shared_ptr<Pending>& p, Result<Message> outcome) {
+  if (p->done) return;
+  p->done = true;
+  p->outcome = std::move(outcome);
+  if (p->on_complete) p->on_complete(*p->outcome);
+  if (p->detached) pending_.erase(p->seq);
+}
+
+void RpcEndpoint::settle_all(const Status& status) {
+  std::vector<std::shared_ptr<Pending>> open;
+  open.reserve(pending_.size());
+  for (auto& [seq, p] : pending_) {
+    if (!p->done) open.push_back(p);
+  }
+  for (auto& p : open) complete(p, status);
+}
+
+bool RpcEndpoint::route_reply(Message& msg) {
+  auto it = pending_.find(msg.seq);
+  if (it == pending_.end()) return false;
+  auto p = it->second;
+  if (p->done) return false;
+  if (msg.type != p->reply_type && msg.type != MessageType::kError) return false;
+  complete(p, std::move(msg));
+  return true;
+}
+
+void RpcEndpoint::expire_timers(Clock::time_point now) {
+  // Snapshot first: complete() (and a detached slot's self-erase) mutates
+  // the table.
+  std::vector<std::shared_ptr<Pending>> due;
+  for (auto& [seq, p] : pending_) {
+    if (!p->done && p->attempt_deadline <= now) due.push_back(p);
+  }
+  for (auto& p : due) {
+    if (p->done) continue;
+    if (p->bare) {
+      complete(p, deadline_exceeded("no " + p->describe + " before deadline"));
+      continue;
+    }
+    const bool out_of_time =
+        p->deadline != Clock::time_point::max() && now >= p->deadline;
+    if (p->attempt >= p->attempts || out_of_time || !p->original.has_value()) {
+      complete(p, deadline_exceeded(p->describe + " not received after " +
+                                    std::to_string(p->attempt) + " attempt(s)"));
       continue;
     }
 
-    Message msg = std::get<Message>(std::move(item).value());
-    const bool matches =
-        msg.seq == seq && (msg.type == reply_type || msg.type == MessageType::kError);
-    if (matches) {
-      return msg;
+    ++retransmits_;
+    SRPC_DEBUG << "retransmitting for " << p->describe << " (attempt "
+               << p->attempt + 1 << "/" << p->attempts << ")";
+    if (telemetry_ != nullptr) {
+      telemetry_->count("rpc.retransmits",
+                        std::string("kind=") + std::string(to_string(p->original->type)));
+      if (telemetry_->tracing()) {
+        if (p->on_retransmit) {
+          // Async slots annotate their own (detached) span.
+          p->on_retransmit(p->attempt + 1, p->attempts);
+        } else {
+          // Attaches to the open client span for this roundtrip, so a slow
+          // call is attributable to retry backoff at a glance.
+          telemetry_->annotate("retransmit " + p->describe + " attempt " +
+                               std::to_string(p->attempt + 1) + "/" +
+                               std::to_string(p->attempts));
+        }
+      }
     }
-    if (serve) {
-      Status served = serve(std::move(msg));
-      if (!served.is_ok()) return served;
-    } else {
-      SRPC_DEBUG << "deferring " << to_string(msg.type) << " from " << msg.from
-                 << " while awaiting " << to_string(reply_type) << " seq=" << seq;
-      deferred_.push_back(std::move(msg));
+    Message again = *p->original;
+    Status sent = send(std::move(again));
+    if (!sent.is_ok()) {
+      complete(p, sent);
+      continue;
+    }
+    p->backoff = std::min(p->backoff * 2, p->cfg.max_backoff);
+    ++p->attempt;
+    arm_attempt_timer(*p);
+  }
+}
+
+Result<std::uint64_t> RpcEndpoint::issue(Message msg, MessageType reply_type,
+                                         IssueOptions opts) {
+  const std::uint64_t seq = msg.seq;
+  if (pending_.find(seq) != pending_.end()) {
+    return already_exists("seq " + std::to_string(seq) +
+                          " already has a pending request (one waiter per seq)");
+  }
+  auto p = std::make_shared<Pending>();
+  p->reply_type = reply_type;
+  p->seq = seq;
+  p->describe = describe_wait(reply_type, seq);
+  p->detached = opts.detached;
+  p->cfg = opts.cfg;
+  p->attempts = opts.idempotent ? std::max<std::uint32_t>(1, opts.cfg.max_attempts) : 1;
+  p->deadline = opts.cfg.unbounded_deadline()
+                    ? Clock::time_point::max()
+                    : Clock::now() + opts.cfg.request_deadline;
+  p->backoff = opts.cfg.attempt_timeout;
+  // Keep a retransmittable copy only when we may actually resend.
+  if (p->attempts > 1) p->original = msg;
+  p->on_complete = std::move(opts.on_complete);
+  p->on_retransmit = std::move(opts.on_retransmit);
+
+  SRPC_RETURN_IF_ERROR(send(std::move(msg)));
+  arm_attempt_timer(*p);
+  pending_.emplace(seq, std::move(p));
+  return seq;
+}
+
+Status RpcEndpoint::pump_once(Clock::time_point deadline, const Dispatcher& serve) {
+  auto wake = deadline;
+  for (auto& [seq, p] : pending_) {
+    if (!p->done) wake = std::min(wake, p->attempt_deadline);
+  }
+
+  auto item = mailbox_.pop_until(wake);
+  if (!item) {
+    if (item.status().code() == StatusCode::kDeadlineExceeded) {
+      const auto now = Clock::now();
+      expire_timers(now);
+      if (now >= deadline) {
+        return deadline_exceeded("pump deadline reached");
+      }
+      return Status::ok();
+    }
+    if (item.status().code() == StatusCode::kUnavailable) {
+      // Closed mailbox: nothing pending can ever complete.
+      settle_all(item.status());
+    }
+    return item.status();
+  }
+
+  if (std::holds_alternative<Task>(item.value())) {
+    // User code posted from outside while we're mid-call: run it when the
+    // space is next idle, not on this re-entrant stack.
+    deferred_.push_back(std::move(item).value());
+    return Status::ok();
+  }
+
+  Message msg = std::get<Message>(std::move(item).value());
+  if (delivery_hook_) delivery_hook_(msg);
+  if (route_reply(msg)) return Status::ok();
+  if (serve) {
+    return serve(std::move(msg));
+  }
+  SRPC_DEBUG << "deferring " << to_string(msg.type) << " from " << msg.from
+             << " while pumping " << pending_.size() << " pending slot(s)";
+  deferred_.push_back(std::move(msg));
+  return Status::ok();
+}
+
+Result<Message> RpcEndpoint::collect(std::uint64_t seq, const Dispatcher& serve) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return failed_precondition("no pending request for seq " + std::to_string(seq));
+  }
+  auto p = it->second;
+  if (p->claimed) {
+    return already_exists("seq " + std::to_string(seq) +
+                          " already has a waiter (one collector per seq)");
+  }
+  p->claimed = true;
+
+  while (!p->done) {
+    Status pumped = pump_once(Clock::time_point::max(), serve);
+    if (!pumped.is_ok()) {
+      // Settle the slot with the abort reason so on_complete observers see
+      // a terminal outcome exactly once.
+      if (!p->done) complete(p, pumped);
+      break;
     }
   }
+
+  Result<Message> out = std::move(*p->outcome);
+  pending_.erase(seq);
+  return out;
+}
+
+Status RpcEndpoint::cancel(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return not_found("no pending request for seq " + std::to_string(seq));
+  }
+  // Settle (not just drop) live slots so completion hooks fire exactly
+  // once: spans close, telemetry records the outcome, and any promise
+  // waiting on the slot observes a terminal error instead of hanging.
+  auto pending = it->second;
+  if (!pending->done) {
+    complete(pending, unavailable("request cancelled"));
+  }
+  pending_.erase(seq);
+  return Status::ok();
+}
+
+bool RpcEndpoint::slot_done(std::uint64_t seq) const {
+  auto it = pending_.find(seq);
+  return it != pending_.end() && it->second->done;
+}
+
+Result<Message> RpcEndpoint::await_reply(MessageType reply_type, std::uint64_t seq,
+                                         const Dispatcher& serve,
+                                         Clock::time_point deadline) {
+  if (pending_.find(seq) != pending_.end()) {
+    return already_exists("seq " + std::to_string(seq) +
+                          " already has a pending request (one waiter per seq)");
+  }
+  auto p = std::make_shared<Pending>();
+  p->reply_type = reply_type;
+  p->seq = seq;
+  p->describe = describe_wait(reply_type, seq);
+  p->bare = true;
+  p->deadline = deadline;
+  p->attempt_deadline = deadline;
+  pending_.emplace(seq, std::move(p));
+  return collect(seq, serve);
 }
 
 Result<Message> RpcEndpoint::roundtrip(Message msg, MessageType reply_type,
                                        const Dispatcher& serve,
                                        const TimeoutConfig& cfg, bool idempotent) {
-  const std::uint32_t attempts =
-      idempotent ? std::max<std::uint32_t>(1, cfg.max_attempts) : 1;
-  const std::uint64_t seq = msg.seq;
-  const auto deadline = cfg.unbounded_deadline()
-                            ? Clock::time_point::max()
-                            : Clock::now() + cfg.request_deadline;
-
-  // Keep a retransmittable copy only when we may actually resend.
-  std::optional<Message> original;
-  if (attempts > 1) original = msg;
-
-  SRPC_RETURN_IF_ERROR(send(std::move(msg)));
-
-  auto backoff = cfg.attempt_timeout;
-  for (std::uint32_t attempt = 1;; ++attempt) {
-    // Intermediate attempts wait one backoff step; the last attempt gets
-    // whatever remains of the overall deadline.
-    auto attempt_deadline = deadline;
-    if (attempt < attempts && !cfg.unbounded_attempts()) {
-      attempt_deadline = std::min(deadline, Clock::now() + backoff);
-    }
-
-    auto reply = await_reply(reply_type, seq, serve, attempt_deadline);
-    if (reply) return reply;
-    if (reply.status().code() != StatusCode::kDeadlineExceeded) {
-      return reply;  // transport/dispatch failure: retrying won't help
-    }
-
-    const bool out_of_time =
-        deadline != Clock::time_point::max() && Clock::now() >= deadline;
-    if (attempt >= attempts || out_of_time || !original.has_value()) {
-      return deadline_exceeded(describe_wait(reply_type, seq) + " not received after " +
-                               std::to_string(attempt) + " attempt(s)");
-    }
-
-    ++retransmits_;
-    SRPC_DEBUG << "retransmitting for " << describe_wait(reply_type, seq)
-               << " (attempt " << attempt + 1 << "/" << attempts << ")";
-    if (telemetry_ != nullptr) {
-      telemetry_->count("rpc.retransmits",
-                        std::string("kind=") + std::string(to_string(original->type)));
-      if (telemetry_->tracing()) {
-        // Attaches to the open client span for this roundtrip, so a slow
-        // call is attributable to retry backoff at a glance.
-        telemetry_->annotate("retransmit " + describe_wait(reply_type, seq) +
-                             " attempt " + std::to_string(attempt + 1) + "/" +
-                             std::to_string(attempts));
-      }
-    }
-    Message again = *original;
-    SRPC_RETURN_IF_ERROR(send(std::move(again)));
-    backoff = std::min(backoff * 2, cfg.max_backoff);
-  }
+  IssueOptions opts;
+  opts.cfg = cfg;
+  opts.idempotent = idempotent;
+  auto seq = issue(std::move(msg), reply_type, std::move(opts));
+  if (!seq) return seq.status();
+  return collect(seq.value(), serve);
 }
 
 Result<MailItem> RpcEndpoint::next() {
-  if (!deferred_.empty()) {
-    MailItem item = std::move(deferred_.front());
-    deferred_.pop_front();
-    return item;
+  while (true) {
+    if (!deferred_.empty()) {
+      MailItem item = std::move(deferred_.front());
+      deferred_.pop_front();
+      return item;
+    }
+    auto item = mailbox_.pop();
+    if (!item) return item;
+    if (!std::holds_alternative<Message>(item.value())) {
+      return std::move(item).value();
+    }
+    Message msg = std::get<Message>(std::move(item).value());
+    if (delivery_hook_) delivery_hook_(msg);
+    // A reply for a slot nobody is actively collecting (an un-got future)
+    // still belongs to that slot, not to the main loop.
+    if (route_reply(msg)) continue;
+    return MailItem(std::move(msg));
   }
-  return mailbox_.pop();
 }
 
 }  // namespace srpc

@@ -204,6 +204,12 @@ TEST_P(CrashCommitTest, LostCommitConvergesOnRetry) {
 
 TEST_P(CrashCommitTest, HalfCommittedEpochRollsForward) {
   a_->run([&](Runtime& rt) {
+    // Sequential commit order: the drop budget below eats exactly B's ack
+    // attempts before C's commit is even issued. Under the parallel
+    // fan-out both commits share the wire and the drops spread across
+    // them (that in-doubt shape is pipeline_fault_test's
+    // PartitionDuringParallelPrepareRollsForward).
+    rt.set_parallel_commit(false);
     dirty_both_homes(rt);
     // B's COMMIT applies but every ack is eaten (3 = max_attempts), so the
     // coordinator stops with B committed and C still staged — the exact

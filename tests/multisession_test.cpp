@@ -322,6 +322,50 @@ TEST_F(MultiSessionTest, ParallelGroundsCommitDisjointSessions) {
   expect_no_leaks();
 }
 
+TEST_F(MultiSessionTest, PipelinedSessionsShareTheHomeWithoutCrosstalk) {
+  build_world(/*faults=*/false);
+  // Two grounds each keep a depth-4 CALL pipeline outstanding against the
+  // one home at the same time, collect out of order, then commit a write
+  // to their own list. The home interleaves both pipelines; every reply
+  // must land in the issuing session's slot (never the sibling's), and the
+  // disjoint writes must commit without arbitration noise.
+  std::atomic<int> collected{0};
+  auto ground = [&collected](std::int64_t which) {
+    return [which, &collected](Runtime& rt) {
+      Session session(rt);
+      // Pipeline sums of lists 2 and 3 — lists neither ground writes, so
+      // the expected values are stable however the commits interleave.
+      constexpr std::int64_t kReadLists[] = {2, 3, 2, 3};
+      std::vector<TypedCallFuture<std::int64_t>> futures;
+      for (std::int64_t w : kReadLists) {
+        auto fut = session.call_async<std::int64_t>(0, "sum", w);
+        ASSERT_TRUE(fut.is_ok()) << fut.status().to_string();
+        futures.push_back(std::move(fut.value()));
+      }
+      EXPECT_EQ(rt.endpoint().inflight(), 4u);
+      for (int i = 3; i >= 0; --i) {
+        auto sum = futures[static_cast<std::size_t>(i)].get();
+        ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+        EXPECT_EQ(sum.value(), original_sum(kReadLists[i]));
+        collected.fetch_add(1, std::memory_order_relaxed);
+      }
+      auto head = session.call<ListNode*>(0, "list", which);
+      ASSERT_TRUE(head.is_ok()) << head.status().to_string();
+      ASSERT_TRUE(session.prefetch(head.value(), 1 << 16).is_ok());
+      head.value()->value = 7000 + which;
+      ASSERT_TRUE(session.end().is_ok());
+    };
+  };
+  world_->run_concurrent({{g1_, ground(0)}, {g2_, ground(1)}});
+  EXPECT_EQ(collected.load(), 8);
+  EXPECT_EQ(home_sum(0), 7000 + 1 + 2);
+  EXPECT_EQ(home_sum(1), 7001 + 101 + 102);
+  const ArbiterStats stats = home_arbiter_stats();
+  EXPECT_EQ(stats.conflicts, 0u);
+  EXPECT_EQ(stats.wounds, 0u);
+  expect_no_leaks();
+}
+
 TEST_F(MultiSessionTest, FaultInjectedParallelSoakLeaksNothing) {
   build_world(/*faults=*/true);
   FaultTransport* fault = world_->fault();

@@ -83,6 +83,15 @@ TEST(SimNetwork, ChargesClockAndCountsMessages) {
   net.attach(1, &box);
   ASSERT_TRUE(net.send(make_message(MessageType::kCall, 0, 1, 1, 68)).is_ok());
   const std::uint64_t wire = kMessageHeaderWireSize + 68;
+  // send() charges only the sender-side marshal cost (zero in this model);
+  // transit + delivery ride on the message as its arrival timestamp, which
+  // the receiver applies with advance_to when it picks the message up.
+  EXPECT_EQ(net.clock().now(), 0u);
+  auto item = box.try_pop();
+  ASSERT_TRUE(item.has_value());
+  const Message& delivered = std::get<Message>(*item);
+  EXPECT_EQ(delivered.arrive_ns, 1000 + wire);
+  net.clock().advance_to(delivered.arrive_ns);
   EXPECT_EQ(net.clock().now(), 1000 + wire);
   net.charge_fault();
   EXPECT_EQ(net.clock().now(), 1000 + wire + 500);
@@ -92,6 +101,24 @@ TEST(SimNetwork, ChargesClockAndCountsMessages) {
   EXPECT_EQ(stats.wire_bytes, wire);
   EXPECT_EQ(stats.count(MessageType::kCall), 1u);
   EXPECT_EQ(stats.count(MessageType::kFetch), 0u);
+}
+
+TEST(SimNetwork, SerializesConcurrentSendsOnTheLink) {
+  SimNetwork net(CostModel{1000, 1, 0, 0});
+  Mailbox box;
+  net.attach(1, &box);
+  ASSERT_TRUE(net.send(make_message(MessageType::kCall, 0, 1, 1, 68)).is_ok());
+  ASSERT_TRUE(net.send(make_message(MessageType::kCall, 0, 1, 2, 68)).is_ok());
+  const std::uint64_t wire = kMessageHeaderWireSize + 68;
+  auto first = box.try_pop();
+  auto second = box.try_pop();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // Two back-to-back frames share one link: the second departs only once
+  // the first has cleared the wire, so their arrivals are staggered by the
+  // wire time even though both were issued at virtual time zero.
+  EXPECT_EQ(std::get<Message>(*first).arrive_ns, wire + 1000);
+  EXPECT_EQ(std::get<Message>(*second).arrive_ns, 2 * wire + 1000);
 }
 
 TEST(SimNetwork, RejectsUnknownDestination) {

@@ -241,5 +241,60 @@ TEST(TraceTreeTest, RetransmitsDoNotForkTheTree) {
   }
 }
 
+TEST(TraceTreeTest, PipelinedAsyncCollectionStaysOneTree) {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  options.cache.closure_bytes = 0;
+  options.tracing = true;
+  World world(options);
+  auto& a = world.create_space("A");
+  auto& b = world.create_space("B");
+  auto& c = world.create_space("C");
+  b.bind("echo", [](CallContext&, std::int64_t v) -> std::int64_t { return v; })
+      .check();
+  c.bind("negate",
+         [](CallContext&, std::int64_t v) -> std::int64_t { return -v; })
+      .check();
+
+  // Three calls on the wire at once, against two peers, collected in
+  // reverse issue order: completions run on whichever pump happens to be
+  // active, yet every async client span must stay parented to the issuing
+  // session — out-of-order collection may not re-parent one call under
+  // another or fork a second trace.
+  a.run([&](Runtime& rt) {
+    Session session(rt);
+    auto f1 = session.call_async<std::int64_t>(b.id(), "echo", std::int64_t{1});
+    auto f2 =
+        session.call_async<std::int64_t>(c.id(), "negate", std::int64_t{2});
+    auto f3 = session.call_async<std::int64_t>(b.id(), "echo", std::int64_t{3});
+    f1.status().check();
+    f2.status().check();
+    f3.status().check();
+    f3.value().get().status().check();
+    f2.value().get().status().check();
+    f1.value().get().status().check();
+    session.end().check();
+    return 0;
+  });
+
+  FlatSpans flat = flatten(world);
+  expect_one_connected_tree(flat);
+
+  // All three async client spans are siblings directly under the session
+  // root, regardless of completion order.
+  std::size_t async_clients = 0;
+  for (const auto& span : flat.all) {
+    if (span.category != "rpc.client" || span.name.find("CALL -> ") != 0) {
+      continue;
+    }
+    ++async_clients;
+    auto parent = flat.by_id.find(span.parent_span_id);
+    ASSERT_NE(parent, flat.by_id.end()) << span.name;
+    EXPECT_EQ(parent->second->category, "session")
+        << span.name << " re-parented under " << parent->second->name;
+  }
+  EXPECT_EQ(async_clients, 3u);
+}
+
 }  // namespace
 }  // namespace srpc
