@@ -1,0 +1,200 @@
+// Ablation — zero-copy shm payload lane vs the legacy XDR byte lane.
+//
+// Beyond the paper: PROTOCOL.md "Zero-copy payload lane". One caller/callee
+// pair per lane runs the identical fig-7-style workload (one session: remote
+// update of every node of the caller's tree, then write-back at session
+// end). Both worlds are built with shm_payload = true so the elevation hook
+// is installed and meters every payload byte; the XDR lane then flips the
+// per-runtime kill switch (Runtime::set_shm_payload(false)), which keeps
+// wire bytes and timing identical to a legacy world while rpc.bytes_copied
+// records the copied-lane traffic.
+//
+// The bench is its own acceptance check (bench_smoke runs it):
+//  * both lanes must compute the same checksum (equal correctness),
+//  * the shm lane must report rpc.bytes_copied == 0 — every non-empty
+//    payload rode the arena — and rpc.bytes_zero_copy > 0,
+//  * the XDR lane must report rpc.bytes_zero_copy == 0,
+//  * after the session ends no arena region may still be live (pins are
+//    released with the last Message/stage that held them).
+// Any violation exits nonzero.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/smart_rpc.hpp"
+#include "harness.hpp"
+#include "net/shm_arena.hpp"
+#include "workload/tree.hpp"
+
+namespace {
+
+using srpc::AddressSpace;
+using srpc::CostModel;
+using srpc::MetricsRegistry;
+using srpc::Runtime;
+using srpc::Session;
+using srpc::ShmArenaStats;
+using srpc::World;
+using srpc::WorldOptions;
+
+std::uint32_t nodes() {
+  static const std::uint32_t n = srpc::bench::node_count_from_env(32767);
+  return n;
+}
+
+std::uint64_t counter_value(const MetricsRegistry& m, const std::string& key) {
+  auto it = m.counters().find(key);
+  return it == m.counters().end() ? 0 : it->second.value;
+}
+
+struct LaneResult {
+  double seconds = 0;
+  std::uint64_t wire_bytes = 0;
+  std::int64_t checksum = 0;
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t bytes_zero_copy = 0;
+  std::uint64_t payloads_published = 0;
+  std::uint64_t publish_fallbacks = 0;
+  ShmArenaStats arena;
+  MetricsRegistry latency;
+  srpc::bench::RobustnessCounters robustness;
+};
+
+LaneResult run_lane(bool shm_on) {
+  WorldOptions options;
+  options.cost = CostModel::sparc_ethernet();
+  options.cache.closure_bytes = 8192;
+  options.cache.page_count = 16384;
+  // Both lanes advertise the capability; the per-runtime kill switch picks
+  // the lane, so the elevation hook meters payload bytes either way.
+  options.shm_payload = true;
+  World world(options);
+  AddressSpace& caller = world.create_space("caller");
+  AddressSpace& callee = world.create_space("callee");
+  srpc::workload::register_tree_type(world).status().check();
+  callee
+      .bind("update",
+            [](srpc::CallContext&, srpc::workload::TreeNode* root,
+               std::uint64_t limit) -> std::int64_t {
+              return srpc::workload::update_prefix(root, limit, 1);
+            })
+      .check();
+  if (!shm_on) {
+    for (AddressSpace* space : {&caller, &callee}) {
+      space->run([](Runtime& rt) {
+        rt.set_shm_payload(false);
+        return 0;
+      });
+    }
+  }
+
+  srpc::workload::TreeNode* root = nullptr;
+  caller.run([&](Runtime& rt) {
+    auto built = srpc::workload::build_complete_tree(rt, nodes());
+    built.status().check();
+    root = built.value();
+    return 0;
+  });
+  world.reset_metering();
+
+  LaneResult r;
+  r.checksum = caller.run([&](Runtime& rt) -> std::int64_t {
+    Session session(rt);
+    auto sum = session.call<std::int64_t>(callee.id(), "update", root,
+                                          static_cast<std::uint64_t>(nodes()));
+    sum.status().check();
+    const std::int64_t value = sum.value();
+    session.end().check();
+    return value;
+  });
+
+  r.seconds = world.virtual_seconds();
+  r.wire_bytes = world.net_stats().wire_bytes;
+  for (AddressSpace* space : {&caller, &callee}) {
+    r.latency.merge(space->run(
+        [](Runtime& rt) -> MetricsRegistry { return rt.metrics(); }));
+    const srpc::RuntimeStats stats =
+        space->run([](Runtime& rt) { return rt.stats(); });
+    r.payloads_published += stats.shm_payloads_published;
+    r.publish_fallbacks += stats.shm_publish_fallbacks;
+    r.robustness.add(stats);
+  }
+  r.bytes_copied = counter_value(r.latency, "rpc.bytes_copied");
+  r.bytes_zero_copy = counter_value(r.latency, "rpc.bytes_zero_copy");
+  r.arena = world.shm_arena()->stats();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  srpc::init_log_level_from_env();
+
+  const LaneResult xdr = run_lane(/*shm_on=*/false);
+  const LaneResult shm = run_lane(/*shm_on=*/true);
+
+  std::vector<std::vector<double>> table;
+  for (const LaneResult* r : {&xdr, &shm}) {
+    table.push_back({r == &shm ? 1.0 : 0.0, r->seconds,
+                     static_cast<double>(r->wire_bytes),
+                     static_cast<double>(r->bytes_copied),
+                     static_cast<double>(r->bytes_zero_copy),
+                     static_cast<double>(r->payloads_published),
+                     static_cast<double>(r->publish_fallbacks),
+                     static_cast<double>(r->checksum)});
+  }
+  srpc::bench::print_table(
+      "Ablation: XDR byte lane (0) vs zero-copy shm lane (1), full-tree "
+      "remote update",
+      {"lane_shm", "seconds", "wire_bytes", "bytes_copied", "bytes_zero_copy",
+       "published", "fallbacks", "checksum"},
+      table);
+  std::printf("shm lane copied payload bytes: %llu (bar: 0)\n",
+              static_cast<unsigned long long>(shm.bytes_copied));
+  std::printf("wire bytes: %llu (xdr) vs %llu (shm)\n",
+              static_cast<unsigned long long>(xdr.wire_bytes),
+              static_cast<unsigned long long>(shm.wire_bytes));
+
+  srpc::bench::RobustnessCounters robustness = xdr.robustness;
+  robustness.merge(shm.robustness);
+  MetricsRegistry latency;
+  latency.merge(xdr.latency);
+  latency.merge(shm.latency);
+  srpc::bench::write_bench_json(
+      "ablation_shm_lane", {{"nodes", static_cast<double>(nodes())}},
+      {"lane_shm", "seconds", "wire_bytes", "bytes_copied", "bytes_zero_copy",
+       "published", "fallbacks", "checksum"},
+      table, robustness, &latency);
+
+  bool ok = true;
+  if (xdr.checksum != shm.checksum) {
+    std::fprintf(stderr, "FAIL: checksum mismatch (xdr %lld vs shm %lld)\n",
+                 static_cast<long long>(xdr.checksum),
+                 static_cast<long long>(shm.checksum));
+    ok = false;
+  }
+  if (shm.bytes_copied != 0) {
+    std::fprintf(stderr, "FAIL: shm lane copied %llu payload bytes\n",
+                 static_cast<unsigned long long>(shm.bytes_copied));
+    ok = false;
+  }
+  if (shm.bytes_zero_copy == 0 || shm.payloads_published == 0) {
+    std::fprintf(stderr, "FAIL: shm lane elevated nothing\n");
+    ok = false;
+  }
+  if (xdr.bytes_zero_copy != 0) {
+    std::fprintf(stderr, "FAIL: XDR lane leaked %llu bytes onto the shm lane\n",
+                 static_cast<unsigned long long>(xdr.bytes_zero_copy));
+    ok = false;
+  }
+  for (const LaneResult* r : {&xdr, &shm}) {
+    if (r->arena.regions_live != 0) {
+      std::fprintf(stderr, "FAIL: %llu arena regions still live after quiesce\n",
+                   static_cast<unsigned long long>(r->arena.regions_live));
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -42,23 +42,35 @@ constexpr std::uint64_t kClosureSizes[] = {0,    256,   512,   1024,  2048,
 constexpr std::uint32_t kPaths = 10;
 constexpr std::uint64_t kSeed = 424242;
 
-TreeExperiment& experiment(std::size_t size_index) {
-  static std::unique_ptr<TreeExperiment> cache[3];
-  if (!cache[size_index]) {
-    cache[size_index] = std::make_unique<TreeExperiment>(tree_sizes()[size_index]);
+// `shm` repeats the sweep over the zero-copy payload lane (PROTOCOL.md
+// "Zero-copy payload lane"): closures and replies travel as arena views
+// charged 20 descriptor bytes on the wire instead of their full size.
+TreeExperiment& experiment(std::size_t size_index, bool shm = false) {
+  static std::unique_ptr<TreeExperiment> cache[3][2];
+  auto& slot = cache[size_index][shm ? 1 : 0];
+  if (!slot) {
+    slot = std::make_unique<TreeExperiment>(tree_sizes()[size_index], 8192, shm);
   }
-  return *cache[size_index];
+  return *slot;
 }
 
-// Counters summed across the three cached tree-size experiments.
+// Counters summed across the cached experiments (both lanes).
 srpc::bench::RobustnessCounters robustness_total() {
   srpc::bench::RobustnessCounters r;
-  for (std::size_t i = 0; i < 3; ++i) r.merge(experiment(i).robustness());
+  for (std::size_t i = 0; i < 3; ++i) {
+    r.merge(experiment(i, false).robustness());
+    r.merge(experiment(i, true).robustness());
+  }
   return r;
 }
 
-// closure -> per-tree-size seconds
+// closure -> per-tree-size seconds (legacy byte lane / shm lane)
 std::map<std::uint64_t, std::map<std::uint32_t, double>>& rows() {
+  static std::map<std::uint64_t, std::map<std::uint32_t, double>> r;
+  return r;
+}
+
+std::map<std::uint64_t, std::map<std::uint32_t, double>>& rows_shm() {
   static std::map<std::uint64_t, std::map<std::uint32_t, double>> r;
   return r;
 }
@@ -73,14 +85,18 @@ std::map<std::uint64_t, std::array<double, 2>>& hit_miss() {
 void BM_ClosureSweep(benchmark::State& state) {
   const auto size_index = static_cast<std::size_t>(state.range(0));
   const std::uint64_t closure = kClosureSizes[state.range(1)];
-  TreeExperiment& exp = experiment(size_index);
+  const bool shm = state.range(2) != 0;
+  TreeExperiment& exp = experiment(size_index, shm);
   exp.set_closure_bytes(closure);
   for (auto _ : state) {
     Measurement m = exp.run_paths(kPaths, kSeed);
     state.SetIterationTime(m.seconds);
-    rows()[closure][exp.node_count()] = m.seconds;
-    hit_miss()[closure][0] += static_cast<double>(m.closure_hits);
-    hit_miss()[closure][1] += static_cast<double>(m.closure_misses);
+    (shm ? rows_shm() : rows())[closure][exp.node_count()] = m.seconds;
+    if (!shm) {
+      // Prefetch effectiveness is lane-independent; count it once.
+      hit_miss()[closure][0] += static_cast<double>(m.closure_hits);
+      hit_miss()[closure][1] += static_cast<double>(m.closure_misses);
+    }
     state.counters["fetches"] = static_cast<double>(m.fetches);
     state.counters["closure_hits"] = static_cast<double>(m.closure_hits);
     state.counters["closure_misses"] = static_cast<double>(m.closure_misses);
@@ -88,7 +104,7 @@ void BM_ClosureSweep(benchmark::State& state) {
 }
 
 BENCHMARK(BM_ClosureSweep)
-    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}})
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {0, 1}})
     ->UseManualTime()
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
@@ -108,6 +124,11 @@ int main(int argc, char** argv) {
       auto it = by_size.find(size);
       row.push_back(it == by_size.end() ? 0.0 : it->second);
     }
+    for (const std::uint32_t size : tree_sizes()) {
+      const auto& by_size_shm = rows_shm()[closure];
+      auto it = by_size_shm.find(size);
+      row.push_back(it == by_size_shm.end() ? 0.0 : it->second);
+    }
     row.push_back(hit_miss()[closure][0]);
     row.push_back(hit_miss()[closure][1]);
     table.push_back(row);
@@ -116,13 +137,19 @@ int main(int argc, char** argv) {
   for (const std::uint32_t size : tree_sizes()) {
     columns.push_back(std::to_string(size) + "_nodes");
   }
+  for (const std::uint32_t size : tree_sizes()) {
+    columns.push_back(std::to_string(size) + "_nodes_shm");
+  }
   columns.push_back("closure_prefetch_hits");
   columns.push_back("closure_prefetch_misses");
   srpc::bench::print_table(
       "Figure 6: processing time (virtual s) vs closure size (KiB), 10 searches",
       columns, table);
   srpc::MetricsRegistry latency;
-  for (std::size_t i = 0; i < 3; ++i) latency.merge(experiment(i).latency());
+  for (std::size_t i = 0; i < 3; ++i) {
+    latency.merge(experiment(i, false).latency());
+    latency.merge(experiment(i, true).latency());
+  }
   srpc::bench::write_bench_json("fig6_closure",
                                 {{"paths", static_cast<double>(kPaths)}},
                                 columns, table, robustness_total(), &latency);

@@ -41,8 +41,17 @@ TreeExperiment& experiment() {
   return e;
 }
 
-std::map<int, std::array<double, 2>>& rows() {
-  static std::map<int, std::array<double, 2>> r;
+// Same workload over the zero-copy payload lane (PROTOCOL.md "Zero-copy
+// payload lane"): payloads ride the shared arena as 20-byte descriptors, so
+// the update curve's write-back traffic stops paying per-byte wire cost.
+TreeExperiment& experiment_shm() {
+  static TreeExperiment e(nodes(), kClosureBytes, /*shm_payload=*/true);
+  return e;
+}
+
+// tenth -> {updated, visited-only, updated on the shm lane}
+std::map<int, std::array<double, 3>>& rows() {
+  static std::map<int, std::array<double, 3>> r;
   return r;
 }
 
@@ -76,6 +85,17 @@ void BM_VisitedOnly(benchmark::State& state) {
   }
 }
 
+void BM_UpdatedShm(benchmark::State& state) {
+  const auto tenth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Measurement m =
+        experiment_shm().run_proposed(limit_for(tenth), /*update=*/true);
+    state.SetIterationTime(m.seconds);
+    rows()[tenth][2] = m.seconds;
+    state.counters["modified_bytes"] = static_cast<double>(m.modified_bytes);
+  }
+}
+
 void BM_SparseDelta(benchmark::State& state) {
   const auto stride = static_cast<std::uint64_t>(state.range(0));
   experiment().set_modified_deltas(true);
@@ -105,6 +125,7 @@ void BM_SparseFull(benchmark::State& state) {
 
 BENCHMARK(BM_Updated)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VisitedOnly)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UpdatedShm)->DenseRange(0, 10)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SparseDelta)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SparseFull)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
@@ -120,18 +141,28 @@ int main(int argc, char** argv) {
   for (const auto& [tenth, methods] : rows()) {
     const double updated = methods[0];
     const double visited = methods[1];
+    const double updated_shm = methods[2];
     table.push_back({tenth / 10.0, updated, visited,
-                     visited > 0 ? updated / visited : 0.0});
+                     visited > 0 ? updated / visited : 0.0, updated_shm,
+                     updated_shm > 0 ? updated / updated_shm : 0.0});
   }
   srpc::bench::print_table(
       "Figure 7: update vs visit-only processing time (virtual s)",
-      {"ratio", "updated", "visited_only", "update/visit"}, table);
+      {"ratio", "updated", "visited_only", "update/visit", "updated_shm",
+       "wb_speedup"},
+      table);
+  srpc::bench::RobustnessCounters robustness = experiment().robustness();
+  robustness.merge(experiment_shm().robustness());
+  srpc::MetricsRegistry latency;
+  latency.merge(experiment().latency());
+  latency.merge(experiment_shm().latency());
   srpc::bench::write_bench_json(
       "fig7_update",
       {{"nodes", static_cast<double>(nodes())},
        {"closure_bytes", static_cast<double>(kClosureBytes)}},
-      {"ratio", "updated_s", "visited_only_s", "update_over_visit"}, table,
-      experiment().robustness(), &experiment().latency());
+      {"ratio", "updated_s", "visited_only_s", "update_over_visit",
+       "updated_shm_s", "wb_speedup"},
+      table, robustness, &latency);
 
   std::vector<std::vector<double>> sparse;
   for (const auto& [stride, bytes] : sparse_rows()) {

@@ -170,6 +170,19 @@ CommitPoint run_fanout(Fig9World& w, std::uint32_t fanout, bool parallel) {
   });
 }
 
+// Folds a finished world's rpc.roundtrip_ns{kind=...} histograms into the
+// run-wide accumulator (worlds are per data point, so harvest before each
+// one is destroyed) — this is what fills BENCH_fig9_pipeline.json's
+// latency_ns section.
+void collect_latency(Fig9World& w, srpc::MetricsRegistry& latency) {
+  latency.merge(w.ground->run(
+      [](Runtime& rt) -> srpc::MetricsRegistry { return rt.metrics(); }));
+  for (AddressSpace* h : w.homes) {
+    latency.merge(h->run(
+        [](Runtime& rt) -> srpc::MetricsRegistry { return rt.metrics(); }));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -178,6 +191,7 @@ int main() {
   std::vector<std::vector<double>> table;
   double overlap_depth4 = 0;
   double fanout8_speedup = 0;
+  srpc::MetricsRegistry latency;
 
   // One world per mode+axis point so caches, leases, and contact state
   // never leak between rows (the virtual clock only ever moves forward;
@@ -190,6 +204,7 @@ int main() {
     if (depth == 4) overlap_depth4 = overlap;
     table.push_back({0.0, static_cast<double>(depth), blocking_s, pipelined_s,
                      overlap, 0.0, 0.0});
+    collect_latency(world, latency);
   }
 
   srpc::bench::RobustnessCounters robustness;
@@ -211,6 +226,8 @@ int main() {
       point.add(h->run([](Runtime& rt) { return rt.stats(); }));
     }
     robustness.merge(point);
+    collect_latency(seq_world, latency);
+    collect_latency(world, latency);
   }
 
   srpc::bench::print_table(
@@ -231,6 +248,6 @@ int main() {
        {"fanout8_speedup", fanout8_speedup}},
       {"experiment", "x", "baseline_s", "async_s", "speedup",
        "p95_baseline_ms", "p95_async_ms"},
-      table, robustness);
+      table, robustness, &latency);
   return overlap_depth4 > 2.0 ? 0 : 1;
 }

@@ -90,11 +90,15 @@ inline std::uint32_t node_count_from_env(std::uint32_t fallback) {
 class TreeExperiment {
  public:
   explicit TreeExperiment(std::uint32_t node_count,
-                          std::uint64_t closure_bytes = 8192)
+                          std::uint64_t closure_bytes = 8192,
+                          bool shm_payload = false)
       : node_count_(node_count) {
     WorldOptions options;
     options.cost = CostModel::sparc_ethernet();
     options.cache.closure_bytes = closure_bytes;
+    // Zero-copy payload lane (opt-in): payloads travel as arena views and
+    // shm-lane messages are charged header+descriptor wire bytes only.
+    options.shm_payload = shm_payload;
     // 65535 nodes at ~36 B/slot plus prefetch slack: 64 Mi arena suffices.
     options.cache.page_count = 16384;
     world_ = std::make_unique<World>(options);
@@ -200,6 +204,20 @@ class TreeExperiment {
     });
     callee_->run([&](Runtime& rt) {
       rt.cache().set_closure_bytes(bytes).check();
+      return 0;
+    });
+  }
+
+  // Ablation switch over a shm-enabled world: off sends every payload down
+  // the legacy byte lane (elevation disabled, capability still advertised).
+  // No effect unless the experiment was built with shm_payload = true.
+  void set_shm_payload(bool on) {
+    caller_->run([&](Runtime& rt) {
+      rt.set_shm_payload(on);
+      return 0;
+    });
+    callee_->run([&](Runtime& rt) {
+      rt.set_shm_payload(on);
       return 0;
     });
   }

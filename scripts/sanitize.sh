@@ -56,4 +56,8 @@ ctest --test-dir "${BUILD}" --output-on-failure -L obs
 # single-consumer guard are the racy surfaces TSan must see; the fault half
 # of the matrix (pipeline_fault_test) already ran under -L fault above.
 ctest --test-dir "${BUILD}" --output-on-failure -L pipeline -LE fault
-ctest --test-dir "${BUILD}" --output-on-failure -LE "fault|obs|pipeline" "$@"
+# Zero-copy payload lane: the arena refcounts and the borrowed ByteBuffer's
+# copy-on-write are exactly what ASan/LSan (leaked pins) and TSan
+# (cross-thread release of the last view) exist to check.
+ctest --test-dir "${BUILD}" --output-on-failure -L shm
+ctest --test-dir "${BUILD}" --output-on-failure -LE "fault|obs|pipeline|shm" "$@"

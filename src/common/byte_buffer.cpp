@@ -1,15 +1,61 @@
 #include "common/byte_buffer.hpp"
 
 #include <cstring>
+#include <utility>
 
 namespace srpc {
 
+std::atomic<std::uint64_t> ByteBuffer::owned_copies_{0};
+
+ByteBuffer::ByteBuffer(const ByteBuffer& other)
+    : bytes_(other.bytes_),
+      ext_(other.ext_),
+      ext_size_(other.ext_size_),
+      keepalive_(other.keepalive_),
+      cursor_(other.cursor_) {
+  if (!other.borrowed() && !other.bytes_.empty()) {
+    owned_copies_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ByteBuffer& ByteBuffer::operator=(const ByteBuffer& other) {
+  if (this == &other) return *this;
+  bytes_ = other.bytes_;
+  ext_ = other.ext_;
+  ext_size_ = other.ext_size_;
+  keepalive_ = other.keepalive_;
+  cursor_ = other.cursor_;
+  if (!other.borrowed() && !other.bytes_.empty()) {
+    owned_copies_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+ByteBuffer ByteBuffer::borrow(std::span<const std::uint8_t> data,
+                              std::shared_ptr<const void> keepalive) {
+  ByteBuffer buf;
+  buf.ext_ = data.data();
+  buf.ext_size_ = data.size();
+  buf.keepalive_ = std::move(keepalive);
+  return buf;
+}
+
+void ByteBuffer::detach() {
+  if (!borrowed()) return;
+  bytes_.assign(ext_, ext_ + ext_size_);
+  ext_ = nullptr;
+  ext_size_ = 0;
+  keepalive_.reset();
+}
+
 void ByteBuffer::append(const void* data, std::size_t len) {
+  if (borrowed()) detach();
   const auto* p = static_cast<const std::uint8_t*>(data);
   bytes_.insert(bytes_.end(), p, p + len);
 }
 
 std::size_t ByteBuffer::append_zeros(std::size_t len) {
+  if (borrowed()) detach();
   const std::size_t offset = bytes_.size();
   bytes_.resize(bytes_.size() + len, 0);
   return offset;
@@ -20,7 +66,7 @@ Status ByteBuffer::read(void* out, std::size_t len) {
     return out_of_range("ByteBuffer::read past end (" + std::to_string(len) +
                         " wanted, " + std::to_string(remaining()) + " left)");
   }
-  std::memcpy(out, bytes_.data() + cursor_, len);
+  std::memcpy(out, data() + cursor_, len);
   cursor_ += len;
   return Status::ok();
 }
@@ -29,23 +75,42 @@ Result<std::span<const std::uint8_t>> ByteBuffer::read_view(std::size_t len) {
   if (remaining() < len) {
     return out_of_range("ByteBuffer::read_view past end");
   }
-  std::span<const std::uint8_t> view(bytes_.data() + cursor_, len);
+  std::span<const std::uint8_t> view(data() + cursor_, len);
   cursor_ += len;
   return view;
 }
 
 void ByteBuffer::set_cursor(std::size_t pos) {
-  if (pos > bytes_.size()) {
+  if (pos > size()) {
     throw std::logic_error("ByteBuffer::set_cursor out of range");
   }
   cursor_ = pos;
 }
 
-void ByteBuffer::overwrite(std::size_t offset, const void* data, std::size_t len) {
+void ByteBuffer::overwrite(std::size_t offset, const void* src, std::size_t len) {
+  if (borrowed()) detach();
   if (offset + len > bytes_.size()) {
     throw std::logic_error("ByteBuffer::overwrite out of range");
   }
-  std::memcpy(bytes_.data() + offset, data, len);
+  std::memcpy(bytes_.data() + offset, src, len);
+}
+
+std::vector<std::uint8_t> ByteBuffer::take_bytes() {
+  if (borrowed()) detach();
+  std::vector<std::uint8_t> out = std::move(bytes_);
+  clear();
+  return out;
+}
+
+ByteBuffer ByteBuffer::slice_remaining() const {
+  if (borrowed()) {
+    // Shares the keepalive: the slice pins the same arena region and costs
+    // no bytes — this is how WB_PREPARE stages a view without copying.
+    return ByteBuffer::borrow({data() + cursor_, remaining()}, keepalive_);
+  }
+  ByteBuffer out;
+  out.bytes_.assign(data() + cursor_, data() + cursor_ + remaining());
+  return out;
 }
 
 }  // namespace srpc

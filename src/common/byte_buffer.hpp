@@ -1,9 +1,23 @@
 // Growable byte buffer with a separate read cursor. The single container
 // used for wire payloads: XDR encoders append to it, decoders consume it.
+//
+// Two storage modes:
+//  * owned — the default; bytes live in an internal vector and mutate freely.
+//  * borrowed — the buffer reads straight out of foreign const memory (a
+//    shm-arena region, see net/shm_arena.hpp) and holds a keepalive that
+//    pins it. Decoders work unchanged; the first mutation (or request for a
+//    mutable pointer) detaches into an owned private copy, so borrowed
+//    buffers are copy-on-write rather than a new API surface.
+//
+// Copying a buffer with owned bytes is a real allocation+memcpy; a global
+// counter tallies those so tests can assert the send path stays move-only.
+// Copying a borrowed buffer just bumps the keepalive refcount — not counted.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,9 +30,26 @@ class ByteBuffer {
   ByteBuffer() = default;
   explicit ByteBuffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
 
+  ByteBuffer(const ByteBuffer& other);
+  ByteBuffer& operator=(const ByteBuffer& other);
+  ByteBuffer(ByteBuffer&&) noexcept = default;
+  ByteBuffer& operator=(ByteBuffer&&) noexcept = default;
+  ~ByteBuffer() = default;
+
+  // Wraps foreign const memory without copying. `keepalive` (if any) is
+  // held until this buffer is destroyed, detached, or reassigned — for
+  // arena-backed payloads it is the region pin.
+  static ByteBuffer borrow(std::span<const std::uint8_t> data,
+                           std::shared_ptr<const void> keepalive = {});
+
+  [[nodiscard]] bool borrowed() const noexcept { return ext_ != nullptr; }
+
   void append(const void* data, std::size_t len);
   void append(std::span<const std::uint8_t> data) { append(data.data(), data.size()); }
-  void append_byte(std::uint8_t b) { bytes_.push_back(b); }
+  void append_byte(std::uint8_t b) {
+    if (borrowed()) detach();
+    bytes_.push_back(b);
+  }
 
   // Appends `len` zero bytes and returns the offset where they start.
   std::size_t append_zeros(std::size_t len);
@@ -26,7 +57,10 @@ class ByteBuffer {
   // Pre-grows capacity for `extra` more bytes beyond the current size, so a
   // known-size burst of appends reallocates at most once instead of
   // geometrically.
-  void reserve(std::size_t extra) { bytes_.reserve(bytes_.size() + extra); }
+  void reserve(std::size_t extra) {
+    if (borrowed()) detach();
+    bytes_.reserve(bytes_.size() + extra);
+  }
 
   // Reads `len` bytes at the cursor into `out`, advancing the cursor.
   Status read(void* out, std::size_t len);
@@ -38,14 +72,22 @@ class ByteBuffer {
   [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
   void set_cursor(std::size_t pos);
 
-  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
-  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - cursor_; }
-  [[nodiscard]] bool exhausted() const noexcept { return cursor_ >= bytes_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return borrowed() ? ext_size_ : bytes_.size();
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size() - cursor_; }
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ >= size(); }
 
-  [[nodiscard]] std::uint8_t* data() noexcept { return bytes_.data(); }
-  [[nodiscard]] const std::uint8_t* data() const noexcept { return bytes_.data(); }
+  // Mutable access materialises a private copy of borrowed bytes first.
+  [[nodiscard]] std::uint8_t* data() noexcept {
+    if (borrowed()) detach();
+    return bytes_.data();
+  }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return borrowed() ? ext_ : bytes_.data();
+  }
   [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
-    return {bytes_.data(), bytes_.size()};
+    return {data(), size()};
   }
 
   // Overwrites bytes at an absolute offset (used for back-patching lengths).
@@ -53,14 +95,46 @@ class ByteBuffer {
 
   void clear() noexcept {
     bytes_.clear();
+    ext_ = nullptr;
+    ext_size_ = 0;
+    keepalive_.reset();
     cursor_ = 0;
   }
 
-  [[nodiscard]] std::vector<std::uint8_t>& bytes() noexcept { return bytes_; }
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t>& bytes() noexcept {
+    if (borrowed()) detach();
+    return bytes_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    // Borrowed buffers have no vector; const access materialises lazily is
+    // not possible here, so detach in the non-const overload instead.
+    return bytes_;
+  }
+
+  // Moves the owned bytes out (materialising borrowed bytes first) and
+  // leaves the buffer empty. The sender-side hand-off into ShmArena.
+  std::vector<std::uint8_t> take_bytes();
+
+  // A buffer over [cursor, end). Borrowed source: shares the keepalive —
+  // zero-copy. Owned source: copies (the stage has to outlive `this`).
+  // Does not advance the cursor of `this`.
+  [[nodiscard]] ByteBuffer slice_remaining() const;
+
+  // Deep copies of owned, non-empty payload bytes since process start —
+  // the "no accidental copies on the send path" test meter.
+  static std::uint64_t owned_copy_count() noexcept {
+    return owned_copies_.load(std::memory_order_relaxed);
+  }
 
  private:
+  void detach();  // borrowed -> owned private copy, cursor preserved
+
+  static std::atomic<std::uint64_t> owned_copies_;
+
   std::vector<std::uint8_t> bytes_;
+  const std::uint8_t* ext_ = nullptr;  // borrowed-mode storage
+  std::size_t ext_size_ = 0;
+  std::shared_ptr<const void> keepalive_;
   std::size_t cursor_ = 0;
 };
 

@@ -82,6 +82,44 @@ Runtime::Runtime(SpaceId self, std::string name, const ArchModel& arch,
 Status Runtime::init() { return cache_.init(); }
 
 // ---------------------------------------------------------------------------
+// Zero-copy shm payload lane (PROTOCOL.md "Zero-copy payload lane")
+// ---------------------------------------------------------------------------
+
+void Runtime::set_shm_arena(ShmArena* arena) {
+  shm_arena_ = arena;
+  if (arena == nullptr) {
+    endpoint_.set_payload_lane({});
+    return;
+  }
+  endpoint_.set_payload_lane([this](Message& msg) { elevate_payload(msg); });
+}
+
+void Runtime::elevate_payload(Message& msg) {
+  // Retransmits re-enter here with an owned copy of the original bytes and
+  // get a fresh region; a message that somehow already carries a view
+  // passes through untouched. Empty payloads have nothing to elevate.
+  if (msg.shm_backed() || msg.payload.size() == 0) return;
+  const std::uint64_t n = msg.payload.size();
+  const bool eligible = shm_payload_enabled_ && !msg.payload.borrowed() &&
+                        peer_caps_ && (peer_caps_(msg.to) & kCapShmPayload) != 0;
+  if (eligible) {
+    std::vector<std::uint8_t> bytes = msg.payload.take_bytes();
+    auto published = shm_arena_->publish(std::move(bytes));
+    if (published) {
+      msg.view = std::move(published).value();
+      ++stats_.shm_payloads_published;
+      telemetry_.count("rpc.bytes_zero_copy", {}, n);
+      return;
+    }
+    // Arena full: `bytes` is untouched (publish checks capacity before
+    // adopting), put it back and take the byte lane.
+    msg.payload = ByteBuffer(std::move(bytes));
+    ++stats_.shm_publish_fallbacks;
+  }
+  telemetry_.count("rpc.bytes_copied", {}, n);
+}
+
+// ---------------------------------------------------------------------------
 // Session-state resolution (multi-session mode)
 // ---------------------------------------------------------------------------
 
@@ -956,6 +994,8 @@ std::string Runtime::metrics_json() {
   set("runtime.session_teardown_failures", stats_.session_teardown_failures);
   set("runtime.sessions_committed", stats_.sessions_committed);
   set("runtime.wb_conflicts", stats_.wb_conflicts);
+  set("runtime.shm_payloads_published", stats_.shm_payloads_published);
+  set("runtime.shm_publish_fallbacks", stats_.shm_publish_fallbacks);
   // Cache counters summed across the default cache and every live
   // per-session overlay (an overlay's counters leave the sum when its
   // session closes — sample before teardown for per-session numbers).
@@ -1794,10 +1834,11 @@ Status Runtime::serve_wb_prepare(Message msg) {
       // bytes) the modified-set section. Nothing is applied yet.
       shadow.epoch = epoch.value();
       shadow.from = msg.from;
-      shadow.staged.clear();
-      auto rest = msg.payload.read_view(msg.payload.remaining());
-      if (!rest) return send_error(msg.from, msg.session, msg.seq, rest.status());
-      shadow.staged.append(rest.value());
+      // Shm-lane prepare: the slice borrows the arena region and shares
+      // its pin, so staging costs zero bytes and the region stays alive
+      // exactly until WB_COMMIT/WB_ABORT (or dead-peer cleanup) erases
+      // this shadow entry. Byte-lane prepare: a plain copy, as before.
+      shadow.staged = msg.payload.slice_remaining();
     }
     // A prepare older than the current stage is a straggler from an
     // abandoned attempt: ignore its bytes but still ack (the retransmit

@@ -85,6 +85,9 @@ struct RuntimeStats {
   // arbitration").
   std::uint64_t sessions_committed = 0;  // end_session() completions here
   std::uint64_t wb_conflicts = 0;        // WB_PREPAREs we lost (client side)
+  // Zero-copy shm payload lane (PROTOCOL.md "Zero-copy payload lane").
+  std::uint64_t shm_payloads_published = 0;  // payloads elevated to views
+  std::uint64_t shm_publish_fallbacks = 0;   // arena full -> byte lane
 };
 
 class Runtime final : public PageFetcher,
@@ -178,6 +181,23 @@ class Runtime final : public PageFetcher,
   // ablation). Flip only between sessions.
   [[nodiscard]] bool parallel_commit() const noexcept { return parallel_commit_; }
   void set_parallel_commit(bool on) noexcept { parallel_commit_ = on; }
+
+  // --- zero-copy shm payload lane (PROTOCOL.md "Zero-copy payload lane") ----
+
+  // Attaches the world's shared arena and installs the payload elevator on
+  // the endpoint's send choke point (every outbound message funnels
+  // through it, including retransmits). nullptr detaches. Call before
+  // start() — the elevator runs on the worker thread only.
+  void set_shm_arena(ShmArena* arena);
+  [[nodiscard]] ShmArena* shm_arena() const noexcept { return shm_arena_; }
+
+  // Kill switch over the attached arena: elevation happens only while
+  // enabled (default on). Flipping it off mid-run is safe — in-flight
+  // views drain normally, new sends take the byte lane.
+  void set_shm_payload(bool on) noexcept { shm_payload_enabled_ = on; }
+  [[nodiscard]] bool shm_payload_enabled() const noexcept {
+    return shm_payload_enabled_;
+  }
 
   // --- failure containment --------------------------------------------------
 
@@ -451,6 +471,12 @@ class Runtime final : public PageFetcher,
     });
   }
 
+  // Send-side shm elevation: publishes an owned, non-empty payload into the
+  // arena for kCapShmPayload peers and swaps it for a view descriptor;
+  // otherwise counts the bytes as copied (rpc.bytes_copied). Installed on
+  // RpcEndpoint's payload lane by set_shm_arena().
+  void elevate_payload(Message& msg);
+
   Status dispatch(Message msg);
   // The serve half of dispatch (the main type switch), split out so
   // dispatch can wrap it in a server span parented to the message's
@@ -593,6 +619,10 @@ class Runtime final : public PageFetcher,
   std::uint64_t session_counter_ = 0;
   bool running_ = false;
   RuntimeStats stats_;
+
+  // --- zero-copy shm payload lane --------------------------------------------
+  ShmArena* shm_arena_ = nullptr;  // owned by the World; null = byte lane only
+  bool shm_payload_enabled_ = true;
 
   // --- concurrent multi-session runtime --------------------------------------
   bool multi_session_ = false;

@@ -26,6 +26,9 @@ World::World(WorldOptions options)
                             : static_cast<Transport&>(*hub_);
     fault_ = std::make_unique<FaultTransport>(inner);
   }
+  if (options_.shm_payload) {
+    shm_arena_ = std::make_unique<ShmArena>(options_.shm_arena_bytes);
+  }
 }
 
 World::~World() {
@@ -48,7 +51,8 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
     return ids;
   };
   // Capability advertisement is evaluated per send, so a later create_space
-  // with a foreign ArchModel retracts the delta capability world-wide.
+  // with a foreign ArchModel retracts the arch-dependent capabilities
+  // world-wide.
   auto peer_caps = [this](SpaceId) -> std::uint32_t {
     std::uint32_t caps = 0;
     if (options_.two_phase_writeback) caps |= kCapTwoPhaseWriteBack;
@@ -59,14 +63,19 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
     if (options_.multi_session && options_.two_phase_writeback) {
       caps |= kCapMultiSession;
     }
-    if (options_.modified_deltas) {
-      caps |= kCapModifiedDelta;
+    if (options_.modified_deltas || options_.shm_payload) {
+      bool uniform_arch = true;
       for (const auto& s : spaces_) {
         if (!(s->runtime().arch() == spaces_.front()->runtime().arch())) {
-          caps &= ~kCapModifiedDelta;
+          uniform_arch = false;
           break;
         }
       }
+      // Both capabilities ship sender-native layouts, so a single foreign
+      // ArchModel retracts them: delta offsets index the sender's layout,
+      // and an arena view hands the receiver the sender's raw encoding.
+      if (options_.modified_deltas && uniform_arch) caps |= kCapModifiedDelta;
+      if (options_.shm_payload && uniform_arch) caps |= kCapShmPayload;
     }
     return caps;
   };
@@ -80,6 +89,9 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
   }
   if (options_.multi_session && options_.two_phase_writeback) {
     space.runtime().set_multi_session(true);  // before start(): no worker yet
+  }
+  if (shm_arena_) {
+    space.runtime().set_shm_arena(shm_arena_.get());  // before start()
   }
 
   if (sim_) {

@@ -64,6 +64,14 @@ struct WorldOptions {
   // Advertised as kCapMultiSession only together with two_phase_writeback —
   // arbitration happens at WB_PREPARE, so it needs the staged commit.
   bool multi_session = false;
+  // Zero-copy payload lane: the world owns one ShmArena and every space
+  // advertises kCapShmPayload, so payloads between same-architecture peers
+  // travel as refcounted arena views (20-byte descriptors on the wire)
+  // instead of marshalled bytes. Mixed-arch worlds retract the capability
+  // automatically, exactly like modified_deltas. Off by default: the lane
+  // changes wire-byte accounting, so it is opt-in per World.
+  bool shm_payload = false;
+  std::size_t shm_arena_bytes = 64ULL << 20;  // live-bytes budget of the arena
 };
 
 class World {
@@ -92,6 +100,9 @@ class World {
 
   // Fault-injection decorator (null unless options.fault_injection).
   [[nodiscard]] FaultTransport* fault() noexcept { return fault_.get(); }
+
+  // Shared payload arena (null unless options.shm_payload).
+  [[nodiscard]] ShmArena* shm_arena() noexcept { return shm_arena_.get(); }
 
   // Failure-model controls. mark_suspect/mark_dead tell every *other*
   // space's failure detector about `id` (dead is terminal: calls into the
@@ -160,6 +171,7 @@ class World {
   std::unique_ptr<SimNetwork> sim_;
   std::unique_ptr<SocketHub> hub_;
   std::unique_ptr<FaultTransport> fault_;
+  std::unique_ptr<ShmArena> shm_arena_;
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
   bool started_ = false;
 };

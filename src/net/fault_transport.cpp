@@ -23,10 +23,11 @@ bool FaultTransport::cut(const Message& msg) {
   return false;
 }
 
-Status FaultTransport::send(Message msg) {
+Status FaultTransport::send(Message&& msg) {
   bool drop = false;
   bool duplicate = false;
   bool hold = false;
+  bool corrupt = false;
   std::vector<Message> due;  // held messages whose window just expired
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -44,6 +45,12 @@ Status FaultTransport::send(Message msg) {
     }
 
     const auto kind = static_cast<std::uint32_t>(msg.type);
+    if (kind < 32 && pending_corrupts_[kind] > 0) {
+      --pending_corrupts_[kind];
+      corrupt = true;
+      ++stats_.corrupted;
+      if (msg.shm_backed()) ++stats_.shm_downgrades;
+    }
     if (kind < 32 && pending_drops_[kind] > 0) {
       --pending_drops_[kind];
       drop = true;
@@ -77,6 +84,20 @@ Status FaultTransport::send(Message msg) {
       ++stats_.delayed;
       held_.push_back(Held{std::move(msg), options_.delay_window});
     }
+  }
+
+  if (corrupt && !drop) {
+    // Privatise a view-backed payload before damaging it: other pinned
+    // readers of the arena region must keep seeing the original bytes.
+    // The downgraded message travels the legacy lane (full wire price).
+    if (msg.shm_backed()) {
+      msg.bind_view_payload();
+      msg.view.reset();
+    }
+    std::uint8_t* p = msg.payload.data();  // detaches a borrowed buffer
+    for (std::size_t i = 0; i < msg.payload.size(); ++i) p[i] ^= 0xFF;
+    SRPC_DEBUG << "fault: corrupting " << to_string(msg.type) << " "
+               << msg.from << "->" << msg.to << " seq=" << msg.seq;
   }
 
   Status result = Status::ok();
@@ -132,6 +153,7 @@ void FaultTransport::disarm() {
     fuse_ = -1;
     sent_ = 0;
     for (auto& n : pending_drops_) n = 0;
+    for (auto& n : pending_corrupts_) n = 0;
     partitioned_.clear();  // crashes stay: the process is gone for good
   }
   flush();
@@ -141,6 +163,12 @@ void FaultTransport::drop_next(MessageType kind, std::uint32_t n) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto idx = static_cast<std::uint32_t>(kind);
   if (idx < 32) pending_drops_[idx] += n;
+}
+
+void FaultTransport::corrupt_next(MessageType kind, std::uint32_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto idx = static_cast<std::uint32_t>(kind);
+  if (idx < 32) pending_corrupts_[idx] += n;
 }
 
 void FaultTransport::target(std::initializer_list<MessageType> kinds) {

@@ -62,6 +62,8 @@ struct FaultStats {
   std::uint64_t fuse_failures = 0;  // sends refused by the fuse
   std::uint64_t partition_drops = 0;  // losses from partition(dst) cuts
   std::uint64_t crash_drops = 0;      // losses from crash_space(id)
+  std::uint64_t corrupted = 0;        // corrupt_next-injected payload damage
+  std::uint64_t shm_downgrades = 0;   // views privatised before corruption
 };
 
 class FaultTransport final : public Transport {
@@ -69,7 +71,7 @@ class FaultTransport final : public Transport {
   explicit FaultTransport(Transport& inner, FaultOptions options = {})
       : inner_(inner), options_(options), rng_(options.seed) {}
 
-  Status send(Message msg) override;
+  Status send(Message&& msg) override;
 
   // Starts injecting with `options` (reseeds the RNG from options.seed).
   void arm(const FaultOptions& options);
@@ -82,6 +84,14 @@ class FaultTransport final : public Transport {
   // Drops the next `n` sends of `kind`, independent of rates and of
   // arm()/disarm() state.
   void drop_next(MessageType kind, std::uint32_t n);
+
+  // Corrupts the payload of the next `n` sends of `kind` (every byte is
+  // bit-flipped; the receiver sees a decode failure, not a crash). A
+  // shm-backed message is downgraded to a private byte copy first so the
+  // shared arena region — which other pinned views still read — is never
+  // scribbled; the downgrade also re-prices the message at full payload
+  // bytes, i.e. corruption forces the legacy lane.
+  void corrupt_next(MessageType kind, std::uint32_t n);
 
   // Restricts rate-based injection to the listed kinds (default: all).
   void target(std::initializer_list<MessageType> kinds);
@@ -122,6 +132,7 @@ class FaultTransport final : public Transport {
   bool armed_ = false;
   std::uint32_t target_mask_ = 0;  // bit per MessageType value; 0 = all
   std::uint32_t pending_drops_[32] = {};
+  std::uint32_t pending_corrupts_[32] = {};
   int fuse_ = -1;  // <0: disabled
   int sent_ = 0;
   struct Held {

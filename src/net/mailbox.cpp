@@ -14,7 +14,7 @@ Status Mailbox::push_item(MailItem item) {
   return Status::ok();
 }
 
-Status Mailbox::push(Message msg) { return push_item(std::move(msg)); }
+Status Mailbox::push(Message&& msg) { return push_item(std::move(msg)); }
 
 Status Mailbox::push_task(Task task) {
   if (!task) {

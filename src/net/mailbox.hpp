@@ -35,8 +35,9 @@ class Mailbox {
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  // Enqueues a message; wakes one waiter. Fails after close().
-  Status push(Message msg);
+  // Enqueues a message; wakes one waiter. Fails after close(). Move-only:
+  // the queue adopts the payload, it is never duplicated on the way in.
+  Status push(Message&& msg);
 
   // Enqueues a local task for the owning thread.
   Status push_task(Task task);

@@ -12,6 +12,7 @@
 
 #include "common/byte_buffer.hpp"
 #include "common/ids.hpp"
+#include "net/shm_arena.hpp"
 #include "obs/trace_context.hpp"
 
 namespace srpc {
@@ -55,18 +56,41 @@ struct Message {
   // wire and not part of wire_size().
   std::uint64_t arrive_ns = 0;
   ByteBuffer payload;
+  // Zero-copy lane (PROTOCOL.md "Zero-copy payload lane"): when valid, the
+  // payload bytes live in a shared arena region and only this descriptor
+  // crosses the wire; `payload` is empty in flight and the receiver binds
+  // it back over the region with bind_view_payload(). The view's hold is
+  // the pin — a dropped message releases the region by plain destruction.
+  PayloadView view;
+
+  [[nodiscard]] bool shm_backed() const noexcept { return view.valid(); }
+
+  // Receiver edge: rebind `payload` as a borrowed buffer over the arena
+  // region so every handler decodes exactly as if the bytes had been
+  // framed. The buffer shares the pin, so moving the payload out of the
+  // message (e.g. into a cache fill) keeps the region alive.
+  void bind_view_payload() {
+    if (!shm_backed()) return;
+    payload = ByteBuffer::borrow(view.bytes(), view.hold);
+  }
 
   [[nodiscard]] std::size_t wire_size() const noexcept;
 };
 
 // Fixed per-message wire overhead (header fields as framed by rpc/wire.cpp).
 inline constexpr std::size_t kMessageHeaderWireSize = 32;
+// Shm-lane descriptor: arena_id u32 | region u64 | offset u32 | len u32.
+inline constexpr std::size_t kShmDescriptorWireSize = 20;
 
 inline std::size_t Message::wire_size() const noexcept {
   // The trace-context extension is charged only when attached, so runs
   // with tracing off price (and simulate) identically to pre-trace builds.
+  // Shm-lane messages are charged header + descriptor only: the payload
+  // bytes never cross the wire, which is the whole point of the lane.
+  const std::size_t body =
+      shm_backed() ? kShmDescriptorWireSize : payload.size();
   return kMessageHeaderWireSize + (trace.valid() ? kTraceContextWireSize : 0) +
-         payload.size();
+         body;
 }
 
 }  // namespace srpc

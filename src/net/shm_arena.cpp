@@ -1,0 +1,141 @@
+#include "net/shm_arena.hpp"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace srpc {
+
+// Live-arena registry: maps arena_id to its state so a socket frame's
+// descriptor can be redeemed by id alone. Weak pointers — a destroyed
+// World's arena drops out and late claims fail cleanly.
+namespace {
+std::mutex g_registry_mu;
+std::uint32_t g_next_arena_id = 1;
+std::unordered_map<std::uint32_t, std::weak_ptr<ShmArena::State>>* g_registry;
+}  // namespace
+
+struct ShmArena::State {
+  explicit State(std::size_t cap) : capacity(cap) {}
+
+  mutable std::mutex mu;
+  const std::size_t capacity;
+  std::uint32_t arena_id = 0;
+  std::uint64_t next_region = 1;
+  std::uint64_t next_ticket = 1;
+  ShmArenaStats stats;
+  // Views parked while their descriptor crosses a socket frame.
+  std::unordered_map<std::uint64_t, PayloadView> stashed;
+
+  void on_release(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++stats.regions_released;
+    --stats.regions_live;
+    stats.bytes_live -= n;
+  }
+};
+
+ShmArena::ShmArena(std::size_t capacity_bytes)
+    : state_(std::make_shared<State>(capacity_bytes)) {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  if (g_registry == nullptr) {
+    g_registry =
+        new std::unordered_map<std::uint32_t, std::weak_ptr<State>>();
+  }
+  state_->arena_id = g_next_arena_id++;
+  (*g_registry)[state_->arena_id] = state_;
+}
+
+ShmArena::~ShmArena() {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  if (g_registry != nullptr) g_registry->erase(state_->arena_id);
+}
+
+std::uint32_t ShmArena::id() const noexcept { return state_->arena_id; }
+
+std::size_t ShmArena::capacity() const noexcept { return state_->capacity; }
+
+ShmArenaStats ShmArena::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+Result<PayloadView> ShmArena::publish(std::vector<std::uint8_t>&& bytes) {
+  const std::size_t n = bytes.size();
+  PayloadView view;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    // Budget check happens before the move: on failure the caller's vector
+    // is untouched and it re-encodes nothing — the byte lane just keeps it.
+    if (state_->stats.bytes_live + n > state_->capacity) {
+      ++state_->stats.publish_failures;
+      return resource_exhausted("shm arena full (" +
+                                std::to_string(state_->stats.bytes_live) +
+                                " live + " + std::to_string(n) + " > " +
+                                std::to_string(state_->capacity) + ")");
+    }
+    ++state_->stats.regions_published;
+    ++state_->stats.regions_live;
+    state_->stats.bytes_live += n;
+    if (state_->stats.bytes_live > state_->stats.peak_bytes_live) {
+      state_->stats.peak_bytes_live = state_->stats.bytes_live;
+    }
+    view.arena_id = state_->arena_id;
+    view.region = state_->next_region++;
+  }
+  // The deleter is the release edge: it fires from whichever thread drops
+  // the last pin (worker, mailbox teardown, or a fault-dropped message).
+  auto* region = new std::vector<std::uint8_t>(std::move(bytes));
+  std::weak_ptr<State> weak = state_;
+  view.hold = std::shared_ptr<const std::vector<std::uint8_t>>(
+      region, [weak, n](const std::vector<std::uint8_t>* p) {
+        if (auto st = weak.lock()) st->on_release(n);
+        delete p;
+      });
+  view.offset = 0;
+  view.len = static_cast<std::uint32_t>(n);
+  return view;
+}
+
+namespace {
+std::shared_ptr<ShmArena::State> find_arena(std::uint32_t arena_id) {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  if (g_registry == nullptr) return nullptr;
+  auto it = g_registry->find(arena_id);
+  return it != g_registry->end() ? it->second.lock() : nullptr;
+}
+}  // namespace
+
+Result<std::uint64_t> ShmArena::stash(PayloadView view) {
+  std::shared_ptr<State> state = find_arena(view.arena_id);
+  if (!state) {
+    return not_found("shm stash: arena " + std::to_string(view.arena_id) +
+                     " is gone");
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  const std::uint64_t ticket = state->next_ticket++;
+  state->stashed.emplace(ticket, std::move(view));
+  ++state->stats.stashed_inflight;
+  return ticket;
+}
+
+Result<PayloadView> ShmArena::claim(std::uint32_t arena_id,
+                                    std::uint64_t ticket) {
+  std::shared_ptr<State> state = find_arena(arena_id);
+  if (!state) {
+    return not_found("shm claim: arena " + std::to_string(arena_id) +
+                     " is gone");
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  auto it = state->stashed.find(ticket);
+  if (it == state->stashed.end()) {
+    return not_found("shm claim: ticket " + std::to_string(ticket) +
+                     " unknown or already claimed");
+  }
+  PayloadView view = std::move(it->second);
+  state->stashed.erase(it);
+  --state->stats.stashed_inflight;
+  return view;
+}
+
+}  // namespace srpc

@@ -1,0 +1,94 @@
+// Shared-memory payload arena — the zero-copy lane for same-host peers.
+//
+// All spaces in a World live in one process, so a payload that would
+// otherwise be XDR-framed and copied across the simulated wire can instead
+// be *published* into a reference-counted arena region and travel as a
+// 20-byte {arena_id, region, offset, len} descriptor (see PROTOCOL.md
+// "Zero-copy payload lane"). A PayloadView is both the descriptor and the
+// pin: any live copy of the view keeps the region's bytes alive, and the
+// region is recycled when the last view drops (RAII — a dropped, timed-out,
+// or fault-injected message releases its region by plain destruction).
+//
+// The arena never hands out mutable aliases: regions are published by
+// *moving* an owned byte vector in, and every reader sees `const` bytes.
+// Capacity is a soft budget on live published bytes — publish() fails
+// cleanly when it would be exceeded and the sender falls back to the
+// legacy XDR+copy lane (tested by the arena-exhaustion test).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace srpc {
+
+struct ShmArenaStats {
+  std::uint64_t regions_published = 0;  // successful publish() calls
+  std::uint64_t regions_released = 0;   // regions whose last pin dropped
+  std::uint64_t regions_live = 0;       // currently pinned regions
+  std::uint64_t bytes_live = 0;         // bytes held by live regions
+  std::uint64_t peak_bytes_live = 0;
+  std::uint64_t publish_failures = 0;   // capacity exceeded -> XDR fallback
+  std::uint64_t stashed_inflight = 0;   // views parked for socket frames
+};
+
+// Descriptor + pin for one published payload region. Copyable: each copy
+// holds its own reference to the bytes. `hold` is what keeps the region
+// alive; the integer fields are what crosses the wire.
+struct PayloadView {
+  std::uint32_t arena_id = 0;
+  std::uint64_t region = 0;  // unique publish ticket within the arena
+  std::uint32_t offset = 0;
+  std::uint32_t len = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> hold;
+
+  [[nodiscard]] bool valid() const noexcept { return hold != nullptr; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    if (!hold) return {};
+    return {hold->data() + offset, len};
+  }
+  void reset() noexcept {
+    hold.reset();
+    arena_id = region = 0;
+    offset = len = 0;
+  }
+};
+
+// One arena per World. Thread-safe: senders on any space's worker publish
+// concurrently, and releases run from whichever thread drops the last view.
+class ShmArena {
+ public:
+  explicit ShmArena(std::size_t capacity_bytes);
+  ~ShmArena();
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+
+  // Adopts `bytes` into a new refcounted region and returns the pinned
+  // view. On capacity exhaustion returns RESOURCE_EXHAUSTED and leaves
+  // `bytes` untouched so the caller can fall back to the byte lane.
+  Result<PayloadView> publish(std::vector<std::uint8_t>&& bytes);
+
+  [[nodiscard]] std::uint32_t id() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept;
+  [[nodiscard]] ShmArenaStats stats() const;
+
+  // Socket lane hand-off: a frame carries only the descriptor, so the
+  // sender parks the pin here (stash) and the receiver — which shares the
+  // process — redeems it (claim). Both resolve the arena by the view's
+  // arena_id through a process-wide registry (frames don't carry object
+  // handles). A claim ticket is one-shot; claiming an unknown or
+  // already-claimed ticket fails (the frame outlived its pin, e.g. the
+  // arena died first) and the sender falls back to framing the bytes.
+  static Result<std::uint64_t> stash(PayloadView view);
+  static Result<PayloadView> claim(std::uint32_t arena_id, std::uint64_t ticket);
+
+  struct State;  // public so the translation-unit registry can hold weak refs
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace srpc

@@ -12,7 +12,7 @@ void SimNetwork::attach(SpaceId space, Mailbox* mailbox) {
 
 void SimNetwork::detach(SpaceId space) { mailboxes_.erase(space); }
 
-Status SimNetwork::send(Message msg) {
+Status SimNetwork::send(Message&& msg) {
   auto it = mailboxes_.find(msg.to);
   if (it == mailboxes_.end()) {
     return not_found("send to unknown space " + std::to_string(msg.to));

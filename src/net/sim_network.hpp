@@ -57,7 +57,7 @@ class SimNetwork final : public Transport {
   void attach(SpaceId space, Mailbox* mailbox);
   void detach(SpaceId space);
 
-  Status send(Message msg) override;
+  Status send(Message&& msg) override;
 
   // Charges the MMU access-violation cost (called by the cache manager for
   // every fault taken on a protected page).

@@ -61,7 +61,7 @@ void SocketHub::stop() {
   }
 }
 
-Status SocketHub::send(Message msg) {
+Status SocketHub::send(Message&& msg) {
   if (!running_.load()) {
     return unavailable("hub not running");
   }

@@ -38,7 +38,7 @@ class SocketHub final : public Transport {
   // the destructor; idempotent.
   void stop();
 
-  Status send(Message msg) override;
+  Status send(Message&& msg) override;
 
  private:
   struct Endpoint {

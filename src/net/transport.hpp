@@ -18,7 +18,11 @@ class Transport {
   // including the SIGSEGV fault path (no allocation-free guarantee is
   // required — the handler runs on a normal stack for a synchronous fault —
   // but it must not touch protected cache pages).
-  virtual Status send(Message msg) = 0;
+  //
+  // Move-only by signature: a payload is handed over, never duplicated.
+  // Decorators that need a second delivery (FaultTransport's duplicate
+  // fault) make the copy explicitly and pay for it visibly.
+  virtual Status send(Message&& msg) = 0;
 };
 
 }  // namespace srpc

@@ -19,8 +19,17 @@ std::string describe_wait(MessageType reply_type, std::uint64_t seq) {
 
 }  // namespace
 
-Status RpcEndpoint::send(Message msg) {
+void RpcEndpoint::prepare(Message& msg) {
   msg.from = self_;
+  // The lane passes an already-elevated message through untouched, but it
+  // meters every byte-lane payload it sees — prepare each message exactly
+  // once (retransmits re-enter via send() with a shm-backed original, which
+  // is the pass-through case).
+  if (payload_lane_) payload_lane_(msg);
+}
+
+Status RpcEndpoint::send(Message msg) {
+  prepare(msg);
   return transport_.send(std::move(msg));
 }
 
@@ -130,12 +139,17 @@ Result<std::uint64_t> RpcEndpoint::issue(Message msg, MessageType reply_type,
                     ? Clock::time_point::max()
                     : Clock::now() + opts.cfg.request_deadline;
   p->backoff = opts.cfg.attempt_timeout;
-  // Keep a retransmittable copy only when we may actually resend.
+  // Prepare (stamp the sender, elevate the payload onto the shm lane)
+  // BEFORE keeping the retransmittable copy: an elevated original is a
+  // descriptor + refcount bump, so retransmittable requests stay on the
+  // move-only/zero-copy path. The direct transport_ send below must not go
+  // through send(), which would prepare — and meter — the message twice.
+  prepare(msg);
   if (p->attempts > 1) p->original = msg;
   p->on_complete = std::move(opts.on_complete);
   p->on_retransmit = std::move(opts.on_retransmit);
 
-  SRPC_RETURN_IF_ERROR(send(std::move(msg)));
+  SRPC_RETURN_IF_ERROR(transport_.send(std::move(msg)));
   arm_attempt_timer(*p);
   pending_.emplace(seq, std::move(p));
   return seq;
@@ -173,6 +187,10 @@ Status RpcEndpoint::pump_once(Clock::time_point deadline, const Dispatcher& serv
 
   Message msg = std::get<Message>(std::move(item).value());
   if (delivery_hook_) delivery_hook_(msg);
+  // Receiver edge of the shm lane: decoders see the region's bytes as an
+  // ordinary (borrowed) payload, whether this is a routed reply or served
+  // traffic. The buffer shares the view's pin.
+  msg.bind_view_payload();
   if (route_reply(msg)) return Status::ok();
   if (serve) {
     return serve(std::move(msg));
@@ -274,6 +292,7 @@ Result<MailItem> RpcEndpoint::next() {
     }
     Message msg = std::get<Message>(std::move(item).value());
     if (delivery_hook_) delivery_hook_(msg);
+    msg.bind_view_payload();  // shm lane: see pump_once
     // A reply for a slot nobody is actively collecting (an un-got future)
     // still belongs to that slot, not to the main loop.
     if (route_reply(msg)) continue;

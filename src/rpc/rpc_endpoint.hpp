@@ -151,6 +151,14 @@ class RpcEndpoint {
   using DeliveryHook = std::function<void(const Message&)>;
   void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
 
+  // Runs on every outbound message right before it hits the transport —
+  // the single choke point all sends funnel through. The Runtime installs
+  // the shm-lane elevator here: for capable peers it publishes the payload
+  // into the shared arena and replaces the bytes with a view descriptor
+  // (net/shm_arena.hpp), falling back to the byte lane otherwise.
+  using PayloadLane = std::function<void(Message&)>;
+  void set_payload_lane(PayloadLane lane) { payload_lane_ = std::move(lane); }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -176,6 +184,9 @@ class RpcEndpoint {
     RetransmitFn on_retransmit;
   };
 
+  // Stamps the sender and applies the payload lane — exactly once per
+  // outbound message, before any retransmittable copy is taken.
+  void prepare(Message& msg);
   void arm_attempt_timer(Pending& p);
   // Settles a slot: stores/fires the outcome, self-erases detached slots.
   void complete(const std::shared_ptr<Pending>& p, Result<Message> outcome);
@@ -191,6 +202,7 @@ class RpcEndpoint {
   std::uint64_t retransmits_ = 0;
   Telemetry* telemetry_ = nullptr;
   DeliveryHook delivery_hook_;
+  PayloadLane payload_lane_;
   std::deque<MailItem> deferred_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
 };

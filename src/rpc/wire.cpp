@@ -5,6 +5,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/logging.hpp"
+#include "net/shm_arena.hpp"
 #include "xdr/xdr_decoder.hpp"
 #include "xdr/xdr_encoder.hpp"
 
@@ -12,9 +14,33 @@ namespace srpc {
 
 namespace {
 bool valid_message_type(std::uint32_t t) noexcept {
-  t &= ~kFrameTraceFlag;  // the flag rides on the type word, mask it off
+  t &= ~(kFrameTraceFlag | kFrameShmFlag);  // flags ride on the type word
   return t >= static_cast<std::uint32_t>(MessageType::kCall) &&
          t <= static_cast<std::uint32_t>(MessageType::kPong);
+}
+
+// Parses the 20-byte shm descriptor at the decoder's cursor and redeems
+// the stashed pin. The payload-length word must equal the descriptor size.
+Status decode_shm_descriptor(xdr::Decoder& dec, std::uint32_t len,
+                             Message& msg) {
+  if (len != kShmDescriptorWireSize) {
+    return protocol_error("shm frame payload length " + std::to_string(len));
+  }
+  auto arena = dec.get_u32();
+  if (!arena) return arena.status();
+  auto ticket = dec.get_u64();
+  if (!ticket) return ticket.status();
+  auto offset = dec.get_u32();
+  if (!offset) return offset.status();
+  auto vlen = dec.get_u32();
+  if (!vlen) return vlen.status();
+  auto claimed = ShmArena::claim(arena.value(), ticket.value());
+  if (!claimed) return claimed.status();
+  msg.view = std::move(claimed).value();
+  if (msg.view.offset != offset.value() || msg.view.len != vlen.value()) {
+    return protocol_error("shm descriptor mismatch with stashed view");
+  }
+  return Status::ok();
 }
 
 void encode_trace_ext(xdr::Encoder& enc, const TraceContext& trace) {
@@ -109,14 +135,40 @@ void encode_frame(const Message& msg, ByteBuffer& out) {
   enc.put_u32(kFrameMagic);
   std::uint32_t type = static_cast<std::uint32_t>(msg.type);
   if (msg.trace.valid()) type |= kFrameTraceFlag;
+  // Stash the pin before committing to the flag: if the arena is already
+  // gone the frame downgrades to the byte lane — the view itself still
+  // pins the bytes, so they can be framed the classic way.
+  bool shm = msg.shm_backed();
+  std::uint64_t ticket = 0;
+  if (shm) {
+    auto stashed = ShmArena::stash(msg.view);
+    if (stashed) {
+      ticket = stashed.value();
+    } else {
+      SRPC_DEBUG << "wire: shm stash failed, framing bytes: "
+                 << stashed.status().to_string();
+      shm = false;
+    }
+  }
+  if (shm) type |= kFrameShmFlag;
   enc.put_u32(type);
   enc.put_u32(msg.from);
   enc.put_u32(msg.to);
   enc.put_u64(msg.session);
   enc.put_u64(msg.seq);
-  enc.put_u32(static_cast<std::uint32_t>(msg.payload.size()));
+  const std::span<const std::uint8_t> bytes =
+      msg.shm_backed() ? msg.view.bytes() : msg.payload.view();
+  enc.put_u32(shm ? static_cast<std::uint32_t>(kShmDescriptorWireSize)
+                  : static_cast<std::uint32_t>(bytes.size()));
   if (msg.trace.valid()) encode_trace_ext(enc, msg.trace);
-  out.append(msg.payload.view());
+  if (shm) {
+    enc.put_u32(msg.view.arena_id);
+    enc.put_u64(ticket);
+    enc.put_u32(msg.view.offset);
+    enc.put_u32(msg.view.len);
+  } else {
+    out.append(bytes);
+  }
 }
 
 Result<Message> decode_frame(ByteBuffer& in) {
@@ -149,6 +201,10 @@ Result<Message> decode_frame(ByteBuffer& in) {
   if (!len) return len.status();
   if ((type.value() & kFrameTraceFlag) != 0) {
     SRPC_RETURN_IF_ERROR(decode_trace_ext(dec, msg.trace));
+  }
+  if ((type.value() & kFrameShmFlag) != 0) {
+    SRPC_RETURN_IF_ERROR(decode_shm_descriptor(dec, len.value(), msg));
+    return msg;
   }
   auto view = in.read_view(len.value());
   if (!view) return view.status();
@@ -231,6 +287,15 @@ Result<Message> read_frame(int fd) {
   if (len.value() > 0) {
     msg.payload.append_zeros(len.value());
     SRPC_RETURN_IF_ERROR(read_all(fd, msg.payload.data(), len.value()));
+  }
+  if ((type.value() & kFrameShmFlag) != 0) {
+    // The bytes just read are the descriptor, not the payload: redeem the
+    // stashed pin and carry the view instead (the endpoint rebinds the
+    // payload over the region at dequeue).
+    ByteBuffer descriptor = std::move(msg.payload);
+    msg.payload = ByteBuffer();
+    xdr::Decoder ddec(descriptor);
+    SRPC_RETURN_IF_ERROR(decode_shm_descriptor(ddec, len.value(), msg));
   }
   return msg;
 }

@@ -36,6 +36,13 @@ inline constexpr std::size_t kFrameHeaderSize = 36;
 // reject unknown type words — never see it.
 inline constexpr std::uint32_t kFrameTraceFlag = 0x80000000U;
 
+// Second-highest bit of the type word: the frame's payload section is a
+// 20-byte shm-lane descriptor {arena_id u32 | ticket u64 | offset u32 |
+// len u32} instead of the payload bytes (PROTOCOL.md "Zero-copy payload
+// lane"). The descriptor redeems a pin stashed in the sender's ShmArena;
+// senders set the flag only toward peers advertising kCapShmPayload.
+inline constexpr std::uint32_t kFrameShmFlag = 0x40000000U;
+
 // --- MODIFIED_DELTA: delta-encoded modified sets (PROTOCOL.md) -------------
 //
 // The modified-set section of CALL/RETURN/WRITE_BACK payloads comes in two
@@ -77,6 +84,12 @@ inline constexpr std::uint32_t kCapTraceContext = 1U << 2;
 // home may answer CONFLICT (PROTOCOL.md "Concurrent sessions"). Non-capable
 // peers keep the single-session protocol with its busy-cache refusal.
 inline constexpr std::uint32_t kCapMultiSession = 1U << 3;
+// Peer shares this host's process memory and understands shm-lane payload
+// descriptors (kFrameShmFlag frames / Message::view pass-through). Granted
+// by the World only while every space shares one architecture model — the
+// published bytes are the sender's native encoding of the payload, and the
+// whole point is that the receiver reads them in place.
+inline constexpr std::uint32_t kCapShmPayload = 1U << 4;
 
 struct ModifiedDelta {
   LongPointer id;

@@ -173,7 +173,7 @@ TEST(SocketHub, DeliversFramesBetweenSpaces) {
   Message msg = make_message(MessageType::kCall, 0, 1, 5);
   xdr::Encoder enc(msg.payload);
   enc.put_u32(0xCAFEBABE);
-  ASSERT_TRUE(hub.send(msg).is_ok());
+  ASSERT_TRUE(hub.send(std::move(msg)).is_ok());
 
   auto item = box_b.pop();
   ASSERT_TRUE(item.is_ok());
