@@ -51,6 +51,11 @@ ctest --test-dir "${BUILD}" --output-on-failure -L concurrency
 # rest of the tests. scripts/soak.sh layers a many-seed sweep on top. Then
 # the observability suite (tracing touches every wire path), then the rest.
 ctest --test-dir "${BUILD}" --output-on-failure -L fault -LE concurrency
+# Space reincarnation explicitly (also part of -L fault above): the
+# kill-and-restart matrix hands one space's state across worker threads —
+# halt/join, zombie heap, world-owned RecoveryLog — which is exactly the
+# surface TSan must see race-free.
+ctest --test-dir "${BUILD}" --output-on-failure -L recovery
 ctest --test-dir "${BUILD}" --output-on-failure -L obs
 # Pipelining suite explicitly: the future pump and the mailbox
 # single-consumer guard are the racy surfaces TSan must see; the fault half

@@ -7,9 +7,10 @@
 #
 # Each round exports SRPC_SOAK_SEED_BASE so soak_test and the pipelining
 # torture matrix (pipeline_fault_test's seeded chaos sweep) derive disjoint
-# per-iteration seed schedules, then runs every `fault`- and `shm`-labelled
-# ctest (crash-point matrix, partition/timeout suites, pipeline reorder/dup
-# torture, zero-copy lane pin-leak checks, soak). Any failure reproduces
+# per-iteration seed schedules, then runs every `fault`-, `shm`- and
+# `recovery`-labelled ctest (crash-point matrix, partition/timeout suites,
+# pipeline reorder/dup torture, zero-copy lane pin-leak checks, the
+# kill-and-restart reincarnation matrix, soak). Any failure reproduces
 # deterministically from the seed base printed in the trace.
 set -euo pipefail
 
@@ -34,7 +35,7 @@ for ((round = 0; round < ROUNDS; ++round)); do
   printf 'soak round %d/%d: SRPC_SOAK_SEED_BASE=0x%08x\n' \
     "$((round + 1))" "${ROUNDS}" "${seed}"
   if ! SRPC_SOAK_SEED_BASE="$(printf '0x%08x' "${seed}")" \
-      ctest --test-dir "${BUILD}" --output-on-failure -L 'fault|shm'; then
+      ctest --test-dir "${BUILD}" --output-on-failure -L 'fault|shm|recovery'; then
     echo "soak: FAILED at seed base $(printf '0x%08x' "${seed}")" >&2
     fails=$((fails + 1))
   fi

@@ -35,6 +35,16 @@ struct TimeoutConfig {
   // their replies travel exactly once either way.
   std::uint32_t max_attempts = 4;
 
+  // Decorrelated jitter on the retransmit backoff: each retry waits
+  //   backoff' = attempt_timeout + U(0,1) * jitter * (3*backoff - attempt_timeout)
+  // capped at max_backoff. Without it every client whose request died in
+  // the same partition retries in lockstep when it heals — a retransmit
+  // storm that re-congests the link it is probing. jitter = 0 restores the
+  // plain doubling schedule; the draw is seeded from jitter_seed plus the
+  // request's seq and attempt so runs stay bit-reproducible.
+  double backoff_jitter = 0.5;
+  std::uint64_t jitter_seed = 0x5EEDBACC0FFULL;
+
   [[nodiscard]] bool unbounded_deadline() const noexcept {
     return request_deadline == std::chrono::nanoseconds::max();
   }

@@ -4,6 +4,13 @@
 // does: ground-thread user code (posted via run()), served calls, fetches,
 // write-backs. The single-worker design realises the paper's execution
 // model directly — one active thread, re-entrant service while blocked.
+//
+// Crash recovery: halt() stops the worker but keeps the runtime;
+// reincarnate() retires the dead runtime into a zombie list (its heap
+// storage must stay mapped — peers hold long pointers into it, and the
+// successor incarnation restore()s the exact ranges from the recovery log)
+// and constructs a fresh Runtime with the same identity, ready for
+// re-configuration and start().
 #pragma once
 
 #include <future>
@@ -11,6 +18,7 @@
 #include <string>
 #include <thread>
 #include <type_traits>
+#include <vector>
 
 #include "core/marshal.hpp"
 #include "core/runtime.hpp"
@@ -26,10 +34,19 @@ class AddressSpace {
                std::function<std::vector<SpaceId>()> directory,
                TimeoutConfig timeouts = {},
                std::function<std::uint32_t(SpaceId)> peer_caps = {})
-      : runtime_(std::make_unique<Runtime>(id, std::move(name), arch, registry,
-                                           layouts, host_types, transport, sim,
-                                           cache_options, std::move(directory),
-                                           timeouts, std::move(peer_caps))) {}
+      : id_(id),
+        name_(std::move(name)),
+        arch_(&arch),
+        registry_(&registry),
+        layouts_(&layouts),
+        host_types_(&host_types),
+        transport_(&transport),
+        sim_(sim),
+        cache_options_(cache_options),
+        directory_(std::move(directory)),
+        timeouts_(timeouts),
+        peer_caps_(std::move(peer_caps)),
+        runtime_(make_runtime()) {}
 
   ~AddressSpace() { shutdown(); }
   AddressSpace(const AddressSpace&) = delete;
@@ -39,13 +56,27 @@ class AddressSpace {
   // the worker thread.
   Status start();
 
-  // Closes the mailbox and joins the worker. Idempotent.
+  // Closes the mailbox and joins the worker. Idempotent and terminal.
   void shutdown();
 
-  [[nodiscard]] SpaceId id() const noexcept { return runtime_->id(); }
-  [[nodiscard]] const std::string& name() const noexcept { return runtime_->name(); }
+  // Crash: stops the worker like shutdown() but leaves the space
+  // restartable — reincarnate() + start() bring up the next incarnation.
+  void halt();
+
+  // Retires the halted runtime (keeping it alive as a zombie so its heap
+  // storage stays mapped) and builds a fresh Runtime with the same
+  // identity. The caller re-applies per-runtime configuration — recovery
+  // log, capabilities, toggles — and then start()s the successor.
+  // FAILED_PRECONDITION while the worker is still running.
+  Status reincarnate();
+
+  [[nodiscard]] SpaceId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Runtime& runtime() noexcept { return *runtime_; }
   [[nodiscard]] Mailbox& mailbox() noexcept { return runtime_->mailbox(); }
+  [[nodiscard]] std::size_t incarnations_retired() const noexcept {
+    return zombies_.size();
+  }
 
   // Executes `fn(Runtime&)` on the space's worker thread and returns its
   // result (rethrows its exceptions). Called from the worker itself it runs
@@ -74,7 +105,31 @@ class AddressSpace {
   }
 
  private:
+  std::unique_ptr<Runtime> make_runtime() {
+    return std::make_unique<Runtime>(id_, name_, *arch_, *registry_, *layouts_,
+                                     *host_types_, *transport_, sim_,
+                                     cache_options_, directory_, timeouts_,
+                                     peer_caps_);
+  }
+
+  // Construction parameters, kept so reincarnate() can rebuild the runtime.
+  SpaceId id_;
+  std::string name_;
+  const ArchModel* arch_;
+  TypeRegistry* registry_;
+  const LayoutEngine* layouts_;
+  HostTypeMap* host_types_;
+  Transport* transport_;
+  SimNetwork* sim_;
+  CacheOptions cache_options_;
+  std::function<std::vector<SpaceId>()> directory_;
+  TimeoutConfig timeouts_;
+  std::function<std::uint32_t(SpaceId)> peer_caps_;
+
   std::unique_ptr<Runtime> runtime_;
+  // Dead incarnations, kept until the space itself dies: their heaps own
+  // storage the live runtime re-registered via ManagedHeap::restore().
+  std::vector<std::unique_ptr<Runtime>> zombies_;
   std::thread worker_;
   bool started_ = false;
   bool stopped_ = false;

@@ -10,6 +10,8 @@ std::string_view to_string(PeerHealth h) noexcept {
       return "SUSPECT";
     case PeerHealth::kDead:
       return "DEAD";
+    case PeerHealth::kRejoining:
+      return "REJOINING";
   }
   return "UNKNOWN";
 }
@@ -52,6 +54,14 @@ bool FailureDetector::mark_dead(SpaceId peer) {
   if (st.health == PeerHealth::kDead) return false;
   st.health = PeerHealth::kDead;
   return true;
+}
+
+void FailureDetector::note_rejoin(SpaceId peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PeerState& st = peers_[peer];
+  if (st.health != PeerHealth::kDead) return;  // only the dead rejoin
+  st.health = PeerHealth::kRejoining;
+  st.consecutive_misses = 0;
 }
 
 PeerHealth FailureDetector::health(SpaceId peer) const {

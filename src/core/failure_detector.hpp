@@ -12,10 +12,17 @@
 //   kDead     >= dead_after consecutive misses, or an explicit mark_dead
 //             (World::mark_dead, crash_space); calls fail fast with
 //             SPACE_DEAD instead of burning the full backoff schedule
+//   kRejoining a REJOIN announcement arrived from a dead peer's new
+//             incarnation (note_rejoin); the runtime has flushed the old
+//             incarnation's state and traffic may flow again — the first
+//             successful exchange lifts the peer back to kAlive
 //
-// Dead is terminal: a space that was declared dead stays dead even if a
-// stray late message arrives (the declaration may already have triggered
-// lease revocation and orphan reclamation, which cannot be undone).
+// Dead is terminal to *messages*: a space that was declared dead stays
+// dead even if a stray late frame from the crashed incarnation arrives
+// (the declaration may already have triggered lease revocation and orphan
+// reclamation, which cannot be undone). Only an explicit note_rejoin() —
+// driven by a REJOIN carrying a *higher* incarnation, i.e. provably a new
+// process — reopens the peer, via kDead -> kRejoining -> kAlive.
 //
 // Thread-safety: every method takes the internal mutex. mark_dead() is
 // called from World threads while the runtime's worker may be mid-await,
@@ -32,7 +39,7 @@
 
 namespace srpc {
 
-enum class PeerHealth : std::uint8_t { kAlive, kSuspect, kDead };
+enum class PeerHealth : std::uint8_t { kAlive, kSuspect, kDead, kRejoining };
 
 std::string_view to_string(PeerHealth h) noexcept;
 
@@ -57,8 +64,14 @@ class FailureDetector {
 
   void mark_suspect(SpaceId peer);
   // Returns true if this call performed the alive/suspect -> dead
-  // transition (false if the peer was already dead).
+  // transition (false if the peer was already dead). A rejoining peer can
+  // die again: kRejoining -> kDead reports the transition like any other.
   bool mark_dead(SpaceId peer);
+
+  // The peer's new incarnation announced itself: reopen a dead peer as
+  // kRejoining (the only exit from kDead). The miss streak restarts so the
+  // resurrected peer gets a full dead_after budget. No-op unless dead.
+  void note_rejoin(SpaceId peer);
 
   [[nodiscard]] PeerHealth health(SpaceId peer) const;
   [[nodiscard]] bool is_dead(SpaceId peer) const {

@@ -382,6 +382,13 @@ Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
   const bool dest_takes_deltas =
       modified_deltas_enabled_ && peer_caps_ &&
       (peer_caps_(dest) & kCapModifiedDelta) != 0;
+  // A write-back toward a recovery-capable home doubles as that home's redo
+  // record: its WAL replay restores the pre-session heap, so the staged set
+  // must carry EVERY modified object homed there — including content the
+  // home already observed on an earlier hop. Re-applying identical bytes is
+  // idempotent; skipping them would leave the stage incomplete.
+  const bool self_contained_redo =
+      write_back && peer_caps_ && (peer_caps_(dest) & kCapIncarnation) != 0;
 
   if (!dest_takes_deltas) {
     // Non-capable peer: the original page-granular protocol. Every object
@@ -477,7 +484,8 @@ Status Runtime::attach_modified_set(ByteBuffer& out, SpaceId dest,
       st.epoch = sst.ship_epoch;
     }
     if (const auto peer = st.peer_fingerprint.find(dest);
-        peer != st.peer_fingerprint.end() && peer->second == fp) {
+        !self_contained_redo && peer != st.peer_fingerprint.end() &&
+        peer->second == fp) {
       ++stats_.deltas_skipped_by_epoch;  // dest already holds this content
       continue;
     }
@@ -996,6 +1004,18 @@ std::string Runtime::metrics_json() {
   set("runtime.wb_conflicts", stats_.wb_conflicts);
   set("runtime.shm_payloads_published", stats_.shm_payloads_published);
   set("runtime.shm_publish_fallbacks", stats_.shm_publish_fallbacks);
+  // Crash recovery & reincarnation.
+  set("recovery.fenced_stale_messages", stats_.fenced_stale_messages);
+  set("recovery.rejoins_sent", stats_.rejoins_sent);
+  set("recovery.rejoins_served", stats_.rejoins_served);
+  set("recovery.replayed_records", stats_.recovery_replays);
+  set("recovery.in_doubt_resolved_commit", stats_.in_doubt_resolved_commit);
+  set("recovery.in_doubt_resolved_abort", stats_.in_doubt_resolved_abort);
+  set("recovery.checkpoints_taken", stats_.checkpoints_taken);
+  if (recovery_ != nullptr) {
+    set("recovery.log_records", recovery_->records());
+    set("recovery.log_bytes", recovery_->bytes_logged());
+  }
   // Cache counters summed across the default cache and every live
   // per-session overlay (an overlay's counters leave the sum when its
   // session closes — sample before teardown for per-session numbers).
@@ -1262,20 +1282,27 @@ void Runtime::on_peer_dead(SpaceId peer) {
   std::size_t revoked = 0;
   for_each_cache([&](CacheManager& c) { revoked += c.revoke_source(peer); });
   if (revoked > 0) ++stats_.leases_expired;
-  // Locks and version observations of the dead peer's sessions will never
-  // resolve through WB_COMMIT/INVALIDATE; drop them here.
-  arbiter_.release_space(peer);
-  const std::uint64_t reclaimed = heap_.reclaim_owned_by(peer);
-  stats_.orphan_bytes_reclaimed += reclaimed;
-  // Shadow commits staged by the dead coordinator will never commit.
-  for (auto it = shadow_commits_.begin(); it != shadow_commits_.end();) {
-    if (it->second.from == peer) {
-      ++stats_.wb_aborts_served;
-      it = shadow_commits_.erase(it);
-    } else {
-      ++it;
+  std::uint64_t reclaimed = 0;
+  if (incarnation_ == 0) {
+    // Locks and version observations of the dead peer's sessions will never
+    // resolve through WB_COMMIT/INVALIDATE; drop them here.
+    arbiter_.release_space(peer);
+    reclaimed = heap_.reclaim_owned_by(peer);
+    stats_.orphan_bytes_reclaimed += reclaimed;
+    // Shadow commits staged by the dead coordinator will never commit.
+    for (auto it = shadow_commits_.begin(); it != shadow_commits_.end();) {
+      if (it->second.from == peer) {
+        ++stats_.wb_aborts_served;
+        it = shadow_commits_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
+  // In a recovery world death is not terminal: the peer's stages stay
+  // in doubt and its orphan storage stays tagged until its successor
+  // incarnation REJOINs with the decision log (on_peer_rejoin) — dropping
+  // them now would turn a logged commit into silent data loss.
   SRPC_ERROR << name_ << ": space " << peer << " declared dead; revoked "
              << revoked << " cached pages, reclaimed " << reclaimed
              << " orphaned bytes";
@@ -1293,6 +1320,14 @@ void Runtime::poll_failures() {
     pending_dead_cleanup_.pop_back();
     on_peer_dead(peer);
   }
+  // Reincarnations learned from passing traffic (a REJOIN we never saw):
+  // run the same cleanup the explicit announcement would have, minus the
+  // decision log — unresolvable stages roll back.
+  while (!pending_rejoin_cleanup_.empty()) {
+    const auto [peer, incarnation] = pending_rejoin_cleanup_.back();
+    pending_rejoin_cleanup_.pop_back();
+    on_peer_rejoin(peer, incarnation, {});
+  }
   if (lease_ttl_ns_ == 0 || sim_ == nullptr) return;
   const std::uint64_t now = vnow_ns();
   for_each_cache([&](CacheManager& c) {
@@ -1308,6 +1343,363 @@ void Runtime::poll_failures() {
       }
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery & reincarnation (PROTOCOL.md "Incarnations, fencing &
+// rejoin")
+// ---------------------------------------------------------------------------
+
+void Runtime::set_recovery(RecoveryLog* log, std::uint32_t incarnation) {
+  recovery_ = log;
+  incarnation_ = log != nullptr ? incarnation : 0;
+  if (recovery_ == nullptr || incarnation_ == 0) {
+    endpoint_.set_stamp({});
+    endpoint_.set_fence({});
+    return;
+  }
+  // Logged addresses must stay unique for the log's lifetime: freed storage
+  // is retired, never handed back to the system allocator, so a replayed
+  // ALLOC can always re-register the exact range.
+  heap_.set_retain_freed(true);
+  // Partition the session-id space by incarnation: the prior life's ids are
+  // tombstoned at every home it touched, so the successor must never mint
+  // them again (its first session would be refused as a dead straggler).
+  session_counter_ = (static_cast<std::uint64_t>(incarnation_) - 1) << 24;
+  endpoint_.set_stamp([this](Message& msg) {
+    if (peer_caps_ && (peer_caps_(msg.to) & kCapIncarnation) != 0) {
+      msg.incarnation = incarnation_;
+      const auto it = peer_incarnations_.find(msg.to);
+      msg.to_incarnation = it != peer_incarnations_.end() ? it->second : 0;
+    }
+  });
+  endpoint_.set_fence([this](const Message& msg) { return fence_stale(msg); });
+}
+
+bool Runtime::fence_stale(const Message& msg) {
+  if (incarnation_ == 0) return false;
+  // REJOIN (and its ack) is exempt: it is how a higher incarnation makes
+  // itself known in the first place.
+  if (msg.type == MessageType::kRejoin || msg.type == MessageType::kRejoinAck) {
+    return false;
+  }
+  bool stale = false;
+  if (msg.incarnation != 0) {
+    const auto known = peer_incarnations_.find(msg.from);
+    const std::uint32_t seen = known != peer_incarnations_.end() ? known->second : 0;
+    if (msg.incarnation < seen) {
+      // The sender's prior life: its session state, leases, and seq space
+      // died with it.
+      stale = true;
+    } else if (msg.incarnation > seen && seen != 0) {
+      // Passing traffic from a life newer than the one we last processed a
+      // REJOIN for (its announcement was lost or is still in flight). The
+      // frame itself is fresh; the prior life's residue here is flushed at
+      // the next safe point. on_peer_rejoin() performs the actual bump so
+      // a racing explicit REJOIN is not mistaken for a duplicate.
+      pending_rejoin_cleanup_.emplace_back(msg.from, msg.incarnation);
+    } else if (seen == 0) {
+      peer_incarnations_[msg.from] = msg.incarnation;  // first contact
+    }
+  }
+  // A frame addressed at OUR prior incarnation answers a request (or
+  // targets session state) of the dead predecessor: toxic either way.
+  if (msg.to_incarnation != 0 && msg.to_incarnation < incarnation_) stale = true;
+  if (stale) {
+    ++stats_.fenced_stale_messages;
+    telemetry_.count("recovery.fenced_stale_messages",
+                     "peer=" + std::to_string(msg.from));
+    SRPC_WARN << name_ << ": fencing stale " << to_string(msg.type)
+              << " seq=" << msg.seq << " from space " << msg.from << " (inc "
+              << msg.incarnation << " -> " << msg.to_incarnation
+              << "; we are inc " << incarnation_ << ")";
+  }
+  return stale;
+}
+
+void Runtime::on_peer_rejoin(SpaceId peer, std::uint32_t incarnation,
+                             const std::vector<RecoveryDecision>& decisions) {
+  const auto known = peer_incarnations_.find(peer);
+  if (known != peer_incarnations_.end() && known->second >= incarnation) {
+    return;  // duplicate or stale announcement
+  }
+  peer_incarnations_[peer] = incarnation;
+  ++stats_.rejoins_served;
+
+  // Resolve the in-doubt stages the prior life coordinated here against
+  // the decision log its replay recovered: a logged commit rolls the stage
+  // forward exactly as its lost WB_COMMIT would have; anything else (abort
+  // decision, or no decision at all — the crash hit before phase one
+  // finished) rolls back.
+  for (auto it = shadow_commits_.begin(); it != shadow_commits_.end();) {
+    if (it->second.from != peer) {
+      ++it;
+      continue;
+    }
+    const SessionId session = it->first;
+    bool commit = false;
+    for (const RecoveryDecision& d : decisions) {
+      if (d.session == session && d.epoch == it->second.epoch) {
+        commit = d.committed;
+        break;
+      }
+    }
+    if (commit) {
+      it->second.staged.reset_cursor();
+      Status applied = apply_modified_set(it->second.staged, peer);
+      if (applied.is_ok()) {
+        committed_epochs_[session] = it->second.epoch;
+        ++stats_.in_doubt_resolved_commit;
+        if (recovery_ != nullptr) {
+          recovery_->note_commit(session, it->second.epoch);
+        }
+        (void)heap_.promote_session(session);
+        if (multi_session_) arbiter_.commit(session);
+      } else {
+        SRPC_ERROR << name_ << ": in-doubt commit of session " << session
+                   << " failed: " << applied.to_string();
+      }
+    } else {
+      ++stats_.in_doubt_resolved_abort;
+      const std::uint64_t reclaimed = heap_.reclaim_session(session);
+      stats_.orphan_bytes_reclaimed += reclaimed;
+      if (multi_session_) arbiter_.release(session);
+    }
+    tombstone_session(session);
+    committed_epochs_.erase(session);
+    it = shadow_commits_.erase(it);
+  }
+
+  // The scalar serving state may still be bound to one of the dead life's
+  // sessions — its INVALIDATE never arrived. Settle it like any dead
+  // session: the cached data and travelling updates die with it, and the
+  // binding frees so the successor's sessions can be served (without this
+  // the busy-cache refusal would fence the new life out forever).
+  if (!multi_session_ && cache_session_ != kNoSession &&
+      static_cast<SpaceId>(cache_session_ >> 32) == peer) {
+    tombstone_session(cache_session_);
+    cache_.invalidate_all();
+    allocator_.clear();
+    ambient_state_.updates.clear();
+    ambient_state_.clear_ship();
+    cache_session_ = kNoSession;
+  }
+
+  // Flush every other trace of the prior life: cached pages it served
+  // (the successor replays its heap, but our leases were granted by the
+  // dead incarnation), its lock-table entries, its uncommitted orphan
+  // storage, the request-dedup window (the new life's seq counter restarts
+  // from one), and every in-flight request still addressed at it.
+  std::size_t revoked = 0;
+  for_each_cache([&](CacheManager& c) { revoked += c.revoke_source(peer); });
+  if (revoked > 0) ++stats_.leases_expired;
+  arbiter_.release_space(peer);
+  const std::uint64_t reclaimed = heap_.reclaim_owned_by(peer);
+  stats_.orphan_bytes_reclaimed += reclaimed;
+  served_requests_.erase(peer);
+  const std::size_t expired = endpoint_.expire_peer(
+      peer, unavailable("space " + std::to_string(peer) +
+                        " reincarnated; request of its prior life expired"));
+  // Death (if it was ever detected here) is no longer terminal, and the
+  // NEXT death of the new incarnation must run containment afresh.
+  dead_cleaned_.erase(peer);
+  detector_.note_rejoin(peer);
+  SRPC_WARN << name_ << ": space " << peer << " rejoined as incarnation "
+            << incarnation << "; revoked " << revoked << " pages, reclaimed "
+            << reclaimed << " orphaned bytes, expired " << expired
+            << " in-flight requests";
+  if (telemetry_.tracing()) {
+    telemetry_.annotate("peer rejoin: space " + std::to_string(peer) +
+                        " incarnation " + std::to_string(incarnation));
+  }
+}
+
+// REJOIN payload: incarnation u32 | n u32 | n x {session u64, epoch u64,
+// committed u32}. REJOIN_ACK is empty.
+Status Runtime::serve_rejoin(Message msg) {
+  xdr::Decoder dec(msg.payload);
+  auto inc = dec.get_u32();
+  if (!inc) return send_error(msg.from, msg.session, msg.seq, inc.status());
+  auto n = dec.get_u32();
+  if (!n) return send_error(msg.from, msg.session, msg.seq, n.status());
+  std::vector<RecoveryDecision> decisions;
+  decisions.reserve(n.value());
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto session = dec.get_u64();
+    if (!session) return send_error(msg.from, msg.session, msg.seq, session.status());
+    auto epoch = dec.get_u64();
+    if (!epoch) return send_error(msg.from, msg.session, msg.seq, epoch.status());
+    auto committed = dec.get_u32();
+    if (!committed) {
+      return send_error(msg.from, msg.session, msg.seq, committed.status());
+    }
+    decisions.push_back(RecoveryDecision{session.value(), epoch.value(),
+                                         committed.value() != 0});
+  }
+  on_peer_rejoin(msg.from, inc.value(), decisions);
+  Message reply;
+  reply.type = MessageType::kRejoinAck;
+  reply.to = msg.from;
+  reply.session = msg.session;
+  reply.seq = msg.seq;
+  return endpoint_.send(std::move(reply));
+}
+
+Status Runtime::announce_rejoin() {
+  if (recovery_ == nullptr || incarnation_ == 0) return Status::ok();
+  const std::vector<RecoveryDecision> decisions = recovery_->decisions();
+  Status worst = Status::ok();
+  for (const SpaceId peer : directory_()) {
+    if (peer == self_) continue;
+    ++stats_.rejoins_sent;
+    Message msg;
+    msg.type = MessageType::kRejoin;
+    msg.to = peer;
+    msg.session = kNoSession;
+    msg.seq = endpoint_.next_seq();
+    xdr::Encoder enc(msg.payload);
+    enc.put_u32(incarnation_);
+    enc.put_u32(static_cast<std::uint32_t>(decisions.size()));
+    for (const RecoveryDecision& d : decisions) {
+      enc.put_u64(d.session);
+      enc.put_u64(d.epoch);
+      enc.put_u32(d.committed ? 1u : 0u);
+    }
+    // Idempotent: on_peer_rejoin dedups by {peer, incarnation}, so a
+    // retransmitted announcement only re-acks.
+    auto ack = guarded_roundtrip(std::move(msg), MessageType::kRejoinAck,
+                                 full_dispatcher_, /*idempotent=*/true);
+    if (!ack) {
+      SRPC_WARN << name_ << ": rejoin announcement to space " << peer
+                << " failed: " << ack.status().to_string();
+      if (worst.is_ok()) worst = ack.status();
+    }
+  }
+  return worst;
+}
+
+Status Runtime::recover_from_log() {
+  if (recovery_ == nullptr) return Status::ok();
+  const std::vector<RecoveryLog::Record> journal = recovery_->snapshot();
+  // The latest checkpoint supersedes everything before it — but the
+  // commit-epoch dedup map and session tombstones must survive across the
+  // whole history: a retransmitted WB_COMMIT (or straggler of a settled
+  // session) re-acks against state the image alone cannot carry.
+  std::size_t start = 0;
+  const RecoveryLog::Record* checkpoint = nullptr;
+  for (std::size_t i = 0; i < journal.size(); ++i) {
+    if (journal[i].kind == RecoveryLog::Kind::kCheckpoint) {
+      checkpoint = &journal[i];
+      start = i + 1;
+    }
+  }
+  if (checkpoint != nullptr) {
+    SRPC_RETURN_IF_ERROR(RecoveryLog::restore_checkpoint(*checkpoint, heap_));
+  }
+  for (std::size_t i = 0; i < start; ++i) {
+    const RecoveryLog::Record& r = journal[i];
+    if (r.kind == RecoveryLog::Kind::kCommit) {
+      std::uint64_t& epoch = committed_epochs_[r.session];
+      epoch = std::max(epoch, r.epoch);
+    } else if (r.kind == RecoveryLog::Kind::kSettle) {
+      committed_epochs_.erase(r.session);
+      tombstone_session(r.session);
+    }
+  }
+
+  std::size_t replayed = 0;
+  for (std::size_t i = start; i < journal.size(); ++i) {
+    const RecoveryLog::Record& r = journal[i];
+    ++replayed;
+    switch (r.kind) {
+      case RecoveryLog::Kind::kAlloc: {
+        auto* base = reinterpret_cast<std::uint8_t*>(r.addr);
+        SRPC_RETURN_IF_ERROR(
+            heap_.restore(base, r.type, r.count, r.size, r.peer, r.session));
+        // A fresh allocation was zeroed; any bytes it gained later arrive
+        // through the commit records that follow.
+        std::memset(base, 0, r.size);
+        break;
+      }
+      case RecoveryLog::Kind::kFree: {
+        Status freed = heap_.free(reinterpret_cast<void*>(r.addr));
+        if (!freed.is_ok()) {
+          SRPC_WARN << name_ << ": replayed free failed: " << freed.to_string();
+        }
+        break;
+      }
+      case RecoveryLog::Kind::kPrepare: {
+        // Re-stage, in doubt: the decision records (and peers' REJOIN
+        // resolution) settle it.
+        ShadowCommit& shadow = shadow_commits_[r.session];
+        if (shadow.epoch <= r.epoch) {
+          shadow.epoch = r.epoch;
+          shadow.from = r.peer;
+          shadow.staged = ByteBuffer();
+          shadow.staged.append({r.bytes.data(), r.bytes.size()});
+        }
+        break;
+      }
+      case RecoveryLog::Kind::kCommit: {
+        auto it = shadow_commits_.find(r.session);
+        if (it != shadow_commits_.end() && it->second.epoch == r.epoch) {
+          it->second.staged.reset_cursor();
+          SRPC_RETURN_IF_ERROR(
+              apply_modified_set(it->second.staged, it->second.from));
+          shadow_commits_.erase(it);
+        }
+        std::uint64_t& epoch = committed_epochs_[r.session];
+        epoch = std::max(epoch, r.epoch);
+        break;
+      }
+      case RecoveryLog::Kind::kAbort: {
+        auto it = shadow_commits_.find(r.session);
+        if (it != shadow_commits_.end() && it->second.epoch <= r.epoch) {
+          shadow_commits_.erase(it);
+        }
+        break;
+      }
+      case RecoveryLog::Kind::kSettle: {
+        if (r.aborted) {
+          stats_.orphan_bytes_reclaimed += heap_.reclaim_session(r.session);
+        } else {
+          (void)heap_.promote_session(r.session);
+        }
+        shadow_commits_.erase(r.session);
+        committed_epochs_.erase(r.session);
+        tombstone_session(r.session);
+        break;
+      }
+      case RecoveryLog::Kind::kDecision:
+        break;  // shipped verbatim by announce_rejoin()
+      case RecoveryLog::Kind::kCheckpoint:
+        break;  // superseded: only the last image is restored
+    }
+  }
+  stats_.recovery_replays += replayed;
+  // Replay re-applied commits through the normal incorporate path, which
+  // records them as this (ambient) session's travelling home updates; the
+  // recovered sessions are settled history, not live state.
+  ambient_state_.updates.clear();
+  ambient_state_.clear_ship();
+  SRPC_WARN << name_ << ": incarnation " << incarnation_ << " replayed "
+            << replayed << " log records ("
+            << (checkpoint != nullptr ? "from checkpoint" : "full history")
+            << "); " << shadow_commits_.size() << " stage(s) in doubt";
+  return Status::ok();
+}
+
+void Runtime::checkpoint_now() {
+  if (recovery_ == nullptr) return;
+  recovery_->checkpoint(heap_);
+  ++stats_.checkpoints_taken;
+  settles_since_checkpoint_ = 0;
+}
+
+void Runtime::maybe_checkpoint() {
+  if (recovery_ == nullptr || checkpoint_interval_ == 0) return;
+  if (++settles_since_checkpoint_ < checkpoint_interval_) return;
+  checkpoint_now();
 }
 
 // ---------------------------------------------------------------------------
@@ -1653,10 +2045,18 @@ Status Runtime::serve_alloc_batch(Message msg) {
     // Track remote provenance until the session settles: a committed
     // session promotes the storage to durable home data, an aborted or
     // orphaned one gets it reclaimed.
-    (void)heap_.tag_owner(reinterpret_cast<std::uint64_t>(mem.value()),
-                          msg.from, msg.session);
+    const std::uint64_t addr = reinterpret_cast<std::uint64_t>(mem.value());
+    (void)heap_.tag_owner(addr, msg.from, msg.session);
+    if (recovery_ != nullptr) {
+      // Logged before the grant is acknowledged: the requester is about to
+      // hold long pointers into this storage, so a reincarnation must be
+      // able to re-register the exact range.
+      const ManagedHeap::Record* rec = heap_.find_base(addr);
+      recovery_->note_alloc(addr, rec->type, rec->count, rec->size, msg.from,
+                            msg.session);
+    }
     enc.put_u64(prov.value());
-    enc.put_u64(reinterpret_cast<std::uint64_t>(mem.value()));
+    enc.put_u64(addr);
   }
 
   auto nfree = dec.get_u32();
@@ -1667,6 +2067,8 @@ Status Runtime::serve_alloc_batch(Message msg) {
     Status freed = heap_.free(reinterpret_cast<void*>(addr.value()));
     if (!freed.is_ok()) {
       SRPC_WARN << "remote free failed: " << freed.to_string();
+    } else if (recovery_ != nullptr) {
+      recovery_->note_free(addr.value());
     }
   }
   return endpoint_.send(std::move(reply));
@@ -1774,13 +2176,20 @@ Status Runtime::serve_invalidate(Message msg) {
   // The session is over: refuse any straggler (delayed or replayed
   // message) that still carries its id, so it cannot repopulate the cache.
   // Retransmitted INVALIDATEs still land here and are acked again.
+  if (recovery_ != nullptr && !is_dead_session(msg.session)) {
+    recovery_->note_settle(msg.session, aborted);
+  }
   tombstone_session(msg.session);
   Message reply;
   reply.type = MessageType::kInvalidateAck;
   reply.to = msg.from;
   reply.session = msg.session;
   reply.seq = msg.seq;
-  return endpoint_.send(std::move(reply));
+  Status sent = endpoint_.send(std::move(reply));
+  // Settlement is the checkpoint cadence: the session's effects are final
+  // and the log up to here can be superseded by one heap image.
+  maybe_checkpoint();
+  return sent;
 }
 
 // ---------------------------------------------------------------------------
@@ -1839,6 +2248,13 @@ Status Runtime::serve_wb_prepare(Message msg) {
       // exactly until WB_COMMIT/WB_ABORT (or dead-peer cleanup) erases
       // this shadow entry. Byte-lane prepare: a plain copy, as before.
       shadow.staged = msg.payload.slice_remaining();
+      if (recovery_ != nullptr) {
+        // Journal the stage before it is acknowledged: once the ack lands
+        // the coordinator may decide to commit, and a reincarnation of
+        // this home must still hold the bytes to roll forward.
+        recovery_->note_prepare(msg.session, epoch.value(), msg.from,
+                                shadow.staged.data(), shadow.staged.size());
+      }
     }
     // A prepare older than the current stage is a straggler from an
     // abandoned attempt: ignore its bytes but still ack (the retransmit
@@ -1878,6 +2294,9 @@ Status Runtime::serve_wb_commit(Message msg) {
     }
     committed_epochs_[msg.session] = epoch.value();
     shadow_commits_.erase(it);
+    if (recovery_ != nullptr) {
+      recovery_->note_commit(msg.session, epoch.value());
+    }
     if (multi_session_) {
       // The write-back is durable: bump the versions of everything it
       // touched so later validations see the new world, and release this
@@ -1905,6 +2324,9 @@ Status Runtime::serve_wb_abort(Message msg) {
   if (it != shadow_commits_.end() && it->second.epoch <= epoch.value()) {
     ++stats_.wb_aborts_served;
     shadow_commits_.erase(it);
+    if (recovery_ != nullptr) {
+      recovery_->note_abort(msg.session, epoch.value());
+    }
     if (multi_session_) {
       // Only an abort that actually dropped a stage releases arbitration
       // state: a straggler from an abandoned attempt must not free the
@@ -2233,6 +2655,11 @@ Status Runtime::end_session(SessionId id) {
                   << " failed: " << ack.status().to_string();
       }
     };
+    // Decision logged before any abort ships: if we crash mid-sweep, our
+    // successor's REJOIN tells the still-staged homes to roll back.
+    if (recovery_ != nullptr && !prepared.empty()) {
+      recovery_->note_decision(id, epoch, /*committed=*/false);
+    }
     for (const PreparedHome& p : prepared) {
       ++stats_.wb_aborts;
       if (telemetry_.tracing()) {
@@ -2266,6 +2693,14 @@ Status Runtime::end_session(SessionId id) {
   // fingerprint suppression has not already committed. The fan-out follows
   // parallel_commit_ like phase one; every issued frame is settled before
   // the first failure is reported.
+  //
+  // The commit decision is journaled BEFORE the first WB_COMMIT ships —
+  // this is the atomic commit point of the session. If we crash between
+  // here and the last ack, our successor's REJOIN carries the decision and
+  // every home still holding its stage rolls forward.
+  if (recovery_ != nullptr && !prepared.empty()) {
+    recovery_->note_decision(id, epoch, /*committed=*/true);
+  }
   Status commit_failure = Status::ok();
   std::vector<PendingAck> commits;
   auto settle_commit = [&](const PendingAck& a) {
@@ -2578,6 +3013,7 @@ Status Runtime::dispatch(Message msg) {
       case MessageType::kWbCommit:
       case MessageType::kWbAbort:
       case MessageType::kPing:
+      case MessageType::kRejoin:
       case MessageType::kDeref:
         span = telemetry_.tracer().start_server(
             msg.trace, "serve " + std::string(to_string(msg.type)),
@@ -2617,6 +3053,10 @@ Status Runtime::dispatch_serve(Message msg) {
       return serve_wb_abort(std::move(msg));
     case MessageType::kPing:
       return serve_ping(std::move(msg));
+    case MessageType::kRejoin:
+      // Always servable — this is how a reincarnated peer re-enters the
+      // world; dedup happens inside by {peer, incarnation}.
+      return serve_rejoin(std::move(msg));
     case MessageType::kDeref:
       return serve_deref(std::move(msg));
     case MessageType::kShutdown:
@@ -2631,6 +3071,7 @@ Status Runtime::dispatch_serve(Message msg) {
     case MessageType::kWbCommitAck:
     case MessageType::kWbAbortAck:
     case MessageType::kPong:
+    case MessageType::kRejoinAck:
     case MessageType::kDerefReply:
     case MessageType::kError:
       // A reply whose request already completed: the first copy (or a

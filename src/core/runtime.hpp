@@ -35,6 +35,7 @@
 #include "core/failure_detector.hpp"
 #include "core/modified_set.hpp"
 #include "mem/managed_heap.hpp"
+#include "mem/recovery_log.hpp"
 #include "mem/remote_allocator.hpp"
 #include "net/sim_network.hpp"
 #include "obs/telemetry.hpp"
@@ -88,6 +89,14 @@ struct RuntimeStats {
   // Zero-copy shm payload lane (PROTOCOL.md "Zero-copy payload lane").
   std::uint64_t shm_payloads_published = 0;  // payloads elevated to views
   std::uint64_t shm_publish_fallbacks = 0;   // arena full -> byte lane
+  // Space reincarnation (PROTOCOL.md "Incarnations, fencing & rejoin").
+  std::uint64_t fenced_stale_messages = 0;  // frames dropped: prior-life traffic
+  std::uint64_t rejoins_sent = 0;           // REJOIN announcements issued
+  std::uint64_t rejoins_served = 0;         // peer reincarnations applied here
+  std::uint64_t recovery_replays = 0;       // log records replayed at startup
+  std::uint64_t in_doubt_resolved_commit = 0;  // stale stages rolled forward
+  std::uint64_t in_doubt_resolved_abort = 0;   // stale stages rolled back
+  std::uint64_t checkpoints_taken = 0;         // heap images appended to the log
 };
 
 class Runtime final : public PageFetcher,
@@ -227,6 +236,39 @@ class Runtime final : public PageFetcher,
   // abort_session() fallback failed too — the swallowed-status counter.
   void note_session_teardown_failure() noexcept {
     ++stats_.session_teardown_failures;
+  }
+
+  // --- crash recovery & reincarnation (PROTOCOL.md "Incarnations, fencing
+  // --- & rejoin") ------------------------------------------------------------
+
+  // Attaches the World-owned durable log and this runtime's incarnation
+  // number (>= 1; 0 detaches and keeps the legacy wire format). Installs
+  // the incarnation stamp and the stale-frame fence on the endpoint and
+  // flips the heap into retain-freed mode so logged addresses stay mapped.
+  // Call before start().
+  void set_recovery(RecoveryLog* log, std::uint32_t incarnation);
+  [[nodiscard]] std::uint32_t incarnation() const noexcept { return incarnation_; }
+  [[nodiscard]] RecoveryLog* recovery_log() const noexcept { return recovery_; }
+
+  // Rebuilds home-side state from the log: restores the latest heap
+  // checkpoint, re-applies subsequent allocations/frees/commits, re-stages
+  // in-doubt prepares, and re-installs session tombstones and commit-epoch
+  // dedup entries. Runs once, on the successor incarnation's worker,
+  // before any traffic is served.
+  Status recover_from_log();
+
+  // Announces {incarnation, replayed decision log} to every peer in the
+  // directory so they fence the prior life's traffic and resolve any
+  // in-doubt stages this space coordinated. Best-effort per peer; the
+  // worst failure is returned.
+  Status announce_rejoin();
+
+  // Appends a full heap image to the log now, superseding the replay
+  // history before it. set_checkpoint_interval(n) additionally takes one
+  // automatically every n session settlements (0 = manual only).
+  void checkpoint_now();
+  void set_checkpoint_interval(std::uint32_t every_n_settles) noexcept {
+    checkpoint_interval_ = every_n_settles;
   }
 
   // --- worker loop ------------------------------------------------------------
@@ -502,6 +544,23 @@ class Runtime final : public PageFetcher,
   Status serve_wb_commit(Message msg);
   Status serve_wb_abort(Message msg);
   Status serve_ping(Message msg);
+  Status serve_rejoin(Message msg);
+
+  // Endpoint fence (receive choke point): true drops the frame as a relic
+  // of some space's prior incarnation. Learns higher incarnations from
+  // passing traffic and queues the implicit-rejoin cleanup.
+  bool fence_stale(const Message& msg);
+
+  // Applies one peer reincarnation: fences the old life's incarnation,
+  // resolves in-doubt stages it coordinated against `decisions`, flushes
+  // its leases/locks/dedup windows, expires in-flight requests addressed
+  // to the prior life, and re-opens the failure detector. Idempotent per
+  // {peer, incarnation}.
+  void on_peer_rejoin(SpaceId peer, std::uint32_t incarnation,
+                      const std::vector<RecoveryDecision>& decisions);
+
+  // Checkpoint cadence driven by session settlements (serve_invalidate).
+  void maybe_checkpoint();
 
   // endpoint_.roundtrip guarded by the failure detector: fails fast with
   // SPACE_DEAD when the destination is already declared dead, notes contact
@@ -688,6 +747,17 @@ class Runtime final : public PageFetcher,
   // (detector edge + World::mark_dead + queued cleanups) act once.
   std::unordered_set<SpaceId> dead_cleaned_;
   bool probing_ = false;  // re-entrancy guard: never probe from a probe
+
+  // --- crash recovery & reincarnation ---------------------------------------
+  RecoveryLog* recovery_ = nullptr;  // owned by the World; survives this runtime
+  std::uint32_t incarnation_ = 0;    // 0 = recovery off (legacy wire format)
+  // Highest incarnation observed per peer; frames below it are fenced.
+  std::unordered_map<SpaceId, std::uint32_t> peer_incarnations_;
+  // Reincarnations learned from passing traffic (fence_stale) rather than
+  // an explicit REJOIN; poll_failures() runs the cleanup at a safe point.
+  std::vector<std::pair<SpaceId, std::uint32_t>> pending_rejoin_cleanup_;
+  std::uint32_t checkpoint_interval_ = 0;   // settles per checkpoint; 0 = manual
+  std::uint32_t settles_since_checkpoint_ = 0;
 };
 
 }  // namespace srpc

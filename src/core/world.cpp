@@ -63,6 +63,10 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
     if (options_.multi_session && options_.two_phase_writeback) {
       caps |= kCapMultiSession;
     }
+    // Recovery worlds speak the incarnation wire extension and keep their
+    // write-backs self-contained (complete redo records for the home's
+    // log); peers key their fencing off this bit.
+    if (options_.recovery) caps |= kCapIncarnation;
     if (options_.modified_deltas || options_.shm_payload) {
       bool uniform_arch = true;
       for (const auto& s : spaces_) {
@@ -84,15 +88,11 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
       options_.cache, std::move(directory), options_.timeouts,
       std::move(peer_caps)));
   AddressSpace& space = *spaces_.back();
-  if (options_.tracing) {
-    space.runtime().set_tracing(true);  // before start(): no worker yet
+  if (options_.recovery) {
+    recovery_logs_.push_back(std::make_unique<RecoveryLog>());
+    incarnations_.push_back(1);  // 0 on the wire means "recovery off"
   }
-  if (options_.multi_session && options_.two_phase_writeback) {
-    space.runtime().set_multi_session(true);  // before start(): no worker yet
-  }
-  if (shm_arena_) {
-    space.runtime().set_shm_arena(shm_arena_.get());  // before start()
-  }
+  apply_runtime_config(space);  // before start(): no worker yet
 
   if (sim_) {
     sim_->attach(id, &space.mailbox());
@@ -101,6 +101,20 @@ AddressSpace& World::create_space(const std::string& name, const ArchModel& arch
     hub_->attach(id, &space.mailbox()).check();
   }
   return space;
+}
+
+void World::apply_runtime_config(AddressSpace& space) {
+  Runtime& rt = space.runtime();
+  if (options_.tracing) rt.set_tracing(true);
+  if (options_.multi_session && options_.two_phase_writeback) {
+    rt.set_multi_session(true);
+  }
+  if (shm_arena_) rt.set_shm_arena(shm_arena_.get());
+  if (options_.recovery) {
+    const SpaceId id = space.id();
+    rt.set_recovery(recovery_logs_.at(id).get(), incarnations_.at(id));
+    rt.set_checkpoint_interval(options_.checkpoint_interval);
+  }
 }
 
 Status World::start() {
@@ -138,6 +152,32 @@ void World::mark_dead(SpaceId id) {
 void World::crash_space(SpaceId id) {
   if (fault_) fault_->crash_space(id);
   mark_dead(id);
+}
+
+Status World::restart_space(SpaceId id) {
+  if (!options_.recovery) {
+    return failed_precondition("restart_space requires WorldOptions::recovery");
+  }
+  if (!sim_) {
+    return unimplemented("restart_space is simulated-transport only");
+  }
+  AddressSpace& space = *spaces_.at(id);
+  // The crash point was already decided by the transport cut; halting just
+  // joins the worker after its in-flight work unwinds with deadline errors.
+  space.halt();
+  if (fault_) fault_->restart_space(id);
+  ++incarnations_.at(id);
+  SRPC_RETURN_IF_ERROR(space.reincarnate());
+  apply_runtime_config(space);
+  // The successor Runtime owns a fresh mailbox; repoint the wire at it.
+  sim_->attach(id, &space.mailbox());
+  SRPC_RETURN_IF_ERROR(space.start());
+  // Replay + rejoin on the successor's own worker; blocking here makes the
+  // restart linearisable for callers (tests crash/restart deterministically).
+  return space.run([](Runtime& rt) {
+    SRPC_RETURN_IF_ERROR(rt.recover_from_log());
+    return rt.announce_rejoin();
+  });
 }
 
 double World::virtual_seconds() const {

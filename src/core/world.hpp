@@ -72,6 +72,15 @@ struct WorldOptions {
   // changes wire-byte accounting, so it is opt-in per World.
   bool shm_payload = false;
   std::size_t shm_arena_bytes = 64ULL << 20;  // live-bytes budget of the arena
+  // Space reincarnation: every space gets a world-owned RecoveryLog (the
+  // in-memory stand-in for NVRAM — it survives the space's crash), an
+  // incarnation number carried in every frame (kCapIncarnation), and
+  // World::restart_space() brings a crashed space back: replay the log,
+  // announce REJOIN, fence stale traffic from the prior life.
+  bool recovery = false;
+  // Checkpoint the heap into the recovery log every N session settlements
+  // (0 = never; replay then walks the whole journal).
+  std::uint32_t checkpoint_interval = 0;
 };
 
 class World {
@@ -115,6 +124,23 @@ class World {
   void mark_suspect(SpaceId id);
   void mark_dead(SpaceId id);
   void crash_space(SpaceId id);
+
+  // Restarts a crashed space as its next incarnation (requires
+  // options.recovery; simulated transport only): joins the dead worker,
+  // lifts the transport cut, replays the space's RecoveryLog into a fresh
+  // Runtime, and announces REJOIN to every peer so they flush the prior
+  // incarnation's leases and resolve in-doubt prepares against the
+  // replayed decision log. Blocks until replay + rejoin complete.
+  Status restart_space(SpaceId id);
+
+  // The space's durable log / current incarnation (recovery worlds only;
+  // null / 0 otherwise).
+  [[nodiscard]] RecoveryLog* recovery_log(SpaceId id) noexcept {
+    return id < recovery_logs_.size() ? recovery_logs_[id].get() : nullptr;
+  }
+  [[nodiscard]] std::uint32_t incarnation(SpaceId id) const noexcept {
+    return id < incarnations_.size() ? incarnations_[id] : 0;
+  }
 
   // Simulated-transport observability (null on the socket transport).
   [[nodiscard]] SimNetwork* sim() noexcept { return sim_.get(); }
@@ -164,6 +190,11 @@ class World {
   }
 
  private:
+  // Per-runtime configuration shared by create_space and restart_space —
+  // everything a fresh Runtime (first life or reincarnation) needs before
+  // its worker starts.
+  void apply_runtime_config(AddressSpace& space);
+
   WorldOptions options_;
   TypeRegistry registry_;
   LayoutEngine layouts_;
@@ -173,6 +204,10 @@ class World {
   std::unique_ptr<FaultTransport> fault_;
   std::unique_ptr<ShmArena> shm_arena_;
   std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  // Indexed by SpaceId. Logs are world-owned so they survive their space's
+  // crash; incarnations start at 1 (0 on the wire means "recovery off").
+  std::vector<std::unique_ptr<RecoveryLog>> recovery_logs_;
+  std::vector<std::uint32_t> incarnations_;
   bool started_ = false;
 };
 

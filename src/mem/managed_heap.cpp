@@ -25,6 +25,17 @@ ManagedHeap::~ManagedHeap() {
   for (auto& [base, record] : records_) {
     release_record(record);
   }
+  for (auto& record : retired_) {
+    release_record(record);
+  }
+}
+
+void ManagedHeap::discard(Record& record) {
+  if (retain_freed_ && !record.adopted) {
+    retired_.push_back(record);
+    return;
+  }
+  release_record(record);
 }
 
 Result<void*> ManagedHeap::allocate(TypeId type, std::uint32_t count) {
@@ -103,8 +114,34 @@ Status ManagedHeap::free(void* p) {
     return not_found("free: not an allocation base");
   }
   live_bytes_ -= it->second.size;
-  release_record(it->second);
+  discard(it->second);
   records_.erase(it);
+  return Status::ok();
+}
+
+Status ManagedHeap::restore(void* base, TypeId full_type, std::uint32_t count,
+                            std::uint64_t size, SpaceId owner_space,
+                            SessionId owner_session) {
+  if (base == nullptr || size == 0) {
+    return invalid_argument("restore: null base or zero size");
+  }
+  const auto key = reinterpret_cast<std::uintptr_t>(base);
+  auto next = records_.upper_bound(key);
+  if (next != records_.end() && next->first < key + size) {
+    return already_exists("restore: range overlaps existing allocation");
+  }
+  if (next != records_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.size > key) {
+      return already_exists("restore: range overlaps existing allocation");
+    }
+  }
+  Record record{full_type, count, size, static_cast<std::uint8_t*>(base),
+                /*adopted=*/true};
+  record.owner_space = owner_space;
+  record.owner_session = owner_session;
+  records_.emplace(key, record);
+  live_bytes_ += size;
   return Status::ok();
 }
 
@@ -151,7 +188,7 @@ std::uint64_t ManagedHeap::reclaim_session(SessionId session) {
     if (it->second.owner_session == session) {
       reclaimed += it->second.size;
       live_bytes_ -= it->second.size;
-      release_record(it->second);
+      discard(it->second);
       it = records_.erase(it);
     } else {
       ++it;
@@ -166,7 +203,7 @@ std::uint64_t ManagedHeap::reclaim_owned_by(SpaceId space) {
     if (it->second.owner_space == space) {
       reclaimed += it->second.size;
       live_bytes_ -= it->second.size;
-      release_record(it->second);
+      discard(it->second);
       it = records_.erase(it);
     } else {
       ++it;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "common/status.hpp"
@@ -65,8 +66,24 @@ class ManagedHeap {
   Status adopt(void* base, TypeId type, std::uint32_t count = 1);
 
   // Frees an allocation (or unregisters an adopted range). `p` must be the
-  // base address.
+  // base address. In retain-freed mode the record is unregistered but the
+  // storage is kept until heap destruction (see set_retain_freed).
   Status free(void* p);
+
+  // Crash-recovery restore: re-registers a predecessor incarnation's range
+  // verbatim (full type, count, size, ownership tags) without recomputing
+  // the layout. The range is adopted — the predecessor's heap still owns
+  // the storage and releases it at world teardown.
+  Status restore(void* base, TypeId full_type, std::uint32_t count,
+                 std::uint64_t size, SpaceId owner_space,
+                 SessionId owner_session);
+
+  // Recovery mode: freed (and reclaimed) allocations are unregistered but
+  // their storage is retired, not released, until the heap dies. Two
+  // things depend on this: log replay may restore-then-free a range that
+  // was freed before the crash, and no logged address can ever be handed
+  // out again by the system allocator while its log records are live.
+  void set_retain_freed(bool on) noexcept { retain_freed_ = on; }
 
   // Containing allocation for any (possibly interior) address.
   [[nodiscard]] const Record* find(const void* addr) const;
@@ -114,12 +131,17 @@ class ManagedHeap {
   }
 
  private:
+  // Unregisters a record: releases it, or retires it in retain-freed mode.
+  void discard(Record& record);
+
   TypeRegistry& registry_;
   const LayoutEngine& layouts_;
   const ArchModel& arch_;
   SpaceId owner_;
   std::map<std::uintptr_t, Record> records_;
+  std::vector<Record> retired_;  // retain-freed mode: released in ~ManagedHeap
   std::uint64_t live_bytes_ = 0;
+  bool retain_freed_ = false;
 };
 
 }  // namespace srpc

@@ -1,0 +1,126 @@
+// RecoveryLog — the home-side durable write-ahead record behind space
+// reincarnation (PROTOCOL.md "Incarnations, fencing & rejoin").
+//
+// Every state transition a *peer* depends on is appended before it is
+// acknowledged: ALLOC_BATCH ownership (a peer holds long pointers into the
+// storage), two-phase WB_PREPARE stages and their COMMIT/ABORT outcomes,
+// session settlement (INVALIDATE), and — on the coordinator side — the
+// final decision for each two-phase epoch. Periodic heap checkpoints bound
+// replay: a checkpoint captures every live allocation with its bytes and
+// ownership tags, superseding the alloc/commit history before it.
+//
+// On restart the runtime replays the log (Runtime::recover_from_log):
+// restore the last checkpoint, re-apply subsequent allocs/frees, re-stage
+// in-doubt prepares, re-apply commits, and collect the decision records
+// that the REJOIN announcement ships to peers so they can resolve their
+// own in-doubt stages.
+//
+// The log is owned by the World, *outside* the Runtime it records, so it
+// survives the crash/reincarnation of its space — the in-memory stand-in
+// for a file or NVRAM region (set_backing_path() additionally mirrors
+// appends to a file for inspection; replay always uses the in-memory
+// image).
+//
+// Thread-safety: appends come from the recording space's worker; replay
+// and inspection come from the successor incarnation's worker and test
+// threads. Every method takes the internal mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "types/type_registry.hpp"
+
+namespace srpc {
+
+class ManagedHeap;
+
+// Coordinator-side outcome of one two-phase session, shipped in REJOIN so
+// peers holding in-doubt stages for this space can roll forward or back.
+struct RecoveryDecision {
+  SessionId session = kNoSession;
+  std::uint64_t epoch = 0;
+  bool committed = false;
+};
+
+class RecoveryLog {
+ public:
+  enum class Kind : std::uint8_t {
+    kAlloc = 1,   // ALLOC_BATCH granted storage to a remote session
+    kFree,        // ALLOC_BATCH freed an allocation base
+    kPrepare,     // WB_PREPARE staged (bytes = the staged modified set)
+    kCommit,      // WB_COMMIT applied the stage for {session, epoch}
+    kAbort,       // WB_ABORT discarded the stage
+    kSettle,      // INVALIDATE settled the session (aborted flag)
+    kDecision,    // coordinator's final verdict for {session, epoch}
+    kCheckpoint,  // full heap image (bytes = serialized allocations)
+  };
+
+  struct Record {
+    Kind kind = Kind::kAlloc;
+    SessionId session = kNoSession;
+    std::uint64_t epoch = 0;
+    SpaceId peer = kInvalidSpaceId;  // alloc owner / prepare sender
+    std::uint64_t addr = 0;          // alloc/free base address
+    TypeId type = kInvalidTypeId;    // alloc: full (possibly array) type
+    std::uint32_t count = 1;         // alloc: element count
+    std::uint64_t size = 0;          // alloc: byte size
+    bool aborted = false;            // settle
+    bool committed = false;          // decision
+    std::vector<std::uint8_t> bytes;  // prepare stage / checkpoint image
+  };
+
+  RecoveryLog() = default;
+  RecoveryLog(const RecoveryLog&) = delete;
+  RecoveryLog& operator=(const RecoveryLog&) = delete;
+
+  void note_alloc(std::uint64_t addr, TypeId full_type, std::uint32_t count,
+                  std::uint64_t size, SpaceId owner_space,
+                  SessionId owner_session);
+  void note_free(std::uint64_t addr);
+  void note_prepare(SessionId session, std::uint64_t epoch, SpaceId from,
+                    const std::uint8_t* staged, std::size_t len);
+  void note_commit(SessionId session, std::uint64_t epoch);
+  void note_abort(SessionId session, std::uint64_t epoch);
+  void note_settle(SessionId session, bool aborted);
+  void note_decision(SessionId session, std::uint64_t epoch, bool committed);
+
+  // Serializes every live allocation of `heap` (tags and bytes) into one
+  // kCheckpoint record. Replay restores the latest checkpoint and then
+  // applies only the records appended after it.
+  void checkpoint(const ManagedHeap& heap);
+
+  // Re-registers every allocation of `image` (a kCheckpoint record) into
+  // `heap` and copies its saved bytes back over the still-mapped storage.
+  // INVALID_ARGUMENT if `image` is not a checkpoint.
+  static Status restore_checkpoint(const Record& image, ManagedHeap& heap);
+
+  // Snapshot of the journal for replay, oldest first.
+  [[nodiscard]] std::vector<Record> snapshot() const;
+
+  // Coordinator decisions across the whole journal, for REJOIN payloads.
+  [[nodiscard]] std::vector<RecoveryDecision> decisions() const;
+
+  [[nodiscard]] std::size_t records() const;
+  [[nodiscard]] std::size_t checkpoints() const;
+  [[nodiscard]] std::uint64_t bytes_logged() const;
+
+  // Mirrors a human-readable line per append to `path` (best-effort; the
+  // in-memory journal stays authoritative for replay).
+  void set_backing_path(std::string path);
+
+ private:
+  void append(Record&& r);
+
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+  std::size_t checkpoints_ = 0;
+  std::uint64_t bytes_logged_ = 0;
+  std::string backing_path_;
+};
+
+}  // namespace srpc

@@ -39,11 +39,6 @@ Status FaultTransport::send(Message&& msg) {
       return Status::ok();  // silent loss, like any network drop
     }
 
-    if (fuse_ >= 0 && sent_++ >= fuse_) {
-      ++stats_.fuse_failures;
-      return unavailable("injected transport failure (fuse)");
-    }
-
     const auto kind = static_cast<std::uint32_t>(msg.type);
     if (kind < 32 && pending_corrupts_[kind] > 0) {
       --pending_corrupts_[kind];
@@ -150,8 +145,6 @@ void FaultTransport::disarm() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     armed_ = false;
-    fuse_ = -1;
-    sent_ = 0;
     for (auto& n : pending_drops_) n = 0;
     for (auto& n : pending_corrupts_) n = 0;
     partitioned_.clear();  // crashes stay: the process is gone for good
@@ -214,10 +207,9 @@ bool FaultTransport::is_crashed(SpaceId id) const {
   return crashed_.contains(id);
 }
 
-void FaultTransport::set_fuse(int sends) {
+void FaultTransport::restart_space(SpaceId id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  sent_ = 0;
-  fuse_ = sends;
+  crashed_.erase(id);
 }
 
 void FaultTransport::flush() {

@@ -1,8 +1,7 @@
 // FaultTransport — a seedable fault-injection decorator for any Transport.
 //
 // Wraps SimNetwork or SocketHub and subjects traffic to deterministic,
-// seeded message loss, duplication, and delay/reordering, plus the legacy
-// "fuse" (hard send failures after N successful sends). Tests use it to
+// seeded message loss, duplication, and delay/reordering. Tests use it to
 // prove the deadline/retry/dedup layer: a dropped message exercises
 // retransmission and DEADLINE_EXCEEDED, a duplicated one exercises
 // request-id dedup, a delayed one exercises stale-reply absorption and
@@ -22,9 +21,9 @@
 // Topology faults model whole-space failure rather than per-message loss:
 //   * partition(dst): every message to or from `dst` is silently discarded
 //     until heal(dst)/heal_all() — a two-way network cut. Healable.
-//   * crash_space(id): same cut, but permanent for the transport's
-//     lifetime — the process is gone, not the link. disarm() heals
-//     partitions but never crashes.
+//   * crash_space(id): same cut, but held until restart_space(id) lifts it
+//     for the space's next incarnation — the process is gone, not the
+//     link. disarm() heals partitions but never crashes.
 // Both are independent of arm()/disarm() rates and of the target mask.
 //
 // Thread-safety: send() may be called from any thread, including the
@@ -59,7 +58,6 @@ struct FaultStats {
   std::uint64_t dropped = 0;     // rate- or drop_next-injected losses
   std::uint64_t duplicated = 0;  // extra copies delivered
   std::uint64_t delayed = 0;     // messages held back at least once
-  std::uint64_t fuse_failures = 0;  // sends refused by the fuse
   std::uint64_t partition_drops = 0;  // losses from partition(dst) cuts
   std::uint64_t crash_drops = 0;      // losses from crash_space(id)
   std::uint64_t corrupted = 0;        // corrupt_next-injected payload damage
@@ -104,17 +102,14 @@ class FaultTransport final : public Transport {
   void heal_all();
   [[nodiscard]] bool is_partitioned(SpaceId dst) const;
 
-  // Permanent cut: the space's process is gone. Never healed (not even by
-  // disarm()); messages in both directions are silently lost.
+  // Process-death cut: messages in both directions are silently lost.
+  // disarm() never heals it — only restart_space(id), which models the
+  // space's next incarnation coming back up on the same address. Held-back
+  // messages from the prior life survive the restart (flush() then
+  // delivers them into the successor, which must fence them).
   void crash_space(SpaceId id);
+  void restart_space(SpaceId id);
   [[nodiscard]] bool is_crashed(SpaceId id) const;
-
-  // Legacy hard-failure fuse: after `sends` more successful sends, every
-  // send (any kind) fails with UNAVAILABLE until the fuse is reset.
-  // Legacy — prefer partition()/crash_space(), which model where the
-  // failure is (a peer, not the whole world) and let unaffected traffic
-  // flow; the fuse remains for tests of the global-outage path.
-  void set_fuse(int sends);
 
   // Delivers every held-back message now.
   void flush();
@@ -133,8 +128,6 @@ class FaultTransport final : public Transport {
   std::uint32_t target_mask_ = 0;  // bit per MessageType value; 0 = all
   std::uint32_t pending_drops_[32] = {};
   std::uint32_t pending_corrupts_[32] = {};
-  int fuse_ = -1;  // <0: disabled
-  int sent_ = 0;
   struct Held {
     Message msg;
     std::uint32_t remaining = 0;

@@ -48,6 +48,10 @@ std::string_view to_string(MessageType t) noexcept {
       return "PING";
     case MessageType::kPong:
       return "PONG";
+    case MessageType::kRejoin:
+      return "REJOIN";
+    case MessageType::kRejoinAck:
+      return "REJOIN_ACK";
   }
   return "UNKNOWN";
 }

@@ -40,6 +40,8 @@ enum class MessageType : std::uint8_t {
   kWbAbortAck,
   kPing,           // failure-detector probe
   kPong,
+  kRejoin,         // restarted space announces {incarnation, decision log}
+  kRejoinAck,
 };
 
 std::string_view to_string(MessageType t) noexcept;
@@ -51,6 +53,14 @@ struct Message {
   SessionId session = kNoSession;
   std::uint64_t seq = 0;  // matches replies to requests
   TraceContext trace;     // causal identity (trace_id == 0: none attached)
+  // Incarnation fencing (PROTOCOL.md "Incarnations, fencing & rejoin"):
+  // `incarnation` is the sender's current incarnation, `to_incarnation` the
+  // sender's belief about the destination's. Zero means "not stamped"
+  // (legacy peer or recovery disabled) and is never fenced. Receivers drop
+  // any message whose stamps are below their own knowledge — a frame from a
+  // crashed predecessor, or one addressed to it, must never be acted upon.
+  std::uint32_t incarnation = 0;
+  std::uint32_t to_incarnation = 0;
   // Simulation-only arrival timestamp (virtual ns) stamped by SimNetwork;
   // the receiver advances its clock to it on dequeue. Never framed on the
   // wire and not part of wire_size().
@@ -81,15 +91,21 @@ struct Message {
 inline constexpr std::size_t kMessageHeaderWireSize = 32;
 // Shm-lane descriptor: arena_id u32 | region u64 | offset u32 | len u32.
 inline constexpr std::size_t kShmDescriptorWireSize = 20;
+// Incarnation extension: incarnation u32 | to_incarnation u32.
+inline constexpr std::size_t kIncarnationWireSize = 8;
 
 inline std::size_t Message::wire_size() const noexcept {
   // The trace-context extension is charged only when attached, so runs
   // with tracing off price (and simulate) identically to pre-trace builds.
   // Shm-lane messages are charged header + descriptor only: the payload
   // bytes never cross the wire, which is the whole point of the lane.
+  // Incarnation stamps ride the same only-when-attached rule, so worlds
+  // without recovery price identically to pre-recovery builds.
   const std::size_t body =
       shm_backed() ? kShmDescriptorWireSize : payload.size();
   return kMessageHeaderWireSize + (trace.valid() ? kTraceContextWireSize : 0) +
+         ((incarnation != 0 || to_incarnation != 0) ? kIncarnationWireSize
+                                                    : 0) +
          body;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 
 namespace srpc {
 
@@ -21,6 +22,9 @@ std::string describe_wait(MessageType reply_type, std::uint64_t seq) {
 
 void RpcEndpoint::prepare(Message& msg) {
   msg.from = self_;
+  // Incarnation stamps are refreshed on every send — a retransmit after
+  // the destination rejoined must carry the updated belief.
+  if (stamp_) stamp_(msg);
   // The lane passes an already-elevated message through untouched, but it
   // meters every byte-lane payload it sees — prepare each message exactly
   // once (retransmits re-enter via send() with a shm-backed original, which
@@ -31,6 +35,26 @@ void RpcEndpoint::prepare(Message& msg) {
 Status RpcEndpoint::send(Message msg) {
   prepare(msg);
   return transport_.send(std::move(msg));
+}
+
+std::chrono::nanoseconds RpcEndpoint::next_backoff(const Pending& p) const {
+  const auto& cfg = p.cfg;
+  if (cfg.backoff_jitter <= 0.0) {
+    return std::min(p.backoff * 2, cfg.max_backoff);  // legacy doubling
+  }
+  // Decorrelated jitter: draw the next wait from
+  // [base, base + jitter*(3*prev - base)]. Clients that lost requests to
+  // the same partition desynchronise instead of re-storming the healed
+  // link in lockstep. The draw is keyed by {seed, seq, attempt}, so a
+  // fixed-seed run replays identically.
+  Rng rng(cfg.jitter_seed ^ (p.seq * 0x9E3779B97F4A7C15ULL) ^ p.attempt);
+  const double u = rng.next_double() * cfg.backoff_jitter;
+  const auto base = cfg.attempt_timeout;
+  const auto spread = 3 * p.backoff - base;  // > 0: backoff starts at base
+  const auto jittered =
+      base + std::chrono::nanoseconds(
+                 static_cast<std::int64_t>(u * static_cast<double>(spread.count())));
+  return std::min(jittered, cfg.max_backoff);
 }
 
 void RpcEndpoint::arm_attempt_timer(Pending& p) {
@@ -115,7 +139,7 @@ void RpcEndpoint::expire_timers(Clock::time_point now) {
       complete(p, sent);
       continue;
     }
-    p->backoff = std::min(p->backoff * 2, p->cfg.max_backoff);
+    p->backoff = next_backoff(*p);
     ++p->attempt;
     arm_attempt_timer(*p);
   }
@@ -131,6 +155,7 @@ Result<std::uint64_t> RpcEndpoint::issue(Message msg, MessageType reply_type,
   auto p = std::make_shared<Pending>();
   p->reply_type = reply_type;
   p->seq = seq;
+  p->dest = msg.to;
   p->describe = describe_wait(reply_type, seq);
   p->detached = opts.detached;
   p->cfg = opts.cfg;
@@ -191,6 +216,7 @@ Status RpcEndpoint::pump_once(Clock::time_point deadline, const Dispatcher& serv
   // ordinary (borrowed) payload, whether this is a routed reply or served
   // traffic. The buffer shares the view's pin.
   msg.bind_view_payload();
+  if (fence_ && fence_(msg)) return Status::ok();  // stale incarnation
   if (route_reply(msg)) return Status::ok();
   if (serve) {
     return serve(std::move(msg));
@@ -244,6 +270,15 @@ Status RpcEndpoint::cancel(std::uint64_t seq) {
   return Status::ok();
 }
 
+std::size_t RpcEndpoint::expire_peer(SpaceId peer, const Status& status) {
+  std::vector<std::shared_ptr<Pending>> doomed;
+  for (auto& [seq, p] : pending_) {
+    if (!p->done && !p->bare && p->dest == peer) doomed.push_back(p);
+  }
+  for (auto& p : doomed) complete(p, status);
+  return doomed.size();
+}
+
 bool RpcEndpoint::slot_done(std::uint64_t seq) const {
   auto it = pending_.find(seq);
   return it != pending_.end() && it->second->done;
@@ -293,6 +328,7 @@ Result<MailItem> RpcEndpoint::next() {
     Message msg = std::get<Message>(std::move(item).value());
     if (delivery_hook_) delivery_hook_(msg);
     msg.bind_view_payload();  // shm lane: see pump_once
+    if (fence_ && fence_(msg)) continue;  // stale incarnation
     // A reply for a slot nobody is actively collecting (an un-got future)
     // still belongs to that slot, not to the main loop.
     if (route_reply(msg)) continue;

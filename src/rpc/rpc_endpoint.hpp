@@ -159,12 +159,36 @@ class RpcEndpoint {
   using PayloadLane = std::function<void(Message&)>;
   void set_payload_lane(PayloadLane lane) { payload_lane_ = std::move(lane); }
 
+  // Runs on every outbound message, before the payload lane. The Runtime
+  // installs the incarnation stamp here: frames toward recovery-capable
+  // peers carry {our incarnation, their believed incarnation}. Retransmits
+  // re-enter prepare(), so a resend after the peer rejoined carries the
+  // *updated* belief rather than the stamp frozen at issue time.
+  using Stamp = std::function<void(Message&)>;
+  void set_stamp(Stamp stamp) { stamp_ = std::move(stamp); }
+
+  // Runs on every inbound Message after the delivery hook, before reply
+  // routing or serving — the single choke point all receives funnel
+  // through. Returning true drops the message (the Runtime fences frames
+  // stamped by, or addressed to, a stale incarnation here). A dropped
+  // shm-backed message releases its arena pin by plain destruction.
+  using Fence = std::function<bool(const Message&)>;
+  void set_fence(Fence fence) { fence_ = std::move(fence); }
+
+  // Settles every live slot whose request was sent to `peer` with
+  // `status`. Used when a peer's old incarnation is flushed at rejoin: a
+  // reply from the new incarnation must not complete a request the old one
+  // received (its seq-dedup memory is gone, its heap was rebuilt). Bare
+  // await_reply slots have no destination and are left alone.
+  std::size_t expire_peer(SpaceId peer, const Status& status);
+
  private:
   using Clock = std::chrono::steady_clock;
 
   struct Pending {
     MessageType reply_type = MessageType::kError;
     std::uint64_t seq = 0;
+    SpaceId dest = kInvalidSpaceId;  // request destination (expire_peer)
     std::string describe;  // "REPLY seq=N" for error messages
     // Send-less await_reply slot: expires with the await wording and never
     // retransmits.
@@ -187,6 +211,8 @@ class RpcEndpoint {
   // Stamps the sender and applies the payload lane — exactly once per
   // outbound message, before any retransmittable copy is taken.
   void prepare(Message& msg);
+  // Next retransmit wait: doubling, or decorrelated jitter when enabled.
+  [[nodiscard]] std::chrono::nanoseconds next_backoff(const Pending& p) const;
   void arm_attempt_timer(Pending& p);
   // Settles a slot: stores/fires the outcome, self-erases detached slots.
   void complete(const std::shared_ptr<Pending>& p, Result<Message> outcome);
@@ -203,6 +229,8 @@ class RpcEndpoint {
   Telemetry* telemetry_ = nullptr;
   DeliveryHook delivery_hook_;
   PayloadLane payload_lane_;
+  Stamp stamp_;
+  Fence fence_;
   std::deque<MailItem> deferred_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
 };

@@ -14,9 +14,10 @@ namespace srpc {
 
 namespace {
 bool valid_message_type(std::uint32_t t) noexcept {
-  t &= ~(kFrameTraceFlag | kFrameShmFlag);  // flags ride on the type word
+  // Flags ride on the type word.
+  t &= ~(kFrameTraceFlag | kFrameShmFlag | kFrameIncarnationFlag);
   return t >= static_cast<std::uint32_t>(MessageType::kCall) &&
-         t <= static_cast<std::uint32_t>(MessageType::kPong);
+         t <= static_cast<std::uint32_t>(MessageType::kRejoinAck);
 }
 
 // Parses the 20-byte shm descriptor at the decoder's cursor and redeems
@@ -63,6 +64,16 @@ Status decode_trace_ext(xdr::Decoder& dec, TraceContext& trace) {
   auto hop = dec.get_u32();
   if (!hop) return hop.status();
   trace.hop = hop.value();
+  return Status::ok();
+}
+
+Status decode_incarnation_ext(xdr::Decoder& dec, Message& msg) {
+  auto inc = dec.get_u32();
+  if (!inc) return inc.status();
+  msg.incarnation = inc.value();
+  auto to_inc = dec.get_u32();
+  if (!to_inc) return to_inc.status();
+  msg.to_incarnation = to_inc.value();
   return Status::ok();
 }
 
@@ -135,6 +146,8 @@ void encode_frame(const Message& msg, ByteBuffer& out) {
   enc.put_u32(kFrameMagic);
   std::uint32_t type = static_cast<std::uint32_t>(msg.type);
   if (msg.trace.valid()) type |= kFrameTraceFlag;
+  const bool incarnated = msg.incarnation != 0 || msg.to_incarnation != 0;
+  if (incarnated) type |= kFrameIncarnationFlag;
   // Stash the pin before committing to the flag: if the arena is already
   // gone the frame downgrades to the byte lane — the view itself still
   // pins the bytes, so they can be framed the classic way.
@@ -161,6 +174,10 @@ void encode_frame(const Message& msg, ByteBuffer& out) {
   enc.put_u32(shm ? static_cast<std::uint32_t>(kShmDescriptorWireSize)
                   : static_cast<std::uint32_t>(bytes.size()));
   if (msg.trace.valid()) encode_trace_ext(enc, msg.trace);
+  if (incarnated) {
+    enc.put_u32(msg.incarnation);
+    enc.put_u32(msg.to_incarnation);
+  }
   if (shm) {
     enc.put_u32(msg.view.arena_id);
     enc.put_u64(ticket);
@@ -184,7 +201,9 @@ Result<Message> decode_frame(ByteBuffer& in) {
     return protocol_error("unknown message type " + std::to_string(type.value()));
   }
   Message msg;
-  msg.type = static_cast<MessageType>(type.value() & ~kFrameTraceFlag);
+  msg.type = static_cast<MessageType>(
+      type.value() &
+      ~(kFrameTraceFlag | kFrameShmFlag | kFrameIncarnationFlag));
   auto from = dec.get_u32();
   if (!from) return from.status();
   msg.from = from.value();
@@ -201,6 +220,9 @@ Result<Message> decode_frame(ByteBuffer& in) {
   if (!len) return len.status();
   if ((type.value() & kFrameTraceFlag) != 0) {
     SRPC_RETURN_IF_ERROR(decode_trace_ext(dec, msg.trace));
+  }
+  if ((type.value() & kFrameIncarnationFlag) != 0) {
+    SRPC_RETURN_IF_ERROR(decode_incarnation_ext(dec, msg));
   }
   if ((type.value() & kFrameShmFlag) != 0) {
     SRPC_RETURN_IF_ERROR(decode_shm_descriptor(dec, len.value(), msg));
@@ -260,7 +282,9 @@ Result<Message> read_frame(int fd) {
     return protocol_error("unknown message type " + std::to_string(type.value()));
   }
   Message msg;
-  msg.type = static_cast<MessageType>(type.value() & ~kFrameTraceFlag);
+  msg.type = static_cast<MessageType>(
+      type.value() &
+      ~(kFrameTraceFlag | kFrameShmFlag | kFrameIncarnationFlag));
   auto from = dec.get_u32();
   if (!from) return from.status();
   msg.from = from.value();
@@ -282,6 +306,14 @@ Result<Message> read_frame(int fd) {
     SRPC_RETURN_IF_ERROR(read_all(fd, ext.data(), kTraceContextWireSize));
     xdr::Decoder ext_dec(ext);
     SRPC_RETURN_IF_ERROR(decode_trace_ext(ext_dec, msg.trace));
+  }
+
+  if ((type.value() & kFrameIncarnationFlag) != 0) {
+    ByteBuffer ext;
+    ext.append_zeros(kIncarnationWireSize);
+    SRPC_RETURN_IF_ERROR(read_all(fd, ext.data(), kIncarnationWireSize));
+    xdr::Decoder ext_dec(ext);
+    SRPC_RETURN_IF_ERROR(decode_incarnation_ext(ext_dec, msg));
   }
 
   if (len.value() > 0) {

@@ -13,6 +13,8 @@
 //   len     u32  payload byte count
 //   [trace ext, only when the type word has kFrameTraceFlag set:
 //    trace_id u64 | span_id u64 | parent_span_id u64 | hop u32]
+//   [incarnation ext, only when the type word has kFrameIncarnationFlag
+//    set: incarnation u32 | to_incarnation u32]
 //   payload len bytes
 #pragma once
 
@@ -42,6 +44,12 @@ inline constexpr std::uint32_t kFrameTraceFlag = 0x80000000U;
 // lane"). The descriptor redeems a pin stashed in the sender's ShmArena;
 // senders set the flag only toward peers advertising kCapShmPayload.
 inline constexpr std::uint32_t kFrameShmFlag = 0x40000000U;
+
+// Third-highest bit of the type word: an 8-byte incarnation extension
+// {incarnation u32 | to_incarnation u32} follows the fixed header (after
+// the trace extension when both are present). Senders set it only toward
+// peers advertising kCapIncarnation; zero stamps are never framed.
+inline constexpr std::uint32_t kFrameIncarnationFlag = 0x20000000U;
 
 // --- MODIFIED_DELTA: delta-encoded modified sets (PROTOCOL.md) -------------
 //
@@ -90,6 +98,11 @@ inline constexpr std::uint32_t kCapMultiSession = 1U << 3;
 // published bytes are the sender's native encoding of the payload, and the
 // whole point is that the receiver reads them in place.
 inline constexpr std::uint32_t kCapShmPayload = 1U << 4;
+// Peer participates in crash recovery: it stamps frames with incarnation
+// numbers (kFrameIncarnationFlag), fences stale-incarnation traffic, and
+// understands REJOIN/REJOIN_ACK (PROTOCOL.md "Incarnations, fencing &
+// rejoin"). Granted by the World only when recovery is enabled.
+inline constexpr std::uint32_t kCapIncarnation = 1U << 5;
 
 struct ModifiedDelta {
   LongPointer id;

@@ -1,0 +1,105 @@
+// FailureDetector state machine in isolation: miss-streak thresholds, the
+// alive -> suspect -> dead escalation, dead being terminal to ordinary
+// observations, and the note_rejoin() reopening path added for space
+// reincarnation (kDead -> kRejoining -> kAlive).
+#include <gtest/gtest.h>
+
+#include "core/failure_detector.hpp"
+
+namespace srpc {
+namespace {
+
+constexpr SpaceId kPeer = 7;
+
+TEST(FailureDetectorTest, StartsAliveAndContactKeepsAlive) {
+  FailureDetector det;
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kAlive);
+  det.note_contact(kPeer, 1000);
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kAlive);
+  EXPECT_EQ(det.last_contact_ns(kPeer), 1000u);
+  EXPECT_TRUE(det.dead_peers().empty());
+}
+
+TEST(FailureDetectorTest, MissStreakEscalatesThroughSuspectToDead) {
+  // Defaults: suspect_after = 1, dead_after = 3.
+  FailureDetector det;
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kSuspect);
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kSuspect);
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kDead);
+  EXPECT_TRUE(det.is_dead(kPeer));
+  ASSERT_EQ(det.dead_peers().size(), 1u);
+  EXPECT_EQ(det.dead_peers().front(), kPeer);
+}
+
+TEST(FailureDetectorTest, ContactResetsTheMissStreak) {
+  FailureDetector det;
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kSuspect);
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kSuspect);
+  det.note_contact(kPeer, 50);  // streak back to zero, suspicion lifted
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kAlive);
+  // A fresh streak gets the full dead_after budget again.
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kSuspect);
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kSuspect);
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kDead);
+}
+
+TEST(FailureDetectorTest, ExplicitMarksShortCircuitTheThresholds) {
+  FailureDetector det;
+  det.mark_suspect(kPeer);
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kSuspect);
+  // mark_dead reports the transition exactly once.
+  EXPECT_TRUE(det.mark_dead(kPeer));
+  EXPECT_FALSE(det.mark_dead(kPeer));
+  EXPECT_TRUE(det.is_dead(kPeer));
+}
+
+TEST(FailureDetectorTest, DeadIsTerminalToOrdinaryObservations) {
+  FailureDetector det;
+  ASSERT_TRUE(det.mark_dead(kPeer));
+  // A stray late frame from the crashed incarnation must not resurrect the
+  // peer: the death verdict already triggered irreversible cleanup.
+  det.note_contact(kPeer, 999);
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kDead);
+  det.mark_suspect(kPeer);
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kDead);
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kDead);
+}
+
+TEST(FailureDetectorTest, RejoinReopensADeadPeer) {
+  FailureDetector det;
+  ASSERT_TRUE(det.mark_dead(kPeer));
+  det.note_rejoin(kPeer);
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kRejoining);
+  EXPECT_FALSE(det.is_dead(kPeer));
+  EXPECT_TRUE(det.dead_peers().empty());
+  // The first successful exchange completes the reopening.
+  det.note_contact(kPeer, 2000);
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kAlive);
+}
+
+TEST(FailureDetectorTest, RejoinIsOnlyAnExitFromDead) {
+  FailureDetector det;
+  det.note_rejoin(kPeer);  // alive peer: no-op
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kAlive);
+  det.mark_suspect(kPeer);
+  det.note_rejoin(kPeer);  // suspect peer: still a no-op
+  EXPECT_EQ(det.health(kPeer), PeerHealth::kSuspect);
+}
+
+TEST(FailureDetectorTest, RejoiningPeerCanDieAgain) {
+  FailureDetector det;
+  ASSERT_TRUE(det.mark_dead(kPeer));
+  det.note_rejoin(kPeer);
+  ASSERT_EQ(det.health(kPeer), PeerHealth::kRejoining);
+  // The resurrected peer gets a full dead_after budget of misses...
+  EXPECT_NE(det.note_miss(kPeer), PeerHealth::kDead);
+  EXPECT_NE(det.note_miss(kPeer), PeerHealth::kDead);
+  EXPECT_EQ(det.note_miss(kPeer), PeerHealth::kDead);
+  // ...and the second death is reported as a fresh transition by mark_dead
+  // on another detector path too.
+  det.note_rejoin(kPeer);
+  EXPECT_TRUE(det.mark_dead(kPeer));
+}
+
+}  // namespace
+}  // namespace srpc

@@ -59,33 +59,35 @@ class FaultInjectionTest : public ::testing::Test {
   ListNode* remote_head_ = nullptr;
 };
 
-// --- legacy hard-failure ("fuse") scenarios --------------------------------
+// --- whole-peer outage scenarios (partition / heal) -------------------------
 
-TEST_F(FaultInjectionTest, SendFailureOnCallSurfacesImmediately) {
+TEST_F(FaultInjectionTest, PartitionedCallSurfacesDeadline) {
   a_->run([&](Runtime& rt) {
-    fault_->set_fuse(0);  // every send fails
+    fault_->partition(b_->id());  // silent two-way cut around B
     Session session(rt);
     auto sum = typed_call<std::int64_t>(rt, 1, "sum", static_cast<ListNode*>(nullptr));
     ASSERT_FALSE(sum.is_ok());
-    EXPECT_EQ(sum.status().code(), StatusCode::kUnavailable);
-    fault_->disarm();
+    // Loss is silent, so the failure surfaces through the retry layer.
+    EXPECT_EQ(sum.status().code(), StatusCode::kDeadlineExceeded);
+    fault_->heal_all();
     ASSERT_TRUE(session.end().is_ok());
   });
 }
 
-TEST_F(FaultInjectionTest, RuntimeRecoversAfterTransportHeals) {
+TEST_F(FaultInjectionTest, RuntimeRecoversAfterPartitionHeals) {
   a_->run([&](Runtime& rt) {
     auto head = rt.heap().allocate(rt.host_types().find<ListNode>().value());
     head.status().check();
     static_cast<ListNode*>(head.value())->value = 21;
 
     {
-      fault_->set_fuse(0);
+      fault_->partition(b_->id());
       Session session(rt);
       auto sum = typed_call<std::int64_t>(rt, 1, "sum",
                                           static_cast<ListNode*>(head.value()));
       ASSERT_FALSE(sum.is_ok());
-      fault_->disarm();
+      EXPECT_EQ(sum.status().code(), StatusCode::kDeadlineExceeded);
+      fault_->heal_all();
       ASSERT_TRUE(session.end().is_ok());
     }
     {
@@ -107,13 +109,13 @@ TEST_F(FaultInjectionTest, SessionEndFailuresSurfaceToo) {
     auto sum = typed_call<std::int64_t>(rt, 1, "sum",
                                         static_cast<ListNode*>(head.value()));
     ASSERT_TRUE(sum.is_ok());
-    // Fail the invalidation multicast at session end.
-    fault_->set_fuse(0);
+    // Cut B away so the invalidation multicast at session end times out.
+    fault_->partition(b_->id());
     auto ended = rt.end_session();
     ASSERT_FALSE(ended.is_ok());
-    EXPECT_EQ(ended.code(), StatusCode::kUnavailable);
-    fault_->disarm();
-    // A retried end succeeds once the transport heals.
+    EXPECT_EQ(ended.code(), StatusCode::kDeadlineExceeded);
+    fault_->heal_all();
+    // A retried end succeeds once the partition heals.
     ASSERT_TRUE(rt.end_session().is_ok());
   });
 }

@@ -207,7 +207,7 @@ TEST(ShmLaneTest, RoundtripElevatesPayloadsAndReleasesEveryRegion) {
   EXPECT_EQ(lane.run_once(), expected_sum(16));
   EXPECT_GT(lane.published(), 0u) << "no payload rode the arena";
   EXPECT_EQ(lane.fallbacks(), 0u);
-  const ShmArenaStats stats = lane.world.shm_arena()->stats();
+  const ShmArenaStats stats = settled_stats(lane.world);
   EXPECT_GT(stats.regions_published, 0u);
   EXPECT_EQ(stats.regions_live, 0u) << "pins leaked after quiesce";
   EXPECT_EQ(stats.bytes_live, 0u);
@@ -240,7 +240,7 @@ TEST(ShmLaneTest, KillSwitchMatrixStaysCorrectAndOffTheArena) {
       // The mutating workload must stay correct under every switch combo.
       EXPECT_EQ(lane.run_once(), expected_sum(16))
           << "caller_on=" << caller_on << " callee_on=" << callee_on;
-      EXPECT_EQ(lane.world.shm_arena()->stats().regions_live, 0u);
+      EXPECT_EQ(settled_stats(lane.world).regions_live, 0u);
       if (!caller_on && !callee_on) {
         EXPECT_EQ(lane.published(), 0u)
             << "a disabled pair elevated a payload";
