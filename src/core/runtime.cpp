@@ -1320,13 +1320,16 @@ void Runtime::poll_failures() {
     pending_dead_cleanup_.pop_back();
     on_peer_dead(peer);
   }
-  // Reincarnations learned from passing traffic (a REJOIN we never saw):
-  // run the same cleanup the explicit announcement would have, minus the
-  // decision log — unresolvable stages roll back.
+  // Reincarnations learned from passing traffic (a REJOIN we have not
+  // processed yet): run the same cleanup the explicit announcement would
+  // have, but with no decision log in hand the in-doubt stages are KEPT
+  // staged — the announcement may be delayed rather than lost, and
+  // presuming abort here while peers that received it roll forward would
+  // diverge permanently.
   while (!pending_rejoin_cleanup_.empty()) {
     const auto [peer, incarnation] = pending_rejoin_cleanup_.back();
     pending_rejoin_cleanup_.pop_back();
-    on_peer_rejoin(peer, incarnation, {});
+    on_peer_rejoin(peer, incarnation, {}, /*authoritative=*/false);
   }
   if (lease_ttl_ns_ == 0 || sim_ == nullptr) return;
   const std::uint64_t now = vnow_ns();
@@ -1365,7 +1368,15 @@ void Runtime::set_recovery(RecoveryLog* log, std::uint32_t incarnation) {
   // Partition the session-id space by incarnation: the prior life's ids are
   // tombstoned at every home it touched, so the successor must never mint
   // them again (its first session would be refused as a dead straggler).
+  // 2^24 ids per life, 256 lives in the 32-bit counter field —
+  // begin_session() refuses loudly (RESOURCE_EXHAUSTED) when either runs
+  // out rather than bleeding into a neighbouring partition.
   session_counter_ = (static_cast<std::uint64_t>(incarnation_) - 1) << 24;
+  if (incarnation_ > 256) {
+    SRPC_ERROR << name_ << ": incarnation " << incarnation_
+               << " exceeds the session-id partition space (256 lives); "
+               << "begin_session() will refuse until the space is retired";
+  }
   endpoint_.set_stamp([this](Message& msg) {
     if (peer_caps_ && (peer_caps_(msg.to) & kCapIncarnation) != 0) {
       msg.incarnation = incarnation_;
@@ -1418,65 +1429,102 @@ bool Runtime::fence_stale(const Message& msg) {
 }
 
 void Runtime::on_peer_rejoin(SpaceId peer, std::uint32_t incarnation,
-                             const std::vector<RecoveryDecision>& decisions) {
+                             const std::vector<RecoveryDecision>& decisions,
+                             bool authoritative) {
   const auto known = peer_incarnations_.find(peer);
   if (known != peer_incarnations_.end() && known->second >= incarnation) {
-    return;  // duplicate or stale announcement
+    // Duplicate or stale announcement — unless the only processing this
+    // incarnation ever got here was the implicit (decision-less) cleanup:
+    // its stages were left in doubt, and the delayed real REJOIN carrying
+    // the decision log must still resolve them.
+    const auto pending = awaiting_rejoin_decisions_.find(peer);
+    if (!authoritative || pending == awaiting_rejoin_decisions_.end() ||
+        pending->second != incarnation || known->second != incarnation) {
+      return;
+    }
   }
   peer_incarnations_[peer] = incarnation;
   ++stats_.rejoins_served;
 
-  // Resolve the in-doubt stages the prior life coordinated here against
-  // the decision log its replay recovered: a logged commit rolls the stage
-  // forward exactly as its lost WB_COMMIT would have; anything else (abort
-  // decision, or no decision at all — the crash hit before phase one
-  // finished) rolls back.
-  for (auto it = shadow_commits_.begin(); it != shadow_commits_.end();) {
-    if (it->second.from != peer) {
-      ++it;
-      continue;
+  bool stages_in_doubt = false;
+  if (authoritative) {
+    awaiting_rejoin_decisions_.erase(peer);
+    // Resolve the in-doubt stages the prior life coordinated here against
+    // the decision log its replay recovered: a logged commit rolls the
+    // stage forward exactly as its lost WB_COMMIT would have; anything else
+    // (abort decision, or no decision at all — the crash hit before phase
+    // one finished) rolls back.
+    for (auto it = shadow_commits_.begin(); it != shadow_commits_.end();) {
+      if (it->second.from != peer) {
+        ++it;
+        continue;
+      }
+      const SessionId session = it->first;
+      bool commit = false;
+      for (const RecoveryDecision& d : decisions) {
+        if (d.session == session && d.epoch == it->second.epoch) {
+          commit = d.committed;
+          break;
+        }
+      }
+      if (commit) {
+        it->second.staged.reset_cursor();
+        Status applied = apply_modified_set(it->second.staged, peer);
+        if (applied.is_ok()) {
+          committed_epochs_[session] = it->second.epoch;
+          ++stats_.in_doubt_resolved_commit;
+          if (recovery_ != nullptr) {
+            recovery_->note_commit(session, it->second.epoch);
+          }
+          (void)heap_.promote_session(session);
+          if (multi_session_) arbiter_.commit(session);
+        } else {
+          SRPC_ERROR << name_ << ": in-doubt commit of session " << session
+                     << " failed: " << applied.to_string();
+        }
+      } else {
+        ++stats_.in_doubt_resolved_abort;
+        const std::uint64_t reclaimed = heap_.reclaim_session(session);
+        stats_.orphan_bytes_reclaimed += reclaimed;
+        if (multi_session_) arbiter_.release(session);
+      }
+      tombstone_session(session);
+      committed_epochs_.erase(session);
+      it = shadow_commits_.erase(it);
     }
-    const SessionId session = it->first;
-    bool commit = false;
-    for (const RecoveryDecision& d : decisions) {
-      if (d.session == session && d.epoch == it->second.epoch) {
-        commit = d.committed;
+  } else {
+    // Implicit cleanup (fence_stale saw newer-incarnation traffic before
+    // any REJOIN): no decision log, so the prior life's stages stay staged
+    // and in doubt. Stale-incarnation fencing already refuses every frame
+    // that could touch them; the REJOIN that eventually lands — let through
+    // the dedup above — resolves them. Until then their sessions' orphan
+    // storage must survive too: a commit decision may yet promote it.
+    for (const auto& [session, shadow] : shadow_commits_) {
+      if (shadow.from == peer) {
+        stages_in_doubt = true;
         break;
       }
     }
-    if (commit) {
-      it->second.staged.reset_cursor();
-      Status applied = apply_modified_set(it->second.staged, peer);
-      if (applied.is_ok()) {
-        committed_epochs_[session] = it->second.epoch;
-        ++stats_.in_doubt_resolved_commit;
-        if (recovery_ != nullptr) {
-          recovery_->note_commit(session, it->second.epoch);
-        }
-        (void)heap_.promote_session(session);
-        if (multi_session_) arbiter_.commit(session);
-      } else {
-        SRPC_ERROR << name_ << ": in-doubt commit of session " << session
-                   << " failed: " << applied.to_string();
-      }
-    } else {
-      ++stats_.in_doubt_resolved_abort;
-      const std::uint64_t reclaimed = heap_.reclaim_session(session);
-      stats_.orphan_bytes_reclaimed += reclaimed;
-      if (multi_session_) arbiter_.release(session);
+    if (stages_in_doubt) {
+      awaiting_rejoin_decisions_[peer] = incarnation;
+      SRPC_WARN << name_ << ": space " << peer << " reincarnated (inc "
+                << incarnation << ") before its REJOIN was seen; keeping its "
+                << "in-doubt stage(s) until the decision log arrives";
     }
-    tombstone_session(session);
-    committed_epochs_.erase(session);
-    it = shadow_commits_.erase(it);
   }
 
   // The scalar serving state may still be bound to one of the dead life's
   // sessions — its INVALIDATE never arrived. Settle it like any dead
   // session: the cached data and travelling updates die with it, and the
   // binding frees so the successor's sessions can be served (without this
-  // the busy-cache refusal would fence the new life out forever).
+  // the busy-cache refusal would fence the new life out forever). The
+  // session-id partition tells the lives apart: the implicit cleanup can
+  // run after the successor's own sessions started being served here, and
+  // those must survive.
   if (!multi_session_ && cache_session_ != kNoSession &&
-      static_cast<SpaceId>(cache_session_ >> 32) == peer) {
+      static_cast<SpaceId>(cache_session_ >> 32) == peer &&
+      (cache_session_ & 0xFFFFFFFFull) <
+          ((static_cast<std::uint64_t>(incarnation) - 1) << 24)) {
     tombstone_session(cache_session_);
     cache_.invalidate_all();
     allocator_.clear();
@@ -1494,8 +1542,15 @@ void Runtime::on_peer_rejoin(SpaceId peer, std::uint32_t incarnation,
   for_each_cache([&](CacheManager& c) { revoked += c.revoke_source(peer); });
   if (revoked > 0) ++stats_.leases_expired;
   arbiter_.release_space(peer);
-  const std::uint64_t reclaimed = heap_.reclaim_owned_by(peer);
-  stats_.orphan_bytes_reclaimed += reclaimed;
+  // Orphan storage is reclaimed only once the stages are resolved: a
+  // pending commit decision may promote some of it (the explicit path ran
+  // the resolution loop above, so committed sessions are already
+  // promoted and out of reach here).
+  std::uint64_t reclaimed = 0;
+  if (!stages_in_doubt) {
+    reclaimed = heap_.reclaim_owned_by(peer);
+    stats_.orphan_bytes_reclaimed += reclaimed;
+  }
   served_requests_.erase(peer);
   const std::size_t expired = endpoint_.expire_peer(
       peer, unavailable("space " + std::to_string(peer) +
@@ -1692,6 +1747,16 @@ Status Runtime::recover_from_log() {
 void Runtime::checkpoint_now() {
   if (recovery_ == nullptr) return;
   recovery_->checkpoint(heap_);
+  // The image captures the heap only; staged prepares live in
+  // shadow_commits_ and replay re-stages only kPrepare records appended
+  // AFTER the last checkpoint. Re-journal every stage still in doubt so a
+  // post-checkpoint kCommit replay finds its bytes — otherwise a prepare
+  // logged before the image and committed after it silently no-ops on
+  // replay, losing a committed write-back.
+  for (const auto& [session, shadow] : shadow_commits_) {
+    recovery_->note_prepare(session, shadow.epoch, shadow.from,
+                            shadow.staged.data(), shadow.staged.size());
+  }
   ++stats_.checkpoints_taken;
   settles_since_checkpoint_ = 0;
 }
@@ -2076,10 +2141,22 @@ Status Runtime::serve_alloc_batch(Message msg) {
 
 Status Runtime::serve_writeback(Message msg) {
   ++stats_.writebacks_served;
+  // Single-phase write-back mutates the heap in one step, with no
+  // PREPARE/COMMIT pair to journal it. Log the stage and (after a clean
+  // apply, before the ack) its commit under epoch 0 — single-phase carries
+  // none — so a reincarnation's replay re-applies these bytes instead of
+  // reverting an acknowledged write-back to the pre-write image.
+  const bool journal = recovery_ != nullptr && !is_dead_session(msg.session);
+  if (journal) {
+    const ByteBuffer& body = msg.payload;
+    recovery_->note_prepare(msg.session, /*epoch=*/0, msg.from,
+                            body.data() + body.cursor(), body.remaining());
+  }
   Status applied = apply_modified_set(msg.payload, msg.from);
   if (!applied.is_ok()) {
     return send_error(msg.from, msg.session, msg.seq, applied);
   }
+  if (journal) recovery_->note_commit(msg.session, /*epoch=*/0);
   Message reply;
   reply.type = MessageType::kWriteBackAck;
   reply.to = msg.from;
@@ -2396,7 +2473,24 @@ Result<SessionId> Runtime::begin_session() {
   if (!multi_session_ && session_ != kNoSession) {
     return failed_precondition("session already active");
   }
-  const SessionId id = (static_cast<SessionId>(self_) << 32) | ++session_counter_;
+  if (incarnation_ != 0) {
+    // Recovery worlds partition the 32-bit counter field by incarnation
+    // (2^24 sessions per life, 256 lives): a prior life's ids are
+    // tombstoned at every home it touched, so minting one again would be
+    // refused as a dead straggler. Running off the end of the partition —
+    // or past life 256, where the seed itself exceeds 32 bits — must fail
+    // loudly instead of bleeding into a neighbouring life's ids or
+    // corrupting the space-id field that `session >> 32` recovers.
+    const std::uint64_t next = session_counter_ + 1;
+    if (next > 0xFFFFFFFFull ||
+        (next >> 24) != static_cast<std::uint64_t>(incarnation_) - 1) {
+      return resource_exhausted(
+          "session-id partition exhausted for incarnation " +
+          std::to_string(incarnation_) + " of space " + std::to_string(self_));
+    }
+  }
+  const SessionId id = (static_cast<SessionId>(self_) << 32) |
+                       (++session_counter_ & 0xFFFFFFFFull);
   if (multi_session_) {
     SessionState& st = state_for(id);
     st.local = true;

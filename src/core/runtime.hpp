@@ -555,9 +555,13 @@ class Runtime final : public PageFetcher,
   // resolves in-doubt stages it coordinated against `decisions`, flushes
   // its leases/locks/dedup windows, expires in-flight requests addressed
   // to the prior life, and re-opens the failure detector. Idempotent per
-  // {peer, incarnation}.
+  // {peer, incarnation}. `authoritative` is false only for the implicit
+  // cleanup triggered by passing traffic (fence_stale): that path has no
+  // decision log, so it keeps in-doubt stages staged — a later real REJOIN
+  // for the same incarnation is then let through the dedup to resolve them.
   void on_peer_rejoin(SpaceId peer, std::uint32_t incarnation,
-                      const std::vector<RecoveryDecision>& decisions);
+                      const std::vector<RecoveryDecision>& decisions,
+                      bool authoritative = true);
 
   // Checkpoint cadence driven by session settlements (serve_invalidate).
   void maybe_checkpoint();
@@ -756,6 +760,11 @@ class Runtime final : public PageFetcher,
   // Reincarnations learned from passing traffic (fence_stale) rather than
   // an explicit REJOIN; poll_failures() runs the cleanup at a safe point.
   std::vector<std::pair<SpaceId, std::uint32_t>> pending_rejoin_cleanup_;
+  // Incarnations whose cleanup ran WITHOUT a decision log (implicit path)
+  // while stages from that peer were still in doubt. The stages stay
+  // staged, and the peer's delayed REJOIN — normally a dedup no-op — is
+  // allowed through to resolve them against its decision log.
+  std::unordered_map<SpaceId, std::uint32_t> awaiting_rejoin_decisions_;
   std::uint32_t checkpoint_interval_ = 0;   // settles per checkpoint; 0 = manual
   std::uint32_t settles_since_checkpoint_ = 0;
 };

@@ -395,10 +395,164 @@ TEST_P(RecoveryTest, CheckpointCadenceBoundsReplay) {
   expect_homes(1001 + 11 + 12, kOldC);
 }
 
+// A checkpoint taken while a prepare is staged (in doubt) must not swallow
+// the stage out of the replayable tail: the image captures the heap only,
+// so the staged bytes are re-journaled after it and a later COMMIT replay
+// still rolls forward. Without that, the replayed commit no-ops and a
+// committed write-back is silently lost.
+TEST_P(RecoveryTest, CheckpointDuringInDoubtStageKeepsLaterCommit) {
+  a_->run([&](Runtime& rt) {
+    dirty_both_homes(rt);
+    drop_all(MessageType::kWbCommit);  // decision logged, commits lost
+    auto ended = rt.end_session();
+    ASSERT_FALSE(ended.is_ok());
+  });
+  fault_->disarm();
+  // Checkpoint B while its stage is still in doubt.
+  b_->run([](Runtime& rt) { rt.checkpoint_now(); });
+
+  // The coordinator's replayed decision log rolls B's stage forward.
+  fault_->crash_space(kA);
+  ASSERT_TRUE(world_->restart_space(kA).is_ok());
+  b_->run([](Runtime& rt) {
+    EXPECT_EQ(rt.stats().in_doubt_resolved_commit, 1u);
+  });
+  const std::vector<std::uint8_t> committed = heap_image(*b_);
+
+  // Now B itself dies: replay = mid-doubt checkpoint + re-journaled stage
+  // + commit. The recovered heap must carry the committed bytes, not the
+  // pre-write image the checkpoint alone would restore.
+  fault_->crash_space(kB);
+  ASSERT_TRUE(world_->restart_space(kB).is_ok());
+  rebind_b();
+  EXPECT_EQ(heap_image(*b_), committed);
+  expect_homes(kNewB, kNewC);
+}
+
+// Frame reordering alone must not diverge the world: when a restarted
+// space's ordinary traffic overtakes its REJOIN, the homes run the
+// implicit (decision-less) cleanup — which must keep acked stages in
+// doubt, and the delayed REJOIN, normally a dedup no-op, must still be
+// consumed so its logged commit rolls them forward.
+TEST_P(RecoveryTest, DelayedRejoinResolvesImplicitCleanupStages) {
+  a_->run([&](Runtime& rt) {
+    dirty_both_homes(rt);
+    drop_all(MessageType::kWbCommit);  // decision logged, commits lost
+    auto ended = rt.end_session();
+    ASSERT_FALSE(ended.is_ok());
+  });
+  fault_->disarm();
+
+  // Park every REJOIN on the wire: the announcement is delayed, not lost,
+  // while the successor's ordinary traffic races ahead of it.
+  FaultOptions opts;
+  opts.delay = 1.0;
+  opts.delay_window = 100000;
+  fault_->target({MessageType::kRejoin});
+  fault_->arm(opts);
+  fault_->crash_space(kA);
+  // Replay succeeds but the announcement cannot land inside its deadline.
+  EXPECT_FALSE(world_->restart_space(kA).is_ok());
+
+  // The failed announcement's probes already reached both homes stamped
+  // with incarnation 2; drain the implicit cleanup at a safe point. With
+  // no decision log in hand the stages must stay in doubt — presuming
+  // abort here while a peer that got the REJOIN rolls forward would
+  // diverge permanently.
+  for (AddressSpace* home : {b_, c_}) {
+    home->run([](Runtime& rt) {
+      (void)rt.prefetch_many({}, 0);  // safe point: runs poll_failures
+      EXPECT_GE(rt.stats().rejoins_served, 1u);
+      EXPECT_EQ(rt.stats().in_doubt_resolved_commit, 0u);
+      EXPECT_EQ(rt.stats().in_doubt_resolved_abort, 0u);
+    });
+  }
+  // The successor is fully servable while the stages wait.
+  expect_homes(kOldB, kOldC);
+
+  // Release the parked REJOINs: the dedup lets the decision log through
+  // (the incarnation itself is already known) and the stages roll forward
+  // exactly as a timely announcement would have.
+  fault_->disarm();
+  b_->run([](Runtime& rt) {
+    EXPECT_EQ(rt.stats().in_doubt_resolved_commit, 1u);
+    EXPECT_EQ(rt.stats().in_doubt_resolved_abort, 0u);
+  });
+  c_->run([](Runtime& rt) {
+    EXPECT_EQ(rt.stats().in_doubt_resolved_commit, 1u);
+  });
+  expect_homes(kNewB, kNewC);
+}
+
 INSTANTIATE_TEST_SUITE_P(ShipModes, RecoveryTest, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "Delta" : "FullImage";
                          });
+
+// Single-phase write-back (two_phase_writeback = false) has no
+// PREPARE/COMMIT records; the home must journal it anyway, or a crash
+// after the ack replays the heap back to the pre-write image.
+TEST(RecoverySinglePhaseTest, AckedWritebackSurvivesHomeCrash) {
+  WorldOptions options;
+  options.cost = CostModel::zero();
+  options.cache.closure_bytes = 0;
+  options.fault_injection = true;
+  options.timeouts = TimeoutConfig::aggressive();
+  options.two_phase_writeback = false;
+  options.recovery = true;
+  World world(options);
+  AddressSpace& a = world.create_space("A");
+  AddressSpace& b = world.create_space("B");
+  workload::register_list_type(world).status().check();
+
+  ListNode* head = nullptr;
+  b.run([&](Runtime& rt) {
+    auto built = workload::build_list(rt, 3, [](std::uint32_t i) {
+      return static_cast<std::int64_t>(10 + i);
+    });
+    built.status().check();
+    head = built.value();
+    rt.checkpoint_now();
+  });
+  auto bind = [&] {
+    b.bind("headB", [&](CallContext&) -> ListNode* { return head; }).check();
+    b.bind("sumB",
+           [&](CallContext&) -> std::int64_t { return workload::sum_list(head); })
+        .check();
+  };
+  bind();
+
+  a.run([&](Runtime& rt) {
+    ASSERT_TRUE(rt.begin_session().is_ok());
+    auto hb = typed_call<ListNode*>(rt, b.id(), "headB");
+    ASSERT_TRUE(hb.is_ok()) << hb.status().to_string();
+    ASSERT_TRUE(rt.prefetch(hb.value(), 1 << 16).is_ok());
+    hb.value()->value = 1000;
+    ASSERT_TRUE(rt.end_session().is_ok());
+  });
+  const std::vector<std::uint8_t> never_crashed = b.run([](Runtime& rt) {
+    RecoveryLog scratch;
+    scratch.checkpoint(rt.heap());
+    return scratch.snapshot().back().bytes;
+  });
+
+  world.fault()->crash_space(b.id());
+  ASSERT_TRUE(world.restart_space(b.id()).is_ok());
+  bind();
+  const std::vector<std::uint8_t> recovered = b.run([](Runtime& rt) {
+    RecoveryLog scratch;
+    scratch.checkpoint(rt.heap());
+    return scratch.snapshot().back().bytes;
+  });
+  EXPECT_EQ(recovered, never_crashed);
+  a.run([&](Runtime& rt) {
+    Session session(rt);
+    auto sum = typed_call<std::int64_t>(rt, b.id(), "sumB");
+    ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+    EXPECT_EQ(sum.value(), 1000 + 11 + 12);
+    ASSERT_TRUE(session.end().is_ok());
+  });
+}
 
 }  // namespace
 }  // namespace srpc
