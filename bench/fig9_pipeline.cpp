@@ -32,6 +32,7 @@
 
 #include "core/smart_rpc.hpp"
 #include "harness.hpp"
+#include "obs/critical_path.hpp"
 #include "workload/list.hpp"
 
 namespace {
@@ -170,6 +171,41 @@ CommitPoint run_fanout(Fig9World& w, std::uint32_t fanout, bool parallel) {
   });
 }
 
+struct TracedRun {
+  srpc::CriticalPathBreakdown breakdown;
+  std::string health;  // World::health_json() of the traced world
+};
+
+// One traced pipelined depth-4 round on a fresh world: spans from every
+// space feed the critical-path analyzer, which attributes the session's
+// end-to-end latency to network / execution / lock / retransmit / local.
+// The sweep covers the root window exactly, so the components must sum to
+// the measured total (the JSON carries both for the 5% acceptance check).
+TracedRun traced_run() {
+  Fig9World w;
+  w.world->set_tracing(true);
+  const srpc::SessionId sid = w.ground->run([&](Runtime& rt) {
+    Session session(rt);
+    const srpc::SessionId id = session.id();
+    std::vector<TypedCallFuture<std::int64_t>> futures;
+    futures.reserve(4);
+    for (std::uint32_t d = 0; d < 4; ++d) {
+      auto fut = session.call_async<std::int64_t>(
+          static_cast<srpc::SpaceId>(d + 1), "echo",
+          static_cast<std::int64_t>(d));
+      fut.status().check();
+      futures.push_back(std::move(fut.value()));
+    }
+    for (auto& fut : futures) fut.get().status().check();
+    session.end().check();
+    return id;
+  });
+  srpc::CriticalPathAnalyzer analyzer(w.world->collect_spans());
+  auto breakdown = analyzer.analyze_session(sid);
+  breakdown.status().check();
+  return {std::move(breakdown).value(), w.world->health_json()};
+}
+
 // Folds a finished world's rpc.roundtrip_ns{kind=...} histograms into the
 // run-wide accumulator (worlds are per data point, so harvest before each
 // one is destroyed) — this is what fills BENCH_fig9_pipeline.json's
@@ -230,6 +266,9 @@ int main() {
     collect_latency(world, latency);
   }
 
+  const TracedRun traced = traced_run();
+  const srpc::CriticalPathBreakdown& cp = traced.breakdown;
+
   srpc::bench::print_table(
       "Figure 9: pipelined RPC overlap (experiment 0) and parallel commit "
       "fan-out (experiment 1), virtual time",
@@ -239,6 +278,20 @@ int main() {
   std::printf("pipeline overlap factor at depth 4: %.2fx (bar: > 2x)\n",
               overlap_depth4);
   std::printf("parallel commit speedup at fan-out 8: %.2fx\n", fanout8_speedup);
+  const double attributed_pct =
+      cp.total_ns != 0 ? 100.0 * static_cast<double>(cp.attributed_ns()) /
+                             static_cast<double>(cp.total_ns)
+                       : 0.0;
+  std::printf(
+      "critical path (traced depth-4 pipelined session, %zu spans): "
+      "total %.3f ms = network %.3f + execution %.3f + lock %.3f + "
+      "retransmit %.3f + local %.3f (attributed %.1f%%)\n",
+      cp.span_count, static_cast<double>(cp.total_ns) / 1e6,
+      static_cast<double>(cp.network_ns) / 1e6,
+      static_cast<double>(cp.execution_ns) / 1e6,
+      static_cast<double>(cp.lock_wait_ns) / 1e6,
+      static_cast<double>(cp.retransmit_ns) / 1e6,
+      static_cast<double>(cp.local_ns) / 1e6, attributed_pct);
 
   srpc::bench::write_bench_json(
       "fig9_pipeline",
@@ -248,6 +301,11 @@ int main() {
        {"fanout8_speedup", fanout8_speedup}},
       {"experiment", "x", "baseline_s", "async_s", "speedup",
        "p95_baseline_ms", "p95_async_ms"},
-      table, robustness, &latency);
-  return overlap_depth4 > 2.0 ? 0 : 1;
+      table, robustness, &latency,
+      {{"critical_path", cp.to_json()}, {"health", traced.health}});
+  // Guard the attribution bar alongside the overlap bar: the sweep is
+  // exact by construction, so anything outside 5% means broken spans.
+  const bool attribution_ok =
+      cp.total_ns != 0 && attributed_pct > 95.0 && attributed_pct < 105.0;
+  return overlap_depth4 > 2.0 && attribution_ok ? 0 : 1;
 }

@@ -389,20 +389,26 @@ class TreeExperiment {
 
 // Machine-readable results: every figure binary writes BENCH_<name>.json
 // into the working directory alongside its stdout table, so runs can be
-// compared without scraping the console (scripts/bench.sh collects them).
+// compared without scraping the console (scripts/bench.sh aggregates them
+// into BENCH_summary.json).
 // Layout: {"bench": ..., "config": {...}, "robustness": {...},
-//          "latency_ns": {"CALL": {count,p50,p95,p99}, ...},
-//          "columns": [...], "rows": [[...]]}.
+//          "latency_ns": {"CALL": {count,p50,p95,p99,p999}, ...},
+//          "slo": {"violations": {...}, "total_violations": N, ...},
+//          "columns": [...], "rows": [[...]], <extra sections>}.
 // `latency` supplies the rpc.roundtrip_ns{kind=...} histograms (virtual-
 // clock nanoseconds on the simulated transport) — typically
-// TreeExperiment::latency() or an accumulator merged across worlds.
+// TreeExperiment::latency() or an accumulator merged across worlds. The
+// same registry carries the slo.observed/slo.violations/slo.breaches
+// counters the SLO engine emits, which become the "slo" section. `extra`
+// appends pre-rendered JSON sections ({"critical_path": "...json..."}).
 inline void write_bench_json(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& config,
     const std::vector<std::string>& columns,
     const std::vector<std::vector<double>>& rows,
     const RobustnessCounters& robustness = {},
-    const MetricsRegistry* latency = nullptr) {
+    const MetricsRegistry* latency = nullptr,
+    const std::vector<std::pair<std::string, std::string>>& extra = {}) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -433,14 +439,41 @@ inline void write_bench_json(
       if (!kind.empty() && kind.back() == '}') kind.pop_back();
       std::fprintf(f,
                    "%s\"%s\": {\"count\": %llu, \"p50\": %.1f, "
-                   "\"p95\": %.1f, \"p99\": %.1f}",
+                   "\"p95\": %.1f, \"p99\": %.1f, \"p999\": %.1f}",
                    first ? "" : ", ", kind.c_str(),
                    static_cast<unsigned long long>(hist.count()),
                    hist.percentile(0.50), hist.percentile(0.95),
-                   hist.percentile(0.99));
+                   hist.percentile(0.99), hist.percentile(0.999));
       first = false;
     }
   }
+  // SLO accounting: per-kind violation counts plus totals. The counters
+  // ride the same registry merges as the latency histograms, so a bench
+  // that accumulates latency gets its SLO verdicts for free; zero
+  // violations on a healthy wire is the expected (and asserted) shape.
+  std::uint64_t slo_observed = 0, slo_violations = 0, slo_breaches = 0;
+  std::fprintf(f, "},\n  \"slo\": {\"violations\": {");
+  if (latency != nullptr) {
+    const std::string vprefix = "slo.violations{";
+    bool first = true;
+    for (const auto& [key, c] : latency->counters()) {
+      if (key.rfind("slo.observed{", 0) == 0) slo_observed += c.value;
+      if (key.rfind("slo.breaches{", 0) == 0) slo_breaches += c.value;
+      if (key.rfind(vprefix, 0) != 0) continue;
+      std::string kind = key.substr(vprefix.size());
+      if (!kind.empty() && kind.back() == '}') kind.pop_back();
+      std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ", kind.c_str(),
+                   static_cast<unsigned long long>(c.value));
+      slo_violations += c.value;
+      first = false;
+    }
+  }
+  std::fprintf(f,
+               "}, \"observed\": %llu, \"total_violations\": %llu, "
+               "\"breaches\": %llu",
+               static_cast<unsigned long long>(slo_observed),
+               static_cast<unsigned long long>(slo_violations),
+               static_cast<unsigned long long>(slo_breaches));
   std::fprintf(f, "},\n  \"columns\": [");
   for (std::size_t i = 0; i < columns.size(); ++i) {
     std::fprintf(f, "%s\"%s\"", i ? ", " : "", columns[i].c_str());
@@ -453,7 +486,11 @@ inline void write_bench_json(
     }
     std::fprintf(f, "]%s\n", r + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  for (const auto& [key, json] : extra) {
+    std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), json.c_str());
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

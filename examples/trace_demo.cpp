@@ -8,13 +8,17 @@
 // Output:
 //   trace_demo.json — Chrome trace-event / Perfetto timeline of all spaces
 //   (load it at https://ui.perfetto.dev or chrome://tracing)
-//   plus each space's metrics snapshot on stdout.
+//   plus each space's metrics snapshot, the aggregated health snapshot
+//   (World::health_json — detector verdicts, lock contention, SLO state,
+//   flight-recorder fill), and the critical-path breakdown of the first
+//   session on stdout.
 //
 // Build & run:  ./build/examples/trace_demo
 #include <cstdio>
 
 #include "baselines/lazy_rpc.hpp"
 #include "core/smart_rpc.hpp"
+#include "obs/critical_path.hpp"
 #include "workload/list.hpp"
 
 using namespace srpc;
@@ -74,6 +78,7 @@ int main() {
          })
       .check();
 
+  SessionId first_session = kNoSession;
   a.run([&](Runtime& rt) {
     auto head = workload::build_list(
         rt, 8, [](std::uint32_t i) { return static_cast<std::int64_t>(i + 1); });
@@ -86,6 +91,7 @@ int main() {
     // with the two-phase WB_PREPARE / WB_COMMIT protocol (the default).
     {
       Session session(rt);
+      first_session = session.id();
       auto sum = session.call<std::int64_t>(b.id(), "forward", head.value());
       sum.status().check();
       std::printf("[A] chain returned %lld\n", static_cast<long long>(sum.value()));
@@ -133,6 +139,27 @@ int main() {
         space.run([](Runtime& rt) { return rt.metrics_json(); });
     std::printf("[%s] metrics: %s\n", space.name().c_str(), json.c_str());
   }
+
+  // Aggregated health snapshot: detector verdicts, lock contention, dedup
+  // and completion-slot occupancy, SLO state, flight-recorder fill.
+  std::printf("health: %s\n", world.health_json().c_str());
+
+  // Where did session 1's wall-clock go? The sweep charges every instant
+  // to exactly one component, so the parts sum to the total.
+  CriticalPathAnalyzer analyzer(world.collect_spans());
+  auto breakdown = analyzer.analyze_session(first_session);
+  breakdown.status().check();
+  const CriticalPathBreakdown& cp = breakdown.value();
+  std::printf(
+      "critical path of session %llu: total %.3f ms = network %.3f + "
+      "execution %.3f + lock %.3f + retransmit %.3f + local %.3f\n",
+      static_cast<unsigned long long>(first_session),
+      static_cast<double>(cp.total_ns) / 1e6,
+      static_cast<double>(cp.network_ns) / 1e6,
+      static_cast<double>(cp.execution_ns) / 1e6,
+      static_cast<double>(cp.lock_wait_ns) / 1e6,
+      static_cast<double>(cp.retransmit_ns) / 1e6,
+      static_cast<double>(cp.local_ns) / 1e6);
 
   // One merged Chrome trace-event / Perfetto timeline for every space.
   world.merge_traces("trace_demo.json").check();

@@ -38,5 +38,6 @@ for b in "${BENCHES[@]}"; do
   echo "=== ${b} ==="
   "${BUILD}/bench/${b}"
 done
+"${ROOT}/scripts/bench_summary.sh" "${OUT}" || true
 echo "results in ${OUT}:"
 ls -1 "${OUT}"/BENCH_*.json 2>/dev/null || echo "  (no JSON emitted)"

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Aggregates every BENCH_<name>.json in a directory into one
+# BENCH_summary.json: per-bench config, SLO violation/breach counts, and
+# the critical-path breakdown where a bench emitted one, plus roll-up
+# totals across the suite. Pure bash + python3 (stdlib only).
+#
+#   scripts/bench_summary.sh [dir]    # default: bench-results/
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DIR="${1:-${ROOT}/bench-results}"
+
+if ! compgen -G "${DIR}/BENCH_*.json" > /dev/null; then
+  echo "no BENCH_*.json in ${DIR}" >&2
+  exit 1
+fi
+
+python3 - "${DIR}" <<'PY'
+import glob, json, os, sys
+
+out_dir = sys.argv[1]
+summary = {"benches": {}, "totals": {
+    "benches": 0, "slo_observed": 0, "slo_violations": 0, "slo_breaches": 0}}
+for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json"))):
+    if os.path.basename(path) == "BENCH_summary.json":
+        continue  # never aggregate a previous aggregate
+    with open(path) as f:
+        doc = json.load(f)
+    name = doc.get("bench", os.path.basename(path)[len("BENCH_"):-len(".json")])
+    entry = {"file": os.path.basename(path)}
+    if "config" in doc:
+        entry["config"] = doc["config"]
+    slo = doc.get("slo")
+    if slo is not None:
+        entry["slo"] = slo
+        summary["totals"]["slo_observed"] += slo.get("observed", 0)
+        summary["totals"]["slo_violations"] += slo.get("total_violations", 0)
+        summary["totals"]["slo_breaches"] += slo.get("breaches", 0)
+    if "critical_path" in doc:
+        cp = doc["critical_path"]
+        entry["critical_path"] = cp
+        total = cp.get("total_ns", 0)
+        if total:
+            entry["critical_path_attributed_pct"] = round(
+                100.0 * cp.get("attributed_ns", 0) / total, 2)
+    if "robustness" in doc:
+        entry["robustness"] = doc["robustness"]
+    summary["benches"][name] = entry
+    summary["totals"]["benches"] += 1
+
+out_path = os.path.join(out_dir, "BENCH_summary.json")
+with open(out_path, "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=True)
+    f.write("\n")
+t = summary["totals"]
+print(f"wrote {out_path}: {t['benches']} benches, "
+      f"{t['slo_violations']} SLO violations / {t['slo_observed']} observed, "
+      f"{t['slo_breaches']} breaches")
+PY

@@ -1,5 +1,7 @@
 #include "core/failure_detector.hpp"
 
+#include <algorithm>
+
 namespace srpc {
 
 std::string_view to_string(PeerHealth h) noexcept {
@@ -74,6 +76,20 @@ std::uint64_t FailureDetector::last_contact_ns(SpaceId peer) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = peers_.find(peer);
   return it == peers_.end() ? 0 : it->second.last_contact_ns;
+}
+
+std::vector<FailureDetector::PeerSnapshot> FailureDetector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PeerSnapshot> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, st] : peers_) {
+    out.push_back({id, st.health, st.consecutive_misses, st.last_contact_ns});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PeerSnapshot& a, const PeerSnapshot& b) {
+              return a.peer < b.peer;
+            });
+  return out;
 }
 
 std::vector<SpaceId> FailureDetector::dead_peers() const {

@@ -81,6 +81,15 @@ class FailureDetector {
 
   [[nodiscard]] std::vector<SpaceId> dead_peers() const;
 
+  // One row per tracked peer, for health snapshots (World::health_json).
+  struct PeerSnapshot {
+    SpaceId peer = kInvalidSpaceId;
+    PeerHealth health = PeerHealth::kAlive;
+    std::uint32_t consecutive_misses = 0;
+    std::uint64_t last_contact_ns = 0;
+  };
+  [[nodiscard]] std::vector<PeerSnapshot> snapshot() const;
+
  private:
   struct PeerState {
     PeerHealth health = PeerHealth::kAlive;

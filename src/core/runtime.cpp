@@ -115,6 +115,9 @@ void Runtime::elevate_payload(Message& msg) {
     // adopting), put it back and take the byte lane.
     msg.payload = ByteBuffer(std::move(bytes));
     ++stats_.shm_publish_fallbacks;
+    telemetry_.flight().event(FlightEventKind::kArenaPublishFail, vnow_ns(),
+                              msg.to, to_string(msg.type),
+                              static_cast<std::int64_t>(n), msg.session);
   }
   telemetry_.count("rpc.bytes_copied", {}, n);
 }
@@ -1050,6 +1053,49 @@ std::string Runtime::metrics_json() {
   return m.to_json();
 }
 
+std::string Runtime::health_json() {
+  std::string out = "{";
+  out += "\"space\": " + std::to_string(self_);
+  out += ", \"name\": \"" + name_ + "\"";
+  out += ", \"incarnation\": " + std::to_string(incarnation_);
+  // Failure-detector verdicts, one entry per peer it has ever judged.
+  out += ", \"detector\": {";
+  bool first = true;
+  for (const auto& p : detector_.snapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + std::to_string(p.peer) + "\": {\"health\": \"" +
+           std::string(to_string(p.health)) +
+           "\", \"misses\": " + std::to_string(p.consecutive_misses) +
+           ", \"last_contact_ns\": " + std::to_string(p.last_contact_ns) + "}";
+  }
+  out += "}";
+  // Home-side lock arbitration pressure.
+  const ArbiterStats& as = arbiter_.stats();
+  out += ", \"locks\": {\"held\": " + std::to_string(arbiter_.lock_count());
+  out += ", \"waits\": " + std::to_string(as.lock_waits);
+  out += ", \"conflicts\": " + std::to_string(as.conflicts);
+  out += ", \"wounds\": " + std::to_string(as.wounds) + "}";
+  // Server-side dedup window (at-most-once memory) and client-side
+  // completion slots (pipelined futures still in flight).
+  std::size_t dedup = 0;
+  for (const auto& [peer, served] : served_requests_) dedup += served.seen.size();
+  out += ", \"dedup_window\": " + std::to_string(dedup);
+  out += ", \"completion_slots\": " + std::to_string(endpoint_.inflight());
+  out += ", \"retransmits\": " + std::to_string(endpoint_.retransmits());
+  out += ", \"sessions\": {\"active\": " + std::to_string(active_sessions());
+  out += ", \"in_doubt_stages\": " + std::to_string(shadow_commits_.size()) +
+         "}";
+  out += ", \"slo\": " + telemetry_.slo().to_json();
+  out += ", \"flight\": {\"events\": " +
+         std::to_string(telemetry_.flight().total_recorded());
+  out += ", \"capacity\": " + std::to_string(telemetry_.flight().capacity());
+  out += ", \"dumps\": " + std::to_string(telemetry_.flight().dump_count()) +
+         "}";
+  out += "}";
+  return out;
+}
+
 Result<Message> Runtime::guarded_roundtrip(Message msg, MessageType reply_type,
                                            const RpcEndpoint::Dispatcher& serve,
                                            bool idempotent) {
@@ -1093,6 +1139,7 @@ Result<Message> Runtime::guarded_roundtrip(Message msg, MessageType reply_type,
   const std::uint64_t end = telemetry_.now_ns();
   const std::string kind_label = std::string("kind=") + std::string(to_string(kind));
   telemetry_.hist("rpc.roundtrip_ns", kind_label).record(end - start);
+  telemetry_.observe_slo(to_string(kind), end - start);
   telemetry_.count("rpc.requests", kind_label);
   telemetry_.count("rpc.requests", std::string("peer=") + std::to_string(peer));
   if (span != SpanRecorder::kNoSpan) {
@@ -1143,6 +1190,9 @@ void Runtime::probe_peer(SpaceId peer) {
     return;
   }
   const PeerHealth verdict = detector_.note_miss(peer);
+  telemetry_.flight().event(FlightEventKind::kDetector, vnow_ns(), peer,
+                            std::string("probe miss -> ") +
+                                std::string(to_string(verdict)));
   SRPC_WARN << name_ << ": probe of space " << peer
             << " missed; peer is " << to_string(verdict);
   if (telemetry_.tracing()) {
@@ -1198,10 +1248,11 @@ Result<std::uint64_t> Runtime::issue_guarded(
   // request is being collected, possibly on the SIGSEGV fetch path. Light
   // by contract: telemetry, lease touch, promise fulfilment; probes are
   // deferred to drain_probes().
-  opts.on_complete = [this, peer, span, start, kind_label, msg_session,
+  opts.on_complete = [this, peer, span, start, kind, kind_label, msg_session,
                       promise](Result<Message>& reply) {
     const std::uint64_t end = telemetry_.now_ns();
     telemetry_.hist("rpc.roundtrip_ns", kind_label).record(end - start);
+    telemetry_.observe_slo(to_string(kind), end - start);
     telemetry_.count("rpc.requests", kind_label);
     telemetry_.count("rpc.requests", std::string("peer=") + std::to_string(peer));
     if (span != SpanRecorder::kNoSpan) {
@@ -1279,9 +1330,16 @@ void Runtime::on_peer_dead(SpaceId peer) {
   detector_.mark_dead(peer);
   if (!dead_cleaned_.insert(peer).second) return;  // already contained
   ++stats_.peers_died;
+  telemetry_.flight().event(FlightEventKind::kDetector, vnow_ns(), peer,
+                            "declared dead");
   std::size_t revoked = 0;
   for_each_cache([&](CacheManager& c) { revoked += c.revoke_source(peer); });
-  if (revoked > 0) ++stats_.leases_expired;
+  if (revoked > 0) {
+    ++stats_.leases_expired;
+    telemetry_.flight().event(FlightEventKind::kLeaseExpiry, vnow_ns(), peer,
+                              "revoked on death",
+                              static_cast<std::int64_t>(revoked));
+  }
   std::uint64_t reclaimed = 0;
   if (incarnation_ == 0) {
     // Locks and version observations of the dead peer's sessions will never
@@ -1337,6 +1395,9 @@ void Runtime::poll_failures() {
     for (const SpaceId source : c.lapsed_sources(now, lease_ttl_ns_)) {
       const std::size_t revoked = c.revoke_source(source);
       ++stats_.leases_expired;
+      telemetry_.flight().event(FlightEventKind::kLeaseExpiry, now, source,
+                                "ttl lapsed",
+                                static_cast<std::int64_t>(revoked));
       detector_.mark_suspect(source);
       SRPC_WARN << name_ << ": lease on source space " << source
                 << " lapsed; revoked " << revoked << " cached pages";
@@ -1420,6 +1481,23 @@ bool Runtime::fence_stale(const Message& msg) {
     ++stats_.fenced_stale_messages;
     telemetry_.count("recovery.fenced_stale_messages",
                      "peer=" + std::to_string(msg.from));
+    FlightEvent fe;
+    fe.ts_ns = vnow_ns();
+    fe.kind = FlightEventKind::kFence;
+    fe.msg_type = static_cast<std::uint8_t>(msg.type);
+    fe.peer = msg.from;
+    fe.session = msg.session;
+    fe.seq = msg.seq;
+    fe.arg = static_cast<std::int64_t>(msg.incarnation);
+    telemetry_.flight().record(fe);
+    // The black box for "who kept talking to a dead life": dump once per
+    // {peer, stamped incarnation} so a retransmit storm of stale frames
+    // yields one dump, not hundreds.
+    const std::uint64_t fence_key =
+        (static_cast<std::uint64_t>(msg.from) << 32) | msg.incarnation;
+    if (fence_dumped_.insert(fence_key).second) {
+      telemetry_.flight().dump("incarnation_fence", vnow_ns());
+    }
     SRPC_WARN << name_ << ": fencing stale " << to_string(msg.type)
               << " seq=" << msg.seq << " from space " << msg.from << " (inc "
               << msg.incarnation << " -> " << msg.to_incarnation
@@ -1445,6 +1523,10 @@ void Runtime::on_peer_rejoin(SpaceId peer, std::uint32_t incarnation,
   }
   peer_incarnations_[peer] = incarnation;
   ++stats_.rejoins_served;
+  telemetry_.flight().event(FlightEventKind::kRejoin, vnow_ns(), peer,
+                            authoritative ? "rejoin served"
+                                          : "implicit cleanup",
+                            static_cast<std::int64_t>(incarnation));
 
   bool stages_in_doubt = false;
   if (authoritative) {
@@ -1732,6 +1814,11 @@ Status Runtime::recover_from_log() {
     }
   }
   stats_.recovery_replays += replayed;
+  telemetry_.flight().event(FlightEventKind::kRecoveryReplay, vnow_ns(),
+                            kInvalidSpaceId,
+                            checkpoint != nullptr ? "from checkpoint"
+                                                  : "full history",
+                            static_cast<std::int64_t>(replayed));
   // Replay re-applied commits through the normal incorporate path, which
   // records them as this (ambient) session's travelling home updates; the
   // recovered sessions are settled history, not live state.
@@ -1758,6 +1845,9 @@ void Runtime::checkpoint_now() {
                             shadow.staged.data(), shadow.staged.size());
   }
   ++stats_.checkpoints_taken;
+  telemetry_.flight().event(FlightEventKind::kCheckpoint, vnow_ns(),
+                            kInvalidSpaceId, {},
+                            static_cast<std::int64_t>(heap_.live_allocations()));
   settles_since_checkpoint_ = 0;
 }
 
@@ -2307,9 +2397,25 @@ Status Runtime::serve_wb_prepare(Message msg) {
       committed != committed_epochs_.end() && committed->second >= epoch.value();
   if (!already_applied && multi_session_) {
     // Arbitration gate: stale reads or a wound lose here, before anything
-    // is staged, and the ground aborts + retries the whole session.
+    // is staged, and the ground aborts + retries the whole session. The
+    // gate is timed as a "concurrency.lock" span so the critical-path
+    // analyzer can attribute commit latency to lock arbitration.
+    const std::uint64_t lock_start = telemetry_.now_ns();
+    SpanRecorder::Handle lock_span = SpanRecorder::kNoSpan;
+    if (telemetry_.tracing()) {
+      lock_span = telemetry_.tracer().start_local(
+          "lock validate session " + std::to_string(msg.session),
+          "concurrency.lock", lock_start);
+    }
     Status granted = arbiter_.validate_prepare(msg.session, writes);
+    const std::uint64_t lock_end = telemetry_.now_ns();
+    if (lock_span != SpanRecorder::kNoSpan) {
+      telemetry_.tracer().finish(lock_span, lock_end, granted.is_ok());
+    }
+    telemetry_.hist("concurrency.lock_wait_ns").record(lock_end - lock_start);
     if (!granted.is_ok()) {
+      telemetry_.flight().event(FlightEventKind::kWbConflict, vnow_ns(),
+                                msg.from, "prepare refused", 0, msg.session);
       return send_error(msg.from, msg.session, msg.seq, granted);
     }
   }
@@ -2510,6 +2616,10 @@ Result<SessionId> Runtime::begin_session() {
   session_ = id;
   cache_session_ = id;
   if (telemetry_.tracing()) {
+    // Single-session mode has no ScopedSession wrapping each operation, so
+    // stamp the tracer's ambient session for the session's whole lifetime —
+    // every span recorded until end/abort is attributable to it.
+    telemetry_.tracer().set_session(id);
     ambient_state_.span = telemetry_.tracer().start_local(
         "session " + std::to_string(id), "session", telemetry_.now_ns());
   }
@@ -2698,6 +2808,9 @@ Status Runtime::end_session(SessionId id) {
         ++stats_.wb_conflicts;
         telemetry_.count("concurrency.wb_conflicts",
                          "session=" + std::to_string(id));
+        telemetry_.flight().event(FlightEventKind::kWbConflict, vnow_ns(),
+                                  p.home, "lost arbitration", 0,
+                                  id);
         SRPC_WARN << name_ << ": session " << id
                   << " lost arbitration at home " << p.home << ": "
                   << err.to_string();
@@ -2905,6 +3018,7 @@ Status Runtime::end_session(SessionId id) {
   ++stats_.sessions_committed;
   telemetry_.hist("session.commit_ns", "session=" + std::to_string(id))
       .record(telemetry_.now_ns() - t_start);
+  telemetry_.observe_slo("SESSION_COMMIT", telemetry_.now_ns() - t_start);
   if (multi_session_) {
     // Any arbitration state this session left in the local arbiter (it is
     // usually empty — grounds do not fetch from themselves) dies with it.
@@ -2914,6 +3028,9 @@ Status Runtime::end_session(SessionId id) {
   } else {
     cache_session_ = kNoSession;
     session_ = kNoSession;
+    if (telemetry_.tracer().session() == id) {
+      telemetry_.tracer().set_session(kNoSession);
+    }
   }
   return Status::ok();
 }
@@ -2928,6 +3045,8 @@ Status Runtime::abort_session() {
     return Status::ok();  // nothing to unwind
   }
   ++stats_.sessions_aborted;
+  telemetry_.flight().event(FlightEventKind::kSessionAbort, vnow_ns(),
+                            kInvalidSpaceId, {}, 0, aborting);
   SRPC_WARN << name_ << ": aborting session " << aborting;
   poll_failures();
 
@@ -2973,6 +3092,9 @@ Status Runtime::abort_session() {
   ambient_state_.clear_ship();
   cache_session_ = kNoSession;
   session_ = kNoSession;
+  if (telemetry_.tracer().session() == aborting) {
+    telemetry_.tracer().set_session(kNoSession);
+  }
   if (ambient_state_.span != SpanRecorder::kNoSpan) {
     telemetry_.tracer().annotate(ambient_state_.span, "session aborted",
                                  telemetry_.now_ns());
@@ -2995,6 +3117,8 @@ Status Runtime::abort_session(SessionId id) {
   if (st == nullptr) return Status::ok();  // already gone — abort is idempotent
   ScopedSession scope(*this, id);
   ++stats_.sessions_aborted;
+  telemetry_.flight().event(FlightEventKind::kSessionAbort, vnow_ns(),
+                            kInvalidSpaceId, {}, 0, id);
   SRPC_WARN << name_ << ": aborting session " << id;
   st->status = SessionStatus::kAborted;
   // Un-flushed extended_malloc/free batches die with the session —

@@ -160,6 +160,18 @@ class Runtime final : public PageFetcher,
   // CacheStats counters folded in, so one export shows everything.
   [[nodiscard]] std::string metrics_json();
 
+  // JSON health snapshot for THIS space: incarnation, failure-detector
+  // verdicts, lock-table contention, dedup-window and completion-slot
+  // occupancy, in-doubt stages, SLO state, flight-recorder fill.
+  // World::health_json() aggregates one per space plus arena pressure.
+  [[nodiscard]] std::string health_json();
+
+  // WorldOptions-driven observability config (applied for every life of
+  // the space, including reincarnations).
+  void configure_slo(const SloConfig& config) {
+    telemetry_.slo().configure(config);
+  }
+
   // Deadline/retry policy for every request this runtime initiates.
   [[nodiscard]] const TimeoutConfig& timeouts() const noexcept { return timeouts_; }
   void set_timeouts(const TimeoutConfig& timeouts) noexcept { timeouts_ = timeouts; }
@@ -765,6 +777,10 @@ class Runtime final : public PageFetcher,
   // staged, and the peer's delayed REJOIN — normally a dedup no-op — is
   // allowed through to resolve them against its decision log.
   std::unordered_map<SpaceId, std::uint32_t> awaiting_rejoin_decisions_;
+  // {peer, stamped incarnation} pairs whose fence already dumped the
+  // flight ring — a stale-frame storm produces one black box, not one per
+  // frame.
+  std::unordered_set<std::uint64_t> fence_dumped_;
   std::uint32_t checkpoint_interval_ = 0;   // settles per checkpoint; 0 = manual
   std::uint32_t settles_since_checkpoint_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "core/world.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string_view>
@@ -115,6 +116,19 @@ void World::apply_runtime_config(AddressSpace& space) {
     rt.set_recovery(recovery_logs_.at(id).get(), incarnations_.at(id));
     rt.set_checkpoint_interval(options_.checkpoint_interval);
   }
+  rt.configure_slo(options_.slo);
+  FlightRecorder& flight = rt.telemetry().flight();
+  if (options_.flight_events != FlightRecorder::kDefaultCapacity) {
+    flight.set_capacity(options_.flight_events);
+  }
+  if (!options_.flight_dir.empty()) flight.set_dump_dir(options_.flight_dir);
+  // Archive every dump at the World so it survives the space's death (a
+  // reincarnation gets a fresh Runtime and with it a fresh, empty ring).
+  flight.set_dump_sink(
+      [this](SpaceId from, std::string_view reason, std::string json) {
+        std::lock_guard<std::mutex> lock(flight_mutex_);
+        flight_dumps_.push_back({from, std::string(reason), std::move(json)});
+      });
 }
 
 Status World::start() {
@@ -150,6 +164,16 @@ void World::mark_dead(SpaceId id) {
 }
 
 void World::crash_space(SpaceId id) {
+  // Black-box first: record the crash and dump the ring while the dying
+  // space's events are still in it. The recorder is thread-safe and the
+  // dump archives through the sink, so this is safe from the World thread
+  // even while the worker is mid-flight.
+  if (id < spaces_.size()) {
+    Telemetry& t = spaces_.at(id)->runtime().telemetry();
+    t.flight().event(FlightEventKind::kCrash, t.now_ns(), kInvalidSpaceId,
+                     "crash_space");
+    t.flight().dump("crash_space", t.now_ns());
+  }
   if (fault_) fault_->crash_space(id);
   mark_dead(id);
 }
@@ -228,6 +252,53 @@ std::string World::metrics_json() {
   }
   out += "\n}\n";
   return out;
+}
+
+std::string World::health_json() {
+  std::string out = "{\n";
+  // World-level state first: incarnations and arena pressure are owned
+  // here, not by any single runtime.
+  out += "  \"incarnations\": [";
+  for (std::size_t i = 0; i < incarnations_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(incarnations_[i]);
+  }
+  out += "],\n";
+  if (shm_arena_) {
+    const ShmArenaStats as = shm_arena_->stats();
+    const std::size_t cap = shm_arena_->capacity();
+    out += "  \"arena\": {\"bytes_live\": " + std::to_string(as.bytes_live);
+    out += ", \"capacity\": " + std::to_string(cap);
+    out += ", \"regions_live\": " + std::to_string(as.regions_live);
+    out += ", \"peak_bytes_live\": " + std::to_string(as.peak_bytes_live);
+    out += ", \"publish_failures\": " + std::to_string(as.publish_failures);
+    char pressure[32];
+    std::snprintf(pressure, sizeof(pressure), "%.4f",
+                  cap != 0 ? static_cast<double>(as.bytes_live) /
+                                 static_cast<double>(cap)
+                           : 0.0);
+    out += std::string(", \"pressure\": ") + pressure + "},\n";
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    out += "  \"flight_dumps\": " + std::to_string(flight_dumps_.size()) +
+           ",\n";
+  }
+  out += "  \"spaces\": {\n";
+  bool first = true;
+  for (auto& space : spaces_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    \"" + space->name() + "\": ";
+    out += space->run([](Runtime& rt) { return rt.health_json(); });
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::vector<World::FlightDump> World::flight_dumps() const {
+  std::lock_guard<std::mutex> lock(flight_mutex_);
+  return flight_dumps_;
 }
 
 std::vector<SpaceSpans> World::collect_spans() {

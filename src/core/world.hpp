@@ -10,12 +10,15 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/address_space.hpp"
 #include "net/fault_transport.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace_export.hpp"
 #include "net/sim_network.hpp"
 #include "net/socket_transport.hpp"
@@ -81,6 +84,17 @@ struct WorldOptions {
   // Checkpoint the heap into the recovery log every N session settlements
   // (0 = never; replay then walks the whole journal).
   std::uint32_t checkpoint_interval = 0;
+  // Per-op-kind latency objectives (obs/slo.hpp). Enabled with the generic
+  // SloConfig::defaults() unless objectives are given; violations surface
+  // as slo.violations{...} counters and a burn-rate breach dumps the
+  // flight recorder.
+  SloConfig slo;
+  // Capacity of each space's flight-recorder ring (events kept).
+  std::size_t flight_events = FlightRecorder::kDefaultCapacity;
+  // Directory for automatic flight-recorder dump files; empty defers to
+  // the SRPC_FLIGHT_DIR environment variable, and with neither set dumps
+  // stay in-memory (World::flight_dumps()).
+  std::string flight_dir;
 };
 
 class World {
@@ -166,6 +180,22 @@ class World {
   // survive the merge.
   [[nodiscard]] std::string metrics_json();
 
+  // One JSON health snapshot for the whole world: every space's
+  // Runtime::health_json() (detector verdicts, lock contention, dedup and
+  // completion-slot occupancy, SLO state) plus current incarnations and
+  // shm-arena pressure. Cheap enough to poll.
+  [[nodiscard]] std::string health_json();
+
+  // Every flight-recorder dump any space produced (crash, fence, SLO
+  // breach, manual), in production order. Archived here so a dump
+  // survives its space's death — the black box outlives the aircraft.
+  struct FlightDump {
+    SpaceId space = kInvalidSpaceId;
+    std::string reason;
+    std::string json;
+  };
+  [[nodiscard]] std::vector<FlightDump> flight_dumps() const;
+
   // Collects every space's spans into one Chrome trace-event / Perfetto
   // JSON file. Call at a quiet point (no in-flight sessions); open spans
   // are exported with zero duration and flagged "open".
@@ -208,6 +238,10 @@ class World {
   // crash; incarnations start at 1 (0 on the wire means "recovery off").
   std::vector<std::unique_ptr<RecoveryLog>> recovery_logs_;
   std::vector<std::uint32_t> incarnations_;
+  // Flight-recorder dump archive; written from worker threads (fence and
+  // SLO-breach dumps) as well as World threads (crash_space).
+  mutable std::mutex flight_mutex_;
+  std::vector<FlightDump> flight_dumps_;
   bool started_ = false;
 };
 

@@ -1,0 +1,253 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+#include <utility>
+
+namespace srpc {
+namespace {
+
+// Attribution priorities, highest wins an instant. kLocal is the sweep's
+// remainder, never an interval of its own.
+enum Prio : int {
+  kPrioNetwork = 1,
+  kPrioRetransmit = 2,
+  kPrioExecution = 3,
+  kPrioLock = 4,
+};
+constexpr int kPrioLevels = 5;
+
+struct Interval {
+  std::uint64_t start;
+  std::uint64_t end;
+  int prio;
+};
+
+bool has_retransmit_note(const SpanAnnotation& a) {
+  return a.text.find("retransmit") != std::string::npos;
+}
+
+// Sweeps `intervals` (already clipped to [lo, hi]) and charges every
+// instant of [lo, hi] to the highest active priority; prio 0 collects the
+// uncovered remainder. Returns per-priority totals.
+std::array<std::uint64_t, kPrioLevels> sweep(std::vector<Interval> intervals,
+                                             std::uint64_t lo,
+                                             std::uint64_t hi) {
+  std::array<std::uint64_t, kPrioLevels> totals{};
+  if (hi <= lo) return totals;
+  struct Edge {
+    std::uint64_t t;
+    int prio;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(intervals.size() * 2);
+  for (const Interval& iv : intervals) {
+    if (iv.end <= iv.start) continue;
+    edges.push_back({iv.start, iv.prio, +1});
+    edges.push_back({iv.end, iv.prio, -1});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.t < b.t; });
+  std::array<int, kPrioLevels> active{};
+  std::uint64_t cursor = lo;
+  std::size_t i = 0;
+  while (cursor < hi) {
+    // Apply every edge at `cursor`, then charge up to the next edge.
+    while (i < edges.size() && edges[i].t <= cursor) {
+      active[edges[i].prio] += edges[i].delta;
+      ++i;
+    }
+    std::uint64_t next = hi;
+    if (i < edges.size() && edges[i].t < hi) next = edges[i].t;
+    int prio = 0;
+    for (int p = kPrioLevels - 1; p >= 1; --p) {
+      if (active[p] > 0) {
+        prio = p;
+        break;
+      }
+    }
+    totals[prio] += next - cursor;
+    cursor = next;
+  }
+  return totals;
+}
+
+}  // namespace
+
+CriticalPathAnalyzer::CriticalPathAnalyzer(std::vector<SpaceSpans> spaces)
+    : storage_(std::move(spaces)) {
+  for (const SpaceSpans& ss : storage_) {
+    for (const Span& s : ss.spans) {
+      if (s.open || s.end_ns < s.start_ns) continue;
+      spans_.push_back({&s, ss.space});
+    }
+  }
+  by_id_.reserve(spans_.size());
+  by_parent_.reserve(spans_.size());
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    by_id_.emplace_back(spans_[i].span->span_id, i);
+    by_parent_.emplace_back(spans_[i].span->parent_span_id, i);
+  }
+  std::sort(by_id_.begin(), by_id_.end());
+  std::sort(by_parent_.begin(), by_parent_.end());
+}
+
+void CriticalPathAnalyzer::collect_subtree(std::uint64_t root_id,
+                                           std::vector<const Rec*>* out) const {
+  std::vector<std::uint64_t> stack{root_id};
+  while (!stack.empty()) {
+    const std::uint64_t id = stack.back();
+    stack.pop_back();
+    auto [lo, hi] = std::equal_range(
+        by_parent_.begin(), by_parent_.end(),
+        std::make_pair(id, std::size_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto it = lo; it != hi; ++it) {
+      out->push_back(&spans_[it->second]);
+      stack.push_back(spans_[it->second].span->span_id);
+    }
+  }
+}
+
+Result<CriticalPathBreakdown> CriticalPathAnalyzer::analyze_session(
+    SessionId session) const {
+  const Rec* best = nullptr;
+  for (const Rec& r : spans_) {
+    if (r.span->category != "session" || r.span->session != session) continue;
+    if (best == nullptr || (r.span->end_ns - r.span->start_ns) >
+                               (best->span->end_ns - best->span->start_ns)) {
+      best = &r;
+    }
+  }
+  if (best == nullptr) {
+    return internal_error("no session span recorded for session " +
+                          std::to_string(session));
+  }
+  return attribute(*best);
+}
+
+Result<CriticalPathBreakdown> CriticalPathAnalyzer::analyze_span(
+    std::uint64_t span_id) const {
+  auto it = std::lower_bound(
+      by_id_.begin(), by_id_.end(), std::make_pair(span_id, std::size_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == by_id_.end() || it->first != span_id) {
+    return internal_error("span " + std::to_string(span_id) +
+                          " not recorded");
+  }
+  return attribute(spans_[it->second]);
+}
+
+CriticalPathBreakdown CriticalPathAnalyzer::attribute(const Rec& root) const {
+  CriticalPathBreakdown out;
+  out.trace_id = root.span->trace_id;
+  out.root_span_id = root.span->span_id;
+  out.root_name = root.span->name;
+  const std::uint64_t lo = root.span->start_ns;
+  const std::uint64_t hi = root.span->end_ns;
+  out.total_ns = hi - lo;
+
+  std::vector<const Rec*> subtree;
+  collect_subtree(root.span->span_id, &subtree);
+  out.span_count = subtree.size() + 1;
+  for (const Rec* r : subtree) {
+    for (const SpanAnnotation& a : r->span->annotations) {
+      if (has_retransmit_note(a)) ++out.retransmits;
+    }
+  }
+
+  // Turn the subtree into priority intervals clipped to a window.
+  const auto intervals_in = [&](std::uint64_t wlo, std::uint64_t whi,
+                                const std::vector<const Rec*>& recs) {
+    std::vector<Interval> ivs;
+    ivs.reserve(recs.size());
+    for (const Rec* r : recs) {
+      const Span& s = *r->span;
+      const std::uint64_t cs = std::max(s.start_ns, wlo);
+      const std::uint64_t ce = std::min(s.end_ns, whi);
+      if (ce <= cs) continue;
+      if (s.category == "concurrency.lock") {
+        ivs.push_back({cs, ce, kPrioLock});
+      } else if (s.category == "rpc.server") {
+        ivs.push_back({cs, ce, kPrioExecution});
+      } else if (s.category == "rpc.client") {
+        ivs.push_back({cs, ce, kPrioNetwork});
+        // The prefix of a client span up to its last retransmit note is a
+        // stall: the original frame (or an ack) was lost and the reply
+        // only existed because a timer re-sent it.
+        std::uint64_t last_retx = 0;
+        for (const SpanAnnotation& a : s.annotations) {
+          if (has_retransmit_note(a)) last_retx = std::max(last_retx, a.ts_ns);
+        }
+        if (last_retx > cs)
+          ivs.push_back({cs, std::min(last_retx, ce), kPrioRetransmit});
+      }
+    }
+    return ivs;
+  };
+
+  const auto totals = sweep(intervals_in(lo, hi, subtree), lo, hi);
+  out.local_ns = totals[0];
+  out.network_ns = totals[kPrioNetwork];
+  out.retransmit_ns = totals[kPrioRetransmit];
+  out.execution_ns = totals[kPrioExecution];
+  out.lock_wait_ns = totals[kPrioLock];
+
+  // Per-hop sweeps: each direct client child over its own window.
+  for (const Rec* r : subtree) {
+    const Span& s = *r->span;
+    if (s.parent_span_id != root.span->span_id || s.category != "rpc.client")
+      continue;
+    std::vector<const Rec*> hop_tree{r};
+    collect_subtree(s.span_id, &hop_tree);
+    const auto ht = sweep(intervals_in(s.start_ns, s.end_ns, hop_tree),
+                          s.start_ns, s.end_ns);
+    CriticalPathBreakdown::Hop hop;
+    hop.name = s.name;
+    hop.space = r->space;
+    hop.span_id = s.span_id;
+    hop.total_ns = s.end_ns - s.start_ns;
+    hop.network_ns = ht[kPrioNetwork] + ht[0];  // no "local" inside a hop
+    hop.retransmit_ns = ht[kPrioRetransmit];
+    hop.execution_ns = ht[kPrioExecution];
+    hop.lock_wait_ns = ht[kPrioLock];
+    out.hops.push_back(std::move(hop));
+  }
+  std::sort(out.hops.begin(), out.hops.end(),
+            [](const auto& a, const auto& b) { return a.total_ns > b.total_ns; });
+  return out;
+}
+
+std::string CriticalPathBreakdown::to_json() const {
+  std::string out = "{";
+  out += "\"root\": \"" + root_name + "\"";
+  out += ", \"trace_id\": " + std::to_string(trace_id);
+  out += ", \"span_count\": " + std::to_string(span_count);
+  out += ", \"total_ns\": " + std::to_string(total_ns);
+  out += ", \"network_ns\": " + std::to_string(network_ns);
+  out += ", \"execution_ns\": " + std::to_string(execution_ns);
+  out += ", \"lock_wait_ns\": " + std::to_string(lock_wait_ns);
+  out += ", \"retransmit_ns\": " + std::to_string(retransmit_ns);
+  out += ", \"local_ns\": " + std::to_string(local_ns);
+  out += ", \"attributed_ns\": " + std::to_string(attributed_ns());
+  out += ", \"retransmits\": " + std::to_string(retransmits);
+  out += ", \"hops\": [";
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const Hop& h = hops[i];
+    if (i != 0) out += ", ";
+    out += "{\"name\": \"" + h.name + "\"";
+    out += ", \"space\": " + std::to_string(h.space);
+    out += ", \"total_ns\": " + std::to_string(h.total_ns);
+    out += ", \"network_ns\": " + std::to_string(h.network_ns);
+    out += ", \"execution_ns\": " + std::to_string(h.execution_ns);
+    out += ", \"lock_wait_ns\": " + std::to_string(h.lock_wait_ns);
+    out += ", \"retransmit_ns\": " + std::to_string(h.retransmit_ns);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace srpc

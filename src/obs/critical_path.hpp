@@ -1,0 +1,99 @@
+// CriticalPathAnalyzer — where did a session's wall-clock time go?
+//
+// Input is the stitched cross-space span forest (World::collect_spans());
+// the analyzer picks a root (a session span, or any span by id), gathers
+// its subtree across spaces, and attributes every nanosecond of the root's
+// duration to exactly one component by a priority sweep over the root's
+// time window:
+//
+//   lock wait   > home execution > retransmit stall > network wait > local
+//   ("concurrency.lock")  ("rpc.server")  (client-span prefix up to the
+//                                          last retransmit annotation)
+//                                         ("rpc.client")    (remainder)
+//
+// At any instant the highest-priority activity open anywhere in the
+// subtree claims that instant: time a home spent validating locks is lock
+// wait even though a client span covers it; time a home executed is
+// execution; client-span time before a retransmitted attempt finally went
+// through is retransmit stall; remaining client-span time is the wire and
+// peer queueing; and time with no RPC outstanding at all is the caller's
+// own compute. Components therefore sum exactly to the root's duration —
+// pipelined overlap is never double-counted, which is the property the
+// fig9 tuning work needs.
+//
+// Timestamps are comparable across spaces because every space shares the
+// transport's virtual clock (or one host's steady clock on sockets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "obs/trace_export.hpp"
+
+namespace srpc {
+
+struct CriticalPathBreakdown {
+  std::uint64_t trace_id = 0;
+  std::uint64_t root_span_id = 0;
+  std::string root_name;
+  std::uint64_t total_ns = 0;       // root span duration
+  std::uint64_t network_ns = 0;     // wire + marshalling + peer queueing
+  std::uint64_t execution_ns = 0;   // home-side request serving
+  std::uint64_t lock_wait_ns = 0;   // home-side lock arbitration
+  std::uint64_t retransmit_ns = 0;  // stalls re-sending lost frames
+  std::uint64_t local_ns = 0;       // root-local compute, no RPC outstanding
+  std::size_t span_count = 0;       // spans attributed (subtree size)
+  std::size_t retransmits = 0;      // retransmit annotations seen
+
+  // Per direct child RPC of the root, its own sweep over its window.
+  struct Hop {
+    std::string name;
+    SpaceId space = kInvalidSpaceId;
+    std::uint64_t span_id = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t network_ns = 0;
+    std::uint64_t execution_ns = 0;
+    std::uint64_t lock_wait_ns = 0;
+    std::uint64_t retransmit_ns = 0;
+  };
+  std::vector<Hop> hops;  // sorted by total_ns, largest first
+
+  [[nodiscard]] std::uint64_t attributed_ns() const {
+    return network_ns + execution_ns + lock_wait_ns + retransmit_ns +
+           local_ns;
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+class CriticalPathAnalyzer {
+ public:
+  // Takes the span forest by value: the analyzer owns its copy, so passing
+  // World::collect_spans() directly is safe (no dangling into a temporary).
+  explicit CriticalPathAnalyzer(std::vector<SpaceSpans> spaces);
+
+  // Root = the session-category span for `session` (the longest one when a
+  // retried session produced several).
+  [[nodiscard]] Result<CriticalPathBreakdown> analyze_session(
+      SessionId session) const;
+  [[nodiscard]] Result<CriticalPathBreakdown> analyze_span(
+      std::uint64_t span_id) const;
+
+ private:
+  struct Rec {
+    const Span* span;
+    SpaceId space;
+  };
+  [[nodiscard]] CriticalPathBreakdown attribute(const Rec& root) const;
+  void collect_subtree(std::uint64_t root_id, std::vector<const Rec*>* out) const;
+
+  std::vector<SpaceSpans> storage_;  // owned spans; Recs point into this
+  std::vector<Rec> spans_;
+  // parallel index: spans_ position by span_id / children by parent id
+  std::vector<std::pair<std::uint64_t, std::size_t>> by_id_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> by_parent_;
+};
+
+}  // namespace srpc

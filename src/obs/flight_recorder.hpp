@@ -1,0 +1,126 @@
+// FlightRecorder — the per-space black box.
+//
+// An always-on, fixed-size ring of structured events recorded at the
+// runtime's choke points: every frame sent and received (RpcEndpoint),
+// retransmits, incarnation fences, WB_CONFLICT outcomes, lease expiries,
+// failure-detector transitions, arena publish failures, recovery replays,
+// crashes, rejoins, and SLO breaches. Recording is cheap (one mutexed
+// struct copy, no allocation on the hot path) so the ring stays on even in
+// benchmarks; when something goes wrong the last `capacity` events explain
+// what led up to it.
+//
+// Dumps. The ring is serialised to JSON automatically on three triggers —
+// World::crash_space (the space is about to lose its state), the first
+// incarnation fence per {peer, incarnation} (stale traffic from a dead
+// life), and an SLO breach edge — and on demand via dump(). Every dump is
+// handed to the configured sink (World archives them; tests read them
+// back) and, when SRPC_FLIGHT_DIR or set_dump_dir() names a directory,
+// written to FLIGHT_<space>_<reason>_<n>.json for CI artifact collection.
+// The most recent dump is always retained in-memory (last_dump()).
+//
+// Thread safety: the ring is mutex-protected because dumps and a few
+// producers (World::crash_space, lease expiry from the poll path) run off
+// the space's worker thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace srpc {
+
+enum class FlightEventKind : std::uint8_t {
+  kFrameSend = 1,     // frame handed to the transport (incl. retransmits)
+  kFrameRecv,         // frame accepted off the wire
+  kRetransmit,        // timer fired, frame re-sent (arg = attempt)
+  kFence,             // stale-incarnation frame dropped (arg = stamped inc)
+  kWbConflict,        // prepare lost arbitration (arg = blocker session)
+  kLeaseExpiry,       // lease lapsed / revoked on peer death
+  kDetector,          // failure-detector verdict transition (note = verdict)
+  kArenaPublishFail,  // shm arena full, payload fell back inline (arg = bytes)
+  kRecoveryReplay,    // recovery log replayed at boot (arg = records)
+  kCrash,             // this space is being crashed (dump follows)
+  kRejoin,            // REJOIN served or announced (arg = incarnation)
+  kSloBreach,         // SLO burn rate crossed its breach threshold
+  kSessionAbort,      // session aborted (arg = session)
+  kCheckpoint,        // recovery checkpoint taken (arg = heap bytes)
+};
+
+[[nodiscard]] std::string_view to_string(FlightEventKind k) noexcept;
+
+struct FlightEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t seq = 0;           // wire seq for frame events, else 0
+  SessionId session = kNoSession;  // owning session when known
+  std::int64_t arg = 0;            // kind-specific scalar (see enum)
+  SpaceId peer = kInvalidSpaceId;  // remote party when the event has one
+  FlightEventKind kind = FlightEventKind::kFrameSend;
+  std::uint8_t msg_type = 0;       // raw MessageType for frame events, else 0
+  char note[46] = {};              // short free-text detail (truncated)
+};
+
+class FlightRecorder {
+ public:
+  // A dump sink receives every serialised dump (reason + JSON text).
+  // World installs one that archives dumps past the space's death.
+  using DumpSink =
+      std::function<void(SpaceId, std::string_view reason, std::string json)>;
+
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit FlightRecorder(SpaceId space, std::string space_name,
+                          std::size_t capacity = kDefaultCapacity);
+
+  // Resizes the ring (drops recorded events); configuration-time only.
+  void set_capacity(std::size_t capacity);
+  void set_dump_sink(DumpSink sink);
+  // Directory for file dumps; empty falls back to $SRPC_FLIGHT_DIR, and
+  // when that is unset too, dumps stay in-memory only.
+  void set_dump_dir(std::string dir);
+
+  // Core producer: copies `e` into the ring (ts_ns set by the caller).
+  void record(const FlightEvent& e);
+
+  // Convenience producers for the two families of events.
+  void frame(FlightEventKind kind, std::uint64_t ts_ns, std::uint8_t msg_type,
+             SpaceId peer, SessionId session, std::uint64_t seq,
+             std::int64_t arg = 0);
+  void event(FlightEventKind kind, std::uint64_t ts_ns,
+             SpaceId peer = kInvalidSpaceId, std::string_view note = {},
+             std::int64_t arg = 0, SessionId session = kNoSession);
+
+  // Serialises the ring, oldest first, hands it to the sink, and writes a
+  // FLIGHT_<space>_<reason>_<n>.json file when a dump dir is configured.
+  // Returns the JSON text.
+  std::string dump(std::string_view reason, std::uint64_t now_ns);
+
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] std::uint64_t total_recorded() const;  // incl. overwritten
+  [[nodiscard]] std::uint64_t dump_count() const;
+  [[nodiscard]] std::string last_dump() const;
+  [[nodiscard]] std::string last_dump_path() const;
+
+ private:
+  [[nodiscard]] std::string render_locked(std::string_view reason,
+                                          std::uint64_t now_ns) const;
+
+  mutable std::mutex mutex_;
+  SpaceId space_;
+  std::string space_name_;
+  std::vector<FlightEvent> ring_;
+  std::size_t head_ = 0;           // next write position
+  std::uint64_t total_ = 0;        // events ever recorded
+  std::uint64_t dumps_ = 0;
+  std::string dump_dir_;
+  std::string last_dump_;
+  std::string last_dump_path_;
+  DumpSink sink_;
+};
+
+}  // namespace srpc

@@ -33,10 +33,18 @@ double Histogram::percentile(double q) const noexcept {
     const auto next = seen + buckets_[i];
     if (static_cast<double>(next) >= rank) {
       // Bucket i holds values in [2^(i-1), 2^i - 1] (bucket 0 holds {0}).
-      const double lo = (i == 0) ? 0.0 : static_cast<double>(1ULL << (i - 1));
-      const double hi =
+      // Clamp the bucket bounds to the observed min/max before
+      // interpolating: in the tail buckets the nominal power-of-two range
+      // is mostly empty, and a midpoint there would report a value no
+      // sample ever took (e.g. one observation of 70 in [64, 127] must
+      // not print as ~95).
+      double lo = (i == 0) ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      double hi =
           (i == 0) ? 0.0
                    : static_cast<double>((i >= 64 ? UINT64_MAX : (1ULL << i) - 1));
+      lo = std::max(lo, static_cast<double>(min()));
+      hi = std::min(hi, static_cast<double>(max_));
+      if (hi < lo) hi = lo;
       const double within =
           buckets_[i] > 1
               ? (rank - static_cast<double>(seen)) / static_cast<double>(buckets_[i])
@@ -129,6 +137,8 @@ std::string MetricsRegistry::to_json() const {
     append_number(out, h.percentile(0.95));
     out += ",\"p99\":";
     append_number(out, h.percentile(0.99));
+    out += ",\"p999\":";
+    append_number(out, h.percentile(0.999));
     out.push_back('}');
   }
   out += "}}";

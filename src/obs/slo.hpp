@@ -1,0 +1,100 @@
+// SloEngine — rolling-window latency objectives with error budgets.
+//
+// An objective judges one op kind ("CALL", "FETCH", "SESSION_COMMIT", ...):
+// at least `target` of the last `window` samples must finish under
+// `threshold_ns`. The engine keeps a ring of violation bits per kind, so
+// the error budget and burn rate reflect recent behaviour, not lifetime
+// averages — a wire that went bad an hour into a soak shows up immediately.
+//
+//   error budget   = (1 - target) * window     violations the window tolerates
+//   burn rate      = window violation rate / (1 - target)
+//                    (1.0 = consuming budget exactly as fast as allowed)
+//   breach         = burn rate >= breach_burn with enough samples to judge
+//
+// observe() reports each sample's verdict plus the breach *edge* — the
+// transition into breach — which is what triggers a flight-recorder dump
+// (Telemetry::observe_slo). Violations are also counted into the metrics
+// registry so they ride the existing merge path into every BENCH_*.json.
+//
+// Configuration comes from WorldOptions::slo; an empty objective list
+// means SloConfig::defaults(), and enabled=false makes observe() a no-op.
+// Thresholds are in the telemetry clock's nanoseconds (virtual ns on the
+// simulated transport).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace srpc {
+
+struct SloObjective {
+  std::string kind;                  // matches to_string(MessageType) etc.
+  std::uint64_t threshold_ns = 0;
+  double target = 0.99;              // fraction that must meet the threshold
+  std::uint32_t window = 256;        // rolling sample window
+  double breach_burn = 2.0;          // burn rate that declares a breach
+};
+
+struct SloConfig {
+  bool enabled = true;
+  // Empty = defaults(). To disable one default kind, configure explicitly.
+  std::vector<SloObjective> objectives;
+  // Generous bounds that hold on any healthy transport in the suite; CALL
+  // is deliberately absent (it times arbitrary user code).
+  static std::vector<SloObjective> defaults();
+};
+
+struct SloObservation {
+  bool tracked = false;      // an objective exists for this kind
+  bool violated = false;     // this sample missed its threshold
+  bool breach_edge = false;  // this sample pushed the kind into breach
+  double burn_rate = 0.0;
+};
+
+class SloEngine {
+ public:
+  struct KindStats {
+    std::uint64_t threshold_ns = 0;
+    double target = 0.99;
+    std::uint32_t window = 0;
+    std::uint64_t observed = 0;           // lifetime samples
+    std::uint64_t violations = 0;         // lifetime misses
+    std::uint32_t window_observed = 0;
+    std::uint32_t window_violations = 0;
+    double burn_rate = 0.0;
+    double budget_remaining = 1.0;        // fraction of window budget left
+    bool in_breach = false;
+  };
+
+  void configure(const SloConfig& config);
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_ && !trackers_.empty();
+  }
+
+  SloObservation observe(std::string_view kind, std::uint64_t latency_ns);
+
+  [[nodiscard]] std::uint64_t total_violations() const;
+  [[nodiscard]] std::map<std::string, KindStats> stats() const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Tracker {
+    SloObjective objective;
+    std::vector<bool> ring;       // violation bits, ring.size() == window
+    std::uint32_t head = 0;
+    std::uint32_t filled = 0;
+    std::uint32_t window_violations = 0;
+    std::uint64_t observed = 0;
+    std::uint64_t violations = 0;
+    bool in_breach = false;
+    [[nodiscard]] double burn_rate() const;
+  };
+
+  bool enabled_ = false;
+  std::map<std::string, Tracker, std::less<>> trackers_;
+};
+
+}  // namespace srpc

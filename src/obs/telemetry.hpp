@@ -15,7 +15,9 @@
 #include <utility>
 
 #include "common/ids.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/span_recorder.hpp"
 
 namespace srpc {
@@ -23,7 +25,10 @@ namespace srpc {
 class Telemetry {
  public:
   Telemetry(SpaceId space, std::string space_name)
-      : space_(space), space_name_(std::move(space_name)), tracer_(space) {}
+      : space_(space),
+        space_name_(std::move(space_name)),
+        tracer_(space),
+        flight_(space, space_name_) {}
 
   // `now` must return monotonic nanoseconds; pass {} to fall back to the
   // process steady clock (socket transport, no virtual time).
@@ -51,6 +56,12 @@ class Telemetry {
   [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
     return metrics_;
   }
+  [[nodiscard]] FlightRecorder& flight() noexcept { return flight_; }
+  [[nodiscard]] const FlightRecorder& flight() const noexcept {
+    return flight_;
+  }
+  [[nodiscard]] SloEngine& slo() noexcept { return slo_; }
+  [[nodiscard]] const SloEngine& slo() const noexcept { return slo_; }
 
   // Convenience shorthands for instrumentation sites.
   void count(std::string_view name, std::string_view label = {},
@@ -65,12 +76,36 @@ class Telemetry {
     if (tracer_.enabled()) tracer_.annotate(std::move(text), now_ns());
   }
 
+  // Judges one latency sample against its SLO. Violations become metrics
+  // counters (so they merge into bench accumulators), and a breach edge —
+  // the burn rate first crossing its threshold — records a flight event
+  // and dumps the ring: the black box for "why did we start missing".
+  void observe_slo(std::string_view kind, std::uint64_t latency_ns) {
+    if (!slo_.enabled()) return;
+    const SloObservation obs = slo_.observe(kind, latency_ns);
+    if (!obs.tracked) return;
+    count("slo.observed", kind);
+    if (obs.violated) count("slo.violations", kind);
+    if (obs.breach_edge) {
+      count("slo.breaches", kind);
+      const std::uint64_t now = now_ns();
+      flight_.event(FlightEventKind::kSloBreach, now, kInvalidSpaceId,
+                    std::string(kind) + " burn " +
+                        std::to_string(static_cast<int>(obs.burn_rate * 100)) +
+                        "%",
+                    static_cast<std::int64_t>(latency_ns));
+      flight_.dump("slo_breach", now);
+    }
+  }
+
  private:
   SpaceId space_;
   std::string space_name_;
   std::function<std::uint64_t()> clock_;
   SpanRecorder tracer_;
   MetricsRegistry metrics_;
+  FlightRecorder flight_;
+  SloEngine slo_;
 };
 
 }  // namespace srpc

@@ -30,6 +30,12 @@ void RpcEndpoint::prepare(Message& msg) {
   // once (retransmits re-enter via send() with a shm-backed original, which
   // is the pass-through case).
   if (payload_lane_) payload_lane_(msg);
+  if (telemetry_ != nullptr) {
+    telemetry_->flight().frame(FlightEventKind::kFrameSend,
+                               telemetry_->now_ns(),
+                               static_cast<std::uint8_t>(msg.type), msg.to,
+                               msg.session, msg.seq);
+  }
 }
 
 Status RpcEndpoint::send(Message msg) {
@@ -118,6 +124,11 @@ void RpcEndpoint::expire_timers(Clock::time_point now) {
     SRPC_DEBUG << "retransmitting for " << p->describe << " (attempt "
                << p->attempt + 1 << "/" << p->attempts << ")";
     if (telemetry_ != nullptr) {
+      telemetry_->flight().frame(
+          FlightEventKind::kRetransmit, telemetry_->now_ns(),
+          static_cast<std::uint8_t>(p->original->type), p->dest,
+          p->original->session, p->seq,
+          static_cast<std::int64_t>(p->attempt + 1));
       telemetry_->count("rpc.retransmits",
                         std::string("kind=") + std::string(to_string(p->original->type)));
       if (telemetry_->tracing()) {
@@ -216,6 +227,12 @@ Status RpcEndpoint::pump_once(Clock::time_point deadline, const Dispatcher& serv
   // ordinary (borrowed) payload, whether this is a routed reply or served
   // traffic. The buffer shares the view's pin.
   msg.bind_view_payload();
+  if (telemetry_ != nullptr) {
+    telemetry_->flight().frame(FlightEventKind::kFrameRecv,
+                               telemetry_->now_ns(),
+                               static_cast<std::uint8_t>(msg.type), msg.from,
+                               msg.session, msg.seq);
+  }
   if (fence_ && fence_(msg)) return Status::ok();  // stale incarnation
   if (route_reply(msg)) return Status::ok();
   if (serve) {
@@ -328,6 +345,12 @@ Result<MailItem> RpcEndpoint::next() {
     Message msg = std::get<Message>(std::move(item).value());
     if (delivery_hook_) delivery_hook_(msg);
     msg.bind_view_payload();  // shm lane: see pump_once
+    if (telemetry_ != nullptr) {
+      telemetry_->flight().frame(FlightEventKind::kFrameRecv,
+                                 telemetry_->now_ns(),
+                                 static_cast<std::uint8_t>(msg.type), msg.from,
+                                 msg.session, msg.seq);
+    }
     if (fence_ && fence_(msg)) continue;  // stale incarnation
     // A reply for a slot nobody is actively collecting (an un-got future)
     // still belongs to that slot, not to the main loop.
